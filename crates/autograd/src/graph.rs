@@ -1,0 +1,446 @@
+//! The Wengert-list computation graph.
+
+/// Handle to a node in a [`Graph`].
+///
+/// `Var`s are only meaningful for the graph that created them; using them
+/// across graphs is a logic error caught by the bounds checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    value: f64,
+    /// Up to two (parent index, local derivative) links.
+    parents: [(usize, f64); 2],
+    n_parents: u8,
+}
+
+/// A tape of scalar operations supporting one reverse sweep.
+#[derive(Debug, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+/// The adjoints produced by [`Graph::backward`].
+#[derive(Debug)]
+pub struct Gradients {
+    adjoints: Vec<f64>,
+}
+
+impl Gradients {
+    /// ∂output/∂`v`.
+    pub fn wrt(&self, v: Var) -> f64 {
+        self.adjoints[v.0]
+    }
+}
+
+impl Graph {
+    /// An empty tape.
+    pub fn new() -> Graph {
+        Graph { nodes: Vec::new() }
+    }
+
+    /// Empties the tape for reuse, invalidating all existing `Var`s.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: f64, parents: [(usize, f64); 2], n_parents: u8) -> Var {
+        self.nodes.push(Node {
+            value,
+            parents,
+            n_parents,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Records a leaf variable (an optimization parameter).
+    pub fn var(&mut self, value: f64) -> Var {
+        self.push(value, [(0, 0.0); 2], 0)
+    }
+
+    /// Records a constant (zero gradient by construction).
+    pub fn constant(&mut self, value: f64) -> Var {
+        self.var(value)
+    }
+
+    /// Current forward value of a node.
+    pub fn value(&self, v: Var) -> f64 {
+        self.nodes[v.0].value
+    }
+
+    /// `a + b`.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a) + self.value(b);
+        self.push(v, [(a.0, 1.0), (b.0, 1.0)], 2)
+    }
+
+    /// `a - b`.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a) - self.value(b);
+        self.push(v, [(a.0, 1.0), (b.0, -1.0)], 2)
+    }
+
+    /// `a * b`.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let (va, vb) = (self.value(a), self.value(b));
+        self.push(va * vb, [(a.0, vb), (b.0, va)], 2)
+    }
+
+    /// `a / b`.
+    pub fn div(&mut self, a: Var, b: Var) -> Var {
+        let (va, vb) = (self.value(a), self.value(b));
+        self.push(va / vb, [(a.0, 1.0 / vb), (b.0, -va / (vb * vb))], 2)
+    }
+
+    /// `-a`.
+    pub fn neg(&mut self, a: Var) -> Var {
+        let v = -self.value(a);
+        self.push(v, [(a.0, -1.0), (0, 0.0)], 1)
+    }
+
+    /// `a + c` for a plain constant `c`.
+    pub fn add_const(&mut self, a: Var, c: f64) -> Var {
+        let v = self.value(a) + c;
+        self.push(v, [(a.0, 1.0), (0, 0.0)], 1)
+    }
+
+    /// `a * c` for a plain constant `c`.
+    pub fn mul_const(&mut self, a: Var, c: f64) -> Var {
+        let v = self.value(a) * c;
+        self.push(v, [(a.0, c), (0, 0.0)], 1)
+    }
+
+    /// `√a`.
+    pub fn sqrt(&mut self, a: Var) -> Var {
+        let v = self.value(a).sqrt();
+        self.push(v, [(a.0, 0.5 / v), (0, 0.0)], 1)
+    }
+
+    /// `a²`.
+    pub fn square(&mut self, a: Var) -> Var {
+        let va = self.value(a);
+        self.push(va * va, [(a.0, 2.0 * va), (0, 0.0)], 1)
+    }
+
+    /// `aⁿ` for integer `n`.
+    pub fn powi(&mut self, a: Var, n: i32) -> Var {
+        let va = self.value(a);
+        self.push(
+            va.powi(n),
+            [(a.0, n as f64 * va.powi(n - 1)), (0, 0.0)],
+            1,
+        )
+    }
+
+    /// `exp(a)`.
+    pub fn exp(&mut self, a: Var) -> Var {
+        let v = self.value(a).exp();
+        self.push(v, [(a.0, v), (0, 0.0)], 1)
+    }
+
+    /// `ln(a)`.
+    pub fn ln(&mut self, a: Var) -> Var {
+        let va = self.value(a);
+        self.push(va.ln(), [(a.0, 1.0 / va), (0, 0.0)], 1)
+    }
+
+    /// `sin(a)`.
+    pub fn sin(&mut self, a: Var) -> Var {
+        let va = self.value(a);
+        self.push(va.sin(), [(a.0, va.cos()), (0, 0.0)], 1)
+    }
+
+    /// `cos(a)`.
+    pub fn cos(&mut self, a: Var) -> Var {
+        let va = self.value(a);
+        self.push(va.cos(), [(a.0, -va.sin()), (0, 0.0)], 1)
+    }
+
+    /// `|a|`; subgradient 0 at the kink.
+    pub fn abs(&mut self, a: Var) -> Var {
+        let va = self.value(a);
+        let d = if va > 0.0 {
+            1.0
+        } else if va < 0.0 {
+            -1.0
+        } else {
+            0.0
+        };
+        self.push(va.abs(), [(a.0, d), (0, 0.0)], 1)
+    }
+
+    /// `max(0, a)` — the hinge used by the objective's exterior-distance
+    /// term. Subgradient 0 at the kink, matching the analytic kernels in
+    /// `adampack-core` (which use a strict `> 0` test).
+    pub fn relu(&mut self, a: Var) -> Var {
+        let va = self.value(a);
+        let (v, d) = if va > 0.0 { (va, 1.0) } else { (0.0, 0.0) };
+        self.push(v, [(a.0, d), (0, 0.0)], 1)
+    }
+
+    /// `min(0, a)` — the clamp in the paper's penetration depth
+    /// `δ⁻ = min(0, δ)`. Subgradient 0 at the kink.
+    pub fn min_zero(&mut self, a: Var) -> Var {
+        let va = self.value(a);
+        let (v, d) = if va < 0.0 { (va, 1.0) } else { (0.0, 0.0) };
+        self.push(v, [(a.0, d), (0, 0.0)], 1)
+    }
+
+    /// `max(a, b)`; ties propagate to `a`.
+    pub fn max(&mut self, a: Var, b: Var) -> Var {
+        let (va, vb) = (self.value(a), self.value(b));
+        if va >= vb {
+            self.push(va, [(a.0, 1.0), (b.0, 0.0)], 2)
+        } else {
+            self.push(vb, [(a.0, 0.0), (b.0, 1.0)], 2)
+        }
+    }
+
+    /// `min(a, b)`; ties propagate to `a`.
+    pub fn min(&mut self, a: Var, b: Var) -> Var {
+        let (va, vb) = (self.value(a), self.value(b));
+        if va <= vb {
+            self.push(va, [(a.0, 1.0), (b.0, 0.0)], 2)
+        } else {
+            self.push(vb, [(a.0, 0.0), (b.0, 1.0)], 2)
+        }
+    }
+
+    /// Sum of many terms (left fold of [`Graph::add`]).
+    pub fn sum(&mut self, terms: &[Var]) -> Var {
+        match terms {
+            [] => self.constant(0.0),
+            [single] => *single,
+            [first, rest @ ..] => {
+                let mut acc = *first;
+                for &t in rest {
+                    acc = self.add(acc, t);
+                }
+                acc
+            }
+        }
+    }
+
+    /// Euclidean norm of a 3-vector of variables — the `‖cᵢ - cⱼ‖` kernel of
+    /// the penetration term.
+    pub fn norm3(&mut self, x: Var, y: Var, z: Var) -> Var {
+        let xx = self.square(x);
+        let yy = self.square(y);
+        let zz = self.square(z);
+        let s1 = self.add(xx, yy);
+        let s2 = self.add(s1, zz);
+        self.sqrt(s2)
+    }
+
+    /// Reverse sweep from `output`; returns adjoints for every node.
+    ///
+    /// The output's adjoint is seeded with 1. Multiple calls are allowed
+    /// (each allocates fresh adjoints); the tape itself is immutable during
+    /// the sweep.
+    pub fn backward(&self, output: Var) -> Gradients {
+        let mut adjoints = vec![0.0; self.nodes.len()];
+        adjoints[output.0] = 1.0;
+        for i in (0..=output.0).rev() {
+            let a = adjoints[i];
+            if a == 0.0 {
+                continue;
+            }
+            let node = &self.nodes[i];
+            for k in 0..node.n_parents as usize {
+                let (pi, d) = node.parents[k];
+                adjoints[pi] += a * d;
+            }
+        }
+        Gradients { adjoints }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grad1(build: impl Fn(&mut Graph, Var) -> Var, x: f64) -> (f64, f64) {
+        let mut g = Graph::new();
+        let v = g.var(x);
+        let out = build(&mut g, v);
+        let grads = g.backward(out);
+        (g.value(out), grads.wrt(v))
+    }
+
+    #[test]
+    fn arithmetic_forward_and_backward() {
+        let mut g = Graph::new();
+        let x = g.var(2.0);
+        let y = g.var(5.0);
+        let p = g.mul(x, y); // 10
+        let q = g.sub(p, x); // 8
+        let r = g.div(q, y); // 1.6
+        assert!((g.value(r) - 1.6).abs() < 1e-15);
+        let grads = g.backward(r);
+        // r = (xy - x)/y = x - x/y ⇒ ∂r/∂x = 1 - 1/y = 0.8; ∂r/∂y = x/y² = 0.08.
+        assert!((grads.wrt(x) - 0.8).abs() < 1e-15);
+        assert!((grads.wrt(y) - 0.08).abs() < 1e-15);
+    }
+
+    #[test]
+    fn unary_derivatives() {
+        let (v, d) = grad1(|g, x| g.sqrt(x), 4.0);
+        assert!((v - 2.0).abs() < 1e-15 && (d - 0.25).abs() < 1e-15);
+
+        let (v, d) = grad1(|g, x| g.square(x), 3.0);
+        assert!((v - 9.0).abs() < 1e-15 && (d - 6.0).abs() < 1e-15);
+
+        let (v, d) = grad1(|g, x| g.exp(x), 0.0);
+        assert!((v - 1.0).abs() < 1e-15 && (d - 1.0).abs() < 1e-15);
+
+        let (v, d) = grad1(|g, x| g.ln(x), 2.0);
+        assert!((v - 2f64.ln()).abs() < 1e-15 && (d - 0.5).abs() < 1e-15);
+
+        let (v, d) = grad1(|g, x| g.powi(x, 3), 2.0);
+        assert!((v - 8.0).abs() < 1e-15 && (d - 12.0).abs() < 1e-15);
+
+        let (_, d) = grad1(|g, x| g.sin(x), 0.3);
+        assert!((d - 0.3f64.cos()).abs() < 1e-15);
+        let (_, d) = grad1(|g, x| g.cos(x), 0.3);
+        assert!((d + 0.3f64.sin()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fan_out_accumulates_adjoints() {
+        // f = x·x + x ⇒ f' = 2x + 1.
+        let mut g = Graph::new();
+        let x = g.var(3.0);
+        let xx = g.mul(x, x);
+        let f = g.add(xx, x);
+        let grads = g.backward(f);
+        assert!((grads.wrt(x) - 7.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn hinge_and_clamp_subgradients() {
+        // relu
+        assert_eq!(grad1(|g, x| g.relu(x), 2.0), (2.0, 1.0));
+        assert_eq!(grad1(|g, x| g.relu(x), -2.0), (0.0, 0.0));
+        assert_eq!(grad1(|g, x| g.relu(x), 0.0), (0.0, 0.0));
+        // min(0, ·)
+        assert_eq!(grad1(|g, x| g.min_zero(x), -2.0), (-2.0, 1.0));
+        assert_eq!(grad1(|g, x| g.min_zero(x), 2.0), (0.0, 0.0));
+        assert_eq!(grad1(|g, x| g.min_zero(x), 0.0), (0.0, 0.0));
+        // abs
+        assert_eq!(grad1(|g, x| g.abs(x), -3.0), (3.0, -1.0));
+        assert_eq!(grad1(|g, x| g.abs(x), 3.0), (3.0, 1.0));
+        assert_eq!(grad1(|g, x| g.abs(x), 0.0), (0.0, 0.0));
+    }
+
+    #[test]
+    fn min_max_select_branch_gradients() {
+        let mut g = Graph::new();
+        let a = g.var(2.0);
+        let b = g.var(5.0);
+        let m = g.max(a, b);
+        let grads = g.backward(m);
+        assert_eq!(g.value(m), 5.0);
+        assert_eq!(grads.wrt(a), 0.0);
+        assert_eq!(grads.wrt(b), 1.0);
+
+        let mut g = Graph::new();
+        let a = g.var(2.0);
+        let b = g.var(5.0);
+        let m = g.min(a, b);
+        let grads = g.backward(m);
+        assert_eq!(g.value(m), 2.0);
+        assert_eq!(grads.wrt(a), 1.0);
+        assert_eq!(grads.wrt(b), 0.0);
+    }
+
+    #[test]
+    fn sum_of_terms() {
+        let mut g = Graph::new();
+        let vars: Vec<Var> = (1..=5).map(|i| g.var(i as f64)).collect();
+        let s = g.sum(&vars);
+        assert_eq!(g.value(s), 15.0);
+        let grads = g.backward(s);
+        for v in vars {
+            assert_eq!(grads.wrt(v), 1.0);
+        }
+        // Empty sum is a constant 0 with no gradient flow.
+        let z = g.sum(&[]);
+        assert_eq!(g.value(z), 0.0);
+    }
+
+    #[test]
+    fn norm3_gradient_is_unit_direction() {
+        let mut g = Graph::new();
+        let (x, y, z) = (g.var(1.0), g.var(2.0), g.var(2.0));
+        let n = g.norm3(x, y, z);
+        assert!((g.value(n) - 3.0).abs() < 1e-15);
+        let grads = g.backward(n);
+        assert!((grads.wrt(x) - 1.0 / 3.0).abs() < 1e-15);
+        assert!((grads.wrt(y) - 2.0 / 3.0).abs() < 1e-15);
+        assert!((grads.wrt(z) - 2.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pairwise_penetration_gradient_example() {
+        // The paper's p_ij = -min(0, ‖ci - cj‖ - ri - rj) for two overlapping
+        // unit spheres at distance 1.5: p = 0.5, ∂p/∂c_i = -(ci-cj)/‖·‖.
+        let mut g = Graph::new();
+        let c1 = [g.var(0.0), g.var(0.0), g.var(0.0)];
+        let c2 = [g.var(1.5), g.var(0.0), g.var(0.0)];
+        let dx = g.sub(c1[0], c2[0]);
+        let dy = g.sub(c1[1], c2[1]);
+        let dz = g.sub(c1[2], c2[2]);
+        let dist = g.norm3(dx, dy, dz);
+        let delta = g.add_const(dist, -2.0); // r_i + r_j = 2
+        let dminus = g.min_zero(delta);
+        let p = g.neg(dminus);
+        assert!((g.value(p) - 0.5).abs() < 1e-15);
+        let grads = g.backward(p);
+        // Moving c1.x towards +x reduces overlap: gradient = -(0-1.5)/1.5 · (-1)?
+        // p = -(‖c1-c2‖ - 2) when overlapping ⇒ ∂p/∂c1x = -(c1x-c2x)/‖·‖ = 1.
+        assert!((grads.wrt(c1[0]) - 1.0).abs() < 1e-14);
+        assert!((grads.wrt(c2[0]) + 1.0).abs() < 1e-14);
+        assert_eq!(grads.wrt(c1[1]), 0.0);
+    }
+
+    #[test]
+    fn backward_twice_is_stable() {
+        let mut g = Graph::new();
+        let x = g.var(2.0);
+        let f = g.square(x);
+        let g1 = g.backward(f);
+        let g2 = g.backward(f);
+        assert_eq!(g1.wrt(x), g2.wrt(x));
+    }
+
+    #[test]
+    fn clear_resets_tape() {
+        let mut g = Graph::new();
+        let _ = g.var(1.0);
+        assert_eq!(g.len(), 1);
+        g.clear();
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn constants_have_zero_gradient() {
+        let mut g = Graph::new();
+        let x = g.var(2.0);
+        let c = g.constant(10.0);
+        let f = g.mul(x, c);
+        let grads = g.backward(f);
+        assert_eq!(grads.wrt(x), 10.0);
+        assert_eq!(grads.wrt(c), 2.0); // it's still a leaf; caller ignores it
+    }
+}

@@ -1,0 +1,47 @@
+//! # adampack-autograd
+//!
+//! A tape-based reverse-mode automatic-differentiation engine — the
+//! PyTorch-autograd substitute for the adampack workspace.
+//!
+//! The paper obtains gradients of its packing objective through PyTorch's
+//! autograd. The production path in `adampack-core` uses closed-form
+//! analytic gradients instead (faster and allocation-free), and this crate
+//! exists to *prove those gradients correct*: tests build the same objective
+//! as a computation graph here and check that reverse-mode gradients match
+//! the analytic kernels to machine precision. It is also a general engine —
+//! any scalar-valued composition of the supported operations can be
+//! differentiated, so user-defined objective terms can be prototyped against
+//! it before hand-deriving their gradients.
+//!
+//! ## Design
+//!
+//! A [`Graph`] is an append-only tape of nodes. Each node stores its value
+//! and up to two parent links with the *local derivative* already evaluated
+//! at forward time, so the backward sweep is a single reverse pass of
+//! multiply-accumulates — the classic Wengert-list formulation.
+//!
+//! ```
+//! use adampack_autograd::Graph;
+//!
+//! let mut g = Graph::new();
+//! let x = g.var(3.0);
+//! let y = g.var(4.0);
+//! // f = sqrt(x² + y²)  (Euclidean norm)
+//! let xx = g.mul(x, x);
+//! let yy = g.mul(y, y);
+//! let s = g.add(xx, yy);
+//! let f = g.sqrt(s);
+//! assert_eq!(g.value(f), 5.0);
+//! let grads = g.backward(f);
+//! assert!((grads.wrt(x) - 3.0 / 5.0).abs() < 1e-15);
+//! assert!((grads.wrt(y) - 4.0 / 5.0).abs() < 1e-15);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+mod graph;
+mod numdiff;
+
+pub use graph::{Gradients, Graph, Var};
+pub use numdiff::{central_difference, gradient_check};

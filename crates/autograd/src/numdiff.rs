@@ -1,0 +1,102 @@
+//! Finite-difference utilities for gradient verification.
+
+/// Central finite difference of a scalar function of a vector, w.r.t.
+/// coordinate `i`, with step `h`.
+pub fn central_difference<F>(f: F, x: &[f64], i: usize, h: f64) -> f64
+where
+    F: Fn(&[f64]) -> f64,
+{
+    assert!(i < x.len(), "index {i} out of bounds for {} coords", x.len());
+    assert!(h > 0.0, "step must be positive");
+    let mut xp = x.to_vec();
+    let mut xm = x.to_vec();
+    xp[i] += h;
+    xm[i] -= h;
+    (f(&xp) - f(&xm)) / (2.0 * h)
+}
+
+/// Checks an analytic gradient against central differences.
+///
+/// Returns the largest absolute discrepancy over all coordinates, each
+/// compared with relative tolerance against `max(1, |∇ᵢ|)`; callers assert
+/// the result is below their tolerance. Useful both in this crate's tests
+/// and from `adampack-core` to validate the hand-derived objective
+/// gradients.
+pub fn gradient_check<F>(f: F, x: &[f64], analytic: &[f64], h: f64) -> f64
+where
+    F: Fn(&[f64]) -> f64,
+{
+    assert_eq!(x.len(), analytic.len(), "gradient length mismatch");
+    let mut worst: f64 = 0.0;
+    for i in 0..x.len() {
+        let num = central_difference(&f, x, i, h);
+        let scale = analytic[i].abs().max(1.0);
+        worst = worst.max((num - analytic[i]).abs() / scale);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    #[test]
+    fn central_difference_on_quadratic_is_exact() {
+        // For quadratics the O(h²) error term vanishes identically.
+        let f = |x: &[f64]| 3.0 * x[0] * x[0] + 2.0 * x[0];
+        let d = central_difference(f, &[1.5], 0, 1e-3);
+        assert!((d - (6.0 * 1.5 + 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gradient_check_flags_wrong_gradients() {
+        let f = |x: &[f64]| x[0] * x[0] + x[1];
+        let good = [2.0, 1.0]; // at x = (1, anything)
+        let bad = [2.5, 1.0];
+        assert!(gradient_check(f, &[1.0, 0.0], &good, 1e-5) < 1e-8);
+        assert!(gradient_check(f, &[1.0, 0.0], &bad, 1e-5) > 0.1);
+    }
+
+    #[test]
+    fn autograd_agrees_with_finite_differences_on_composite() {
+        // f(x, y) = relu(x·y - 1) + √(x² + y² + 1)
+        let eval = |p: &[f64]| {
+            let mut g = Graph::new();
+            let x = g.var(p[0]);
+            let y = g.var(p[1]);
+            let xy = g.mul(x, y);
+            let hinge_arg = g.add_const(xy, -1.0);
+            let hinge = g.relu(hinge_arg);
+            let xx = g.square(x);
+            let yy = g.square(y);
+            let s = g.add(xx, yy);
+            let s1 = g.add_const(s, 1.0);
+            let root = g.sqrt(s1);
+            let f = g.add(hinge, root);
+            g.value(f)
+        };
+        let p = [1.3, 0.9]; // xy - 1 = 0.17, away from the kink
+        let mut g = Graph::new();
+        let x = g.var(p[0]);
+        let y = g.var(p[1]);
+        let xy = g.mul(x, y);
+        let hinge_arg = g.add_const(xy, -1.0);
+        let hinge = g.relu(hinge_arg);
+        let xx = g.square(x);
+        let yy = g.square(y);
+        let s = g.add(xx, yy);
+        let s1 = g.add_const(s, 1.0);
+        let root = g.sqrt(s1);
+        let f = g.add(hinge, root);
+        let grads = g.backward(f);
+        let analytic = [grads.wrt(x), grads.wrt(y)];
+        assert!(gradient_check(eval, &p, &analytic, 1e-6) < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn central_difference_bounds_checked() {
+        let _ = central_difference(|x| x[0], &[1.0], 1, 1e-6);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests: reverse-mode gradients agree with finite differences on
+//! randomized inputs of packing-shaped expressions.
+
+use adampack_autograd::{gradient_check, Graph};
+use proptest::prelude::*;
+
+/// Builds the two-sphere penetration penalty
+/// `p = -min(0, ‖c1 - c2‖ - r1 - r2)` on a fresh graph and returns
+/// (value, grad w.r.t. the 6 coordinates).
+fn penetration(coords: &[f64; 6], r1: f64, r2: f64) -> (f64, [f64; 6]) {
+    let mut g = Graph::new();
+    let vars: Vec<_> = coords.iter().map(|&c| g.var(c)).collect();
+    let dx = g.sub(vars[0], vars[3]);
+    let dy = g.sub(vars[1], vars[4]);
+    let dz = g.sub(vars[2], vars[5]);
+    let dist = g.norm3(dx, dy, dz);
+    let delta = g.add_const(dist, -(r1 + r2));
+    let dminus = g.min_zero(delta);
+    let p = g.neg(dminus);
+    let grads = g.backward(p);
+    let mut out = [0.0; 6];
+    for (o, v) in out.iter_mut().zip(vars.iter()) {
+        *o = grads.wrt(*v);
+    }
+    (g.value(p), out)
+}
+
+proptest! {
+    #[test]
+    fn penetration_gradient_matches_finite_differences(
+        c1 in prop::array::uniform3(-2.0f64..2.0),
+        c2 in prop::array::uniform3(-2.0f64..2.0),
+        r1 in 0.2f64..1.5,
+        r2 in 0.2f64..1.5,
+    ) {
+        let coords = [c1[0], c1[1], c1[2], c2[0], c2[1], c2[2]];
+        let d = ((c1[0]-c2[0]).powi(2) + (c1[1]-c2[1]).powi(2) + (c1[2]-c2[2]).powi(2)).sqrt();
+        // Keep away from the two non-differentiable sets: coincident centers
+        // and the exact contact distance.
+        prop_assume!(d > 1e-3);
+        prop_assume!((d - (r1 + r2)).abs() > 1e-3);
+
+        let (_, analytic) = penetration(&coords, r1, r2);
+        let f = |x: &[f64]| {
+            let arr = [x[0], x[1], x[2], x[3], x[4], x[5]];
+            penetration(&arr, r1, r2).0
+        };
+        let worst = gradient_check(f, &coords, &analytic, 1e-6);
+        prop_assert!(worst < 1e-5, "worst discrepancy {worst}");
+    }
+
+    #[test]
+    fn smooth_composite_gradient_matches(
+        x in -3.0f64..3.0,
+        y in -3.0f64..3.0,
+        z in 0.1f64..3.0,
+    ) {
+        // f = sin(x)·cos(y) + exp(-z) + ln(z) + x²y
+        let eval = |p: &[f64]| {
+            let mut g = Graph::new();
+            let (vx, vy, vz) = (g.var(p[0]), g.var(p[1]), g.var(p[2]));
+            let sx = g.sin(vx);
+            let cy = g.cos(vy);
+            let t1 = g.mul(sx, cy);
+            let nz = g.neg(vz);
+            let t2 = g.exp(nz);
+            let t3 = g.ln(vz);
+            let x2 = g.square(vx);
+            let t4 = g.mul(x2, vy);
+            let s1 = g.add(t1, t2);
+            let s2 = g.add(s1, t3);
+            let f = g.add(s2, t4);
+            g.value(f)
+        };
+        let mut g = Graph::new();
+        let (vx, vy, vz) = (g.var(x), g.var(y), g.var(z));
+        let sx = g.sin(vx);
+        let cy = g.cos(vy);
+        let t1 = g.mul(sx, cy);
+        let nz = g.neg(vz);
+        let t2 = g.exp(nz);
+        let t3 = g.ln(vz);
+        let x2 = g.square(vx);
+        let t4 = g.mul(x2, vy);
+        let s1 = g.add(t1, t2);
+        let s2 = g.add(s1, t3);
+        let f = g.add(s2, t4);
+        let grads = g.backward(f);
+        let analytic = [grads.wrt(vx), grads.wrt(vy), grads.wrt(vz)];
+        let worst = gradient_check(eval, &[x, y, z], &analytic, 1e-6);
+        prop_assert!(worst < 1e-5, "worst discrepancy {worst}");
+    }
+
+    #[test]
+    fn analytic_derivatives_of_penetration_known_form(
+        c2x in 0.5f64..3.0,
+    ) {
+        // Overlapping pair along x: gradient is ±1 on the x coordinates.
+        let r = 2.0; // r1 + r2 = 4 > any distance here ⇒ always overlapping
+        let coords = [0.0, 0.0, 0.0, c2x, 0.0, 0.0];
+        let (val, grad) = penetration(&coords, r, r);
+        prop_assert!((val - (2.0 * r - c2x)).abs() < 1e-12);
+        prop_assert!((grad[0] - 1.0).abs() < 1e-12);
+        prop_assert!((grad[3] + 1.0).abs() < 1e-12);
+        prop_assert_eq!(grad[1], 0.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks of the cell-list grid (build + query), the
+//! structure keeping Fig. 8's particle scaling linear.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use adampack_core::grid::CellGrid;
+use adampack_geometry::Vec3;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn cloud(n: usize, seed: u64) -> (Vec<Vec3>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let side = (n as f64).cbrt() * 0.12;
+    let centers = (0..n)
+        .map(|_| {
+            Vec3::new(
+                rng.gen_range(-side..side),
+                rng.gen_range(-side..side),
+                rng.gen_range(-side..side),
+            )
+        })
+        .collect();
+    let radii = (0..n).map(|_| rng.gen_range(0.04..0.06)).collect();
+    (centers, radii)
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cellgrid_build");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let (centers, radii) = cloud(n, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(CellGrid::build(black_box(&centers), black_box(&radii))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cellgrid_query_500");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let (centers, radii) = cloud(n, 5);
+        let grid = CellGrid::build(&centers, &radii);
+        let queries: Vec<Vec3> = centers.iter().take(500).copied().collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut count = 0usize;
+                for &q in &queries {
+                    grid.for_neighbors(q, 0.06, |_, _, _| count += 1);
+                }
+                black_box(count)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_query);
+criterion_main!(benches);

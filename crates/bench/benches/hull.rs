@@ -1,0 +1,43 @@
+//! Criterion micro-benchmarks of QuickHull construction (the per-container
+//! setup cost, paid once per packing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use adampack_geometry::{shapes, ConvexHull, Vec3};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_random_cloud(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quickhull_random_cloud");
+    for &n in &[100usize, 1000, 10_000] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let points: Vec<Vec3> = (0..n)
+            .map(|_| {
+                Vec3::new(
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                )
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(ConvexHull::from_points(black_box(&points)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mesh_hulls(c: &mut Criterion) {
+    let furnace = shapes::blast_furnace(1.0, 64);
+    c.bench_function("quickhull_blast_furnace_64seg", |b| {
+        b.iter(|| black_box(ConvexHull::from_mesh(black_box(&furnace)).unwrap()))
+    });
+    let sphere = shapes::uv_sphere(Vec3::ZERO, 1.0, 48, 24);
+    c.bench_function("quickhull_uv_sphere_48x24", |b| {
+        b.iter(|| black_box(ConvexHull::from_mesh(black_box(&sphere)).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_random_cloud, bench_mesh_hulls);
+criterion_main!(benches);

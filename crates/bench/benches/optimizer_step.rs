@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks of the optimizer update rules over
+//! packing-sized parameter vectors (1500 scalars = a 500-particle batch).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use adampack_opt::{
+    Adam, AdamConfig, LrScheduler, Optimizer, ReduceLrOnPlateau, ReduceLrOnPlateauConfig, Sgd,
+    SgdConfig,
+};
+
+fn bench_optimizers(c: &mut Criterion) {
+    let n = 1500;
+    let grads: Vec<f64> = (0..n).map(|i| ((i * 37) % 100) as f64 / 100.0 - 0.5).collect();
+
+    let mut adam = Adam::new(AdamConfig { lr: 1e-2, amsgrad: false, ..AdamConfig::default() }, n);
+    let mut params = vec![0.0f64; n];
+    c.bench_function("adam_step_1500", |b| {
+        b.iter(|| {
+            adam.step(black_box(&mut params), black_box(&grads));
+        })
+    });
+
+    let mut ams = Adam::new(AdamConfig { lr: 1e-2, amsgrad: true, ..AdamConfig::default() }, n);
+    let mut params = vec![0.0f64; n];
+    c.bench_function("amsgrad_step_1500", |b| {
+        b.iter(|| {
+            ams.step(black_box(&mut params), black_box(&grads));
+        })
+    });
+
+    let mut sgd = Sgd::new(SgdConfig { lr: 1e-2, momentum: 0.9, ..SgdConfig::default() }, n);
+    let mut params = vec![0.0f64; n];
+    c.bench_function("sgd_momentum_step_1500", |b| {
+        b.iter(|| {
+            sgd.step(black_box(&mut params), black_box(&grads));
+        })
+    });
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut sched = ReduceLrOnPlateau::new(ReduceLrOnPlateauConfig::default());
+    let mut metric = 100.0;
+    c.bench_function("plateau_scheduler_step", |b| {
+        b.iter(|| {
+            metric *= 0.9999;
+            black_box(sched.step(black_box(metric)))
+        })
+    });
+}
+
+criterion_group!(benches, bench_optimizers, bench_scheduler);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks of the exact sphere–box overlap volume (the
+//! density-probe kernel, evaluated once per particle per measurement).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use adampack_geometry::{Aabb, Vec3};
+use adampack_overlap::{circle_rect_area, sphere_aabb_overlap, sphere_sphere_overlap};
+
+fn bench_sphere_box(c: &mut Criterion) {
+    let b = Aabb::cube(Vec3::ZERO, 2.0);
+    // Generic position: corner-cut, the expensive quadrature path.
+    c.bench_function("sphere_aabb_overlap_corner_cut", |bch| {
+        bch.iter(|| {
+            black_box(sphere_aabb_overlap(
+                black_box(Vec3::new(0.95, 0.9, 0.85)),
+                black_box(0.3),
+                &b,
+            ))
+        })
+    });
+    // Fast path: fully inside.
+    c.bench_function("sphere_aabb_overlap_inside", |bch| {
+        bch.iter(|| {
+            black_box(sphere_aabb_overlap(
+                black_box(Vec3::ZERO),
+                black_box(0.3),
+                &b,
+            ))
+        })
+    });
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    c.bench_function("circle_rect_area", |bch| {
+        bch.iter(|| {
+            black_box(circle_rect_area(
+                black_box(0.3),
+                black_box(-0.2),
+                black_box(0.8),
+                -1.0,
+                1.0,
+                -1.0,
+                1.0,
+            ))
+        })
+    });
+    c.bench_function("sphere_sphere_overlap", |bch| {
+        bch.iter(|| {
+            black_box(sphere_sphere_overlap(
+                Vec3::ZERO,
+                black_box(1.0),
+                black_box(Vec3::new(1.2, 0.0, 0.0)),
+                0.8,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_sphere_box, bench_kernels);
+criterion_main!(benches);

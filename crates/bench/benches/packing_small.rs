@@ -1,0 +1,46 @@
+//! Criterion end-to-end benchmark: a complete small packing (sample,
+//! spawn, optimize, accept), the unit of work every figure repeats.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use adampack_core::prelude::*;
+use adampack_geometry::{shapes, Vec3};
+
+fn bench_small_packing(c: &mut Criterion) {
+    let container = Container::from_mesh(&shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0))).unwrap();
+    let psd = Psd::constant(0.12);
+    let mut group = c.benchmark_group("pack_end_to_end");
+    group.sample_size(10);
+    group.bench_function("collective_100_particles", |b| {
+        b.iter(|| {
+            let params = PackingParams {
+                batch_size: 100,
+                target_count: 100,
+                max_steps: 500,
+                patience: 50,
+                seed: 1,
+                ..PackingParams::default()
+            };
+            let result = CollectivePacker::new(container.clone(), params).pack(&psd);
+            black_box(result.particles.len())
+        })
+    });
+    group.bench_function("rsa_100_particles", |b| {
+        b.iter(|| {
+            let result = RsaPacker { seed: 1, ..RsaPacker::default() }.pack(&container, &psd, 100);
+            black_box(result.particles.len())
+        })
+    });
+    group.bench_function("drop_and_roll_100_particles", |b| {
+        b.iter(|| {
+            let result =
+                DropAndRollPacker { seed: 1, ..DropAndRollPacker::default() }.pack(&container, &psd, 100);
+            black_box(result.particles.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_small_packing);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Ablation — cell-list grid vs naive cross-layer penetration (DESIGN.md §5).
+//!
+//! The cross term `P(C, C')` couples the batch with the whole fixed bed;
+//! evaluated naively the per-step cost grows linearly with the bed, which
+//! would turn the paper's linear Fig. 8 scaling quadratic. This harness
+//! times one objective evaluation under both strategies while growing the
+//! bed, confirming (a) identical values and (b) the grid's flat cost.
+
+use adampack_bench::{cli, secs, timed};
+use adampack_core::grid::CellGrid;
+use adampack_core::objective::{CrossMode, Objective, ObjectiveWeights};
+use adampack_core::prelude::*;
+use adampack_geometry::{shapes, Axis, Vec3};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let batch = cli::usize_arg("--batch", 500);
+    let evals = cli::usize_arg("--evals", 20);
+    let radius = 0.03;
+
+    let mesh = shapes::tall_box(2.0, 40.0);
+    let container = Container::from_mesh(&mesh).expect("tall box hull");
+    let hs = container.halfspaces();
+    let mut rng = StdRng::seed_from_u64(7);
+
+    println!("# Ablation — cross-term evaluation: cell-list grid vs naive scan");
+    println!("{:>10} {:>14} {:>14} {:>10}", "bed_size", "grid_ms", "naive_ms", "ratio");
+
+    for bed_size in [1_000usize, 5_000, 20_000, 80_000] {
+        // Synthetic fixed bed filling the column from below.
+        let mut centers = Vec::with_capacity(bed_size);
+        let mut radii_fixed = Vec::with_capacity(bed_size);
+        for i in 0..bed_size {
+            let z = 0.05 + (i as f64) * 1.5e-4;
+            centers.push(Vec3::new(
+                rng.gen_range(-0.95..0.95),
+                rng.gen_range(-0.95..0.95),
+                z,
+            ));
+            radii_fixed.push(radius);
+        }
+        let bed_top = 0.05 + bed_size as f64 * 1.5e-4;
+        let fixed = CellGrid::build(&centers, &radii_fixed);
+
+        // One batch hovering just above/into the bed surface.
+        let radii = vec![radius; batch];
+        let mut coords = Vec::with_capacity(batch * 3);
+        for _ in 0..batch {
+            coords.extend_from_slice(&[
+                rng.gen_range(-0.95..0.95),
+                rng.gen_range(-0.95..0.95),
+                bed_top + rng.gen_range(-0.02..0.1),
+            ]);
+        }
+        let mut grad = vec![0.0; coords.len()];
+
+        let grid_obj = Objective::new(ObjectiveWeights::default(), Axis::Z, hs, &radii, &fixed);
+        let naive_obj = Objective::new(ObjectiveWeights::default(), Axis::Z, hs, &radii, &fixed)
+            .with_cross_mode(CrossMode::Naive);
+
+        let (vg, t_grid) = timed(|| {
+            let mut v = 0.0;
+            for _ in 0..evals {
+                v = grid_obj.value_and_grad(&coords, &mut grad);
+            }
+            v
+        });
+        let (vn, t_naive) = timed(|| {
+            let mut v = 0.0;
+            for _ in 0..evals {
+                v = naive_obj.value_and_grad(&coords, &mut grad);
+            }
+            v
+        });
+        assert!(
+            (vg - vn).abs() <= 1e-9 * vg.abs().max(1.0),
+            "strategies disagree: {vg} vs {vn}"
+        );
+        let (g_ms, n_ms) = (
+            secs(t_grid) * 1e3 / evals as f64,
+            secs(t_naive) * 1e3 / evals as f64,
+        );
+        println!("{bed_size:>10} {g_ms:>14.3} {n_ms:>14.3} {:>10.1}", n_ms / g_ms);
+    }
+    println!("# expected: naive cost grows with the bed, grid cost stays flat");
+}

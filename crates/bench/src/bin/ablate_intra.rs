@@ -1,0 +1,65 @@
+//! Ablation — intra-batch pair scan: naive O(n²) vs rebuilt cell-list.
+//!
+//! The grid must win for the very large batches of Fig. 2's right branch;
+//! for the paper's default batch (500) the naive scan is competitive, which
+//! is why [`adampack_core::objective::IntraMode::Auto`] switches on size.
+
+use adampack_bench::{cli, secs, timed};
+use adampack_core::grid::CellGrid;
+use adampack_core::objective::{IntraMode, Objective, ObjectiveWeights};
+use adampack_core::prelude::*;
+use adampack_geometry::{shapes, Axis, Vec3};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let evals = cli::usize_arg("--evals", 20);
+    let container = Container::from_mesh(&shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0)))
+        .expect("box hull");
+    let hs = container.halfspaces();
+    let mut rng = StdRng::seed_from_u64(3);
+
+    println!("# Ablation — intra-batch evaluation: naive O(n²) vs per-step cell-list");
+    println!("{:>8} {:>14} {:>14} {:>8}", "batch", "naive_ms", "grid_ms", "ratio");
+
+    for n in [100usize, 250, 500, 1000, 2500, 5000] {
+        // Batch packed to a realistic mid-optimization density.
+        let side = (n as f64 * 8.0 / 0.4 / 8.0).cbrt().min(0.95);
+        let radius = side * (0.4f64 / n as f64).cbrt();
+        let radii = vec![radius; n];
+        let mut coords = Vec::with_capacity(3 * n);
+        for _ in 0..n {
+            coords.extend_from_slice(&[
+                rng.gen_range(-side..side),
+                rng.gen_range(-side..side),
+                rng.gen_range(-side..side),
+            ]);
+        }
+        let fixed = CellGrid::empty();
+        let mut grad = vec![0.0; coords.len()];
+        let mk = |mode| {
+            Objective::new(ObjectiveWeights::default(), Axis::Z, hs, &radii, &fixed)
+                .with_intra_mode(mode)
+        };
+        let naive = mk(IntraMode::Naive);
+        let grid = mk(IntraMode::Grid);
+        let (vn, tn) = timed(|| {
+            let mut v = 0.0;
+            for _ in 0..evals {
+                v = naive.value_and_grad(&coords, &mut grad);
+            }
+            v
+        });
+        let (vg, tg) = timed(|| {
+            let mut v = 0.0;
+            for _ in 0..evals {
+                v = grid.value_and_grad(&coords, &mut grad);
+            }
+            v
+        });
+        assert!((vn - vg).abs() <= 1e-9 * vn.abs().max(1.0), "{vn} vs {vg}");
+        let (n_ms, g_ms) = (secs(tn) * 1e3 / evals as f64, secs(tg) * 1e3 / evals as f64);
+        println!("{n:>8} {n_ms:>14.3} {g_ms:>14.3} {:>8.2}", n_ms / g_ms);
+    }
+    println!("# expected: ratio < 1 for small batches (grid rebuild dominates), > 1 for large");
+}

@@ -1,0 +1,66 @@
+//! Fig. 2 — packing time as a function of the batch size.
+//!
+//! The paper packs 10,000 mono-disperse particles into a box with batch
+//! sizes from ~100 to ~5000 and finds a U-shaped curve with its optimum in
+//! the 500–1000 range: small batches pay per-batch management overhead,
+//! large batches pay the O(batch²) pair scan of the objective.
+//!
+//! Default: 2,000 particles of r = 0.05 in the 2×2×2 box (same shape, a
+//! laptop-scale count). `--full` restores the paper's 10,000.
+
+use adampack_bench::{aggregate, cli, csv_writer, secs, timed, write_row};
+use adampack_core::prelude::*;
+use adampack_geometry::{shapes, Vec3};
+
+fn main() {
+    let full = cli::flag("--full");
+    let repeats = cli::usize_arg("--repeats", if full { 10 } else { 3 });
+    let n = cli::usize_arg("--particles", if full { 10_000 } else { 2_000 });
+    let radius = cli::f64_arg("--radius", 0.05);
+    let batch_sizes: Vec<usize> = if full {
+        vec![50, 100, 250, 500, 1000, 2000, 5000]
+    } else {
+        vec![5, 10, 25, 50, 100, 250, 500, 1000]
+    };
+
+    let mesh = shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0));
+    let container = Container::from_mesh(&mesh).expect("box hull");
+    let psd = Psd::constant(radius);
+
+    println!("# Fig. 2 — packing time vs batch size");
+    println!("# particles = {n}, radius = {radius}, repeats = {repeats}");
+    println!("{:>10} {:>12} {:>12} {:>12} {:>8}", "batch", "mean_s", "min_s", "max_s", "packed");
+
+    let (path, mut csv) = csv_writer("fig2_batch_size").expect("csv");
+    write_row(&mut csv, &["batch_size,mean_s,min_s,max_s,packed".into()]).unwrap();
+
+    for &batch in &batch_sizes {
+        let mut times = Vec::new();
+        let mut packed = 0;
+        for rep in 0..repeats {
+            let params = PackingParams {
+                batch_size: batch,
+                target_count: n,
+                seed: rep as u64,
+                ..PackingParams::default()
+            };
+            let (result, elapsed) = timed(|| {
+                CollectivePacker::new(container.clone(), params).pack(&psd)
+            });
+            packed = result.particles.len();
+            times.push(secs(elapsed));
+        }
+        let a = aggregate(&times);
+        println!(
+            "{batch:>10} {:>12.3} {:>12.3} {:>12.3} {packed:>8}",
+            a.mean, a.min, a.max
+        );
+        write_row(
+            &mut csv,
+            &[format!("{batch},{},{},{},{packed}", a.mean, a.min, a.max)],
+        )
+        .unwrap();
+    }
+    println!("# series written to {}", path.display());
+    println!("# expected shape: U-curve, minimum in the mid batch-size range");
+}

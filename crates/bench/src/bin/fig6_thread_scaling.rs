@@ -1,0 +1,76 @@
+//! Figs. 6 & 7 — packing time and speedup versus the number of CPU cores.
+//!
+//! The paper packs 10,000 particles (batch 500) in a 2×2×2 box on a
+//! 128-core MeluXina node and reports a 7.93× speedup at 64 cores — strong
+//! but sub-linear scaling, because only the objective/gradient kernels
+//! parallelize while the optimizer update and batch management stay serial.
+//! This binary reruns the same packing under Rayon thread pools of
+//! increasing size and prints both series (Fig. 6: time, Fig. 7: speedup).
+
+use adampack_bench::{aggregate, cli, csv_writer, secs, timed, write_row};
+use adampack_core::prelude::*;
+use adampack_geometry::{shapes, Vec3};
+
+fn main() {
+    let full = cli::flag("--full");
+    let n = cli::usize_arg("--particles", if full { 10_000 } else { 3_000 });
+    let radius = cli::f64_arg("--radius", 0.04);
+    let repeats = cli::usize_arg("--repeats", if full { 10 } else { 3 });
+    let max_threads = cli::usize_arg(
+        "--max-threads",
+        std::thread::available_parallelism().map_or(4, |p| p.get()),
+    );
+
+    let mut thread_counts = vec![1usize];
+    while *thread_counts.last().unwrap() * 2 <= max_threads {
+        thread_counts.push(thread_counts.last().unwrap() * 2);
+    }
+
+    let mesh = shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0));
+    let container = Container::from_mesh(&mesh).expect("box hull");
+    let psd = Psd::constant(radius);
+
+    println!("# Figs. 6/7 — packing time and speedup vs CPU cores");
+    println!("# particles = {n}, radius = {radius}, batch = 500, repeats = {repeats}");
+    println!("{:>8} {:>12} {:>12} {:>12} {:>10}", "threads", "mean_s", "min_s", "max_s", "speedup");
+
+    let (path, mut csv) = csv_writer("fig6_thread_scaling").expect("csv");
+    write_row(&mut csv, &["threads,mean_s,min_s,max_s,speedup".into()]).unwrap();
+
+    let mut t1 = None;
+    for &threads in &thread_counts {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool");
+        let mut times = Vec::new();
+        for rep in 0..repeats {
+            let params = PackingParams {
+                batch_size: 500,
+                target_count: n,
+                seed: rep as u64,
+                ..PackingParams::default()
+            };
+            let container = container.clone();
+            let psd = psd.clone();
+            let (_, elapsed) = timed(|| {
+                pool.install(|| CollectivePacker::new(container, params).pack(&psd))
+            });
+            times.push(secs(elapsed));
+        }
+        let a = aggregate(&times);
+        let base = *t1.get_or_insert(a.mean);
+        let speedup = base / a.mean;
+        println!(
+            "{threads:>8} {:>12.3} {:>12.3} {:>12.3} {speedup:>10.2}",
+            a.mean, a.min, a.max
+        );
+        write_row(
+            &mut csv,
+            &[format!("{threads},{},{},{},{speedup}", a.mean, a.min, a.max)],
+        )
+        .unwrap();
+    }
+    println!("# series written to {}", path.display());
+    println!("# expected shape: monotone speedup with decaying efficiency (paper: 7.93x at 64 cores)");
+}

@@ -1,0 +1,99 @@
+//! Fig. 8 — execution time as a function of the number of particles.
+//!
+//! The paper packs particles of r = 0.03 into a tall vertical container
+//! with a 2×2 square base (batch 500) and reports *linear* scaling up to
+//! 200,000 particles (1 h 17 min) — the cell-list over the fixed bed keeps
+//! the per-batch cost flat as the bed grows. This binary sweeps the
+//! particle count, prints the time series and a linearity diagnostic.
+
+use adampack_bench::{aggregate, cli, csv_writer, secs, timed, write_row};
+use adampack_core::prelude::*;
+use adampack_geometry::shapes;
+
+fn main() {
+    let full = cli::flag("--full");
+    let repeats = cli::usize_arg("--repeats", if full { 10 } else { 3 });
+    let radius = cli::f64_arg("--radius", if full { 0.03 } else { 0.05 });
+    let mut counts: Vec<usize> = if full {
+        vec![12_500, 25_000, 50_000, 100_000, 200_000]
+    } else {
+        vec![500, 1_000, 2_000, 4_000]
+    };
+    // Optional ceiling for partial paper-scale runs (e.g. `--full --cap 50000`).
+    let cap = cli::usize_arg("--cap", usize::MAX);
+    counts.retain(|&n| n <= cap);
+    // Or a single explicit count (e.g. `--full --only 200000`).
+    let only = cli::usize_arg("--only", 0);
+    if only > 0 {
+        counts = vec![only];
+    }
+    assert!(!counts.is_empty(), "--cap removed every particle count");
+    // Tall enough that the bed never hits the lid.
+    let sphere_vol = 4.0 / 3.0 * std::f64::consts::PI * radius * radius * radius;
+    let max_n = *counts.last().unwrap() as f64;
+    let height = (max_n * sphere_vol / (0.5 * 4.0)).max(2.0) * 1.5;
+    let mesh = shapes::tall_box(2.0, height);
+    let container = Container::from_mesh(&mesh).expect("tall box hull");
+    let psd = Psd::constant(radius);
+
+    println!("# Fig. 8 — execution time vs number of particles");
+    println!("# tall box 2x2 base, height {height:.1}, radius = {radius}, batch = 500, repeats = {repeats}");
+    println!("{:>10} {:>12} {:>12} {:>12} {:>14}", "particles", "mean_s", "min_s", "max_s", "s_per_1k");
+
+    let (path, mut csv) = csv_writer("fig8_particle_scaling").expect("csv");
+    write_row(&mut csv, &["particles,mean_s,min_s,max_s".into()]).unwrap();
+
+    let mut series = Vec::new();
+    for &n in &counts {
+        let mut times = Vec::new();
+        for rep in 0..repeats {
+            let params = PackingParams {
+                batch_size: 500,
+                target_count: n,
+                seed: rep as u64,
+                ..PackingParams::default()
+            };
+            let container = container.clone();
+            let psd = psd.clone();
+            let (result, elapsed) = timed(|| CollectivePacker::new(container, params).pack(&psd));
+            assert!(
+                result.particles.len() >= n * 9 / 10,
+                "packing fell short: {} of {n}",
+                result.particles.len()
+            );
+            times.push(secs(elapsed));
+        }
+        let a = aggregate(&times);
+        println!(
+            "{n:>10} {:>12.3} {:>12.3} {:>12.3} {:>14.4}",
+            a.mean,
+            a.min,
+            a.max,
+            a.mean / (n as f64 / 1000.0)
+        );
+        write_row(&mut csv, &[format!("{n},{},{},{}", a.mean, a.min, a.max)]).unwrap();
+        series.push((n as f64, a.mean));
+    }
+
+    // Linearity check: least-squares slope and the R² of the linear fit.
+    if series.len() < 2 {
+        println!("# (single point: no linear fit)");
+        println!("# series written to {}", path.display());
+        return;
+    }
+    let n = series.len() as f64;
+    let sx: f64 = series.iter().map(|(x, _)| x).sum();
+    let sy: f64 = series.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = series.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = series.iter().map(|(x, y)| x * y).sum();
+    let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    let intercept = (sy - slope * sx) / n;
+    let ss_tot: f64 = series.iter().map(|(_, y)| (y - sy / n).powi(2)).sum();
+    let ss_res: f64 = series
+        .iter()
+        .map(|(x, y)| (y - slope * x - intercept).powi(2))
+        .sum();
+    let r2 = 1.0 - ss_res / ss_tot.max(1e-300);
+    println!("# linear fit: {:.4} s per 1000 particles, R^2 = {r2:.4} (paper: linear)", slope * 1000.0);
+    println!("# series written to {}", path.display());
+}

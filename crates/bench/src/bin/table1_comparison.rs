@@ -1,0 +1,75 @@
+//! Table I — quantitative version of the paper's method comparison.
+//!
+//! The paper's Table I is qualitative; this harness makes the rows that can
+//! be measured concrete by running the implemented methods (collective
+//! arrangement, RSA, drop-and-roll) on the same container and PSD and
+//! reporting packing fraction, core density, wall-clock time, PSD
+//! adherence and contact overlap. Expected shape: collective arrangement
+//! reaches ~0.6 core density (dominating both baselines), RSA is fastest
+//! per particle but saturates near ~0.38, deposition lands in between; all
+//! three follow the PSD exactly (that is the family's defining property).
+
+use adampack_bench::{cli, csv_writer, secs, write_row};
+use adampack_core::metrics;
+use adampack_core::prelude::*;
+use adampack_geometry::{shapes, Vec3};
+
+fn main() {
+    // Pack *to capacity*: every method keeps inserting until its own
+    // saturation mechanism stops it, which is where the density differences
+    // show (a half-full box would bias the core-density probe instead).
+    let n = cli::usize_arg("--particles", 4_000);
+    let seed = cli::u64_arg("--seed", 0);
+    let mesh = shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0));
+    let container = Container::from_mesh(&mesh).expect("box hull");
+    // Poly-disperse PSD: the harder problem variant the paper targets.
+    let psd = Psd::uniform(0.06, 0.1);
+
+    println!("# Table I — measured comparison on a 2x2x2 box, U(0.06, 0.10) radii, target {n}");
+    println!(
+        "{:>24} {:>8} {:>10} {:>10} {:>12} {:>14} {:>12}",
+        "algorithm", "packed", "time_s", "density", "mean_ovl_%", "psd_mean_err_%", "s_per_1k"
+    );
+
+    let (path, mut csv) = csv_writer("table1_comparison").expect("csv");
+    write_row(
+        &mut csv,
+        &["algorithm,packed,time_s,core_density,mean_overlap_pct,psd_mean_err_pct".into()],
+    )
+    .unwrap();
+
+    let params = PackingParams {
+        batch_size: 400,
+        seed,
+        ..PackingParams::default()
+    };
+
+    for name in adampack_core::runner::algorithm_names() {
+        let algo = registry(name).expect("registered");
+        let result = algo.pack(&container, &psd, n, &params);
+        let density = metrics::core_density(&result.particles, &container.aabb(), 1.0 / 3.0);
+        let contact = metrics::contact_stats(&result.particles);
+        let radii: Vec<f64> = result.particles.iter().map(|p| p.radius).collect();
+        let adherence = metrics::psd_adherence(&radii, &psd);
+        let t = secs(result.duration);
+        println!(
+            "{name:>24} {:>8} {t:>10.2} {density:>10.4} {:>12.3} {:>14.3} {:>12.3}",
+            result.particles.len(),
+            contact.mean_overlap_ratio * 100.0,
+            adherence.mean_rel_error * 100.0,
+            t / (result.particles.len() as f64 / 1000.0)
+        );
+        write_row(
+            &mut csv,
+            &[format!(
+                "{name},{},{t},{density},{},{}",
+                result.particles.len(),
+                contact.mean_overlap_ratio * 100.0,
+                adherence.mean_rel_error * 100.0
+            )],
+        )
+        .unwrap();
+    }
+    println!("# series written to {}", path.display());
+    println!("# expected: COLLECTIVE_ARRANGEMENT densest (~0.6); RSA saturates lowest; all follow the PSD");
+}

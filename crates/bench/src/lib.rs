@@ -1,0 +1,136 @@
+//! # adampack-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper (see
+//! DESIGN.md §4 for the experiment index) plus Criterion micro-benchmarks.
+//!
+//! Every binary prints the same rows/series the paper plots, at a
+//! laptop-scale default configuration; pass `--full` for the paper-scale
+//! parameters and `--repeats N` to change the repetition count. Raw series
+//! are also written as CSV under `target/experiments/`.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Simple aggregate of repeated measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Agg {
+    /// Mean value.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Aggregates a slice of samples (panics on empty input).
+pub fn aggregate(samples: &[f64]) -> Agg {
+    assert!(!samples.is_empty(), "no samples to aggregate");
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    Agg {
+        mean,
+        min: samples.iter().copied().fold(f64::INFINITY, f64::min),
+        max: samples.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+    }
+}
+
+/// Times a closure, returning `(result, elapsed)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed())
+}
+
+/// Command-line helpers shared by the experiment binaries.
+pub mod cli {
+    /// True when the boolean flag is present.
+    pub fn flag(name: &str) -> bool {
+        std::env::args().any(|a| a == name)
+    }
+
+    /// Parses `--name value` as `usize`, with a default.
+    pub fn usize_arg(name: &str, default: usize) -> usize {
+        value_arg(name).map_or(default, |v| {
+            v.parse()
+                .unwrap_or_else(|e| panic!("invalid value for {name}: {e}"))
+        })
+    }
+
+    /// Parses `--name value` as `u64`, with a default.
+    pub fn u64_arg(name: &str, default: u64) -> u64 {
+        value_arg(name).map_or(default, |v| {
+            v.parse()
+                .unwrap_or_else(|e| panic!("invalid value for {name}: {e}"))
+        })
+    }
+
+    /// Parses `--name value` as `f64`, with a default.
+    pub fn f64_arg(name: &str, default: f64) -> f64 {
+        value_arg(name).map_or(default, |v| {
+            v.parse()
+                .unwrap_or_else(|e| panic!("invalid value for {name}: {e}"))
+        })
+    }
+
+    fn value_arg(name: &str) -> Option<String> {
+        let args: Vec<String> = std::env::args().collect();
+        args.windows(2)
+            .find(|w| w[0] == name)
+            .map(|w| w[1].clone())
+    }
+}
+
+/// Opens `target/experiments/<name>.csv` for writing, creating directories.
+pub fn csv_writer(name: &str) -> std::io::Result<(PathBuf, std::fs::File)> {
+    let dir = PathBuf::from("target/experiments");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let file = std::fs::File::create(&path)?;
+    Ok((path, file))
+}
+
+/// Writes one CSV row from string-able fields.
+pub fn write_row<W: Write>(w: &mut W, fields: &[String]) -> std::io::Result<()> {
+    writeln!(w, "{}", fields.join(","))
+}
+
+/// Formats a duration as seconds with millisecond resolution.
+pub fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_basics() {
+        let a = aggregate(&[1.0, 2.0, 3.0]);
+        assert_eq!(a.mean, 2.0);
+        assert_eq!(a.min, 1.0);
+        assert_eq!(a.max, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn aggregate_empty_panics() {
+        let _ = aggregate(&[]);
+    }
+
+    #[test]
+    fn timed_measures_something() {
+        let (v, d) = timed(|| (0..10_000).sum::<u64>());
+        assert_eq!(v, 49_995_000);
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn cli_defaults_apply() {
+        assert_eq!(cli::usize_arg("--never-passed", 5), 5);
+        assert_eq!(cli::f64_arg("--never-passed", 0.5), 0.5);
+        assert!(!cli::flag("--never-passed"));
+    }
+}

@@ -1,0 +1,41 @@
+//! `gen-assets` — generates the STL containers the sample configurations
+//! in `configs/` reference (box, cone + sphere zone, blast furnace).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use adampack_geometry::{shapes, Vec3};
+use adampack_io::write_stl_ascii;
+
+fn main() -> ExitCode {
+    let dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("configs"));
+    if let Err(e) = run(&dir) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn run(dir: &std::path::Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let assets: Vec<(&str, adampack_geometry::TriMesh)> = vec![
+        ("box.stl", shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0))),
+        ("cone.stl", shapes::cone(1.2, 2.2, 48, false)),
+        (
+            "sphere.stl",
+            shapes::uv_sphere(Vec3::new(0.0, 0.0, 0.55), 0.45, 24, 12),
+        ),
+        ("furnace.stl", shapes::blast_furnace(0.1, 48)),
+    ];
+    for (name, mesh) in assets {
+        let path = dir.join(name);
+        let f = std::fs::File::create(&path)?;
+        write_stl_ascii(std::io::BufWriter::new(f), &mesh, name)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        println!("wrote {}", path.display());
+    }
+    Ok(())
+}

@@ -1,0 +1,338 @@
+//! # adampack-cli
+//!
+//! The application layer of the paper's §VI-A: a command-line tool that
+//! reads a YAML packing configuration (container STL, algorithm, particle
+//! sets, zones), runs the selected packing algorithm, reports quality
+//! metrics, and writes the particles in CSV / VTK / XYZ.
+//!
+//! ```text
+//! adampack pack config.yaml --out packing.vtk
+//! adampack info config.yaml
+//! adampack shapes --list
+//! ```
+//!
+//! The library half of the crate holds the driver so it is unit-testable;
+//! `main.rs` is a thin argument-parsing shell.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+
+use adampack_config::{ConfigError, LocationConfig, PackingConfig};
+use adampack_core::metrics;
+use adampack_core::prelude::*;
+use adampack_geometry::ConvexHull;
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Configuration loading/validation failure.
+    Config(ConfigError),
+    /// Geometry failure (hull construction etc.).
+    Geometry(String),
+    /// I/O failure.
+    Io(std::io::Error),
+    /// Bad command-line usage.
+    Usage(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Config(e) => write!(f, "{e}"),
+            CliError::Geometry(m) => write!(f, "geometry error: {m}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ConfigError> for CliError {
+    fn from(e: ConfigError) -> Self {
+        CliError::Config(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// A packing run's summary, printed by the CLI and returned for tests.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Particles packed.
+    pub packed: usize,
+    /// Core density in the shrunken inner box.
+    pub core_density: f64,
+    /// Mean contact overlap relative to radius.
+    pub mean_overlap_ratio: f64,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Output file written, if any.
+    pub output: Option<PathBuf>,
+}
+
+fn load_zone_hull(p: &Path) -> Result<ConvexHull, ConfigError> {
+    let mesh = adampack_io::read_stl_file(p).map_err(|e| ConfigError::Field(e.to_string()))?;
+    ConvexHull::from_mesh(&mesh).map_err(|e| ConfigError::Field(e.to_string()))
+}
+
+/// Runs a packing described by a configuration file and optionally writes
+/// the particles (`.csv`, `.vtk` or `.xyz`, by extension).
+pub fn run_pack(config_path: &Path, out: Option<&Path>) -> Result<RunSummary, CliError> {
+    let cfg = PackingConfig::from_file(config_path)?;
+    let mesh = adampack_io::read_stl_file(&cfg.container_path)
+        .map_err(|e| CliError::Geometry(e.to_string()))?;
+    let container = Container::from_mesh(&mesh).map_err(|e| CliError::Geometry(e.to_string()))?;
+    let params = cfg.to_packing_params();
+
+    let result = if cfg.zones.is_empty() {
+        // Single implicit everywhere-zone. The collective path honours the
+        // YAML `verbosity` knob with per-batch progress lines; other
+        // algorithms run through the registry.
+        let psd = cfg
+            .psds()
+            .into_iter()
+            .next()
+            .ok_or_else(|| CliError::Usage("configuration has no particle sets".into()))?;
+        let n = container.capacity_estimate(psd.mean(), 0.6);
+        if cfg.algorithm.eq_ignore_ascii_case("COLLECTIVE_ARRANGEMENT") {
+            let mut p = params.clone();
+            p.target_count = n;
+            let mut packer = CollectivePacker::new(container.clone(), p);
+            if cfg.params.verbosity > 0 {
+                let every = cfg.params.verbosity;
+                packer.set_batch_callback(move |b| {
+                    if b.index % every == 0 {
+                        eprintln!(
+                            "batch {:>4}: {} particles, {} steps, fitness {:.3}, {}",
+                            b.index,
+                            b.requested,
+                            b.steps,
+                            b.best_fitness,
+                            if b.accepted { "accepted" } else { "REJECTED" }
+                        );
+                    }
+                });
+            }
+            packer.pack(&psd)
+        } else {
+            let algo = registry(&cfg.algorithm).ok_or_else(|| {
+                CliError::Usage(format!(
+                    "unknown algorithm '{}'; known: {:?}",
+                    cfg.algorithm,
+                    adampack_core::runner::algorithm_names()
+                ))
+            })?;
+            algo.pack(&container, &psd, n, &params)
+        }
+    } else {
+        if !cfg.algorithm.eq_ignore_ascii_case("COLLECTIVE_ARRANGEMENT") {
+            return Err(CliError::Usage(
+                "zoned packings require algorithm COLLECTIVE_ARRANGEMENT".into(),
+            ));
+        }
+        let zones = cfg.zone_specs(load_zone_hull)?;
+        ZonedPacker::new(container.clone(), params, cfg.psds()).pack(&zones)
+    };
+
+    // Full quality report against the first particle set's PSD (zone mixes
+    // are checked per zone by their own tests; the report's PSD row is only
+    // meaningful for single-set configurations).
+    let psd_for_report = if cfg.particle_sets.len() == 1 {
+        cfg.psds().into_iter().next()
+    } else {
+        None
+    };
+    let report =
+        adampack_core::report::QualityReport::from_result(&result, &container, psd_for_report.as_ref());
+    eprintln!("{report}");
+    let density = metrics::core_density(&result.particles, &container.aabb(), 1.0 / 3.0);
+    let contact = metrics::contact_stats(&result.particles);
+
+    let output = match out {
+        None => None,
+        Some(path) => {
+            write_particles(path, &result)?;
+            Some(path.to_path_buf())
+        }
+    };
+
+    Ok(RunSummary {
+        packed: result.particles.len(),
+        core_density: density,
+        mean_overlap_ratio: contact.mean_overlap_ratio,
+        seconds: result.duration.as_secs_f64(),
+        output,
+    })
+}
+
+/// Writes particles in the format selected by the output extension.
+pub fn write_particles(path: &Path, result: &PackResult) -> Result<(), CliError> {
+    let ext = path
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("")
+        .to_ascii_lowercase();
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    match ext.as_str() {
+        "csv" => adampack_io::write_particles_csv(
+            &mut w,
+            result.particles.iter().map(|p| (p.center, p.radius, p.batch, p.set)),
+        )?,
+        "vtk" => {
+            let triples: Vec<_> = result
+                .particles
+                .iter()
+                .map(|p| (p.center, p.radius, p.batch))
+                .collect();
+            adampack_io::write_particles_vtk(&mut w, &triples, "adampack packing")?;
+        }
+        "xyz" => {
+            let spheres: Vec<_> = result.spheres();
+            adampack_io::write_xyz(&mut w, &spheres, "adampack packing")?;
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown output extension '.{other}' (use .csv, .vtk or .xyz)"
+            )))
+        }
+    }
+    Ok(())
+}
+
+/// `adampack info`: prints (and returns) a configuration overview without
+/// running the packing.
+pub fn run_info(config_path: &Path) -> Result<String, CliError> {
+    let cfg = PackingConfig::from_file(config_path)?;
+    let mesh = adampack_io::read_stl_file(&cfg.container_path)
+        .map_err(|e| CliError::Geometry(e.to_string()))?;
+    let container = Container::from_mesh(&mesh).map_err(|e| CliError::Geometry(e.to_string()))?;
+    let mut s = String::new();
+    use std::fmt::Write;
+    writeln!(s, "configuration: {}", config_path.display()).ok();
+    writeln!(s, "  algorithm:   {}", cfg.algorithm).ok();
+    writeln!(
+        s,
+        "  container:   {} (volume {:.3}, {} hull planes)",
+        cfg.container_path.display(),
+        container.volume(),
+        container.halfspaces().len()
+    )
+    .ok();
+    writeln!(s, "  gravity:     {:?}", cfg.gravity_axis).ok();
+    writeln!(s, "  lr {}  max_steps {}  patience {}  batch {}", cfg.params.lr, cfg.params.n_epoch, cfg.params.patience, cfg.params.batch_size).ok();
+    writeln!(s, "  particle sets: {}", cfg.particle_sets.len()).ok();
+    for (i, ps) in cfg.particle_sets.iter().enumerate() {
+        writeln!(s, "    [{i}] {ps:?} (mean r = {:.4})", ps.to_psd().mean()).ok();
+    }
+    writeln!(s, "  zones: {}", cfg.zones.len()).ok();
+    for (i, z) in cfg.zones.iter().enumerate() {
+        let loc = match &z.location {
+            LocationConfig::Slice { axis, min, max } => format!("slice {axis:?} [{min}, {max}]"),
+            LocationConfig::Shape { path } => format!("shape {}", path.display()),
+            LocationConfig::Everywhere => "everywhere".to_string(),
+        };
+        writeln!(s, "    [{i}] {} particles, {loc}, proportions {:?}", z.n_particles, z.set_proportions).ok();
+    }
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adampack_geometry::{shapes, Vec3};
+    use adampack_io::write_stl_ascii;
+
+    fn setup_config(dir: &Path, algorithm: &str, with_zones: bool) -> PathBuf {
+        std::fs::create_dir_all(dir).unwrap();
+        let boxm = shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0));
+        let f = std::fs::File::create(dir.join("box.stl")).unwrap();
+        write_stl_ascii(std::io::BufWriter::new(f), &boxm, "box").unwrap();
+        let zones = if with_zones {
+            "\nzones:\n    - n_particles: 30\n      location:\n          slice:\n              axis: z\n              min_bound: -1.0\n              max_bound: 0.0\n      set_proportions: [1.0]\n"
+        } else {
+            ""
+        };
+        let yaml = format!(
+            "container:\n    path: \"box.stl\"\nalgorithm: \"{algorithm}\"\nparams:\n    lr: 0.01\n    n_epoch: 300\n    patience: 40\n    batch_size: 25\n    seed: 3\nparticle_sets:\n    - radius_distribution: \"constant\"\n      radius_value: 0.15\n{zones}"
+        );
+        let p = dir.join("pack.yaml");
+        std::fs::write(&p, yaml).unwrap();
+        p
+    }
+
+    #[test]
+    fn pack_without_zones_uses_registry_algorithm() {
+        let dir = std::env::temp_dir().join("adampack_cli_rsa");
+        let cfg = setup_config(&dir, "RSA", false);
+        let summary = run_pack(&cfg, None).unwrap();
+        assert!(summary.packed > 20);
+        assert_eq!(summary.mean_overlap_ratio, 0.0, "RSA never overlaps");
+        assert!(summary.output.is_none());
+    }
+
+    #[test]
+    fn pack_with_zones_and_vtk_output() {
+        let dir = std::env::temp_dir().join("adampack_cli_zones");
+        let cfg = setup_config(&dir, "COLLECTIVE_ARRANGEMENT", true);
+        let out = dir.join("out.vtk");
+        let summary = run_pack(&cfg, Some(&out)).unwrap();
+        assert!(summary.packed > 10, "packed {}", summary.packed);
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.starts_with("# vtk DataFile"));
+    }
+
+    #[test]
+    fn csv_and_xyz_outputs() {
+        let dir = std::env::temp_dir().join("adampack_cli_formats");
+        let cfg = setup_config(&dir, "DROP_AND_ROLL", false);
+        for ext in ["csv", "xyz"] {
+            let out = dir.join(format!("out.{ext}"));
+            let summary = run_pack(&cfg, Some(&out)).unwrap();
+            assert!(summary.packed > 10);
+            assert!(out.exists());
+        }
+        // Unknown extension errors.
+        let bad = dir.join("out.unknown");
+        assert!(matches!(run_pack(&cfg, Some(&bad)), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn zoned_non_collective_rejected() {
+        let dir = std::env::temp_dir().join("adampack_cli_zoned_rsa");
+        let cfg = setup_config(&dir, "RSA", true);
+        assert!(matches!(run_pack(&cfg, None), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn unknown_algorithm_rejected() {
+        let dir = std::env::temp_dir().join("adampack_cli_unknown");
+        let cfg = setup_config(&dir, "SIMULATED_ANNEALING", false);
+        let err = run_pack(&cfg, None).unwrap_err();
+        assert!(err.to_string().contains("SIMULATED_ANNEALING"));
+    }
+
+    #[test]
+    fn info_reports_configuration() {
+        let dir = std::env::temp_dir().join("adampack_cli_info");
+        let cfg = setup_config(&dir, "COLLECTIVE_ARRANGEMENT", true);
+        let info = run_info(&cfg).unwrap();
+        assert!(info.contains("COLLECTIVE_ARRANGEMENT"));
+        assert!(info.contains("particle sets: 1"));
+        assert!(info.contains("zones: 1"));
+        assert!(info.contains("hull planes"));
+    }
+
+    #[test]
+    fn missing_config_is_io_error() {
+        let err = run_pack(Path::new("/definitely/not/here.yaml"), None).unwrap_err();
+        assert!(matches!(err, CliError::Config(_)));
+    }
+}

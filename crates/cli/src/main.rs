@@ -1,0 +1,81 @@
+//! `adampack` — YAML-driven sphere packing from the command line.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use adampack_cli::{run_info, run_pack, CliError};
+
+const USAGE: &str = "\
+adampack — rapid random packing of poly-disperse spheres (Adam/AMSGrad)
+
+USAGE:
+    adampack pack <config.yaml> [--out <file.{csv,vtk,xyz}>]
+    adampack info <config.yaml>
+    adampack help
+
+COMMANDS:
+    pack    run the packing described by the configuration and report
+            particle count, core density, overlap stats and timing
+    info    print the parsed configuration without running it
+";
+
+fn main() -> ExitCode {
+    match dispatch(std::env::args().skip(1).collect()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dispatch(args: Vec<String>) -> Result<(), CliError> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("pack") => {
+            let config = it
+                .next()
+                .ok_or_else(|| CliError::Usage("pack requires a configuration path".into()))?;
+            let mut out: Option<PathBuf> = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--out" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| CliError::Usage("--out requires a path".into()))?;
+                        out = Some(PathBuf::from(v));
+                    }
+                    other => {
+                        return Err(CliError::Usage(format!("unknown flag '{other}'")));
+                    }
+                }
+            }
+            let summary = run_pack(Path::new(config), out.as_deref())?;
+            println!("packed:        {}", summary.packed);
+            println!("core density:  {:.4}", summary.core_density);
+            println!(
+                "mean overlap:  {:.3}% of radius",
+                summary.mean_overlap_ratio * 100.0
+            );
+            println!("time:          {:.2} s", summary.seconds);
+            if let Some(p) = summary.output {
+                println!("output:        {}", p.display());
+            }
+            Ok(())
+        }
+        Some("info") => {
+            let config = it
+                .next()
+                .ok_or_else(|| CliError::Usage("info requires a configuration path".into()))?;
+            print!("{}", run_info(Path::new(config))?);
+            Ok(())
+        }
+        Some("help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(CliError::Usage(format!(
+            "unknown command '{other}' (try 'adampack help')"
+        ))),
+    }
+}

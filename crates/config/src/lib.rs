@@ -1,0 +1,28 @@
+//! # adampack-config
+//!
+//! YAML packing configurations (§VI-A): "Parameters for each run in our
+//! application are configured via a configuration file written in YAML."
+//!
+//! * [`yaml`] — a from-scratch parser for the YAML subset those
+//!   configuration files use: block maps, block sequences, inline lists,
+//!   quoted/plain scalars, comments. (The workspace's offline dependency
+//!   policy excludes a full YAML crate; the subset is documented and
+//!   property-tested to never panic on arbitrary input.)
+//! * [`schema`] — the typed configuration mirroring the paper's Fig. 9
+//!   example: a container STL, an algorithm key with params, a gravity
+//!   axis, particle sets (constant / uniform / normal radius
+//!   distributions), and zones (slice or STL sub-shape with set
+//!   proportions).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod schema;
+pub mod writer;
+pub mod yaml;
+
+pub use schema::{
+    AlgoParams, ConfigError, LocationConfig, PackingConfig, ParticleSetConfig, ZoneConfig,
+};
+pub use writer::to_yaml;
+pub use yaml::{parse_yaml, Value, YamlError};

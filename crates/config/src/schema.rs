@@ -1,0 +1,667 @@
+//! The typed packing configuration (the paper's Fig. 9 format).
+
+use std::path::{Path, PathBuf};
+
+use adampack_core::{LrPolicy, PackingParams, Psd, ZoneRegion, ZoneSpec};
+use adampack_geometry::{Axis, ConvexHull};
+
+use crate::yaml::{parse_yaml, Value, YamlError};
+
+/// Configuration-level errors.
+#[derive(Debug)]
+pub enum ConfigError {
+    /// The YAML itself failed to parse.
+    Yaml(YamlError),
+    /// A field is missing or has the wrong type/value.
+    Field(String),
+    /// Underlying I/O failure (file loading).
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Yaml(e) => write!(f, "{e}"),
+            ConfigError::Field(m) => write!(f, "config error: {m}"),
+            ConfigError::Io(e) => write!(f, "config i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<YamlError> for ConfigError {
+    fn from(e: YamlError) -> Self {
+        ConfigError::Yaml(e)
+    }
+}
+
+impl From<std::io::Error> for ConfigError {
+    fn from(e: std::io::Error) -> Self {
+        ConfigError::Io(e)
+    }
+}
+
+fn field(msg: impl Into<String>) -> ConfigError {
+    ConfigError::Field(msg.into())
+}
+
+/// The `params:` block (optimizer settings).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlgoParams {
+    /// Initial learning rate (`lr`), default 0.01.
+    pub lr: f64,
+    /// Maximum optimizer steps per batch (`n_epoch`), default 2000.
+    pub n_epoch: usize,
+    /// Patience (`patience`), default 50.
+    pub patience: usize,
+    /// Progress-print period (`verbosity`), default 0 = silent.
+    pub verbosity: usize,
+    /// Batch size (`batch_size`), default 500.
+    pub batch_size: usize,
+    /// RNG seed (`seed`), default 0.
+    pub seed: u64,
+}
+
+impl Default for AlgoParams {
+    fn default() -> Self {
+        AlgoParams {
+            lr: 0.01,
+            n_epoch: 2000,
+            patience: 50,
+            verbosity: 0,
+            batch_size: 500,
+            seed: 0,
+        }
+    }
+}
+
+/// A `particle_sets:` entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParticleSetConfig {
+    /// `radius_distribution: "constant"` with `radius_value`.
+    Constant {
+        /// The fixed radius.
+        value: f64,
+    },
+    /// `radius_distribution: "uniform"` with `radius_min`/`radius_max`.
+    Uniform {
+        /// Smallest radius.
+        min: f64,
+        /// Largest radius.
+        max: f64,
+    },
+    /// `radius_distribution: "normal"` with `radius_mean`/`radius_std_dev`.
+    Normal {
+        /// Mean radius.
+        mean: f64,
+        /// Standard deviation.
+        std_dev: f64,
+    },
+}
+
+impl ParticleSetConfig {
+    /// Converts to a runtime PSD (validates ranges).
+    pub fn to_psd(&self) -> Psd {
+        match *self {
+            ParticleSetConfig::Constant { value } => Psd::constant(value),
+            ParticleSetConfig::Uniform { min, max } => Psd::uniform(min, max),
+            ParticleSetConfig::Normal { mean, std_dev } => Psd::normal(mean, std_dev),
+        }
+    }
+}
+
+/// A zone's `location:` block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LocationConfig {
+    /// `slice:` with `axis` / `min_bound` / `max_bound`.
+    Slice {
+        /// Slicing axis.
+        axis: Axis,
+        /// Lower altitude bound.
+        min: f64,
+        /// Upper altitude bound.
+        max: f64,
+    },
+    /// `shape:` with an STL `path`.
+    Shape {
+        /// Path to the zone's STL file (resolved relative to the config).
+        path: PathBuf,
+    },
+    /// The whole container (no `location:` key).
+    Everywhere,
+}
+
+/// A `zones:` entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZoneConfig {
+    /// Particle budget.
+    pub n_particles: usize,
+    /// Where to pack.
+    pub location: LocationConfig,
+    /// Relative weights over `particle_sets`.
+    pub set_proportions: Vec<f64>,
+}
+
+/// A full packing configuration file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackingConfig {
+    /// Container STL path (`container: path:`).
+    pub container_path: PathBuf,
+    /// Algorithm key (`algorithm:`), e.g. `COLLECTIVE_ARRANGEMENT`.
+    pub algorithm: String,
+    /// Optimizer parameters.
+    pub params: AlgoParams,
+    /// Gravity axis (`gravity_axis:`), default `z`.
+    pub gravity_axis: Axis,
+    /// Particle sets.
+    pub particle_sets: Vec<ParticleSetConfig>,
+    /// Zones (empty means: one implicit everywhere-zone must be provided by
+    /// the caller).
+    pub zones: Vec<ZoneConfig>,
+}
+
+impl PackingConfig {
+    /// Parses a configuration from YAML text.
+    pub fn from_str(source: &str) -> Result<PackingConfig, ConfigError> {
+        let root = parse_yaml(source)?;
+
+        let container_path = root
+            .get("container")
+            .and_then(|c| c.get("path"))
+            .and_then(Value::as_str)
+            .ok_or_else(|| field("container.path is required"))?;
+
+        let algorithm = root
+            .get("algorithm")
+            .and_then(Value::as_str)
+            .unwrap_or("COLLECTIVE_ARRANGEMENT")
+            .to_string();
+
+        let mut params = AlgoParams::default();
+        if let Some(p) = root.get("params") {
+            if let Some(v) = p.get("lr").and_then(Value::as_f64) {
+                if v <= 0.0 {
+                    return Err(field(format!("params.lr must be positive, got {v}")));
+                }
+                params.lr = v;
+            }
+            if let Some(v) = p.get("n_epoch").and_then(Value::as_i64) {
+                if v <= 0 {
+                    return Err(field("params.n_epoch must be positive"));
+                }
+                params.n_epoch = v as usize;
+            }
+            if let Some(v) = p.get("patience").and_then(Value::as_i64) {
+                if v <= 0 {
+                    return Err(field("params.patience must be positive"));
+                }
+                params.patience = v as usize;
+            }
+            if let Some(v) = p.get("verbosity").and_then(Value::as_i64) {
+                params.verbosity = v.max(0) as usize;
+            }
+            if let Some(v) = p.get("batch_size").and_then(Value::as_i64) {
+                if v <= 0 {
+                    return Err(field("params.batch_size must be positive"));
+                }
+                params.batch_size = v as usize;
+            }
+            if let Some(v) = p.get("seed").and_then(Value::as_i64) {
+                params.seed = v as u64;
+            }
+        }
+
+        let gravity_axis = match root.get("gravity_axis") {
+            None => Axis::Z,
+            Some(v) => match v {
+                Value::Str(s) => Axis::parse(s)
+                    .ok_or_else(|| field(format!("gravity_axis: unknown axis '{s}'")))?,
+                Value::Int(i) => Axis::parse(&i.to_string())
+                    .ok_or_else(|| field(format!("gravity_axis: unknown axis '{i}'")))?,
+                // The paper: "in practice any direction can be used" —
+                // accept an explicit up-vector `gravity_axis: [x, y, z]`.
+                Value::Seq(seq) if seq.len() == 3 => {
+                    let mut c = [0.0f64; 3];
+                    for (slot, item) in c.iter_mut().zip(seq) {
+                        *slot = item
+                            .as_f64()
+                            .ok_or_else(|| field("gravity_axis: vector entries must be numeric"))?;
+                    }
+                    Axis::from_vector(adampack_geometry::Vec3::new(c[0], c[1], c[2]))
+                        .ok_or_else(|| field("gravity_axis: vector must be nonzero"))?
+                        .canonicalize()
+                }
+                other => return Err(field(format!("gravity_axis: unexpected value {other:?}"))),
+            },
+        };
+
+        let particle_sets = match root.get("particle_sets") {
+            None => return Err(field("particle_sets is required")),
+            Some(v) => {
+                let seq = v
+                    .as_seq()
+                    .ok_or_else(|| field("particle_sets must be a sequence"))?;
+                if seq.is_empty() {
+                    return Err(field("particle_sets must not be empty"));
+                }
+                seq.iter()
+                    .enumerate()
+                    .map(|(i, s)| parse_particle_set(i, s))
+                    .collect::<Result<Vec<_>, _>>()?
+            }
+        };
+
+        let zones = match root.get("zones") {
+            None => Vec::new(),
+            Some(v) => {
+                let seq = v.as_seq().ok_or_else(|| field("zones must be a sequence"))?;
+                seq.iter()
+                    .enumerate()
+                    .map(|(i, z)| parse_zone(i, z, particle_sets.len()))
+                    .collect::<Result<Vec<_>, _>>()?
+            }
+        };
+
+        Ok(PackingConfig {
+            container_path: PathBuf::from(container_path),
+            algorithm,
+            params,
+            gravity_axis,
+            particle_sets,
+            zones,
+        })
+    }
+
+    /// Loads and parses a configuration file; relative STL paths are
+    /// resolved against the file's directory.
+    pub fn from_file(path: impl AsRef<Path>) -> Result<PackingConfig, ConfigError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)?;
+        let mut cfg = PackingConfig::from_str(&text)?;
+        if let Some(dir) = path.parent() {
+            cfg.resolve_paths(dir);
+        }
+        Ok(cfg)
+    }
+
+    /// Resolves relative STL paths against `base`.
+    pub fn resolve_paths(&mut self, base: &Path) {
+        if self.container_path.is_relative() {
+            self.container_path = base.join(&self.container_path);
+        }
+        for z in &mut self.zones {
+            if let LocationConfig::Shape { path } = &mut z.location {
+                if path.is_relative() {
+                    *path = base.join(&path);
+                }
+            }
+        }
+    }
+
+    /// The runtime `PackingParams` corresponding to this configuration
+    /// (plateau LR scheduling from `params.lr`, paper defaults elsewhere).
+    pub fn to_packing_params(&self) -> PackingParams {
+        PackingParams {
+            batch_size: self.params.batch_size,
+            max_steps: self.params.n_epoch,
+            patience: self.params.patience,
+            gravity: self.gravity_axis,
+            seed: self.params.seed,
+            lr: LrPolicy::Plateau {
+                initial: self.params.lr,
+                factor: 0.5,
+                patience: 20,
+                min_lr: 1e-5,
+            },
+            ..PackingParams::default()
+        }
+    }
+
+    /// Runtime PSDs for all particle sets.
+    pub fn psds(&self) -> Vec<Psd> {
+        self.particle_sets.iter().map(ParticleSetConfig::to_psd).collect()
+    }
+
+    /// Converts the zones into runtime `ZoneSpec`s.
+    ///
+    /// `load_shape` resolves a zone's STL path into a convex hull; config
+    /// stays decoupled from any particular mesh loader (pass a closure over
+    /// `adampack_io::read_stl_file` in applications).
+    pub fn zone_specs<F>(&self, mut load_shape: F) -> Result<Vec<ZoneSpec>, ConfigError>
+    where
+        F: FnMut(&Path) -> Result<ConvexHull, ConfigError>,
+    {
+        self.zones
+            .iter()
+            .map(|z| {
+                let region = match &z.location {
+                    LocationConfig::Slice { axis, min, max } => ZoneRegion::Slice {
+                        axis: *axis,
+                        min: *min,
+                        max: *max,
+                    },
+                    LocationConfig::Shape { path } => ZoneRegion::Mesh(load_shape(path)?),
+                    LocationConfig::Everywhere => ZoneRegion::Slice {
+                        axis: self.gravity_axis,
+                        min: f64::NEG_INFINITY,
+                        max: f64::INFINITY,
+                    },
+                };
+                Ok(ZoneSpec {
+                    region,
+                    n_particles: z.n_particles,
+                    set_proportions: z.set_proportions.clone(),
+                })
+            })
+            .collect()
+    }
+}
+
+fn parse_particle_set(i: usize, v: &Value) -> Result<ParticleSetConfig, ConfigError> {
+    let dist = v
+        .get("radius_distribution")
+        .and_then(Value::as_str)
+        .ok_or_else(|| field(format!("particle_sets[{i}].radius_distribution is required")))?;
+    let num = |key: &str| {
+        v.get(key)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| field(format!("particle_sets[{i}].{key} is required and numeric")))
+    };
+    match dist.to_ascii_lowercase().as_str() {
+        "constant" => Ok(ParticleSetConfig::Constant {
+            value: num("radius_value")?,
+        }),
+        "uniform" => Ok(ParticleSetConfig::Uniform {
+            min: num("radius_min")?,
+            max: num("radius_max")?,
+        }),
+        "normal" => Ok(ParticleSetConfig::Normal {
+            mean: num("radius_mean")?,
+            std_dev: num("radius_std_dev")?,
+        }),
+        other => Err(field(format!(
+            "particle_sets[{i}]: unknown radius_distribution '{other}'"
+        ))),
+    }
+}
+
+fn parse_zone(i: usize, v: &Value, n_sets: usize) -> Result<ZoneConfig, ConfigError> {
+    let n_particles = v
+        .get("n_particles")
+        .and_then(Value::as_i64)
+        .ok_or_else(|| field(format!("zones[{i}].n_particles is required")))?;
+    if n_particles <= 0 {
+        return Err(field(format!("zones[{i}].n_particles must be positive")));
+    }
+
+    let location = match v.get("location") {
+        None => LocationConfig::Everywhere,
+        Some(loc) => {
+            if let Some(slice) = loc.get("slice") {
+                let axis_v = slice
+                    .get("axis")
+                    .ok_or_else(|| field(format!("zones[{i}].location.slice.axis is required")))?;
+                let axis_s = match axis_v {
+                    Value::Str(s) => s.clone(),
+                    Value::Int(k) => k.to_string(),
+                    other => return Err(field(format!("zones[{i}]: bad axis {other:?}"))),
+                };
+                let axis = Axis::parse(&axis_s)
+                    .ok_or_else(|| field(format!("zones[{i}]: unknown axis '{axis_s}'")))?;
+                let min = slice
+                    .get("min_bound")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| field(format!("zones[{i}].location.slice.min_bound required")))?;
+                let max = slice
+                    .get("max_bound")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| field(format!("zones[{i}].location.slice.max_bound required")))?;
+                if max <= min {
+                    return Err(field(format!(
+                        "zones[{i}]: slice bounds must satisfy min < max ({min} >= {max})"
+                    )));
+                }
+                LocationConfig::Slice { axis, min, max }
+            } else if let Some(shape) = loc.get("shape") {
+                let path = shape
+                    .get("path")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| field(format!("zones[{i}].location.shape.path required")))?;
+                LocationConfig::Shape {
+                    path: PathBuf::from(path),
+                }
+            } else {
+                return Err(field(format!(
+                    "zones[{i}].location must contain 'slice' or 'shape'"
+                )));
+            }
+        }
+    };
+
+    let props: Vec<f64> = match v.get("set_proportions") {
+        None => vec![1.0; n_sets],
+        Some(p) => {
+            let seq = p
+                .as_seq()
+                .ok_or_else(|| field(format!("zones[{i}].set_proportions must be a list")))?;
+            seq.iter()
+                .map(|x| {
+                    x.as_f64()
+                        .ok_or_else(|| field(format!("zones[{i}].set_proportions: numeric values")))
+                })
+                .collect::<Result<Vec<_>, _>>()?
+        }
+    };
+    if props.len() != n_sets {
+        return Err(field(format!(
+            "zones[{i}].set_proportions has {} entries for {n_sets} particle sets",
+            props.len()
+        )));
+    }
+    if props.iter().any(|&w| w < 0.0) || !props.iter().any(|&w| w > 0.0) {
+        return Err(field(format!(
+            "zones[{i}].set_proportions must be non-negative with at least one positive"
+        )));
+    }
+
+    Ok(ZoneConfig {
+        n_particles: n_particles as usize,
+        location,
+        set_proportions: props,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG9: &str = r#"
+container:
+    path: "cone.stl"
+algorithm: "COLLECTIVE_ARRANGEMENT"
+params:
+    lr: 0.01
+    n_epoch: 1000
+    patience: 50
+    verbosity: 10
+gravity_axis: z
+particle_sets:
+    - radius_distribution: "uniform"
+      radius_min: 0.05
+      radius_max: 0.08
+    - radius_distribution: "normal"
+      radius_mean: 0.04
+      radius_std_dev: 0.005
+zones:
+    - n_particles: 200
+      location:
+          shape:
+              path: "sphere.stl"
+      set_proportions: [0.0, 1.0,]
+    - n_particles: 300
+      location:
+          slice:
+              axis: 2
+              min_bound: 0.8
+              max_bound: 1.5
+      set_proportions: [1.0, 0.0]
+"#;
+
+    #[test]
+    fn parses_the_paper_example() {
+        let cfg = PackingConfig::from_str(FIG9).unwrap();
+        assert_eq!(cfg.container_path, PathBuf::from("cone.stl"));
+        assert_eq!(cfg.algorithm, "COLLECTIVE_ARRANGEMENT");
+        assert_eq!(cfg.params.lr, 0.01);
+        assert_eq!(cfg.params.n_epoch, 1000);
+        assert_eq!(cfg.params.patience, 50);
+        assert_eq!(cfg.params.verbosity, 10);
+        assert_eq!(cfg.gravity_axis, Axis::Z);
+        assert_eq!(cfg.particle_sets.len(), 2);
+        assert_eq!(
+            cfg.particle_sets[0],
+            ParticleSetConfig::Uniform { min: 0.05, max: 0.08 }
+        );
+        assert_eq!(
+            cfg.particle_sets[1],
+            ParticleSetConfig::Normal { mean: 0.04, std_dev: 0.005 }
+        );
+        assert_eq!(cfg.zones.len(), 2);
+        assert_eq!(cfg.zones[0].n_particles, 200);
+        assert_eq!(
+            cfg.zones[0].location,
+            LocationConfig::Shape { path: PathBuf::from("sphere.stl") }
+        );
+        assert_eq!(cfg.zones[0].set_proportions, vec![0.0, 1.0]);
+        match cfg.zones[1].location {
+            LocationConfig::Slice { axis, min, max } => {
+                assert_eq!(axis, Axis::Z);
+                assert_eq!(min, 0.8);
+                assert_eq!(max, 1.5);
+            }
+            ref other => panic!("expected slice, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conversion_to_runtime_types() {
+        let cfg = PackingConfig::from_str(FIG9).unwrap();
+        let params = cfg.to_packing_params();
+        assert_eq!(params.max_steps, 1000);
+        assert_eq!(params.patience, 50);
+        assert_eq!(params.lr.initial_lr(), 0.01);
+        let psds = cfg.psds();
+        assert_eq!(psds.len(), 2);
+        assert!((psds[0].mean() - 0.065).abs() < 1e-12);
+        // Zone specs without shape loading (slice only).
+        let specs = cfg
+            .zone_specs(|p| {
+                // Fake loader: a tiny tetra hull for the sphere.stl zone.
+                assert!(p.ends_with("sphere.stl"));
+                use adampack_geometry::Vec3;
+                Ok(ConvexHull::from_points(&[
+                    Vec3::ZERO,
+                    Vec3::X,
+                    Vec3::Y,
+                    Vec3::Z,
+                ])
+                .expect("tetra"))
+            })
+            .unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].n_particles, 200);
+    }
+
+    #[test]
+    fn defaults_for_optional_fields() {
+        let minimal = "container:\n  path: box.stl\nparticle_sets:\n  - radius_distribution: constant\n    radius_value: 0.1\n";
+        let cfg = PackingConfig::from_str(minimal).unwrap();
+        assert_eq!(cfg.algorithm, "COLLECTIVE_ARRANGEMENT");
+        assert_eq!(cfg.params, AlgoParams::default());
+        assert_eq!(cfg.gravity_axis, Axis::Z);
+        assert!(cfg.zones.is_empty());
+    }
+
+    #[test]
+    fn missing_required_fields_error() {
+        assert!(PackingConfig::from_str("algorithm: RSA").is_err());
+        let no_sets = "container:\n  path: a.stl\n";
+        assert!(matches!(
+            PackingConfig::from_str(no_sets),
+            Err(ConfigError::Field(_))
+        ));
+        let bad_dist = "container:\n  path: a.stl\nparticle_sets:\n  - radius_distribution: zipf\n";
+        let e = PackingConfig::from_str(bad_dist).unwrap_err();
+        assert!(e.to_string().contains("zipf"));
+    }
+
+    #[test]
+    fn invalid_values_rejected() {
+        let bad_lr = "container:\n  path: a.stl\nparams:\n  lr: -1\nparticle_sets:\n  - radius_distribution: constant\n    radius_value: 0.1\n";
+        assert!(PackingConfig::from_str(bad_lr).is_err());
+
+        let bad_bounds = "container:\n  path: a.stl\nparticle_sets:\n  - radius_distribution: constant\n    radius_value: 0.1\nzones:\n  - n_particles: 5\n    location:\n      slice:\n        axis: z\n        min_bound: 2.0\n        max_bound: 1.0\n";
+        let e = PackingConfig::from_str(bad_bounds).unwrap_err();
+        assert!(e.to_string().contains("min < max"));
+
+        let bad_props = "container:\n  path: a.stl\nparticle_sets:\n  - radius_distribution: constant\n    radius_value: 0.1\nzones:\n  - n_particles: 5\n    set_proportions: [0.5, 0.5]\n";
+        let e = PackingConfig::from_str(bad_props).unwrap_err();
+        assert!(e.to_string().contains("set_proportions"));
+    }
+
+    #[test]
+    fn relative_paths_resolved() {
+        let mut cfg = PackingConfig::from_str(FIG9).unwrap();
+        cfg.resolve_paths(Path::new("/configs"));
+        assert_eq!(cfg.container_path, PathBuf::from("/configs/cone.stl"));
+        match &cfg.zones[0].location {
+            LocationConfig::Shape { path } => {
+                assert_eq!(path, &PathBuf::from("/configs/sphere.stl"));
+            }
+            other => panic!("expected shape, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("adampack_config_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pack.yaml");
+        std::fs::write(&path, FIG9).unwrap();
+        let cfg = PackingConfig::from_file(&path).unwrap();
+        assert!(cfg.container_path.ends_with("cone.stl"));
+        assert!(cfg.container_path.is_absolute() || cfg.container_path.starts_with(&dir));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn gravity_axis_spellings() {
+        for (spelling, expect) in [("x", Axis::X), ("Y", Axis::Y), ("2", Axis::Z)] {
+            let src = format!(
+                "container:\n  path: a.stl\ngravity_axis: {spelling}\nparticle_sets:\n  - radius_distribution: constant\n    radius_value: 0.1\n"
+            );
+            let cfg = PackingConfig::from_str(&src).unwrap();
+            assert_eq!(cfg.gravity_axis, expect, "spelling {spelling}");
+        }
+    }
+
+    #[test]
+    fn gravity_axis_as_vector() {
+        let src = "container:\n  path: a.stl\ngravity_axis: [1, 1, 0]\nparticle_sets:\n  - radius_distribution: constant\n    radius_value: 0.1\n";
+        let cfg = PackingConfig::from_str(src).unwrap();
+        match cfg.gravity_axis {
+            Axis::Custom(v) => {
+                assert!((v.x - v.y).abs() < 1e-12 && v.z == 0.0);
+                assert!((v.norm() - 1.0).abs() < 1e-12, "normalized");
+            }
+            other => panic!("expected custom axis, got {other:?}"),
+        }
+        // A unit coordinate vector folds back to the named axis.
+        let src = "container:\n  path: a.stl\ngravity_axis: [0, 0, 2]\nparticle_sets:\n  - radius_distribution: constant\n    radius_value: 0.1\n";
+        assert_eq!(PackingConfig::from_str(src).unwrap().gravity_axis, Axis::Z);
+        // Zero vector rejected.
+        let src = "container:\n  path: a.stl\ngravity_axis: [0, 0, 0]\nparticle_sets:\n  - radius_distribution: constant\n    radius_value: 0.1\n";
+        assert!(PackingConfig::from_str(src).is_err());
+    }
+}

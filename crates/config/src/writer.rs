@@ -1,0 +1,147 @@
+//! Serializing configurations back to YAML.
+//!
+//! Useful for generating configuration files programmatically (the bench
+//! harness and examples build scenarios in code and persist them) and for
+//! verifying the parser by round-trip.
+
+use std::fmt::Write;
+
+use crate::schema::{AlgoParams, LocationConfig, PackingConfig, ParticleSetConfig};
+
+/// Renders a configuration as YAML accepted by [`crate::PackingConfig::from_str`].
+pub fn to_yaml(cfg: &PackingConfig) -> String {
+    let mut s = String::new();
+    writeln!(s, "container:").unwrap();
+    writeln!(s, "    path: \"{}\"", cfg.container_path.display()).unwrap();
+    writeln!(s, "algorithm: \"{}\"", cfg.algorithm).unwrap();
+    let AlgoParams { lr, n_epoch, patience, verbosity, batch_size, seed } = cfg.params;
+    writeln!(s, "params:").unwrap();
+    writeln!(s, "    lr: {lr}").unwrap();
+    writeln!(s, "    n_epoch: {n_epoch}").unwrap();
+    writeln!(s, "    patience: {patience}").unwrap();
+    writeln!(s, "    verbosity: {verbosity}").unwrap();
+    writeln!(s, "    batch_size: {batch_size}").unwrap();
+    writeln!(s, "    seed: {seed}").unwrap();
+    let axis = match cfg.gravity_axis {
+        adampack_geometry::Axis::X => "x",
+        adampack_geometry::Axis::Y => "y",
+        _ => "z",
+    };
+    writeln!(s, "gravity_axis: {axis}").unwrap();
+    writeln!(s, "particle_sets:").unwrap();
+    for set in &cfg.particle_sets {
+        match set {
+            ParticleSetConfig::Constant { value } => {
+                writeln!(s, "    - radius_distribution: \"constant\"").unwrap();
+                writeln!(s, "      radius_value: {value}").unwrap();
+            }
+            ParticleSetConfig::Uniform { min, max } => {
+                writeln!(s, "    - radius_distribution: \"uniform\"").unwrap();
+                writeln!(s, "      radius_min: {min}").unwrap();
+                writeln!(s, "      radius_max: {max}").unwrap();
+            }
+            ParticleSetConfig::Normal { mean, std_dev } => {
+                writeln!(s, "    - radius_distribution: \"normal\"").unwrap();
+                writeln!(s, "      radius_mean: {mean}").unwrap();
+                writeln!(s, "      radius_std_dev: {std_dev}").unwrap();
+            }
+        }
+    }
+    if !cfg.zones.is_empty() {
+        writeln!(s, "zones:").unwrap();
+        for z in &cfg.zones {
+            writeln!(s, "    - n_particles: {}", z.n_particles).unwrap();
+            match &z.location {
+                LocationConfig::Slice { axis, min, max } => {
+                    let a = match axis {
+                        adampack_geometry::Axis::X => "x",
+                        adampack_geometry::Axis::Y => "y",
+                        _ => "z",
+                    };
+                    writeln!(s, "      location:").unwrap();
+                    writeln!(s, "          slice:").unwrap();
+                    writeln!(s, "              axis: {a}").unwrap();
+                    writeln!(s, "              min_bound: {min}").unwrap();
+                    writeln!(s, "              max_bound: {max}").unwrap();
+                }
+                LocationConfig::Shape { path } => {
+                    writeln!(s, "      location:").unwrap();
+                    writeln!(s, "          shape:").unwrap();
+                    writeln!(s, "              path: \"{}\"", path.display()).unwrap();
+                }
+                LocationConfig::Everywhere => {}
+            }
+            let props: Vec<String> = z.set_proportions.iter().map(f64::to_string).collect();
+            writeln!(s, "      set_proportions: [{}]", props.join(", ")).unwrap();
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ZoneConfig;
+    use adampack_geometry::Axis;
+    use std::path::PathBuf;
+
+    fn sample() -> PackingConfig {
+        PackingConfig {
+            container_path: PathBuf::from("cone.stl"),
+            algorithm: "COLLECTIVE_ARRANGEMENT".into(),
+            params: AlgoParams {
+                lr: 0.01,
+                n_epoch: 1000,
+                patience: 50,
+                verbosity: 10,
+                batch_size: 500,
+                seed: 7,
+            },
+            gravity_axis: Axis::Z,
+            particle_sets: vec![
+                ParticleSetConfig::Uniform { min: 0.05, max: 0.08 },
+                ParticleSetConfig::Normal { mean: 0.04, std_dev: 0.005 },
+                ParticleSetConfig::Constant { value: 0.1 },
+            ],
+            zones: vec![
+                ZoneConfig {
+                    n_particles: 200,
+                    location: LocationConfig::Shape { path: PathBuf::from("sphere.stl") },
+                    set_proportions: vec![0.0, 1.0, 0.0],
+                },
+                ZoneConfig {
+                    n_particles: 300,
+                    location: LocationConfig::Slice { axis: Axis::Z, min: 0.8, max: 1.5 },
+                    set_proportions: vec![1.0, 0.0, 0.0],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip_through_yaml() {
+        let cfg = sample();
+        let yaml = to_yaml(&cfg);
+        let back = PackingConfig::from_str(&yaml).expect("serialized config must parse");
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn round_trip_without_zones() {
+        let mut cfg = sample();
+        cfg.zones.clear();
+        let yaml = to_yaml(&cfg);
+        assert!(!yaml.contains("zones:"));
+        let back = PackingConfig::from_str(&yaml).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn axes_serialize_by_letter() {
+        let mut cfg = sample();
+        cfg.gravity_axis = Axis::X;
+        let yaml = to_yaml(&cfg);
+        assert!(yaml.contains("gravity_axis: x"));
+        assert_eq!(PackingConfig::from_str(&yaml).unwrap().gravity_axis, Axis::X);
+    }
+}

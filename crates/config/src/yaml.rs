@@ -1,0 +1,543 @@
+//! A YAML-subset parser.
+//!
+//! Supports the constructs the paper's configuration files (Fig. 9) use:
+//!
+//! * block mappings (`key: value` / `key:` + indented block),
+//! * block sequences (`- item`, including compact `- key: value` items),
+//! * inline sequences (`[a, b, c]`, trailing comma tolerated),
+//! * scalars: double/single-quoted strings, booleans, integers, floats,
+//!   `null`/`~`, plain strings,
+//! * `#` comments (outside quotes) and blank lines,
+//! * indentation-based nesting (spaces only; tabs are rejected).
+//!
+//! Not supported (and rejected or treated as plain text): anchors, aliases,
+//! multi-document streams, block scalars (`|`/`>`), flow mappings.
+
+use std::collections::VecDeque;
+
+/// A parsed YAML value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null` / `~` / empty value.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Value>),
+    /// Mapping with insertion order preserved.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks a key up in a mapping.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a float (integers coerce).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a sequence slice.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The mapping entries.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Parse errors with 1-based line numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct YamlError {
+    /// 1-based source line (0 when not line-specific).
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for YamlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "yaml error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for YamlError {}
+
+fn err(line: usize, message: impl Into<String>) -> YamlError {
+    YamlError {
+        line,
+        message: message.into(),
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    indent: usize,
+    text: String,
+    number: usize,
+}
+
+/// Parses a YAML document into a [`Value`].
+pub fn parse_yaml(source: &str) -> Result<Value, YamlError> {
+    let mut lines: VecDeque<Line> = VecDeque::new();
+    for (i, raw) in source.lines().enumerate() {
+        if raw.contains('\t') {
+            return Err(err(i + 1, "tabs are not allowed for indentation"));
+        }
+        let stripped = strip_comment(raw);
+        let trimmed = stripped.trim_end();
+        if trimmed.trim().is_empty() {
+            continue;
+        }
+        let indent = trimmed.len() - trimmed.trim_start().len();
+        lines.push_back(Line {
+            indent,
+            text: trimmed.trim_start().to_string(),
+            number: i + 1,
+        });
+    }
+    if lines.is_empty() {
+        return Ok(Value::Null);
+    }
+    let indent = lines[0].indent;
+    let value = parse_node(&mut lines, indent)?;
+    if let Some(extra) = lines.front() {
+        return Err(err(extra.number, "unexpected content after document"));
+    }
+    Ok(value)
+}
+
+/// Removes a `#` comment that is not inside quotes.
+fn strip_comment(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut in_single = false;
+    let mut in_double = false;
+    for ch in line.chars() {
+        match ch {
+            '\'' if !in_double => in_single = !in_single,
+            '"' if !in_single => in_double = !in_double,
+            '#' if !in_single && !in_double => break,
+            _ => {}
+        }
+        out.push(ch);
+    }
+    out
+}
+
+fn parse_node(lines: &mut VecDeque<Line>, indent: usize) -> Result<Value, YamlError> {
+    let Some(first) = lines.front() else {
+        return Ok(Value::Null);
+    };
+    if first.indent != indent {
+        return Err(err(first.number, format!(
+            "expected indentation {indent}, found {}",
+            first.indent
+        )));
+    }
+    if first.text.starts_with("- ") || first.text == "-" {
+        parse_seq(lines, indent)
+    } else if split_key(&first.text).is_some() {
+        parse_map(lines, indent)
+    } else {
+        // A bare scalar document/nested scalar.
+        let line = lines.pop_front().expect("peeked");
+        Ok(parse_scalar(&line.text, line.number)?)
+    }
+}
+
+fn parse_map(lines: &mut VecDeque<Line>, indent: usize) -> Result<Value, YamlError> {
+    let mut entries: Vec<(String, Value)> = Vec::new();
+    while let Some(front) = lines.front() {
+        if front.indent < indent {
+            break;
+        }
+        if front.indent > indent {
+            return Err(err(front.number, "unexpected deeper indentation"));
+        }
+        if front.text.starts_with("- ") || front.text == "-" {
+            break; // sibling sequence: belongs to the caller
+        }
+        let Some((key, rest)) = split_key(&front.text) else {
+            return Err(err(front.number, format!("expected 'key: value', got '{}'", front.text)));
+        };
+        let number = front.number;
+        let key = key.to_string();
+        let rest = rest.to_string();
+        lines.pop_front();
+        if entries.iter().any(|(k, _)| *k == key) {
+            return Err(err(number, format!("duplicate key '{key}'")));
+        }
+        let value = if rest.is_empty() {
+            match lines.front() {
+                Some(next) if next.indent > indent => {
+                    let child_indent = next.indent;
+                    parse_node(lines, child_indent)?
+                }
+                // Common style: sequence dashes at the key's own column
+                // still belong to the key (YAML semantics).
+                Some(next)
+                    if next.indent == indent
+                        && (next.text.starts_with("- ") || next.text == "-") =>
+                {
+                    parse_seq(lines, indent)?
+                }
+                _ => Value::Null,
+            }
+        } else {
+            parse_scalar(&rest, number)?
+        };
+        entries.push((key, value));
+    }
+    Ok(Value::Map(entries))
+}
+
+fn parse_seq(lines: &mut VecDeque<Line>, indent: usize) -> Result<Value, YamlError> {
+    let mut items = Vec::new();
+    while let Some(front) = lines.front() {
+        if front.indent != indent || !(front.text.starts_with("- ") || front.text == "-") {
+            if front.indent > indent {
+                return Err(err(front.number, "unexpected deeper indentation in sequence"));
+            }
+            break;
+        }
+        let line = lines.pop_front().expect("peeked");
+        let rest = line.text[1..].trim_start().to_string();
+        // Column where the item's content starts (YAML compact notation).
+        let content_col = line.indent + (line.text.len() - rest.len());
+        if rest.is_empty() {
+            // Item is a nested block (or null).
+            match lines.front() {
+                Some(next) if next.indent > indent => {
+                    let child_indent = next.indent;
+                    items.push(parse_node(lines, child_indent)?);
+                }
+                _ => items.push(Value::Null),
+            }
+        } else if split_key(&rest).is_some() {
+            // Compact map item: re-inject the content as a synthetic line at
+            // its true column, then parse the map at that indentation.
+            lines.push_front(Line {
+                indent: content_col,
+                text: rest,
+                number: line.number,
+            });
+            items.push(parse_map(lines, content_col)?);
+        } else {
+            items.push(parse_scalar(&rest, line.number)?);
+        }
+    }
+    Ok(Value::Seq(items))
+}
+
+/// Splits `key: rest` at the first top-level colon; `None` when the line is
+/// not a mapping entry.
+fn split_key(text: &str) -> Option<(&str, &str)> {
+    let mut in_single = false;
+    let mut in_double = false;
+    for (i, ch) in text.char_indices() {
+        match ch {
+            '\'' if !in_double => in_single = !in_single,
+            '"' if !in_single => in_double = !in_double,
+            ':' if !in_single && !in_double => {
+                let rest = &text[i + 1..];
+                // A mapping colon must be followed by space/end (so plain
+                // scalars like `12:30:00` are not split).
+                if rest.is_empty() || rest.starts_with(' ') {
+                    let key = text[..i].trim();
+                    if key.is_empty() {
+                        return None;
+                    }
+                    return Some((key, rest.trim()));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn parse_scalar(text: &str, line: usize) -> Result<Value, YamlError> {
+    let t = text.trim();
+    if t.is_empty() || t == "~" || t.eq_ignore_ascii_case("null") {
+        return Ok(Value::Null);
+    }
+    // Quoted strings.
+    if (t.starts_with('"') && t.ends_with('"') && t.len() >= 2)
+        || (t.starts_with('\'') && t.ends_with('\'') && t.len() >= 2)
+    {
+        return Ok(Value::Str(t[1..t.len() - 1].to_string()));
+    }
+    if t.starts_with('[') {
+        if !t.ends_with(']') {
+            return Err(err(line, "unterminated inline sequence"));
+        }
+        let inner = &t[1..t.len() - 1];
+        let mut items = Vec::new();
+        for piece in split_inline(inner) {
+            let piece = piece.trim();
+            if piece.is_empty() {
+                continue; // trailing comma
+            }
+            items.push(parse_scalar(piece, line)?);
+        }
+        return Ok(Value::Seq(items));
+    }
+    match t {
+        "true" | "True" | "TRUE" => return Ok(Value::Bool(true)),
+        "false" | "False" | "FALSE" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    if let Ok(i) = t.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    if let Ok(f) = t.parse::<f64>() {
+        return Ok(Value::Float(f));
+    }
+    Ok(Value::Str(t.to_string()))
+}
+
+/// Splits inline-sequence content on top-level commas (quotes respected).
+fn split_inline(inner: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    let mut in_single = false;
+    let mut in_double = false;
+    for (i, ch) in inner.char_indices() {
+        match ch {
+            '\'' if !in_double => in_single = !in_single,
+            '"' if !in_single => in_double = !in_double,
+            ',' if !in_single && !in_double => {
+                out.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&inner[start..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(parse_yaml("42").unwrap(), Value::Int(42));
+        assert_eq!(parse_yaml("-7").unwrap(), Value::Int(-7));
+        assert_eq!(parse_yaml("0.01").unwrap(), Value::Float(0.01));
+        assert_eq!(parse_yaml("1e-3").unwrap(), Value::Float(1e-3));
+        assert_eq!(parse_yaml("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse_yaml("False").unwrap(), Value::Bool(false));
+        assert_eq!(parse_yaml("~").unwrap(), Value::Null);
+        assert_eq!(parse_yaml("").unwrap(), Value::Null);
+        assert_eq!(parse_yaml("hello world").unwrap(), Value::Str("hello world".into()));
+        assert_eq!(parse_yaml("\"quoted: text\"").unwrap(), Value::Str("quoted: text".into()));
+        assert_eq!(parse_yaml("'single'").unwrap(), Value::Str("single".into()));
+    }
+
+    #[test]
+    fn simple_map() {
+        let v = parse_yaml("lr: 0.01\nn_epoch: 1000\nname: \"test\"").unwrap();
+        assert_eq!(v.get("lr").unwrap().as_f64(), Some(0.01));
+        assert_eq!(v.get("n_epoch").unwrap().as_i64(), Some(1000));
+        assert_eq!(v.get("name").unwrap().as_str(), Some("test"));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn nested_maps() {
+        let src = "container:\n    path: \"cone.stl\"\nparams:\n    lr: 0.01\n    patience: 50\n";
+        let v = parse_yaml(src).unwrap();
+        let container = v.get("container").unwrap();
+        assert_eq!(container.get("path").unwrap().as_str(), Some("cone.stl"));
+        assert_eq!(v.get("params").unwrap().get("patience").unwrap().as_i64(), Some(50));
+    }
+
+    #[test]
+    fn block_sequence_of_scalars() {
+        let v = parse_yaml("items:\n  - 1\n  - 2\n  - three\n").unwrap();
+        let seq = v.get("items").unwrap().as_seq().unwrap();
+        assert_eq!(seq.len(), 3);
+        assert_eq!(seq[2].as_str(), Some("three"));
+    }
+
+    #[test]
+    fn compact_sequence_of_maps() {
+        let src = "sets:\n  - radius_distribution: \"uniform\"\n    radius_min: 0.05\n    radius_max: 0.08\n  - radius_distribution: \"normal\"\n    radius_mean: 0.04\n";
+        let v = parse_yaml(src).unwrap();
+        let sets = v.get("sets").unwrap().as_seq().unwrap();
+        assert_eq!(sets.len(), 2);
+        assert_eq!(sets[0].get("radius_min").unwrap().as_f64(), Some(0.05));
+        assert_eq!(sets[1].get("radius_distribution").unwrap().as_str(), Some("normal"));
+    }
+
+    #[test]
+    fn inline_sequences_with_trailing_comma() {
+        let v = parse_yaml("props: [0.0, 1.0,]").unwrap();
+        assert_eq!(
+            v.get("props").unwrap(),
+            &Value::Seq(vec![Value::Float(0.0), Value::Float(1.0)])
+        );
+        let v = parse_yaml("mix: [1, \"two\", 3.5]").unwrap();
+        let seq = v.get("mix").unwrap().as_seq().unwrap();
+        assert_eq!(seq[1].as_str(), Some("two"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let src = "# header comment\nlr: 0.01  # trailing comment\n\n  \npatience: 50\nname: \"has # inside\"\n";
+        let v = parse_yaml(src).unwrap();
+        assert_eq!(v.get("lr").unwrap().as_f64(), Some(0.01));
+        assert_eq!(v.get("patience").unwrap().as_i64(), Some(50));
+        assert_eq!(v.get("name").unwrap().as_str(), Some("has # inside"));
+    }
+
+    #[test]
+    fn null_values_for_empty_keys() {
+        let v = parse_yaml("a:\nb: 1").unwrap();
+        assert_eq!(v.get("a"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn paper_figure9_configuration_parses() {
+        let src = r#"
+container:
+    path: "cone.stl"
+algorithm: "COLLECTIVE_ARRANGEMENT"
+params:
+    lr: 0.01
+    n_epoch: 1000
+    patience: 50
+    verbosity: 10
+gravity_axis: z
+particle_sets:
+    - radius_distribution: "uniform"
+      radius_min: 0.05
+      radius_max: 0.08
+    - radius_distribution: "normal"
+      radius_mean: 0.04
+      radius_std_dev: 0.005
+zones:
+    - n_particles: 200
+      location:
+          shape:
+              path: "sphere.stl"
+      set_proportions: [0.0, 1.0,]
+    - n_particles: 300
+      location:
+          slice:
+              axis: 2
+              min_bound: 0.8
+              max_bound: 1.5
+      set_proportions: [1.0, 0.0]
+"#;
+        let v = parse_yaml(src).unwrap();
+        assert_eq!(v.get("algorithm").unwrap().as_str(), Some("COLLECTIVE_ARRANGEMENT"));
+        assert_eq!(v.get("gravity_axis").unwrap().as_str(), Some("z"));
+        let zones = v.get("zones").unwrap().as_seq().unwrap();
+        assert_eq!(zones.len(), 2);
+        assert_eq!(zones[0].get("n_particles").unwrap().as_i64(), Some(200));
+        let slice = zones[1].get("location").unwrap().get("slice").unwrap();
+        assert_eq!(slice.get("axis").unwrap().as_i64(), Some(2));
+        assert_eq!(slice.get("min_bound").unwrap().as_f64(), Some(0.8));
+        let props = zones[0].get("set_proportions").unwrap().as_seq().unwrap();
+        assert_eq!(props.len(), 2);
+    }
+
+    #[test]
+    fn plain_scalar_with_colons_not_split() {
+        let v = parse_yaml("time: 12:30:00").unwrap();
+        assert_eq!(v.get("time").unwrap().as_str(), Some("12:30:00"));
+    }
+
+    #[test]
+    fn errors_have_line_numbers() {
+        let e = parse_yaml("a: 1\n\tb: 2").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("tab"));
+
+        let e = parse_yaml("a: [1, 2").unwrap_err();
+        assert!(e.message.contains("unterminated"));
+
+        let e = parse_yaml("a: 1\na: 2").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn never_panics_on_adversarial_inputs() {
+        for src in [
+            ":",
+            ": :",
+            "- - -",
+            "-",
+            "a:\n      b: 1\n  c: 2",
+            "[[[",
+            "]]]",
+            "a: ]",
+            "'unterminated",
+            "- a: 1\n- b:\n  - c\n",
+            "x:\n- 1\n- 2", // sequence at same indent as key
+        ] {
+            let _ = parse_yaml(src); // must return, not panic
+        }
+    }
+
+    #[test]
+    fn sequence_at_parent_indent_belongs_to_key() {
+        // Common YAML style: the sequence dash at the same column as the key.
+        let v = parse_yaml("x:\n- 1\n- 2\ny: 3\n").unwrap();
+        assert_eq!(
+            v.get("x").unwrap(),
+            &Value::Seq(vec![Value::Int(1), Value::Int(2)])
+        );
+        assert_eq!(v.get("y").unwrap().as_i64(), Some(3));
+    }
+}

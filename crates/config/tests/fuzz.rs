@@ -1,0 +1,57 @@
+//! Fuzz-style property tests: the YAML parser and schema layer must never
+//! panic, whatever bytes they are fed.
+
+use adampack_config::{parse_yaml, PackingConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn yaml_parser_never_panics_on_arbitrary_strings(s in "\\PC{0,200}") {
+        let _ = parse_yaml(&s); // Ok or Err, never a panic
+    }
+
+    #[test]
+    fn yaml_parser_never_panics_on_structured_soup(
+        keys in prop::collection::vec("[a-z_]{1,10}", 0..8),
+        indents in prop::collection::vec(0usize..8, 0..8),
+        values in prop::collection::vec("[a-zA-Z0-9\\._\\-\"'\\[\\], ]{0,20}", 0..8),
+    ) {
+        let mut src = String::new();
+        for i in 0..keys.len() {
+            let indent = " ".repeat(*indents.get(i).unwrap_or(&0));
+            let val = values.get(i).map(String::as_str).unwrap_or("");
+            src.push_str(&format!("{indent}{}: {val}\n", keys[i]));
+        }
+        let _ = parse_yaml(&src);
+    }
+
+    #[test]
+    fn schema_layer_never_panics(s in "\\PC{0,300}") {
+        let _ = PackingConfig::from_str(&s);
+    }
+
+    #[test]
+    fn parse_is_deterministic(s in "\\PC{0,150}") {
+        let a = parse_yaml(&s);
+        let b = parse_yaml(&s);
+        prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn scalars_round_trip_through_display(
+        i in -1_000_000i64..1_000_000,
+        f in -1e6f64..1e6,
+    ) {
+        use adampack_config::Value;
+        prop_assert_eq!(parse_yaml(&i.to_string()).unwrap(), Value::Int(i));
+        // Floats that print without an exponent and with a fraction part.
+        let s = format!("{f:.6}");
+        if s.contains('.') {
+            let parsed = parse_yaml(&s).unwrap();
+            let got = parsed.as_f64().expect("float");
+            prop_assert!((got - s.parse::<f64>().unwrap()).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Structural analysis of packings.
+//!
+//! The paper positions its method as producing *random* packings ("glasses,
+//! sands, powders") in contrast to the lattice-like output of geometric
+//! methods (Jerier et al. \[22\]). These classic granular-statistics tools
+//! quantify that claim:
+//!
+//! * [`radial_distribution`] — the pair-correlation function g(r): random
+//!   loose packings show the contact peak at r ≈ d and rapidly decaying
+//!   structure, whereas crystalline packings show persistent sharp peaks,
+//! * [`coordination_numbers`] — contacts per particle (~4–7 for loose
+//!   random packings, exactly 6/12 for cubic/FCC lattices),
+//! * [`vertical_profile`] — packing fraction as a function of altitude,
+//!   the standard packed-bed diagnostic for settling quality.
+
+use adampack_geometry::{Aabb, Axis, Vec3};
+use adampack_overlap::DensityProbe;
+
+use crate::grid::CellGrid;
+use crate::particle::Particle;
+
+/// The pair-correlation function g(r), sampled in `bins` shells of width
+/// `r_max / bins`, computed for particles whose centres lie in `region`
+/// (pass the bed's core to avoid wall bias).
+///
+/// Normalization is the standard one: `g(r) = ρ(r) / ρ₀` where `ρ(r)` is
+/// the observed pair density in the shell and `ρ₀ = N/V` the mean number
+/// density, so an ideal gas gives `g ≡ 1` at all distances.
+pub fn radial_distribution(
+    particles: &[Particle],
+    region: &Aabb,
+    r_max: f64,
+    bins: usize,
+) -> Vec<(f64, f64)> {
+    assert!(bins > 0 && r_max > 0.0);
+    let inside: Vec<Vec3> = particles
+        .iter()
+        .map(|p| p.center)
+        .filter(|&c| region.contains(c))
+        .collect();
+    let n = inside.len();
+    if n < 2 {
+        return (0..bins)
+            .map(|b| ((b as f64 + 0.5) * r_max / bins as f64, 0.0))
+            .collect();
+    }
+    // Count pairs per shell with a grid over all particles (neighbours may
+    // sit outside the region; counting them reduces edge bias).
+    let all_centers: Vec<Vec3> = particles.iter().map(|p| p.center).collect();
+    let all_radii: Vec<f64> = particles.iter().map(|_| r_max / 2.0).collect();
+    let grid = CellGrid::build(&all_centers, &all_radii);
+    let mut counts = vec![0usize; bins];
+    let dw = r_max / bins as f64;
+    for &c in &inside {
+        grid.for_neighbors(c, r_max / 2.0, |_, other, _| {
+            let d = c.distance(other);
+            if d > 1e-12 && d < r_max {
+                counts[(d / dw) as usize] += 1;
+            }
+        });
+    }
+    // Mean density from the region; g(r) normalizes each shell's count.
+    let rho0 = n as f64 / region.volume();
+    (0..bins)
+        .map(|b| {
+            let r_lo = b as f64 * dw;
+            let r_hi = r_lo + dw;
+            let shell_vol = 4.0 / 3.0 * std::f64::consts::PI * (r_hi.powi(3) - r_lo.powi(3));
+            let expected = n as f64 * rho0 * shell_vol;
+            let g = counts[b] as f64 / expected.max(1e-300);
+            (0.5 * (r_lo + r_hi), g)
+        })
+        .collect()
+}
+
+/// Contacts per particle, counting pairs within `tolerance` of touching
+/// (i.e. `‖cᵢ−cⱼ‖ ≤ (rᵢ+rⱼ)(1+tolerance)`).
+pub fn coordination_numbers(particles: &[Particle], tolerance: f64) -> Vec<usize> {
+    let centers: Vec<Vec3> = particles.iter().map(|p| p.center).collect();
+    let radii: Vec<f64> = particles.iter().map(|p| p.radius).collect();
+    if particles.is_empty() {
+        return Vec::new();
+    }
+    let grid = CellGrid::build(&centers, &radii);
+    let mut out = vec![0usize; particles.len()];
+    for i in 0..particles.len() {
+        grid.for_neighbors(centers[i], radii[i] * (1.0 + tolerance), |j, cj, rj| {
+            if j != i {
+                let touch = (radii[i] + rj) * (1.0 + tolerance);
+                if centers[i].distance_sq(cj) <= touch * touch {
+                    out[i] += 1;
+                }
+            }
+        });
+    }
+    out
+}
+
+/// Mean coordination number.
+pub fn mean_coordination(particles: &[Particle], tolerance: f64) -> f64 {
+    let z = coordination_numbers(particles, tolerance);
+    if z.is_empty() {
+        0.0
+    } else {
+        z.iter().sum::<usize>() as f64 / z.len() as f64
+    }
+}
+
+/// Packing fraction per altitude slab: `layers` horizontal slices of the
+/// region along `axis`, each measured with exact sphere–box overlap.
+///
+/// Returns `(slab-centre altitude, packing fraction)` pairs — the classic
+/// porosity profile of a packed bed (flat in the bulk, decaying at the free
+/// surface).
+pub fn vertical_profile(
+    particles: &[Particle],
+    region: &Aabb,
+    axis: Axis,
+    layers: usize,
+) -> Vec<(f64, f64)> {
+    assert!(layers > 0);
+    let idx = axis
+        .index()
+        .expect("vertical_profile needs a named coordinate axis");
+    let lo = region.min[idx];
+    let hi = region.max[idx];
+    let dw = (hi - lo) / layers as f64;
+    (0..layers)
+        .map(|k| {
+            let mut slab_min = region.min;
+            let mut slab_max = region.max;
+            slab_min[idx] = lo + k as f64 * dw;
+            slab_max[idx] = lo + (k as f64 + 1.0) * dw;
+            let slab = Aabb::new(slab_min, slab_max);
+            let probe = DensityProbe::new(slab);
+            let phi = probe.density(particles.iter().map(Particle::sphere));
+            (lo + (k as f64 + 0.5) * dw, phi)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Simple cubic lattice of unit-diameter spheres, spacing `a`.
+    fn sc_lattice(nx: usize, a: f64, r: f64) -> Vec<Particle> {
+        let mut out = Vec::new();
+        for i in 0..nx {
+            for j in 0..nx {
+                for k in 0..nx {
+                    out.push(Particle::new(
+                        Vec3::new(i as f64 * a, j as f64 * a, k as f64 * a),
+                        r,
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn lattice_coordination_is_six() {
+        // Touching SC lattice: every interior sphere has exactly 6 contacts.
+        let particles = sc_lattice(5, 1.0, 0.5);
+        let z = coordination_numbers(&particles, 1e-9);
+        // Centre particle of the 5³ block.
+        let centre = 2 * 25 + 2 * 5 + 2;
+        assert_eq!(z[centre], 6);
+        // Corner particles have 3.
+        assert_eq!(z[0], 3);
+        let mean = mean_coordination(&particles, 1e-9);
+        assert!(mean > 4.0 && mean < 6.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn lattice_rdf_peaks_at_lattice_distances() {
+        let particles = sc_lattice(8, 1.0, 0.5);
+        let region = Aabb::new(Vec3::splat(1.5), Vec3::splat(5.5));
+        let g = radial_distribution(&particles, &region, 2.4, 48);
+        let peak_at = |r: f64| {
+            g.iter()
+                .min_by(|a, b| (a.0 - r).abs().total_cmp(&(b.0 - r).abs()))
+                .unwrap()
+                .1
+        };
+        // Sharp peaks at 1 and √2; deep troughs between.
+        assert!(peak_at(1.0) > 3.0, "g(1) = {}", peak_at(1.0));
+        assert!(peak_at(2.0f64.sqrt()) > 3.0);
+        assert!(peak_at(1.2) < 0.5, "g(1.2) = {}", peak_at(1.2));
+    }
+
+    #[test]
+    fn ideal_gas_rdf_is_flat_at_one() {
+        // Quasi-random points (no exclusion) ⇒ g ≈ 1 everywhere.
+        let mut particles = Vec::new();
+        let mut state = 88172645463325252u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..4000 {
+            particles.push(Particle::new(
+                Vec3::new(next() * 10.0, next() * 10.0, next() * 10.0),
+                0.01,
+            ));
+        }
+        let region = Aabb::new(Vec3::splat(2.0), Vec3::splat(8.0));
+        let g = radial_distribution(&particles, &region, 1.5, 10);
+        for &(r, gr) in &g[1..] {
+            assert!((gr - 1.0).abs() < 0.35, "g({r:.2}) = {gr:.2} should be ~1");
+        }
+    }
+
+    #[test]
+    fn vertical_profile_flat_for_lattice() {
+        let particles = sc_lattice(6, 1.0, 0.5);
+        let region = Aabb::new(Vec3::splat(-0.5), Vec3::splat(5.5));
+        let prof = vertical_profile(&particles, &region, Axis::Z, 6);
+        let phi_expect = std::f64::consts::PI / 6.0;
+        for &(z, phi) in &prof {
+            assert!(
+                (phi - phi_expect).abs() < 1e-6,
+                "slab at {z}: {phi} vs {phi_expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn vertical_profile_detects_free_surface() {
+        // A half-filled region: bottom slabs dense, top slabs empty.
+        let particles = sc_lattice(4, 1.0, 0.5); // occupies z ∈ [-0.5, 3.5]
+        let region = Aabb::new(Vec3::splat(-0.5), Vec3::new(3.5, 3.5, 7.5));
+        let prof = vertical_profile(&particles, &region, Axis::Z, 8);
+        assert!(prof[0].1 > 0.4);
+        assert!(prof[7].1 < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert!(coordination_numbers(&[], 0.01).is_empty());
+        assert_eq!(mean_coordination(&[], 0.01), 0.0);
+        let region = Aabb::cube(Vec3::ZERO, 2.0);
+        let g = radial_distribution(&[], &region, 1.0, 4);
+        assert_eq!(g.len(), 4);
+        assert!(g.iter().all(|&(_, v)| v == 0.0));
+    }
+}

@@ -1,0 +1,609 @@
+//! The collective-arrangement packer (paper Algorithm 1).
+//!
+//! Outer loop: batches (layers) of particles are generated above the current
+//! bed and optimized while everything already packed stays fixed. A batch
+//! whose optimized state still has excessive overlap (with other spheres or
+//! with the container boundary) is rejected and retried at half size; the
+//! packing stops when the batch size reaches zero (container full) or the
+//! target count is met.
+//!
+//! Inner loop: Adam/AMSGrad steps on the objective until `patience` steps
+//! pass without improvement or `max_steps` is reached, with the learning
+//! rate driven by the configured policy (plateau scheduling by default).
+
+use std::time::{Duration, Instant};
+
+use adampack_geometry::Vec3;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::container::Container;
+use crate::grid::CellGrid;
+use crate::metrics::{boundary_stats, contact_stats_vs_fixed};
+use crate::objective::Objective;
+use crate::params::{LrPolicy, PackingParams};
+use crate::particle::{coords, Particle};
+use crate::psd::Psd;
+
+/// One optimizer step of a batch, for Fig. 3-style fitness traces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepTrace {
+    /// Step index within the batch.
+    pub step: usize,
+    /// Objective value `Z(C)` at this step (before the parameter update).
+    pub fitness: f64,
+    /// Learning rate used for the update.
+    pub lr: f64,
+}
+
+/// Statistics for one attempted batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchStats {
+    /// Sequential batch index (accepted and rejected batches both count).
+    pub index: usize,
+    /// Number of particles attempted in this batch.
+    pub requested: usize,
+    /// Whether the batch passed the overlap-acceptance test.
+    pub accepted: bool,
+    /// Optimizer steps taken.
+    pub steps: usize,
+    /// Best objective value reached.
+    pub best_fitness: f64,
+    /// Mean contact overlap relative to radius after optimization.
+    pub mean_overlap_ratio: f64,
+    /// Mean positive boundary excess relative to radius.
+    pub mean_boundary_ratio: f64,
+    /// Wall-clock time spent on this batch.
+    pub duration: Duration,
+}
+
+/// Result of a batch optimization run.
+#[derive(Debug, Clone)]
+pub struct BatchOptimization {
+    /// The best coordinates found (flat `[x, y, z, …]` buffer).
+    pub coords: Vec<f64>,
+    /// Best objective value.
+    pub best_fitness: f64,
+    /// Steps actually taken.
+    pub steps: usize,
+}
+
+/// The outcome of a full packing run.
+#[derive(Debug, Clone)]
+pub struct PackResult {
+    /// All packed particles, tagged with their batch index.
+    pub particles: Vec<Particle>,
+    /// Per-batch statistics (accepted and rejected).
+    pub batches: Vec<BatchStats>,
+    /// The container packed into.
+    pub container: Container,
+    /// Total wall-clock time.
+    pub duration: Duration,
+    /// The requested particle count (`nb_max`).
+    pub target: usize,
+}
+
+impl PackResult {
+    /// Particles as `(center, radius)` pairs for metrics/density helpers.
+    pub fn spheres(&self) -> Vec<(Vec3, f64)> {
+        self.particles.iter().map(Particle::sphere).collect()
+    }
+
+    /// True when the requested count was fully packed.
+    pub fn reached_target(&self) -> bool {
+        self.particles.len() >= self.target
+    }
+
+    /// One-paragraph human-readable summary of the run.
+    pub fn summary(&self) -> String {
+        let accepted = self.batches.iter().filter(|b| b.accepted).count();
+        format!(
+            "packed {}/{} particles in {:.2?} ({} batches, {} accepted, {} rejected)",
+            self.particles.len(),
+            self.target,
+            self.duration,
+            self.batches.len(),
+            accepted,
+            self.batches.len() - accepted,
+        )
+    }
+}
+
+/// The Algorithm 1 driver.
+pub struct CollectivePacker {
+    container: Container,
+    params: PackingParams,
+    rng: StdRng,
+    batch_callback: Option<Box<dyn FnMut(&BatchStats) + Send>>,
+}
+
+impl CollectivePacker {
+    /// Creates a packer; `params.seed` fixes all randomness.
+    ///
+    /// Panics when the container region is empty (e.g. a zone restricted
+    /// to a slab entirely outside its container).
+    pub fn new(container: Container, params: PackingParams) -> CollectivePacker {
+        params.validate();
+        assert!(
+            !container.aabb().is_empty() && container.volume() > 0.0,
+            "container region is empty (volume {}); check zone bounds against the container",
+            container.volume()
+        );
+        let rng = StdRng::seed_from_u64(params.seed);
+        CollectivePacker {
+            container,
+            params,
+            rng,
+            batch_callback: None,
+        }
+    }
+
+    /// Installs a progress hook called after every attempted batch — the
+    /// runtime counterpart of the YAML `verbosity` knob (applications print
+    /// from here; libraries can collect statistics).
+    pub fn set_batch_callback(&mut self, f: impl FnMut(&BatchStats) + Send + 'static) {
+        self.batch_callback = Some(Box::new(f));
+    }
+
+    /// The container.
+    pub fn container(&self) -> &Container {
+        &self.container
+    }
+
+    /// The hyper-parameters.
+    pub fn params(&self) -> &PackingParams {
+        &self.params
+    }
+
+    /// Packs `params.target_count` particles drawn from `psd`.
+    pub fn pack(&mut self, psd: &Psd) -> PackResult {
+        self.pack_onto(psd, Vec::new())
+    }
+
+    /// Packs on top of an existing bed (used by zoned packings): `existing`
+    /// particles are fixed and included in the result.
+    pub fn pack_onto(&mut self, psd: &Psd, existing: Vec<Particle>) -> PackResult {
+        let start = Instant::now();
+        let mut particles = existing;
+        let preexisting = particles.len();
+        let mut batches = Vec::new();
+        let mut batch_size = self.params.batch_size;
+        let target = self.params.target_count;
+        let mut packed = 0usize;
+        let mut batch_index = 0usize;
+
+        while packed < target && batch_size > 0 {
+            let n = batch_size.min(target - packed);
+            let t0 = Instant::now();
+            let radii = psd.sample_n(&mut self.rng, n);
+            let fixed = build_grid(&particles);
+            let init = self.spawn_batch(&radii, &fixed);
+            let run = self.optimize_batch_with(
+                &radii,
+                init,
+                &fixed,
+                self.params.max_steps,
+                self.params.patience,
+                &self.params.lr.clone(),
+                None,
+            );
+
+            // Acceptance: mean contact overlap and boundary excess relative
+            // to radius must stay below the configured threshold
+            // (Algorithm 1 line 19).
+            let centers = coords::to_positions(&run.coords);
+            let contact = contact_stats_vs_fixed(&centers, &radii, &fixed);
+            let boundary = boundary_stats(&centers, &radii, self.container.halfspaces());
+            let accepted = contact.mean_overlap_ratio <= self.params.accept_mean_overlap
+                && boundary.0 <= self.params.accept_mean_overlap
+                && contact.max_overlap_ratio <= self.params.accept_max_overlap
+                && boundary.1 <= self.params.accept_max_overlap;
+
+            let stats = BatchStats {
+                index: batch_index,
+                requested: n,
+                accepted,
+                steps: run.steps,
+                best_fitness: run.best_fitness,
+                mean_overlap_ratio: contact.mean_overlap_ratio,
+                mean_boundary_ratio: boundary.0,
+                duration: t0.elapsed(),
+            };
+            if let Some(cb) = self.batch_callback.as_mut() {
+                cb(&stats);
+            }
+            batches.push(stats);
+            batch_index += 1;
+
+            if accepted {
+                for (i, &c) in centers.iter().enumerate() {
+                    particles.push(Particle {
+                        center: c,
+                        radius: radii[i],
+                        batch: batch_index - 1,
+                        set: 0,
+                    });
+                }
+                packed += n;
+            } else {
+                batch_size /= 2;
+            }
+        }
+
+        debug_assert_eq!(particles.len(), preexisting + packed);
+        PackResult {
+            particles,
+            batches,
+            container: self.container.clone(),
+            duration: start.elapsed(),
+            target,
+        }
+    }
+
+    /// Generates initial positions for a batch above the current bed — the
+    /// paper's "random positions above the last layer".
+    ///
+    /// The spawn slab starts at the bed's top altitude and is sized so the
+    /// batch fits at `spawn_density` packing fraction; positions inside the
+    /// container are preferred (rejection sampling), with a fallback into
+    /// the bounding-box column above it when the slab leaves the hull.
+    pub fn spawn_batch(&mut self, radii: &[f64], fixed: &CellGrid) -> Vec<f64> {
+        let axis = self.params.gravity;
+        let up = axis.up();
+        let (bottom, top_of_container) = self.container.altitude_range(axis);
+        let bed_top = if fixed.is_empty() {
+            bottom
+        } else {
+            (0..fixed.len())
+                .map(|i| {
+                    let (c, r) = fixed.sphere(i);
+                    up.dot(c) + r
+                })
+                .fold(f64::NEG_INFINITY, f64::max)
+        };
+
+        let batch_volume: f64 = radii
+            .iter()
+            .map(|r| 4.0 / 3.0 * std::f64::consts::PI * r * r * r)
+            .sum();
+        let height_range = (top_of_container - bottom).max(1e-9);
+        let mean_area = self.container.volume() / height_range;
+        let r_max = radii.iter().copied().fold(0.0, f64::max);
+        let slab_h = (batch_volume / (self.params.spawn_density * mean_area)).max(2.5 * r_max);
+        let lo = bed_top;
+        let hi = bed_top + slab_h;
+
+        let bb = self.container.aabb();
+        let mut out = Vec::with_capacity(radii.len() * 3);
+        for &r in radii {
+            let p = self
+                .container
+                .sample_in_slab(&mut self.rng, axis, lo + r, hi, r, 64)
+                .unwrap_or_else(|| {
+                    // Slab is (partly) above the container: spawn in the
+                    // bounding-box column at the requested altitude and let
+                    // the boundary term pull the particle inside.
+                    use rand::Rng;
+                    let q = Vec3::new(
+                        self.rng.gen_range(bb.min.x..=bb.max.x),
+                        self.rng.gen_range(bb.min.y..=bb.max.y),
+                        self.rng.gen_range(bb.min.z..=bb.max.z),
+                    );
+                    let alt = self.rng.gen_range(lo + r..=hi + r);
+                    q + up * (alt - up.dot(q))
+                });
+            out.extend_from_slice(&[p.x, p.y, p.z]);
+        }
+        out
+    }
+
+    /// Runs the inner optimization loop on one batch.
+    ///
+    /// Public so experiments (e.g. the Fig. 3 learning-rate study) can drive
+    /// a single batch with custom step budgets and record [`StepTrace`]s.
+    #[allow(clippy::too_many_arguments)]
+    pub fn optimize_batch_with(
+        &self,
+        radii: &[f64],
+        init: Vec<f64>,
+        fixed: &CellGrid,
+        max_steps: usize,
+        patience: usize,
+        lr: &LrPolicy,
+        mut trace: Option<&mut Vec<StepTrace>>,
+    ) -> BatchOptimization {
+        assert_eq!(init.len(), radii.len() * 3, "init buffer size mismatch");
+        let objective = Objective::new(
+            self.params.weights,
+            self.params.gravity,
+            self.container.halfspaces(),
+            radii,
+            fixed,
+        );
+
+        let mut coords = init;
+        let mut grad = vec![0.0; coords.len()];
+        let mut optimizer = self.params.optimizer.build(lr.initial_lr(), coords.len());
+        let mut scheduler = lr.build();
+
+        let mut best = coords.clone();
+        let mut best_fitness = f64::INFINITY;
+        let mut no_improvement = 0usize;
+        let mut steps = 0usize;
+
+        for step in 0..max_steps {
+            let z = objective.value_and_grad(&coords, &mut grad);
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(StepTrace {
+                    step,
+                    fitness: z,
+                    lr: scheduler.current_lr(),
+                });
+            }
+            // Improvement bookkeeping (Algorithm 1 lines 11–16; the paper's
+            // comparison direction is clearly meant to test improvement).
+            if z < best_fitness {
+                let significant =
+                    best_fitness - z > self.params.improvement_tol * best_fitness.abs().max(1.0);
+                best.copy_from_slice(&coords);
+                best_fitness = z;
+                if significant || !best_fitness.is_finite() {
+                    no_improvement = 0;
+                } else {
+                    no_improvement += 1;
+                }
+            } else {
+                no_improvement += 1;
+            }
+            steps = step + 1;
+            if no_improvement >= patience {
+                break;
+            }
+            let new_lr = scheduler.step(z);
+            optimizer.set_lr(new_lr);
+            optimizer.step(&mut coords, &grad);
+        }
+
+        BatchOptimization {
+            coords: best,
+            best_fitness,
+            steps,
+        }
+    }
+}
+
+/// Builds the fixed-bed grid from packed particles.
+pub fn build_grid(particles: &[Particle]) -> CellGrid {
+    if particles.is_empty() {
+        CellGrid::empty()
+    } else {
+        let centers: Vec<Vec3> = particles.iter().map(|p| p.center).collect();
+        let radii: Vec<f64> = particles.iter().map(|p| p.radius).collect();
+        CellGrid::build(&centers, &radii)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adampack_geometry::{shapes, Axis};
+    use crate::params::OptimizerKind;
+
+    fn small_box_container() -> Container {
+        Container::from_mesh(&shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0))).unwrap()
+    }
+
+    fn quick_params() -> PackingParams {
+        PackingParams {
+            batch_size: 30,
+            target_count: 30,
+            max_steps: 800,
+            patience: 60,
+            seed: 7,
+            ..PackingParams::default()
+        }
+    }
+
+    #[test]
+    fn packs_a_small_batch_inside_the_box() {
+        let mut packer = CollectivePacker::new(small_box_container(), quick_params());
+        let result = packer.pack(&Psd::constant(0.15));
+        assert!(!result.particles.is_empty(), "no particles packed");
+        assert!(result.reached_target() || !result.batches.is_empty());
+        // All accepted particles stay inside within 5 % of radius.
+        for p in &result.particles {
+            let excess = result
+                .container
+                .halfspaces()
+                .sphere_max_excess(p.center, p.radius);
+            assert!(
+                excess <= 0.05 * p.radius + 1e-9,
+                "particle at {} pokes out by {excess}",
+                p.center
+            );
+        }
+    }
+
+    #[test]
+    fn no_severe_overlaps_after_packing() {
+        let mut packer = CollectivePacker::new(small_box_container(), quick_params());
+        let result = packer.pack(&Psd::uniform(0.1, 0.16));
+        let n = result.particles.len();
+        assert!(n > 5, "packed only {n}");
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (a, b) = (&result.particles[i], &result.particles[j]);
+                let d = a.center.distance(b.center);
+                let pen = (a.radius + b.radius - d).max(0.0);
+                let rel = pen / a.radius.min(b.radius);
+                assert!(
+                    rel <= 0.12,
+                    "particles {i}/{j} overlap by {:.1}% of radius",
+                    rel * 100.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let run = || {
+            let mut packer = CollectivePacker::new(small_box_container(), quick_params());
+            packer.pack(&Psd::uniform(0.1, 0.14))
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.particles.len(), b.particles.len());
+        for (pa, pb) in a.particles.iter().zip(&b.particles) {
+            assert_eq!(pa.center, pb.center, "positions must be bitwise equal");
+            assert_eq!(pa.radius, pb.radius);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let run = |seed| {
+            let mut params = quick_params();
+            params.seed = seed;
+            let mut packer = CollectivePacker::new(small_box_container(), params);
+            packer.pack(&Psd::constant(0.15))
+        };
+        let a = run(1);
+        let b = run(2);
+        let same = a
+            .particles
+            .iter()
+            .zip(&b.particles)
+            .all(|(x, y)| x.center == y.center);
+        assert!(!same, "different seeds should give different packings");
+    }
+
+    #[test]
+    fn batch_halving_stops_on_full_container() {
+        // Ask for far more particles than fit: the packer must terminate
+        // (batch size collapses to zero) rather than loop forever.
+        let params = PackingParams {
+            batch_size: 16,
+            target_count: 4000,
+            max_steps: 150,
+            patience: 30,
+            seed: 3,
+            ..PackingParams::default()
+        };
+        let mut packer = CollectivePacker::new(small_box_container(), params);
+        let result = packer.pack(&Psd::constant(0.3));
+        assert!(!result.reached_target());
+        assert!(result.batches.iter().any(|b| !b.accepted), "some batch must fail");
+        // The container fits ~100 spheres of r=0.3 at most (φ ≤ 0.74).
+        assert!(result.particles.len() < 80);
+        assert!(result.particles.len() >= 8, "a few should fit");
+    }
+
+    #[test]
+    fn fitness_trace_is_recorded_and_decreasing_overall() {
+        let container = small_box_container();
+        let params = quick_params();
+        let mut packer = CollectivePacker::new(container, params);
+        let radii = vec![0.12; 40];
+        let fixed = CellGrid::empty();
+        let init = packer.spawn_batch(&radii, &fixed);
+        let mut trace = Vec::new();
+        let run = packer.optimize_batch_with(
+            &radii,
+            init,
+            &fixed,
+            400,
+            50,
+            &LrPolicy::paper_default(),
+            Some(&mut trace),
+        );
+        assert_eq!(run.steps, trace.len());
+        assert!(trace.len() > 10);
+        let first = trace.first().unwrap().fitness;
+        assert!(run.best_fitness < first, "optimization must improve the fitness");
+        // The recorded minimum matches the reported best.
+        let min = trace.iter().map(|t| t.fitness).fold(f64::INFINITY, f64::min);
+        assert!((min - run.best_fitness).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gravity_along_custom_axis_settles_particles_low() {
+        let mut params = quick_params();
+        params.gravity = Axis::X;
+        params.target_count = 20;
+        params.batch_size = 20;
+        let mut packer = CollectivePacker::new(small_box_container(), params);
+        let result = packer.pack(&Psd::constant(0.15));
+        assert!(!result.particles.is_empty());
+        // Mean x should be in the lower half of the box.
+        let mean_x: f64 = result.particles.iter().map(|p| p.center.x).sum::<f64>()
+            / result.particles.len() as f64;
+        assert!(mean_x < 0.0, "particles should settle towards -x, mean_x = {mean_x}");
+    }
+
+    #[test]
+    fn pack_onto_respects_existing_bed() {
+        let mut packer = CollectivePacker::new(small_box_container(), quick_params());
+        // A pre-existing floor of spheres.
+        let existing: Vec<Particle> = (-2..=2)
+            .flat_map(|i| {
+                (-2..=2).map(move |j| {
+                    Particle::new(Vec3::new(i as f64 * 0.4, j as f64 * 0.4, -0.8), 0.2)
+                })
+            })
+            .collect();
+        let n_existing = existing.len();
+        let result = packer.pack_onto(&Psd::constant(0.15), existing);
+        assert!(result.particles.len() > n_existing);
+        // New particles must not deeply overlap the old bed.
+        for p in result.particles.iter().skip(n_existing) {
+            for q in result.particles.iter().take(n_existing) {
+                let pen = (p.radius + q.radius - p.center.distance(q.center)).max(0.0);
+                assert!(pen <= 0.1 * p.radius.min(q.radius) + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn sgd_variant_also_packs() {
+        let mut params = quick_params();
+        params.optimizer = OptimizerKind::Momentum;
+        params.lr = LrPolicy::Fixed(2e-3);
+        params.target_count = 15;
+        params.batch_size = 15;
+        let mut packer = CollectivePacker::new(small_box_container(), params);
+        let result = packer.pack(&Psd::constant(0.15));
+        assert!(!result.particles.is_empty());
+    }
+
+    #[test]
+    fn batch_callback_fires_per_batch_and_summary_reports() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c2 = counter.clone();
+        let mut packer = CollectivePacker::new(small_box_container(), quick_params());
+        packer.set_batch_callback(move |stats| {
+            assert!(stats.steps > 0);
+            c2.fetch_add(1, Ordering::SeqCst);
+        });
+        let result = packer.pack(&Psd::constant(0.15));
+        assert_eq!(counter.load(Ordering::SeqCst), result.batches.len());
+        let s = result.summary();
+        assert!(s.contains("particles"));
+        assert!(s.contains("accepted"));
+    }
+
+    #[test]
+    fn spawn_positions_start_above_bed() {
+        let mut packer = CollectivePacker::new(small_box_container(), quick_params());
+        let bed: Vec<Particle> = vec![Particle::new(Vec3::new(0.0, 0.0, -0.5), 0.3)];
+        let fixed = build_grid(&bed);
+        let radii = vec![0.1; 10];
+        let buf = packer.spawn_batch(&radii, &fixed);
+        for i in 0..10 {
+            let p = coords::get(&buf, i);
+            assert!(p.z >= -0.2 + 0.1 - 1e-9, "spawned below bed top: {p}");
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! # adampack-core
+//!
+//! Collective-arrangement sphere packing with Adam/AMSGrad — a from-scratch
+//! Rust implementation of *"Rapid Random Packing of Poly-disperse Spheres
+//! using Adam Stochastic Optimization"* (Novikov & Besseron, IPPS 2025).
+//!
+//! The algorithm packs spheres with **prescribed radii** (a user-defined
+//! particle-size distribution) into a convex triangular-mesh container by
+//! minimizing the paper's objective
+//!
+//! ```text
+//! Z(C) = α·P(C,C) + β·A(C) + γ·E_H(C) + α·P(C,C')        (paper eq. 5)
+//! ```
+//!
+//! with the AMSGrad variant of Adam, batch by batch ("layer by layer"):
+//! particles of previous layers stay fixed while a new batch spawned above
+//! the bed is optimized, and failed batches are retried at half size until
+//! the container is full (paper Algorithm 1).
+//!
+//! ## Crate layout
+//!
+//! * [`objective`] — the objective terms and their closed-form analytic
+//!   gradients (verified against `adampack-autograd` and finite differences
+//!   in the test suite), with Rayon-parallel kernels,
+//! * [`grid`] — a uniform cell-list over the fixed bed making the
+//!   cross-layer penetration term `P(C,C')` O(n·k) instead of O(n·m),
+//! * [`psd`] — particle-size distributions (Constant / Uniform / Normal /
+//!   LogNormal and mixtures),
+//! * [`collective`] — the Algorithm 1 driver ([`CollectivePacker`]),
+//! * [`zone`] — zoned packings (slice or mesh sub-regions with particle-set
+//!   mixes, §VI-A),
+//! * [`baseline`] — RSA and drop-and-roll baseline packers for the Table I
+//!   comparison,
+//! * [`metrics`] — contact-overlap statistics, PSD adherence and density
+//!   measurement,
+//! * [`runner`] — the paper's "Abstract Algorithm Runner": a trait plus a
+//!   string-keyed registry so packing algorithms are interchangeable.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use adampack_core::prelude::*;
+//! use adampack_geometry::{shapes, Vec3};
+//!
+//! // A 2×2×2 box container, as in the paper's density study (§V-A).
+//! let mesh = shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0));
+//! let container = Container::from_mesh(&mesh).unwrap();
+//!
+//! let params = PackingParams {
+//!     batch_size: 64,
+//!     target_count: 64,
+//!     seed: 42,
+//!     ..PackingParams::default()
+//! };
+//! let psd = Psd::constant(0.18);
+//! let result = CollectivePacker::new(container, params).pack(&psd);
+//! assert!(result.particles.len() > 20);
+//! // Every sphere stays inside the container within tolerance.
+//! for p in &result.particles {
+//!     assert!(result.container.contains_sphere(p.center, p.radius, 0.05 * p.radius));
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod analysis;
+pub mod baseline;
+pub mod collective;
+pub mod container;
+pub mod grid;
+pub mod metrics;
+pub mod objective;
+pub mod params;
+pub mod particle;
+pub mod postprocess;
+pub mod psd;
+pub mod report;
+pub mod runner;
+pub mod zone;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::baseline::{DropAndRollPacker, RsaPacker};
+    pub use crate::collective::{BatchStats, CollectivePacker, PackResult, StepTrace};
+    pub use crate::container::Container;
+    pub use crate::metrics::{contact_stats, psd_adherence, ContactStats};
+    pub use crate::objective::{Objective, ObjectiveBreakdown, ObjectiveWeights};
+    pub use crate::params::{LrPolicy, OptimizerKind, PackingParams};
+    pub use crate::particle::Particle;
+    pub use crate::psd::Psd;
+    pub use crate::runner::{registry, PackingAlgorithm};
+    pub use crate::zone::{ZoneRegion, ZoneSpec, ZonedPacker};
+}
+
+pub use prelude::*;

@@ -1,0 +1,127 @@
+//! Particles and flat coordinate buffers.
+
+use adampack_geometry::Vec3;
+
+/// A packed sphere.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Particle {
+    /// Centre position.
+    pub center: Vec3,
+    /// Radius (fixed; given by the PSD, never altered by the optimizer).
+    pub radius: f64,
+    /// Index of the batch (layer) that produced this particle, for
+    /// Fig. 1-style per-batch colouring and diagnostics.
+    pub batch: usize,
+    /// Index of the particle set that produced this particle (0 when only
+    /// one set is used); used by zoned packings (§VI-A).
+    pub set: usize,
+}
+
+impl Particle {
+    /// Creates a particle in batch 0 / set 0.
+    pub fn new(center: Vec3, radius: f64) -> Particle {
+        Particle {
+            center,
+            radius,
+            batch: 0,
+            set: 0,
+        }
+    }
+
+    /// `(center, radius)` pair, the shape most metrics helpers take.
+    pub fn sphere(&self) -> (Vec3, f64) {
+        (self.center, self.radius)
+    }
+
+    /// Highest point of the sphere along the given up direction — the
+    /// paper's `max_i(C'_i + r'_i)` layer-top computation.
+    pub fn top_along(&self, up: Vec3) -> f64 {
+        up.dot(self.center) + self.radius
+    }
+}
+
+/// The flat `[x0, y0, z0, x1, y1, z1, …]` coordinate buffer the optimizer
+/// sees — the paper's parameter matrix `C` in row-major form.
+///
+/// Kept as free functions over `&[f64]` so the hot kernels borrow the same
+/// buffer the optimizer updates, with zero copies.
+pub mod coords {
+    use super::Vec3;
+
+    /// Number of particles in a flat buffer.
+    #[inline]
+    pub fn count(buf: &[f64]) -> usize {
+        debug_assert_eq!(buf.len() % 3, 0);
+        buf.len() / 3
+    }
+
+    /// Reads particle `i`'s centre.
+    #[inline]
+    pub fn get(buf: &[f64], i: usize) -> Vec3 {
+        Vec3::new(buf[3 * i], buf[3 * i + 1], buf[3 * i + 2])
+    }
+
+    /// Writes particle `i`'s centre.
+    #[inline]
+    pub fn set(buf: &mut [f64], i: usize, p: Vec3) {
+        buf[3 * i] = p.x;
+        buf[3 * i + 1] = p.y;
+        buf[3 * i + 2] = p.z;
+    }
+
+    /// Accumulates `g` into the gradient slot of particle `i`.
+    #[inline]
+    pub fn add(buf: &mut [f64], i: usize, g: Vec3) {
+        buf[3 * i] += g.x;
+        buf[3 * i + 1] += g.y;
+        buf[3 * i + 2] += g.z;
+    }
+
+    /// Flattens positions into a new buffer.
+    pub fn from_positions(positions: &[Vec3]) -> Vec<f64> {
+        let mut buf = Vec::with_capacity(positions.len() * 3);
+        for p in positions {
+            buf.extend_from_slice(&[p.x, p.y, p.z]);
+        }
+        buf
+    }
+
+    /// Expands a flat buffer back into positions.
+    pub fn to_positions(buf: &[f64]) -> Vec<Vec3> {
+        (0..count(buf)).map(|i| get(buf, i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn particle_top_along() {
+        let p = Particle::new(Vec3::new(0.0, 0.0, 2.0), 0.5);
+        assert_eq!(p.top_along(Vec3::Z), 2.5);
+        assert_eq!(p.top_along(Vec3::X), 0.5);
+        assert_eq!(p.sphere(), (Vec3::new(0.0, 0.0, 2.0), 0.5));
+        assert_eq!(p.batch, 0);
+        assert_eq!(p.set, 0);
+    }
+
+    #[test]
+    fn coords_round_trip() {
+        let pos = vec![Vec3::new(1.0, 2.0, 3.0), Vec3::new(-4.0, 5.0, -6.0)];
+        let buf = coords::from_positions(&pos);
+        assert_eq!(buf, vec![1.0, 2.0, 3.0, -4.0, 5.0, -6.0]);
+        assert_eq!(coords::count(&buf), 2);
+        assert_eq!(coords::get(&buf, 1), pos[1]);
+        assert_eq!(coords::to_positions(&buf), pos);
+    }
+
+    #[test]
+    fn coords_set_and_add() {
+        let mut buf = vec![0.0; 6];
+        coords::set(&mut buf, 1, Vec3::new(1.0, 2.0, 3.0));
+        coords::add(&mut buf, 1, Vec3::new(0.5, -1.0, 0.0));
+        assert_eq!(coords::get(&buf, 1), Vec3::new(1.5, 1.0, 3.0));
+        assert_eq!(coords::get(&buf, 0), Vec3::ZERO);
+    }
+}

@@ -1,0 +1,165 @@
+//! Consolidated quality reports.
+//!
+//! One call that gathers everything the paper (and a DEM practitioner)
+//! asks of a packing — counts, density, contact statistics, boundary
+//! violations, PSD adherence, coordination — with a human-readable
+//! rendering for the CLI.
+
+use std::fmt;
+
+use crate::analysis::mean_coordination;
+use crate::collective::PackResult;
+use crate::container::Container;
+use crate::metrics::{boundary_stats, contact_stats, container_density, psd_adherence, ContactStats, PsdAdherence};
+use crate::psd::Psd;
+
+/// Everything worth knowing about a finished packing.
+#[derive(Debug, Clone)]
+pub struct QualityReport {
+    /// Particles packed.
+    pub packed: usize,
+    /// The requested target.
+    pub target: usize,
+    /// Accepted / total batches.
+    pub batches_accepted: usize,
+    /// Total batches attempted.
+    pub batches_total: usize,
+    /// Whole-container packing fraction (exact, clipped to the hull).
+    pub container_density: f64,
+    /// Contact-overlap statistics.
+    pub contacts: ContactStats,
+    /// `(mean, max)` relative boundary excess.
+    pub boundary: (f64, f64),
+    /// PSD adherence (present when the prescribed PSD is supplied).
+    pub psd: Option<PsdAdherence>,
+    /// Mean coordination number at 5 % contact tolerance.
+    pub mean_coordination: f64,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+}
+
+impl QualityReport {
+    /// Builds the report from a packing result (and optionally the PSD it
+    /// was asked to follow).
+    pub fn from_result(result: &PackResult, container: &Container, psd: Option<&Psd>) -> QualityReport {
+        let centers: Vec<_> = result.particles.iter().map(|p| p.center).collect();
+        let radii: Vec<f64> = result.particles.iter().map(|p| p.radius).collect();
+        QualityReport {
+            packed: result.particles.len(),
+            target: result.target,
+            batches_accepted: result.batches.iter().filter(|b| b.accepted).count(),
+            batches_total: result.batches.len(),
+            container_density: if result.particles.is_empty() {
+                0.0
+            } else {
+                container_density(&result.particles, container)
+            },
+            contacts: contact_stats(&result.particles),
+            boundary: boundary_stats(&centers, &radii, container.halfspaces()),
+            psd: psd.filter(|_| !radii.is_empty()).map(|p| psd_adherence(&radii, p)),
+            mean_coordination: mean_coordination(&result.particles, 0.05),
+            seconds: result.duration.as_secs_f64(),
+        }
+    }
+}
+
+impl fmt::Display for QualityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "packed:             {} / {}", self.packed, self.target)?;
+        writeln!(
+            f,
+            "batches:            {} accepted of {}",
+            self.batches_accepted, self.batches_total
+        )?;
+        writeln!(f, "container density:  {:.4}", self.container_density)?;
+        writeln!(
+            f,
+            "contacts:           {} (mean overlap {:.3}% of r, max {:.3}%)",
+            self.contacts.contacts,
+            self.contacts.mean_overlap_ratio * 100.0,
+            self.contacts.max_overlap_ratio * 100.0
+        )?;
+        writeln!(
+            f,
+            "boundary excess:    mean {:.3}% of r, max {:.3}%",
+            self.boundary.0 * 100.0,
+            self.boundary.1 * 100.0
+        )?;
+        if let Some(psd) = &self.psd {
+            writeln!(
+                f,
+                "psd adherence:      mean err {:.3}%, KS D = {:.4}",
+                psd.mean_rel_error * 100.0,
+                psd.ks_statistic
+            )?;
+        }
+        writeln!(f, "mean coordination:  {:.2}", self.mean_coordination)?;
+        write!(f, "time:               {:.2} s", self.seconds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collective::CollectivePacker;
+    use crate::params::PackingParams;
+    use adampack_geometry::{shapes, Vec3};
+
+    fn run() -> (PackResult, Container, Psd) {
+        let container =
+            Container::from_mesh(&shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0))).unwrap();
+        let psd = Psd::uniform(0.1, 0.14);
+        let params = PackingParams {
+            batch_size: 30,
+            target_count: 60,
+            max_steps: 500,
+            patience: 50,
+            seed: 6,
+            ..PackingParams::default()
+        };
+        let result = CollectivePacker::new(container.clone(), params).pack(&psd);
+        (result, container, psd)
+    }
+
+    #[test]
+    fn report_fields_are_consistent() {
+        let (result, container, psd) = run();
+        let report = QualityReport::from_result(&result, &container, Some(&psd));
+        assert_eq!(report.packed, result.particles.len());
+        assert!(report.batches_accepted <= report.batches_total);
+        assert!(report.container_density > 0.0 && report.container_density < 0.75);
+        assert!(report.mean_coordination >= 0.0);
+        assert!(report.seconds > 0.0);
+        let psd_report = report.psd.expect("psd given");
+        assert_eq!(psd_report.out_of_bound_fraction, 0.0);
+        let critical = 1.36 / (report.packed as f64).sqrt();
+        assert!(psd_report.ks_statistic < 1.5 * critical, "D = {}", psd_report.ks_statistic);
+    }
+
+    #[test]
+    fn display_renders_every_section() {
+        let (result, container, psd) = run();
+        let report = QualityReport::from_result(&result, &container, Some(&psd));
+        let text = report.to_string();
+        for needle in [
+            "packed:",
+            "batches:",
+            "container density:",
+            "contacts:",
+            "boundary excess:",
+            "psd adherence:",
+            "mean coordination:",
+            "time:",
+        ] {
+            assert!(text.contains(needle), "missing '{needle}' in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn report_without_psd_omits_adherence() {
+        let (result, container, _) = run();
+        let report = QualityReport::from_result(&result, &container, None);
+        assert!(report.psd.is_none());
+        assert!(!report.to_string().contains("psd adherence"));
+    }
+}

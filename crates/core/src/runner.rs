@@ -1,0 +1,150 @@
+//! The paper's "Abstract Algorithm Runner" (§VI-A): packing algorithms
+//! behind a common trait, selected by the string key the YAML configuration
+//! uses (`algorithm: "COLLECTIVE_ARRANGEMENT"`), "in order to ease the
+//! addition (and comparison) of new packing algorithms".
+
+use crate::baseline::{DropAndRollPacker, RsaPacker};
+use crate::collective::{CollectivePacker, PackResult};
+use crate::container::Container;
+use crate::params::PackingParams;
+use crate::psd::Psd;
+
+/// A packing algorithm runnable from a configuration.
+pub trait PackingAlgorithm: Send {
+    /// Stable identifier (the YAML `algorithm:` key).
+    fn name(&self) -> &'static str;
+
+    /// Packs `n` particles drawn from `psd` into `container`.
+    fn pack(&self, container: &Container, psd: &Psd, n: usize, params: &PackingParams)
+        -> PackResult;
+}
+
+struct CollectiveRunner;
+
+impl PackingAlgorithm for CollectiveRunner {
+    fn name(&self) -> &'static str {
+        "COLLECTIVE_ARRANGEMENT"
+    }
+
+    fn pack(
+        &self,
+        container: &Container,
+        psd: &Psd,
+        n: usize,
+        params: &PackingParams,
+    ) -> PackResult {
+        let mut p = params.clone();
+        p.target_count = n;
+        CollectivePacker::new(container.clone(), p).pack(psd)
+    }
+}
+
+struct RsaRunner;
+
+impl PackingAlgorithm for RsaRunner {
+    fn name(&self) -> &'static str {
+        "RSA"
+    }
+
+    fn pack(
+        &self,
+        container: &Container,
+        psd: &Psd,
+        n: usize,
+        params: &PackingParams,
+    ) -> PackResult {
+        RsaPacker {
+            seed: params.seed,
+            ..RsaPacker::default()
+        }
+        .pack(container, psd, n)
+    }
+}
+
+struct DropRunner;
+
+impl PackingAlgorithm for DropRunner {
+    fn name(&self) -> &'static str {
+        "DROP_AND_ROLL"
+    }
+
+    fn pack(
+        &self,
+        container: &Container,
+        psd: &Psd,
+        n: usize,
+        params: &PackingParams,
+    ) -> PackResult {
+        DropAndRollPacker {
+            seed: params.seed,
+            ..DropAndRollPacker::default()
+        }
+        .pack(container, psd, n)
+    }
+}
+
+/// Looks an algorithm up by its configuration key (case-insensitive).
+///
+/// Known keys: `COLLECTIVE_ARRANGEMENT` (the paper's method), `RSA`,
+/// `DROP_AND_ROLL`.
+pub fn registry(name: &str) -> Option<Box<dyn PackingAlgorithm>> {
+    match name.to_ascii_uppercase().as_str() {
+        "COLLECTIVE_ARRANGEMENT" => Some(Box::new(CollectiveRunner)),
+        "RSA" => Some(Box::new(RsaRunner)),
+        "DROP_AND_ROLL" => Some(Box::new(DropRunner)),
+        _ => None,
+    }
+}
+
+/// All registered algorithm names.
+pub fn algorithm_names() -> &'static [&'static str] {
+    &["COLLECTIVE_ARRANGEMENT", "RSA", "DROP_AND_ROLL"]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adampack_geometry::{shapes, Vec3};
+
+    fn box_container() -> Container {
+        Container::from_mesh(&shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0))).unwrap()
+    }
+
+    #[test]
+    fn registry_resolves_known_names() {
+        for name in algorithm_names() {
+            let algo = registry(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(&algo.name(), name);
+        }
+        // Case-insensitive, matching the YAML convention.
+        assert!(registry("collective_arrangement").is_some());
+        assert!(registry("NOT_AN_ALGORITHM").is_none());
+    }
+
+    #[test]
+    fn every_algorithm_packs_something() {
+        let container = box_container();
+        let psd = Psd::constant(0.15);
+        let params = PackingParams {
+            batch_size: 20,
+            max_steps: 300,
+            patience: 40,
+            seed: 11,
+            ..PackingParams::default()
+        };
+        for name in algorithm_names() {
+            let algo = registry(name).unwrap();
+            let result = algo.pack(&container, &psd, 20, &params);
+            assert!(
+                !result.particles.is_empty(),
+                "{name} packed nothing"
+            );
+            for p in &result.particles {
+                assert!(
+                    container.contains_sphere(p.center, p.radius, 0.05 * p.radius),
+                    "{name} left a sphere outside"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Property tests for the packing core: PSD sampling, grid-vs-brute-force,
+//! objective invariants, optimizer descent.
+
+use adampack_core::grid::CellGrid;
+use adampack_core::objective::{CrossMode, IntraMode, Objective, ObjectiveWeights};
+use adampack_core::prelude::*;
+use adampack_geometry::{shapes, Axis, Vec3};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn box_container() -> Container {
+    Container::from_mesh(&shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0))).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn psd_samples_respect_bounds_and_mean(
+        min in 0.01f64..0.1,
+        width in 0.001f64..0.1,
+        seed in 0u64..500,
+    ) {
+        let psd = Psd::uniform(min, min + width);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples = psd.sample_n(&mut rng, 2000);
+        prop_assert!(samples.iter().all(|&r| r >= min && r <= min + width));
+        let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+        // 2000 samples: mean within 10 % of the width around the true mean.
+        prop_assert!((mean - psd.mean()).abs() < 0.1 * width + 1e-12);
+        prop_assert!(samples.iter().all(|&r| r <= psd.max_radius()));
+    }
+
+    #[test]
+    fn normal_psd_stays_positive_and_truncated(
+        mean in 0.05f64..0.2,
+        rel_sigma in 0.01f64..0.3,
+        seed in 0u64..200,
+    ) {
+        let sigma = mean * rel_sigma;
+        let psd = Psd::normal(mean, sigma);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for r in psd.sample_n(&mut rng, 500) {
+            prop_assert!(r > 0.0);
+            prop_assert!((r - mean).abs() <= 3.0 * sigma + 1e-12);
+        }
+    }
+
+    #[test]
+    fn grid_overlap_query_matches_brute_force(
+        centers in prop::collection::vec(
+            (-1.5f64..1.5, -1.5f64..1.5, -1.5f64..1.5), 1..120),
+        radii_seed in 0u64..100,
+        qx in -1.5f64..1.5,
+        qy in -1.5f64..1.5,
+        qz in -1.5f64..1.5,
+        qr in 0.05f64..0.5,
+    ) {
+        use rand::Rng;
+        let pts: Vec<Vec3> = centers.iter().map(|&(x, y, z)| Vec3::new(x, y, z)).collect();
+        let mut rng = StdRng::seed_from_u64(radii_seed);
+        let radii: Vec<f64> = pts.iter().map(|_| rng.gen_range(0.02..0.3)).collect();
+        let grid = CellGrid::build(&pts, &radii);
+        let q = Vec3::new(qx, qy, qz);
+        let got = grid.overlapping(q, qr);
+        let want: Vec<usize> = (0..pts.len())
+            .filter(|&i| {
+                let m = qr + radii[i];
+                q.distance_sq(pts[i]) < m * m
+            })
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn objective_terms_have_correct_signs(
+        coords in prop::collection::vec(-1.2f64..1.2, 3..30),
+        r in 0.05f64..0.3,
+    ) {
+        prop_assume!(coords.len() % 3 == 0);
+        let n = coords.len() / 3;
+        let radii = vec![r; n];
+        let container = box_container();
+        let fixed = CellGrid::empty();
+        let obj = Objective::new(
+            ObjectiveWeights::default(),
+            Axis::Z,
+            container.halfspaces(),
+            &radii,
+            &fixed,
+        );
+        let b = obj.breakdown(&coords);
+        // Penetration and exterior terms are sums of non-negative hinges.
+        prop_assert!(b.penetration_intra >= 0.0);
+        prop_assert!(b.penetration_cross >= 0.0);
+        prop_assert!(b.exterior >= 0.0);
+        // The weighted total matches the weight formula.
+        let w = ObjectiveWeights::default();
+        let expect = w.alpha * (b.penetration_intra + b.penetration_cross)
+            + w.beta * b.altitude
+            + w.gamma * b.exterior;
+        prop_assert!((b.total - expect).abs() < 1e-9 * expect.abs().max(1.0));
+        // value_and_grad agrees with breakdown.
+        let v = obj.value(&coords);
+        prop_assert!((v - b.total).abs() < 1e-9 * v.abs().max(1.0));
+    }
+
+    #[test]
+    fn cross_modes_agree_on_random_beds(
+        bed in prop::collection::vec((-0.9f64..0.9, -0.9f64..0.9, -0.9f64..0.0), 1..60),
+        batch in prop::collection::vec((-0.9f64..0.9, -0.9f64..0.9, -0.3f64..0.9), 1..20),
+    ) {
+        let bed_pts: Vec<Vec3> = bed.iter().map(|&(x, y, z)| Vec3::new(x, y, z)).collect();
+        let bed_radii = vec![0.15; bed_pts.len()];
+        let fixed = CellGrid::build(&bed_pts, &bed_radii);
+        let radii = vec![0.12; batch.len()];
+        let coords: Vec<f64> = batch.iter().flat_map(|&(x, y, z)| [x, y, z]).collect();
+        let container = box_container();
+        let w = ObjectiveWeights::default();
+        let mk = |mode| {
+            Objective::new(w, Axis::Z, container.halfspaces(), &radii, &fixed)
+                .with_cross_mode(mode)
+        };
+        let mut g1 = vec![0.0; coords.len()];
+        let mut g2 = vec![0.0; coords.len()];
+        let v1 = mk(CrossMode::Grid).value_and_grad(&coords, &mut g1);
+        let v2 = mk(CrossMode::Naive).value_and_grad(&coords, &mut g2);
+        prop_assert!((v1 - v2).abs() < 1e-9 * v1.abs().max(1.0));
+        for (a, b) in g1.iter().zip(&g2) {
+            prop_assert!((a - b).abs() < 1e-9 * b.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn intra_modes_agree_on_random_batches(
+        batch in prop::collection::vec((-0.9f64..0.9, -0.9f64..0.9, -0.9f64..0.9), 2..40),
+    ) {
+        let radii = vec![0.2; batch.len()];
+        let coords: Vec<f64> = batch.iter().flat_map(|&(x, y, z)| [x, y, z]).collect();
+        let container = box_container();
+        let fixed = CellGrid::empty();
+        let w = ObjectiveWeights::default();
+        let mk = |mode| {
+            Objective::new(w, Axis::Z, container.halfspaces(), &radii, &fixed)
+                .with_intra_mode(mode)
+        };
+        let v1 = mk(IntraMode::Naive).value(&coords);
+        let v2 = mk(IntraMode::Grid).value(&coords);
+        prop_assert!((v1 - v2).abs() < 1e-9 * v1.abs().max(1.0), "{v1} vs {v2}");
+    }
+
+    #[test]
+    fn one_amsgrad_step_descends_from_random_states(
+        batch in prop::collection::vec((-0.8f64..0.8, -0.8f64..0.8, -0.8f64..0.8), 4..24),
+    ) {
+        use adampack_opt::Optimizer;
+        // From any state with gradient, a small AMSGrad step must reduce the
+        // objective (first step of Adam moves along −sign(g) with step ≈ lr).
+        let radii = vec![0.2; batch.len()];
+        let mut coords: Vec<f64> = batch.iter().flat_map(|&(x, y, z)| [x, y, z]).collect();
+        let container = box_container();
+        let fixed = CellGrid::empty();
+        let obj = Objective::new(
+            ObjectiveWeights::default(),
+            Axis::Z,
+            container.halfspaces(),
+            &radii,
+            &fixed,
+        );
+        let mut grad = vec![0.0; coords.len()];
+        let v0 = obj.value_and_grad(&coords, &mut grad);
+        prop_assume!(grad.iter().any(|g| g.abs() > 1e-6));
+        let mut opt = adampack_opt::Adam::new(
+            adampack_opt::AdamConfig { lr: 1e-4, amsgrad: true, ..Default::default() },
+            coords.len(),
+        );
+        opt.step(&mut coords, &grad);
+        let v1 = obj.value(&coords);
+        prop_assert!(v1 <= v0 + 1e-9, "tiny first step must not increase Z: {v0} → {v1}");
+    }
+
+    #[test]
+    fn boundary_stats_bounded_and_zero_inside(
+        px in -0.5f64..0.5,
+        py in -0.5f64..0.5,
+        pz in -0.5f64..0.5,
+        r in 0.05f64..0.4,
+    ) {
+        use adampack_core::metrics::boundary_stats;
+        let container = box_container();
+        let (mean, max) = boundary_stats(&[Vec3::new(px, py, pz)], &[r], container.halfspaces());
+        // A sphere centred within ±0.5 with radius ≤ 0.4 is fully inside the
+        // [-1, 1]³ box.
+        prop_assert_eq!(mean, 0.0);
+        prop_assert_eq!(max, 0.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # adampack-dem
+//!
+//! A soft-sphere Discrete Element Method substrate.
+//!
+//! The paper's whole purpose is generating *initial conditions for DEM
+//! simulations* (packed beds for blast furnaces, biomass furnaces, powder
+//! compaction). The reference pipeline hands its packings to the external
+//! XDEM framework; this crate provides a compact, from-scratch DEM so the
+//! workspace can close that loop itself:
+//!
+//! * **validation** — drop a packed bed into the simulator and verify it is
+//!   near-equilibrium: kinetic energy stays bounded and decays, no particle
+//!   is ejected, the bed height barely changes (integration tests use this
+//!   as the paper's implicit fitness-for-purpose criterion);
+//! * **relaxation** — an optional post-pass (as XProtoSphere offers) that
+//!   removes the residual ≤1 % contact overlaps the optimizer leaves.
+//!
+//! The model is the classic linear spring–dashpot (Cundall & Strack \[3\]):
+//! normal force `F = kₙ·δ − cₙ·v̇ₙ` between overlapping spheres and against
+//! container walls, semi-implicit (symplectic) Euler integration, and a
+//! cell-list for contact detection, parallelized with Rayon.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+mod sim;
+
+pub use sim::{DemParams, DemSimulation, DemStats};

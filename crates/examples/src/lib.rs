@@ -1,0 +1,56 @@
+//! Shared helpers for the top-level `examples/` binaries.
+//!
+//! The runnable examples live in the workspace-root `examples/` directory and
+//! are owned by this crate (see the `[[example]]` entries in `Cargo.toml`).
+//! This library only hosts small utilities they share, such as output-path
+//! handling.
+
+use std::path::PathBuf;
+
+/// Directory where examples drop their artifacts (VTK/CSV files).
+///
+/// Defaults to `target/example-output`, creating it if needed.
+pub fn output_dir() -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from("target/example-output");
+    std::fs::create_dir_all(&dir)?;
+    Ok(dir)
+}
+
+/// Parse `--particles N`-style integer flags from `std::env::args`.
+///
+/// Returns `default` when the flag is absent; panics with a readable message
+/// on malformed values, which is acceptable for example binaries.
+pub fn arg_usize(flag: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    for pair in args.windows(2) {
+        if pair[0] == flag {
+            return pair[1]
+                .parse()
+                .unwrap_or_else(|e| panic!("invalid value for {flag}: {e}"));
+        }
+    }
+    default
+}
+
+/// Returns true when the given boolean flag (e.g. `--full`) is present.
+pub fn arg_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_dir_is_created() {
+        let dir = output_dir().unwrap();
+        assert!(dir.ends_with("example-output"));
+        assert!(dir.exists());
+    }
+
+    #[test]
+    fn missing_flag_yields_default() {
+        assert_eq!(arg_usize("--definitely-not-passed", 7), 7);
+        assert!(!arg_flag("--definitely-not-passed"));
+    }
+}

@@ -1,0 +1,282 @@
+//! Axis-aligned bounding boxes.
+
+use crate::vec3::Vec3;
+
+/// An axis-aligned box `[min, max]` in ℝ³.
+///
+/// Used both as a bounding volume and as the *virtual inner box* density
+/// probe of the paper's Fig. 4 (a box ⅓ smaller than the container, centred).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: Vec3,
+    /// Maximum corner.
+    pub max: Vec3,
+}
+
+impl Aabb {
+    /// Creates a box from two corners; the result is normalized so that
+    /// `min <= max` component-wise.
+    pub fn new(a: Vec3, b: Vec3) -> Self {
+        Aabb {
+            min: a.min(b),
+            max: a.max(b),
+        }
+    }
+
+    /// An empty box, suitable as the identity for [`Aabb::union`] /
+    /// [`Aabb::expand_point`].
+    pub fn empty() -> Self {
+        Aabb {
+            min: Vec3::splat(f64::INFINITY),
+            max: Vec3::splat(f64::NEG_INFINITY),
+        }
+    }
+
+    /// Smallest box containing all `points`; [`Aabb::empty`] for no points.
+    pub fn from_points(points: &[Vec3]) -> Self {
+        let mut b = Aabb::empty();
+        for &p in points {
+            b.expand_point(p);
+        }
+        b
+    }
+
+    /// A cube of the given side, centred at `center`.
+    pub fn cube(center: Vec3, side: f64) -> Self {
+        let h = Vec3::splat(side / 2.0);
+        Aabb::new(center - h, center + h)
+    }
+
+    /// True when `min <= max` fails on some axis (no point is contained).
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y || self.min.z > self.max.z
+    }
+
+    /// Grows the box to include `p`.
+    pub fn expand_point(&mut self, p: Vec3) {
+        self.min = self.min.min(p);
+        self.max = self.max.max(p);
+    }
+
+    /// Smallest box containing both operands.
+    pub fn union(&self, other: &Aabb) -> Aabb {
+        Aabb {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Intersection; may be empty.
+    pub fn intersection(&self, other: &Aabb) -> Aabb {
+        Aabb {
+            min: self.min.max(other.min),
+            max: self.max.min(other.max),
+        }
+    }
+
+    /// Box centre.
+    pub fn center(&self) -> Vec3 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Edge lengths.
+    pub fn extent(&self) -> Vec3 {
+        self.max - self.min
+    }
+
+    /// Length of the space diagonal; `0` for an empty box.
+    pub fn diagonal(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.extent().norm()
+        }
+    }
+
+    /// Volume; `0` for an empty box.
+    pub fn volume(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            let e = self.extent();
+            e.x * e.y * e.z
+        }
+    }
+
+    /// True when `p` lies inside or on the boundary.
+    pub fn contains(&self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// True when the closed boxes intersect.
+    pub fn intersects(&self, other: &Aabb) -> bool {
+        !self.intersection(other).is_empty()
+    }
+
+    /// True when the sphere `(center, radius)` intersects the box.
+    pub fn intersects_sphere(&self, center: Vec3, radius: f64) -> bool {
+        self.distance_sq_to_point(center) <= radius * radius
+    }
+
+    /// Squared distance from `p` to the box (0 if inside).
+    pub fn distance_sq_to_point(&self, p: Vec3) -> f64 {
+        let mut d2 = 0.0;
+        for i in 0..3 {
+            let v = p[i];
+            if v < self.min[i] {
+                d2 += (self.min[i] - v) * (self.min[i] - v);
+            } else if v > self.max[i] {
+                d2 += (v - self.max[i]) * (v - self.max[i]);
+            }
+        }
+        d2
+    }
+
+    /// Shrinks the box towards its centre by `factor` on every axis.
+    ///
+    /// `factor = 1/3` produces the paper's Fig. 4 *virtual inner box*: each
+    /// edge is reduced to `1 - 1/3 = 2/3` of the original while the centre is
+    /// preserved.
+    pub fn shrink(&self, factor: f64) -> Aabb {
+        assert!(
+            (0.0..1.0).contains(&factor),
+            "shrink factor must be in [0, 1), got {factor}"
+        );
+        let c = self.center();
+        let h = self.extent() * 0.5 * (1.0 - factor);
+        Aabb::new(c - h, c + h)
+    }
+
+    /// The 8 corner points.
+    pub fn corners(&self) -> [Vec3; 8] {
+        let (lo, hi) = (self.min, self.max);
+        [
+            Vec3::new(lo.x, lo.y, lo.z),
+            Vec3::new(hi.x, lo.y, lo.z),
+            Vec3::new(lo.x, hi.y, lo.z),
+            Vec3::new(hi.x, hi.y, lo.z),
+            Vec3::new(lo.x, lo.y, hi.z),
+            Vec3::new(hi.x, lo.y, hi.z),
+            Vec3::new(lo.x, hi.y, hi.z),
+            Vec3::new(hi.x, hi.y, hi.z),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_normalizes_corners() {
+        let b = Aabb::new(Vec3::new(1.0, -1.0, 5.0), Vec3::new(-1.0, 1.0, 2.0));
+        assert_eq!(b.min, Vec3::new(-1.0, -1.0, 2.0));
+        assert_eq!(b.max, Vec3::new(1.0, 1.0, 5.0));
+    }
+
+    #[test]
+    fn empty_box_properties() {
+        let e = Aabb::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.volume(), 0.0);
+        assert_eq!(e.diagonal(), 0.0);
+        assert!(!e.contains(Vec3::ZERO));
+    }
+
+    #[test]
+    fn from_points_and_expand() {
+        let pts = [
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 2.0, -3.0),
+            Vec3::new(-1.0, 0.5, 4.0),
+        ];
+        let b = Aabb::from_points(&pts);
+        assert_eq!(b.min, Vec3::new(-1.0, 0.0, -3.0));
+        assert_eq!(b.max, Vec3::new(1.0, 2.0, 4.0));
+        for p in pts {
+            assert!(b.contains(p));
+        }
+    }
+
+    #[test]
+    fn cube_center_extent_volume() {
+        let b = Aabb::cube(Vec3::new(1.0, 1.0, 1.0), 2.0);
+        assert_eq!(b.center(), Vec3::new(1.0, 1.0, 1.0));
+        assert_eq!(b.extent(), Vec3::splat(2.0));
+        assert!((b.volume() - 8.0).abs() < 1e-12);
+        assert!((b.diagonal() - (12.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn union_intersection() {
+        let a = Aabb::new(Vec3::ZERO, Vec3::splat(2.0));
+        let b = Aabb::new(Vec3::splat(1.0), Vec3::splat(3.0));
+        let u = a.union(&b);
+        assert_eq!(u, Aabb::new(Vec3::ZERO, Vec3::splat(3.0)));
+        let i = a.intersection(&b);
+        assert_eq!(i, Aabb::new(Vec3::splat(1.0), Vec3::splat(2.0)));
+        assert!(a.intersects(&b));
+
+        let far = Aabb::new(Vec3::splat(10.0), Vec3::splat(11.0));
+        assert!(!a.intersects(&far));
+        assert!(a.intersection(&far).is_empty());
+    }
+
+    #[test]
+    fn sphere_intersection() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::splat(1.0));
+        assert!(b.intersects_sphere(Vec3::splat(0.5), 0.1)); // inside
+        assert!(b.intersects_sphere(Vec3::new(1.5, 0.5, 0.5), 0.6)); // touching face
+        assert!(!b.intersects_sphere(Vec3::new(2.0, 0.5, 0.5), 0.5)); // too far
+        // Corner case: sphere approaching the (1,1,1) corner diagonally.
+        let c = Vec3::splat(1.0 + 0.1 / (3.0f64).sqrt());
+        assert!(b.intersects_sphere(c, 0.11));
+        assert!(!b.intersects_sphere(c, 0.09));
+    }
+
+    #[test]
+    fn distance_sq_inside_is_zero() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::splat(1.0));
+        assert_eq!(b.distance_sq_to_point(Vec3::splat(0.5)), 0.0);
+        assert_eq!(b.distance_sq_to_point(Vec3::new(1.0, 1.0, 1.0)), 0.0); // boundary
+        assert!((b.distance_sq_to_point(Vec3::new(2.0, 0.5, 0.5)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shrink_matches_paper_inner_box() {
+        // Container box 2x2x2 centred at origin; inner box 1/3 smaller.
+        let b = Aabb::cube(Vec3::ZERO, 2.0);
+        let inner = b.shrink(1.0 / 3.0);
+        assert_eq!(inner.center(), Vec3::ZERO);
+        let e = inner.extent();
+        assert!((e.x - 4.0 / 3.0).abs() < 1e-12);
+        assert!((e.y - 4.0 / 3.0).abs() < 1e-12);
+        assert!((e.z - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "shrink factor")]
+    fn shrink_rejects_bad_factor() {
+        let _ = Aabb::cube(Vec3::ZERO, 1.0).shrink(1.0);
+    }
+
+    #[test]
+    fn corners_are_contained_and_unique() {
+        let b = Aabb::new(Vec3::new(-1.0, 0.0, 2.0), Vec3::new(1.0, 1.0, 3.0));
+        let cs = b.corners();
+        for c in cs {
+            assert!(b.contains(c));
+        }
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                assert_ne!(cs[i], cs[j]);
+            }
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Gravity axes.
+//!
+//! The paper assumes gravity along `z` "however in practice any direction can
+//! be used" (§III-B). [`Axis`] captures both the named coordinate axes used in
+//! the YAML configuration (`gravity_axis: z`) and arbitrary directions.
+
+use crate::vec3::Vec3;
+
+/// A gravity direction.
+///
+/// The *direction* points the way gravity pulls, i.e. the altitude term
+/// `A^C` of the objective is the sum of particle coordinates along
+/// `-direction` — minimizing it pushes particles *along* gravity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Axis {
+    /// Gravity pulls towards -x; altitude measured along +x.
+    X,
+    /// Gravity pulls towards -y; altitude measured along +y.
+    Y,
+    /// Gravity pulls towards -z; altitude measured along +z (paper default).
+    Z,
+    /// Arbitrary *up* direction (unit vector); altitude measured along it.
+    Custom(Vec3),
+}
+
+impl Axis {
+    /// The unit "up" vector: the direction along which altitude is measured.
+    pub fn up(&self) -> Vec3 {
+        match *self {
+            Axis::X => Vec3::X,
+            Axis::Y => Vec3::Y,
+            Axis::Z => Vec3::Z,
+            Axis::Custom(v) => v,
+        }
+    }
+
+    /// Altitude of a point: its coordinate along the up direction.
+    #[inline]
+    pub fn altitude(&self, p: Vec3) -> f64 {
+        match *self {
+            // Fast paths avoid a full dot product in the packing hot loop.
+            Axis::X => p.x,
+            Axis::Y => p.y,
+            Axis::Z => p.z,
+            Axis::Custom(v) => v.dot(p),
+        }
+    }
+
+    /// Builds a custom axis from any nonzero vector, normalizing it.
+    ///
+    /// Returns `None` for the zero vector. Vectors that coincide with a
+    /// coordinate axis still produce `Custom`; use [`Axis::canonicalize`] to
+    /// fold those back to the named variants.
+    pub fn from_vector(v: Vec3) -> Option<Axis> {
+        v.normalized().map(Axis::Custom)
+    }
+
+    /// Parses the YAML spellings: `x`/`y`/`z` (also `0`/`1`/`2`).
+    pub fn parse(s: &str) -> Option<Axis> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "x" | "0" => Some(Axis::X),
+            "y" | "1" => Some(Axis::Y),
+            "z" | "2" => Some(Axis::Z),
+            _ => None,
+        }
+    }
+
+    /// Folds `Custom` axes that coincide with +x/+y/+z back to the named
+    /// variants (within `1e-12`).
+    pub fn canonicalize(self) -> Axis {
+        if let Axis::Custom(v) = self {
+            for (unit, axis) in [(Vec3::X, Axis::X), (Vec3::Y, Axis::Y), (Vec3::Z, Axis::Z)] {
+                if (v - unit).norm() < 1e-12 {
+                    return axis;
+                }
+            }
+        }
+        self
+    }
+
+    /// Index of the coordinate axis (0/1/2) for named axes, `None` for
+    /// `Custom`.
+    pub fn index(&self) -> Option<usize> {
+        match self {
+            Axis::X => Some(0),
+            Axis::Y => Some(1),
+            Axis::Z => Some(2),
+            Axis::Custom(_) => None,
+        }
+    }
+}
+
+impl Default for Axis {
+    fn default() -> Self {
+        Axis::Z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn altitude_matches_dot_product() {
+        let p = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(Axis::X.altitude(p), 1.0);
+        assert_eq!(Axis::Y.altitude(p), 2.0);
+        assert_eq!(Axis::Z.altitude(p), 3.0);
+        let up = Vec3::new(1.0, 1.0, 0.0).normalized().unwrap();
+        let a = Axis::Custom(up);
+        assert!((a.altitude(p) - up.dot(p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_spellings() {
+        assert_eq!(Axis::parse("z"), Some(Axis::Z));
+        assert_eq!(Axis::parse(" X "), Some(Axis::X));
+        assert_eq!(Axis::parse("1"), Some(Axis::Y));
+        assert_eq!(Axis::parse("w"), None);
+        assert_eq!(Axis::parse(""), None);
+    }
+
+    #[test]
+    fn from_vector_normalizes_and_rejects_zero() {
+        let a = Axis::from_vector(Vec3::new(0.0, 0.0, 5.0)).unwrap();
+        assert!((a.up() - Vec3::Z).norm() < 1e-12);
+        assert!(Axis::from_vector(Vec3::ZERO).is_none());
+    }
+
+    #[test]
+    fn canonicalize_folds_unit_axes() {
+        let a = Axis::from_vector(Vec3::new(0.0, 2.0, 0.0)).unwrap().canonicalize();
+        assert_eq!(a, Axis::Y);
+        let skew = Axis::from_vector(Vec3::new(1.0, 1.0, 0.0)).unwrap().canonicalize();
+        assert!(matches!(skew, Axis::Custom(_)));
+    }
+
+    #[test]
+    fn index_of_named_axes() {
+        assert_eq!(Axis::X.index(), Some(0));
+        assert_eq!(Axis::Z.index(), Some(2));
+        assert_eq!(Axis::Custom(Vec3::Z).index(), None);
+        assert_eq!(Axis::default(), Axis::Z);
+    }
+}

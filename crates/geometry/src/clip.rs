@@ -1,0 +1,274 @@
+//! Clipping convex closed meshes by half-spaces.
+//!
+//! Zones (§VI-A) restrict a container to a sub-region — an altitude slab or
+//! a nested shape. Representing the restricted region only as extra
+//! half-space rows is enough for the objective, but loses the explicit
+//! geometry (volume, vertex support for spawn slabs). This module clips a
+//! convex, watertight [`TriMesh`] against a plane's inner half-space
+//! (`signed distance ≤ 0`), producing a closed mesh again: surface
+//! triangles are Sutherland–Hodgman-clipped, and the cut cross-section is
+//! capped with a fan around its centroid (the cross-section of a convex
+//! body is convex, so the fan is valid).
+
+use crate::mesh::TriMesh;
+use crate::plane::Plane;
+use crate::vec3::Vec3;
+
+/// Result of [`clip_convex`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClipResult {
+    /// The mesh lies entirely inside the half-space (returned unchanged).
+    Unchanged,
+    /// The mesh lies entirely outside; nothing remains.
+    Empty,
+    /// The mesh was cut; the payload is the closed clipped mesh.
+    Clipped(TriMesh),
+}
+
+/// Clips a convex closed mesh by the half-space `plane.signed_distance ≤ 0`.
+///
+/// `eps` is the absolute tolerance for on-plane classification; pass
+/// something like `1e-9 ×` the mesh diagonal.
+pub fn clip_convex(mesh: &TriMesh, plane: &Plane, eps: f64) -> ClipResult {
+    let dists: Vec<f64> = mesh.vertices.iter().map(|&v| plane.signed_distance(v)).collect();
+    let any_out = dists.iter().any(|&d| d > eps);
+    let any_in = dists.iter().any(|&d| d < -eps);
+    if !any_out {
+        return ClipResult::Unchanged;
+    }
+    if !any_in {
+        return ClipResult::Empty;
+    }
+
+    let mut vertices: Vec<Vec3> = Vec::new();
+    let mut faces: Vec<[usize; 3]> = Vec::new();
+    let mut cut_points: Vec<Vec3> = Vec::new();
+
+    let push_poly = |poly: &[Vec3], vertices: &mut Vec<Vec3>, faces: &mut Vec<[usize; 3]>| {
+        if poly.len() < 3 {
+            return;
+        }
+        let base = vertices.len();
+        vertices.extend_from_slice(poly);
+        for k in 1..poly.len() - 1 {
+            faces.push([base, base + k, base + k + 1]);
+        }
+    };
+
+    for tri in &mesh.faces {
+        let pts = [
+            mesh.vertices[tri[0]],
+            mesh.vertices[tri[1]],
+            mesh.vertices[tri[2]],
+        ];
+        let ds = [dists[tri[0]], dists[tri[1]], dists[tri[2]]];
+        // Sutherland–Hodgman against the single clip plane. Classification
+        // is the exact sign test (`d ≤ 0` is inside) so both triangles of a
+        // shared edge agree on its crossing point; `eps` is only used for
+        // the fast-path checks above and the final weld.
+        let mut poly: Vec<Vec3> = Vec::with_capacity(4);
+        for i in 0..3 {
+            let j = (i + 1) % 3;
+            let (pi, pj) = (pts[i], pts[j]);
+            let (di, dj) = (ds[i], ds[j]);
+            if di <= 0.0 {
+                poly.push(pi);
+            }
+            if (di <= 0.0) != (dj <= 0.0) {
+                let t = di / (di - dj);
+                let x = pi.lerp(pj, t);
+                poly.push(x);
+                cut_points.push(x);
+            }
+        }
+        push_poly(&poly, &mut vertices, &mut faces);
+    }
+
+    // Cap the cut. The cut cross-section of a convex body is a convex
+    // polygon; order its points angularly around the centroid in the plane
+    // and fan-triangulate with winding facing the plane normal (outward).
+    if cut_points.len() >= 3 {
+        let centroid = cut_points.iter().fold(Vec3::ZERO, |a, &b| a + b) / cut_points.len() as f64;
+        let u = plane.normal.any_orthonormal();
+        let v = plane.normal.cross(u);
+        let mut ring: Vec<(f64, Vec3)> = cut_points
+            .iter()
+            .map(|&p| {
+                let d = p - centroid;
+                (d.dot(v).atan2(d.dot(u)), p)
+            })
+            .collect();
+        ring.sort_by(|a, b| a.0.total_cmp(&b.0));
+        // Drop angular duplicates (each cut edge endpoint appears twice).
+        let mut dedup: Vec<Vec3> = Vec::with_capacity(ring.len() / 2 + 1);
+        let tol2 = (eps * 10.0).powi(2).max(1e-24);
+        for (_, p) in ring {
+            if dedup.last().map_or(true, |q| q.distance_sq(p) > tol2) {
+                dedup.push(p);
+            }
+        }
+        if dedup.len() >= 2 && dedup[0].distance_sq(*dedup.last().unwrap()) <= tol2 {
+            dedup.pop();
+        }
+        if dedup.len() >= 3 {
+            let base = vertices.len();
+            vertices.push(centroid);
+            vertices.extend_from_slice(&dedup);
+            let n = dedup.len();
+            for k in 0..n {
+                let a = base + 1 + k;
+                let b = base + 1 + (k + 1) % n;
+                // Wind so the cap's normal points along the clip plane's
+                // outward normal.
+                let tri = crate::triangle::Triangle::new(vertices[base], vertices[a], vertices[b]);
+                if tri.scaled_normal().dot(plane.normal) >= 0.0 {
+                    faces.push([base, a, b]);
+                } else {
+                    faces.push([base, b, a]);
+                }
+            }
+        }
+    }
+
+    let mut out = TriMesh { vertices, faces };
+    let diag = mesh.aabb().diagonal().max(1.0);
+    out.deduplicate_vertices(diag * 1e-12 + eps * 0.5);
+    if out.faces.len() < 4 {
+        return ClipResult::Empty;
+    }
+    ClipResult::Clipped(out)
+}
+
+/// Clips by several half-spaces in sequence; `None` when nothing remains.
+pub fn clip_convex_all(mesh: &TriMesh, planes: &[Plane], eps: f64) -> Option<TriMesh> {
+    let mut current = mesh.clone();
+    for p in planes {
+        match clip_convex(&current, p, eps) {
+            ClipResult::Unchanged => {}
+            ClipResult::Empty => return None,
+            ClipResult::Clipped(m) => current = m,
+        }
+    }
+    Some(current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapes;
+
+    fn unit_box() -> TriMesh {
+        shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0)) // [-1, 1]^3
+    }
+
+    #[test]
+    fn plane_missing_the_mesh_is_unchanged_or_empty() {
+        let m = unit_box();
+        let above = Plane::from_point_normal(Vec3::new(0.0, 0.0, 5.0), Vec3::Z).unwrap();
+        assert_eq!(clip_convex(&m, &above, 1e-9), ClipResult::Unchanged);
+        let below = Plane::from_point_normal(Vec3::new(0.0, 0.0, -5.0), Vec3::Z).unwrap();
+        assert_eq!(clip_convex(&m, &below, 1e-9), ClipResult::Empty);
+    }
+
+    #[test]
+    fn axis_aligned_cut_halves_the_volume() {
+        let m = unit_box();
+        let cut = Plane::from_point_normal(Vec3::ZERO, Vec3::Z).unwrap();
+        let ClipResult::Clipped(half) = clip_convex(&m, &cut, 1e-9) else {
+            panic!("expected a cut");
+        };
+        assert!(half.is_watertight(), "clipped mesh must be closed");
+        assert!((half.signed_volume() - 4.0).abs() < 1e-9, "volume = {}", half.signed_volume());
+        // All vertices on or below the plane.
+        for &v in &half.vertices {
+            assert!(v.z <= 1e-9);
+        }
+    }
+
+    #[test]
+    fn oblique_cut_of_box_volume_is_exact() {
+        // Cut [-1,1]^3 by x + y + z ≤ 0: by symmetry, exactly half remains.
+        let m = unit_box();
+        let n = Vec3::new(1.0, 1.0, 1.0);
+        let cut = Plane::from_point_normal(Vec3::ZERO, n).unwrap();
+        let ClipResult::Clipped(piece) = clip_convex(&m, &cut, 1e-9) else {
+            panic!("expected a cut");
+        };
+        assert!(piece.is_watertight());
+        assert!((piece.signed_volume() - 4.0).abs() < 1e-9, "volume = {}", piece.signed_volume());
+    }
+
+    #[test]
+    fn corner_cut_produces_tetrahedral_complement() {
+        // Cut off the (+,+,+) corner of the box with x + y + z ≤ 2: removes
+        // a tetrahedron of volume 1/6 (legs of length 1).
+        let m = unit_box();
+        let cut = Plane::from_point_normal(Vec3::new(2.0 / 3.0, 2.0 / 3.0, 2.0 / 3.0), Vec3::new(1.0, 1.0, 1.0))
+            .unwrap();
+        let ClipResult::Clipped(piece) = clip_convex(&m, &cut, 1e-9) else {
+            panic!("expected a cut");
+        };
+        assert!(piece.is_watertight());
+        let expect = 8.0 - 1.0 / 6.0;
+        assert!(
+            (piece.signed_volume() - expect).abs() < 1e-9,
+            "volume = {}, expect = {expect}",
+            piece.signed_volume()
+        );
+    }
+
+    #[test]
+    fn slab_of_cylinder_matches_closed_form() {
+        let m = shapes::cylinder(1.0, 2.0, 64);
+        let planes = vec![
+            Plane::from_point_normal(Vec3::new(0.0, 0.0, 1.5), Vec3::Z).unwrap(),
+            Plane::from_point_normal(Vec3::new(0.0, 0.0, 0.5), -Vec3::Z).unwrap(),
+        ];
+        let slab = clip_convex_all(&m, &planes, 1e-9).expect("slab remains");
+        assert!(slab.is_watertight());
+        // One unit of cylinder height: π r² (discretized with 64 segments).
+        let expect = m.signed_volume() / 2.0;
+        assert!(
+            (slab.signed_volume() - expect).abs() / expect < 1e-9,
+            "volume = {}, expect = {expect}",
+            slab.signed_volume()
+        );
+        for &v in &slab.vertices {
+            assert!(v.z >= 0.5 - 1e-9 && v.z <= 1.5 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn repeated_cuts_reduce_to_nothing() {
+        let m = unit_box();
+        let planes = vec![
+            Plane::from_point_normal(Vec3::new(0.0, 0.0, -0.5), Vec3::Z).unwrap(),
+            Plane::from_point_normal(Vec3::new(0.0, 0.0, -0.6), -Vec3::Z).unwrap(),
+        ];
+        // z ≤ -0.5 AND z ≥ -0.6 is a thin slab: remains.
+        assert!(clip_convex_all(&m, &planes, 1e-9).is_some());
+        // Contradictory planes: z ≤ -0.5 AND z ≥ 0.5 is empty.
+        let contradiction = vec![
+            Plane::from_point_normal(Vec3::new(0.0, 0.0, -0.5), Vec3::Z).unwrap(),
+            Plane::from_point_normal(Vec3::new(0.0, 0.0, 0.5), -Vec3::Z).unwrap(),
+        ];
+        assert!(clip_convex_all(&m, &contradiction, 1e-9).is_none());
+    }
+
+    #[test]
+    fn clipped_sphere_cap_volume() {
+        // Sphere of radius 1 cut at z ≤ 0.5 keeps volume = sphere − cap(h=0.5).
+        let m = shapes::uv_sphere(Vec3::ZERO, 1.0, 64, 48);
+        let cut = Plane::from_point_normal(Vec3::new(0.0, 0.0, 0.5), Vec3::Z).unwrap();
+        let ClipResult::Clipped(piece) = clip_convex(&m, &cut, 1e-9) else {
+            panic!("expected a cut");
+        };
+        assert!(piece.is_watertight());
+        let v_sphere = 4.0 / 3.0 * std::f64::consts::PI;
+        let v_cap = std::f64::consts::PI * 0.25 * (3.0 - 0.5) / 3.0;
+        let expect = v_sphere - v_cap;
+        let rel = (piece.signed_volume() - expect).abs() / expect;
+        // Discretization error of the 64×48 sphere dominates.
+        assert!(rel < 0.01, "volume = {}, expect = {expect}", piece.signed_volume());
+    }
+}

@@ -1,0 +1,655 @@
+//! 3-D convex hulls via QuickHull (the paper's QHULL substitute).
+//!
+//! The packing objective's exterior-distance term `E_H^{C,r}` (paper eq. 2)
+//! needs the container expressed as a set of half-spaces
+//! `a·x + b·y + c·z + d ≤ 0`. The reference implementation obtains these from
+//! SciPy's `ConvexHull` (QHULL \[25\]); [`ConvexHull::from_points`] implements
+//! the same computation from scratch with the classic QuickHull algorithm
+//! (Barber, Dobkin & Huhdanpaa, 1996), including QHULL-style input joggling
+//! as a fallback for degenerate configurations.
+
+use std::collections::HashSet;
+
+use crate::aabb::Aabb;
+use crate::mesh::TriMesh;
+use crate::plane::Plane;
+use crate::vec3::Vec3;
+
+/// Errors from hull construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HullError {
+    /// Fewer than four input points.
+    TooFewPoints(usize),
+    /// The input is degenerate (collinear/coplanar) beyond what joggling can
+    /// repair.
+    Degenerate,
+    /// A numerical failure occurred during face construction.
+    Numerical,
+}
+
+impl std::fmt::Display for HullError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HullError::TooFewPoints(n) => write!(f, "convex hull needs >= 4 points, got {n}"),
+            HullError::Degenerate => write!(f, "input points are degenerate (collinear or coplanar)"),
+            HullError::Numerical => write!(f, "numerical failure during hull construction"),
+        }
+    }
+}
+
+impl std::error::Error for HullError {}
+
+/// An intersection of half-spaces — the paper's `H` matrix.
+///
+/// Each plane's outward normal points away from the interior; a point is
+/// inside when every signed distance is `≤ 0`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HalfSpaceSet {
+    planes: Vec<Plane>,
+}
+
+impl HalfSpaceSet {
+    /// Wraps a plane list.
+    pub fn new(planes: Vec<Plane>) -> Self {
+        HalfSpaceSet { planes }
+    }
+
+    /// The planes.
+    pub fn planes(&self) -> &[Plane] {
+        &self.planes
+    }
+
+    /// Number of half-spaces.
+    pub fn len(&self) -> usize {
+        self.planes.len()
+    }
+
+    /// True when there are no planes (the whole of ℝ³).
+    pub fn is_empty(&self) -> bool {
+        self.planes.is_empty()
+    }
+
+    /// Adds a half-space constraint (e.g. a zone slice bound).
+    pub fn push(&mut self, plane: Plane) {
+        self.planes.push(plane);
+    }
+
+    /// Returns a copy with an extra half-space.
+    pub fn with_plane(&self, plane: Plane) -> HalfSpaceSet {
+        let mut s = self.clone();
+        s.push(plane);
+        s
+    }
+
+    /// Largest signed distance of `p` over all planes; `≤ 0` means inside.
+    ///
+    /// Returns `-inf` for an empty set.
+    pub fn max_signed_distance(&self, p: Vec3) -> f64 {
+        self.planes
+            .iter()
+            .map(|pl| pl.signed_distance(p))
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// True when `p` is inside within tolerance `tol`.
+    pub fn contains(&self, p: Vec3, tol: f64) -> bool {
+        self.planes.iter().all(|pl| pl.signed_distance(p) <= tol)
+    }
+
+    /// Largest sphere-surface excess over all planes (the max over `k` of the
+    /// paper's `ρ̃_ik`); `≤ 0` means the sphere is fully inside.
+    pub fn sphere_max_excess(&self, center: Vec3, radius: f64) -> f64 {
+        self.planes
+            .iter()
+            .map(|pl| pl.sphere_excess(center, radius))
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Sum of positive sphere excesses — one sphere's contribution to the
+    /// paper's `E_H^{C,r}` term (eq. 2).
+    pub fn sphere_exterior_distance(&self, center: Vec3, radius: f64) -> f64 {
+        self.planes
+            .iter()
+            .map(|pl| pl.sphere_excess(center, radius).max(0.0))
+            .sum()
+    }
+
+    /// The raw `H` matrix rows `(a, b, c, d)`.
+    pub fn coefficient_rows(&self) -> Vec<[f64; 4]> {
+        self.planes.iter().map(Plane::coefficients).collect()
+    }
+
+    /// Removes planes duplicated within tolerance, keeping first occurrences.
+    pub fn deduplicate(&mut self, eps: f64) {
+        let mut kept: Vec<Plane> = Vec::with_capacity(self.planes.len());
+        for p in &self.planes {
+            if !kept.iter().any(|q| q.approx_eq(p, eps)) {
+                kept.push(*p);
+            }
+        }
+        self.planes = kept;
+    }
+}
+
+/// A convex hull: vertices, triangular facets, and the facet planes as a
+/// deduplicated [`HalfSpaceSet`].
+#[derive(Debug, Clone)]
+pub struct ConvexHull {
+    /// Hull vertex positions.
+    pub vertices: Vec<Vec3>,
+    /// Triangular facets, indices into `vertices`, wound CCW from outside.
+    pub faces: Vec<[usize; 3]>,
+    halfspaces: HalfSpaceSet,
+    aabb: Aabb,
+}
+
+impl ConvexHull {
+    /// Computes the convex hull of a point set.
+    ///
+    /// Needs at least 4 affinely independent points. Degenerate inputs are
+    /// retried with QHULL-style joggling before giving up.
+    pub fn from_points(points: &[Vec3]) -> Result<ConvexHull, HullError> {
+        if points.len() < 4 {
+            return Err(HullError::TooFewPoints(points.len()));
+        }
+        for &p in points {
+            if !p.is_finite() {
+                return Err(HullError::Numerical);
+            }
+        }
+        match quickhull(points) {
+            Ok(h) => Ok(h),
+            Err(HullError::Degenerate) | Err(HullError::Numerical) => {
+                // Joggle: deterministic pseudo-random perturbation, growing
+                // per attempt, as QHULL's QJ option does.
+                let diag = Aabb::from_points(points).diagonal().max(1e-12);
+                for attempt in 1..=3u32 {
+                    let amp = diag * 1e-9 * 10f64.powi(attempt as i32);
+                    let joggled: Vec<Vec3> = points
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &p)| p + hash_dir(i as u64, attempt as u64) * amp)
+                        .collect();
+                    if let Ok(h) = quickhull(&joggled) {
+                        return Ok(h);
+                    }
+                }
+                Err(HullError::Degenerate)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Convex hull of a mesh's vertices (the paper's `Conv(V)` of the
+    /// container mesh).
+    pub fn from_mesh(mesh: &TriMesh) -> Result<ConvexHull, HullError> {
+        ConvexHull::from_points(&mesh.vertices)
+    }
+
+    /// The facet planes as half-spaces (deduplicated: a box yields 6 planes,
+    /// not 12 triangle planes).
+    pub fn halfspaces(&self) -> &HalfSpaceSet {
+        &self.halfspaces
+    }
+
+    /// Bounding box of the hull.
+    pub fn aabb(&self) -> Aabb {
+        self.aabb
+    }
+
+    /// True when `p` is inside the hull within `tol`.
+    pub fn contains(&self, p: Vec3, tol: f64) -> bool {
+        self.halfspaces.contains(p, tol)
+    }
+
+    /// True when the whole sphere is inside within `tol`.
+    pub fn contains_sphere(&self, center: Vec3, radius: f64, tol: f64) -> bool {
+        self.halfspaces.sphere_max_excess(center, radius) <= tol
+    }
+
+    /// Hull volume.
+    pub fn volume(&self) -> f64 {
+        self.faces
+            .iter()
+            .map(|&[a, b, c]| {
+                crate::triangle::Triangle::new(self.vertices[a], self.vertices[b], self.vertices[c])
+                    .signed_volume()
+            })
+            .sum()
+    }
+
+    /// The hull as a closed triangle mesh.
+    pub fn to_mesh(&self) -> TriMesh {
+        TriMesh {
+            vertices: self.vertices.clone(),
+            faces: self.faces.clone(),
+        }
+    }
+}
+
+/// Deterministic unit-ish direction derived from indices, for joggling.
+fn hash_dir(i: u64, salt: u64) -> Vec3 {
+    // SplitMix64.
+    let mix = |mut z: u64| {
+        z = z.wrapping_add(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    let a = mix(i.wrapping_mul(3).wrapping_add(salt));
+    let b = mix(i.wrapping_mul(3).wrapping_add(salt).wrapping_add(1));
+    let c = mix(i.wrapping_mul(3).wrapping_add(salt).wrapping_add(2));
+    let f = |u: u64| (u >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0;
+    Vec3::new(f(a), f(b), f(c))
+}
+
+struct Face {
+    verts: [usize; 3],
+    plane: Plane,
+    outside: Vec<usize>,
+    alive: bool,
+}
+
+fn quickhull(points: &[Vec3]) -> Result<ConvexHull, HullError> {
+    let bbox = Aabb::from_points(points);
+    let eps = bbox.diagonal().max(1.0) * 1e-10;
+
+    let (i0, i1, i2, i3) = initial_simplex(points, eps)?;
+    let interior = (points[i0] + points[i1] + points[i2] + points[i3]) / 4.0;
+
+    let mut faces: Vec<Face> = Vec::new();
+    let make_face = |a: usize, b: usize, c: usize| -> Result<Face, HullError> {
+        let mut plane =
+            Plane::from_triangle(points[a], points[b], points[c]).ok_or(HullError::Numerical)?;
+        let mut verts = [a, b, c];
+        if plane.signed_distance(interior) > 0.0 {
+            plane = plane.flipped();
+            verts = [a, c, b];
+        }
+        Ok(Face {
+            verts,
+            plane,
+            outside: Vec::new(),
+            alive: true,
+        })
+    };
+    for (a, b, c) in [(i0, i1, i2), (i0, i1, i3), (i0, i2, i3), (i1, i2, i3)] {
+        faces.push(make_face(a, b, c)?);
+    }
+
+    // Initial conflict assignment: each point goes to the first face it is
+    // strictly outside of.
+    let simplex = [i0, i1, i2, i3];
+    for (pi, &p) in points.iter().enumerate() {
+        if simplex.contains(&pi) {
+            continue;
+        }
+        for f in faces.iter_mut() {
+            if f.plane.signed_distance(p) > eps {
+                f.outside.push(pi);
+                break;
+            }
+        }
+    }
+
+    // Main loop: process faces with non-empty outside sets.
+    loop {
+        let Some(fi) = faces.iter().position(|f| f.alive && !f.outside.is_empty()) else {
+            break;
+        };
+        // Farthest conflict point of this face becomes the new hull vertex.
+        let eye = {
+            let f = &faces[fi];
+            *f.outside
+                .iter()
+                .max_by(|&&a, &&b| {
+                    f.plane
+                        .signed_distance(points[a])
+                        .total_cmp(&f.plane.signed_distance(points[b]))
+                })
+                .expect("outside set is non-empty")
+        };
+        let eye_p = points[eye];
+
+        // Visible set: all alive faces the eye sees.
+        let visible: Vec<usize> = faces
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.alive && f.plane.signed_distance(eye_p) > eps)
+            .map(|(i, _)| i)
+            .collect();
+        if visible.is_empty() {
+            // Numerical disagreement between conflict list and visibility;
+            // drop the point rather than looping forever.
+            faces[fi].outside.retain(|&p| p != eye);
+            continue;
+        }
+
+        // Horizon: directed edges of visible faces whose reverse edge is not
+        // itself an edge of a visible face.
+        let mut visible_edges: HashSet<(usize, usize)> = HashSet::new();
+        for &vi in &visible {
+            let v = faces[vi].verts;
+            for k in 0..3 {
+                visible_edges.insert((v[k], v[(k + 1) % 3]));
+            }
+        }
+        let mut horizon: Vec<(usize, usize)> = Vec::new();
+        for &vi in &visible {
+            let v = faces[vi].verts;
+            for k in 0..3 {
+                let (a, b) = (v[k], v[(k + 1) % 3]);
+                if !visible_edges.contains(&(b, a)) {
+                    horizon.push((a, b));
+                }
+            }
+        }
+        if horizon.is_empty() {
+            return Err(HullError::Numerical);
+        }
+
+        // Collect orphaned conflict points and retire visible faces.
+        let mut orphans: Vec<usize> = Vec::new();
+        for &vi in &visible {
+            faces[vi].alive = false;
+            orphans.append(&mut faces[vi].outside);
+        }
+        orphans.sort_unstable();
+        orphans.dedup();
+
+        // Build the new cone of faces from the horizon to the eye.
+        let mut new_faces: Vec<usize> = Vec::new();
+        for (a, b) in horizon {
+            let Some(mut plane) = Plane::from_triangle(points[a], points[b], eye_p) else {
+                // Collinear horizon edge with the eye: degenerate sliver; the
+                // joggle retry path in `from_points` handles this.
+                return Err(HullError::Numerical);
+            };
+            let mut verts = [a, b, eye];
+            if plane.signed_distance(interior) > 0.0 {
+                plane = plane.flipped();
+                verts = [b, a, eye];
+            }
+            faces.push(Face {
+                verts,
+                plane,
+                outside: Vec::new(),
+                alive: true,
+            });
+            new_faces.push(faces.len() - 1);
+        }
+
+        // Redistribute orphans over the new faces.
+        for pi in orphans {
+            if pi == eye {
+                continue;
+            }
+            let p = points[pi];
+            let mut best: Option<(usize, f64)> = None;
+            for &nf in &new_faces {
+                let d = faces[nf].plane.signed_distance(p);
+                if d > eps && best.map_or(true, |(_, bd)| d > bd) {
+                    best = Some((nf, d));
+                }
+            }
+            if let Some((nf, _)) = best {
+                faces[nf].outside.push(pi);
+            }
+        }
+    }
+
+    // Compact the result: reindex vertices actually used by alive faces.
+    let alive: Vec<&Face> = faces.iter().filter(|f| f.alive).collect();
+    if alive.len() < 4 {
+        return Err(HullError::Degenerate);
+    }
+    let mut remap: Vec<Option<usize>> = vec![None; points.len()];
+    let mut vertices: Vec<Vec3> = Vec::new();
+    let mut out_faces: Vec<[usize; 3]> = Vec::with_capacity(alive.len());
+    let mut planes: Vec<Plane> = Vec::with_capacity(alive.len());
+    for f in &alive {
+        let mut tri = [0usize; 3];
+        for (slot, &vi) in tri.iter_mut().zip(f.verts.iter()) {
+            *slot = *remap[vi].get_or_insert_with(|| {
+                vertices.push(points[vi]);
+                vertices.len() - 1
+            });
+        }
+        out_faces.push(tri);
+        planes.push(f.plane);
+    }
+
+    let bbox = Aabb::from_points(&vertices);
+    let mut halfspaces = HalfSpaceSet::new(planes);
+    halfspaces.deduplicate(1e-7_f64.max(eps));
+
+    Ok(ConvexHull {
+        vertices,
+        faces: out_faces,
+        halfspaces,
+        aabb: bbox,
+    })
+}
+
+/// Finds four affinely independent extreme points to seed QuickHull.
+fn initial_simplex(points: &[Vec3], eps: f64) -> Result<(usize, usize, usize, usize), HullError> {
+    // Most separated pair among the six axis-extreme points.
+    let mut extremes = [0usize; 6];
+    for (pi, p) in points.iter().enumerate() {
+        for axis in 0..3 {
+            if p[axis] < points[extremes[axis * 2]][axis] {
+                extremes[axis * 2] = pi;
+            }
+            if p[axis] > points[extremes[axis * 2 + 1]][axis] {
+                extremes[axis * 2 + 1] = pi;
+            }
+        }
+    }
+    let (mut i0, mut i1, mut best) = (0, 0, -1.0);
+    for &a in &extremes {
+        for &b in &extremes {
+            let d = points[a].distance_sq(points[b]);
+            if d > best {
+                best = d;
+                i0 = a;
+                i1 = b;
+            }
+        }
+    }
+    if best.sqrt() <= eps {
+        return Err(HullError::Degenerate);
+    }
+
+    // Farthest point from the line (i0, i1).
+    let dir = (points[i1] - points[i0]).normalized().ok_or(HullError::Degenerate)?;
+    let (mut i2, mut best) = (usize::MAX, eps);
+    for (pi, &p) in points.iter().enumerate() {
+        let v = p - points[i0];
+        let d = (v - dir * v.dot(dir)).norm();
+        if d > best {
+            best = d;
+            i2 = pi;
+        }
+    }
+    if i2 == usize::MAX {
+        return Err(HullError::Degenerate);
+    }
+
+    // Farthest point from the plane (i0, i1, i2).
+    let plane = Plane::from_triangle(points[i0], points[i1], points[i2]).ok_or(HullError::Degenerate)?;
+    let (mut i3, mut best) = (usize::MAX, eps);
+    for (pi, &p) in points.iter().enumerate() {
+        let d = plane.signed_distance(p).abs();
+        if d > best {
+            best = d;
+            i3 = pi;
+        }
+    }
+    if i3 == usize::MAX {
+        return Err(HullError::Degenerate);
+    }
+    Ok((i0, i1, i2, i3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapes;
+
+    fn box_points() -> Vec<Vec3> {
+        Aabb::new(Vec3::ZERO, Vec3::new(2.0, 2.0, 2.0)).corners().to_vec()
+    }
+
+    #[test]
+    fn too_few_points() {
+        assert_eq!(
+            ConvexHull::from_points(&[Vec3::ZERO, Vec3::X, Vec3::Y]).unwrap_err(),
+            HullError::TooFewPoints(3)
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs_error_or_sliver() {
+        // Collinear: either rejected outright or joggled into a sliver hull
+        // of negligible volume — never a panic or hang.
+        let pts: Vec<Vec3> = (0..8).map(|i| Vec3::X * i as f64).collect();
+        match ConvexHull::from_points(&pts) {
+            Err(_) => {}
+            Ok(h) => assert!(h.volume().abs() < 1e-3, "volume = {}", h.volume()),
+        }
+    }
+
+    #[test]
+    fn coplanar_points_error_or_joggle() {
+        // Strictly coplanar grid: true hull is 2-D. Joggling may produce a
+        // thin 3-D hull; either an error or a hull with tiny volume is
+        // acceptable behaviour — it must not hang or panic.
+        let mut pts = Vec::new();
+        for i in 0..4 {
+            for j in 0..4 {
+                pts.push(Vec3::new(i as f64, j as f64, 0.0));
+            }
+        }
+        match ConvexHull::from_points(&pts) {
+            Err(_) => {}
+            Ok(h) => assert!(h.volume().abs() < 1e-3),
+        }
+    }
+
+    #[test]
+    fn tetrahedron_hull() {
+        let pts = vec![Vec3::ZERO, Vec3::X, Vec3::Y, Vec3::Z];
+        let h = ConvexHull::from_points(&pts).unwrap();
+        assert_eq!(h.vertices.len(), 4);
+        assert_eq!(h.faces.len(), 4);
+        assert!((h.volume() - 1.0 / 6.0).abs() < 1e-12);
+        assert!(h.contains(Vec3::splat(0.2), 1e-12));
+        assert!(!h.contains(Vec3::splat(0.5), 1e-12));
+    }
+
+    #[test]
+    fn box_hull_has_six_planes() {
+        let h = ConvexHull::from_points(&box_points()).unwrap();
+        assert_eq!(h.vertices.len(), 8);
+        assert_eq!(h.faces.len(), 12);
+        assert_eq!(h.halfspaces().len(), 6, "coplanar triangle planes dedupe to box faces");
+        assert!((h.volume() - 8.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn box_hull_containment_and_excess() {
+        let h = ConvexHull::from_points(&box_points()).unwrap();
+        assert!(h.contains(Vec3::splat(1.0), 0.0));
+        assert!(!h.contains(Vec3::new(2.5, 1.0, 1.0), 1e-9));
+        // Sphere of radius 0.5 at center: fully inside.
+        assert!(h.contains_sphere(Vec3::splat(1.0), 0.5, 1e-9));
+        // Radius 1.2 pokes out of every face by 0.2.
+        let hs = h.halfspaces();
+        assert!((hs.sphere_max_excess(Vec3::splat(1.0), 1.2) - 0.2).abs() < 1e-9);
+        assert!((hs.sphere_exterior_distance(Vec3::splat(1.0), 1.2) - 6.0 * 0.2).abs() < 1e-9);
+        assert!(hs.sphere_exterior_distance(Vec3::splat(1.0), 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interior_points_do_not_join_hull() {
+        let mut pts = box_points();
+        // Sprinkle interior points.
+        for i in 1..50 {
+            let t = i as f64 / 50.0;
+            pts.push(Vec3::new(0.3 + t, 1.0, 1.0 - 0.5 * t));
+        }
+        let h = ConvexHull::from_points(&pts).unwrap();
+        assert_eq!(h.vertices.len(), 8);
+        assert!((h.volume() - 8.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn hull_of_random_cloud_contains_all_points() {
+        // Deterministic pseudo-random cloud.
+        let mut pts = Vec::new();
+        for i in 0..300u64 {
+            let d = super::hash_dir(i, 7);
+            pts.push(Vec3::new(d.x * 3.0, d.y * 2.0, d.z * 5.0));
+        }
+        let h = ConvexHull::from_points(&pts).unwrap();
+        let tol = 1e-7;
+        for &p in &pts {
+            assert!(
+                h.contains(p, tol),
+                "point {p} outside hull by {}",
+                h.halfspaces().max_signed_distance(p)
+            );
+        }
+        // Hull mesh is closed and consistently oriented.
+        let mesh = h.to_mesh();
+        assert!(mesh.is_watertight());
+        assert!(mesh.signed_volume() > 0.0);
+        assert_eq!(mesh.euler_characteristic(), 2);
+    }
+
+    #[test]
+    fn hull_of_sphere_mesh_approximates_volume() {
+        let m = shapes::uv_sphere(Vec3::ZERO, 1.0, 24, 16);
+        let h = ConvexHull::from_mesh(&m).unwrap();
+        let v_exact = 4.0 / 3.0 * std::f64::consts::PI;
+        // Inscribed polyhedron: volume below but near the sphere volume.
+        assert!(h.volume() < v_exact);
+        assert!(h.volume() > 0.95 * v_exact, "volume = {}", h.volume());
+    }
+
+    #[test]
+    fn halfspace_set_operations() {
+        let h = ConvexHull::from_points(&box_points()).unwrap();
+        let mut hs = h.halfspaces().clone();
+        let n = hs.len();
+        // Slice off the top half with z <= 1.
+        hs.push(Plane::from_point_normal(Vec3::new(0.0, 0.0, 1.0), Vec3::Z).unwrap());
+        assert_eq!(hs.len(), n + 1);
+        assert!(hs.contains(Vec3::new(1.0, 1.0, 0.5), 1e-12));
+        assert!(!hs.contains(Vec3::new(1.0, 1.0, 1.5), 1e-12));
+        // with_plane leaves the original untouched.
+        let orig = h.halfspaces();
+        assert!(orig.contains(Vec3::new(1.0, 1.0, 1.5), 1e-12));
+    }
+
+    #[test]
+    fn coefficient_rows_match_planes() {
+        let h = ConvexHull::from_points(&box_points()).unwrap();
+        let rows = h.halfspaces().coefficient_rows();
+        assert_eq!(rows.len(), 6);
+        for row in rows {
+            let n = Vec3::new(row[0], row[1], row[2]);
+            assert!((n.norm() - 1.0).abs() < 1e-12, "H rows have unit normals");
+            // For the box [0,2]^3, every plane is axis-aligned with d in {0, -2}.
+            assert!(row[3].abs() < 1e-9 || (row[3] + 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn max_signed_distance_empty_set() {
+        let hs = HalfSpaceSet::default();
+        assert!(hs.is_empty());
+        assert_eq!(hs.max_signed_distance(Vec3::ZERO), f64::NEG_INFINITY);
+        assert!(hs.contains(Vec3::splat(1e12), 0.0));
+    }
+}

@@ -1,0 +1,51 @@
+//! # adampack-geometry
+//!
+//! Geometry substrate for the `adampack` sphere-packing workspace.
+//!
+//! The paper ("Rapid Random Packing of Poly-disperse Spheres using Adam
+//! Stochastic Optimization", IPPS 2025) models containers as triangular
+//! meshes (built with Trimesh in the reference implementation) and
+//! approximates them by their convex hull computed with QHULL. This crate
+//! provides the equivalent, dependency-free substrate:
+//!
+//! * [`Vec3`] / [`Mat3`] — minimal double-precision linear algebra,
+//! * [`Aabb`] — axis-aligned bounding boxes,
+//! * [`Plane`] — oriented planes in `ax + by + cz + d = 0` form, matching the
+//!   rows of the paper's `H` matrix,
+//! * [`TriMesh`] — indexed triangle meshes with watertightness checks,
+//!   signed volume and surface area,
+//! * [`ConvexHull`] — 3-D QuickHull over point sets, exposing the facet
+//!   planes as a [`HalfSpaceSet`] (the `Conv(V)` half-space intersection the
+//!   objective's exterior-distance term evaluates),
+//! * [`shapes`] — procedural generators for the container geometries used in
+//!   the paper's experiments (boxes, cylinders, cones, spheres and the
+//!   blast-furnace vessel of §VI-B).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod aabb;
+pub mod axis;
+pub mod clip;
+pub mod hull;
+pub mod mesh;
+pub mod plane;
+pub mod shapes;
+pub mod triangle;
+pub mod vec3;
+
+pub use aabb::Aabb;
+pub use axis::Axis;
+pub use clip::{clip_convex, clip_convex_all, ClipResult};
+pub use hull::{ConvexHull, HalfSpaceSet, HullError};
+pub use mesh::TriMesh;
+pub use plane::Plane;
+pub use triangle::Triangle;
+pub use vec3::{Mat3, Vec3};
+
+/// Relative tolerance used throughout geometric predicates.
+///
+/// Absolute epsilons are derived from this by scaling with the extent of the
+/// data (e.g. the bounding-box diagonal) so that predicates behave identically
+/// for millimetre-scale and metre-scale containers.
+pub const REL_EPS: f64 = 1e-10;

@@ -1,0 +1,359 @@
+//! Indexed triangle meshes (the paper's container representation).
+//!
+//! The reference implementation uses Trimesh; here [`TriMesh`] provides the
+//! subset the packing pipeline needs: construction, validation, bounding
+//! boxes, surface area, enclosed volume, and rigid/affine transforms.
+
+use std::collections::HashMap;
+
+use crate::aabb::Aabb;
+use crate::triangle::Triangle;
+use crate::vec3::{Mat3, Vec3};
+
+/// Errors produced by mesh validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MeshError {
+    /// A face references a vertex index `>= vertices.len()`.
+    IndexOutOfBounds {
+        /// Offending face index.
+        face: usize,
+        /// Offending vertex index.
+        index: usize,
+    },
+    /// A face repeats a vertex (degenerate by construction).
+    DegenerateFace {
+        /// Offending face index.
+        face: usize,
+    },
+    /// A vertex has a non-finite coordinate.
+    NonFiniteVertex {
+        /// Offending vertex index.
+        vertex: usize,
+    },
+    /// The mesh has no faces.
+    Empty,
+}
+
+impl std::fmt::Display for MeshError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MeshError::IndexOutOfBounds { face, index } => {
+                write!(f, "face {face} references out-of-bounds vertex {index}")
+            }
+            MeshError::DegenerateFace { face } => write!(f, "face {face} repeats a vertex"),
+            MeshError::NonFiniteVertex { vertex } => {
+                write!(f, "vertex {vertex} has a non-finite coordinate")
+            }
+            MeshError::Empty => write!(f, "mesh has no faces"),
+        }
+    }
+}
+
+impl std::error::Error for MeshError {}
+
+/// An indexed triangle mesh.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TriMesh {
+    /// Vertex positions.
+    pub vertices: Vec<Vec3>,
+    /// Triangles as triplets of vertex indices; counter-clockwise winding
+    /// seen from outside for closed meshes.
+    pub faces: Vec<[usize; 3]>,
+}
+
+impl TriMesh {
+    /// Creates a mesh and validates indices/degeneracy/finiteness.
+    pub fn new(vertices: Vec<Vec3>, faces: Vec<[usize; 3]>) -> Result<TriMesh, MeshError> {
+        let mesh = TriMesh { vertices, faces };
+        mesh.validate()?;
+        Ok(mesh)
+    }
+
+    /// Structural validation (not watertightness — see
+    /// [`TriMesh::is_watertight`]).
+    pub fn validate(&self) -> Result<(), MeshError> {
+        if self.faces.is_empty() {
+            return Err(MeshError::Empty);
+        }
+        for (vi, v) in self.vertices.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(MeshError::NonFiniteVertex { vertex: vi });
+            }
+        }
+        for (fi, f) in self.faces.iter().enumerate() {
+            for &i in f {
+                if i >= self.vertices.len() {
+                    return Err(MeshError::IndexOutOfBounds { face: fi, index: i });
+                }
+            }
+            if f[0] == f[1] || f[1] == f[2] || f[0] == f[2] {
+                return Err(MeshError::DegenerateFace { face: fi });
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of triangles.
+    pub fn face_count(&self) -> usize {
+        self.faces.len()
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// The triangle for face `i`.
+    pub fn triangle(&self, i: usize) -> Triangle {
+        let [a, b, c] = self.faces[i];
+        Triangle::new(self.vertices[a], self.vertices[b], self.vertices[c])
+    }
+
+    /// Iterator over all triangles.
+    pub fn triangles(&self) -> impl Iterator<Item = Triangle> + '_ {
+        self.faces.iter().map(move |&[a, b, c]| {
+            Triangle::new(self.vertices[a], self.vertices[b], self.vertices[c])
+        })
+    }
+
+    /// Axis-aligned bounding box of the vertices.
+    pub fn aabb(&self) -> Aabb {
+        Aabb::from_points(&self.vertices)
+    }
+
+    /// Total surface area.
+    pub fn surface_area(&self) -> f64 {
+        self.triangles().map(|t| t.area()).sum()
+    }
+
+    /// Enclosed (signed) volume via the divergence theorem.
+    ///
+    /// Positive for closed meshes wound counter-clockwise seen from outside;
+    /// meaningless for open meshes.
+    pub fn signed_volume(&self) -> f64 {
+        self.triangles().map(|t| t.signed_volume()).sum()
+    }
+
+    /// True when every undirected edge is shared by exactly two faces with
+    /// opposite directions — i.e. the mesh is a closed, consistently
+    /// oriented 2-manifold.
+    pub fn is_watertight(&self) -> bool {
+        // Count directed edges; watertight+oriented ⟺ every directed edge
+        // appears exactly once and its reverse also appears exactly once.
+        let mut directed: HashMap<(usize, usize), usize> = HashMap::new();
+        for f in &self.faces {
+            for k in 0..3 {
+                let e = (f[k], f[(k + 1) % 3]);
+                *directed.entry(e).or_insert(0) += 1;
+            }
+        }
+        directed.iter().all(|(&(a, b), &count)| {
+            count == 1 && directed.get(&(b, a)).copied() == Some(1)
+        })
+    }
+
+    /// Euler characteristic `V - E + F` (2 for sphere-topology meshes).
+    pub fn euler_characteristic(&self) -> i64 {
+        let mut edges = std::collections::HashSet::new();
+        for f in &self.faces {
+            for k in 0..3 {
+                let (a, b) = (f[k], f[(k + 1) % 3]);
+                edges.insert((a.min(b), a.max(b)));
+            }
+        }
+        self.vertex_count() as i64 - edges.len() as i64 + self.face_count() as i64
+    }
+
+    /// Translates every vertex by `t`.
+    pub fn translate(&mut self, t: Vec3) {
+        for v in &mut self.vertices {
+            *v += t;
+        }
+    }
+
+    /// Scales every vertex about the origin (uniform or per-axis).
+    pub fn scale(&mut self, s: Vec3) {
+        for v in &mut self.vertices {
+            *v = v.hadamard(s);
+        }
+    }
+
+    /// Applies a linear map (e.g. rotation) about the origin.
+    pub fn transform(&mut self, m: &Mat3) {
+        for v in &mut self.vertices {
+            *v = m.mul_vec(*v);
+        }
+    }
+
+    /// Returns a translated copy.
+    pub fn translated(&self, t: Vec3) -> TriMesh {
+        let mut m = self.clone();
+        m.translate(t);
+        m
+    }
+
+    /// Merges vertices closer than `tol` and reindexes faces, dropping faces
+    /// that become degenerate. Useful after generating meshes whose seams
+    /// duplicate vertices.
+    pub fn deduplicate_vertices(&mut self, tol: f64) {
+        let quantum = tol.max(f64::MIN_POSITIVE);
+        let mut map: HashMap<(i64, i64, i64), usize> = HashMap::new();
+        let mut remap = vec![0usize; self.vertices.len()];
+        let mut new_vertices: Vec<Vec3> = Vec::new();
+        for (i, v) in self.vertices.iter().enumerate() {
+            let key = (
+                (v.x / quantum).round() as i64,
+                (v.y / quantum).round() as i64,
+                (v.z / quantum).round() as i64,
+            );
+            let idx = *map.entry(key).or_insert_with(|| {
+                new_vertices.push(*v);
+                new_vertices.len() - 1
+            });
+            remap[i] = idx;
+        }
+        self.vertices = new_vertices;
+        self.faces = self
+            .faces
+            .iter()
+            .map(|f| [remap[f[0]], remap[f[1]], remap[f[2]]])
+            .filter(|f| f[0] != f[1] && f[1] != f[2] && f[0] != f[2])
+            .collect();
+    }
+
+    /// Centroid of the enclosed solid (volume-weighted); only meaningful for
+    /// closed meshes with nonzero volume.
+    pub fn volume_centroid(&self) -> Option<Vec3> {
+        let mut vol = 0.0;
+        let mut moment = Vec3::ZERO;
+        for t in self.triangles() {
+            let v = t.signed_volume();
+            vol += v;
+            // Centroid of tetra (0, a, b, c) is (a + b + c)/4.
+            moment += (t.a + t.b + t.c) / 4.0 * v;
+        }
+        if vol.abs() < 1e-300 {
+            None
+        } else {
+            Some(moment / vol)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapes;
+
+    fn tetra() -> TriMesh {
+        // Unit right tetra with outward winding.
+        TriMesh::new(
+            vec![Vec3::ZERO, Vec3::X, Vec3::Y, Vec3::Z],
+            vec![[0, 2, 1], [0, 1, 3], [0, 3, 2], [1, 2, 3]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validation_catches_errors() {
+        assert_eq!(TriMesh::new(vec![Vec3::ZERO], vec![]).unwrap_err(), MeshError::Empty);
+        let e = TriMesh::new(vec![Vec3::ZERO, Vec3::X], vec![[0, 1, 2]]).unwrap_err();
+        assert!(matches!(e, MeshError::IndexOutOfBounds { face: 0, index: 2 }));
+        let e = TriMesh::new(vec![Vec3::ZERO, Vec3::X, Vec3::Y], vec![[0, 1, 1]]).unwrap_err();
+        assert!(matches!(e, MeshError::DegenerateFace { face: 0 }));
+        let e = TriMesh::new(
+            vec![Vec3::new(f64::NAN, 0.0, 0.0), Vec3::X, Vec3::Y],
+            vec![[0, 1, 2]],
+        )
+        .unwrap_err();
+        assert!(matches!(e, MeshError::NonFiniteVertex { vertex: 0 }));
+    }
+
+    #[test]
+    fn tetra_volume_area_watertight() {
+        let m = tetra();
+        assert!((m.signed_volume() - 1.0 / 6.0).abs() < 1e-12);
+        // Surface: 3 right triangles of area 1/2 plus hypotenuse face √3/2.
+        let expect = 1.5 + 3.0f64.sqrt() / 2.0;
+        assert!((m.surface_area() - expect).abs() < 1e-12);
+        assert!(m.is_watertight());
+        assert_eq!(m.euler_characteristic(), 2);
+    }
+
+    #[test]
+    fn open_mesh_not_watertight() {
+        let m = TriMesh::new(
+            vec![Vec3::ZERO, Vec3::X, Vec3::Y, Vec3::Z],
+            vec![[0, 2, 1], [0, 1, 3], [0, 3, 2]], // hypotenuse face removed
+        )
+        .unwrap();
+        assert!(!m.is_watertight());
+    }
+
+    #[test]
+    fn inconsistent_winding_not_watertight() {
+        let mut m = tetra();
+        m.faces[3] = [2, 1, 3]; // flipped face
+        assert!(!m.is_watertight());
+    }
+
+    #[test]
+    fn transforms() {
+        let mut m = tetra();
+        let v0 = m.signed_volume();
+        m.translate(Vec3::new(5.0, -2.0, 1.0));
+        assert!((m.signed_volume() - v0).abs() < 1e-12, "volume is translation invariant");
+        m.scale(Vec3::new(2.0, 2.0, 2.0));
+        assert!((m.signed_volume() - v0 * 8.0).abs() < 1e-9);
+
+        let mut m2 = tetra();
+        let r = Mat3::rotation_axis_angle(Vec3::Z, 1.0);
+        m2.transform(&r);
+        assert!((m2.signed_volume() - v0).abs() < 1e-12, "rotation preserves volume");
+    }
+
+    #[test]
+    fn aabb_covers_vertices() {
+        let m = tetra().translated(Vec3::new(1.0, 1.0, 1.0));
+        let bb = m.aabb();
+        assert_eq!(bb.min, Vec3::new(1.0, 1.0, 1.0));
+        assert_eq!(bb.max, Vec3::new(2.0, 2.0, 2.0));
+    }
+
+    #[test]
+    fn deduplicate_vertices_merges_seams() {
+        // Two faces sharing an edge but with duplicated vertices at the seam.
+        let m0 = TriMesh {
+            vertices: vec![
+                Vec3::ZERO,
+                Vec3::X,
+                Vec3::Y,
+                Vec3::X, // dup of 1
+                Vec3::Y, // dup of 2
+                Vec3::new(1.0, 1.0, 0.0),
+            ],
+            faces: vec![[0, 1, 2], [3, 5, 4]],
+        };
+        let mut m = m0;
+        m.deduplicate_vertices(1e-9);
+        assert_eq!(m.vertex_count(), 4);
+        assert_eq!(m.face_count(), 2);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn volume_centroid_of_cube() {
+        let m = shapes::box_mesh(Vec3::new(1.0, 2.0, 3.0), Vec3::new(2.0, 2.0, 2.0));
+        let c = m.volume_centroid().unwrap();
+        assert!((c - Vec3::new(1.0, 2.0, 3.0)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn box_mesh_properties() {
+        let m = shapes::box_mesh(Vec3::ZERO, Vec3::new(2.0, 3.0, 4.0));
+        assert!(m.is_watertight());
+        assert!((m.signed_volume() - 24.0).abs() < 1e-12);
+        assert!((m.surface_area() - 2.0 * (6.0 + 8.0 + 12.0)).abs() < 1e-12);
+        assert_eq!(m.euler_characteristic(), 2);
+    }
+}

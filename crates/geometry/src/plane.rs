@@ -1,0 +1,171 @@
+//! Oriented planes in `ax + by + cz + d = 0` form.
+//!
+//! This matches the rows of the paper's `H` matrix (§III-B): the convex hull
+//! `Conv(V)` is the intersection of half-spaces `a·x + b·y + c·z + d ≤ 0`,
+//! i.e. the normal `(a, b, c)` points *outward*.
+
+use crate::vec3::Vec3;
+
+/// An oriented plane `n·x + d = 0` with **unit** normal `n`.
+///
+/// Points with positive [`Plane::signed_distance`] lie on the outside (the
+/// side the normal points to). Because the normal is kept normalized, the
+/// paper's `ρ_ik = (a x + b y + c z + d)/√(a²+b²+c²)` reduces to a plain dot
+/// product plus offset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Plane {
+    /// Unit outward normal `(a, b, c)`.
+    pub normal: Vec3,
+    /// Offset `d` so that the plane satisfies `normal·x + d = 0`.
+    pub d: f64,
+}
+
+impl Plane {
+    /// Creates a plane from raw coefficients `(a, b, c, d)`, normalizing the
+    /// normal. Returns `None` for a degenerate (zero) normal.
+    pub fn from_coefficients(a: f64, b: f64, c: f64, d: f64) -> Option<Plane> {
+        let n = Vec3::new(a, b, c);
+        let len = n.norm();
+        if len > 0.0 && len.is_finite() && d.is_finite() {
+            Some(Plane {
+                normal: n / len,
+                d: d / len,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Plane through `point` with the given (not necessarily unit) `normal`.
+    pub fn from_point_normal(point: Vec3, normal: Vec3) -> Option<Plane> {
+        let n = normal.normalized()?;
+        Some(Plane {
+            normal: n,
+            d: -n.dot(point),
+        })
+    }
+
+    /// Plane through three points, normal oriented by right-hand winding
+    /// `(b - a) × (c - a)`. Returns `None` for (near-)collinear points.
+    pub fn from_triangle(a: Vec3, b: Vec3, c: Vec3) -> Option<Plane> {
+        let n = (b - a).cross(c - a);
+        Plane::from_point_normal(a, n)
+    }
+
+    /// Signed distance from `p` to the plane: positive outside (along the
+    /// normal), negative inside.
+    #[inline]
+    pub fn signed_distance(&self, p: Vec3) -> f64 {
+        self.normal.dot(p) + self.d
+    }
+
+    /// The paper's `ρ̃_ik = ρ_ik + r_i`: signed distance of the *surface* of
+    /// a sphere of radius `r` centred at `c`, measured along the outward
+    /// normal. Positive means the sphere pokes out through this plane.
+    #[inline]
+    pub fn sphere_excess(&self, center: Vec3, radius: f64) -> f64 {
+        self.signed_distance(center) + radius
+    }
+
+    /// Returns the plane with opposite orientation.
+    #[inline]
+    pub fn flipped(&self) -> Plane {
+        Plane {
+            normal: -self.normal,
+            d: -self.d,
+        }
+    }
+
+    /// Projects `p` onto the plane.
+    #[inline]
+    pub fn project(&self, p: Vec3) -> Vec3 {
+        p - self.normal * self.signed_distance(p)
+    }
+
+    /// Raw `(a, b, c, d)` coefficient row as in the paper's `H` matrix.
+    #[inline]
+    pub fn coefficients(&self) -> [f64; 4] {
+        [self.normal.x, self.normal.y, self.normal.z, self.d]
+    }
+
+    /// True when two planes describe the same oriented half-space within
+    /// tolerance `eps` (normals within `eps`, offsets within `eps`).
+    pub fn approx_eq(&self, other: &Plane, eps: f64) -> bool {
+        (self.normal - other.normal).norm() <= eps && (self.d - other.d).abs() <= eps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_coefficients_normalizes() {
+        let p = Plane::from_coefficients(0.0, 0.0, 2.0, -4.0).unwrap();
+        assert!((p.normal - Vec3::Z).norm() < 1e-12);
+        assert!((p.d - -2.0).abs() < 1e-12);
+        // z = 2 plane: signed distance of z=5 point is 3.
+        assert!((p.signed_distance(Vec3::new(0.0, 0.0, 5.0)) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_normal_rejected() {
+        assert!(Plane::from_coefficients(0.0, 0.0, 0.0, 1.0).is_none());
+        assert!(Plane::from_point_normal(Vec3::ZERO, Vec3::ZERO).is_none());
+        assert!(Plane::from_coefficients(f64::NAN, 0.0, 1.0, 0.0).is_none());
+    }
+
+    #[test]
+    fn from_point_normal() {
+        let p = Plane::from_point_normal(Vec3::new(1.0, 1.0, 1.0), Vec3::new(0.0, 3.0, 0.0)).unwrap();
+        assert!(p.signed_distance(Vec3::new(5.0, 1.0, -2.0)).abs() < 1e-12);
+        assert!((p.signed_distance(Vec3::new(0.0, 4.0, 0.0)) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_triangle_winding_sets_normal() {
+        // CCW triangle in the xy plane seen from +z => normal along +z.
+        let p = Plane::from_triangle(Vec3::ZERO, Vec3::X, Vec3::Y).unwrap();
+        assert!((p.normal - Vec3::Z).norm() < 1e-12);
+        // Collinear points are rejected.
+        assert!(Plane::from_triangle(Vec3::ZERO, Vec3::X, Vec3::X * 2.0).is_none());
+    }
+
+    #[test]
+    fn sphere_excess_matches_paper_definition() {
+        // Plane x = 1, outward +x. A sphere at x = 0.8 with r = 0.3 extends
+        // to x = 1.1, i.e. pokes out by 0.1.
+        let p = Plane::from_point_normal(Vec3::X, Vec3::X).unwrap();
+        let excess = p.sphere_excess(Vec3::new(0.8, 0.0, 0.0), 0.3);
+        assert!((excess - 0.1).abs() < 1e-12);
+        // Fully inside sphere has negative excess.
+        assert!(p.sphere_excess(Vec3::new(0.2, 0.0, 0.0), 0.3) < 0.0);
+    }
+
+    #[test]
+    fn flip_and_project() {
+        let p = Plane::from_point_normal(Vec3::new(0.0, 0.0, 2.0), Vec3::Z).unwrap();
+        let f = p.flipped();
+        let q = Vec3::new(1.0, 2.0, 5.0);
+        assert!((p.signed_distance(q) + f.signed_distance(q)).abs() < 1e-12);
+        let proj = p.project(q);
+        assert!(p.signed_distance(proj).abs() < 1e-12);
+        assert!((proj - Vec3::new(1.0, 2.0, 2.0)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn coefficients_round_trip() {
+        let p = Plane::from_coefficients(1.0, 2.0, 2.0, 6.0).unwrap();
+        let [a, b, c, d] = p.coefficients();
+        let q = Plane::from_coefficients(a, b, c, d).unwrap();
+        assert!(p.approx_eq(&q, 1e-12));
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        let p = Plane::from_coefficients(0.0, 0.0, 1.0, -1.0).unwrap();
+        let q = Plane::from_coefficients(0.0, 1e-8, 1.0, -1.0 + 1e-8).unwrap();
+        assert!(p.approx_eq(&q, 1e-6));
+        assert!(!p.approx_eq(&q.flipped(), 1e-6));
+    }
+}

@@ -1,0 +1,500 @@
+//! Procedural container meshes.
+//!
+//! Generates the watertight convex triangle meshes used across the paper's
+//! experiments: boxes (Figs. 1–8), cones (Figs. 9–10), spheres (zone shapes),
+//! cylinders, and the §VI-B blast-furnace vessel as a stack of conical
+//! frustums (32 m tall, 6.5 m max diameter).
+
+use crate::mesh::TriMesh;
+use crate::vec3::Vec3;
+
+/// Axis-aligned box mesh centred at `center` with edge lengths `size`.
+pub fn box_mesh(center: Vec3, size: Vec3) -> TriMesh {
+    assert!(
+        size.x > 0.0 && size.y > 0.0 && size.z > 0.0,
+        "box size must be positive, got {size}"
+    );
+    let h = size * 0.5;
+    let v = |sx: f64, sy: f64, sz: f64| center + Vec3::new(sx * h.x, sy * h.y, sz * h.z);
+    let vertices = vec![
+        v(-1.0, -1.0, -1.0), // 0
+        v(1.0, -1.0, -1.0),  // 1
+        v(1.0, 1.0, -1.0),   // 2
+        v(-1.0, 1.0, -1.0),  // 3
+        v(-1.0, -1.0, 1.0),  // 4
+        v(1.0, -1.0, 1.0),   // 5
+        v(1.0, 1.0, 1.0),    // 6
+        v(-1.0, 1.0, 1.0),   // 7
+    ];
+    // Outward-wound (CCW from outside) quads, split into triangles.
+    let faces = vec![
+        [0, 2, 1],
+        [0, 3, 2], // bottom (-z)
+        [4, 5, 6],
+        [4, 6, 7], // top (+z)
+        [0, 1, 5],
+        [0, 5, 4], // -y
+        [2, 3, 7],
+        [2, 7, 6], // +y
+        [1, 2, 6],
+        [1, 6, 5], // +x
+        [3, 0, 4],
+        [3, 4, 7], // -x
+    ];
+    TriMesh { vertices, faces }
+}
+
+/// The paper's tall scaling container (§V-C): square base `base × base`,
+/// height `height`, with the base at `z = 0`.
+pub fn tall_box(base: f64, height: f64) -> TriMesh {
+    box_mesh(
+        Vec3::new(0.0, 0.0, height / 2.0),
+        Vec3::new(base, base, height),
+    )
+}
+
+/// UV sphere mesh (poles along +z/-z).
+///
+/// `segments` ≥ 3 around the equator, `rings` ≥ 2 from pole to pole.
+pub fn uv_sphere(center: Vec3, radius: f64, segments: usize, rings: usize) -> TriMesh {
+    assert!(radius > 0.0, "sphere radius must be positive");
+    assert!(segments >= 3 && rings >= 2, "need >= 3 segments and >= 2 rings");
+    let mut vertices = Vec::with_capacity(segments * (rings - 1) + 2);
+    vertices.push(center + Vec3::Z * radius); // north pole: 0
+    for ri in 1..rings {
+        let phi = std::f64::consts::PI * ri as f64 / rings as f64;
+        let (sp, cp) = phi.sin_cos();
+        for si in 0..segments {
+            let theta = 2.0 * std::f64::consts::PI * si as f64 / segments as f64;
+            let (st, ct) = theta.sin_cos();
+            vertices.push(center + Vec3::new(radius * sp * ct, radius * sp * st, radius * cp));
+        }
+    }
+    vertices.push(center - Vec3::Z * radius); // south pole: last
+    let south = vertices.len() - 1;
+
+    let ring_start = |ri: usize| 1 + (ri - 1) * segments; // ri in 1..rings
+    let mut faces = Vec::new();
+    // North cap.
+    for si in 0..segments {
+        let a = ring_start(1) + si;
+        let b = ring_start(1) + (si + 1) % segments;
+        faces.push([0, a, b]);
+    }
+    // Belts.
+    for ri in 1..(rings - 1) {
+        for si in 0..segments {
+            let a = ring_start(ri) + si;
+            let b = ring_start(ri) + (si + 1) % segments;
+            let c = ring_start(ri + 1) + si;
+            let d = ring_start(ri + 1) + (si + 1) % segments;
+            faces.push([a, c, d]);
+            faces.push([a, d, b]);
+        }
+    }
+    // South cap.
+    for si in 0..segments {
+        let a = ring_start(rings - 1) + si;
+        let b = ring_start(rings - 1) + (si + 1) % segments;
+        faces.push([a, south, b]);
+    }
+    TriMesh { vertices, faces }
+}
+
+/// Icosphere mesh: a subdivided icosahedron projected onto the sphere.
+///
+/// Unlike [`uv_sphere`], triangles are nearly uniform in size and shape —
+/// preferable for zone shapes whose hull planes should sample the sphere
+/// evenly. `subdivisions = 0` gives the raw icosahedron (20 faces); each
+/// level quadruples the face count.
+pub fn icosphere(center: Vec3, radius: f64, subdivisions: u32) -> TriMesh {
+    assert!(radius > 0.0, "sphere radius must be positive");
+    assert!(subdivisions <= 7, "more than 7 subdivisions is > 1.3M faces");
+    // Icosahedron from three orthogonal golden rectangles.
+    let phi = (1.0 + 5.0f64.sqrt()) / 2.0;
+    let verts = [
+        (-1.0, phi, 0.0),
+        (1.0, phi, 0.0),
+        (-1.0, -phi, 0.0),
+        (1.0, -phi, 0.0),
+        (0.0, -1.0, phi),
+        (0.0, 1.0, phi),
+        (0.0, -1.0, -phi),
+        (0.0, 1.0, -phi),
+        (phi, 0.0, -1.0),
+        (phi, 0.0, 1.0),
+        (-phi, 0.0, -1.0),
+        (-phi, 0.0, 1.0),
+    ];
+    let mut mesh = TriMesh {
+        vertices: verts
+            .iter()
+            .map(|&(x, y, z)| Vec3::new(x, y, z).normalized().expect("nonzero") * radius)
+            .collect(),
+        faces: vec![
+            [0, 11, 5],
+            [0, 5, 1],
+            [0, 1, 7],
+            [0, 7, 10],
+            [0, 10, 11],
+            [1, 5, 9],
+            [5, 11, 4],
+            [11, 10, 2],
+            [10, 7, 6],
+            [7, 1, 8],
+            [3, 9, 4],
+            [3, 4, 2],
+            [3, 2, 6],
+            [3, 6, 8],
+            [3, 8, 9],
+            [4, 9, 5],
+            [2, 4, 11],
+            [6, 2, 10],
+            [8, 6, 7],
+            [9, 8, 1],
+        ],
+    };
+    for _ in 0..subdivisions {
+        mesh = subdivide_midpoint(&mesh);
+        // Reproject onto the sphere.
+        for v in &mut mesh.vertices {
+            *v = v.normalized().expect("nonzero") * radius;
+        }
+    }
+    mesh.translate(center);
+    mesh
+}
+
+/// Midpoint (1→4) subdivision of a triangle mesh, welding the edge
+/// midpoints so the result stays watertight for watertight input.
+pub fn subdivide_midpoint(mesh: &TriMesh) -> TriMesh {
+    use std::collections::HashMap;
+    let mut vertices = mesh.vertices.clone();
+    let mut midpoint_of: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut midpoint = |a: usize, b: usize, vertices: &mut Vec<Vec3>| -> usize {
+        let key = (a.min(b), a.max(b));
+        *midpoint_of.entry(key).or_insert_with(|| {
+            vertices.push((vertices[a] + vertices[b]) * 0.5);
+            vertices.len() - 1
+        })
+    };
+    let mut faces = Vec::with_capacity(mesh.faces.len() * 4);
+    for &[a, b, c] in &mesh.faces {
+        let ab = midpoint(a, b, &mut vertices);
+        let bc = midpoint(b, c, &mut vertices);
+        let ca = midpoint(c, a, &mut vertices);
+        faces.push([a, ab, ca]);
+        faces.push([ab, b, bc]);
+        faces.push([ca, bc, c]);
+        faces.push([ab, bc, ca]);
+    }
+    TriMesh { vertices, faces }
+}
+
+/// A vertical profile of radii at given heights, lathed into a closed solid
+/// of revolution around the z axis (a stack of conical frustums).
+///
+/// `profile` is a list of `(z, radius)` pairs with strictly increasing `z`
+/// and positive radii (the first/last radius may be 0 for apexes).
+pub fn lathe(profile: &[(f64, f64)], segments: usize) -> TriMesh {
+    assert!(profile.len() >= 2, "lathe needs at least two profile points");
+    assert!(segments >= 3, "lathe needs >= 3 segments");
+    for w in profile.windows(2) {
+        assert!(w[1].0 > w[0].0, "lathe profile z must be strictly increasing");
+    }
+    for (i, &(_, r)) in profile.iter().enumerate() {
+        let interior = i > 0 && i + 1 < profile.len();
+        assert!(
+            r > 0.0 || !interior,
+            "only the first/last profile radius may be zero"
+        );
+        assert!(r >= 0.0, "lathe radii must be non-negative");
+    }
+
+    let mut vertices: Vec<Vec3> = Vec::new();
+    // ring_index[i] = Some(start) if profile point i has a full ring,
+    // or None if it is an apex (radius 0) represented by a single vertex.
+    let mut ring_index: Vec<Result<usize, usize>> = Vec::new(); // Ok(ring start) | Err(apex vertex)
+    for &(z, r) in profile {
+        if r == 0.0 {
+            vertices.push(Vec3::new(0.0, 0.0, z));
+            ring_index.push(Err(vertices.len() - 1));
+        } else {
+            let start = vertices.len();
+            for si in 0..segments {
+                let theta = 2.0 * std::f64::consts::PI * si as f64 / segments as f64;
+                let (st, ct) = theta.sin_cos();
+                vertices.push(Vec3::new(r * ct, r * st, z));
+            }
+            ring_index.push(Ok(start));
+        }
+    }
+
+    let mut faces: Vec<[usize; 3]> = Vec::new();
+    // Side walls between consecutive profile points.
+    for w in 0..(profile.len() - 1) {
+        match (ring_index[w], ring_index[w + 1]) {
+            (Ok(lo), Ok(hi)) => {
+                for si in 0..segments {
+                    let sj = (si + 1) % segments;
+                    let (a, b) = (lo + si, lo + sj);
+                    let (c, d) = (hi + si, hi + sj);
+                    faces.push([a, b, d]);
+                    faces.push([a, d, c]);
+                }
+            }
+            (Err(apex), Ok(hi)) => {
+                // Bottom apex: cone opening upward.
+                for si in 0..segments {
+                    let sj = (si + 1) % segments;
+                    faces.push([apex, hi + sj, hi + si]);
+                }
+            }
+            (Ok(lo), Err(apex)) => {
+                // Top apex: cone closing upward.
+                for si in 0..segments {
+                    let sj = (si + 1) % segments;
+                    faces.push([lo + si, lo + sj, apex]);
+                }
+            }
+            (Err(_), Err(_)) => panic!("two consecutive zero radii in lathe profile"),
+        }
+    }
+    // Bottom cap (if the lowest point is a ring).
+    if let Ok(lo) = ring_index[0] {
+        let z = profile[0].0;
+        vertices.push(Vec3::new(0.0, 0.0, z));
+        let c = vertices.len() - 1;
+        for si in 0..segments {
+            let sj = (si + 1) % segments;
+            faces.push([c, lo + sj, lo + si]);
+        }
+    }
+    // Top cap.
+    if let Ok(hi) = ring_index[profile.len() - 1] {
+        let z = profile[profile.len() - 1].0;
+        vertices.push(Vec3::new(0.0, 0.0, z));
+        let c = vertices.len() - 1;
+        for si in 0..segments {
+            let sj = (si + 1) % segments;
+            faces.push([c, hi + si, hi + sj]);
+        }
+    }
+    TriMesh { vertices, faces }
+}
+
+/// Closed cylinder of the given radius/height, base at `z = 0`.
+pub fn cylinder(radius: f64, height: f64, segments: usize) -> TriMesh {
+    assert!(radius > 0.0 && height > 0.0);
+    lathe(&[(0.0, radius), (height, radius)], segments)
+}
+
+/// Cone with base radius `radius` at `z = 0` and apex at `z = height`
+/// (the Figs. 9–10 container, apex up; pass `apex_up = false` to flip).
+pub fn cone(radius: f64, height: f64, segments: usize, apex_up: bool) -> TriMesh {
+    assert!(radius > 0.0 && height > 0.0);
+    if apex_up {
+        lathe(&[(0.0, radius), (height, 0.0)], segments)
+    } else {
+        lathe(&[(0.0, 0.0), (height, radius)], segments)
+    }
+}
+
+/// Conical frustum, radius `r_bottom` at `z = 0` to `r_top` at `z = height`.
+pub fn frustum(r_bottom: f64, r_top: f64, height: f64, segments: usize) -> TriMesh {
+    assert!(r_bottom > 0.0 && r_top > 0.0 && height > 0.0);
+    lathe(&[(0.0, r_bottom), (height, r_top)], segments)
+}
+
+/// The §VI-B Midrex blast-furnace vessel, procedurally generated.
+///
+/// The paper's industrial STL is proprietary; this convex stand-in matches
+/// the published dimensions — total height 32 m, maximum diameter 6.5 m —
+/// with a classic furnace profile: narrow hearth, widening bosh, cylindrical
+/// belly at the maximum diameter around mid-height (where the gas inlets
+/// sit), and a long converging shaft to a narrower throat. The hull
+/// approximation step makes any profile convex anyway (the algorithm only
+/// ever sees `Conv(V)`), so the substitution preserves the packing behaviour.
+///
+/// `scale = 1.0` gives paper dimensions (metres); smaller scales produce
+/// laptop-sized replicas of identical shape.
+pub fn blast_furnace(scale: f64, segments: usize) -> TriMesh {
+    assert!(scale > 0.0);
+    let s = scale;
+    // (z, radius) profile; max radius 3.25 (6.5 m diameter) at mid-height.
+    let profile = [
+        (0.0 * s, 1.60 * s),  // hearth floor
+        (4.0 * s, 2.20 * s),  // bosh widening
+        (12.0 * s, 3.25 * s), // belly start (gas inlets ~ mid-height)
+        (20.0 * s, 3.25 * s), // belly end
+        (29.0 * s, 2.20 * s), // shaft converging
+        (32.0 * s, 1.80 * s), // throat
+    ];
+    lathe(&profile, segments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hull::ConvexHull;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn box_is_watertight_with_correct_volume() {
+        let m = box_mesh(Vec3::new(0.5, 0.0, -1.0), Vec3::new(1.0, 2.0, 3.0));
+        assert!(m.is_watertight());
+        assert!((m.signed_volume() - 6.0).abs() < 1e-12);
+        assert_eq!(m.euler_characteristic(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "box size must be positive")]
+    fn box_rejects_nonpositive_size() {
+        let _ = box_mesh(Vec3::ZERO, Vec3::new(1.0, 0.0, 1.0));
+    }
+
+    #[test]
+    fn tall_box_base_at_zero() {
+        let m = tall_box(2.0, 10.0);
+        let bb = m.aabb();
+        assert!((bb.min.z).abs() < 1e-12);
+        assert!((bb.max.z - 10.0).abs() < 1e-12);
+        assert!((bb.extent().x - 2.0).abs() < 1e-12);
+        assert!(m.is_watertight());
+    }
+
+    #[test]
+    fn uv_sphere_watertight_volume_converges() {
+        let m = uv_sphere(Vec3::ZERO, 2.0, 32, 16);
+        assert!(m.is_watertight());
+        assert_eq!(m.euler_characteristic(), 2);
+        let v = m.signed_volume();
+        let exact = 4.0 / 3.0 * PI * 8.0;
+        assert!(v > 0.0 && v < exact);
+        assert!((v - exact).abs() / exact < 0.02, "v = {v}, exact = {exact}");
+        // Finer mesh converges closer.
+        let v2 = uv_sphere(Vec3::ZERO, 2.0, 64, 32).signed_volume();
+        assert!((v2 - exact).abs() < (v - exact).abs());
+    }
+
+    #[test]
+    fn icosphere_watertight_volume_converges() {
+        let exact = 4.0 / 3.0 * PI;
+        let mut prev_err = f64::INFINITY;
+        for sub in 0..4 {
+            let m = icosphere(Vec3::ZERO, 1.0, sub);
+            assert!(m.is_watertight(), "subdivision {sub}");
+            assert_eq!(m.euler_characteristic(), 2);
+            assert_eq!(m.face_count(), 20 * 4usize.pow(sub));
+            let v = m.signed_volume();
+            let err = (v - exact).abs();
+            assert!(v > 0.0 && v < exact, "inscribed: v = {v}");
+            assert!(err < prev_err, "volume must converge monotonically");
+            prev_err = err;
+        }
+        // Level 3 (1280 faces): within 1 % of the true sphere.
+        assert!(prev_err / exact < 1e-2, "err = {prev_err}");
+    }
+
+    #[test]
+    fn icosphere_centering() {
+        let c = Vec3::new(2.0, -1.0, 0.5);
+        let m = icosphere(c, 0.5, 2);
+        let centroid = m.volume_centroid().unwrap();
+        assert!((centroid - c).norm() < 1e-9);
+        for v in &m.vertices {
+            assert!((v.distance(c) - 0.5).abs() < 1e-12, "all vertices on the sphere");
+        }
+    }
+
+    #[test]
+    fn subdivision_preserves_watertightness_and_area_limit() {
+        let m = box_mesh(Vec3::ZERO, Vec3::splat(2.0));
+        let s = subdivide_midpoint(&m);
+        assert!(s.is_watertight());
+        assert_eq!(s.face_count(), m.face_count() * 4);
+        // Flat surfaces: area and volume unchanged by midpoint subdivision.
+        assert!((s.surface_area() - m.surface_area()).abs() < 1e-9);
+        assert!((s.signed_volume() - m.signed_volume()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cylinder_volume_and_watertightness() {
+        let m = cylinder(1.0, 2.0, 64);
+        assert!(m.is_watertight());
+        let v = m.signed_volume();
+        let exact = PI * 2.0;
+        assert!((v - exact).abs() / exact < 0.01, "v = {v}");
+    }
+
+    #[test]
+    fn cone_volume_both_orientations() {
+        let exact = PI / 3.0; // r = 1, h = 1
+        for apex_up in [true, false] {
+            let m = cone(1.0, 1.0, 64, apex_up);
+            assert!(m.is_watertight(), "apex_up = {apex_up}");
+            let v = m.signed_volume();
+            assert!((v - exact).abs() / exact < 0.01, "v = {v} (apex_up = {apex_up})");
+        }
+    }
+
+    #[test]
+    fn frustum_volume() {
+        let m = frustum(2.0, 1.0, 3.0, 96);
+        assert!(m.is_watertight());
+        let exact = PI * 3.0 / 3.0 * (4.0 + 2.0 + 1.0); // πh/3 (R² + Rr + r²)
+        let v = m.signed_volume();
+        assert!((v - exact).abs() / exact < 0.01, "v = {v}, exact = {exact}");
+    }
+
+    #[test]
+    fn lathe_validates_profiles() {
+        let ok = lathe(&[(0.0, 1.0), (1.0, 2.0), (2.0, 0.5)], 16);
+        assert!(ok.is_watertight());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn lathe_rejects_nonmonotone_profile() {
+        let _ = lathe(&[(0.0, 1.0), (0.0, 2.0)], 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "may be zero")]
+    fn lathe_rejects_interior_zero_radius() {
+        let _ = lathe(&[(0.0, 1.0), (1.0, 0.0), (2.0, 1.0)], 16);
+    }
+
+    #[test]
+    fn blast_furnace_dimensions() {
+        let m = blast_furnace(1.0, 48);
+        assert!(m.is_watertight());
+        let bb = m.aabb();
+        assert!((bb.extent().z - 32.0).abs() < 1e-9, "32 m tall");
+        assert!((bb.extent().x - 6.5).abs() < 0.02, "6.5 m max diameter");
+        // Scaled replica keeps proportions.
+        let small = blast_furnace(0.1, 48);
+        let sb = small.aabb();
+        assert!((sb.extent().z - 3.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shapes_yield_valid_hulls() {
+        for m in [
+            box_mesh(Vec3::ZERO, Vec3::splat(2.0)),
+            cylinder(1.0, 2.0, 24),
+            cone(1.0, 2.0, 24, true),
+            blast_furnace(0.05, 24),
+            uv_sphere(Vec3::ZERO, 1.0, 16, 8),
+        ] {
+            let h = ConvexHull::from_mesh(&m).unwrap();
+            // All mesh vertices inside the hull.
+            for &v in &m.vertices {
+                assert!(h.contains(v, 1e-7));
+            }
+            // Convex shapes: hull volume ≈ mesh volume.
+            let (vm, vh) = (m.signed_volume(), h.volume());
+            assert!((vm - vh).abs() / vm < 1e-6, "mesh {vm} vs hull {vh}");
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Triangle primitives.
+
+use crate::plane::Plane;
+use crate::vec3::Vec3;
+
+/// A triangle in ℝ³ given by its three corners.
+///
+/// Winding is meaningful: the geometric normal follows the right-hand rule
+/// over `(b - a) × (c - a)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triangle {
+    /// First corner.
+    pub a: Vec3,
+    /// Second corner.
+    pub b: Vec3,
+    /// Third corner.
+    pub c: Vec3,
+}
+
+impl Triangle {
+    /// Creates a triangle.
+    pub const fn new(a: Vec3, b: Vec3, c: Vec3) -> Self {
+        Triangle { a, b, c }
+    }
+
+    /// Unnormalized normal `(b - a) × (c - a)`; its norm is twice the area.
+    #[inline]
+    pub fn scaled_normal(&self) -> Vec3 {
+        (self.b - self.a).cross(self.c - self.a)
+    }
+
+    /// Unit normal, `None` for degenerate triangles.
+    pub fn normal(&self) -> Option<Vec3> {
+        self.scaled_normal().normalized()
+    }
+
+    /// Triangle area.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.scaled_normal().norm() * 0.5
+    }
+
+    /// Centroid.
+    #[inline]
+    pub fn centroid(&self) -> Vec3 {
+        (self.a + self.b + self.c) / 3.0
+    }
+
+    /// Supporting plane, `None` for degenerate triangles.
+    pub fn plane(&self) -> Option<Plane> {
+        Plane::from_triangle(self.a, self.b, self.c)
+    }
+
+    /// Signed volume of the tetrahedron (origin, a, b, c); summing this over
+    /// a closed, outward-wound mesh gives the enclosed volume.
+    #[inline]
+    pub fn signed_volume(&self) -> f64 {
+        self.a.dot(self.b.cross(self.c)) / 6.0
+    }
+
+    /// Closest point on the (solid) triangle to `p`.
+    ///
+    /// Standard Voronoi-region case analysis (Ericson, *Real-Time Collision
+    /// Detection*, §5.1.5).
+    pub fn closest_point(&self, p: Vec3) -> Vec3 {
+        let (a, b, c) = (self.a, self.b, self.c);
+        let ab = b - a;
+        let ac = c - a;
+        let ap = p - a;
+        let d1 = ab.dot(ap);
+        let d2 = ac.dot(ap);
+        if d1 <= 0.0 && d2 <= 0.0 {
+            return a;
+        }
+
+        let bp = p - b;
+        let d3 = ab.dot(bp);
+        let d4 = ac.dot(bp);
+        if d3 >= 0.0 && d4 <= d3 {
+            return b;
+        }
+
+        let vc = d1 * d4 - d3 * d2;
+        if vc <= 0.0 && d1 >= 0.0 && d3 <= 0.0 {
+            let v = d1 / (d1 - d3);
+            return a + ab * v;
+        }
+
+        let cp = p - c;
+        let d5 = ab.dot(cp);
+        let d6 = ac.dot(cp);
+        if d6 >= 0.0 && d5 <= d6 {
+            return c;
+        }
+
+        let vb = d5 * d2 - d1 * d6;
+        if vb <= 0.0 && d2 >= 0.0 && d6 <= 0.0 {
+            let w = d2 / (d2 - d6);
+            return a + ac * w;
+        }
+
+        let va = d3 * d6 - d5 * d4;
+        if va <= 0.0 && (d4 - d3) >= 0.0 && (d5 - d6) >= 0.0 {
+            let w = (d4 - d3) / ((d4 - d3) + (d5 - d6));
+            return b + (c - b) * w;
+        }
+
+        let denom = 1.0 / (va + vb + vc);
+        let v = vb * denom;
+        let w = vc * denom;
+        a + ab * v + ac * w
+    }
+
+    /// Distance from `p` to the solid triangle.
+    pub fn distance(&self, p: Vec3) -> f64 {
+        self.closest_point(p).distance(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_tri() -> Triangle {
+        Triangle::new(Vec3::ZERO, Vec3::X, Vec3::Y)
+    }
+
+    #[test]
+    fn area_and_normal() {
+        let t = unit_tri();
+        assert!((t.area() - 0.5).abs() < 1e-12);
+        assert!((t.normal().unwrap() - Vec3::Z).norm() < 1e-12);
+        let degenerate = Triangle::new(Vec3::ZERO, Vec3::X, Vec3::X * 3.0);
+        assert!(degenerate.normal().is_none());
+        assert_eq!(degenerate.area(), 0.0);
+    }
+
+    #[test]
+    fn centroid() {
+        let t = Triangle::new(Vec3::ZERO, Vec3::new(3.0, 0.0, 0.0), Vec3::new(0.0, 3.0, 0.0));
+        assert!((t.centroid() - Vec3::new(1.0, 1.0, 0.0)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn signed_volume_of_unit_tetra_faces() {
+        // Tetrahedron (0, e_x, e_y, e_z) has volume 1/6; sum the four
+        // outward-wound faces' signed volumes.
+        let o = Vec3::ZERO;
+        let (x, y, z) = (Vec3::X, Vec3::Y, Vec3::Z);
+        let faces = [
+            Triangle::new(o, y, x), // bottom (normal -z)
+            Triangle::new(o, x, z),
+            Triangle::new(o, z, y),
+            Triangle::new(x, y, z),
+        ];
+        let v: f64 = faces.iter().map(Triangle::signed_volume).sum();
+        assert!((v - 1.0 / 6.0).abs() < 1e-12, "v = {v}");
+    }
+
+    #[test]
+    fn closest_point_regions() {
+        let t = unit_tri();
+        // Interior projection.
+        let p = Vec3::new(0.25, 0.25, 5.0);
+        assert!((t.closest_point(p) - Vec3::new(0.25, 0.25, 0.0)).norm() < 1e-12);
+        // Vertex regions.
+        assert!((t.closest_point(Vec3::new(-1.0, -1.0, 0.0)) - Vec3::ZERO).norm() < 1e-12);
+        assert!((t.closest_point(Vec3::new(2.0, -1.0, 0.0)) - Vec3::X).norm() < 1e-12);
+        assert!((t.closest_point(Vec3::new(-1.0, 2.0, 0.0)) - Vec3::Y).norm() < 1e-12);
+        // Edge ab region.
+        let q = t.closest_point(Vec3::new(0.5, -1.0, 0.0));
+        assert!((q - Vec3::new(0.5, 0.0, 0.0)).norm() < 1e-12);
+        // Hypotenuse region: point beyond edge bc projects onto it.
+        let q = t.closest_point(Vec3::new(1.0, 1.0, 0.0));
+        assert!((q - Vec3::new(0.5, 0.5, 0.0)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn distance_is_consistent_with_closest_point() {
+        let t = unit_tri();
+        let p = Vec3::new(0.25, 0.25, 2.0);
+        assert!((t.distance(p) - 2.0).abs() < 1e-12);
+        assert_eq!(t.distance(Vec3::new(0.1, 0.1, 0.0)), 0.0);
+    }
+}

@@ -1,0 +1,504 @@
+//! Double-precision 3-vectors and 3×3 matrices.
+//!
+//! The packing kernels are written against plain `f64` structure-of-array
+//! buffers for vectorization, but all scalar geometry (hull construction,
+//! mesh generation, plane math) uses [`Vec3`].
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A vector (or point) in ℝ³.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// x component.
+    pub x: f64,
+    /// y component.
+    pub y: f64,
+    /// z component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    /// Unit vector along +x.
+    pub const X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    /// Unit vector along +y.
+    pub const Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    /// Unit vector along +z.
+    pub const Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+
+    /// Creates a vector from components.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Creates a vector with all components equal to `v`.
+    #[inline]
+    pub const fn splat(v: f64) -> Self {
+        Vec3 { x: v, y: v, z: v }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, rhs: Vec3) -> f64 {
+        self.x * rhs.x + self.y * rhs.y + self.z * rhs.z
+    }
+
+    /// Cross product (right-handed).
+    #[inline]
+    pub fn cross(self, rhs: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.y * rhs.z - self.z * rhs.y,
+            y: self.z * rhs.x - self.x * rhs.z,
+            z: self.x * rhs.y - self.y * rhs.x,
+        }
+    }
+
+    /// Squared Euclidean norm.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn distance(self, rhs: Vec3) -> f64 {
+        (self - rhs).norm()
+    }
+
+    /// Squared Euclidean distance to another point.
+    #[inline]
+    pub fn distance_sq(self, rhs: Vec3) -> f64 {
+        (self - rhs).norm_sq()
+    }
+
+    /// Returns the unit vector in the same direction.
+    ///
+    /// Returns `None` when the norm is not strictly positive (zero vector or
+    /// non-finite input), instead of producing NaNs.
+    #[inline]
+    pub fn normalized(self) -> Option<Vec3> {
+        let n = self.norm();
+        if n > 0.0 && n.is_finite() {
+            Some(self / n)
+        } else {
+            None
+        }
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x.min(rhs.x), self.y.min(rhs.y), self.z.min(rhs.z))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x.max(rhs.x), self.y.max(rhs.y), self.z.max(rhs.z))
+    }
+
+    /// Component-wise multiplication (Hadamard product).
+    #[inline]
+    pub fn hadamard(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x * rhs.x, self.y * rhs.y, self.z * rhs.z)
+    }
+
+    /// Component-wise absolute value.
+    #[inline]
+    pub fn abs(self) -> Vec3 {
+        Vec3::new(self.x.abs(), self.y.abs(), self.z.abs())
+    }
+
+    /// Largest component.
+    #[inline]
+    pub fn max_component(self) -> f64 {
+        self.x.max(self.y).max(self.z)
+    }
+
+    /// Smallest component.
+    #[inline]
+    pub fn min_component(self) -> f64 {
+        self.x.min(self.y).min(self.z)
+    }
+
+    /// Linear interpolation: `self * (1 - t) + rhs * t`.
+    #[inline]
+    pub fn lerp(self, rhs: Vec3, t: f64) -> Vec3 {
+        self * (1.0 - t) + rhs * t
+    }
+
+    /// Returns true when all components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// The components as an array `[x, y, z]`.
+    #[inline]
+    pub fn to_array(self) -> [f64; 3] {
+        [self.x, self.y, self.z]
+    }
+
+    /// Builds a vector from an array `[x, y, z]`.
+    #[inline]
+    pub fn from_array(a: [f64; 3]) -> Vec3 {
+        Vec3::new(a[0], a[1], a[2])
+    }
+
+    /// Returns any unit vector orthogonal to `self` (which must be nonzero).
+    ///
+    /// Uses the component of smallest magnitude to avoid degeneracy.
+    pub fn any_orthonormal(self) -> Vec3 {
+        let a = self.abs();
+        let basis = if a.x <= a.y && a.x <= a.z {
+            Vec3::X
+        } else if a.y <= a.z {
+            Vec3::Y
+        } else {
+            Vec3::Z
+        };
+        self.cross(basis)
+            .normalized()
+            .expect("any_orthonormal requires a nonzero vector")
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec3) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: f64) -> Vec3 {
+        Vec3::new(self.x * rhs, self.y * rhs, self.z * rhs)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: Vec3) -> Vec3 {
+        rhs * self
+    }
+}
+
+impl MulAssign<f64> for Vec3 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, rhs: f64) -> Vec3 {
+        Vec3::new(self.x / rhs, self.y / rhs, self.z / rhs)
+    }
+}
+
+impl DivAssign<f64> for Vec3 {
+    #[inline]
+    fn div_assign(&mut self, rhs: f64) {
+        *self = *self / rhs;
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Vec3 index out of range: {i}"),
+        }
+    }
+}
+
+impl IndexMut<usize> for Vec3 {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        match i {
+            0 => &mut self.x,
+            1 => &mut self.y,
+            2 => &mut self.z,
+            _ => panic!("Vec3 index out of range: {i}"),
+        }
+    }
+}
+
+impl fmt::Display for Vec3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+/// A row-major 3×3 matrix; used for rotations when orienting gravity axes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat3 {
+    /// Rows of the matrix.
+    pub rows: [Vec3; 3],
+}
+
+impl Mat3 {
+    /// The identity matrix.
+    pub const IDENTITY: Mat3 = Mat3 {
+        rows: [Vec3::X, Vec3::Y, Vec3::Z],
+    };
+
+    /// Builds a matrix from rows.
+    #[inline]
+    pub const fn from_rows(r0: Vec3, r1: Vec3, r2: Vec3) -> Mat3 {
+        Mat3 { rows: [r0, r1, r2] }
+    }
+
+    /// Builds a matrix from columns.
+    #[inline]
+    pub fn from_cols(c0: Vec3, c1: Vec3, c2: Vec3) -> Mat3 {
+        Mat3::from_rows(
+            Vec3::new(c0.x, c1.x, c2.x),
+            Vec3::new(c0.y, c1.y, c2.y),
+            Vec3::new(c0.z, c1.z, c2.z),
+        )
+    }
+
+    /// Matrix-vector product.
+    #[inline]
+    pub fn mul_vec(&self, v: Vec3) -> Vec3 {
+        Vec3::new(self.rows[0].dot(v), self.rows[1].dot(v), self.rows[2].dot(v))
+    }
+
+    /// Matrix transpose.
+    #[inline]
+    pub fn transpose(&self) -> Mat3 {
+        Mat3::from_cols(self.rows[0], self.rows[1], self.rows[2])
+    }
+
+    /// Determinant.
+    #[inline]
+    pub fn det(&self) -> f64 {
+        self.rows[0].dot(self.rows[1].cross(self.rows[2]))
+    }
+
+    /// Rotation matrix mapping unit vector `from` onto unit vector `to`.
+    ///
+    /// Uses the Rodrigues construction; handles the antiparallel case by
+    /// rotating π around an arbitrary orthogonal axis.
+    pub fn rotation_between(from: Vec3, to: Vec3) -> Mat3 {
+        let f = from.normalized().expect("rotation_between: zero `from`");
+        let t = to.normalized().expect("rotation_between: zero `to`");
+        let c = f.dot(t);
+        if c > 1.0 - 1e-12 {
+            return Mat3::IDENTITY;
+        }
+        if c < -1.0 + 1e-12 {
+            // 180° turn around any axis orthogonal to f.
+            let axis = f.any_orthonormal();
+            return Mat3::rotation_axis_angle(axis, std::f64::consts::PI);
+        }
+        let axis = f.cross(t).normalized().expect("nondegenerate cross");
+        Mat3::rotation_axis_angle(axis, c.clamp(-1.0, 1.0).acos())
+    }
+
+    /// Rotation by `angle` radians around the given unit `axis`.
+    pub fn rotation_axis_angle(axis: Vec3, angle: f64) -> Mat3 {
+        let (s, c) = angle.sin_cos();
+        let t = 1.0 - c;
+        let (x, y, z) = (axis.x, axis.y, axis.z);
+        Mat3::from_rows(
+            Vec3::new(t * x * x + c, t * x * y - s * z, t * x * z + s * y),
+            Vec3::new(t * x * y + s * z, t * y * y + c, t * y * z - s * x),
+            Vec3::new(t * x * z - s * y, t * y * z + s * x, t * z * z + c),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, -5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, -3.0, 9.0));
+        assert_eq!(a - b, Vec3::new(-3.0, 7.0, -3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(a / 2.0, Vec3::new(0.5, 1.0, 1.5));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, -5.0, 6.0);
+        assert!((a.dot(b) - (4.0 - 10.0 + 18.0)).abs() < EPS);
+        let c = Vec3::X.cross(Vec3::Y);
+        assert!((c - Vec3::Z).norm() < EPS);
+        // Cross product is orthogonal to both inputs.
+        let x = a.cross(b);
+        assert!(x.dot(a).abs() < EPS && x.dot(b).abs() < EPS);
+    }
+
+    #[test]
+    fn norms_and_distances() {
+        let v = Vec3::new(3.0, 4.0, 12.0);
+        assert!((v.norm() - 13.0).abs() < EPS);
+        assert!((v.norm_sq() - 169.0).abs() < EPS);
+        assert!((Vec3::ZERO.distance(v) - 13.0).abs() < EPS);
+        assert!((Vec3::ZERO.distance_sq(v) - 169.0).abs() < EPS);
+    }
+
+    #[test]
+    fn normalization() {
+        let v = Vec3::new(0.0, 3.0, 4.0);
+        let n = v.normalized().unwrap();
+        assert!((n.norm() - 1.0).abs() < EPS);
+        assert!(Vec3::ZERO.normalized().is_none());
+        assert!(Vec3::new(f64::NAN, 0.0, 0.0).normalized().is_none());
+    }
+
+    #[test]
+    fn component_ops() {
+        let a = Vec3::new(1.0, 5.0, -3.0);
+        let b = Vec3::new(2.0, 4.0, -6.0);
+        assert_eq!(a.min(b), Vec3::new(1.0, 4.0, -6.0));
+        assert_eq!(a.max(b), Vec3::new(2.0, 5.0, -3.0));
+        assert_eq!(a.hadamard(b), Vec3::new(2.0, 20.0, 18.0));
+        assert_eq!(a.abs(), Vec3::new(1.0, 5.0, 3.0));
+        assert_eq!(a.max_component(), 5.0);
+        assert_eq!(a.min_component(), -3.0);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Vec3::new(0.0, 0.0, 0.0);
+        let b = Vec3::new(2.0, 4.0, 6.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn indexing() {
+        let mut v = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(v[0], 1.0);
+        assert_eq!(v[1], 2.0);
+        assert_eq!(v[2], 3.0);
+        v[1] = 9.0;
+        assert_eq!(v.y, 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn index_out_of_range_panics() {
+        let v = Vec3::ZERO;
+        let _ = v[3];
+    }
+
+    #[test]
+    fn any_orthonormal_is_orthogonal_unit() {
+        for v in [
+            Vec3::X,
+            Vec3::Y,
+            Vec3::Z,
+            Vec3::new(1.0, 2.0, 3.0),
+            Vec3::new(-5.0, 0.1, 0.0),
+        ] {
+            let o = v.any_orthonormal();
+            assert!(o.dot(v).abs() < 1e-10);
+            assert!((o.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mat3_identity_and_det() {
+        let v = Vec3::new(1.0, -2.0, 3.0);
+        assert_eq!(Mat3::IDENTITY.mul_vec(v), v);
+        assert!((Mat3::IDENTITY.det() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn mat3_rotation_between_maps_vectors() {
+        let cases = [
+            (Vec3::X, Vec3::Y),
+            (Vec3::Z, Vec3::new(1.0, 1.0, 1.0)),
+            (Vec3::Y, -Vec3::Y), // antiparallel
+            (Vec3::new(0.3, -0.4, 0.5), Vec3::new(-1.0, 2.0, 0.25)),
+        ];
+        for (from, to) in cases {
+            let r = Mat3::rotation_between(from, to);
+            let mapped = r.mul_vec(from.normalized().unwrap());
+            let expect = to.normalized().unwrap();
+            assert!(
+                (mapped - expect).norm() < 1e-10,
+                "from {from} to {to}: got {mapped}, want {expect}"
+            );
+            // Proper rotation: determinant +1.
+            assert!((r.det() - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn mat3_transpose_inverts_rotation() {
+        let r = Mat3::rotation_axis_angle(Vec3::new(1.0, 1.0, 0.0).normalized().unwrap(), 0.7);
+        let v = Vec3::new(0.2, -0.9, 1.4);
+        let back = r.transpose().mul_vec(r.mul_vec(v));
+        assert!((back - v).norm() < 1e-12);
+    }
+
+    #[test]
+    fn array_round_trip() {
+        let v = Vec3::new(1.5, -2.5, 3.5);
+        assert_eq!(Vec3::from_array(v.to_array()), v);
+    }
+}

@@ -1,0 +1,169 @@
+//! Property tests for the geometry substrate: hull invariants, clipping
+//! volume conservation, mesh transforms.
+
+use adampack_geometry::{clip_convex, shapes, Aabb, ClipResult, ConvexHull, Plane, Vec3};
+use proptest::prelude::*;
+
+fn vec3_strategy(range: f64) -> impl Strategy<Value = Vec3> {
+    (
+        -range..range,
+        -range..range,
+        -range..range,
+    )
+        .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn hull_contains_all_input_points(
+        points in prop::collection::vec(vec3_strategy(3.0), 8..60),
+    ) {
+        let bb = Aabb::from_points(&points);
+        prop_assume!(bb.extent().min_component() > 0.05); // avoid degenerate clouds
+        let Ok(hull) = ConvexHull::from_points(&points) else {
+            // Degenerate input is allowed to error; nothing further to check.
+            return Ok(());
+        };
+        let tol = 1e-7 * bb.diagonal().max(1.0);
+        for &p in &points {
+            prop_assert!(
+                hull.contains(p, tol),
+                "input point {p} outside by {}",
+                hull.halfspaces().max_signed_distance(p)
+            );
+        }
+    }
+
+    #[test]
+    fn hull_volume_bounded_by_bbox(
+        points in prop::collection::vec(vec3_strategy(2.0), 8..40),
+    ) {
+        let Ok(hull) = ConvexHull::from_points(&points) else { return Ok(()); };
+        let bb = Aabb::from_points(&points);
+        prop_assert!(hull.volume() >= -1e-9);
+        prop_assert!(hull.volume() <= bb.volume() * (1.0 + 1e-9) + 1e-9);
+    }
+
+    #[test]
+    fn hull_mesh_is_closed_and_oriented(
+        points in prop::collection::vec(vec3_strategy(2.0), 10..50),
+    ) {
+        let Ok(hull) = ConvexHull::from_points(&points) else { return Ok(()); };
+        let mesh = hull.to_mesh();
+        prop_assert!(mesh.is_watertight());
+        prop_assert!(mesh.signed_volume() > 0.0, "outward orientation");
+        prop_assert_eq!(mesh.euler_characteristic(), 2);
+        // Mesh volume equals hull volume (same facets).
+        prop_assert!((mesh.signed_volume() - hull.volume()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hull_planes_face_outward_from_centroid(
+        points in prop::collection::vec(vec3_strategy(2.0), 10..40),
+    ) {
+        let Ok(hull) = ConvexHull::from_points(&points) else { return Ok(()); };
+        let centroid = hull
+            .vertices
+            .iter()
+            .fold(Vec3::ZERO, |a, &b| a + b)
+            / hull.vertices.len() as f64;
+        for plane in hull.halfspaces().planes() {
+            prop_assert!(
+                plane.signed_distance(centroid) < 1e-9,
+                "centroid should be inside every half-space"
+            );
+        }
+    }
+
+    #[test]
+    fn clip_conserves_volume(
+        nx in -1.0f64..1.0,
+        ny in -1.0f64..1.0,
+        nz in -1.0f64..1.0,
+        offset in -0.8f64..0.8,
+    ) {
+        let n = Vec3::new(nx, ny, nz);
+        prop_assume!(n.norm() > 0.1);
+        let mesh = shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0));
+        let n = n.normalized().unwrap();
+        let plane = Plane::from_point_normal(n * offset, n).unwrap();
+        let total = mesh.signed_volume();
+
+        let inside = clip_convex(&mesh, &plane, 1e-9);
+        let outside = clip_convex(&mesh, &plane.flipped(), 1e-9);
+        let vol = |r: &ClipResult| match r {
+            ClipResult::Unchanged => total,
+            ClipResult::Empty => 0.0,
+            ClipResult::Clipped(m) => m.signed_volume(),
+        };
+        let (vi, vo) = (vol(&inside), vol(&outside));
+        prop_assert!(
+            (vi + vo - total).abs() < 1e-6 * total,
+            "volume not conserved: {vi} + {vo} != {total}"
+        );
+        if let ClipResult::Clipped(m) = &inside {
+            prop_assert!(m.is_watertight());
+        }
+    }
+
+    #[test]
+    fn shrink_then_contains(
+        half in 0.2f64..3.0,
+        factor in 0.0f64..0.95,
+        px in -1.0f64..1.0,
+        py in -1.0f64..1.0,
+        pz in -1.0f64..1.0,
+    ) {
+        let b = Aabb::cube(Vec3::ZERO, 2.0 * half);
+        let s = b.shrink(factor);
+        // The shrunken box is always inside the original.
+        for c in s.corners() {
+            prop_assert!(b.contains(c));
+        }
+        // Volume scales with (1 - factor)³.
+        let expect = b.volume() * (1.0 - factor).powi(3);
+        prop_assert!((s.volume() - expect).abs() < 1e-9 * b.volume().max(1.0));
+        // Any point in the shrunken box is in the original.
+        let p = Vec3::new(px, py, pz) * half * (1.0 - factor);
+        prop_assert!(s.contains(p) && b.contains(p));
+    }
+
+    #[test]
+    fn plane_signed_distance_is_linear_along_normal(
+        n in vec3_strategy(1.0),
+        d in -2.0f64..2.0,
+        p in vec3_strategy(3.0),
+        t in -2.0f64..2.0,
+    ) {
+        prop_assume!(n.norm() > 0.1);
+        let plane = Plane::from_coefficients(n.x, n.y, n.z, d).unwrap();
+        let base = plane.signed_distance(p);
+        let moved = plane.signed_distance(p + plane.normal * t);
+        prop_assert!((moved - (base + t)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lathe_volume_matches_frustum_sum(
+        r0 in 0.2f64..2.0,
+        r1 in 0.2f64..2.0,
+        r2 in 0.2f64..2.0,
+        h1 in 0.2f64..2.0,
+        h2 in 0.2f64..2.0,
+    ) {
+        // A two-segment lathe equals the sum of the two frustum volumes
+        // (discretized identically).
+        let segs = 48;
+        let m = shapes::lathe(&[(0.0, r0), (h1, r1), (h1 + h2, r2)], segs);
+        prop_assert!(m.is_watertight());
+        let f1 = shapes::frustum(r0, r1, h1, segs).signed_volume();
+        let f2 = shapes::frustum(r1, r2, h2, segs).signed_volume();
+        let v = m.signed_volume();
+        prop_assert!(
+            (v - (f1 + f2)).abs() < 1e-9 * (f1 + f2),
+            "lathe {v} vs frustums {}",
+            f1 + f2
+        );
+    }
+}

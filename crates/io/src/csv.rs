@@ -1,0 +1,113 @@
+//! CSV particle tables (`x,y,z,radius,batch,set`).
+//!
+//! The format DEM pipelines ingest as initial conditions; full `f64`
+//! round-trip precision via shortest-repr formatting.
+
+use std::io::{self, BufRead, Write};
+
+use adampack_geometry::Vec3;
+
+/// A particle row as read/written by this module (mirrors
+/// `adampack_core::Particle` without the dependency).
+pub type ParticleRow = (Vec3, f64, usize, usize);
+
+/// Writes particles as CSV with a header row.
+pub fn write_particles_csv<W: Write>(
+    mut w: W,
+    rows: impl IntoIterator<Item = ParticleRow>,
+) -> io::Result<()> {
+    writeln!(w, "x,y,z,radius,batch,set")?;
+    for (c, r, batch, set) in rows {
+        writeln!(w, "{},{},{},{},{},{}", c.x, c.y, c.z, r, batch, set)?;
+    }
+    Ok(())
+}
+
+/// Reads particles from CSV produced by [`write_particles_csv`] (header
+/// required; `batch`/`set` columns optional for foreign files).
+pub fn read_particles_csv<R: BufRead>(r: R) -> io::Result<Vec<ParticleRow>> {
+    let mut out = Vec::new();
+    let mut lines = r.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty csv"))??;
+    let cols: Vec<&str> = header.split(',').map(str::trim).collect();
+    if cols.len() < 4 || cols[0] != "x" || cols[1] != "y" || cols[2] != "z" || cols[3] != "radius" {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unexpected csv header: {header}"),
+        ));
+    }
+    for (ln, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() < 4 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: expected >= 4 fields, got {}", ln + 2, fields.len()),
+            ));
+        }
+        let num = |s: &str| {
+            s.parse::<f64>().map_err(|_| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("line {}: bad number '{s}'", ln + 2))
+            })
+        };
+        let int = |s: &str| {
+            s.parse::<usize>().map_err(|_| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("line {}: bad index '{s}'", ln + 2))
+            })
+        };
+        let c = Vec3::new(num(fields[0])?, num(fields[1])?, num(fields[2])?);
+        let r = num(fields[3])?;
+        let batch = if fields.len() > 4 { int(fields[4])? } else { 0 };
+        let set = if fields.len() > 5 { int(fields[5])? } else { 0 };
+        out.push((c, r, batch, set));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn round_trip_exact() {
+        let rows: Vec<ParticleRow> = vec![
+            (Vec3::new(0.1, -0.25, 1.0 / 3.0), 0.052, 0, 0),
+            (Vec3::new(1e-17, 2e8, -3.5), 0.075, 12, 1),
+        ];
+        let mut buf = Vec::new();
+        write_particles_csv(&mut buf, rows.clone()).unwrap();
+        let back = read_particles_csv(BufReader::new(&buf[..])).unwrap();
+        assert_eq!(back, rows, "f64 round trip must be exact");
+    }
+
+    #[test]
+    fn reads_foreign_csv_without_batch_columns() {
+        let text = "x,y,z,radius\n1,2,3,0.5\n4,5,6,0.25\n";
+        let rows = read_particles_csv(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], (Vec3::new(1.0, 2.0, 3.0), 0.5, 0, 0));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let text = "x,y,z,radius,batch,set\n1,2,3,0.5,0,0\n\n\n4,5,6,0.25,1,0\n";
+        let rows = read_particles_csv(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn errors_on_malformed_input() {
+        assert!(read_particles_csv(BufReader::new(&b""[..])).is_err());
+        assert!(read_particles_csv(BufReader::new(&b"a,b,c\n"[..])).is_err());
+        let bad_field = "x,y,z,radius\n1,2,three,0.5\n";
+        assert!(read_particles_csv(BufReader::new(bad_field.as_bytes())).is_err());
+        let short = "x,y,z,radius\n1,2\n";
+        assert!(read_particles_csv(BufReader::new(short.as_bytes())).is_err());
+    }
+}

@@ -1,0 +1,296 @@
+//! STL reading and writing (ASCII and binary dialects).
+//!
+//! STL stores a bag of independent triangles; on read the soup is welded
+//! back into an indexed [`TriMesh`] by merging vertices within a relative
+//! tolerance, which is what the hull/containment pipeline expects.
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use adampack_geometry::{Aabb, TriMesh, Triangle, Vec3};
+
+/// STL parse/serialize errors.
+#[derive(Debug)]
+pub enum StlError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Malformed content (message describes the position/cause).
+    Parse(String),
+    /// The mesh has no triangles.
+    Empty,
+}
+
+impl std::fmt::Display for StlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StlError::Io(e) => write!(f, "stl i/o error: {e}"),
+            StlError::Parse(m) => write!(f, "stl parse error: {m}"),
+            StlError::Empty => write!(f, "stl contains no triangles"),
+        }
+    }
+}
+
+impl std::error::Error for StlError {}
+
+impl From<io::Error> for StlError {
+    fn from(e: io::Error) -> Self {
+        StlError::Io(e)
+    }
+}
+
+/// Writes a mesh as ASCII STL.
+pub fn write_stl_ascii<W: Write>(mut w: W, mesh: &TriMesh, name: &str) -> Result<(), StlError> {
+    writeln!(w, "solid {name}")?;
+    for t in mesh.triangles() {
+        let n = t.normal().unwrap_or(Vec3::Z);
+        writeln!(w, "  facet normal {:e} {:e} {:e}", n.x, n.y, n.z)?;
+        writeln!(w, "    outer loop")?;
+        for v in [t.a, t.b, t.c] {
+            writeln!(w, "      vertex {:e} {:e} {:e}", v.x, v.y, v.z)?;
+        }
+        writeln!(w, "    endloop")?;
+        writeln!(w, "  endfacet")?;
+    }
+    writeln!(w, "endsolid {name}")?;
+    Ok(())
+}
+
+/// Writes a mesh as binary STL.
+pub fn write_stl_binary<W: Write>(mut w: W, mesh: &TriMesh) -> Result<(), StlError> {
+    let mut header = [0u8; 80];
+    let tag = b"adampack binary stl";
+    header[..tag.len()].copy_from_slice(tag);
+    w.write_all(&header)?;
+    let count = u32::try_from(mesh.face_count())
+        .map_err(|_| StlError::Parse("too many triangles for binary STL".into()))?;
+    w.write_all(&count.to_le_bytes())?;
+    for t in mesh.triangles() {
+        let n = t.normal().unwrap_or(Vec3::Z);
+        for v in [n, t.a, t.b, t.c] {
+            for x in [v.x, v.y, v.z] {
+                w.write_all(&(x as f32).to_le_bytes())?;
+            }
+        }
+        w.write_all(&0u16.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads an STL from bytes, auto-detecting the dialect.
+///
+/// Binary files are recognized by the `84 + 50·n` size identity; everything
+/// else is parsed as ASCII (the `solid` prefix alone is unreliable — many
+/// binary exporters write it too).
+pub fn read_stl(bytes: &[u8]) -> Result<TriMesh, StlError> {
+    if bytes.len() >= 84 {
+        let n = u32::from_le_bytes([bytes[80], bytes[81], bytes[82], bytes[83]]) as usize;
+        if bytes.len() == 84 + 50 * n {
+            return read_stl_binary(bytes, n);
+        }
+    }
+    read_stl_ascii(bytes)
+}
+
+/// Reads an STL file from disk.
+pub fn read_stl_file(path: impl AsRef<Path>) -> Result<TriMesh, StlError> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    read_stl(&bytes)
+}
+
+fn read_stl_binary(bytes: &[u8], n: usize) -> Result<TriMesh, StlError> {
+    if n == 0 {
+        return Err(StlError::Empty);
+    }
+    let mut tris = Vec::with_capacity(n);
+    let mut off = 84;
+    let f32_at = |bytes: &[u8], o: usize| {
+        f32::from_le_bytes([bytes[o], bytes[o + 1], bytes[o + 2], bytes[o + 3]]) as f64
+    };
+    for _ in 0..n {
+        // Skip the stored normal (recomputed from winding on demand).
+        let v = |k: usize| {
+            let base = off + 12 + k * 12;
+            Vec3::new(f32_at(bytes, base), f32_at(bytes, base + 4), f32_at(bytes, base + 8))
+        };
+        tris.push(Triangle::new(v(0), v(1), v(2)));
+        off += 50;
+    }
+    weld(&tris)
+}
+
+fn read_stl_ascii(bytes: &[u8]) -> Result<TriMesh, StlError> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|e| StlError::Parse(format!("not valid UTF-8 at byte {}", e.valid_up_to())))?;
+    let mut tris: Vec<Triangle> = Vec::new();
+    let mut verts: Vec<Vec3> = Vec::with_capacity(3);
+    let mut saw_solid = false;
+    for (ln, line) in text.lines().enumerate() {
+        let mut tokens = line.split_whitespace();
+        match tokens.next() {
+            Some("solid") => saw_solid = true,
+            Some("vertex") => {
+                let mut coord = [0.0f64; 3];
+                for c in coord.iter_mut() {
+                    let tok = tokens
+                        .next()
+                        .ok_or_else(|| StlError::Parse(format!("line {}: missing vertex coordinate", ln + 1)))?;
+                    *c = tok
+                        .parse()
+                        .map_err(|_| StlError::Parse(format!("line {}: bad number '{tok}'", ln + 1)))?;
+                }
+                verts.push(Vec3::new(coord[0], coord[1], coord[2]));
+            }
+            Some("endloop") => {
+                if verts.len() != 3 {
+                    return Err(StlError::Parse(format!(
+                        "line {}: facet with {} vertices (need 3)",
+                        ln + 1,
+                        verts.len()
+                    )));
+                }
+                tris.push(Triangle::new(verts[0], verts[1], verts[2]));
+                verts.clear();
+            }
+            _ => {} // facet / outer / endfacet / endsolid / blank
+        }
+    }
+    if !saw_solid {
+        return Err(StlError::Parse("no 'solid' keyword found".into()));
+    }
+    if tris.is_empty() {
+        return Err(StlError::Empty);
+    }
+    weld(&tris)
+}
+
+/// Welds a triangle soup into an indexed mesh, merging vertices within
+/// `1e-9 ×` the bounding-box diagonal.
+fn weld(tris: &[Triangle]) -> Result<TriMesh, StlError> {
+    let mut points = Vec::with_capacity(tris.len() * 3);
+    for t in tris {
+        points.extend_from_slice(&[t.a, t.b, t.c]);
+    }
+    let diag = Aabb::from_points(&points).diagonal().max(1.0);
+    let mut mesh = TriMesh {
+        vertices: points,
+        faces: (0..tris.len()).map(|i| [3 * i, 3 * i + 1, 3 * i + 2]).collect(),
+    };
+    mesh.deduplicate_vertices(diag * 1e-9);
+    mesh.validate()
+        .map_err(|e| StlError::Parse(format!("welded mesh invalid: {e}")))?;
+    Ok(mesh)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adampack_geometry::shapes;
+
+    fn sample_mesh() -> TriMesh {
+        shapes::box_mesh(Vec3::new(0.5, -1.0, 2.0), Vec3::new(1.0, 2.0, 3.0))
+    }
+
+    #[test]
+    fn ascii_round_trip_preserves_geometry() {
+        let mesh = sample_mesh();
+        let mut buf = Vec::new();
+        write_stl_ascii(&mut buf, &mesh, "box").unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("solid box"));
+        assert!(text.trim_end().ends_with("endsolid box"));
+
+        let back = read_stl(&buf).unwrap();
+        assert_eq!(back.face_count(), mesh.face_count());
+        assert_eq!(back.vertex_count(), 8, "weld restores shared vertices");
+        assert!(back.is_watertight());
+        assert!((back.signed_volume() - mesh.signed_volume()).abs() < 1e-9);
+        assert_eq!(back.aabb(), mesh.aabb());
+    }
+
+    #[test]
+    fn binary_round_trip_preserves_geometry() {
+        let mesh = sample_mesh();
+        let mut buf = Vec::new();
+        write_stl_binary(&mut buf, &mesh).unwrap();
+        assert_eq!(buf.len(), 84 + 50 * mesh.face_count());
+
+        let back = read_stl(&buf).unwrap();
+        assert_eq!(back.face_count(), mesh.face_count());
+        assert_eq!(back.vertex_count(), 8);
+        assert!(back.is_watertight());
+        // f32 precision: volumes agree to ~1e-6 relative.
+        let rel = (back.signed_volume() - mesh.signed_volume()).abs() / mesh.signed_volume();
+        assert!(rel < 1e-6, "rel = {rel}");
+    }
+
+    #[test]
+    fn binary_round_trip_of_curved_shape() {
+        let mesh = shapes::cone(1.0, 2.0, 32, true);
+        let mut buf = Vec::new();
+        write_stl_binary(&mut buf, &mesh).unwrap();
+        let back = read_stl(&buf).unwrap();
+        assert!(back.is_watertight());
+        assert_eq!(back.face_count(), mesh.face_count());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("adampack_stl_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cone.stl");
+        let mesh = shapes::cone(0.5, 1.0, 16, true);
+        let mut file = std::fs::File::create(&path).unwrap();
+        write_stl_ascii(&mut file, &mesh, "cone").unwrap();
+        drop(file);
+        let back = read_stl_file(&path).unwrap();
+        assert_eq!(back.face_count(), mesh.face_count());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ascii_with_scientific_notation() {
+        let stl = "solid t\n facet normal 0 0 1\n  outer loop\n   vertex 0e0 0E0 0.0\n   vertex 1.5e-1 0 0\n   vertex 0 2.5E-1 0\n  endloop\n endfacet\nendsolid t\n";
+        let mesh = read_stl(stl.as_bytes()).unwrap();
+        assert_eq!(mesh.face_count(), 1);
+        assert!((mesh.vertices[1].x - 0.15).abs() < 1e-12);
+        assert!((mesh.vertices[2].y - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn malformed_inputs_error_not_panic() {
+        // Not UTF-8 and not valid binary length.
+        let garbage = vec![0xFFu8; 100];
+        assert!(read_stl(&garbage).is_err());
+        // Missing coordinates.
+        let bad = "solid t\nvertex 1 2\nendsolid";
+        assert!(matches!(read_stl(bad.as_bytes()), Err(StlError::Parse(_))));
+        // Non-numeric coordinate.
+        let bad = "solid t\nvertex a b c\nendsolid";
+        assert!(matches!(read_stl(bad.as_bytes()), Err(StlError::Parse(_))));
+        // Empty solid.
+        let empty = "solid t\nendsolid t";
+        assert!(matches!(read_stl(empty.as_bytes()), Err(StlError::Empty)));
+        // Random text without 'solid'.
+        assert!(read_stl(b"hello world").is_err());
+    }
+
+    #[test]
+    fn binary_with_zero_triangles_errors() {
+        let mut buf = vec![0u8; 84];
+        buf[80..84].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(read_stl(&buf), Err(StlError::Empty) | Err(StlError::Parse(_))));
+    }
+
+    #[test]
+    fn hull_pipeline_from_stl() {
+        // End-to-end: STL bytes → mesh → container hull, as configs do.
+        use adampack_geometry::ConvexHull;
+        let mesh = shapes::blast_furnace(0.1, 24);
+        let mut buf = Vec::new();
+        write_stl_binary(&mut buf, &mesh).unwrap();
+        let back = read_stl(&buf).unwrap();
+        let hull = ConvexHull::from_mesh(&back).unwrap();
+        assert!(hull.volume() > 0.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Legacy-VTK output of packings for ParaView.
+//!
+//! Writes particles as a `POLYDATA` point cloud with `radius` and `batch`
+//! point-data arrays; a glyph filter (sphere, scale by radius) reproduces
+//! the paper's Figs. 1/10/11 renderings.
+
+use std::io::{self, Write};
+
+use adampack_geometry::Vec3;
+
+/// Writes `(center, radius, batch)` triples as a legacy VTK file.
+pub fn write_particles_vtk<W: Write>(
+    mut w: W,
+    particles: &[(Vec3, f64, usize)],
+    title: &str,
+) -> io::Result<()> {
+    writeln!(w, "# vtk DataFile Version 3.0")?;
+    // Legacy VTK limits the title line to 256 characters.
+    let mut t = title.replace(['\n', '\r'], " ");
+    t.truncate(255);
+    writeln!(w, "{t}")?;
+    writeln!(w, "ASCII")?;
+    writeln!(w, "DATASET POLYDATA")?;
+    writeln!(w, "POINTS {} double", particles.len())?;
+    for (c, _, _) in particles {
+        writeln!(w, "{} {} {}", c.x, c.y, c.z)?;
+    }
+    writeln!(w, "POINT_DATA {}", particles.len())?;
+    writeln!(w, "SCALARS radius double 1")?;
+    writeln!(w, "LOOKUP_TABLE default")?;
+    for (_, r, _) in particles {
+        writeln!(w, "{r}")?;
+    }
+    writeln!(w, "SCALARS batch int 1")?;
+    writeln!(w, "LOOKUP_TABLE default")?;
+    for (_, _, b) in particles {
+        writeln!(w, "{b}")?;
+    }
+    Ok(())
+}
+
+/// Writes a triangle mesh as a legacy VTK `POLYDATA` file (container
+/// visualization next to the particle clouds).
+pub fn write_mesh_vtk<W: Write>(
+    mut w: W,
+    mesh: &adampack_geometry::TriMesh,
+    title: &str,
+) -> io::Result<()> {
+    writeln!(w, "# vtk DataFile Version 3.0")?;
+    let mut t = title.replace(['\n', '\r'], " ");
+    t.truncate(255);
+    writeln!(w, "{t}")?;
+    writeln!(w, "ASCII")?;
+    writeln!(w, "DATASET POLYDATA")?;
+    writeln!(w, "POINTS {} double", mesh.vertex_count())?;
+    for v in &mesh.vertices {
+        writeln!(w, "{} {} {}", v.x, v.y, v.z)?;
+    }
+    writeln!(w, "POLYGONS {} {}", mesh.face_count(), mesh.face_count() * 4)?;
+    for f in &mesh.faces {
+        writeln!(w, "3 {} {} {}", f[0], f[1], f[2])?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_well_formed_vtk() {
+        let particles = vec![
+            (Vec3::new(0.0, 1.0, 2.0), 0.1, 0),
+            (Vec3::new(-1.0, 0.5, 0.0), 0.2, 3),
+        ];
+        let mut buf = Vec::new();
+        write_particles_vtk(&mut buf, &particles, "test packing").unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("# vtk DataFile Version 3.0"));
+        assert!(text.contains("POINTS 2 double"));
+        assert!(text.contains("0 1 2"));
+        assert!(text.contains("SCALARS radius double 1"));
+        assert!(text.contains("SCALARS batch int 1"));
+        // Batch values present in order.
+        let after_batch = text.split("SCALARS batch int 1").nth(1).unwrap();
+        assert!(after_batch.contains('3'));
+    }
+
+    #[test]
+    fn mesh_vtk_counts_match() {
+        use adampack_geometry::{shapes, Vec3 as V};
+        let mesh = shapes::box_mesh(V::ZERO, V::splat(1.0));
+        let mut buf = Vec::new();
+        write_mesh_vtk(&mut buf, &mesh, "box").unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("POINTS 8 double"));
+        assert!(text.contains("POLYGONS 12 48"));
+        assert_eq!(text.matches("\n3 ").count(), 12);
+    }
+
+    #[test]
+    fn sanitizes_title() {
+        let mut buf = Vec::new();
+        write_particles_vtk(&mut buf, &[], "line1\nline2").unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.lines().nth(1).unwrap().contains("line1 line2"));
+        assert!(text.contains("POINTS 0 double"));
+    }
+}

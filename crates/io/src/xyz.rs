@@ -1,0 +1,101 @@
+//! Minimal XYZ point-cloud format: a count line, a comment line, then
+//! `label x y z` rows. The radius is stored in the label column as `r=<val>`
+//! so the format stays readable by generic XYZ viewers.
+
+use std::io::{self, BufRead, Write};
+
+use adampack_geometry::Vec3;
+
+/// Writes `(center, radius)` pairs in XYZ format.
+pub fn write_xyz<W: Write>(mut w: W, spheres: &[(Vec3, f64)], comment: &str) -> io::Result<()> {
+    writeln!(w, "{}", spheres.len())?;
+    writeln!(w, "{}", comment.replace(['\n', '\r'], " "))?;
+    for (c, r) in spheres {
+        writeln!(w, "r={} {} {} {}", r, c.x, c.y, c.z)?;
+    }
+    Ok(())
+}
+
+/// Reads the XYZ produced by [`write_xyz`].
+pub fn read_xyz<R: BufRead>(r: R) -> io::Result<Vec<(Vec3, f64)>> {
+    let mut lines = r.lines();
+    let n: usize = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty xyz"))??
+        .trim()
+        .parse()
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad count line"))?;
+    let _comment = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing comment line"))??;
+    let mut out = Vec::with_capacity(n);
+    for (ln, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 4 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: expected 4 fields", ln + 3),
+            ));
+        }
+        let radius: f64 = fields[0]
+            .strip_prefix("r=")
+            .unwrap_or("")
+            .parse()
+            .map_err(|_| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("line {}: bad label", ln + 3))
+            })?;
+        let num = |s: &str| {
+            s.parse::<f64>().map_err(|_| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("line {}: bad number", ln + 3))
+            })
+        };
+        out.push((
+            Vec3::new(num(fields[1])?, num(fields[2])?, num(fields[3])?),
+            radius,
+        ));
+    }
+    if out.len() != n {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("count line said {n}, found {}", out.len()),
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn round_trip() {
+        let spheres = vec![
+            (Vec3::new(0.25, -1.5, 3.0), 0.06),
+            (Vec3::new(1e-3, 0.0, -2.0), 0.075),
+        ];
+        let mut buf = Vec::new();
+        write_xyz(&mut buf, &spheres, "two spheres").unwrap();
+        let back = read_xyz(BufReader::new(&buf[..])).unwrap();
+        assert_eq!(back, spheres);
+    }
+
+    #[test]
+    fn count_mismatch_detected() {
+        let text = "3\ncomment\nr=0.1 0 0 0\n";
+        assert!(read_xyz(BufReader::new(text.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn malformed_rows_error() {
+        let text = "1\ncomment\n0.1 0 0 0\n"; // missing r= prefix
+        assert!(read_xyz(BufReader::new(text.as_bytes())).is_err());
+        let text = "1\ncomment\nr=0.1 0 0\n"; // 3 fields
+        assert!(read_xyz(BufReader::new(text.as_bytes())).is_err());
+        assert!(read_xyz(BufReader::new(&b""[..])).is_err());
+    }
+}

@@ -1,0 +1,128 @@
+//! AdaGrad (Duchi, Hazan & Singer, 2011).
+
+use crate::optimizer::{check_sizes, Optimizer};
+
+/// Hyper-parameters for [`AdaGrad`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaGradConfig {
+    /// Base learning rate.
+    pub lr: f64,
+    /// Denominator fuzz ε.
+    pub eps: f64,
+    /// L2 weight decay coefficient.
+    pub weight_decay: f64,
+}
+
+impl Default for AdaGradConfig {
+    fn default() -> Self {
+        AdaGradConfig {
+            lr: 0.01,
+            eps: 1e-10,
+            weight_decay: 0.0,
+        }
+    }
+}
+
+/// AdaGrad: per-parameter learning rates scaled by the inverse square root
+/// of the running sum of squared gradients.
+///
+/// Its monotonically shrinking step sizes are exactly the behaviour AMSGrad
+/// was designed to soften — included here for the optimizer ablation.
+#[derive(Debug, Clone)]
+pub struct AdaGrad {
+    cfg: AdaGradConfig,
+    sum_sq: Vec<f64>,
+    t: u64,
+}
+
+impl AdaGrad {
+    /// Creates an optimizer for `n_params` parameters.
+    pub fn new(cfg: AdaGradConfig, n_params: usize) -> AdaGrad {
+        assert!(cfg.lr > 0.0 && cfg.lr.is_finite(), "lr must be positive, got {}", cfg.lr);
+        assert!(cfg.eps > 0.0, "eps must be positive");
+        assert!(cfg.weight_decay >= 0.0, "weight_decay must be non-negative");
+        AdaGrad {
+            cfg,
+            sum_sq: vec![0.0; n_params],
+            t: 0,
+        }
+    }
+}
+
+impl Optimizer for AdaGrad {
+    fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        check_sizes(self.sum_sq.len(), params, grads);
+        self.t += 1;
+        let AdaGradConfig { lr, eps, weight_decay } = self.cfg;
+        for i in 0..params.len() {
+            let g = grads[i] + weight_decay * params[i];
+            self.sum_sq[i] += g * g;
+            params[i] -= lr * g / (self.sum_sq[i].sqrt() + eps);
+        }
+    }
+
+    fn lr(&self) -> f64 {
+        self.cfg.lr
+    }
+
+    fn set_lr(&mut self, lr: f64) {
+        assert!(lr > 0.0 && lr.is_finite(), "lr must be positive, got {lr}");
+        self.cfg.lr = lr;
+    }
+
+    fn reset(&mut self) {
+        self.sum_sq.iter_mut().for_each(|x| *x = 0.0);
+        self.t = 0;
+    }
+
+    fn n_params(&self) -> usize {
+        self.sum_sq.len()
+    }
+
+    fn steps_taken(&self) -> u64 {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_step_normalizes_gradient() {
+        let mut opt = AdaGrad::new(AdaGradConfig { lr: 0.5, ..AdaGradConfig::default() }, 1);
+        let mut p = vec![0.0];
+        opt.step(&mut p, &[4.0]);
+        // sum_sq = 16, Δ = 0.5 · 4/4 = 0.5.
+        assert!((p[0] + 0.5 * 4.0 / (4.0 + 1e-10)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn steps_shrink_under_constant_gradient() {
+        let mut opt = AdaGrad::new(AdaGradConfig::default(), 1);
+        let mut p = vec![0.0];
+        let mut last = f64::INFINITY;
+        for _ in 0..10 {
+            let before = p[0];
+            opt.step(&mut p, &[1.0]);
+            let step = (p[0] - before).abs();
+            assert!(step < last, "AdaGrad steps must shrink monotonically");
+            last = step;
+        }
+        // Step k has size lr/√k.
+        assert!((last - 0.01 / (10.0f64).sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reset_restores_step_size() {
+        let mut opt = AdaGrad::new(AdaGradConfig::default(), 1);
+        let mut p = vec![0.0];
+        for _ in 0..5 {
+            opt.step(&mut p, &[1.0]);
+        }
+        opt.reset();
+        let before = p[0];
+        opt.step(&mut p, &[1.0]);
+        assert!(((p[0] - before).abs() - 0.01).abs() < 1e-10);
+    }
+}

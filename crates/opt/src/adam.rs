@@ -1,0 +1,286 @@
+//! Adam [Kingma & Ba] and its AMSGrad variant [Reddi, Kale & Kumar] with
+//! PyTorch-compatible update semantics.
+
+use crate::optimizer::{check_sizes, Optimizer};
+
+/// Hyper-parameters for [`Adam`]. Defaults match `torch.optim.Adam`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdamConfig {
+    /// Base learning rate.
+    pub lr: f64,
+    /// First-moment decay β₁.
+    pub beta1: f64,
+    /// Second-moment decay β₂.
+    pub beta2: f64,
+    /// Denominator fuzz ε.
+    pub eps: f64,
+    /// L2 weight decay coefficient (added to the gradient, PyTorch style).
+    pub weight_decay: f64,
+    /// Enables the AMSGrad maximum over second moments, the variant the
+    /// paper uses ("Adaptive Moment Estimation with stable steps").
+    pub amsgrad: bool,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        AdamConfig {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            amsgrad: false,
+        }
+    }
+}
+
+impl AdamConfig {
+    /// Panics on out-of-range hyper-parameters.
+    fn validate(&self) {
+        assert!(self.lr > 0.0 && self.lr.is_finite(), "lr must be positive, got {}", self.lr);
+        assert!((0.0..1.0).contains(&self.beta1), "beta1 must be in [0, 1), got {}", self.beta1);
+        assert!((0.0..1.0).contains(&self.beta2), "beta2 must be in [0, 1), got {}", self.beta2);
+        assert!(self.eps > 0.0, "eps must be positive, got {}", self.eps);
+        assert!(self.weight_decay >= 0.0, "weight_decay must be non-negative");
+    }
+}
+
+/// The Adam optimizer (optionally AMSGrad).
+///
+/// Update rule (PyTorch semantics):
+///
+/// ```text
+/// m_t   = β₁ m_{t-1} + (1-β₁) g_t
+/// v_t   = β₂ v_{t-1} + (1-β₂) g_t²
+/// m̂_t  = m_t / (1 - β₁^t)
+/// v̄_t  = amsgrad ? max(v̄_{t-1}, v_t) : v_t
+/// θ_t   = θ_{t-1} - lr · m̂_t / (√(v̄_t / (1-β₂^t)) + ε)
+/// ```
+///
+/// With AMSGrad the running maximum is taken over the *raw* second moment
+/// (as PyTorch does), keeping the effective per-parameter step size
+/// non-increasing — the property the paper leans on for convergence in its
+/// highly non-convex packing landscape.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    cfg: AdamConfig,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    v_max: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates an optimizer for `n_params` parameters.
+    pub fn new(cfg: AdamConfig, n_params: usize) -> Adam {
+        cfg.validate();
+        Adam {
+            cfg,
+            m: vec![0.0; n_params],
+            v: vec![0.0; n_params],
+            v_max: if cfg.amsgrad { vec![0.0; n_params] } else { Vec::new() },
+            t: 0,
+        }
+    }
+
+    /// The hyper-parameters currently in force.
+    pub fn config(&self) -> &AdamConfig {
+        &self.cfg
+    }
+
+    /// Read-only view of the AMSGrad running maximum (empty unless AMSGrad).
+    pub fn v_max(&self) -> &[f64] {
+        &self.v_max
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        check_sizes(self.m.len(), params, grads);
+        self.t += 1;
+        let AdamConfig { lr, beta1, beta2, eps, weight_decay, amsgrad } = self.cfg;
+        let bc1 = 1.0 - beta1.powi(self.t as i32);
+        let bc2 = 1.0 - beta2.powi(self.t as i32);
+
+        for i in 0..params.len() {
+            let g = grads[i] + weight_decay * params[i];
+            let m = beta1 * self.m[i] + (1.0 - beta1) * g;
+            let v = beta2 * self.v[i] + (1.0 - beta2) * g * g;
+            self.m[i] = m;
+            self.v[i] = v;
+            let v_eff = if amsgrad {
+                let vm = self.v_max[i].max(v);
+                self.v_max[i] = vm;
+                vm
+            } else {
+                v
+            };
+            let m_hat = m / bc1;
+            let denom = (v_eff / bc2).sqrt() + eps;
+            params[i] -= lr * m_hat / denom;
+        }
+    }
+
+    fn lr(&self) -> f64 {
+        self.cfg.lr
+    }
+
+    fn set_lr(&mut self, lr: f64) {
+        assert!(lr > 0.0 && lr.is_finite(), "lr must be positive, got {lr}");
+        self.cfg.lr = lr;
+    }
+
+    fn reset(&mut self) {
+        self.m.iter_mut().for_each(|x| *x = 0.0);
+        self.v.iter_mut().for_each(|x| *x = 0.0);
+        self.v_max.iter_mut().for_each(|x| *x = 0.0);
+        self.t = 0;
+    }
+
+    fn n_params(&self) -> usize {
+        self.m.len()
+    }
+
+    fn steps_taken(&self) -> u64 {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_step_matches_hand_computation() {
+        // For any constant gradient, the bias-corrected first step is
+        // lr · g/|g| / (1 + eps·…) ≈ lr (sign of g).
+        let mut adam = Adam::new(AdamConfig { lr: 0.1, ..AdamConfig::default() }, 1);
+        let mut p = vec![0.0];
+        adam.step(&mut p, &[1.0]);
+        // m̂ = 1, v̂ = 1 ⇒ Δ = 0.1/(1 + 1e-8).
+        let expect = -0.1 / (1.0 + 1e-8);
+        assert!((p[0] - expect).abs() < 1e-15, "p = {}", p[0]);
+    }
+
+    #[test]
+    fn two_steps_match_hand_computation() {
+        // lr = 0.5, g = [3, then 1] on a single parameter.
+        let cfg = AdamConfig { lr: 0.5, ..AdamConfig::default() };
+        let mut adam = Adam::new(cfg, 1);
+        let mut p = vec![0.0];
+        adam.step(&mut p, &[3.0]);
+        let step1 = 0.5 * 3.0 / (3.0 + 1e-8); // m̂=3, √v̂=3
+        assert!((p[0] + step1).abs() < 1e-12);
+
+        adam.step(&mut p, &[1.0]);
+        // t=2: m = 0.9·0.3 + 0.1·1 = 0.37; bc1 = 1-0.81 = 0.19; m̂ = 0.37/0.19.
+        // v = 0.999·0.009 + 0.001·1 = 0.009991 + ... compute:
+        let m = 0.9 * (0.1 * 3.0) + 0.1 * 1.0;
+        let v = 0.999 * (0.001 * 9.0) + 0.001 * 1.0;
+        let m_hat = m / (1.0 - 0.9f64.powi(2));
+        let v_hat = v / (1.0 - 0.999f64.powi(2));
+        let step2 = 0.5 * m_hat / (v_hat.sqrt() + 1e-8);
+        assert!((p[0] + step1 + step2).abs() < 1e-12, "p = {}", p[0]);
+    }
+
+    #[test]
+    fn amsgrad_vmax_is_monotone_nondecreasing() {
+        let mut adam = Adam::new(AdamConfig { amsgrad: true, ..AdamConfig::default() }, 2);
+        let mut p = vec![0.0, 0.0];
+        let mut prev = vec![0.0, 0.0];
+        // Alternate large and small gradients; v decays but v_max must not.
+        for k in 0..50 {
+            let g = if k % 2 == 0 { [5.0, 0.1] } else { [0.01, 0.01] };
+            adam.step(&mut p, &g);
+            for i in 0..2 {
+                assert!(adam.v_max()[i] >= prev[i] - 1e-18, "v_max decreased at step {k}");
+                prev[i] = adam.v_max()[i];
+            }
+        }
+    }
+
+    #[test]
+    fn amsgrad_differs_from_adam_after_gradient_spike() {
+        let cfg = AdamConfig { lr: 0.1, ..AdamConfig::default() };
+        let mut plain = Adam::new(AdamConfig { amsgrad: false, ..cfg }, 1);
+        let mut ams = Adam::new(AdamConfig { amsgrad: true, ..cfg }, 1);
+        let (mut pp, mut pa) = (vec![0.0], vec![0.0]);
+        let spike_then_small = |k: usize| if k == 0 { 100.0 } else { 0.1 };
+        for k in 0..20 {
+            let g = [spike_then_small(k)];
+            plain.step(&mut pp, &g);
+            ams.step(&mut pa, &g);
+        }
+        // AMSGrad remembers the spike in v_max, so it takes smaller steps.
+        assert!(pa[0].abs() < pp[0].abs(), "amsgrad {pa:?} vs adam {pp:?}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_parameters() {
+        let mut adam = Adam::new(
+            AdamConfig { lr: 0.01, weight_decay: 0.1, ..AdamConfig::default() },
+            1,
+        );
+        let mut p = vec![5.0];
+        for _ in 0..100 {
+            adam.step(&mut p, &[0.0]); // zero data gradient; only decay acts
+        }
+        assert!(p[0] < 5.0 && p[0] > 0.0);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut adam = Adam::new(AdamConfig { amsgrad: true, ..AdamConfig::default() }, 1);
+        let mut p1 = vec![1.0];
+        adam.step(&mut p1, &[2.0]);
+        adam.step(&mut p1, &[0.5]);
+        adam.reset();
+        assert_eq!(adam.steps_taken(), 0);
+        let mut p2 = vec![1.0];
+        adam.step(&mut p2, &[2.0]);
+        let mut fresh = Adam::new(AdamConfig { amsgrad: true, ..AdamConfig::default() }, 1);
+        let mut p3 = vec![1.0];
+        fresh.step(&mut p3, &[2.0]);
+        assert_eq!(p2, p3, "post-reset trajectory matches a fresh optimizer");
+    }
+
+    #[test]
+    fn set_lr_takes_effect() {
+        let mut adam = Adam::new(AdamConfig { lr: 1e-3, ..AdamConfig::default() }, 1);
+        adam.set_lr(1e-2);
+        assert_eq!(adam.lr(), 1e-2);
+        let mut p = vec![0.0];
+        adam.step(&mut p, &[1.0]);
+        assert!((p[0] + 1e-2 / (1.0 + 1e-8)).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "lr must be positive")]
+    fn rejects_negative_lr() {
+        let _ = Adam::new(AdamConfig { lr: -1.0, ..AdamConfig::default() }, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "optimizer sized for")]
+    fn rejects_mismatched_sizes() {
+        let mut adam = Adam::new(AdamConfig::default(), 2);
+        let mut p = vec![0.0, 0.0, 0.0];
+        adam.step(&mut p, &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn adaptive_rates_are_per_parameter() {
+        // Two parameters with gradients of very different scales end up with
+        // comparable step magnitudes — Adam's defining property.
+        let mut adam = Adam::new(AdamConfig { lr: 0.1, ..AdamConfig::default() }, 2);
+        let mut p = vec![0.0, 0.0];
+        for _ in 0..10 {
+            adam.step(&mut p, &[1000.0, 0.001]);
+        }
+        let ratio = p[0] / p[1];
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "steps should be scale-invariant-ish, ratio = {ratio}"
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! The optimizer abstraction shared by all update rules.
+
+/// A first-order optimizer over a flat parameter vector.
+///
+/// Implementations keep per-parameter state (moments, accumulators) sized at
+/// construction; `step` panics if the slice lengths disagree with that size,
+/// because silently resizing state would corrupt moment estimates.
+pub trait Optimizer: Send {
+    /// Applies one update: `params ← params - update(grads)`.
+    fn step(&mut self, params: &mut [f64], grads: &[f64]);
+
+    /// Current base learning rate.
+    fn lr(&self) -> f64;
+
+    /// Replaces the base learning rate (used by schedulers).
+    fn set_lr(&mut self, lr: f64);
+
+    /// Clears all accumulated state and the step counter, keeping
+    /// hyper-parameters.
+    fn reset(&mut self);
+
+    /// Number of parameters this optimizer was sized for.
+    fn n_params(&self) -> usize;
+
+    /// Number of `step` calls since construction/reset.
+    fn steps_taken(&self) -> u64;
+}
+
+/// Validates slice lengths against the optimizer's state size.
+pub(crate) fn check_sizes(n: usize, params: &[f64], grads: &[f64]) {
+    assert!(
+        params.len() == n && grads.len() == n,
+        "optimizer sized for {n} params, got params.len() = {}, grads.len() = {}",
+        params.len(),
+        grads.len()
+    );
+}

@@ -1,0 +1,466 @@
+//! Learning-rate schedulers.
+//!
+//! The paper's best configuration (Fig. 3) pairs Adam with PyTorch's
+//! `ReduceLROnPlateau`; [`ReduceLrOnPlateau`] reproduces that scheduler's
+//! exact semantics (relative/absolute thresholds, patience, cooldown,
+//! minimum LR). Fixed-rate and classic decay schedules are included for the
+//! learning-rate study and ablations.
+
+/// A learning-rate schedule.
+///
+/// Call [`LrScheduler::step`] once per optimization step (or epoch) with the
+/// latest objective value; it returns the learning rate to install in the
+/// optimizer via [`crate::Optimizer::set_lr`].
+pub trait LrScheduler: Send {
+    /// Advances the schedule given the latest metric (lower = better) and
+    /// returns the learning rate to use next.
+    fn step(&mut self, metric: f64) -> f64;
+
+    /// The learning rate the schedule currently prescribes.
+    fn current_lr(&self) -> f64;
+
+    /// Restores the initial state.
+    fn reset(&mut self);
+}
+
+/// Fixed learning rate (the paper's `10⁻²`, `10⁻³`, `10⁻⁴` baselines).
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantLr {
+    lr: f64,
+}
+
+impl ConstantLr {
+    /// Creates a constant schedule.
+    pub fn new(lr: f64) -> ConstantLr {
+        assert!(lr > 0.0 && lr.is_finite(), "lr must be positive, got {lr}");
+        ConstantLr { lr }
+    }
+}
+
+impl LrScheduler for ConstantLr {
+    fn step(&mut self, _metric: f64) -> f64 {
+        self.lr
+    }
+    fn current_lr(&self) -> f64 {
+        self.lr
+    }
+    fn reset(&mut self) {}
+}
+
+/// Multiplies the LR by `gamma` every `step_size` steps.
+#[derive(Debug, Clone, Copy)]
+pub struct StepLr {
+    initial_lr: f64,
+    lr: f64,
+    step_size: u64,
+    gamma: f64,
+    t: u64,
+}
+
+impl StepLr {
+    /// Creates a step-decay schedule.
+    pub fn new(initial_lr: f64, step_size: u64, gamma: f64) -> StepLr {
+        assert!(initial_lr > 0.0 && initial_lr.is_finite());
+        assert!(step_size > 0, "step_size must be positive");
+        assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
+        StepLr {
+            initial_lr,
+            lr: initial_lr,
+            step_size,
+            gamma,
+            t: 0,
+        }
+    }
+}
+
+impl LrScheduler for StepLr {
+    fn step(&mut self, _metric: f64) -> f64 {
+        self.t += 1;
+        if self.t % self.step_size == 0 {
+            self.lr *= self.gamma;
+        }
+        self.lr
+    }
+    fn current_lr(&self) -> f64 {
+        self.lr
+    }
+    fn reset(&mut self) {
+        self.lr = self.initial_lr;
+        self.t = 0;
+    }
+}
+
+/// Multiplies the LR by `gamma` every step.
+#[derive(Debug, Clone, Copy)]
+pub struct ExponentialLr {
+    initial_lr: f64,
+    lr: f64,
+    gamma: f64,
+}
+
+impl ExponentialLr {
+    /// Creates an exponential-decay schedule.
+    pub fn new(initial_lr: f64, gamma: f64) -> ExponentialLr {
+        assert!(initial_lr > 0.0 && initial_lr.is_finite());
+        assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
+        ExponentialLr {
+            initial_lr,
+            lr: initial_lr,
+            gamma,
+        }
+    }
+}
+
+impl LrScheduler for ExponentialLr {
+    fn step(&mut self, _metric: f64) -> f64 {
+        self.lr *= self.gamma;
+        self.lr
+    }
+    fn current_lr(&self) -> f64 {
+        self.lr
+    }
+    fn reset(&mut self) {
+        self.lr = self.initial_lr;
+    }
+}
+
+/// Cosine annealing from the initial LR down to `min_lr` over `t_max` steps,
+/// then holding `min_lr`.
+#[derive(Debug, Clone, Copy)]
+pub struct CosineAnnealingLr {
+    initial_lr: f64,
+    min_lr: f64,
+    t_max: u64,
+    t: u64,
+}
+
+impl CosineAnnealingLr {
+    /// Creates a cosine annealing schedule.
+    pub fn new(initial_lr: f64, min_lr: f64, t_max: u64) -> CosineAnnealingLr {
+        assert!(initial_lr > 0.0 && initial_lr.is_finite());
+        assert!(min_lr >= 0.0 && min_lr <= initial_lr);
+        assert!(t_max > 0);
+        CosineAnnealingLr {
+            initial_lr,
+            min_lr,
+            t_max,
+            t: 0,
+        }
+    }
+}
+
+impl LrScheduler for CosineAnnealingLr {
+    fn step(&mut self, _metric: f64) -> f64 {
+        self.t = (self.t + 1).min(self.t_max);
+        self.current_lr()
+    }
+    fn current_lr(&self) -> f64 {
+        let frac = self.t as f64 / self.t_max as f64;
+        self.min_lr
+            + (self.initial_lr - self.min_lr) * 0.5 * (1.0 + (std::f64::consts::PI * frac).cos())
+    }
+    fn reset(&mut self) {
+        self.t = 0;
+    }
+}
+
+/// How [`ReduceLrOnPlateau`] decides whether a metric improved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThresholdMode {
+    /// Improvement when `metric < best · (1 - threshold)` (PyTorch default).
+    Relative,
+    /// Improvement when `metric < best - threshold`.
+    Absolute,
+}
+
+/// Configuration for [`ReduceLrOnPlateau`]. Defaults match
+/// `torch.optim.lr_scheduler.ReduceLROnPlateau` in `min` mode.
+#[derive(Debug, Clone, Copy)]
+pub struct ReduceLrOnPlateauConfig {
+    /// Initial learning rate.
+    pub initial_lr: f64,
+    /// Multiplicative reduction factor.
+    pub factor: f64,
+    /// Number of non-improving steps tolerated before reducing.
+    pub patience: u64,
+    /// Improvement threshold.
+    pub threshold: f64,
+    /// Threshold interpretation.
+    pub threshold_mode: ThresholdMode,
+    /// Steps to wait after a reduction before counting bad steps again.
+    pub cooldown: u64,
+    /// Lower bound on the learning rate.
+    pub min_lr: f64,
+    /// Reductions smaller than this are skipped (PyTorch `eps`).
+    pub eps: f64,
+}
+
+impl Default for ReduceLrOnPlateauConfig {
+    fn default() -> Self {
+        ReduceLrOnPlateauConfig {
+            initial_lr: 1e-2,
+            factor: 0.1,
+            patience: 10,
+            threshold: 1e-4,
+            threshold_mode: ThresholdMode::Relative,
+            cooldown: 0,
+            min_lr: 0.0,
+            eps: 1e-8,
+        }
+    }
+}
+
+/// PyTorch-compatible `ReduceLROnPlateau` in `min` mode.
+///
+/// This is the scheduler behind the paper's best learning-rate configuration
+/// (Fig. 3): "the fitness suddenly drops after a plateau" when this scheduler
+/// cuts the LR.
+#[derive(Debug, Clone)]
+pub struct ReduceLrOnPlateau {
+    cfg: ReduceLrOnPlateauConfig,
+    lr: f64,
+    best: f64,
+    num_bad: u64,
+    cooldown_counter: u64,
+    reductions: u64,
+}
+
+impl ReduceLrOnPlateau {
+    /// Creates a plateau scheduler.
+    pub fn new(cfg: ReduceLrOnPlateauConfig) -> ReduceLrOnPlateau {
+        assert!(cfg.initial_lr > 0.0 && cfg.initial_lr.is_finite());
+        assert!(cfg.factor > 0.0 && cfg.factor < 1.0, "factor must be in (0, 1)");
+        assert!(cfg.threshold >= 0.0);
+        assert!(cfg.min_lr >= 0.0);
+        ReduceLrOnPlateau {
+            cfg,
+            lr: cfg.initial_lr,
+            best: f64::INFINITY,
+            num_bad: 0,
+            cooldown_counter: 0,
+            reductions: 0,
+        }
+    }
+
+    /// Number of times the LR has been reduced.
+    pub fn reductions(&self) -> u64 {
+        self.reductions
+    }
+
+    /// Best metric observed so far.
+    pub fn best(&self) -> f64 {
+        self.best
+    }
+
+    fn is_improvement(&self, metric: f64) -> bool {
+        match self.cfg.threshold_mode {
+            ThresholdMode::Relative => metric < self.best * (1.0 - self.cfg.threshold),
+            ThresholdMode::Absolute => metric < self.best - self.cfg.threshold,
+        }
+    }
+}
+
+impl LrScheduler for ReduceLrOnPlateau {
+    fn step(&mut self, metric: f64) -> f64 {
+        if self.is_improvement(metric) {
+            self.best = metric;
+            self.num_bad = 0;
+        } else {
+            self.num_bad += 1;
+        }
+
+        if self.cooldown_counter > 0 {
+            self.cooldown_counter -= 1;
+            self.num_bad = 0;
+        }
+
+        if self.num_bad > self.cfg.patience {
+            let new_lr = (self.lr * self.cfg.factor).max(self.cfg.min_lr);
+            if self.lr - new_lr > self.cfg.eps {
+                self.lr = new_lr;
+                self.reductions += 1;
+            }
+            self.cooldown_counter = self.cfg.cooldown;
+            self.num_bad = 0;
+        }
+        self.lr
+    }
+
+    fn current_lr(&self) -> f64 {
+        self.lr
+    }
+
+    fn reset(&mut self) {
+        self.lr = self.cfg.initial_lr;
+        self.best = f64::INFINITY;
+        self.num_bad = 0;
+        self.cooldown_counter = 0;
+        self.reductions = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_lr_never_changes() {
+        let mut s = ConstantLr::new(1e-3);
+        for m in [1.0, 0.5, 2.0, f64::INFINITY] {
+            assert_eq!(s.step(m), 1e-3);
+        }
+    }
+
+    #[test]
+    fn step_lr_decays_on_schedule() {
+        let mut s = StepLr::new(1.0, 3, 0.5);
+        let lrs: Vec<f64> = (0..7).map(|_| s.step(0.0)).collect();
+        assert_eq!(lrs, vec![1.0, 1.0, 0.5, 0.5, 0.5, 0.25, 0.25]);
+        s.reset();
+        assert_eq!(s.current_lr(), 1.0);
+    }
+
+    #[test]
+    fn exponential_lr_decays_every_step() {
+        let mut s = ExponentialLr::new(1.0, 0.9);
+        s.step(0.0);
+        s.step(0.0);
+        assert!((s.current_lr() - 0.81).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cosine_annealing_endpoints() {
+        let mut s = CosineAnnealingLr::new(1.0, 0.1, 10);
+        assert!((s.current_lr() - 1.0).abs() < 1e-12);
+        for _ in 0..10 {
+            s.step(0.0);
+        }
+        assert!((s.current_lr() - 0.1).abs() < 1e-12);
+        // Holds min after t_max.
+        s.step(0.0);
+        assert!((s.current_lr() - 0.1).abs() < 1e-12);
+        // Midpoint is the arithmetic mean.
+        s.reset();
+        for _ in 0..5 {
+            s.step(0.0);
+        }
+        assert!((s.current_lr() - 0.55).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plateau_reduces_after_patience_exceeded() {
+        let cfg = ReduceLrOnPlateauConfig {
+            initial_lr: 1.0,
+            factor: 0.5,
+            patience: 2,
+            threshold: 0.0,
+            threshold_mode: ThresholdMode::Absolute,
+            ..ReduceLrOnPlateauConfig::default()
+        };
+        let mut s = ReduceLrOnPlateau::new(cfg);
+        assert_eq!(s.step(1.0), 1.0); // improvement (best = 1.0)
+        assert_eq!(s.step(1.0), 1.0); // bad 1
+        assert_eq!(s.step(1.0), 1.0); // bad 2 (== patience, not yet > )
+        assert_eq!(s.step(1.0), 0.5); // bad 3 > patience ⇒ reduce
+        assert_eq!(s.reductions(), 1);
+        // Counter resets after the reduction.
+        assert_eq!(s.step(1.0), 0.5);
+        assert_eq!(s.step(1.0), 0.5);
+        assert_eq!(s.step(1.0), 0.25);
+    }
+
+    #[test]
+    fn plateau_relative_threshold_semantics() {
+        let cfg = ReduceLrOnPlateauConfig {
+            initial_lr: 1.0,
+            factor: 0.5,
+            patience: 0,
+            threshold: 0.1, // needs 10 % improvement
+            threshold_mode: ThresholdMode::Relative,
+            ..ReduceLrOnPlateauConfig::default()
+        };
+        let mut s = ReduceLrOnPlateau::new(cfg);
+        s.step(100.0); // best = 100
+        // 95 is not a 10 % improvement over 100 ⇒ bad step ⇒ reduce (patience 0).
+        assert_eq!(s.step(95.0), 0.5);
+        // 85 beats 100·0.9 = 90 ⇒ improvement, no further cut.
+        assert_eq!(s.step(85.0), 0.5);
+        assert_eq!(s.best(), 85.0);
+    }
+
+    #[test]
+    fn plateau_respects_min_lr_and_eps() {
+        let cfg = ReduceLrOnPlateauConfig {
+            initial_lr: 1e-3,
+            factor: 0.1,
+            patience: 0,
+            threshold: 0.0,
+            threshold_mode: ThresholdMode::Absolute,
+            min_lr: 1e-4,
+            ..ReduceLrOnPlateauConfig::default()
+        };
+        let mut s = ReduceLrOnPlateau::new(cfg);
+        s.step(1.0);
+        assert_eq!(s.step(1.0), 1e-4); // clamped to min_lr
+        // Further "reductions" are no-ops smaller than eps.
+        assert_eq!(s.step(1.0), 1e-4);
+        assert_eq!(s.reductions(), 1);
+    }
+
+    #[test]
+    fn plateau_cooldown_suppresses_counting() {
+        let cfg = ReduceLrOnPlateauConfig {
+            initial_lr: 1.0,
+            factor: 0.5,
+            patience: 0,
+            threshold: 0.0,
+            threshold_mode: ThresholdMode::Absolute,
+            cooldown: 3,
+            ..ReduceLrOnPlateauConfig::default()
+        };
+        let mut s = ReduceLrOnPlateau::new(cfg);
+        s.step(1.0); // best
+        assert_eq!(s.step(1.0), 0.5); // reduce, cooldown = 3
+        // During cooldown no reductions even though metrics are bad.
+        assert_eq!(s.step(1.0), 0.5);
+        assert_eq!(s.step(1.0), 0.5);
+        assert_eq!(s.step(1.0), 0.5);
+        // Cooldown over: next bad step reduces again.
+        assert_eq!(s.step(1.0), 0.25);
+    }
+
+    #[test]
+    fn plateau_reset() {
+        let mut s = ReduceLrOnPlateau::new(ReduceLrOnPlateauConfig {
+            initial_lr: 1.0,
+            patience: 0,
+            threshold_mode: ThresholdMode::Absolute,
+            threshold: 0.0,
+            factor: 0.5,
+            ..ReduceLrOnPlateauConfig::default()
+        });
+        s.step(1.0);
+        s.step(1.0);
+        assert!(s.current_lr() < 1.0);
+        s.reset();
+        assert_eq!(s.current_lr(), 1.0);
+        assert_eq!(s.reductions(), 0);
+        assert_eq!(s.best(), f64::INFINITY);
+    }
+
+    #[test]
+    fn plateau_with_improving_metrics_never_reduces() {
+        let mut s = ReduceLrOnPlateau::new(ReduceLrOnPlateauConfig {
+            initial_lr: 1.0,
+            patience: 1,
+            ..ReduceLrOnPlateauConfig::default()
+        });
+        let mut metric = 100.0;
+        for _ in 0..50 {
+            s.step(metric);
+            metric *= 0.9;
+        }
+        assert_eq!(s.reductions(), 0);
+        assert_eq!(s.current_lr(), 1.0);
+    }
+}

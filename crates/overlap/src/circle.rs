@@ -1,0 +1,197 @@
+//! Exact area of a circle ∩ axis-aligned rectangle in 2-D.
+//!
+//! This is the analytic kernel under [`crate::sphere_aabb_overlap`]: every
+//! horizontal slice of a sphere ∩ box is a circle ∩ rectangle.
+//!
+//! The area is assembled from the *corner function* `Φ(x, y)` — the area of
+//! the disk (radius `r`, centred at the origin) inside the quarter-plane
+//! `{X ≤ x, Y ≤ y}` — by inclusion–exclusion over the four rectangle
+//! corners:
+//!
+//! ```text
+//! A = Φ(x1, y1) − Φ(x0, y1) − Φ(x1, y0) + Φ(x0, y0)
+//! ```
+
+/// Antiderivative of the half-chord: `∫ √(r² − t²) dt`.
+fn ih(t: f64, r: f64) -> f64 {
+    // Clamp for safety at |t| = r where the sqrt argument may round negative.
+    let s = (r * r - t * t).max(0.0).sqrt();
+    0.5 * (t * s + r * r * (t / r).clamp(-1.0, 1.0).asin())
+}
+
+/// Area of the disk of radius `r` centred at the origin within the region
+/// `{X ≤ x, Y ≤ y}`.
+fn corner_area(x: f64, y: f64, r: f64) -> f64 {
+    if y <= -r || x <= -r {
+        return 0.0;
+    }
+    let xc = x.clamp(-r, r);
+    if y >= r {
+        // Pure vertical-strip segment: ∫ 2√(r²−X²) from −r to x̂.
+        return 2.0 * (ih(xc, r) - ih(-r, r));
+    }
+    let g = (r * r - y * y).max(0.0).sqrt();
+    let mut area = 0.0;
+    if y >= 0.0 {
+        // X ∈ [−r, −g]: full chord; X ∈ (−g, g): y + √(r²−X²); X ∈ [g, r]: full chord.
+        let t1 = xc.min(-g);
+        area += 2.0 * (ih(t1, r) - ih(-r, r));
+        if xc > -g {
+            let t2 = xc.min(g);
+            area += y * (t2 + g) + ih(t2, r) - ih(-g, r);
+        }
+        if xc > g {
+            area += 2.0 * (ih(xc, r) - ih(g, r));
+        }
+    } else {
+        // Only X ∈ (−g, g) contributes: (y + √(r²−X²))⁺ = y + √(r²−X²) there.
+        if xc > -g {
+            let t2 = xc.min(g);
+            area += y * (t2 + g) + ih(t2, r) - ih(-g, r);
+        }
+    }
+    area
+}
+
+/// Exact area of the intersection of the disk of radius `r` centred at
+/// `(cx, cy)` with the rectangle `[x0, x1] × [y0, y1]`.
+///
+/// Returns 0 for a non-positive radius or an empty rectangle.
+pub fn circle_rect_area(cx: f64, cy: f64, r: f64, x0: f64, x1: f64, y0: f64, y1: f64) -> f64 {
+    if r <= 0.0 || x1 <= x0 || y1 <= y0 {
+        return 0.0;
+    }
+    // Shift to disk-centred coordinates.
+    let (a0, a1) = (x0 - cx, x1 - cx);
+    let (b0, b1) = (y0 - cy, y1 - cy);
+    let area = corner_area(a1, b1, r) - corner_area(a0, b1, r) - corner_area(a1, b0, r)
+        + corner_area(a0, b0, r);
+    // Clamp tiny negative round-off.
+    area.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn disk_inside_rectangle_is_full_disk() {
+        let a = circle_rect_area(0.0, 0.0, 1.0, -2.0, 2.0, -2.0, 2.0);
+        assert!((a - PI).abs() < TOL, "a = {a}");
+        // Off-centre disk still fully inside.
+        let a = circle_rect_area(5.0, -3.0, 0.5, 0.0, 10.0, -10.0, 0.0);
+        assert!((a - PI * 0.25).abs() < TOL);
+    }
+
+    #[test]
+    fn rectangle_inside_disk_is_rectangle_area() {
+        let a = circle_rect_area(0.0, 0.0, 10.0, -1.0, 2.0, 0.5, 1.5);
+        assert!((a - 3.0).abs() < TOL, "a = {a}");
+    }
+
+    #[test]
+    fn disjoint_is_zero() {
+        assert_eq!(circle_rect_area(0.0, 0.0, 1.0, 2.0, 3.0, 0.0, 1.0), 0.0);
+        assert_eq!(circle_rect_area(0.0, 0.0, 1.0, -3.0, -2.0, -3.0, -2.0), 0.0);
+        // Diagonal separation: rectangle corner just outside the disk.
+        let d = 1.02 / 2.0f64.sqrt();
+        assert!(circle_rect_area(0.0, 0.0, 1.0, d, d + 2.0, d, d + 2.0) < 1e-12);
+    }
+
+    #[test]
+    fn half_plane_cut_is_half_disk() {
+        // Rectangle covering X ≤ 0 exactly.
+        let a = circle_rect_area(0.0, 0.0, 1.0, -5.0, 0.0, -5.0, 5.0);
+        assert!((a - PI / 2.0).abs() < TOL);
+        // Y ≥ 0 half.
+        let a = circle_rect_area(0.0, 0.0, 1.0, -5.0, 5.0, 0.0, 5.0);
+        assert!((a - PI / 2.0).abs() < TOL);
+    }
+
+    #[test]
+    fn quarter_disk() {
+        let a = circle_rect_area(0.0, 0.0, 1.0, 0.0, 5.0, 0.0, 5.0);
+        assert!((a - PI / 4.0).abs() < TOL);
+        let a = circle_rect_area(0.0, 0.0, 1.0, -5.0, 0.0, -5.0, 0.0);
+        assert!((a - PI / 4.0).abs() < TOL);
+    }
+
+    #[test]
+    fn circular_segment_matches_closed_form() {
+        // Strip X ≥ t cuts a segment of area r²·acos(t/r) − t√(r²−t²).
+        let (r, t) = (2.0, 0.7);
+        let a = circle_rect_area(0.0, 0.0, r, t, 10.0, -10.0, 10.0);
+        let expect = r * r * (t / r).acos() - t * (r * r - t * t).sqrt();
+        assert!((a - expect).abs() < TOL, "a = {a}, expect = {expect}");
+    }
+
+    #[test]
+    fn additivity_under_rectangle_split() {
+        // Splitting the rectangle must preserve total area, including when
+        // the split line crosses the disk.
+        let (cx, cy, r) = (0.3, -0.2, 1.1);
+        let whole = circle_rect_area(cx, cy, r, -1.0, 2.0, -1.5, 1.0);
+        let left = circle_rect_area(cx, cy, r, -1.0, 0.25, -1.5, 1.0);
+        let right = circle_rect_area(cx, cy, r, 0.25, 2.0, -1.5, 1.0);
+        assert!((whole - left - right).abs() < 1e-11);
+        let bottom = circle_rect_area(cx, cy, r, -1.0, 2.0, -1.5, -0.1);
+        let top = circle_rect_area(cx, cy, r, -1.0, 2.0, -0.1, 1.0);
+        assert!((whole - bottom - top).abs() < 1e-11);
+    }
+
+    #[test]
+    fn symmetry_under_reflection() {
+        let a1 = circle_rect_area(0.4, 0.1, 1.0, 0.0, 1.0, 0.0, 1.0);
+        let a2 = circle_rect_area(-0.4, 0.1, 1.0, -1.0, 0.0, 0.0, 1.0);
+        assert!((a1 - a2).abs() < TOL);
+        let a3 = circle_rect_area(0.4, -0.1, 1.0, 0.0, 1.0, -1.0, 0.0);
+        assert!((a1 - a3).abs() < TOL);
+    }
+
+    #[test]
+    fn monotone_in_rectangle_growth() {
+        let mut prev = 0.0;
+        for k in 1..=20 {
+            let half = k as f64 * 0.1;
+            let a = circle_rect_area(0.0, 0.0, 1.0, -half, half, -half, half);
+            assert!(a >= prev - 1e-13, "area must grow with the rectangle");
+            prev = a;
+        }
+        assert!((prev - PI).abs() < TOL, "eventually the full disk");
+    }
+
+    #[test]
+    fn corner_overlap_against_monte_carlo() {
+        // Disk overlapping one rectangle corner; compare with a dense grid sum.
+        let (cx, cy, r) = (1.0, 1.0, 0.8);
+        let (x0, x1, y0, y1) = (0.0, 1.2, 0.0, 1.3);
+        let exact = circle_rect_area(cx, cy, r, x0, x1, y0, y1);
+        let n = 2000;
+        let (dx, dy) = ((x1 - x0) / n as f64, (y1 - y0) / n as f64);
+        let mut grid = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                let x = x0 + (i as f64 + 0.5) * dx;
+                let y = y0 + (j as f64 + 0.5) * dy;
+                if (x - cx).powi(2) + (y - cy).powi(2) <= r * r {
+                    grid += dx * dy;
+                }
+            }
+        }
+        assert!(
+            (exact - grid).abs() < 5e-4,
+            "exact = {exact}, grid = {grid}"
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs_are_zero() {
+        assert_eq!(circle_rect_area(0.0, 0.0, 0.0, -1.0, 1.0, -1.0, 1.0), 0.0);
+        assert_eq!(circle_rect_area(0.0, 0.0, -1.0, -1.0, 1.0, -1.0, 1.0), 0.0);
+        assert_eq!(circle_rect_area(0.0, 0.0, 1.0, 1.0, 1.0, -1.0, 1.0), 0.0);
+        assert_eq!(circle_rect_area(0.0, 0.0, 1.0, 1.0, 0.5, -1.0, 1.0), 0.0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Exact area of a circle ∩ polygon in 2-D.
+//!
+//! Extends the [`crate::circle_rect_area`] kernel to arbitrary simple
+//! polygons, which is what sphere ∩ convex-*hull* volume slices need
+//! ([`crate::sphere_hull_overlap`]): every horizontal slice of a convex
+//! polyhedron is a convex polygon.
+//!
+//! Method: the classic signed decomposition over polygon edges. For each
+//! directed edge `(a, b)` the disk ∩ triangle `(origin, a, b)` area is
+//! computed exactly — straight sub-segments inside the disk contribute
+//! triangle areas, portions outside contribute circular sectors — and the
+//! signed sum over a CCW polygon is the intersection area.
+
+/// Signed area of disk(centre `o`, radius `r`) ∩ triangle `(o, a, b)`,
+/// with the sign of `cross(a − o, b − o)`.
+fn disk_triangle_area(ox: f64, oy: f64, r: f64, ax: f64, ay: f64, bx: f64, by: f64) -> f64 {
+    // Shift the disk to the origin.
+    let (ax, ay) = (ax - ox, ay - oy);
+    let (bx, by) = (bx - ox, by - oy);
+    let r2 = r * r;
+
+    // Parametrize p(t) = a + t (b − a) and find circle crossings in (0, 1).
+    let (dx, dy) = (bx - ax, by - ay);
+    let qa = dx * dx + dy * dy;
+    if qa < 1e-300 {
+        return 0.0; // degenerate edge
+    }
+    let qb = 2.0 * (ax * dx + ay * dy);
+    let qc = ax * ax + ay * ay - r2;
+    let disc = qb * qb - 4.0 * qa * qc;
+
+    let mut ts = [0.0f64; 4];
+    let mut nt = 0;
+    ts[nt] = 0.0;
+    nt += 1;
+    if disc > 0.0 {
+        let sq = disc.sqrt();
+        for t in [(-qb - sq) / (2.0 * qa), (-qb + sq) / (2.0 * qa)] {
+            if t > 1e-12 && t < 1.0 - 1e-12 {
+                ts[nt] = t;
+                nt += 1;
+            }
+        }
+        // Keep sorted (the two roots come ordered already).
+    }
+    ts[nt] = 1.0;
+    nt += 1;
+
+    let mut area = 0.0;
+    for k in 0..nt - 1 {
+        let (t0, t1) = (ts[k], ts[k + 1]);
+        let (px, py) = (ax + t0 * dx, ay + t0 * dy);
+        let (qx, qy) = (ax + t1 * dx, ay + t1 * dy);
+        // Classify the sub-segment by its midpoint.
+        let tm = 0.5 * (t0 + t1);
+        let (mx, my) = (ax + tm * dx, ay + tm * dy);
+        if mx * mx + my * my <= r2 {
+            // Inside: triangle (0, p, q).
+            area += 0.5 * (px * qy - py * qx);
+        } else {
+            // Outside: circular sector between the directions of p and q.
+            let ang = (px * qy - py * qx).atan2(px * qx + py * qy);
+            area += 0.5 * r2 * ang;
+        }
+    }
+    area
+}
+
+/// Exact area of the intersection of the disk (centre `(cx, cy)`, radius
+/// `r`) with a simple polygon given by its vertices in order (CCW positive;
+/// a CW polygon yields the negated area).
+///
+/// Exact up to floating-point rounding; `O(vertices)` work.
+pub fn circle_polygon_area(cx: f64, cy: f64, r: f64, polygon: &[(f64, f64)]) -> f64 {
+    if r <= 0.0 || polygon.len() < 3 {
+        return 0.0;
+    }
+    let mut area = 0.0;
+    for i in 0..polygon.len() {
+        let (ax, ay) = polygon[i];
+        let (bx, by) = polygon[(i + 1) % polygon.len()];
+        area += disk_triangle_area(cx, cy, r, ax, ay, bx, by);
+    }
+    area
+}
+
+/// Clips a convex polygon by the half-plane `a·x + b·y + c ≤ 0`
+/// (2-D Sutherland–Hodgman step). Used to build hull cross-sections.
+pub fn clip_polygon_halfplane(poly: &[(f64, f64)], a: f64, b: f64, c: f64) -> Vec<(f64, f64)> {
+    let mut out = Vec::with_capacity(poly.len() + 1);
+    let n = poly.len();
+    for i in 0..n {
+        let p = poly[i];
+        let q = poly[(i + 1) % n];
+        let dp = a * p.0 + b * p.1 + c;
+        let dq = a * q.0 + b * q.1 + c;
+        if dp <= 0.0 {
+            out.push(p);
+        }
+        if (dp <= 0.0) != (dq <= 0.0) {
+            let t = dp / (dp - dq);
+            out.push((p.0 + t * (q.0 - p.0), p.1 + t * (q.1 - p.1)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circle::circle_rect_area;
+    use std::f64::consts::PI;
+
+    fn rect(x0: f64, x1: f64, y0: f64, y1: f64) -> Vec<(f64, f64)> {
+        vec![(x0, y0), (x1, y0), (x1, y1), (x0, y1)] // CCW
+    }
+
+    #[test]
+    fn matches_rectangle_kernel() {
+        // The polygon path must agree with the closed-form rectangle path on
+        // a grid of configurations.
+        for &(cx, cy, r) in &[
+            (0.0, 0.0, 1.0),
+            (0.5, -0.3, 0.8),
+            (1.2, 1.1, 0.5),
+            (-2.0, 0.0, 3.0),
+            (0.0, 0.0, 0.1),
+        ] {
+            let (x0, x1, y0, y1) = (-1.0, 1.5, -0.8, 1.2);
+            let a_poly = circle_polygon_area(cx, cy, r, &rect(x0, x1, y0, y1));
+            let a_rect = circle_rect_area(cx, cy, r, x0, x1, y0, y1);
+            assert!(
+                (a_poly - a_rect).abs() < 1e-12,
+                "({cx},{cy},{r}): poly {a_poly} vs rect {a_rect}"
+            );
+        }
+    }
+
+    #[test]
+    fn disk_inside_polygon() {
+        let hexagon: Vec<(f64, f64)> = (0..6)
+            .map(|k| {
+                let th = PI / 3.0 * k as f64;
+                (3.0 * th.cos(), 3.0 * th.sin())
+            })
+            .collect();
+        let a = circle_polygon_area(0.2, -0.1, 0.5, &hexagon);
+        assert!((a - PI * 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polygon_inside_disk() {
+        let tri = vec![(0.0, 0.0), (1.0, 0.0), (0.0, 1.0)];
+        let a = circle_polygon_area(0.3, 0.3, 10.0, &tri);
+        assert!((a - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cw_polygon_negates() {
+        let ccw = rect(-1.0, 1.0, -1.0, 1.0);
+        let cw: Vec<(f64, f64)> = ccw.iter().rev().copied().collect();
+        let a = circle_polygon_area(0.0, 0.0, 0.5, &ccw);
+        let b = circle_polygon_area(0.0, 0.0, 0.5, &cw);
+        assert!((a + b).abs() < 1e-12);
+        assert!(a > 0.0);
+    }
+
+    #[test]
+    fn disjoint_is_zero() {
+        let tri = vec![(5.0, 5.0), (6.0, 5.0), (5.0, 6.0)];
+        let a = circle_polygon_area(0.0, 0.0, 1.0, &tri);
+        assert!(a.abs() < 1e-12);
+    }
+
+    #[test]
+    fn halfplane_clip_square() {
+        let sq = rect(-1.0, 1.0, -1.0, 1.0);
+        // Keep x ≤ 0.
+        let half = clip_polygon_halfplane(&sq, 1.0, 0.0, 0.0);
+        let area: f64 = {
+            let mut s = 0.0;
+            for i in 0..half.len() {
+                let p = half[i];
+                let q = half[(i + 1) % half.len()];
+                s += 0.5 * (p.0 * q.1 - p.1 * q.0);
+            }
+            s
+        };
+        assert!((area - 2.0).abs() < 1e-12, "area = {area}");
+        // Clip away everything.
+        let none = clip_polygon_halfplane(&sq, 1.0, 0.0, 5.0);
+        assert!(none.is_empty());
+        // Clip away nothing.
+        let all = clip_polygon_halfplane(&sq, 1.0, 0.0, -5.0);
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn oblique_clip_then_circle_area_consistent() {
+        // Circle vs a clipped (triangle) region compared with the direct
+        // triangle polygon.
+        let sq = rect(0.0, 2.0, 0.0, 2.0);
+        // Keep x + y ≤ 2: the lower-left triangle.
+        let tri = clip_polygon_halfplane(&sq, 1.0, 1.0, -2.0);
+        let a = circle_polygon_area(0.5, 0.5, 0.6, &tri);
+        let direct = circle_polygon_area(0.5, 0.5, 0.6, &[(0.0, 0.0), (2.0, 0.0), (0.0, 2.0)]);
+        assert!((a - direct).abs() < 1e-12);
+    }
+}

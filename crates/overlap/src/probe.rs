@@ -1,0 +1,118 @@
+//! Packing-density probes (the paper's virtual inner box, Fig. 4).
+
+use adampack_geometry::{Aabb, Vec3};
+
+use crate::volume::sphere_aabb_overlap;
+
+/// Measures packing density inside a probe box.
+///
+/// The paper evaluates *core* density in a virtual inner box "1/3 smaller"
+/// than the 2×2×2 container, centred, to exclude wall-induced voids
+/// (Fig. 4); [`DensityProbe::inner_box`] builds exactly that probe.
+#[derive(Debug, Clone, Copy)]
+pub struct DensityProbe {
+    region: Aabb,
+}
+
+impl DensityProbe {
+    /// Probe over an explicit box.
+    pub fn new(region: Aabb) -> DensityProbe {
+        assert!(!region.is_empty() && region.volume() > 0.0, "probe box must have volume");
+        DensityProbe { region }
+    }
+
+    /// The paper's virtual inner box: the container's bounding box shrunk
+    /// towards its centre by `factor` (Fig. 4 uses `1/3`).
+    pub fn inner_box(container: &Aabb, factor: f64) -> DensityProbe {
+        DensityProbe::new(container.shrink(factor))
+    }
+
+    /// The probe region.
+    pub fn region(&self) -> &Aabb {
+        &self.region
+    }
+
+    /// Total solid volume of the given spheres inside the probe.
+    ///
+    /// Note: overlapping spheres double-count their lens volume, exactly as
+    /// summing per-sphere `overlap` volumes does in the reference pipeline;
+    /// with the paper's <1.1 %-of-radius contact overlaps the bias is
+    /// negligible.
+    pub fn solid_volume(&self, spheres: impl IntoIterator<Item = (Vec3, f64)>) -> f64 {
+        spheres
+            .into_iter()
+            .map(|(c, r)| sphere_aabb_overlap(c, r, &self.region))
+            .sum()
+    }
+
+    /// Packing density: solid volume / probe volume.
+    pub fn density(&self, spheres: impl IntoIterator<Item = (Vec3, f64)>) -> f64 {
+        self.solid_volume(spheres) / self.region.volume()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::volume::sphere_volume;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn inner_box_matches_paper_geometry() {
+        let container = Aabb::cube(Vec3::ZERO, 2.0);
+        let probe = DensityProbe::inner_box(&container, 1.0 / 3.0);
+        let e = probe.region().extent();
+        assert!((e.x - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(probe.region().center(), Vec3::ZERO);
+    }
+
+    #[test]
+    fn single_sphere_inside() {
+        let probe = DensityProbe::new(Aabb::cube(Vec3::ZERO, 2.0));
+        let d = probe.density([(Vec3::ZERO, 0.5)]);
+        let expect = sphere_volume(0.5) / 8.0;
+        assert!((d - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spheres_outside_probe_do_not_count() {
+        let probe = DensityProbe::new(Aabb::cube(Vec3::ZERO, 2.0));
+        let d = probe.density([(Vec3::new(10.0, 0.0, 0.0), 0.5)]);
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn straddling_sphere_counts_partially() {
+        let probe = DensityProbe::new(Aabb::new(Vec3::ZERO, Vec3::splat(2.0)));
+        // Half in, half out through the x = 0 face.
+        let v = probe.solid_volume([(Vec3::new(0.0, 1.0, 1.0), 0.5)]);
+        assert!((v - sphere_volume(0.5) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simple_cubic_lattice_density() {
+        // Unit-cell spheres at a simple cubic lattice have density π/6.
+        let probe = DensityProbe::new(Aabb::new(Vec3::ZERO, Vec3::splat(4.0)));
+        let mut spheres = Vec::new();
+        // Cover the probe and a margin so boundary spheres contribute their
+        // straddling parts symmetrically.
+        for i in -1..5 {
+            for j in -1..5 {
+                for k in -1..5 {
+                    spheres.push((
+                        Vec3::new(i as f64 + 0.5, j as f64 + 0.5, k as f64 + 0.5),
+                        0.5,
+                    ));
+                }
+            }
+        }
+        let d = probe.density(spheres);
+        assert!((d - PI / 6.0).abs() < 1e-6, "d = {d}, expect {}", PI / 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probe box must have volume")]
+    fn empty_probe_rejected() {
+        let _ = DensityProbe::new(Aabb::empty());
+    }
+}

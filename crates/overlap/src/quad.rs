@@ -1,0 +1,100 @@
+//! Adaptive Simpson quadrature.
+
+/// Integrates `f` over `[a, b]` with adaptive Simpson to absolute tolerance
+/// `tol`.
+///
+/// The recursion uses the classic Richardson error estimate `|S₂ − S₁|/15`
+/// and halves the tolerance per split. `max_depth` bounds the recursion so a
+/// pathological integrand terminates (accuracy then degrades gracefully).
+pub fn adaptive_simpson<F>(f: F, a: f64, b: f64, tol: f64, max_depth: u32) -> f64
+where
+    F: Fn(f64) -> f64,
+{
+    assert!(tol > 0.0, "tolerance must be positive");
+    if a == b {
+        return 0.0;
+    }
+    if a > b {
+        return -adaptive_simpson(f, b, a, tol, max_depth);
+    }
+    let m = 0.5 * (a + b);
+    let (fa, fm, fb) = (f(a), f(m), f(b));
+    let whole = simpson(a, b, fa, fm, fb);
+    recurse(&f, a, b, fa, fm, fb, whole, tol, max_depth)
+}
+
+fn simpson(a: f64, b: f64, fa: f64, fm: f64, fb: f64) -> f64 {
+    (b - a) / 6.0 * (fa + 4.0 * fm + fb)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn recurse<F>(f: &F, a: f64, b: f64, fa: f64, fm: f64, fb: f64, whole: f64, tol: f64, depth: u32) -> f64
+where
+    F: Fn(f64) -> f64,
+{
+    let m = 0.5 * (a + b);
+    let lm = 0.5 * (a + m);
+    let rm = 0.5 * (m + b);
+    let (flm, frm) = (f(lm), f(rm));
+    let left = simpson(a, m, fa, flm, fm);
+    let right = simpson(m, b, fm, frm, fb);
+    let delta = left + right - whole;
+    if depth == 0 || delta.abs() <= 15.0 * tol {
+        left + right + delta / 15.0
+    } else {
+        recurse(f, a, m, fa, flm, fm, left, 0.5 * tol, depth - 1)
+            + recurse(f, m, b, fm, frm, fb, right, 0.5 * tol, depth - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn exact_on_cubics() {
+        // Simpson integrates cubics exactly.
+        let v = adaptive_simpson(|x| x * x * x - 2.0 * x + 1.0, -1.0, 3.0, 1e-12, 30);
+        // Antiderivative x⁴/4 − x² + x evaluated on [−1, 3].
+        let exact = (81.0 / 4.0 - 9.0 + 3.0) - (0.25 - 1.0 - 1.0);
+        assert!((v - exact).abs() < 1e-10, "v = {v}, exact = {exact}");
+    }
+
+    #[test]
+    fn sine_integral() {
+        let v = adaptive_simpson(f64::sin, 0.0, PI, 1e-12, 40);
+        assert!((v - 2.0).abs() < 1e-11);
+    }
+
+    #[test]
+    fn handles_kinks() {
+        // |x| has a kink at 0; adaptive refinement still converges.
+        let v = adaptive_simpson(f64::abs, -1.0, 2.0, 1e-12, 45);
+        assert!((v - 2.5).abs() < 1e-10, "v = {v}");
+    }
+
+    #[test]
+    fn semicircle_area() {
+        // The exact profile a sphere slice integral sees.
+        let v = adaptive_simpson(|x| (1.0 - x * x).max(0.0).sqrt(), -1.0, 1.0, 1e-12, 45);
+        assert!((v - PI / 2.0).abs() < 1e-9, "v = {v}");
+    }
+
+    #[test]
+    fn reversed_interval_negates() {
+        let a = adaptive_simpson(|x| x, 0.0, 1.0, 1e-12, 20);
+        let b = adaptive_simpson(|x| x, 1.0, 0.0, 1e-12, 20);
+        assert!((a + b).abs() < 1e-15);
+        assert_eq!(adaptive_simpson(|x| x, 2.0, 2.0, 1e-12, 20), 0.0);
+    }
+
+    #[test]
+    fn depth_cap_terminates() {
+        // A very noisy integrand with a tight tolerance and depth cap must
+        // return (approximately) rather than recurse forever.
+        let v = adaptive_simpson(|x| (50.0 * x).sin().abs(), 0.0, 1.0, 1e-14, 12);
+        assert!(v.is_finite());
+        assert!(v > 0.5 && v < 0.75, "v = {v}"); // exact is 2/π ≈ 0.6366
+    }
+}

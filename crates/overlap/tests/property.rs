@@ -1,0 +1,103 @@
+//! Property tests for overlap volumes: bounds, monotonicity, and Monte-Carlo
+//! agreement on randomized configurations.
+
+use adampack_geometry::{Aabb, Vec3};
+use adampack_overlap::{circle_rect_area, sphere_aabb_overlap, sphere_sphere_overlap, sphere_volume};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sphere_box_volume_is_bounded(
+        c in prop::array::uniform3(-2.0f64..2.0),
+        r in 0.05f64..1.5,
+        half in 0.2f64..1.5,
+    ) {
+        let b = Aabb::cube(Vec3::ZERO, 2.0 * half);
+        let v = sphere_aabb_overlap(Vec3::from_array(c), r, &b);
+        prop_assert!(v >= 0.0);
+        prop_assert!(v <= sphere_volume(r) * (1.0 + 1e-9));
+        prop_assert!(v <= b.volume() * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn sphere_box_volume_monotone_in_radius(
+        c in prop::array::uniform3(-1.0f64..1.0),
+        r in 0.1f64..1.0,
+    ) {
+        let b = Aabb::cube(Vec3::ZERO, 2.0);
+        let v1 = sphere_aabb_overlap(Vec3::from_array(c), r, &b);
+        let v2 = sphere_aabb_overlap(Vec3::from_array(c), r * 1.3, &b);
+        prop_assert!(v2 >= v1 - 1e-10, "growing the sphere cannot shrink the overlap");
+    }
+
+    #[test]
+    fn sphere_box_monte_carlo_agreement(
+        c in prop::array::uniform3(-1.2f64..1.2),
+        r in 0.3f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let center = Vec3::from_array(c);
+        let b = Aabb::cube(Vec3::ZERO, 2.0);
+        let v = sphere_aabb_overlap(center, r, &b);
+
+        // Quasi-random sampling inside the sphere's bounding cube.
+        let n = 40_000u64;
+        let mut hits = 0u64;
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..n {
+            let p = Vec3::new(
+                center.x - r + 2.0 * r * next(),
+                center.y - r + 2.0 * r * next(),
+                center.z - r + 2.0 * r * next(),
+            );
+            if p.distance_sq(center) <= r * r && b.contains(p) {
+                hits += 1;
+            }
+        }
+        let cube_vol = 8.0 * r * r * r;
+        let mc = hits as f64 / n as f64 * cube_vol;
+        // 5-sigma-ish binomial bound.
+        let p_hat = (hits as f64 / n as f64).max(1e-4);
+        let sigma = cube_vol * (p_hat * (1.0 - p_hat) / n as f64).sqrt();
+        prop_assert!((v - mc).abs() < 6.0 * sigma + 1e-3 * cube_vol,
+            "exact {v} vs MC {mc} (sigma {sigma})");
+    }
+
+    #[test]
+    fn lens_volume_symmetric_and_bounded(
+        c2 in prop::array::uniform3(-2.0f64..2.0),
+        r1 in 0.1f64..1.5,
+        r2 in 0.1f64..1.5,
+    ) {
+        let a = sphere_sphere_overlap(Vec3::ZERO, r1, Vec3::from_array(c2), r2);
+        let b = sphere_sphere_overlap(Vec3::from_array(c2), r2, Vec3::ZERO, r1);
+        prop_assert!((a - b).abs() < 1e-12, "symmetry");
+        prop_assert!(a >= 0.0);
+        prop_assert!(a <= sphere_volume(r1.min(r2)) * (1.0 + 1e-12));
+    }
+
+    #[test]
+    fn circle_rect_area_bounded_and_translation_invariant(
+        cx in -2.0f64..2.0,
+        cy in -2.0f64..2.0,
+        r in 0.1f64..1.5,
+        w in 0.2f64..2.0,
+        h in 0.2f64..2.0,
+        shift in -5.0f64..5.0,
+    ) {
+        let a = circle_rect_area(cx, cy, r, -w, w, -h, h);
+        prop_assert!(a >= 0.0);
+        prop_assert!(a <= std::f64::consts::PI * r * r + 1e-12);
+        prop_assert!(a <= 4.0 * w * h + 1e-12);
+        let b = circle_rect_area(cx + shift, cy, r, -w + shift, w + shift, -h, h);
+        prop_assert!((a - b).abs() < 1e-10, "translation invariance: {a} vs {b}");
+    }
+}

@@ -1,0 +1,5 @@
+//! Anchor crate for the workspace-level integration tests.
+//!
+//! The actual test sources live in the repository-root `tests/` directory and
+//! are wired in through explicit `[[test]]` entries so they can exercise every
+//! crate of the workspace at once.

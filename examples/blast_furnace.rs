@@ -1,0 +1,90 @@
+//! The §VI-B industrial scenario: packing a Midrex blast furnace (32 m
+//! tall, 6.5 m max diameter) with spheres of radii U(5.2 cm, 7.5 cm) as
+//! DEM initial conditions.
+//!
+//! The default runs a 1:10 scaled replica (laptop-sized, same geometry,
+//! radii scaled to keep the particle count tractable). `--full` packs the
+//! paper-scale vessel — the paper needed 31 h for its 430,062 particles, so
+//! expect a long run.
+//!
+//! ```sh
+//! cargo run --release -p adampack-examples --example blast_furnace
+//! cargo run --release -p adampack-examples --example blast_furnace -- --full
+//! ```
+
+use adampack_core::metrics;
+use adampack_core::prelude::*;
+use adampack_examples::{arg_flag, arg_usize, output_dir};
+use adampack_geometry::{shapes, Vec3};
+use adampack_io::write_particles_vtk;
+
+fn main() {
+    let full = arg_flag("--full");
+    let scale = if full { 1.0 } else { 0.1 };
+    let mesh = shapes::blast_furnace(scale, 48);
+    let container = Container::from_mesh(&mesh).expect("furnace hull");
+    // Paper radii at full scale; the replica enlarges them relative to the
+    // vessel (radii scale by 0.4 while the vessel scales by 0.1) so the
+    // default run stays at a few thousand particles.
+    let r_scale = if full { 1.0 } else { 0.4 };
+    let psd = Psd::uniform(0.052 * r_scale, 0.075 * r_scale);
+
+    // At full scale the paper packs 430,062 particles; the replica's default
+    // is capacity-limited instead.
+    let target = arg_usize("--particles", if full { 430_062 } else { 4_000 });
+
+    println!(
+        "blast furnace: height {:.1}, max diameter {:.2}, volume {:.1}",
+        container.aabb().extent().z,
+        container.aabb().extent().x,
+        container.volume()
+    );
+    println!(
+        "radii U({:.4}, {:.4}), target {target} particles (capacity est. {})",
+        0.052 * r_scale,
+        0.075 * r_scale,
+        container.capacity_estimate(psd.mean(), 0.6)
+    );
+
+    let params = PackingParams {
+        batch_size: 500,
+        target_count: target,
+        seed: 0,
+        ..PackingParams::default()
+    };
+    let result = CollectivePacker::new(container.clone(), params).pack(&psd);
+
+    println!(
+        "packed {} particles in {:.2?} across {} batches",
+        result.particles.len(),
+        result.duration,
+        result.batches.len()
+    );
+    let contact = metrics::contact_stats(&result.particles);
+    println!(
+        "mean contact overlap {:.2}% of radius (max {:.2}%)",
+        contact.mean_overlap_ratio * 100.0,
+        contact.max_overlap_ratio * 100.0
+    );
+    let radii: Vec<f64> = result.particles.iter().map(|p| p.radius).collect();
+    let adherence = metrics::psd_adherence(&radii, &psd);
+    println!(
+        "PSD adherence: mean error {:.3}%, out-of-bound fraction {:.4}",
+        adherence.mean_rel_error * 100.0,
+        adherence.out_of_bound_fraction
+    );
+
+    let dir = output_dir().expect("output dir");
+    let path = dir.join("blast_furnace.vtk");
+    let triples: Vec<(Vec3, f64, usize)> = result
+        .particles
+        .iter()
+        .map(|p| (p.center, p.radius, p.batch))
+        .collect();
+    let f = std::fs::File::create(&path).expect("vtk file");
+    write_particles_vtk(std::io::BufWriter::new(f), &triples, "blast furnace").expect("vtk write");
+    println!(
+        "VTK written to {} (Fig. 11 rendering: glyph spheres by radius)",
+        path.display()
+    );
+}

@@ -1,0 +1,68 @@
+//! Particle-size-distribution showcase: pack the same container under
+//! different PSDs (the paper's defining feature is *exact* adherence to a
+//! prescribed distribution) and compare adherence and core density.
+//!
+//! ```sh
+//! cargo run --release -p adampack-examples --example psd_showcase
+//! ```
+
+use adampack_core::metrics;
+use adampack_core::prelude::*;
+use adampack_examples::arg_usize;
+use adampack_geometry::{shapes, Vec3};
+
+fn main() {
+    let n = arg_usize("--particles", 250);
+    let mesh = shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0));
+    let container = Container::from_mesh(&mesh).expect("box hull");
+
+    let psds: Vec<(&str, Psd)> = vec![
+        ("constant(0.10)", Psd::constant(0.10)),
+        ("uniform(0.07, 0.13)", Psd::uniform(0.07, 0.13)),
+        ("normal(0.10, 0.015)", Psd::normal(0.10, 0.015)),
+        (
+            "bimodal 70/30",
+            Psd::mixture(vec![
+                (0.7, Psd::constant(0.08)),
+                (0.3, Psd::constant(0.14)),
+            ]),
+        ),
+    ];
+
+    println!(
+        "{:>22} {:>8} {:>10} {:>14} {:>12} {:>10}",
+        "psd", "packed", "density", "mean_r_err_%", "mean_ovl_%", "time_s"
+    );
+    for (name, psd) in psds {
+        let params = PackingParams {
+            batch_size: 125,
+            target_count: n,
+            seed: 3,
+            ..PackingParams::default()
+        };
+        let result = CollectivePacker::new(container.clone(), params).pack(&psd);
+        // Probe over the bed region (the box is part-filled at this count).
+        let bed_top = result
+            .particles
+            .iter()
+            .map(|p| p.center.z + p.radius)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let bb = container.aabb();
+        let probe = adampack_overlap::DensityProbe::new(adampack_geometry::Aabb::new(
+            bb.min + Vec3::splat(0.2),
+            Vec3::new(bb.max.x - 0.2, bb.max.y - 0.2, bed_top - 0.25),
+        ));
+        let density = probe.density(result.particles.iter().map(|p| (p.center, p.radius)));
+        let contact = metrics::contact_stats(&result.particles);
+        let radii: Vec<f64> = result.particles.iter().map(|p| p.radius).collect();
+        let adherence = metrics::psd_adherence(&radii, &psd);
+        println!(
+            "{name:>22} {:>8} {density:>10.3} {:>14.3} {:>12.3} {:>10.2}",
+            result.particles.len(),
+            adherence.mean_rel_error * 100.0,
+            contact.mean_overlap_ratio * 100.0,
+            result.duration.as_secs_f64()
+        );
+    }
+    println!("note: radii are sampled from the PSD and never altered — adherence is sampling noise only");
+}

@@ -1,0 +1,94 @@
+//! Quickstart: pack poly-disperse spheres into a box and inspect the result.
+//!
+//! ```sh
+//! cargo run --release -p adampack-examples --example quickstart
+//! ```
+
+use adampack_core::metrics;
+use adampack_core::prelude::*;
+use adampack_examples::{arg_usize, output_dir};
+use adampack_geometry::{shapes, Vec3};
+use adampack_io::write_particles_csv;
+
+fn main() {
+    // 1. A container: any convex triangular mesh works; here the paper's
+    //    2×2×2 box. (Use `adampack_io::read_stl_file` for STL containers.)
+    let mesh = shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0));
+    let container = Container::from_mesh(&mesh).expect("convex hull of the box");
+    println!(
+        "container: volume {:.2}, {} boundary planes",
+        container.volume(),
+        container.halfspaces().len()
+    );
+
+    // 2. A particle-size distribution the packing must follow *exactly*.
+    let psd = Psd::uniform(0.08, 0.12);
+
+    // 3. Pack with the paper's hyper-parameters (α=100, β=10, γ=100,
+    //    AMSGrad + ReduceLROnPlateau from 1e-2).
+    let n = arg_usize("--particles", 300);
+    let params = PackingParams {
+        batch_size: 150,
+        target_count: n,
+        seed: 42,
+        ..PackingParams::default()
+    };
+    let result = CollectivePacker::new(container.clone(), params).pack(&psd);
+
+    // 4. Inspect quality: density, contacts, boundary, PSD adherence.
+    println!(
+        "packed {} of {} particles in {:.2?} over {} batches",
+        result.particles.len(),
+        n,
+        result.duration,
+        result.batches.len()
+    );
+    // Probe density over the *bed* region (the box is only part-filled at
+    // 300 particles, so the paper's centred inner-box probe would straddle
+    // the free surface).
+    let bed_top = result
+        .particles
+        .iter()
+        .map(|p| p.center.z + p.radius)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let bb = container.aabb();
+    let probe_region = adampack_geometry::Aabb::new(
+        bb.min + adampack_geometry::Vec3::splat(0.15),
+        adampack_geometry::Vec3::new(bb.max.x - 0.15, bb.max.y - 0.15, bed_top - 0.2),
+    );
+    let density = adampack_overlap::DensityProbe::new(probe_region)
+        .density(result.particles.iter().map(|p| (p.center, p.radius)));
+    let contact = metrics::contact_stats(&result.particles);
+    let radii: Vec<f64> = result.particles.iter().map(|p| p.radius).collect();
+    let adherence = metrics::psd_adherence(&radii, &psd);
+    println!("bed core density: {density:.3}");
+    println!(
+        "contacts: {} | mean overlap {:.2}% of radius | max {:.2}%",
+        contact.contacts,
+        contact.mean_overlap_ratio * 100.0,
+        contact.max_overlap_ratio * 100.0
+    );
+    println!(
+        "PSD adherence: sample mean {:.4} vs prescribed {:.4} ({:.2}% error)",
+        adherence.sample_mean,
+        psd.mean(),
+        adherence.mean_rel_error * 100.0
+    );
+    for p in &result.particles {
+        assert!(
+            container.contains_sphere(p.center, p.radius, 0.05 * p.radius),
+            "a particle escaped the container"
+        );
+    }
+
+    // 5. Export for DEM tooling.
+    let dir = output_dir().expect("output dir");
+    let path = dir.join("quickstart.csv");
+    let file = std::fs::File::create(&path).expect("csv file");
+    write_particles_csv(
+        std::io::BufWriter::new(file),
+        result.particles.iter().map(|p| (p.center, p.radius, p.batch, p.set)),
+    )
+    .expect("csv write");
+    println!("particles written to {}", path.display());
+}

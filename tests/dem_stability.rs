@@ -1,0 +1,115 @@
+//! Fitness-for-purpose: packings are meant to be *DEM initial conditions*
+//! (the paper's raison d'être). A good initial bed dropped into a DEM
+//! simulation must already be near mechanical equilibrium: energy bounded
+//! and decaying, no ejections, minimal subsidence. A deliberately bad
+//! initial condition (spheres floating mid-air) must visibly collapse —
+//! confirming the test can tell the difference.
+
+use adampack_core::prelude::*;
+use adampack_dem::{DemParams, DemSimulation};
+use adampack_geometry::{shapes, Vec3};
+
+fn dem_params() -> DemParams {
+    DemParams {
+        kn: 1e4,
+        dt: 2e-5,
+        ..DemParams::default()
+    }
+}
+
+#[test]
+fn packed_bed_is_near_equilibrium() {
+    let mesh = shapes::box_mesh(Vec3::new(0.0, 0.0, 1.0), Vec3::splat(2.0));
+    let container = Container::from_mesh(&mesh).unwrap();
+    let params = PackingParams {
+        batch_size: 50,
+        target_count: 100,
+        max_steps: 800,
+        patience: 60,
+        seed: 21,
+        ..PackingParams::default()
+    };
+    let result = CollectivePacker::new(container.clone(), params).pack(&Psd::uniform(0.09, 0.13));
+    assert!(result.particles.len() >= 60);
+
+    let mut sim = DemSimulation::new(&result.particles, container.halfspaces().clone(), dem_params());
+    // Relax residual optimizer overlaps first (the optional XProtoSphere-
+    // style pass), then settle under gravity.
+    sim.relax_overlaps(0.005, 30_000);
+    let bed0 = sim.stats().bed_height;
+    sim.run(40_000); // 0.8 s of simulated time
+    let s = sim.stats();
+
+    // The bed barely subsides: a loose random packing compacts slightly but
+    // must not collapse (paper packings are ≈0.6 dense already).
+    let drop = bed0 - s.bed_height;
+    assert!(
+        drop < 0.2 * bed0,
+        "bed collapsed by {drop:.3} from height {bed0:.3} — not a valid initial condition"
+    );
+    // Nothing ejected through the walls.
+    for (k, &p) in sim.positions().iter().enumerate() {
+        let excess = container.halfspaces().sphere_max_excess(p, sim.radii()[k]);
+        assert!(excess < 0.05, "particle {k} escaped by {excess}");
+    }
+    // Energy decays towards rest.
+    let ke_mid = s.kinetic_energy;
+    sim.run(40_000);
+    let ke_end = sim.stats().kinetic_energy;
+    assert!(
+        ke_end < ke_mid.max(1e-12) * 1.5,
+        "energy must not grow: {ke_mid:.3e} → {ke_end:.3e}"
+    );
+}
+
+#[test]
+fn floating_configuration_visibly_collapses() {
+    // Negative control: the same test instrumentation must detect a bad
+    // initial condition. Spheres hanging mid-air fall by a macroscopic
+    // distance.
+    let mesh = shapes::box_mesh(Vec3::new(0.0, 0.0, 1.0), Vec3::splat(2.0));
+    let container = Container::from_mesh(&mesh).unwrap();
+    let floating: Vec<Particle> = (0..9)
+        .map(|i| {
+            Particle::new(
+                Vec3::new(
+                    -0.6 + 0.6 * (i % 3) as f64,
+                    -0.6 + 0.6 * (i / 3) as f64,
+                    1.5, // hanging high above the floor
+                ),
+                0.1,
+            )
+        })
+        .collect();
+    let mut sim = DemSimulation::new(&floating, container.halfspaces().clone(), dem_params());
+    let z0: f64 = sim.positions().iter().map(|p| p.z).sum::<f64>() / 9.0;
+    sim.run(40_000);
+    let z1: f64 = sim.positions().iter().map(|p| p.z).sum::<f64>() / 9.0;
+    assert!(
+        z0 - z1 > 0.5,
+        "floating spheres should have fallen: {z0:.2} → {z1:.2}"
+    );
+}
+
+#[test]
+fn relaxation_removes_residual_overlaps_of_a_packing() {
+    let mesh = shapes::box_mesh(Vec3::new(0.0, 0.0, 1.0), Vec3::splat(2.0));
+    let container = Container::from_mesh(&mesh).unwrap();
+    let params = PackingParams {
+        batch_size: 40,
+        target_count: 80,
+        max_steps: 600,
+        patience: 50,
+        seed: 31,
+        // Deliberately sloppy acceptance so overlaps remain for the DEM to fix.
+        accept_mean_overlap: 0.08,
+        ..PackingParams::default()
+    };
+    let result = CollectivePacker::new(container.clone(), params).pack(&Psd::constant(0.12));
+    let mut sim =
+        DemSimulation::new(&result.particles, container.halfspaces().clone(), dem_params());
+    let before = sim.stats().max_overlap_ratio;
+    let after = sim.relax_overlaps(0.004, 60_000);
+    assert!(after <= before + 1e-12);
+    assert!(after < 0.004 || after < before * 0.5, "relaxation ineffective: {before} → {after}");
+}

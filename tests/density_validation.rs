@@ -1,0 +1,87 @@
+//! The paper's headline quality claim (§V-A / Fig. 5): packing a 2×2×2 box
+//! to capacity with mono-disperse r = 0.1 spheres yields a core density of
+//! ≈0.6 (0.571–0.619 over seeds) with mean contact overlap below ~1 % of
+//! the radius. This test runs the real experiment at a single seed (the
+//! fig5 bench binary runs the 10-seed version) and asserts the paper's
+//! ranges with modest slack.
+
+use adampack_core::metrics;
+use adampack_core::prelude::*;
+use adampack_geometry::{shapes, Vec3};
+
+#[test]
+fn core_density_reaches_loose_random_packing_regime() {
+    let mesh = shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0));
+    let container = Container::from_mesh(&mesh).unwrap();
+    let params = PackingParams {
+        batch_size: 500,
+        target_count: 1_500, // more than fits: pack to capacity
+        seed: 0,
+        ..PackingParams::default()
+    };
+    let result = CollectivePacker::new(container.clone(), params).pack(&Psd::constant(0.1));
+
+    // Paper: 950–1006 particles across seeds; allow slack for the rebuilt
+    // pipeline.
+    let n = result.particles.len();
+    assert!(
+        (850..=1100).contains(&n),
+        "packed {n}, paper packs 950–1006"
+    );
+
+    // Core density in the virtual inner box (Fig. 4): paper 0.571–0.619.
+    let density = metrics::core_density(&result.particles, &container.aabb(), 1.0 / 3.0);
+    assert!(
+        (0.52..=0.68).contains(&density),
+        "core density {density:.3}, paper range 0.571–0.619"
+    );
+
+    // Mean contact overlap below ~1.1 % of the radius (paper §V-A); allow 3 %.
+    let contact = metrics::contact_stats(&result.particles);
+    assert!(
+        contact.mean_overlap_ratio < 0.03,
+        "mean overlap {:.2}% of radius",
+        contact.mean_overlap_ratio * 100.0
+    );
+}
+
+#[test]
+fn density_beats_rsa_baseline() {
+    // The Table I shape: collective arrangement must dominate RSA's
+    // saturation density on the same problem.
+    let mesh = shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0));
+    let container = Container::from_mesh(&mesh).unwrap();
+    let psd = Psd::constant(0.1);
+
+    let params = PackingParams {
+        batch_size: 500,
+        target_count: 1_500,
+        seed: 1,
+        ..PackingParams::default()
+    };
+    let ours = CollectivePacker::new(container.clone(), params).pack(&psd);
+    let rsa = RsaPacker { max_attempts: 2_000, seed: 1 }.pack(&container, &psd, 1_500);
+
+    let d_ours = metrics::core_density(&ours.particles, &container.aabb(), 1.0 / 3.0);
+    let d_rsa = metrics::core_density(&rsa.particles, &container.aabb(), 1.0 / 3.0);
+    assert!(
+        d_ours > d_rsa + 0.1,
+        "collective ({d_ours:.3}) must clearly beat RSA ({d_rsa:.3})"
+    );
+}
+
+#[test]
+fn probe_counts_straddling_spheres_fractionally() {
+    // Density probe sanity on a hand-built configuration: one sphere fully
+    // inside the inner box, one exactly straddling its face.
+    let container_box = adampack_geometry::Aabb::cube(Vec3::ZERO, 2.0);
+    let inner = container_box.shrink(1.0 / 3.0); // side 4/3
+    let particles = vec![
+        Particle::new(Vec3::ZERO, 0.1),
+        Particle::new(Vec3::new(inner.max.x, 0.0, 0.0), 0.1),
+    ];
+    let d = metrics::core_density(&particles, &container_box, 1.0 / 3.0);
+    let v_sphere = 4.0 / 3.0 * std::f64::consts::PI * 0.001;
+    let expect = (v_sphere + v_sphere / 2.0) / inner.volume();
+    assert!((d - expect).abs() < 1e-9, "d = {d}, expect = {expect}");
+}

@@ -1,0 +1,99 @@
+//! Determinism guarantees (§IV): "This can be avoided by fixing the seed of
+//! the random generator in order to produce deterministic results." With a
+//! fixed seed the whole pipeline — PSD sampling, spawning, optimization,
+//! acceptance — must be bitwise reproducible, *including under different
+//! Rayon thread counts*, because the objective reduces per-particle partial
+//! values sequentially.
+
+use adampack_core::prelude::*;
+use adampack_geometry::{shapes, Vec3};
+
+fn pack(seed: u64) -> PackResult {
+    let mesh = shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0));
+    let container = Container::from_mesh(&mesh).unwrap();
+    let params = PackingParams {
+        batch_size: 40,
+        target_count: 80,
+        max_steps: 500,
+        patience: 50,
+        seed,
+        ..PackingParams::default()
+    };
+    CollectivePacker::new(container, params).pack(&Psd::uniform(0.09, 0.13))
+}
+
+#[test]
+fn same_seed_same_packing_bitwise() {
+    let a = pack(123);
+    let b = pack(123);
+    assert_eq!(a.particles.len(), b.particles.len());
+    for (pa, pb) in a.particles.iter().zip(&b.particles) {
+        assert_eq!(pa.center.x.to_bits(), pb.center.x.to_bits());
+        assert_eq!(pa.center.y.to_bits(), pb.center.y.to_bits());
+        assert_eq!(pa.center.z.to_bits(), pb.center.z.to_bits());
+        assert_eq!(pa.radius.to_bits(), pb.radius.to_bits());
+        assert_eq!(pa.batch, pb.batch);
+    }
+    // Batch statistics agree too (steps and fitness are part of the
+    // deterministic trajectory; durations are not compared).
+    for (ba, bb) in a.batches.iter().zip(&b.batches) {
+        assert_eq!(ba.steps, bb.steps);
+        assert_eq!(ba.best_fitness.to_bits(), bb.best_fitness.to_bits());
+        assert_eq!(ba.accepted, bb.accepted);
+    }
+}
+
+#[test]
+fn different_seeds_different_packings() {
+    let a = pack(1);
+    let b = pack(2);
+    let identical = a.particles.len() == b.particles.len()
+        && a
+            .particles
+            .iter()
+            .zip(&b.particles)
+            .all(|(x, y)| x.center == y.center && x.radius == y.radius);
+    assert!(!identical, "distinct seeds must explore distinct configurations");
+}
+
+#[test]
+fn determinism_is_thread_count_independent() {
+    // Run the identical packing under 1-thread and N-thread Rayon pools.
+    let run_with_threads = |threads: usize| {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        pool.install(|| pack(77))
+    };
+    let serial = run_with_threads(1);
+    let parallel = run_with_threads(4);
+    assert_eq!(serial.particles.len(), parallel.particles.len());
+    for (pa, pb) in serial.particles.iter().zip(&parallel.particles) {
+        assert_eq!(
+            pa.center.x.to_bits(),
+            pb.center.x.to_bits(),
+            "thread count changed the result"
+        );
+        assert_eq!(pa.center.z.to_bits(), pb.center.z.to_bits());
+    }
+}
+
+#[test]
+fn baseline_packers_are_deterministic_too() {
+    let mesh = shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0));
+    let container = Container::from_mesh(&mesh).unwrap();
+    let psd = Psd::uniform(0.08, 0.12);
+    let a = RsaPacker { seed: 5, ..RsaPacker::default() }.pack(&container, &psd, 100);
+    let b = RsaPacker { seed: 5, ..RsaPacker::default() }.pack(&container, &psd, 100);
+    assert_eq!(a.particles.len(), b.particles.len());
+    for (x, y) in a.particles.iter().zip(&b.particles) {
+        assert_eq!(x.center, y.center);
+    }
+    let c = DropAndRollPacker { seed: 5, ..DropAndRollPacker::default() }.pack(&container, &psd, 100);
+    let d = DropAndRollPacker { seed: 5, ..DropAndRollPacker::default() }.pack(&container, &psd, 100);
+    assert_eq!(c.particles.len(), d.particles.len());
+    for (x, y) in c.particles.iter().zip(&d.particles) {
+        assert_eq!(x.center, y.center);
+    }
+}

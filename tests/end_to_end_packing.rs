@@ -1,0 +1,163 @@
+//! End-to-end packing invariants across container shapes.
+//!
+//! For every supported container geometry the packer must produce particles
+//! that (a) stay inside the hull, (b) never overlap beyond the acceptance
+//! tolerance, (c) follow the prescribed PSD exactly, and (d) settle towards
+//! the gravity floor.
+
+use adampack_core::metrics;
+use adampack_core::prelude::*;
+use adampack_geometry::{shapes, Axis, TriMesh, Vec3};
+
+fn quick_params(n: usize, seed: u64) -> PackingParams {
+    PackingParams {
+        batch_size: n.div_ceil(2),
+        target_count: n,
+        max_steps: 800,
+        patience: 60,
+        seed,
+        ..PackingParams::default()
+    }
+}
+
+fn assert_packing_invariants(container: &Container, result: &PackResult, tol_ratio: f64) {
+    assert!(!result.particles.is_empty(), "nothing packed");
+    // Containment.
+    for (i, p) in result.particles.iter().enumerate() {
+        let excess = container.halfspaces().sphere_max_excess(p.center, p.radius);
+        assert!(
+            excess <= tol_ratio * p.radius + 1e-9,
+            "particle {i} pokes out by {excess} ({}% of r)",
+            excess / p.radius * 100.0
+        );
+    }
+    // Pairwise overlaps.
+    let stats = metrics::contact_stats(&result.particles);
+    assert!(
+        stats.max_overlap_ratio <= 2.5 * tol_ratio,
+        "worst overlap {:.2}% of radius",
+        stats.max_overlap_ratio * 100.0
+    );
+}
+
+#[test]
+fn box_container_end_to_end() {
+    let mesh = shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0));
+    let container = Container::from_mesh(&mesh).unwrap();
+    let result =
+        CollectivePacker::new(container.clone(), quick_params(60, 1)).pack(&Psd::constant(0.13));
+    assert!(result.particles.len() >= 40, "packed {}", result.particles.len());
+    assert_packing_invariants(&container, &result, 0.05);
+}
+
+#[test]
+fn cylinder_container_end_to_end() {
+    let mesh = shapes::cylinder(1.0, 2.0, 32);
+    let container = Container::from_mesh(&mesh).unwrap();
+    let result =
+        CollectivePacker::new(container.clone(), quick_params(50, 2)).pack(&Psd::uniform(0.09, 0.13));
+    assert!(result.particles.len() >= 30);
+    assert_packing_invariants(&container, &result, 0.05);
+}
+
+#[test]
+fn cone_container_end_to_end() {
+    let mesh = shapes::cone(1.2, 2.0, 32, false); // widens upward
+    let container = Container::from_mesh(&mesh).unwrap();
+    let result =
+        CollectivePacker::new(container.clone(), quick_params(40, 3)).pack(&Psd::constant(0.1));
+    assert!(result.particles.len() >= 20);
+    assert_packing_invariants(&container, &result, 0.05);
+}
+
+#[test]
+fn blast_furnace_replica_end_to_end() {
+    let mesh = shapes::blast_furnace(0.05, 24); // 1.6 units tall replica
+    let container = Container::from_mesh(&mesh).unwrap();
+    let result =
+        CollectivePacker::new(container.clone(), quick_params(40, 4)).pack(&Psd::uniform(0.05, 0.07));
+    assert!(result.particles.len() >= 20);
+    assert_packing_invariants(&container, &result, 0.05);
+}
+
+#[test]
+fn particles_settle_towards_gravity_floor() {
+    let mesh = shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0));
+    let container = Container::from_mesh(&mesh).unwrap();
+    let result =
+        CollectivePacker::new(container, quick_params(50, 5)).pack(&Psd::constant(0.12));
+    // Bed occupies the lower part of the box: mean z well below centre 0.
+    let mean_z: f64 = result.particles.iter().map(|p| p.center.z).sum::<f64>()
+        / result.particles.len() as f64;
+    assert!(mean_z < -0.2, "bed should sit low, mean z = {mean_z}");
+}
+
+#[test]
+fn psd_is_followed_exactly() {
+    let mesh = shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0));
+    let container = Container::from_mesh(&mesh).unwrap();
+    let psd = Psd::uniform(0.08, 0.14);
+    let result = CollectivePacker::new(container, quick_params(80, 6)).pack(&psd);
+    let radii: Vec<f64> = result.particles.iter().map(|p| p.radius).collect();
+    let adherence = metrics::psd_adherence(&radii, &psd);
+    assert_eq!(adherence.out_of_bound_fraction, 0.0);
+    assert!(radii.iter().all(|&r| (0.08..=0.14).contains(&r)));
+    // Radii are used verbatim from the sampler: the mean error is pure
+    // sampling noise, bounded well under the distribution width.
+    assert!(adherence.mean_rel_error < 0.1, "err = {}", adherence.mean_rel_error);
+}
+
+#[test]
+fn batch_metadata_is_consistent() {
+    let mesh = shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0));
+    let container = Container::from_mesh(&mesh).unwrap();
+    let result = CollectivePacker::new(container, quick_params(60, 7)).pack(&Psd::constant(0.12));
+    // Every particle's batch index refers to an accepted batch.
+    for p in &result.particles {
+        let b = &result.batches[p.batch];
+        assert!(b.accepted, "particle points at a rejected batch");
+    }
+    // Accepted batch sizes sum to the particle count.
+    let accepted_total: usize = result
+        .batches
+        .iter()
+        .filter(|b| b.accepted)
+        .map(|b| b.requested)
+        .sum();
+    assert_eq!(accepted_total, result.particles.len());
+}
+
+#[test]
+fn gravity_can_point_along_any_axis() {
+    let mesh = shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0));
+    let cases: [(Axis, fn(&Vec3) -> f64); 3] = [
+        (Axis::X, |p| p.x),
+        (Axis::Y, |p| p.y),
+        (Axis::Z, |p| p.z),
+    ];
+    for (axis, pick) in cases {
+        let container = Container::from_mesh(&mesh).unwrap();
+        let mut params = quick_params(30, 8);
+        params.gravity = axis;
+        let result = CollectivePacker::new(container, params).pack(&Psd::constant(0.14));
+        assert!(!result.particles.is_empty());
+        let mean: f64 = result.particles.iter().map(|p| pick(&p.center)).sum::<f64>()
+            / result.particles.len() as f64;
+        assert!(mean < 0.0, "axis {axis:?}: bed should settle low, mean = {mean}");
+    }
+}
+
+#[test]
+fn works_from_stl_round_trip() {
+    // Full pipeline: procedural mesh → STL bytes → parsed mesh → packing,
+    // matching the application's container flow.
+    let mesh = shapes::cylinder(1.0, 1.6, 24);
+    let mut bytes = Vec::new();
+    adampack_io::write_stl_binary(&mut bytes, &mesh).unwrap();
+    let parsed: TriMesh = adampack_io::read_stl(&bytes).unwrap();
+    let container = Container::from_mesh(&parsed).unwrap();
+    let result =
+        CollectivePacker::new(container.clone(), quick_params(30, 9)).pack(&Psd::constant(0.12));
+    assert!(result.particles.len() >= 15);
+    assert_packing_invariants(&container, &result, 0.05);
+}

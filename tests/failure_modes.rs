@@ -1,0 +1,155 @@
+//! Failure injection: impossible or degenerate inputs must produce clean
+//! errors or graceful termination — never panics from library internals or
+//! infinite loops.
+
+use adampack_core::prelude::*;
+use adampack_geometry::{shapes, ConvexHull, HullError, TriMesh, Vec3};
+
+#[test]
+fn unpackable_container_terminates_with_partial_result() {
+    // A box that cannot hold even one sphere of the requested size.
+    let mesh = shapes::box_mesh(Vec3::ZERO, Vec3::splat(0.5));
+    let container = Container::from_mesh(&mesh).unwrap();
+    let params = PackingParams {
+        batch_size: 8,
+        target_count: 100,
+        max_steps: 200,
+        patience: 30,
+        seed: 1,
+        ..PackingParams::default()
+    };
+    // Radius 0.4 in a 0.5-wide box: no sphere fits.
+    let result = CollectivePacker::new(container, params).pack(&Psd::constant(0.4));
+    assert!(result.particles.is_empty(), "nothing should fit");
+    assert!(!result.reached_target());
+    assert!(
+        result.batches.iter().all(|b| !b.accepted),
+        "every batch must have been rejected"
+    );
+    // Batch halving drove the size to zero: 8 → 4 → 2 → 1 → stop.
+    assert!(result.batches.len() <= 5);
+}
+
+#[test]
+fn degenerate_meshes_error_cleanly() {
+    // Fewer than 4 vertices.
+    assert!(matches!(
+        Container::from_points(&[Vec3::ZERO, Vec3::X, Vec3::Y]),
+        Err(HullError::TooFewPoints(3))
+    ));
+    // Non-finite vertices.
+    let bad = Container::from_points(&[
+        Vec3::new(f64::NAN, 0.0, 0.0),
+        Vec3::X,
+        Vec3::Y,
+        Vec3::Z,
+    ]);
+    assert!(bad.is_err());
+}
+
+#[test]
+fn flat_mesh_rejected_or_sliver() {
+    // A single flat triangle pair has no 3-D hull.
+    let mesh = TriMesh::new(
+        vec![
+            Vec3::ZERO,
+            Vec3::X,
+            Vec3::Y,
+            Vec3::new(1.0, 1.0, 0.0),
+        ],
+        vec![[0, 1, 2], [1, 3, 2]],
+    )
+    .unwrap();
+    match ConvexHull::from_mesh(&mesh) {
+        Err(_) => {}
+        Ok(h) => assert!(h.volume().abs() < 1e-6, "flat mesh produced volume {}", h.volume()),
+    }
+}
+
+#[test]
+fn invalid_psd_parameters_panic_with_messages() {
+    for f in [
+        || Psd::constant(-0.1),
+        || Psd::uniform(0.2, 0.1),
+        || Psd::normal(0.03, 0.02), // 3σ crosses zero
+    ] {
+        let err = std::panic::catch_unwind(f).unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(!msg.is_empty(), "panic should carry a message");
+    }
+}
+
+#[test]
+fn invalid_packing_params_rejected() {
+    let mesh = shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0));
+    let container = Container::from_mesh(&mesh).unwrap();
+    let bad = PackingParams {
+        batch_size: 0,
+        ..PackingParams::default()
+    };
+    assert!(std::panic::catch_unwind(move || {
+        CollectivePacker::new(container, bad)
+    })
+    .is_err());
+}
+
+#[test]
+fn yaml_config_errors_never_panic() {
+    use adampack_config::PackingConfig;
+    for src in [
+        "",                              // empty
+        "container: 5",                  // wrong type
+        "container:\n  path: a.stl",     // missing particle_sets
+        "zones: nope",                   // wrong type downstream
+        "\tcontainer:",                  // tab indentation
+        "container:\n  path: a.stl\nparticle_sets:\n  - radius_distribution: uniform\n", // missing bounds
+    ] {
+        let _ = PackingConfig::from_str(src); // must return Err, not panic
+    }
+}
+
+#[test]
+fn rsa_on_impossible_problem_stops_quickly() {
+    let mesh = shapes::box_mesh(Vec3::ZERO, Vec3::splat(0.5));
+    let container = Container::from_mesh(&mesh).unwrap();
+    let result = RsaPacker { max_attempts: 100, seed: 1 }.pack(&container, &Psd::constant(0.4), 10);
+    assert!(result.particles.is_empty());
+}
+
+#[test]
+fn empty_zone_region_fails_cleanly() {
+    use adampack_geometry::Plane;
+    let mesh = shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0));
+    let container = Container::from_mesh(&mesh).unwrap();
+    // Restrict to z >= 5: entirely outside the box.
+    let cut = Plane::from_point_normal(Vec3::new(0.0, 0.0, 5.0), -Vec3::Z).unwrap();
+    let empty = container.restricted(&[cut], container.aabb());
+    assert!(empty.volume() < 1e-9);
+    let result = std::panic::catch_unwind(move || {
+        let _ = CollectivePacker::new(empty, PackingParams::default());
+    });
+    let err = result.expect_err("empty container must be rejected");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(msg.contains("empty"), "panic message should explain: {msg}");
+}
+
+#[test]
+fn zero_target_is_a_noop() {
+    let mesh = shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0));
+    let container = Container::from_mesh(&mesh).unwrap();
+    let params = PackingParams {
+        target_count: 0,
+        ..PackingParams::default()
+    };
+    let result = CollectivePacker::new(container, params).pack(&Psd::constant(0.1));
+    assert!(result.particles.is_empty());
+    assert!(result.reached_target(), "0-target is trivially reached");
+    assert!(result.batches.is_empty());
+}

@@ -1,0 +1,175 @@
+//! Gradient cross-validation: the hand-derived analytic gradients in
+//! `adampack-core` must agree with (a) the reverse-mode autograd engine
+//! built as the PyTorch substitute and (b) central finite differences, on
+//! randomized configurations exercising every objective term.
+
+use adampack_autograd::{gradient_check, Graph, Var};
+use adampack_core::grid::CellGrid;
+use adampack_core::objective::{Objective, ObjectiveWeights};
+use adampack_core::Container;
+use adampack_geometry::{shapes, Axis, Vec3};
+use proptest::prelude::*;
+
+/// Builds the full objective (5) on the autograd tape for a batch of
+/// spheres against fixed spheres and box planes, and returns value +
+/// gradients w.r.t. the batch coordinates.
+fn autograd_objective(
+    coords: &[f64],
+    radii: &[f64],
+    fixed: &[(Vec3, f64)],
+    planes: &[[f64; 4]],
+    w: ObjectiveWeights,
+) -> (f64, Vec<f64>) {
+    let n = radii.len();
+    let mut g = Graph::new();
+    let vars: Vec<Var> = coords.iter().map(|&c| g.var(c)).collect();
+    let mut terms: Vec<Var> = Vec::new();
+
+    // Intra penetration: ordered pairs (i, j), i ≠ j.
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let dx = g.sub(vars[3 * i], vars[3 * j]);
+            let dy = g.sub(vars[3 * i + 1], vars[3 * j + 1]);
+            let dz = g.sub(vars[3 * i + 2], vars[3 * j + 2]);
+            let dist = g.norm3(dx, dy, dz);
+            let delta = g.add_const(dist, -(radii[i] + radii[j]));
+            let dminus = g.min_zero(delta);
+            let p = g.neg(dminus);
+            let weighted = g.mul_const(p, w.alpha);
+            terms.push(weighted);
+        }
+    }
+    // Cross penetration: batch i against fixed k, once per pair.
+    for i in 0..n {
+        for &(cf, rf) in fixed {
+            let cx = g.constant(cf.x);
+            let cy = g.constant(cf.y);
+            let cz = g.constant(cf.z);
+            let dx = g.sub(vars[3 * i], cx);
+            let dy = g.sub(vars[3 * i + 1], cy);
+            let dz = g.sub(vars[3 * i + 2], cz);
+            let dist = g.norm3(dx, dy, dz);
+            let delta = g.add_const(dist, -(radii[i] + rf));
+            let dminus = g.min_zero(delta);
+            let p = g.neg(dminus);
+            let weighted = g.mul_const(p, w.alpha);
+            terms.push(weighted);
+        }
+    }
+    // Exterior distance: Σᵢ Σₖ max(0, ρ̃ᵢₖ) with unit-normal plane rows.
+    for i in 0..n {
+        for row in planes {
+            let ax = g.mul_const(vars[3 * i], row[0]);
+            let by = g.mul_const(vars[3 * i + 1], row[1]);
+            let cz = g.mul_const(vars[3 * i + 2], row[2]);
+            let s1 = g.add(ax, by);
+            let s2 = g.add(s1, cz);
+            let rho = g.add_const(s2, row[3] + radii[i]);
+            let hinge = g.relu(rho);
+            let weighted = g.mul_const(hinge, w.gamma);
+            terms.push(weighted);
+        }
+    }
+    // Altitude along +z.
+    for i in 0..n {
+        let weighted = g.mul_const(vars[3 * i + 2], w.beta);
+        terms.push(weighted);
+    }
+
+    let z = g.sum(&terms);
+    let grads = g.backward(z);
+    let grad: Vec<f64> = vars.iter().map(|v| grads.wrt(*v)).collect();
+    (g.value(z), grad)
+}
+
+fn setup() -> (Container, Vec<(Vec3, f64)>, CellGrid) {
+    let container = Container::from_mesh(&shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0))).unwrap();
+    let fixed_spheres = vec![
+        (Vec3::new(0.0, 0.0, -0.7), 0.25),
+        (Vec3::new(0.4, 0.2, -0.65), 0.2),
+        (Vec3::new(-0.3, -0.4, -0.7), 0.22),
+    ];
+    let centers: Vec<Vec3> = fixed_spheres.iter().map(|s| s.0).collect();
+    let radii: Vec<f64> = fixed_spheres.iter().map(|s| s.1).collect();
+    let grid = CellGrid::build(&centers, &radii);
+    (container, fixed_spheres, grid)
+}
+
+#[test]
+fn analytic_equals_autograd_on_dense_configuration() {
+    let (container, fixed_spheres, grid) = setup();
+    let radii = [0.3, 0.25, 0.35, 0.2];
+    let coords = vec![
+        0.1, 0.05, -0.45, // overlaps the bed
+        0.35, 0.1, -0.3, // overlaps particle 0
+        0.85, 0.8, 0.9, // pokes out of the corner
+        -0.2, 0.3, -0.35,
+    ];
+    let w = ObjectiveWeights::default();
+    let obj = Objective::new(w, Axis::Z, container.halfspaces(), &radii, &grid);
+    let mut grad = vec![0.0; coords.len()];
+    let v_analytic = obj.value_and_grad(&coords, &mut grad);
+
+    let planes = container.halfspaces().coefficient_rows();
+    let (v_auto, g_auto) = autograd_objective(&coords, &radii, &fixed_spheres, &planes, w);
+
+    assert!(
+        (v_analytic - v_auto).abs() < 1e-9 * v_auto.abs().max(1.0),
+        "values differ: analytic {v_analytic} vs autograd {v_auto}"
+    );
+    for (i, (a, b)) in grad.iter().zip(&g_auto).enumerate() {
+        assert!(
+            (a - b).abs() < 1e-9 * b.abs().max(1.0),
+            "gradient {i}: analytic {a} vs autograd {b}"
+        );
+    }
+}
+
+#[test]
+fn analytic_matches_finite_differences() {
+    let (container, _, grid) = setup();
+    let radii = [0.3, 0.25];
+    let coords = vec![0.1, 0.0, -0.5, 0.45, 0.05, -0.4];
+    let w = ObjectiveWeights::default();
+    let obj = Objective::new(w, Axis::Z, container.halfspaces(), &radii, &grid);
+    let mut grad = vec![0.0; 6];
+    obj.value_and_grad(&coords, &mut grad);
+    let f = |x: &[f64]| {
+        Objective::new(w, Axis::Z, container.halfspaces(), &radii, &grid).value(x)
+    };
+    let worst = gradient_check(f, &coords, &grad, 1e-6);
+    assert!(worst < 1e-5, "worst relative discrepancy {worst}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_configurations_agree(
+        positions in prop::collection::vec(-0.9f64..0.9, 9),
+        r1 in 0.1f64..0.3,
+        r2 in 0.1f64..0.3,
+        r3 in 0.1f64..0.3,
+    ) {
+        let (container, fixed_spheres, grid) = setup();
+        let radii = [r1, r2, r3];
+        let w = ObjectiveWeights::default();
+        let obj = Objective::new(w, Axis::Z, container.halfspaces(), &radii, &grid);
+        let mut grad = vec![0.0; 9];
+        let v_analytic = obj.value_and_grad(&positions, &mut grad);
+
+        let planes = container.halfspaces().coefficient_rows();
+        let (v_auto, g_auto) =
+            autograd_objective(&positions, &radii, &fixed_spheres, &planes, w);
+
+        prop_assert!((v_analytic - v_auto).abs() < 1e-8 * v_auto.abs().max(1.0),
+            "values: {v_analytic} vs {v_auto}");
+        for (a, b) in grad.iter().zip(&g_auto) {
+            prop_assert!((a - b).abs() < 1e-8 * b.abs().max(1.0),
+                "gradients: {a} vs {b}");
+        }
+    }
+}

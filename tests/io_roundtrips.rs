@@ -1,0 +1,121 @@
+//! Cross-crate I/O round trips: packing results through every serialization
+//! format and back, and STL containers through the hull pipeline.
+
+use adampack_core::prelude::*;
+use adampack_geometry::{shapes, ConvexHull, Vec3};
+use adampack_io::{
+    read_particles_csv, read_stl, read_xyz, write_particles_csv, write_particles_vtk,
+    write_stl_ascii, write_stl_binary, write_xyz,
+};
+use std::io::BufReader;
+
+fn small_packing() -> PackResult {
+    let mesh = shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0));
+    let container = Container::from_mesh(&mesh).unwrap();
+    let params = PackingParams {
+        batch_size: 30,
+        target_count: 60,
+        max_steps: 500,
+        patience: 50,
+        seed: 17,
+        ..PackingParams::default()
+    };
+    CollectivePacker::new(container, params).pack(&Psd::uniform(0.1, 0.14))
+}
+
+#[test]
+fn packing_survives_csv_round_trip_exactly() {
+    let result = small_packing();
+    let mut buf = Vec::new();
+    write_particles_csv(
+        &mut buf,
+        result.particles.iter().map(|p| (p.center, p.radius, p.batch, p.set)),
+    )
+    .unwrap();
+    let rows = read_particles_csv(BufReader::new(&buf[..])).unwrap();
+    assert_eq!(rows.len(), result.particles.len());
+    for (row, p) in rows.iter().zip(&result.particles) {
+        assert_eq!(row.0, p.center, "positions must round-trip bit-exactly");
+        assert_eq!(row.1, p.radius);
+        assert_eq!(row.2, p.batch);
+    }
+}
+
+#[test]
+fn packing_survives_xyz_round_trip() {
+    let result = small_packing();
+    let spheres: Vec<(Vec3, f64)> = result.spheres();
+    let mut buf = Vec::new();
+    write_xyz(&mut buf, &spheres, "packing").unwrap();
+    let back = read_xyz(BufReader::new(&buf[..])).unwrap();
+    assert_eq!(back, spheres);
+}
+
+#[test]
+fn vtk_export_is_well_formed() {
+    let result = small_packing();
+    let triples: Vec<(Vec3, f64, usize)> = result
+        .particles
+        .iter()
+        .map(|p| (p.center, p.radius, p.batch))
+        .collect();
+    let mut buf = Vec::new();
+    write_particles_vtk(&mut buf, &triples, "test").unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    assert!(text.contains(&format!("POINTS {} double", triples.len())));
+    // Line counts: header(5) + points + point_data(3) + radii + batch header(2) + batches.
+    let lines = text.lines().count();
+    assert_eq!(lines, 5 + triples.len() + 3 + triples.len() + 2 + triples.len());
+}
+
+#[test]
+fn every_generated_shape_round_trips_through_both_stl_dialects() {
+    let meshes = vec![
+        shapes::box_mesh(Vec3::ZERO, Vec3::new(1.0, 2.0, 3.0)),
+        shapes::cylinder(0.7, 1.4, 20),
+        shapes::cone(1.0, 2.0, 20, true),
+        shapes::frustum(1.0, 0.5, 1.0, 20),
+        shapes::uv_sphere(Vec3::ZERO, 0.8, 16, 8),
+        shapes::blast_furnace(0.05, 20),
+    ];
+    for (k, mesh) in meshes.iter().enumerate() {
+        let mut ascii = Vec::new();
+        write_stl_ascii(&mut ascii, mesh, "shape").unwrap();
+        let from_ascii = read_stl(&ascii).unwrap();
+        assert_eq!(from_ascii.face_count(), mesh.face_count(), "shape {k} (ascii)");
+        assert!(from_ascii.is_watertight(), "shape {k} ascii weld broke manifoldness");
+
+        let mut binary = Vec::new();
+        write_stl_binary(&mut binary, mesh).unwrap();
+        let from_binary = read_stl(&binary).unwrap();
+        assert_eq!(from_binary.face_count(), mesh.face_count(), "shape {k} (binary)");
+        assert!(from_binary.is_watertight(), "shape {k} binary weld broke manifoldness");
+
+        // Volumes agree within f32 serialization error.
+        let rel = (from_binary.signed_volume() - mesh.signed_volume()).abs()
+            / mesh.signed_volume();
+        assert!(rel < 1e-5, "shape {k}: volume drift {rel}");
+    }
+}
+
+#[test]
+fn stl_container_hull_matches_original_hull() {
+    let mesh = shapes::blast_furnace(0.1, 24);
+    let direct = ConvexHull::from_mesh(&mesh).unwrap();
+    let mut bytes = Vec::new();
+    write_stl_binary(&mut bytes, &mesh).unwrap();
+    let parsed = read_stl(&bytes).unwrap();
+    let via_stl = ConvexHull::from_mesh(&parsed).unwrap();
+    let rel = (direct.volume() - via_stl.volume()).abs() / direct.volume();
+    assert!(rel < 1e-5, "hull volume drift through STL: {rel}");
+    // Mutual containment within f32 serialization tolerance. (Plane *counts*
+    // may differ: the f32 quantization shifts which nearly-coplanar facet
+    // planes deduplicate.)
+    let tol = 1e-5 * direct.aabb().diagonal();
+    for &v in &via_stl.vertices {
+        assert!(direct.contains(v, tol));
+    }
+    for &v in &direct.vertices {
+        assert!(via_stl.contains(v, tol));
+    }
+}
