@@ -136,11 +136,7 @@ impl Graph {
     /// `aⁿ` for integer `n`.
     pub fn powi(&mut self, a: Var, n: i32) -> Var {
         let va = self.value(a);
-        self.push(
-            va.powi(n),
-            [(a.0, n as f64 * va.powi(n - 1)), (0, 0.0)],
-            1,
-        )
+        self.push(va.powi(n), [(a.0, n as f64 * va.powi(n - 1)), (0, 0.0)], 1)
     }
 
     /// `exp(a)`.

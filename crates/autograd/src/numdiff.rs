@@ -6,7 +6,11 @@ pub fn central_difference<F>(f: F, x: &[f64], i: usize, h: f64) -> f64
 where
     F: Fn(&[f64]) -> f64,
 {
-    assert!(i < x.len(), "index {i} out of bounds for {} coords", x.len());
+    assert!(
+        i < x.len(),
+        "index {i} out of bounds for {} coords",
+        x.len()
+    );
     assert!(h > 0.0, "step must be positive");
     let mut xp = x.to_vec();
     let mut xm = x.to_vec();
@@ -28,10 +32,10 @@ where
 {
     assert_eq!(x.len(), analytic.len(), "gradient length mismatch");
     let mut worst: f64 = 0.0;
-    for i in 0..x.len() {
+    for (i, &a) in analytic.iter().enumerate() {
         let num = central_difference(&f, x, i, h);
-        let scale = analytic[i].abs().max(1.0);
-        worst = worst.max((num - analytic[i]).abs() / scale);
+        let scale = a.abs().max(1.0);
+        worst = worst.max((num - a).abs() / scale);
     }
     worst
 }

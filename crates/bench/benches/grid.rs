@@ -1,10 +1,12 @@
-//! Criterion micro-benchmarks of the cell-list grid (build + query), the
-//! structure keeping Fig. 8's particle scaling linear.
+//! Criterion micro-benchmarks of the neighbor grids (build + query): the
+//! flat CSR grid that keeps Fig. 8's particle scaling linear, with the
+//! original HashMap cell-list as the baseline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use adampack_core::grid::CellGrid;
+use adampack_core::neighbor::CsrGrid;
 use adampack_geometry::Vec3;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -26,27 +28,49 @@ fn cloud(n: usize, seed: u64) -> (Vec<Vec3>, Vec<f64>) {
 }
 
 fn bench_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cellgrid_build");
+    let mut group = c.benchmark_group("grid_build");
     for &n in &[1_000usize, 10_000, 100_000] {
         let (centers, radii) = cloud(n, 4);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+        group.bench_with_input(BenchmarkId::new("csr", n), &n, |b, _| {
+            b.iter(|| black_box(CsrGrid::build(black_box(&centers), black_box(&radii))))
+        });
+        group.bench_with_input(BenchmarkId::new("hashmap", n), &n, |b, _| {
             b.iter(|| black_box(CellGrid::build(black_box(&centers), black_box(&radii))))
+        });
+        // Rebuild into retained buffers — the steady-state path of the
+        // Verlet pipeline.
+        let mut reused = CsrGrid::build(&centers, &radii);
+        group.bench_with_input(BenchmarkId::new("csr_rebuild", n), &n, |b, _| {
+            b.iter(|| {
+                reused.rebuild(black_box(&centers), black_box(&radii));
+                black_box(reused.len())
+            })
         });
     }
     group.finish();
 }
 
 fn bench_query(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cellgrid_query_500");
+    let mut group = c.benchmark_group("grid_query_500");
     for &n in &[1_000usize, 10_000, 100_000] {
         let (centers, radii) = cloud(n, 5);
-        let grid = CellGrid::build(&centers, &radii);
+        let csr = CsrGrid::build(&centers, &radii);
+        let hash = CellGrid::build(&centers, &radii);
         let queries: Vec<Vec3> = centers.iter().take(500).copied().collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+        group.bench_with_input(BenchmarkId::new("csr", n), &n, |b, _| {
             b.iter(|| {
                 let mut count = 0usize;
                 for &q in &queries {
-                    grid.for_neighbors(q, 0.06, |_, _, _| count += 1);
+                    csr.for_neighbors(q, 0.06, |_, _, _| count += 1);
+                }
+                black_box(count)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hashmap", n), &n, |b, _| {
+            b.iter(|| {
+                let mut count = 0usize;
+                for &q in &queries {
+                    hash.for_neighbors(q, 0.06, |_, _, _| count += 1);
                 }
                 black_box(count)
             })

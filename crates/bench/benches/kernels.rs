@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use adampack_core::grid::CellGrid;
+use adampack_core::neighbor::{CsrGrid, Workspace};
 use adampack_core::objective::{Objective, ObjectiveWeights};
 use adampack_core::Container;
 use adampack_geometry::{shapes, Axis, Vec3};
@@ -26,12 +26,19 @@ fn bench_value_and_grad(c: &mut Criterion) {
                 rng.gen_range(-0.9..0.9),
             ]);
         }
-        let fixed = CellGrid::empty();
+        let fixed = CsrGrid::empty();
         let obj = Objective::new(ObjectiveWeights::default(), Axis::Z, hs, &radii, &fixed);
         let mut grad = vec![0.0; coords.len()];
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+        group.bench_with_input(BenchmarkId::new("alloc", n), &n, |b, _| {
             b.iter(|| {
                 let v = obj.value_and_grad(black_box(&coords), &mut grad);
+                black_box(v)
+            })
+        });
+        let mut ws = Workspace::new();
+        group.bench_with_input(BenchmarkId::new("workspace", n), &n, |b, _| {
+            b.iter(|| {
+                let v = obj.value_and_grad_ws(black_box(&coords), &mut grad, &mut ws);
                 black_box(v)
             })
         });
@@ -53,7 +60,7 @@ fn bench_breakdown(c: &mut Criterion) {
             rng.gen_range(-0.9..0.9),
         ]);
     }
-    let fixed = CellGrid::empty();
+    let fixed = CsrGrid::empty();
     let obj = Objective::new(ObjectiveWeights::default(), Axis::Z, hs, &radii, &fixed);
     c.bench_function("objective_breakdown_500", |b| {
         b.iter(|| black_box(obj.breakdown(black_box(&coords))))

@@ -11,9 +11,18 @@ use adampack_opt::{
 
 fn bench_optimizers(c: &mut Criterion) {
     let n = 1500;
-    let grads: Vec<f64> = (0..n).map(|i| ((i * 37) % 100) as f64 / 100.0 - 0.5).collect();
+    let grads: Vec<f64> = (0..n)
+        .map(|i| ((i * 37) % 100) as f64 / 100.0 - 0.5)
+        .collect();
 
-    let mut adam = Adam::new(AdamConfig { lr: 1e-2, amsgrad: false, ..AdamConfig::default() }, n);
+    let mut adam = Adam::new(
+        AdamConfig {
+            lr: 1e-2,
+            amsgrad: false,
+            ..AdamConfig::default()
+        },
+        n,
+    );
     let mut params = vec![0.0f64; n];
     c.bench_function("adam_step_1500", |b| {
         b.iter(|| {
@@ -21,7 +30,14 @@ fn bench_optimizers(c: &mut Criterion) {
         })
     });
 
-    let mut ams = Adam::new(AdamConfig { lr: 1e-2, amsgrad: true, ..AdamConfig::default() }, n);
+    let mut ams = Adam::new(
+        AdamConfig {
+            lr: 1e-2,
+            amsgrad: true,
+            ..AdamConfig::default()
+        },
+        n,
+    );
     let mut params = vec![0.0f64; n];
     c.bench_function("amsgrad_step_1500", |b| {
         b.iter(|| {
@@ -29,7 +45,14 @@ fn bench_optimizers(c: &mut Criterion) {
         })
     });
 
-    let mut sgd = Sgd::new(SgdConfig { lr: 1e-2, momentum: 0.9, ..SgdConfig::default() }, n);
+    let mut sgd = Sgd::new(
+        SgdConfig {
+            lr: 1e-2,
+            momentum: 0.9,
+            ..SgdConfig::default()
+        },
+        n,
+    );
     let mut params = vec![0.0f64; n];
     c.bench_function("sgd_momentum_step_1500", |b| {
         b.iter(|| {

@@ -28,14 +28,21 @@ fn bench_small_packing(c: &mut Criterion) {
     });
     group.bench_function("rsa_100_particles", |b| {
         b.iter(|| {
-            let result = RsaPacker { seed: 1, ..RsaPacker::default() }.pack(&container, &psd, 100);
+            let result = RsaPacker {
+                seed: 1,
+                ..RsaPacker::default()
+            }
+            .pack(&container, &psd, 100);
             black_box(result.particles.len())
         })
     });
     group.bench_function("drop_and_roll_100_particles", |b| {
         b.iter(|| {
-            let result =
-                DropAndRollPacker { seed: 1, ..DropAndRollPacker::default() }.pack(&container, &psd, 100);
+            let result = DropAndRollPacker {
+                seed: 1,
+                ..DropAndRollPacker::default()
+            }
+            .pack(&container, &psd, 100);
             black_box(result.particles.len())
         })
     });

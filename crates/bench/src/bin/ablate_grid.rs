@@ -1,10 +1,19 @@
-//! Ablation — cell-list grid vs naive cross-layer penetration (DESIGN.md §5).
+//! Ablation — the neighbor pipeline (DESIGN.md §5).
 //!
-//! The cross term `P(C, C')` couples the batch with the whole fixed bed;
-//! evaluated naively the per-step cost grows linearly with the bed, which
-//! would turn the paper's linear Fig. 8 scaling quadratic. This harness
-//! times one objective evaluation under both strategies while growing the
-//! bed, confirming (a) identical values and (b) the grid's flat cost.
+//! Three comparisons, each with identical-value assertions:
+//!
+//! 1. **Cross term, grid vs naive** — `P(C, C')` couples the batch with the
+//!    whole fixed bed; evaluated naively the per-step cost grows linearly
+//!    with the bed, which would turn the paper's linear Fig. 8 scaling
+//!    quadratic. The grid's cost must stay flat.
+//! 2. **CSR grid vs HashMap grid** — build + query throughput of the flat
+//!    [`CsrGrid`] against the original [`CellGrid`] oracle on the same bed.
+//! 3. **Verlet lists vs per-step grid** — full objective gradient evaluation
+//!    over a simulated optimization trajectory (many evaluations, small
+//!    displacements), where the skin list amortizes pair search across
+//!    steps.
+//!
+//! Results are also written to `target/experiments/BENCH_neighbor.json`.
 
 use adampack_bench::{cli, secs, timed};
 use adampack_core::grid::CellGrid;
@@ -13,6 +22,19 @@ use adampack_core::prelude::*;
 use adampack_geometry::{shapes, Axis, Vec3};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::io::Write;
+
+fn json_row(out: &mut String, section: &str, size: usize, a_ms: f64, b_ms: f64) {
+    if !out.is_empty() {
+        out.push_str(",\n");
+    }
+    out.push_str(&format!(
+        "    {{\"section\": \"{section}\", \"size\": {size}, \
+         \"baseline_ms\": {b_ms:.4}, \"new_ms\": {a_ms:.4}, \
+         \"speedup\": {:.3}}}",
+        b_ms / a_ms
+    ));
+}
 
 fn main() {
     let batch = cli::usize_arg("--batch", 500);
@@ -23,9 +45,13 @@ fn main() {
     let container = Container::from_mesh(&mesh).expect("tall box hull");
     let hs = container.halfspaces();
     let mut rng = StdRng::seed_from_u64(7);
+    let mut rows = String::new();
 
-    println!("# Ablation — cross-term evaluation: cell-list grid vs naive scan");
-    println!("{:>10} {:>14} {:>14} {:>10}", "bed_size", "grid_ms", "naive_ms", "ratio");
+    println!("# Ablation 1 — cross-term evaluation: cell grid vs naive scan");
+    println!(
+        "{:>10} {:>14} {:>14} {:>10}",
+        "bed_size", "grid_ms", "naive_ms", "ratio"
+    );
 
     for bed_size in [1_000usize, 5_000, 20_000, 80_000] {
         // Synthetic fixed bed filling the column from below.
@@ -41,7 +67,7 @@ fn main() {
             radii_fixed.push(radius);
         }
         let bed_top = 0.05 + bed_size as f64 * 1.5e-4;
-        let fixed = CellGrid::build(&centers, &radii_fixed);
+        let fixed = CsrGrid::build(&centers, &radii_fixed);
 
         // One batch hovering just above/into the bed surface.
         let radii = vec![radius; batch];
@@ -55,7 +81,8 @@ fn main() {
         }
         let mut grad = vec![0.0; coords.len()];
 
-        let grid_obj = Objective::new(ObjectiveWeights::default(), Axis::Z, hs, &radii, &fixed);
+        let grid_obj = Objective::new(ObjectiveWeights::default(), Axis::Z, hs, &radii, &fixed)
+            .with_cross_mode(CrossMode::Grid);
         let naive_obj = Objective::new(ObjectiveWeights::default(), Axis::Z, hs, &radii, &fixed)
             .with_cross_mode(CrossMode::Naive);
 
@@ -81,7 +108,221 @@ fn main() {
             secs(t_grid) * 1e3 / evals as f64,
             secs(t_naive) * 1e3 / evals as f64,
         );
-        println!("{bed_size:>10} {g_ms:>14.3} {n_ms:>14.3} {:>10.1}", n_ms / g_ms);
+        println!(
+            "{bed_size:>10} {g_ms:>14.3} {n_ms:>14.3} {:>10.1}",
+            n_ms / g_ms
+        );
+        json_row(&mut rows, "cross_grid_vs_naive", bed_size, g_ms, n_ms);
+
+        // Ablation 2 on the same bed: CSR vs HashMap build + full query sweep.
+        // Each structure may scan a different candidate superset (cell sizes
+        // differ); the invariant both must satisfy is the set of *true* hits
+        // within reach, so candidates are filtered by the distance predicate.
+        let reach = 2.0 * radius;
+        let csr_pass = || {
+            let g = CsrGrid::build(&centers, &radii_fixed);
+            let mut hits = 0usize;
+            for &c in &centers {
+                g.for_neighbors(c, reach, |_, cj, rj| {
+                    if c.distance(cj) < reach + rj {
+                        hits += 1;
+                    }
+                });
+            }
+            hits
+        };
+        let hash_pass = || {
+            let g = CellGrid::build(&centers, &radii_fixed);
+            let mut hits = 0usize;
+            for &c in &centers {
+                g.for_neighbors(c, reach, |_, cj, rj| {
+                    if c.distance(cj) < reach + rj {
+                        hits += 1;
+                    }
+                });
+            }
+            hits
+        };
+        let (h_csr, t_csr) = timed(csr_pass);
+        let (h_hash, t_hash) = timed(hash_pass);
+        assert_eq!(
+            h_csr, h_hash,
+            "CSR and HashMap grids find different hit sets"
+        );
+        let (c_ms, h_ms) = (secs(t_csr) * 1e3, secs(t_hash) * 1e3);
+        println!(
+            "{:>10} csr {c_ms:>10.3} ms   hashmap {h_ms:>10.3} ms   speedup {:>6.2}x",
+            "",
+            h_ms / c_ms
+        );
+        json_row(&mut rows, "csr_vs_hashmap", bed_size, c_ms, h_ms);
     }
     println!("# expected: naive cost grows with the bed, grid cost stays flat");
+
+    // Ablation 3 — Verlet skin lists vs per-step grid over an optimizer-like
+    // trajectory: `evals` gradient evaluations with small jitter between
+    // them, the regime Algorithm 1 spends nearly all its time in.
+    println!("\n# Ablation 3 — Verlet skin lists vs per-step grid (moving batch)");
+    println!(
+        "{:>8} {:>14} {:>14} {:>8} {:>9}",
+        "batch", "grid_ms", "verlet_ms", "ratio", "rebuilds"
+    );
+    for n in [500usize, 1000, 2000, 4000] {
+        let bed_size = 4 * n;
+        let mut centers = Vec::with_capacity(bed_size);
+        let mut radii_fixed = Vec::with_capacity(bed_size);
+        for i in 0..bed_size {
+            let z = 0.05 + (i as f64) * 6.0e-5;
+            centers.push(Vec3::new(
+                rng.gen_range(-0.95..0.95),
+                rng.gen_range(-0.95..0.95),
+                z,
+            ));
+            radii_fixed.push(radius);
+        }
+        let bed_top = 0.05 + bed_size as f64 * 6.0e-5;
+        let fixed = CsrGrid::build(&centers, &radii_fixed);
+        let radii = vec![radius; n];
+        let mut coords = Vec::with_capacity(3 * n);
+        for _ in 0..n {
+            coords.extend_from_slice(&[
+                rng.gen_range(-0.95..0.95),
+                rng.gen_range(-0.95..0.95),
+                bed_top + rng.gen_range(0.0..0.3),
+            ]);
+        }
+        let mut grad = vec![0.0; coords.len()];
+        // Pre-generate per-eval jitter so both strategies see the exact same
+        // trajectory (typical Adam step ≪ skin/2).
+        let step = 0.02 * radius;
+        let jitter: Vec<f64> = (0..evals * coords.len())
+            .map(|_| rng.gen_range(-step..step))
+            .collect();
+
+        let base = ObjectiveWeights::default();
+        let skin = NeighborParams::default().skin_for(&radii);
+        let grid_obj = Objective::new(base, Axis::Z, hs, &radii, &fixed)
+            .with_neighbor(NeighborStrategy::Grid, skin);
+        let verlet_obj = Objective::new(base, Axis::Z, hs, &radii, &fixed)
+            .with_neighbor(NeighborStrategy::Verlet, skin);
+
+        let mut run = |obj: &Objective| {
+            let mut ws = Workspace::new();
+            let mut c = coords.clone();
+            let (v, t) = timed(|| {
+                let mut v = 0.0;
+                let len = c.len();
+                for e in 0..evals {
+                    v = obj.value_and_grad_ws(&c, &mut grad, &mut ws);
+                    for (x, j) in c.iter_mut().zip(&jitter[e * len..]) {
+                        *x += j;
+                    }
+                }
+                v
+            });
+            (v, t, ws.verlet_rebuilds())
+        };
+        let (vg, t_grid, _) = run(&grid_obj);
+        let (vv, t_verlet, rebuilds) = run(&verlet_obj);
+        assert!(
+            (vg - vv).abs() <= 1e-9 * vg.abs().max(1.0),
+            "verlet disagrees with grid: {vg} vs {vv}"
+        );
+        let (g_ms, v_ms) = (
+            secs(t_grid) * 1e3 / evals as f64,
+            secs(t_verlet) * 1e3 / evals as f64,
+        );
+        println!(
+            "{n:>8} {g_ms:>14.3} {v_ms:>14.3} {:>8.2} {rebuilds:>9}",
+            g_ms / v_ms
+        );
+        json_row(&mut rows, "verlet_vs_grid", n, v_ms, g_ms);
+    }
+    println!("# expected: Verlet amortizes pair search; rebuilds ≪ evals");
+
+    // Ablation 4 — skin sweep at one batch size: a small skin gives short
+    // candidate lists but frequent rebuilds, a large skin the opposite; the
+    // sweep locates the trade-off around the default factor.
+    println!("\n# Ablation 4 — Verlet skin-factor sweep (batch 2000, same trajectory)");
+    println!(
+        "{:>12} {:>14} {:>9}",
+        "skin_factor", "verlet_ms", "rebuilds"
+    );
+    {
+        let n = 2000usize;
+        let bed_size = 4 * n;
+        let mut centers = Vec::with_capacity(bed_size);
+        let mut radii_fixed = Vec::with_capacity(bed_size);
+        for i in 0..bed_size {
+            let z = 0.05 + (i as f64) * 6.0e-5;
+            centers.push(Vec3::new(
+                rng.gen_range(-0.95..0.95),
+                rng.gen_range(-0.95..0.95),
+                z,
+            ));
+            radii_fixed.push(radius);
+        }
+        let bed_top = 0.05 + bed_size as f64 * 6.0e-5;
+        let fixed = CsrGrid::build(&centers, &radii_fixed);
+        let radii = vec![radius; n];
+        let mut coords = Vec::with_capacity(3 * n);
+        for _ in 0..n {
+            coords.extend_from_slice(&[
+                rng.gen_range(-0.95..0.95),
+                rng.gen_range(-0.95..0.95),
+                bed_top + rng.gen_range(0.0..0.3),
+            ]);
+        }
+        let mut grad = vec![0.0; coords.len()];
+        let step = 0.02 * radius;
+        let jitter: Vec<f64> = (0..evals * coords.len())
+            .map(|_| rng.gen_range(-step..step))
+            .collect();
+        let base = ObjectiveWeights::default();
+        let mut reference: Option<f64> = None;
+        for factor in [0.1f64, 0.2, 0.4, 0.8, 1.6] {
+            let skin = (factor * radius).max(1e-9);
+            let obj = Objective::new(base, Axis::Z, hs, &radii, &fixed)
+                .with_neighbor(NeighborStrategy::Verlet, skin);
+            let mut ws = Workspace::new();
+            let mut c = coords.clone();
+            let (v, t) = timed(|| {
+                let mut v = 0.0;
+                let len = c.len();
+                for e in 0..evals {
+                    v = obj.value_and_grad_ws(&c, &mut grad, &mut ws);
+                    for (x, j) in c.iter_mut().zip(&jitter[e * len..]) {
+                        *x += j;
+                    }
+                }
+                v
+            });
+            // Every skin must produce the same final value (same trajectory,
+            // same true pair set — only the candidate superset changes).
+            match reference {
+                None => reference = Some(v),
+                Some(r) => assert!(
+                    (v - r).abs() <= 1e-9 * r.abs().max(1.0),
+                    "skin sweep disagrees: {r} vs {v} at factor {factor}"
+                ),
+            }
+            let ms = secs(t) * 1e3 / evals as f64;
+            println!("{factor:>12.2} {ms:>14.3} {:>9}", ws.verlet_rebuilds());
+            json_row(
+                &mut rows,
+                "skin_sweep_x100",
+                (factor * 100.0) as usize,
+                ms,
+                ms,
+            );
+        }
+    }
+    println!("# expected: cost is U-shaped in the skin; the default 0.4 sits near the floor");
+
+    let dir = std::path::PathBuf::from("target/experiments");
+    std::fs::create_dir_all(&dir).expect("create target/experiments");
+    let path = dir.join("BENCH_neighbor.json");
+    let mut f = std::fs::File::create(&path).expect("create BENCH_neighbor.json");
+    writeln!(f, "{{\n  \"rows\": [\n{rows}\n  ]\n}}").expect("write json");
+    println!("# wrote {}", path.display());
 }

@@ -5,7 +5,6 @@
 //! is why [`adampack_core::objective::IntraMode::Auto`] switches on size.
 
 use adampack_bench::{cli, secs, timed};
-use adampack_core::grid::CellGrid;
 use adampack_core::objective::{IntraMode, Objective, ObjectiveWeights};
 use adampack_core::prelude::*;
 use adampack_geometry::{shapes, Axis, Vec3};
@@ -14,13 +13,16 @@ use rand::{Rng, SeedableRng};
 
 fn main() {
     let evals = cli::usize_arg("--evals", 20);
-    let container = Container::from_mesh(&shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0)))
-        .expect("box hull");
+    let container =
+        Container::from_mesh(&shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0))).expect("box hull");
     let hs = container.halfspaces();
     let mut rng = StdRng::seed_from_u64(3);
 
     println!("# Ablation — intra-batch evaluation: naive O(n²) vs per-step cell-list");
-    println!("{:>8} {:>14} {:>14} {:>8}", "batch", "naive_ms", "grid_ms", "ratio");
+    println!(
+        "{:>8} {:>14} {:>14} {:>8}",
+        "batch", "naive_ms", "grid_ms", "ratio"
+    );
 
     for n in [100usize, 250, 500, 1000, 2500, 5000] {
         // Batch packed to a realistic mid-optimization density.
@@ -35,7 +37,7 @@ fn main() {
                 rng.gen_range(-side..side),
             ]);
         }
-        let fixed = CellGrid::empty();
+        let fixed = CsrGrid::empty();
         let mut grad = vec![0.0; coords.len()];
         let mk = |mode| {
             Objective::new(ObjectiveWeights::default(), Axis::Z, hs, &radii, &fixed)

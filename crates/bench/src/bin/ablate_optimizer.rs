@@ -8,7 +8,6 @@
 //! learning-rate budget.
 
 use adampack_bench::{cli, secs, timed};
-use adampack_core::grid::CellGrid;
 use adampack_core::prelude::*;
 use adampack_geometry::{shapes, Vec3};
 
@@ -31,7 +30,10 @@ fn main() {
     ];
 
     println!("# Ablation — optimizer comparison on one batch of {batch} particles");
-    println!("{:>10} {:>8} {:>14} {:>10}", "optimizer", "steps", "final_fitness", "time_s");
+    println!(
+        "{:>10} {:>8} {:>14} {:>10}",
+        "optimizer", "steps", "final_fitness", "time_s"
+    );
 
     for kind in optimizers {
         let params = PackingParams {
@@ -45,11 +47,11 @@ fn main() {
         };
         let mut packer = CollectivePacker::new(container.clone(), params);
         let radii = vec![radius; batch];
-        let fixed = CellGrid::empty();
-        let init = packer.spawn_batch(&radii, &fixed);
+        let bed = packer.empty_bed();
+        let init = packer.spawn_batch(&radii, &bed);
         let lr = LrPolicy::paper_default();
         let (run, elapsed) = timed(|| {
-            packer.optimize_batch_with(&radii, init, &fixed, max_steps, 50, &lr, None)
+            packer.optimize_batch_with(&radii, init, bed.grid(), max_steps, 50, &lr, None)
         });
         println!(
             "{:>10} {:>8} {:>14.4} {:>10.3}",

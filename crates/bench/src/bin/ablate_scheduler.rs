@@ -5,7 +5,6 @@
 //! identical batch.
 
 use adampack_bench::{cli, secs, timed};
-use adampack_core::grid::CellGrid;
 use adampack_core::prelude::*;
 use adampack_geometry::{shapes, Vec3};
 
@@ -19,7 +18,10 @@ fn main() {
     let radius = 0.05;
 
     println!("# Ablation — ReduceLROnPlateau factor sweep, batch of {batch}");
-    println!("{:>8} {:>8} {:>14} {:>10}", "factor", "steps", "final_fitness", "time_s");
+    println!(
+        "{:>8} {:>8} {:>14} {:>10}",
+        "factor", "steps", "final_fitness", "time_s"
+    );
 
     for factor in [0.1, 0.3, 0.5, 0.7, 0.9] {
         let params = PackingParams {
@@ -32,8 +34,8 @@ fn main() {
         };
         let mut packer = CollectivePacker::new(container.clone(), params);
         let radii = vec![radius; batch];
-        let fixed = CellGrid::empty();
-        let init = packer.spawn_batch(&radii, &fixed);
+        let bed = packer.empty_bed();
+        let init = packer.spawn_batch(&radii, &bed);
         let lr = LrPolicy::Plateau {
             initial: 1e-2,
             factor,
@@ -41,7 +43,7 @@ fn main() {
             min_lr: 1e-6,
         };
         let (run, elapsed) = timed(|| {
-            packer.optimize_batch_with(&radii, init, &fixed, max_steps, 50, &lr, None)
+            packer.optimize_batch_with(&radii, init, bed.grid(), max_steps, 50, &lr, None)
         });
         println!(
             "{factor:>8.1} {:>8} {:>14.4} {:>10.3}",

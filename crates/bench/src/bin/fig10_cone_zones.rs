@@ -101,7 +101,11 @@ fn main() {
     // Set membership is recoverable from the radii: the normal set's 3σ
     // ceiling (0.055) lies just at the uniform set's floor (0.05); classify
     // by the midpoint for reporting.
-    let green = result.particles.iter().filter(|p| p.radius < 0.0525).count();
+    let green = result
+        .particles
+        .iter()
+        .filter(|p| p.radius < 0.0525)
+        .count();
     let blue = result.particles.len() - green;
     println!("zone-2 (normal radii, sphere zone): {green} particles");
     println!("zone-1 (uniform radii, slice zone): {blue} particles");
@@ -114,5 +118,8 @@ fn main() {
         .collect();
     let f = std::fs::File::create(&path).expect("vtk file");
     write_particles_vtk(std::io::BufWriter::new(f), &triples, "fig10 cone zones").expect("vtk");
-    println!("# VTK written to {} (colour by 'batch' for the two zones)", path.display());
+    println!(
+        "# VTK written to {} (colour by 'batch' for the two zones)",
+        path.display()
+    );
 }

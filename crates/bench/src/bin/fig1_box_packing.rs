@@ -35,11 +35,19 @@ fn main() {
         secs(result.duration),
         result.batches.len()
     );
-    println!("{:>6} {:>9} {:>9} {:>7} {:>12} {:>12}", "batch", "requested", "accepted", "steps", "fitness", "time_s");
+    println!(
+        "{:>6} {:>9} {:>9} {:>7} {:>12} {:>12}",
+        "batch", "requested", "accepted", "steps", "fitness", "time_s"
+    );
     for b in &result.batches {
         println!(
             "{:>6} {:>9} {:>9} {:>7} {:>12.3} {:>12.3}",
-            b.index, b.requested, b.accepted, b.steps, b.best_fitness, secs(b.duration)
+            b.index,
+            b.requested,
+            b.accepted,
+            b.steps,
+            b.best_fitness,
+            secs(b.duration)
         );
     }
     let contact = metrics::contact_stats(&result.particles);
@@ -60,5 +68,8 @@ fn main() {
         .collect();
     let file = std::fs::File::create(&path).expect("vtk file");
     write_particles_vtk(std::io::BufWriter::new(file), &triples, "fig1 box packing").expect("vtk");
-    println!("# VTK written to {} (colour by 'batch' to reproduce Fig. 1)", path.display());
+    println!(
+        "# VTK written to {} (colour by 'batch' to reproduce Fig. 1)",
+        path.display()
+    );
 }

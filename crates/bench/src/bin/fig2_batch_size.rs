@@ -29,7 +29,10 @@ fn main() {
 
     println!("# Fig. 2 — packing time vs batch size");
     println!("# particles = {n}, radius = {radius}, repeats = {repeats}");
-    println!("{:>10} {:>12} {:>12} {:>12} {:>8}", "batch", "mean_s", "min_s", "max_s", "packed");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>8}",
+        "batch", "mean_s", "min_s", "max_s", "packed"
+    );
 
     let (path, mut csv) = csv_writer("fig2_batch_size").expect("csv");
     write_row(&mut csv, &["batch_size,mean_s,min_s,max_s,packed".into()]).unwrap();
@@ -44,9 +47,8 @@ fn main() {
                 seed: rep as u64,
                 ..PackingParams::default()
             };
-            let (result, elapsed) = timed(|| {
-                CollectivePacker::new(container.clone(), params).pack(&psd)
-            });
+            let (result, elapsed) =
+                timed(|| CollectivePacker::new(container.clone(), params).pack(&psd));
             packed = result.particles.len();
             times.push(secs(elapsed));
         }

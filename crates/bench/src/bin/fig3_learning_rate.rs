@@ -9,7 +9,6 @@
 
 use adampack_bench::{cli, csv_writer, write_row};
 use adampack_core::collective::StepTrace;
-use adampack_core::grid::CellGrid;
 use adampack_core::prelude::*;
 use adampack_geometry::shapes;
 
@@ -31,11 +30,21 @@ fn main() {
         ("fixed_1e-4", LrPolicy::Fixed(1e-4)),
         (
             "plateau_1e-2",
-            LrPolicy::Plateau { initial: 1e-2, factor: 0.5, patience: 20, min_lr: 1e-6 },
+            LrPolicy::Plateau {
+                initial: 1e-2,
+                factor: 0.5,
+                patience: 20,
+                min_lr: 1e-6,
+            },
         ),
         (
             "plateau_1e-3",
-            LrPolicy::Plateau { initial: 1e-3, factor: 0.5, patience: 20, min_lr: 1e-6 },
+            LrPolicy::Plateau {
+                initial: 1e-3,
+                factor: 0.5,
+                patience: 20,
+                min_lr: 1e-6,
+            },
         ),
     ];
 
@@ -58,10 +67,18 @@ fn main() {
         };
         let mut packer = CollectivePacker::new(container.clone(), params);
         let radii = vec![radius; batch];
-        let fixed = CellGrid::empty();
-        let init = packer.spawn_batch(&radii, &fixed);
+        let bed = packer.empty_bed();
+        let init = packer.spawn_batch(&radii, &bed);
         let mut trace: Vec<StepTrace> = Vec::new();
-        let run = packer.optimize_batch_with(&radii, init, &fixed, max_steps, 50, lr, Some(&mut trace));
+        let run = packer.optimize_batch_with(
+            &radii,
+            init,
+            bed.grid(),
+            max_steps,
+            50,
+            lr,
+            Some(&mut trace),
+        );
 
         for t in &trace {
             // Decimate the CSV to every 10th step to keep files small.

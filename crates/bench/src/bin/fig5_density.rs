@@ -21,7 +21,10 @@ fn main() {
 
     // Fig. 4 geometry.
     let inner = container.aabb().shrink(1.0 / 3.0);
-    println!("# Fig. 4 — virtual inner box: min = {}, max = {}", inner.min, inner.max);
+    println!(
+        "# Fig. 4 — virtual inner box: min = {}, max = {}",
+        inner.min, inner.max
+    );
     println!("# Fig. 5 — core packing density over {repeats} executions");
     println!(
         "{:>5} {:>8} {:>10} {:>12} {:>14} {:>10}",
@@ -29,8 +32,11 @@ fn main() {
     );
 
     let (path, mut csv) = csv_writer("fig5_density").expect("csv");
-    write_row(&mut csv, &["run,packed,density,mean_overlap_pct,max_overlap_pct,time_s".into()])
-        .unwrap();
+    write_row(
+        &mut csv,
+        &["run,packed,density,mean_overlap_pct,max_overlap_pct,time_s".into()],
+    )
+    .unwrap();
 
     let mut densities = Vec::new();
     let mut counts = Vec::new();
@@ -70,11 +76,16 @@ fn main() {
 
     let d = aggregate(&densities);
     let c = aggregate(&counts);
-    println!("# packed particles: mean {:.0} (min {:.0}, max {:.0})", c.mean, c.min, c.max);
+    println!(
+        "# packed particles: mean {:.0} (min {:.0}, max {:.0})",
+        c.mean, c.min, c.max
+    );
     println!(
         "# core density: mean {:.3} (min {:.3}, max {:.3}); paper: 0.597 (0.571–0.619)",
         d.mean, d.min, d.max
     );
-    println!("# reference bands: Loose Random Packing 0.59–0.60, Poured Random Packing 0.609–0.625");
+    println!(
+        "# reference bands: Loose Random Packing 0.59–0.60, Poured Random Packing 0.609–0.625"
+    );
     println!("# series written to {}", path.display());
 }

@@ -32,7 +32,10 @@ fn main() {
 
     println!("# Figs. 6/7 — packing time and speedup vs CPU cores");
     println!("# particles = {n}, radius = {radius}, batch = 500, repeats = {repeats}");
-    println!("{:>8} {:>12} {:>12} {:>12} {:>10}", "threads", "mean_s", "min_s", "max_s", "speedup");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>10}",
+        "threads", "mean_s", "min_s", "max_s", "speedup"
+    );
 
     let (path, mut csv) = csv_writer("fig6_thread_scaling").expect("csv");
     write_row(&mut csv, &["threads,mean_s,min_s,max_s,speedup".into()]).unwrap();
@@ -53,9 +56,8 @@ fn main() {
             };
             let container = container.clone();
             let psd = psd.clone();
-            let (_, elapsed) = timed(|| {
-                pool.install(|| CollectivePacker::new(container, params).pack(&psd))
-            });
+            let (_, elapsed) =
+                timed(|| pool.install(|| CollectivePacker::new(container, params).pack(&psd)));
             times.push(secs(elapsed));
         }
         let a = aggregate(&times);
@@ -67,10 +69,15 @@ fn main() {
         );
         write_row(
             &mut csv,
-            &[format!("{threads},{},{},{},{speedup}", a.mean, a.min, a.max)],
+            &[format!(
+                "{threads},{},{},{},{speedup}",
+                a.mean, a.min, a.max
+            )],
         )
         .unwrap();
     }
     println!("# series written to {}", path.display());
-    println!("# expected shape: monotone speedup with decaying efficiency (paper: 7.93x at 64 cores)");
+    println!(
+        "# expected shape: monotone speedup with decaying efficiency (paper: 7.93x at 64 cores)"
+    );
 }

@@ -38,7 +38,10 @@ fn main() {
 
     println!("# Fig. 8 — execution time vs number of particles");
     println!("# tall box 2x2 base, height {height:.1}, radius = {radius}, batch = 500, repeats = {repeats}");
-    println!("{:>10} {:>12} {:>12} {:>12} {:>14}", "particles", "mean_s", "min_s", "max_s", "s_per_1k");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>14}",
+        "particles", "mean_s", "min_s", "max_s", "s_per_1k"
+    );
 
     let (path, mut csv) = csv_writer("fig8_particle_scaling").expect("csv");
     write_row(&mut csv, &["particles,mean_s,min_s,max_s".into()]).unwrap();
@@ -94,6 +97,9 @@ fn main() {
         .map(|(x, y)| (y - slope * x - intercept).powi(2))
         .sum();
     let r2 = 1.0 - ss_res / ss_tot.max(1e-300);
-    println!("# linear fit: {:.4} s per 1000 particles, R^2 = {r2:.4} (paper: linear)", slope * 1000.0);
+    println!(
+        "# linear fit: {:.4} s per 1000 particles, R^2 = {r2:.4} (paper: linear)",
+        slope * 1000.0
+    );
     println!("# series written to {}", path.display());
 }

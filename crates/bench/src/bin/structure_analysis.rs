@@ -36,7 +36,10 @@ fn main() {
     println!("# RDF g(r) over r ∈ (0, {r_max:.2}] in {bins} bins, core region only");
     print!("{:>12} |", "r/d =");
     for b in 0..bins {
-        print!(" {:5.2}", ((b as f64 + 0.5) * r_max / bins as f64) / (2.0 * radius));
+        print!(
+            " {:5.2}",
+            ((b as f64 + 0.5) * r_max / bins as f64) / (2.0 * radius)
+        );
     }
     println!();
 
@@ -52,7 +55,11 @@ fn main() {
     print_rdf("collective", &g_ours);
 
     // 2. RSA reference (random, loose, no contacts).
-    let rsa = RsaPacker { seed: 0, ..RsaPacker::default() }.pack(&container, &psd, n);
+    let rsa = RsaPacker {
+        seed: 0,
+        ..RsaPacker::default()
+    }
+    .pack(&container, &psd, n);
     let g_rsa = radial_distribution(&rsa.particles, &core, r_max, bins);
     print_rdf("rsa", &g_rsa);
 

@@ -77,9 +77,7 @@ pub mod cli {
 
     fn value_arg(name: &str) -> Option<String> {
         let args: Vec<String> = std::env::args().collect();
-        args.windows(2)
-            .find(|w| w[0] == name)
-            .map(|w| w[1].clone())
+        args.windows(2).find(|w| w[0] == name).map(|w| w[1].clone())
     }
 }
 

@@ -149,8 +149,11 @@ pub fn run_pack(config_path: &Path, out: Option<&Path>) -> Result<RunSummary, Cl
     } else {
         None
     };
-    let report =
-        adampack_core::report::QualityReport::from_result(&result, &container, psd_for_report.as_ref());
+    let report = adampack_core::report::QualityReport::from_result(
+        &result,
+        &container,
+        psd_for_report.as_ref(),
+    );
     eprintln!("{report}");
     let density = metrics::core_density(&result.particles, &container.aabb(), 1.0 / 3.0);
     let contact = metrics::contact_stats(&result.particles);
@@ -184,7 +187,10 @@ pub fn write_particles(path: &Path, result: &PackResult) -> Result<(), CliError>
     match ext.as_str() {
         "csv" => adampack_io::write_particles_csv(
             &mut w,
-            result.particles.iter().map(|p| (p.center, p.radius, p.batch, p.set)),
+            result
+                .particles
+                .iter()
+                .map(|p| (p.center, p.radius, p.batch, p.set)),
         )?,
         "vtk" => {
             let triples: Vec<_> = result
@@ -227,7 +233,12 @@ pub fn run_info(config_path: &Path) -> Result<String, CliError> {
     )
     .ok();
     writeln!(s, "  gravity:     {:?}", cfg.gravity_axis).ok();
-    writeln!(s, "  lr {}  max_steps {}  patience {}  batch {}", cfg.params.lr, cfg.params.n_epoch, cfg.params.patience, cfg.params.batch_size).ok();
+    writeln!(
+        s,
+        "  lr {}  max_steps {}  patience {}  batch {}",
+        cfg.params.lr, cfg.params.n_epoch, cfg.params.patience, cfg.params.batch_size
+    )
+    .ok();
     writeln!(s, "  particle sets: {}", cfg.particle_sets.len()).ok();
     for (i, ps) in cfg.particle_sets.iter().enumerate() {
         writeln!(s, "    [{i}] {ps:?} (mean r = {:.4})", ps.to_psd().mean()).ok();
@@ -239,7 +250,12 @@ pub fn run_info(config_path: &Path) -> Result<String, CliError> {
             LocationConfig::Shape { path } => format!("shape {}", path.display()),
             LocationConfig::Everywhere => "everywhere".to_string(),
         };
-        writeln!(s, "    [{i}] {} particles, {loc}, proportions {:?}", z.n_particles, z.set_proportions).ok();
+        writeln!(
+            s,
+            "    [{i}] {} particles, {loc}, proportions {:?}",
+            z.n_particles, z.set_proportions
+        )
+        .ok();
     }
     Ok(s)
 }
@@ -301,7 +317,10 @@ mod tests {
         }
         // Unknown extension errors.
         let bad = dir.join("out.unknown");
-        assert!(matches!(run_pack(&cfg, Some(&bad)), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run_pack(&cfg, Some(&bad)),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

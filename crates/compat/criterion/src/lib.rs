@@ -1,0 +1,277 @@
+//! Offline API-subset substitute for the `criterion` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the slice of `criterion` its benches use: [`Criterion::bench_function`],
+//! benchmark groups with [`BenchmarkGroup::bench_with_input`], the
+//! [`criterion_group!`]/[`criterion_main!`] macros and [`black_box`].
+//!
+//! Measurement is intentionally simple — warm up, then run enough
+//! iterations to fill a fixed measurement window and report the mean
+//! per-iteration wall time. There are no statistical comparisons or HTML
+//! reports; the numbers print to stdout (`cargo bench` shows them).
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark inside a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (the group name provides the prefix).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Drives the timed iterations of one benchmark.
+pub struct Bencher {
+    measurement_window: Duration,
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then measuring the mean
+    /// per-iteration wall time over the measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: estimate one iteration's cost.
+        let t0 = Instant::now();
+        black_box(routine());
+        let first = t0.elapsed().max(Duration::from_nanos(50));
+        let warm_target = (self.measurement_window / 10).max(Duration::from_millis(5));
+        let warm_iters = (warm_target.as_nanos() / first.as_nanos()).clamp(0, 1_000) as u64;
+        for _ in 0..warm_iters {
+            black_box(routine());
+        }
+        // Measurement.
+        let per_iter = (first.as_nanos()).max(1);
+        let iters = (self.measurement_window.as_nanos() / per_iter).clamp(1, 1_000_000) as u64;
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.last = Some(t1.elapsed() / iters as u32);
+    }
+}
+
+fn format_time(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_one(label: &str, measurement_window: Duration, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        measurement_window,
+        last: None,
+    };
+    f(&mut b);
+    match b.last {
+        Some(d) => println!("bench {label:<50} {:>12}/iter", format_time(d)),
+        None => println!("bench {label:<50} (no measurement)"),
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    measurement_window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            measurement_window: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Configures the target measurement window per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_window = d;
+        self
+    }
+
+    /// Lowers the measurement window for expensive benchmarks (the stub
+    /// maps criterion's sample count onto the time budget).
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        let scale = (n as f64 / 100.0).clamp(0.05, 1.0);
+        self.measurement_window = self.measurement_window.mul_f64(scale);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Criterion {
+        run_one(name, self.measurement_window, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let measurement_window = self.measurement_window;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            measurement_window,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    measurement_window: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Scales the time budget like [`Criterion::sample_size`].
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        let scale = (n as f64 / 100.0).clamp(0.05, 1.0);
+        self.measurement_window = self.measurement_window.mul_f64(scale);
+        self
+    }
+
+    /// Sets the group's measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_window = d;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, id: impl Label, f: F) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id.label()),
+            self.measurement_window,
+            f,
+        );
+        self
+    }
+
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.measurement_window,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (a no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Things usable as a benchmark label.
+pub trait Label {
+    /// The display label.
+    fn label(&self) -> String;
+}
+impl Label for &str {
+    fn label(&self) -> String {
+        (*self).to_string()
+    }
+}
+impl Label for String {
+    fn label(&self) -> String {
+        self.clone()
+    }
+}
+impl Label for BenchmarkId {
+    fn label(&self) -> String {
+        self.to_string()
+    }
+}
+
+/// Declares a group-runner function invoking each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_prints() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(10));
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_run_their_benches() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter(42), &42, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("a", 7).to_string(), "a/7");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

@@ -1,0 +1,558 @@
+//! Offline API-subset substitute for the `proptest` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the slice of `proptest` its test-suites use: the [`proptest!`] macro over
+//! named strategies, numeric range / tuple / `prop::collection::vec` /
+//! character-class string strategies, `prop_map`, and the
+//! `prop_assert*`/`prop_assume!` result plumbing.
+//!
+//! The one deliberate omission is **shrinking**: a failing case panics with
+//! the generated inputs formatted into the message instead of minimizing
+//! them. Case generation is deterministic per test (seeded from the test's
+//! module path), so failures reproduce exactly under `cargo test`.
+
+#![warn(missing_docs)]
+
+pub mod strategy {
+    //! Value-generation strategies (the `Strategy` trait and adapters).
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+    }
+
+    /// The [`Strategy::prop_map`] adapter.
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.0.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.0.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(f64, f32, usize, u64, u32, i64, i32);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+
+    /// `&str` strategies are character-class patterns: `"[class]{lo,hi}"`
+    /// generates strings of `lo..=hi` characters drawn from the class
+    /// (supporting ranges like `a-z` and backslash escapes). Any other
+    /// pattern generates itself literally.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let Some((chars, lo, hi)) = parse_char_class(self) else {
+                return (*self).to_string();
+            };
+            let len = if lo == hi {
+                lo
+            } else {
+                rng.0.gen_range(lo..=hi)
+            };
+            (0..len)
+                .map(|_| chars[rng.0.gen_range(0..chars.len())])
+                .collect()
+        }
+    }
+
+    fn parse_char_class(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pattern.strip_prefix('[')?;
+        let mut chars: Vec<char> = Vec::new();
+        let mut iter = rest.chars().peekable();
+        let mut closed = false;
+        while let Some(c) = iter.next() {
+            match c {
+                ']' => {
+                    closed = true;
+                    break;
+                }
+                '\\' => chars.push(iter.next()?),
+                _ => {
+                    if iter.peek() == Some(&'-') {
+                        let mut ahead = iter.clone();
+                        ahead.next(); // the '-'
+                        match ahead.peek() {
+                            Some(&end) if end != ']' => {
+                                iter = ahead;
+                                let end = iter.next()?;
+                                for v in c as u32..=end as u32 {
+                                    chars.push(char::from_u32(v)?);
+                                }
+                                continue;
+                            }
+                            _ => {}
+                        }
+                    }
+                    chars.push(c);
+                }
+            }
+        }
+        if !closed || chars.is_empty() {
+            return None;
+        }
+        let tail: String = iter.collect();
+        if tail.is_empty() {
+            return Some((chars, 1, 1));
+        }
+        let counts = tail.strip_prefix('{')?.strip_suffix('}')?;
+        let (lo, hi) = match counts.split_once(',') {
+            Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+            None => {
+                let n = counts.trim().parse().ok()?;
+                (n, n)
+            }
+        };
+        Some((chars, lo, hi))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::test_runner::TestRng;
+
+        #[test]
+        fn char_class_respects_bounds_and_alphabet() {
+            let mut rng = TestRng::for_test("char_class");
+            let strat = "[a-c_]{2,5}";
+            for _ in 0..200 {
+                let s = strat.generate(&mut rng);
+                assert!((2..=5).contains(&s.chars().count()), "{s:?}");
+                assert!(s.chars().all(|c| matches!(c, 'a'..='c' | '_')), "{s:?}");
+            }
+        }
+
+        #[test]
+        fn escaped_class_parses() {
+            let mut rng = TestRng::for_test("escapes");
+            let strat = "[a\\-\\]x]{1,3}";
+            for _ in 0..100 {
+                let s = strat.generate(&mut rng);
+                assert!(
+                    s.chars().all(|c| matches!(c, 'a' | '-' | ']' | 'x')),
+                    "{s:?}"
+                );
+            }
+        }
+
+        #[test]
+        fn map_and_tuples_compose() {
+            let mut rng = TestRng::for_test("compose");
+            let strat = (0.0f64..1.0, 1usize..4).prop_map(|(x, n)| x * n as f64);
+            for _ in 0..100 {
+                let v = strat.generate(&mut rng);
+                assert!((0.0..4.0).contains(&v));
+            }
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// An inclusive-exclusive element-count specification.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// `Vec` strategy: `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.size.lo + 1 >= self.size.hi {
+                self.size.lo
+            } else {
+                rng.0.gen_range(self.size.lo..self.size.hi)
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test-case execution plumbing: config, RNG and error types.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Per-test deterministic RNG (public field so strategies can draw).
+    pub struct TestRng(pub StdRng);
+
+    impl TestRng {
+        /// Seeds the RNG from the test's identifier so each test owns a
+        /// stable, reproducible stream.
+        pub fn for_test(name: &str) -> TestRng {
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRng(StdRng::seed_from_u64(h))
+        }
+    }
+
+    /// Runner configuration (the used subset: the case count).
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of accepted cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 32 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case was rejected by `prop_assume!` (not a failure).
+        Reject(String),
+        /// The case failed an assertion.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejection with the given reason.
+        pub fn reject(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// The `Result` produced by one proptest case body.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+pub mod array {
+    //! Fixed-size array strategies (`uniform2`/`uniform3`/`uniform4`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// `N` values drawn from clones of one element strategy.
+    pub struct UniformArrayStrategy<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy + Clone, const N: usize> Strategy for UniformArrayStrategy<S, N> {
+        type Value = [S::Value; N];
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+            std::array::from_fn(|_| self.element.generate(rng))
+        }
+    }
+
+    /// `[T; 2]` strategy from one element strategy.
+    pub fn uniform2<S: Strategy + Clone>(element: S) -> UniformArrayStrategy<S, 2> {
+        UniformArrayStrategy { element }
+    }
+
+    /// `[T; 3]` strategy from one element strategy.
+    pub fn uniform3<S: Strategy + Clone>(element: S) -> UniformArrayStrategy<S, 3> {
+        UniformArrayStrategy { element }
+    }
+
+    /// `[T; 4]` strategy from one element strategy.
+    pub fn uniform4<S: Strategy + Clone>(element: S) -> UniformArrayStrategy<S, 4> {
+        UniformArrayStrategy { element }
+    }
+}
+
+/// `prop::…` namespace alias (mirrors `proptest::prelude::prop`).
+pub mod prop {
+    pub use crate::array;
+    pub use crate::collection;
+}
+
+/// Glob-import surface.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]` running `body` over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = $crate::test_runner::ProptestConfig::default(); $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr;
+     $( $(#[$meta:meta])* fn $name:ident (
+            $($arg:ident in $strat:expr),+ $(,)?
+        ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                while accepted < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= config.cases.saturating_mul(20).max(1000),
+                        "too many prop_assume! rejections in {}",
+                        stringify!($name),
+                    );
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    #[allow(unreachable_code, clippy::redundant_closure_call)]
+                    let case: $crate::test_runner::TestCaseResult = (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    match case {
+                        ::core::result::Result::Ok(()) => accepted += 1,
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => continue,
+                        ::core::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(msg),
+                        ) => {
+                            panic!(
+                                "proptest {} failed at case {}: {}\ninputs: {}",
+                                stringify!($name),
+                                accepted,
+                                msg,
+                                inputs,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: {:?} == {:?}",
+            left,
+            right
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(*left == *right, $($fmt)*);
+    }};
+}
+
+/// Fails the current case if the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: {:?} != {:?}",
+            left,
+            right
+        );
+    }};
+}
+
+/// Rejects (skips) the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Reject(
+                    concat!("assumption failed: ", stringify!($cond)).to_string(),
+                ),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Reject(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -2.0f64..2.0, n in 1usize..10) {
+            prop_assert!((-2.0..2.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_and_assume_work(v in prop::collection::vec(0.0f64..1.0, 2..8)) {
+            prop_assume!(v.len() > 2);
+            prop_assert!(v.iter().all(|&x| (0.0..1.0).contains(&x)));
+            prop_assert_eq!(v.len(), v.len());
+        }
+
+        #[test]
+        fn early_ok_return_is_allowed(x in 0.0f64..1.0) {
+            if x < 2.0 {
+                return Ok(());
+            }
+            prop_assert!(false, "unreachable");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_block_compiles(x in 0u64..5) {
+            prop_assert!(x < 5);
+        }
+    }
+}

@@ -1,0 +1,498 @@
+//! Offline API-subset substitute for the `rayon` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the slice of `rayon` it actually needs: a persistent thread pool with a
+//! [`ThreadPoolBuilder`]/[`ThreadPool::install`] thread-count override, and
+//! the flat data-parallel primitives in [`par`] used by the objective and
+//! DEM kernels.
+//!
+//! Unlike `rayon`'s work-stealing deques, parallel regions here partition
+//! the index space into **contiguous static chunks** claimed from a shared
+//! cursor. That is deliberate: every caller in this workspace writes each
+//! output slot from exactly one task and reduces partial values
+//! sequentially afterwards, so the static partition keeps results
+//! bitwise-identical for any thread count while still spreading the work.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::thread;
+
+// ---------------------------------------------------------------------------
+// Pool internals
+// ---------------------------------------------------------------------------
+
+/// Lifetime-erased pointer to the parallel region's job closure. Workers
+/// only dereference it between claiming a job under the board lock and
+/// reporting that job done under the same lock; the posting thread waits for
+/// all jobs to be reported done before the closure can go out of scope.
+#[derive(Clone, Copy)]
+struct JobPtr(*const (dyn Fn(usize) + Sync));
+// SAFETY: the pointee is `Sync` and outlives the region (see above).
+unsafe impl Send for JobPtr {}
+
+struct BoardState {
+    job: Option<JobPtr>,
+    n_jobs: usize,
+    cursor: usize,
+    done: usize,
+    panicked: bool,
+}
+
+struct Board {
+    state: Mutex<BoardState>,
+    work: Condvar,
+    finished: Condvar,
+}
+
+struct Pool {
+    board: &'static Board,
+    /// Serializes top-level parallel regions (the pool has one job board).
+    region: Mutex<()>,
+    spawned: AtomicUsize,
+}
+
+fn hardware_threads() -> usize {
+    // Resolved once: `env::var` and `available_parallelism` both allocate
+    // (the latter probes cgroup files on Linux), and this runs on every
+    // parallel region — caching keeps the steady-state path allocation-free.
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+thread_local! {
+    static THREAD_OVERRIDE: std::cell::Cell<Option<usize>> =
+        const { std::cell::Cell::new(None) };
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// The number of threads parallel regions started from this thread will use.
+pub fn current_num_threads() -> usize {
+    THREAD_OVERRIDE
+        .with(|o| o.get())
+        .unwrap_or_else(hardware_threads)
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        board: Box::leak(Box::new(Board {
+            state: Mutex::new(BoardState {
+                job: None,
+                n_jobs: 0,
+                cursor: 0,
+                done: 0,
+                panicked: false,
+            }),
+            work: Condvar::new(),
+            finished: Condvar::new(),
+        })),
+        region: Mutex::new(()),
+        spawned: AtomicUsize::new(0),
+    })
+}
+
+fn worker_loop(board: &'static Board) {
+    IN_WORKER.with(|w| w.set(true));
+    loop {
+        let (job, k) = {
+            let mut st = board.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                match st.job {
+                    Some(job) if st.cursor < st.n_jobs => {
+                        let k = st.cursor;
+                        st.cursor += 1;
+                        break (job, k);
+                    }
+                    _ => {
+                        st = board.work.wait(st).unwrap_or_else(|e| e.into_inner());
+                    }
+                }
+            }
+        };
+        // SAFETY: the region owner waits until `done == n_jobs`, which we
+        // only report after the call returns, so the closure is alive here.
+        let ok = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(k) })).is_ok();
+        let mut st = board.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.done += 1;
+        if !ok {
+            st.panicked = true;
+        }
+        if st.done == st.n_jobs {
+            board.finished.notify_all();
+        }
+    }
+}
+
+fn ensure_workers(target: usize) {
+    let p = pool();
+    let mut have = p.spawned.load(Ordering::Acquire);
+    while have < target {
+        match p
+            .spawned
+            .compare_exchange(have, have + 1, Ordering::AcqRel, Ordering::Acquire)
+        {
+            Ok(_) => {
+                let board = p.board;
+                thread::Builder::new()
+                    .name(format!("rayon-lite-{have}"))
+                    .spawn(move || worker_loop(board))
+                    .expect("failed to spawn pool worker");
+                have += 1;
+            }
+            Err(actual) => have = actual,
+        }
+    }
+}
+
+/// Runs `job(0..n_jobs)` across the pool, blocking until every job
+/// completed. Falls back to a sequential loop for trivial sizes, for a
+/// one-thread configuration, and for nested calls from inside a worker.
+/// Performs no heap allocation on the steady-state path.
+fn run_region(n_jobs: usize, job: &(dyn Fn(usize) + Sync)) {
+    let threads = current_num_threads();
+    if n_jobs <= 1 || threads <= 1 || IN_WORKER.with(|w| w.get()) {
+        for k in 0..n_jobs {
+            job(k);
+        }
+        return;
+    }
+    ensure_workers(threads - 1);
+    let p = pool();
+    let _region = p.region.lock().unwrap_or_else(|e| e.into_inner());
+    {
+        let mut st = p.board.state.lock().unwrap_or_else(|e| e.into_inner());
+        // SAFETY: lifetime erasure only. The region owner clears `job` and
+        // does not return until `done == n_jobs`, so no worker dereferences
+        // the pointer after `job` goes out of scope.
+        let erased: *const (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(job) };
+        st.job = Some(JobPtr(erased));
+        st.n_jobs = n_jobs;
+        st.cursor = 0;
+        st.done = 0;
+        st.panicked = false;
+        p.board.work.notify_all();
+    }
+    // The posting thread participates too.
+    loop {
+        let k = {
+            let mut st = p.board.state.lock().unwrap_or_else(|e| e.into_inner());
+            if st.cursor >= st.n_jobs {
+                break;
+            }
+            let k = st.cursor;
+            st.cursor += 1;
+            k
+        };
+        let ok = catch_unwind(AssertUnwindSafe(|| job(k))).is_ok();
+        let mut st = p.board.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.done += 1;
+        if !ok {
+            st.panicked = true;
+        }
+        if st.done == st.n_jobs {
+            p.board.finished.notify_all();
+        }
+    }
+    let panicked = {
+        let mut st = p.board.state.lock().unwrap_or_else(|e| e.into_inner());
+        while st.done < st.n_jobs {
+            st = p.board.finished.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        st.job = None;
+        st.panicked
+    };
+    if panicked {
+        panic!("a parallel job panicked");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel slice primitives
+// ---------------------------------------------------------------------------
+
+/// Flat data-parallel primitives over slices and index ranges.
+///
+/// All of them partition the index space into contiguous chunks, hand each
+/// chunk to one pool task, and guarantee one writer per output slot — the
+/// substrate for the workspace's bitwise-determinism contract.
+pub mod par {
+    use super::{current_num_threads, run_region};
+
+    /// Raw slice view that can cross the job boundary. Disjointness of the
+    /// per-job subranges is what makes handing out `&mut` views sound.
+    struct RawSlice<T> {
+        ptr: *mut T,
+        len: usize,
+    }
+    unsafe impl<T: Send> Sync for RawSlice<T> {}
+    impl<T> RawSlice<T> {
+        fn new(s: &mut [T]) -> RawSlice<T> {
+            RawSlice {
+                ptr: s.as_mut_ptr(),
+                len: s.len(),
+            }
+        }
+        /// SAFETY: callers must pass non-overlapping `(start, len)` windows.
+        unsafe fn window(&self, start: usize, len: usize) -> &mut [T] {
+            debug_assert!(start + len <= self.len);
+            std::slice::from_raw_parts_mut(self.ptr.add(start), len)
+        }
+    }
+
+    #[inline]
+    fn chunk_bounds(n: usize, jobs: usize, k: usize) -> (usize, usize) {
+        // Even partition: first `n % jobs` chunks get one extra element.
+        let base = n / jobs;
+        let extra = n % jobs;
+        let start = k * base + k.min(extra);
+        let len = base + usize::from(k < extra);
+        (start, len)
+    }
+
+    #[inline]
+    fn job_count(n: usize) -> usize {
+        current_num_threads().min(n).max(1)
+    }
+
+    /// Calls `f(i, &mut items[i])` for every `i`, in parallel.
+    pub fn for_each_slot<T, F>(items: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        let n = items.len();
+        let jobs = job_count(n);
+        let raw = RawSlice::new(items);
+        run_region(jobs, &|k| {
+            let (start, len) = chunk_bounds(n, jobs, k);
+            // SAFETY: chunk_bounds windows are pairwise disjoint.
+            let window = unsafe { raw.window(start, len) };
+            for (off, slot) in window.iter_mut().enumerate() {
+                f(start + off, slot);
+            }
+        });
+    }
+
+    /// Calls `f(i, &mut a[i*chunk..][..chunk], &mut b[i])` for every slot
+    /// pair, in parallel: the fused gradient/value kernel shape.
+    ///
+    /// Panics unless `a.len() == b.len() * chunk`.
+    pub fn for_each_chunk_zip<A, B, F>(a: &mut [A], chunk: usize, b: &mut [B], f: F)
+    where
+        A: Send,
+        B: Send,
+        F: Fn(usize, &mut [A], &mut B) + Sync,
+    {
+        assert!(chunk > 0, "chunk size must be positive");
+        assert_eq!(a.len(), b.len() * chunk, "chunked slice length mismatch");
+        let n = b.len();
+        let jobs = job_count(n);
+        let raw_a = RawSlice::new(a);
+        let raw_b = RawSlice::new(b);
+        run_region(jobs, &|k| {
+            let (start, len) = chunk_bounds(n, jobs, k);
+            // SAFETY: windows derived from disjoint slot ranges.
+            let wa = unsafe { raw_a.window(start * chunk, len * chunk) };
+            let wb = unsafe { raw_b.window(start, len) };
+            for off in 0..len {
+                f(
+                    start + off,
+                    &mut wa[off * chunk..(off + 1) * chunk],
+                    &mut wb[off],
+                );
+            }
+        });
+    }
+
+    /// Fills `out[i] = f(i)` for every `i`, in parallel.
+    pub fn fill_with<T, F>(out: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        for_each_slot(out, |i, slot| *slot = f(i));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// rayon-compatible configuration shims
+// ---------------------------------------------------------------------------
+
+/// Error building a [`ThreadPool`] (never produced; kept for API parity).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` for the used subset.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// A fresh builder (defaults to the hardware thread count).
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the number of threads regions under this pool will use.
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Builds the pool handle.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(hardware_threads).max(1),
+        })
+    }
+}
+
+/// A configured view onto the shared pool: [`ThreadPool::install`] runs a
+/// closure with this pool's thread count in effect.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count governing parallel regions
+    /// started from the current thread.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        let prev = THREAD_OVERRIDE.with(|o| o.replace(Some(self.num_threads)));
+        let result = op();
+        THREAD_OVERRIDE.with(|o| o.set(prev));
+        result
+    }
+
+    /// The configured thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Glob-import surface; re-exports the flat primitives.
+pub mod prelude {
+    pub use crate::par::{fill_with, for_each_chunk_zip, for_each_slot};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn for_each_slot_visits_every_index_once() {
+        let mut v = vec![0usize; 10_000];
+        par::for_each_slot(&mut v, |i, slot| *slot = i * 2);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i * 2);
+        }
+    }
+
+    #[test]
+    fn chunk_zip_matches_sequential() {
+        let n = 4097;
+        let mut grad = vec![0.0f64; 3 * n];
+        let mut vals = vec![0.0f64; n];
+        par::for_each_chunk_zip(&mut grad, 3, &mut vals, |i, g, v| {
+            g[0] = i as f64;
+            g[1] = i as f64 + 0.5;
+            g[2] = -(i as f64);
+            *v = i as f64 * 3.0;
+        });
+        for i in 0..n {
+            assert_eq!(grad[3 * i], i as f64);
+            assert_eq!(grad[3 * i + 1], i as f64 + 0.5);
+            assert_eq!(grad[3 * i + 2], -(i as f64));
+            assert_eq!(vals[i], i as f64 * 3.0);
+        }
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+    }
+
+    #[test]
+    fn single_thread_install_still_computes() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let mut v = vec![0usize; 100];
+        pool.install(|| par::for_each_slot(&mut v, |i, s| *s = i + 1));
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i + 1));
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| {
+                let mut v = vec![0.0f64; 5000];
+                par::fill_with(&mut v, |i| (i as f64).sin());
+                v
+            })
+        };
+        let a = run(1);
+        let b = run(4);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn nested_regions_fall_back_to_sequential() {
+        let count = AtomicUsize::new(0);
+        let mut outer = vec![0usize; 64];
+        par::for_each_slot(&mut outer, |_, _| {
+            let mut inner = vec![0usize; 8];
+            par::for_each_slot(&mut inner, |_, s| {
+                *s = 1;
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 64 * 8);
+    }
+
+    #[test]
+    fn concurrent_top_level_regions_are_safe() {
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let mut v = vec![0usize; 2000];
+                    par::for_each_slot(&mut v, |i, s| *s = i + t);
+                    v.iter().enumerate().all(|(i, &x)| x == i + t)
+                })
+            })
+            .collect();
+        for h in handles {
+            assert!(h.join().unwrap());
+        }
+    }
+}

@@ -2,7 +2,9 @@
 
 use std::path::{Path, PathBuf};
 
-use adampack_core::{LrPolicy, PackingParams, Psd, ZoneRegion, ZoneSpec};
+use adampack_core::{
+    LrPolicy, NeighborParams, NeighborStrategy, PackingParams, Psd, ZoneRegion, ZoneSpec,
+};
 use adampack_geometry::{Axis, ConvexHull};
 
 use crate::yaml::{parse_yaml, Value, YamlError};
@@ -72,6 +74,36 @@ impl Default for AlgoParams {
             verbosity: 0,
             batch_size: 500,
             seed: 0,
+        }
+    }
+}
+
+/// The `neighbor:` block (pair-search pipeline knobs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NeighborConfig {
+    /// `strategy:` — `auto` (default), `verlet`, `grid` or `naive`.
+    pub strategy: NeighborStrategy,
+    /// `skin_factor:` — Verlet skin as a fraction of the largest batch
+    /// radius, default 0.4.
+    pub skin_factor: f64,
+}
+
+impl Default for NeighborConfig {
+    fn default() -> Self {
+        let p = NeighborParams::default();
+        NeighborConfig {
+            strategy: p.strategy,
+            skin_factor: p.skin_factor,
+        }
+    }
+}
+
+impl NeighborConfig {
+    /// The runtime neighbor parameters.
+    pub fn to_params(self) -> NeighborParams {
+        NeighborParams {
+            strategy: self.strategy,
+            skin_factor: self.skin_factor,
         }
     }
 }
@@ -154,6 +186,8 @@ pub struct PackingConfig {
     pub params: AlgoParams,
     /// Gravity axis (`gravity_axis:`), default `z`.
     pub gravity_axis: Axis,
+    /// Neighbor-search pipeline settings (`neighbor:`), defaulted.
+    pub neighbor: NeighborConfig,
     /// Particle sets.
     pub particle_sets: Vec<ParticleSetConfig>,
     /// Zones (empty means: one implicit everywhere-zone must be provided by
@@ -161,8 +195,18 @@ pub struct PackingConfig {
     pub zones: Vec<ZoneConfig>,
 }
 
+impl std::str::FromStr for PackingConfig {
+    type Err = ConfigError;
+
+    fn from_str(source: &str) -> Result<PackingConfig, ConfigError> {
+        PackingConfig::from_str(source)
+    }
+}
+
 impl PackingConfig {
-    /// Parses a configuration from YAML text.
+    /// Parses a configuration from YAML text (also available through the
+    /// standard [`std::str::FromStr`] / `str::parse` interface).
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(source: &str) -> Result<PackingConfig, ConfigError> {
         let root = parse_yaml(source)?;
 
@@ -236,6 +280,31 @@ impl PackingConfig {
             },
         };
 
+        let mut neighbor = NeighborConfig::default();
+        if let Some(nb) = root.get("neighbor") {
+            if let Some(v) = nb.get("strategy").and_then(Value::as_str) {
+                neighbor.strategy = match v.to_ascii_lowercase().as_str() {
+                    "auto" => NeighborStrategy::Auto,
+                    "verlet" => NeighborStrategy::Verlet,
+                    "grid" => NeighborStrategy::Grid,
+                    "naive" => NeighborStrategy::Naive,
+                    other => {
+                        return Err(field(format!(
+                            "neighbor.strategy: unknown strategy '{other}'"
+                        )))
+                    }
+                };
+            }
+            if let Some(v) = nb.get("skin_factor").and_then(Value::as_f64) {
+                if !(v > 0.0 && v.is_finite()) {
+                    return Err(field(format!(
+                        "neighbor.skin_factor must be positive and finite, got {v}"
+                    )));
+                }
+                neighbor.skin_factor = v;
+            }
+        }
+
         let particle_sets = match root.get("particle_sets") {
             None => return Err(field("particle_sets is required")),
             Some(v) => {
@@ -255,7 +324,9 @@ impl PackingConfig {
         let zones = match root.get("zones") {
             None => Vec::new(),
             Some(v) => {
-                let seq = v.as_seq().ok_or_else(|| field("zones must be a sequence"))?;
+                let seq = v
+                    .as_seq()
+                    .ok_or_else(|| field("zones must be a sequence"))?;
                 seq.iter()
                     .enumerate()
                     .map(|(i, z)| parse_zone(i, z, particle_sets.len()))
@@ -268,6 +339,7 @@ impl PackingConfig {
             algorithm,
             params,
             gravity_axis,
+            neighbor,
             particle_sets,
             zones,
         })
@@ -314,13 +386,17 @@ impl PackingConfig {
                 patience: 20,
                 min_lr: 1e-5,
             },
+            neighbor: self.neighbor.to_params(),
             ..PackingParams::default()
         }
     }
 
     /// Runtime PSDs for all particle sets.
     pub fn psds(&self) -> Vec<Psd> {
-        self.particle_sets.iter().map(ParticleSetConfig::to_psd).collect()
+        self.particle_sets
+            .iter()
+            .map(ParticleSetConfig::to_psd)
+            .collect()
     }
 
     /// Converts the zones into runtime `ZoneSpec`s.
@@ -362,7 +438,11 @@ fn parse_particle_set(i: usize, v: &Value) -> Result<ParticleSetConfig, ConfigEr
     let dist = v
         .get("radius_distribution")
         .and_then(Value::as_str)
-        .ok_or_else(|| field(format!("particle_sets[{i}].radius_distribution is required")))?;
+        .ok_or_else(|| {
+            field(format!(
+                "particle_sets[{i}].radius_distribution is required"
+            ))
+        })?;
     let num = |key: &str| {
         v.get(key)
             .and_then(Value::as_f64)
@@ -412,11 +492,15 @@ fn parse_zone(i: usize, v: &Value, n_sets: usize) -> Result<ZoneConfig, ConfigEr
                 let min = slice
                     .get("min_bound")
                     .and_then(Value::as_f64)
-                    .ok_or_else(|| field(format!("zones[{i}].location.slice.min_bound required")))?;
+                    .ok_or_else(|| {
+                        field(format!("zones[{i}].location.slice.min_bound required"))
+                    })?;
                 let max = slice
                     .get("max_bound")
                     .and_then(Value::as_f64)
-                    .ok_or_else(|| field(format!("zones[{i}].location.slice.max_bound required")))?;
+                    .ok_or_else(|| {
+                        field(format!("zones[{i}].location.slice.max_bound required"))
+                    })?;
                 if max <= min {
                     return Err(field(format!(
                         "zones[{i}]: slice bounds must satisfy min < max ({min} >= {max})"
@@ -486,6 +570,9 @@ params:
     patience: 50
     verbosity: 10
 gravity_axis: z
+neighbor:
+    strategy: "verlet"
+    skin_factor: 0.3
 particle_sets:
     - radius_distribution: "uniform"
       radius_min: 0.05
@@ -518,20 +605,30 @@ zones:
         assert_eq!(cfg.params.patience, 50);
         assert_eq!(cfg.params.verbosity, 10);
         assert_eq!(cfg.gravity_axis, Axis::Z);
+        assert_eq!(cfg.neighbor.strategy, NeighborStrategy::Verlet);
+        assert!((cfg.neighbor.skin_factor - 0.3).abs() < 1e-12);
         assert_eq!(cfg.particle_sets.len(), 2);
         assert_eq!(
             cfg.particle_sets[0],
-            ParticleSetConfig::Uniform { min: 0.05, max: 0.08 }
+            ParticleSetConfig::Uniform {
+                min: 0.05,
+                max: 0.08
+            }
         );
         assert_eq!(
             cfg.particle_sets[1],
-            ParticleSetConfig::Normal { mean: 0.04, std_dev: 0.005 }
+            ParticleSetConfig::Normal {
+                mean: 0.04,
+                std_dev: 0.005
+            }
         );
         assert_eq!(cfg.zones.len(), 2);
         assert_eq!(cfg.zones[0].n_particles, 200);
         assert_eq!(
             cfg.zones[0].location,
-            LocationConfig::Shape { path: PathBuf::from("sphere.stl") }
+            LocationConfig::Shape {
+                path: PathBuf::from("sphere.stl")
+            }
         );
         assert_eq!(cfg.zones[0].set_proportions, vec![0.0, 1.0]);
         match cfg.zones[1].location {
@@ -548,6 +645,8 @@ zones:
     fn conversion_to_runtime_types() {
         let cfg = PackingConfig::from_str(FIG9).unwrap();
         let params = cfg.to_packing_params();
+        assert_eq!(params.neighbor.strategy, NeighborStrategy::Verlet);
+        assert!((params.neighbor.skin_factor - 0.3).abs() < 1e-12);
         assert_eq!(params.max_steps, 1000);
         assert_eq!(params.patience, 50);
         assert_eq!(params.lr.initial_lr(), 0.01);
@@ -560,13 +659,10 @@ zones:
                 // Fake loader: a tiny tetra hull for the sphere.stl zone.
                 assert!(p.ends_with("sphere.stl"));
                 use adampack_geometry::Vec3;
-                Ok(ConvexHull::from_points(&[
-                    Vec3::ZERO,
-                    Vec3::X,
-                    Vec3::Y,
-                    Vec3::Z,
-                ])
-                .expect("tetra"))
+                Ok(
+                    ConvexHull::from_points(&[Vec3::ZERO, Vec3::X, Vec3::Y, Vec3::Z])
+                        .expect("tetra"),
+                )
             })
             .unwrap();
         assert_eq!(specs.len(), 2);
@@ -580,7 +676,19 @@ zones:
         assert_eq!(cfg.algorithm, "COLLECTIVE_ARRANGEMENT");
         assert_eq!(cfg.params, AlgoParams::default());
         assert_eq!(cfg.gravity_axis, Axis::Z);
+        assert_eq!(cfg.neighbor, NeighborConfig::default());
         assert!(cfg.zones.is_empty());
+    }
+
+    #[test]
+    fn bad_neighbor_settings_rejected() {
+        let base = "container:\n  path: a.stl\nparticle_sets:\n  - radius_distribution: constant\n    radius_value: 0.1\n";
+        let bad_strategy = format!("{base}neighbor:\n  strategy: quadtree\n");
+        let e = PackingConfig::from_str(&bad_strategy).unwrap_err();
+        assert!(e.to_string().contains("quadtree"));
+        let bad_skin = format!("{base}neighbor:\n  skin_factor: -0.5\n");
+        let e = PackingConfig::from_str(&bad_skin).unwrap_err();
+        assert!(e.to_string().contains("skin_factor"));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 
 use std::fmt::Write;
 
-use crate::schema::{AlgoParams, LocationConfig, PackingConfig, ParticleSetConfig};
+use crate::schema::{AlgoParams, LocationConfig, NeighborConfig, PackingConfig, ParticleSetConfig};
 
 /// Renders a configuration as YAML accepted by [`crate::PackingConfig::from_str`].
 pub fn to_yaml(cfg: &PackingConfig) -> String {
@@ -14,7 +14,14 @@ pub fn to_yaml(cfg: &PackingConfig) -> String {
     writeln!(s, "container:").unwrap();
     writeln!(s, "    path: \"{}\"", cfg.container_path.display()).unwrap();
     writeln!(s, "algorithm: \"{}\"", cfg.algorithm).unwrap();
-    let AlgoParams { lr, n_epoch, patience, verbosity, batch_size, seed } = cfg.params;
+    let AlgoParams {
+        lr,
+        n_epoch,
+        patience,
+        verbosity,
+        batch_size,
+        seed,
+    } = cfg.params;
     writeln!(s, "params:").unwrap();
     writeln!(s, "    lr: {lr}").unwrap();
     writeln!(s, "    n_epoch: {n_epoch}").unwrap();
@@ -28,6 +35,17 @@ pub fn to_yaml(cfg: &PackingConfig) -> String {
         _ => "z",
     };
     writeln!(s, "gravity_axis: {axis}").unwrap();
+    if cfg.neighbor != NeighborConfig::default() {
+        let strategy = match cfg.neighbor.strategy {
+            adampack_core::NeighborStrategy::Auto => "auto",
+            adampack_core::NeighborStrategy::Verlet => "verlet",
+            adampack_core::NeighborStrategy::Grid => "grid",
+            adampack_core::NeighborStrategy::Naive => "naive",
+        };
+        writeln!(s, "neighbor:").unwrap();
+        writeln!(s, "    strategy: \"{strategy}\"").unwrap();
+        writeln!(s, "    skin_factor: {}", cfg.neighbor.skin_factor).unwrap();
+    }
     writeln!(s, "particle_sets:").unwrap();
     for set in &cfg.particle_sets {
         match set {
@@ -98,20 +116,36 @@ mod tests {
                 seed: 7,
             },
             gravity_axis: Axis::Z,
+            neighbor: NeighborConfig {
+                strategy: adampack_core::NeighborStrategy::Verlet,
+                skin_factor: 0.25,
+            },
             particle_sets: vec![
-                ParticleSetConfig::Uniform { min: 0.05, max: 0.08 },
-                ParticleSetConfig::Normal { mean: 0.04, std_dev: 0.005 },
+                ParticleSetConfig::Uniform {
+                    min: 0.05,
+                    max: 0.08,
+                },
+                ParticleSetConfig::Normal {
+                    mean: 0.04,
+                    std_dev: 0.005,
+                },
                 ParticleSetConfig::Constant { value: 0.1 },
             ],
             zones: vec![
                 ZoneConfig {
                     n_particles: 200,
-                    location: LocationConfig::Shape { path: PathBuf::from("sphere.stl") },
+                    location: LocationConfig::Shape {
+                        path: PathBuf::from("sphere.stl"),
+                    },
                     set_proportions: vec![0.0, 1.0, 0.0],
                 },
                 ZoneConfig {
                     n_particles: 300,
-                    location: LocationConfig::Slice { axis: Axis::Z, min: 0.8, max: 1.5 },
+                    location: LocationConfig::Slice {
+                        axis: Axis::Z,
+                        min: 0.8,
+                        max: 1.5,
+                    },
                     set_proportions: vec![1.0, 0.0, 0.0],
                 },
             ],
@@ -142,6 +176,9 @@ mod tests {
         cfg.gravity_axis = Axis::X;
         let yaml = to_yaml(&cfg);
         assert!(yaml.contains("gravity_axis: x"));
-        assert_eq!(PackingConfig::from_str(&yaml).unwrap().gravity_axis, Axis::X);
+        assert_eq!(
+            PackingConfig::from_str(&yaml).unwrap().gravity_axis,
+            Axis::X
+        );
     }
 }

@@ -176,10 +176,10 @@ fn parse_node(lines: &mut VecDeque<Line>, indent: usize) -> Result<Value, YamlEr
         return Ok(Value::Null);
     };
     if first.indent != indent {
-        return Err(err(first.number, format!(
-            "expected indentation {indent}, found {}",
-            first.indent
-        )));
+        return Err(err(
+            first.number,
+            format!("expected indentation {indent}, found {}", first.indent),
+        ));
     }
     if first.text.starts_with("- ") || first.text == "-" {
         parse_seq(lines, indent)
@@ -205,7 +205,10 @@ fn parse_map(lines: &mut VecDeque<Line>, indent: usize) -> Result<Value, YamlErr
             break; // sibling sequence: belongs to the caller
         }
         let Some((key, rest)) = split_key(&front.text) else {
-            return Err(err(front.number, format!("expected 'key: value', got '{}'", front.text)));
+            return Err(err(
+                front.number,
+                format!("expected 'key: value', got '{}'", front.text),
+            ));
         };
         let number = front.number;
         let key = key.to_string();
@@ -243,7 +246,10 @@ fn parse_seq(lines: &mut VecDeque<Line>, indent: usize) -> Result<Value, YamlErr
     while let Some(front) = lines.front() {
         if front.indent != indent || !(front.text.starts_with("- ") || front.text == "-") {
             if front.indent > indent {
-                return Err(err(front.number, "unexpected deeper indentation in sequence"));
+                return Err(err(
+                    front.number,
+                    "unexpected deeper indentation in sequence",
+                ));
             }
             break;
         }
@@ -378,8 +384,14 @@ mod tests {
         assert_eq!(parse_yaml("False").unwrap(), Value::Bool(false));
         assert_eq!(parse_yaml("~").unwrap(), Value::Null);
         assert_eq!(parse_yaml("").unwrap(), Value::Null);
-        assert_eq!(parse_yaml("hello world").unwrap(), Value::Str("hello world".into()));
-        assert_eq!(parse_yaml("\"quoted: text\"").unwrap(), Value::Str("quoted: text".into()));
+        assert_eq!(
+            parse_yaml("hello world").unwrap(),
+            Value::Str("hello world".into())
+        );
+        assert_eq!(
+            parse_yaml("\"quoted: text\"").unwrap(),
+            Value::Str("quoted: text".into())
+        );
         assert_eq!(parse_yaml("'single'").unwrap(), Value::Str("single".into()));
     }
 
@@ -398,7 +410,10 @@ mod tests {
         let v = parse_yaml(src).unwrap();
         let container = v.get("container").unwrap();
         assert_eq!(container.get("path").unwrap().as_str(), Some("cone.stl"));
-        assert_eq!(v.get("params").unwrap().get("patience").unwrap().as_i64(), Some(50));
+        assert_eq!(
+            v.get("params").unwrap().get("patience").unwrap().as_i64(),
+            Some(50)
+        );
     }
 
     #[test]
@@ -416,7 +431,10 @@ mod tests {
         let sets = v.get("sets").unwrap().as_seq().unwrap();
         assert_eq!(sets.len(), 2);
         assert_eq!(sets[0].get("radius_min").unwrap().as_f64(), Some(0.05));
-        assert_eq!(sets[1].get("radius_distribution").unwrap().as_str(), Some("normal"));
+        assert_eq!(
+            sets[1].get("radius_distribution").unwrap().as_str(),
+            Some("normal")
+        );
     }
 
     #[test]
@@ -480,7 +498,10 @@ zones:
       set_proportions: [1.0, 0.0]
 "#;
         let v = parse_yaml(src).unwrap();
-        assert_eq!(v.get("algorithm").unwrap().as_str(), Some("COLLECTIVE_ARRANGEMENT"));
+        assert_eq!(
+            v.get("algorithm").unwrap().as_str(),
+            Some("COLLECTIVE_ARRANGEMENT")
+        );
         assert_eq!(v.get("gravity_axis").unwrap().as_str(), Some("z"));
         let zones = v.get("zones").unwrap().as_seq().unwrap();
         assert_eq!(zones.len(), 2);

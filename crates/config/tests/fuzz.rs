@@ -19,10 +19,10 @@ proptest! {
         values in prop::collection::vec("[a-zA-Z0-9\\._\\-\"'\\[\\], ]{0,20}", 0..8),
     ) {
         let mut src = String::new();
-        for i in 0..keys.len() {
+        for (i, key) in keys.iter().enumerate() {
             let indent = " ".repeat(*indents.get(i).unwrap_or(&0));
             let val = values.get(i).map(String::as_str).unwrap_or("");
-            src.push_str(&format!("{indent}{}: {val}\n", keys[i]));
+            src.push_str(&format!("{indent}{key}: {val}\n"));
         }
         let _ = parse_yaml(&src);
     }

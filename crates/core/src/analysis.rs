@@ -16,7 +16,7 @@
 use adampack_geometry::{Aabb, Axis, Vec3};
 use adampack_overlap::DensityProbe;
 
-use crate::grid::CellGrid;
+use crate::neighbor::CsrGrid;
 use crate::particle::Particle;
 
 /// The pair-correlation function g(r), sampled in `bins` shells of width
@@ -48,7 +48,7 @@ pub fn radial_distribution(
     // sit outside the region; counting them reduces edge bias).
     let all_centers: Vec<Vec3> = particles.iter().map(|p| p.center).collect();
     let all_radii: Vec<f64> = particles.iter().map(|_| r_max / 2.0).collect();
-    let grid = CellGrid::build(&all_centers, &all_radii);
+    let grid = CsrGrid::build(&all_centers, &all_radii);
     let mut counts = vec![0usize; bins];
     let dw = r_max / bins as f64;
     for &c in &inside {
@@ -81,7 +81,7 @@ pub fn coordination_numbers(particles: &[Particle], tolerance: f64) -> Vec<usize
     if particles.is_empty() {
         return Vec::new();
     }
-    let grid = CellGrid::build(&centers, &radii);
+    let grid = CsrGrid::build(&centers, &radii);
     let mut out = vec![0usize; particles.len()];
     for i in 0..particles.len() {
         grid.for_neighbors(centers[i], radii[i] * (1.0 + tolerance), |j, cj, rj| {

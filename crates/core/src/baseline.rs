@@ -24,7 +24,7 @@ use crate::particle::Particle;
 use crate::psd::Psd;
 
 /// A mutable cell grid for incremental insertion (the immutable
-/// [`crate::grid::CellGrid`] is built once per batch; baselines insert one
+/// [`crate::neighbor::CsrGrid`] is built once per batch; baselines insert one
 /// sphere at a time).
 struct DynamicGrid {
     cell: f64,
@@ -61,7 +61,10 @@ impl DynamicGrid {
             None => (key.2, key.2),
             Some((lo, hi)) => (lo.min(key.2), hi.max(key.2)),
         });
-        self.cells.entry(key).or_default().push(self.spheres.len() as u32);
+        self.cells
+            .entry(key)
+            .or_default()
+            .push(self.spheres.len() as u32);
         self.spheres.push((c, r));
     }
 
@@ -244,7 +247,7 @@ impl DropAndRollPacker {
                 if container.halfspaces().sphere_max_excess(p, r) > 1e-9 {
                     continue; // would rest against/outside a slanted wall
                 }
-                if best.map_or(true, |b| p.z < b.z) {
+                if best.is_none_or(|b| p.z < b.z) {
                     best = Some(p);
                 }
             }
@@ -277,8 +280,8 @@ impl DropAndRollPacker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adampack_geometry::shapes;
     use crate::metrics::contact_stats;
+    use adampack_geometry::shapes;
 
     fn box_container() -> Container {
         Container::from_mesh(&shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0))).unwrap()
@@ -288,7 +291,11 @@ mod tests {
     fn rsa_produces_nonoverlapping_contained_spheres() {
         let c = box_container();
         let result = RsaPacker::default().pack(&c, &Psd::constant(0.12), 150);
-        assert!(result.particles.len() >= 100, "placed {}", result.particles.len());
+        assert!(
+            result.particles.len() >= 100,
+            "placed {}",
+            result.particles.len()
+        );
         let stats = contact_stats(&result.particles);
         assert_eq!(stats.contacts, 0, "RSA spheres must not overlap");
         for p in &result.particles {
@@ -300,7 +307,11 @@ mod tests {
     fn rsa_saturates_below_jamming() {
         let c = box_container();
         // Ask for far more than RSA can place.
-        let result = RsaPacker { max_attempts: 400, seed: 1 }.pack(&c, &Psd::constant(0.15), 5000);
+        let result = RsaPacker {
+            max_attempts: 400,
+            seed: 1,
+        }
+        .pack(&c, &Psd::constant(0.15), 5000);
         let v_sphere = 4.0 / 3.0 * std::f64::consts::PI * 0.15f64.powi(3);
         let phi = result.particles.len() as f64 * v_sphere / 8.0;
         assert!(phi < 0.45, "RSA should saturate below jamming, φ = {phi}");
@@ -310,8 +321,16 @@ mod tests {
     #[test]
     fn rsa_deterministic_per_seed() {
         let c = box_container();
-        let a = RsaPacker { seed: 9, ..Default::default() }.pack(&c, &Psd::uniform(0.08, 0.12), 50);
-        let b = RsaPacker { seed: 9, ..Default::default() }.pack(&c, &Psd::uniform(0.08, 0.12), 50);
+        let a = RsaPacker {
+            seed: 9,
+            ..Default::default()
+        }
+        .pack(&c, &Psd::uniform(0.08, 0.12), 50);
+        let b = RsaPacker {
+            seed: 9,
+            ..Default::default()
+        }
+        .pack(&c, &Psd::uniform(0.08, 0.12), 50);
         assert_eq!(a.particles.len(), b.particles.len());
         for (x, y) in a.particles.iter().zip(&b.particles) {
             assert_eq!(x.center, y.center);
@@ -322,7 +341,11 @@ mod tests {
     fn drop_and_roll_settles_without_overlap() {
         let c = box_container();
         let result = DropAndRollPacker::default().pack(&c, &Psd::constant(0.15), 120);
-        assert!(result.particles.len() >= 60, "placed {}", result.particles.len());
+        assert!(
+            result.particles.len() >= 60,
+            "placed {}",
+            result.particles.len()
+        );
         let stats = contact_stats(&result.particles);
         assert!(
             stats.max_overlap_ratio < 1e-6,
@@ -341,27 +364,42 @@ mod tests {
     #[test]
     fn drop_and_roll_fills_from_the_floor() {
         let c = box_container();
-        let result = DropAndRollPacker { seed: 4, ..Default::default() }
-            .pack(&c, &Psd::constant(0.2), 30);
+        let result = DropAndRollPacker {
+            seed: 4,
+            ..Default::default()
+        }
+        .pack(&c, &Psd::constant(0.2), 30);
         assert!(!result.particles.is_empty());
         // The first deposited sphere must rest on the floor.
         let z0 = result.particles[0].center.z;
-        assert!((z0 - (-1.0 + 0.2)).abs() < 1e-9, "first sphere rests on the floor, z = {z0}");
+        assert!(
+            (z0 - (-1.0 + 0.2)).abs() < 1e-9,
+            "first sphere rests on the floor, z = {z0}"
+        );
         // Later spheres are at or above floor height.
-        assert!(result.particles.iter().all(|p| p.center.z >= -1.0 + 0.2 - 1e-9));
+        assert!(result
+            .particles
+            .iter()
+            .all(|p| p.center.z >= -1.0 + 0.2 - 1e-9));
     }
 
     #[test]
     fn drop_and_roll_denser_than_rsa() {
         let c = box_container();
         let psd = Psd::constant(0.13);
-        let rsa = RsaPacker { max_attempts: 300, seed: 2 }.pack(&c, &psd, 3000);
-        let dep = DropAndRollPacker { max_attempts: 300, seed: 2 }.pack(&c, &psd, 3000);
+        let rsa = RsaPacker {
+            max_attempts: 300,
+            seed: 2,
+        }
+        .pack(&c, &psd, 3000);
+        let dep = DropAndRollPacker {
+            max_attempts: 300,
+            seed: 2,
+        }
+        .pack(&c, &psd, 3000);
         // Compare bed mass in the lower half of the box (deposition never
         // reaches the top, RSA fills uniformly).
-        let lower = |r: &PackResult| {
-            r.particles.iter().filter(|p| p.center.z < 0.0).count()
-        };
+        let lower = |r: &PackResult| r.particles.iter().filter(|p| p.center.z < 0.0).count();
         assert!(
             lower(&dep) > lower(&rsa),
             "deposition bed should be denser than RSA in the lower half: {} vs {}",

@@ -18,8 +18,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::container::Container;
-use crate::grid::CellGrid;
 use crate::metrics::{boundary_stats, contact_stats_vs_fixed};
+use crate::neighbor::{CsrGrid, FixedBed, Workspace};
 use crate::objective::Objective;
 use crate::params::{LrPolicy, PackingParams};
 use crate::particle::{coords, Particle};
@@ -109,12 +109,18 @@ impl PackResult {
     }
 }
 
+/// Observer invoked after every attempted batch (accepted or not).
+type BatchCallback = Box<dyn FnMut(&BatchStats) + Send>;
+
 /// The Algorithm 1 driver.
 pub struct CollectivePacker {
     container: Container,
     params: PackingParams,
     rng: StdRng,
-    batch_callback: Option<Box<dyn FnMut(&BatchStats) + Send>>,
+    batch_callback: Option<BatchCallback>,
+    /// Reusable evaluation buffers shared by all batches: steady-state
+    /// optimizer steps allocate nothing.
+    workspace: Workspace,
 }
 
 impl CollectivePacker {
@@ -135,6 +141,7 @@ impl CollectivePacker {
             params,
             rng,
             batch_callback: None,
+            workspace: Workspace::new(),
         }
     }
 
@@ -155,6 +162,18 @@ impl CollectivePacker {
         &self.params
     }
 
+    /// An empty [`FixedBed`] along this packer's gravity axis — the
+    /// starting point for driving batches manually (experiments, benches).
+    pub fn empty_bed(&self) -> FixedBed {
+        FixedBed::new(self.params.gravity)
+    }
+
+    /// Workspace diagnostics: total objective evaluations and Verlet
+    /// rebuilds served so far.
+    pub fn workspace_stats(&self) -> (usize, usize) {
+        (self.workspace.evals(), self.workspace.verlet_rebuilds())
+    }
+
     /// Packs `params.target_count` particles drawn from `psd`.
     pub fn pack(&mut self, psd: &Psd) -> PackResult {
         self.pack_onto(psd, Vec::new())
@@ -172,16 +191,20 @@ impl CollectivePacker {
         let mut packed = 0usize;
         let mut batch_index = 0usize;
 
+        // The bed is built once and grown incrementally: accepting a batch
+        // pushes its spheres (amortized O(1) each) instead of rebuilding the
+        // whole grid, and the top altitude is a running maximum.
+        let mut bed = FixedBed::from_particles(self.params.gravity, &particles);
+
         while packed < target && batch_size > 0 {
             let n = batch_size.min(target - packed);
             let t0 = Instant::now();
             let radii = psd.sample_n(&mut self.rng, n);
-            let fixed = build_grid(&particles);
-            let init = self.spawn_batch(&radii, &fixed);
+            let init = self.spawn_batch(&radii, &bed);
             let run = self.optimize_batch_with(
                 &radii,
                 init,
-                &fixed,
+                bed.grid(),
                 self.params.max_steps,
                 self.params.patience,
                 &self.params.lr.clone(),
@@ -192,7 +215,7 @@ impl CollectivePacker {
             // to radius must stay below the configured threshold
             // (Algorithm 1 line 19).
             let centers = coords::to_positions(&run.coords);
-            let contact = contact_stats_vs_fixed(&centers, &radii, &fixed);
+            let contact = contact_stats_vs_fixed(&centers, &radii, bed.grid());
             let boundary = boundary_stats(&centers, &radii, self.container.halfspaces());
             let accepted = contact.mean_overlap_ratio <= self.params.accept_mean_overlap
                 && boundary.0 <= self.params.accept_mean_overlap
@@ -217,6 +240,7 @@ impl CollectivePacker {
 
             if accepted {
                 for (i, &c) in centers.iter().enumerate() {
+                    bed.push(c, radii[i]);
                     particles.push(Particle {
                         center: c,
                         radius: radii[i],
@@ -247,20 +271,13 @@ impl CollectivePacker {
     /// batch fits at `spawn_density` packing fraction; positions inside the
     /// container are preferred (rejection sampling), with a fallback into
     /// the bounding-box column above it when the slab leaves the hull.
-    pub fn spawn_batch(&mut self, radii: &[f64], fixed: &CellGrid) -> Vec<f64> {
+    pub fn spawn_batch(&mut self, radii: &[f64], bed: &FixedBed) -> Vec<f64> {
         let axis = self.params.gravity;
         let up = axis.up();
+        debug_assert_eq!(bed.axis(), axis, "bed tracks a different gravity axis");
         let (bottom, top_of_container) = self.container.altitude_range(axis);
-        let bed_top = if fixed.is_empty() {
-            bottom
-        } else {
-            (0..fixed.len())
-                .map(|i| {
-                    let (c, r) = fixed.sphere(i);
-                    up.dot(c) + r
-                })
-                .fold(f64::NEG_INFINITY, f64::max)
-        };
+        // O(1): the bed maintains its top altitude incrementally.
+        let bed_top = if bed.is_empty() { bottom } else { bed.top() };
 
         let batch_volume: f64 = radii
             .iter()
@@ -303,10 +320,10 @@ impl CollectivePacker {
     /// a single batch with custom step budgets and record [`StepTrace`]s.
     #[allow(clippy::too_many_arguments)]
     pub fn optimize_batch_with(
-        &self,
+        &mut self,
         radii: &[f64],
         init: Vec<f64>,
-        fixed: &CellGrid,
+        fixed: &CsrGrid,
         max_steps: usize,
         patience: usize,
         lr: &LrPolicy,
@@ -319,7 +336,14 @@ impl CollectivePacker {
             self.container.halfspaces(),
             radii,
             fixed,
+        )
+        .with_neighbor(
+            self.params.neighbor.strategy,
+            self.params.neighbor.skin_for(radii),
         );
+        // Fresh batch: invalidate the previous batch's Verlet lists while
+        // keeping every buffer's capacity.
+        self.workspace.reset_batch();
 
         let mut coords = init;
         let mut grad = vec![0.0; coords.len()];
@@ -332,7 +356,7 @@ impl CollectivePacker {
         let mut steps = 0usize;
 
         for step in 0..max_steps {
-            let z = objective.value_and_grad(&coords, &mut grad);
+            let z = objective.value_and_grad_ws(&coords, &mut grad, &mut self.workspace);
             if let Some(t) = trace.as_deref_mut() {
                 t.push(StepTrace {
                     step,
@@ -373,21 +397,21 @@ impl CollectivePacker {
 }
 
 /// Builds the fixed-bed grid from packed particles.
-pub fn build_grid(particles: &[Particle]) -> CellGrid {
+pub fn build_grid(particles: &[Particle]) -> CsrGrid {
     if particles.is_empty() {
-        CellGrid::empty()
+        CsrGrid::empty()
     } else {
         let centers: Vec<Vec3> = particles.iter().map(|p| p.center).collect();
         let radii: Vec<f64> = particles.iter().map(|p| p.radius).collect();
-        CellGrid::build(&centers, &radii)
+        CsrGrid::build(&centers, &radii)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adampack_geometry::{shapes, Axis};
     use crate::params::OptimizerKind;
+    use adampack_geometry::{shapes, Axis};
 
     fn small_box_container() -> Container {
         Container::from_mesh(&shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0))).unwrap()
@@ -493,7 +517,10 @@ mod tests {
         let mut packer = CollectivePacker::new(small_box_container(), params);
         let result = packer.pack(&Psd::constant(0.3));
         assert!(!result.reached_target());
-        assert!(result.batches.iter().any(|b| !b.accepted), "some batch must fail");
+        assert!(
+            result.batches.iter().any(|b| !b.accepted),
+            "some batch must fail"
+        );
         // The container fits ~100 spheres of r=0.3 at most (φ ≤ 0.74).
         assert!(result.particles.len() < 80);
         assert!(result.particles.len() >= 8, "a few should fit");
@@ -505,13 +532,13 @@ mod tests {
         let params = quick_params();
         let mut packer = CollectivePacker::new(container, params);
         let radii = vec![0.12; 40];
-        let fixed = CellGrid::empty();
-        let init = packer.spawn_batch(&radii, &fixed);
+        let bed = packer.empty_bed();
+        let init = packer.spawn_batch(&radii, &bed);
         let mut trace = Vec::new();
         let run = packer.optimize_batch_with(
             &radii,
             init,
-            &fixed,
+            bed.grid(),
             400,
             50,
             &LrPolicy::paper_default(),
@@ -520,9 +547,15 @@ mod tests {
         assert_eq!(run.steps, trace.len());
         assert!(trace.len() > 10);
         let first = trace.first().unwrap().fitness;
-        assert!(run.best_fitness < first, "optimization must improve the fitness");
+        assert!(
+            run.best_fitness < first,
+            "optimization must improve the fitness"
+        );
         // The recorded minimum matches the reported best.
-        let min = trace.iter().map(|t| t.fitness).fold(f64::INFINITY, f64::min);
+        let min = trace
+            .iter()
+            .map(|t| t.fitness)
+            .fold(f64::INFINITY, f64::min);
         assert!((min - run.best_fitness).abs() < 1e-9);
     }
 
@@ -538,7 +571,10 @@ mod tests {
         // Mean x should be in the lower half of the box.
         let mean_x: f64 = result.particles.iter().map(|p| p.center.x).sum::<f64>()
             / result.particles.len() as f64;
-        assert!(mean_x < 0.0, "particles should settle towards -x, mean_x = {mean_x}");
+        assert!(
+            mean_x < 0.0,
+            "particles should settle towards -x, mean_x = {mean_x}"
+        );
     }
 
     #[test]
@@ -597,10 +633,10 @@ mod tests {
     #[test]
     fn spawn_positions_start_above_bed() {
         let mut packer = CollectivePacker::new(small_box_container(), quick_params());
-        let bed: Vec<Particle> = vec![Particle::new(Vec3::new(0.0, 0.0, -0.5), 0.3)];
-        let fixed = build_grid(&bed);
+        let spheres: Vec<Particle> = vec![Particle::new(Vec3::new(0.0, 0.0, -0.5), 0.3)];
+        let bed = FixedBed::from_particles(Axis::Z, &spheres);
         let radii = vec![0.1; 10];
-        let buf = packer.spawn_batch(&radii, &fixed);
+        let buf = packer.spawn_batch(&radii, &bed);
         for i in 0..10 {
             let p = coords::get(&buf, i);
             assert!(p.z >= -0.2 + 0.1 - 1e-9, "spawned below bed top: {p}");

@@ -283,7 +283,9 @@ mod tests {
     fn sample_in_empty_slab_returns_none() {
         let c = box_container();
         let mut rng = StdRng::seed_from_u64(1);
-        assert!(c.sample_in_slab(&mut rng, Axis::Z, 5.0, 6.0, 0.0, 200).is_none());
+        assert!(c
+            .sample_in_slab(&mut rng, Axis::Z, 5.0, 6.0, 0.0, 200)
+            .is_none());
     }
 
     #[test]
@@ -295,7 +297,11 @@ mod tests {
         let half = c.restricted(&[cut], bb);
         // Exact clipped geometry: hull present, volume exact.
         assert!(half.hull().is_some());
-        assert!((half.volume() - 4.0).abs() < 1e-9, "clipped volume = {}", half.volume());
+        assert!(
+            (half.volume() - 4.0).abs() < 1e-9,
+            "clipped volume = {}",
+            half.volume()
+        );
         assert!(half.contains(Vec3::new(0.0, 0.0, -0.5), 0.0));
         assert!(!half.contains(Vec3::new(0.0, 0.0, 0.5), 1e-9));
         let (lo, hi) = half.altitude_range(Axis::Z);

@@ -144,12 +144,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn brute_force_overlapping(
-        centers: &[Vec3],
-        radii: &[f64],
-        p: Vec3,
-        r: f64,
-    ) -> Vec<usize> {
+    fn brute_force_overlapping(centers: &[Vec3], radii: &[f64], p: Vec3, r: f64) -> Vec<usize> {
         let mut out: Vec<usize> = (0..centers.len())
             .filter(|&i| {
                 let min_dist = r + radii[i];
@@ -175,9 +170,15 @@ mod tests {
     fn single_sphere_found_when_overlapping() {
         let g = CellGrid::build(&[Vec3::ZERO], &[1.0]);
         assert_eq!(g.overlapping(Vec3::new(1.5, 0.0, 0.0), 1.0), vec![0]);
-        assert_eq!(g.overlapping(Vec3::new(2.5, 0.0, 0.0), 1.0), Vec::<usize>::new());
+        assert_eq!(
+            g.overlapping(Vec3::new(2.5, 0.0, 0.0), 1.0),
+            Vec::<usize>::new()
+        );
         // Exactly touching is not overlapping (strict inequality).
-        assert_eq!(g.overlapping(Vec3::new(2.0, 0.0, 0.0), 1.0), Vec::<usize>::new());
+        assert_eq!(
+            g.overlapping(Vec3::new(2.0, 0.0, 0.0), 1.0),
+            Vec::<usize>::new()
+        );
     }
 
     #[test]
@@ -217,7 +218,13 @@ mod tests {
         // for_neighbors must never miss a sphere within reach.
         let mut rng = StdRng::seed_from_u64(5);
         let centers: Vec<Vec3> = (0..100)
-            .map(|_| Vec3::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .map(|_| {
+                Vec3::new(
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                )
+            })
             .collect();
         let radii: Vec<f64> = (0..100).map(|_| rng.gen_range(0.01..0.2)).collect();
         let g = CellGrid::build(&centers, &radii);
@@ -234,10 +241,7 @@ mod tests {
 
     #[test]
     fn bounds_cover_sphere_surfaces() {
-        let g = CellGrid::build(
-            &[Vec3::ZERO, Vec3::new(2.0, 0.0, 0.0)],
-            &[0.5, 1.0],
-        );
+        let g = CellGrid::build(&[Vec3::ZERO, Vec3::new(2.0, 0.0, 0.0)], &[0.5, 1.0]);
         let bb = g.bounds();
         assert_eq!(bb.min, Vec3::new(-0.5, -1.0, -1.0));
         assert_eq!(bb.max, Vec3::new(3.0, 1.0, 1.0));

@@ -22,8 +22,12 @@
 //! * [`objective`] — the objective terms and their closed-form analytic
 //!   gradients (verified against `adampack-autograd` and finite differences
 //!   in the test suite), with Rayon-parallel kernels,
-//! * [`grid`] — a uniform cell-list over the fixed bed making the
-//!   cross-layer penetration term `P(C,C')` O(n·k) instead of O(n·m),
+//! * [`neighbor`] — the neighbor pipeline: a flat CSR cell grid
+//!   ([`neighbor::CsrGrid`]), skin-padded Verlet candidate lists and the
+//!   allocation-free step [`neighbor::Workspace`] that make both
+//!   penetration terms O(n·k) with amortized pair search,
+//! * [`grid`] — the original HashMap cell-list, kept as the correctness
+//!   oracle for the CSR grid's property tests,
 //! * [`psd`] — particle-size distributions (Constant / Uniform / Normal /
 //!   LogNormal and mixtures),
 //! * [`collective`] — the Algorithm 1 driver ([`CollectivePacker`]),
@@ -70,6 +74,7 @@ pub mod collective;
 pub mod container;
 pub mod grid;
 pub mod metrics;
+pub mod neighbor;
 pub mod objective;
 pub mod params;
 pub mod particle;
@@ -85,8 +90,9 @@ pub mod prelude {
     pub use crate::collective::{BatchStats, CollectivePacker, PackResult, StepTrace};
     pub use crate::container::Container;
     pub use crate::metrics::{contact_stats, psd_adherence, ContactStats};
+    pub use crate::neighbor::{CsrGrid, FixedBed, NeighborStrategy, VerletLists, Workspace};
     pub use crate::objective::{Objective, ObjectiveBreakdown, ObjectiveWeights};
-    pub use crate::params::{LrPolicy, OptimizerKind, PackingParams};
+    pub use crate::params::{LrPolicy, NeighborParams, OptimizerKind, PackingParams};
     pub use crate::particle::Particle;
     pub use crate::psd::Psd;
     pub use crate::runner::{registry, PackingAlgorithm};

@@ -8,7 +8,7 @@
 use adampack_geometry::{Aabb, HalfSpaceSet, Vec3};
 use adampack_overlap::DensityProbe;
 
-use crate::grid::CellGrid;
+use crate::neighbor::CsrGrid;
 use crate::particle::Particle;
 use crate::psd::Psd;
 
@@ -32,7 +32,7 @@ pub fn contact_stats(particles: &[Particle]) -> ContactStats {
     if particles.is_empty() {
         return ContactStats::default();
     }
-    let grid = CellGrid::build(&centers, &radii);
+    let grid = CsrGrid::build(&centers, &radii);
     let mut stats = Accum::default();
     for i in 0..centers.len() {
         grid.for_neighbors(centers[i], radii[i], |j, cj, rj| {
@@ -46,7 +46,7 @@ pub fn contact_stats(particles: &[Particle]) -> ContactStats {
 
 /// Overlap statistics of a batch against itself **and** a fixed bed — the
 /// acceptance test of Algorithm 1 line 19.
-pub fn contact_stats_vs_fixed(centers: &[Vec3], radii: &[f64], fixed: &CellGrid) -> ContactStats {
+pub fn contact_stats_vs_fixed(centers: &[Vec3], radii: &[f64], fixed: &CsrGrid) -> ContactStats {
     assert_eq!(centers.len(), radii.len());
     let mut stats = Accum::default();
     // Batch-batch pairs.
@@ -143,7 +143,10 @@ pub struct PsdAdherence {
 /// (the paper's key departure from ProtoSphere-style methods), adherence is
 /// limited only by sampling noise — this function quantifies it.
 pub fn psd_adherence(radii: &[f64], psd: &Psd) -> PsdAdherence {
-    assert!(!radii.is_empty(), "cannot measure adherence of an empty set");
+    assert!(
+        !radii.is_empty(),
+        "cannot measure adherence of an empty set"
+    );
     let sample_mean = radii.iter().sum::<f64>() / radii.len() as f64;
     let sample_max = radii.iter().copied().fold(0.0, f64::max);
     let bound = psd.max_radius();
@@ -252,7 +255,7 @@ mod tests {
 
     #[test]
     fn vs_fixed_counts_cross_and_intra() {
-        let fixed = CellGrid::build(&[Vec3::ZERO], &[0.5]);
+        let fixed = CsrGrid::build(&[Vec3::ZERO], &[0.5]);
         let centers = vec![Vec3::new(0.9, 0.0, 0.0), Vec3::new(1.7, 0.0, 0.0)];
         let radii = vec![0.5, 0.5];
         let s = contact_stats_vs_fixed(&centers, &radii, &fixed);
@@ -290,7 +293,11 @@ mod tests {
         assert!(a.sample_max <= 0.09);
         // KS: sample drawn from the PSD passes at the 5 % level.
         let critical = 1.36 / (radii.len() as f64).sqrt();
-        assert!(a.ks_statistic < critical, "D = {} >= {critical}", a.ks_statistic);
+        assert!(
+            a.ks_statistic < critical,
+            "D = {} >= {critical}",
+            a.ks_statistic
+        );
     }
 
     #[test]
@@ -305,7 +312,10 @@ mod tests {
         let d_wrong = ks_statistic(&radii, &wrong);
         let critical = 1.36 / (radii.len() as f64).sqrt();
         assert!(d_true < critical);
-        assert!(d_wrong > 5.0 * critical, "wrong PSD must be flagged: D = {d_wrong}");
+        assert!(
+            d_wrong > 5.0 * critical,
+            "wrong PSD must be flagged: D = {d_wrong}"
+        );
     }
 
     #[test]

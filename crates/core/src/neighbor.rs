@@ -1,0 +1,792 @@
+//! The neighbor pipeline: CSR cell grid, Verlet skin lists and the
+//! allocation-free step workspace.
+//!
+//! Three layers replace (and outperform) the HashMap cell-list in
+//! [`crate::grid`] on the optimizer's hot path:
+//!
+//! 1. [`CsrGrid`] — a flat compressed-sparse-row grid: particles are
+//!    counting-sorted into `cell_start`/`entries` over the bounded AABB of
+//!    their centers. Queries walk whole x-rows of cells as one contiguous
+//!    `entries` slice, so candidate iteration is branch-light, sequential
+//!    and allocation-free. [`CsrGrid::push`] supports incremental growth
+//!    (the fixed bed gains one batch at a time) through a pending overflow
+//!    list with amortized geometric rebinning.
+//! 2. [`VerletLists`] — per-particle candidate lists built once with a
+//!    `skin` of slack and reused across optimizer steps. Per-step work
+//!    drops to "walk my list"; the lists stay valid until some particle
+//!    has moved more than `skin / 2` since the last build (the classic
+//!    Verlet-list invariant: two particles approach at most `2 · skin/2`,
+//!    so no pair can come into contact without having been a candidate).
+//! 3. [`Workspace`] — owns every buffer the fused objective kernel and the
+//!    list builders need. All of them are grown geometrically and reused,
+//!    so steady-state optimizer steps perform **zero heap allocation**
+//!    (verified by a counting global allocator in the test suite).
+//!
+//! The old [`crate::grid::CellGrid`] stays as the correctness oracle: the
+//! property suite asserts CSR == HashMap == brute force on random clouds.
+//!
+//! Determinism: queries visit cells in a fixed z→y→x order and entries in
+//! counting-sort order, both independent of thread count; Verlet lists
+//! freeze that order at build time. Combined with the objective's
+//! one-writer-per-slot gradient layout and sequential value reduction, a
+//! fixed seed gives bitwise-identical packings on any thread count.
+
+use adampack_geometry::{Aabb, Axis, Vec3};
+
+use crate::particle::{coords, Particle};
+
+/// How the objective searches for interacting sphere pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NeighborStrategy {
+    /// Pick per batch: Verlet lists above [`VERLET_THRESHOLD`] particles,
+    /// plain grid/naive selection below (list upkeep only pays off once
+    /// the pair scan dominates).
+    #[default]
+    Auto,
+    /// Skin-padded Verlet candidate lists rebuilt on demand (fastest).
+    Verlet,
+    /// CSR cell-grid queries every evaluation (no lists).
+    Grid,
+    /// Exhaustive O(n²) scans (correctness oracle; small batches).
+    Naive,
+}
+
+/// Batch size at which [`NeighborStrategy::Auto`] switches to Verlet lists.
+pub const VERLET_THRESHOLD: usize = 32;
+
+/// Cap on the number of grid cells; beyond it the cell edge is scaled up.
+/// Bounds memory for sparse clouds spread over a huge AABB.
+const MAX_CELLS: usize = 1 << 21;
+
+/// Rebinning threshold for incremental pushes: the pending overflow list
+/// is folded into the CSR structure once it exceeds a quarter of the
+/// binned population (amortized O(1) per push).
+const PENDING_FRACTION: usize = 4;
+const PENDING_MIN: usize = 64;
+
+// ---------------------------------------------------------------------------
+// CsrGrid
+// ---------------------------------------------------------------------------
+
+/// A flat counting-sorted cell grid over spheres.
+///
+/// Drop-in replacement for [`crate::grid::CellGrid`] (same query surface)
+/// with contiguous storage: `entries[cell_start[c]..cell_start[c + 1]]`
+/// holds the indices of the spheres whose center falls in cell `c`, and
+/// cells are linearized x-fastest so a query's x-row of cells is one
+/// contiguous `entries` range.
+#[derive(Debug, Clone)]
+pub struct CsrGrid {
+    cell: f64,
+    inv_cell: f64,
+    origin: Vec3,
+    dims: [i64; 3],
+    /// `ncells + 1` offsets into `entries`.
+    cell_start: Vec<u32>,
+    /// Sphere indices grouped by cell.
+    entries: Vec<u32>,
+    centers: Vec<Vec3>,
+    radii: Vec<f64>,
+    max_radius: f64,
+    /// Surface-inclusive bounds, maintained incrementally.
+    bounds: Aabb,
+    /// Indices pushed since the last rebin; scanned linearly by queries.
+    pending: Vec<u32>,
+}
+
+impl Default for CsrGrid {
+    fn default() -> Self {
+        CsrGrid::empty()
+    }
+}
+
+impl CsrGrid {
+    /// Builds a grid over the given spheres.
+    ///
+    /// The cell edge defaults to the largest sphere diameter (clamped away
+    /// from zero) like the classic cell-list choice, then grows if needed
+    /// to keep the total cell count bounded.
+    pub fn build(centers: &[Vec3], radii: &[f64]) -> CsrGrid {
+        let mut g = CsrGrid::empty();
+        g.rebuild(centers, radii);
+        g
+    }
+
+    /// An empty grid (no fixed particles yet — the first batch).
+    pub fn empty() -> CsrGrid {
+        CsrGrid {
+            cell: 1.0,
+            inv_cell: 1.0,
+            origin: Vec3::ZERO,
+            dims: [1, 1, 1],
+            cell_start: Vec::new(),
+            entries: Vec::new(),
+            centers: Vec::new(),
+            radii: Vec::new(),
+            max_radius: 0.0,
+            bounds: Aabb::empty(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Re-populates the grid in place, reusing every buffer's capacity.
+    pub fn rebuild(&mut self, centers: &[Vec3], radii: &[f64]) {
+        assert_eq!(centers.len(), radii.len(), "centers/radii length mismatch");
+        self.centers.clear();
+        self.centers.extend_from_slice(centers);
+        self.radii.clear();
+        self.radii.extend_from_slice(radii);
+        self.max_radius = radii.iter().copied().fold(0.0, f64::max);
+        self.bounds = Aabb::empty();
+        for (&c, &r) in centers.iter().zip(radii) {
+            self.bounds.expand_point(c + Vec3::splat(r));
+            self.bounds.expand_point(c - Vec3::splat(r));
+        }
+        self.rebin();
+    }
+
+    /// Appends one sphere. Amortized O(1): the sphere lands on a pending
+    /// overflow list (scanned linearly by queries) that is folded into the
+    /// CSR structure once it exceeds a fraction of the binned population.
+    pub fn push(&mut self, center: Vec3, radius: f64) {
+        let i = self.centers.len() as u32;
+        self.centers.push(center);
+        self.radii.push(radius);
+        self.max_radius = self.max_radius.max(radius);
+        self.bounds.expand_point(center + Vec3::splat(radius));
+        self.bounds.expand_point(center - Vec3::splat(radius));
+        self.pending.push(i);
+        let binned = self.entries.len();
+        if self.pending.len() > PENDING_MIN.max(binned / PENDING_FRACTION) {
+            self.rebin();
+        }
+    }
+
+    /// Counting-sorts all spheres into `cell_start`/`entries` and clears
+    /// the pending list. Reuses buffer capacity.
+    fn rebin(&mut self) {
+        self.pending.clear();
+        let n = self.centers.len();
+        if n == 0 {
+            self.cell_start.clear();
+            self.entries.clear();
+            self.dims = [1, 1, 1];
+            return;
+        }
+        // Bin over the AABB of the centers (surfaces don't matter for
+        // binning; `max_radius` widens the query window instead).
+        let mut lo = self.centers[0];
+        let mut hi = self.centers[0];
+        for &c in &self.centers[1..] {
+            lo = lo.min(c);
+            hi = hi.max(c);
+        }
+        let mut cell = (2.0 * self.max_radius).max(1e-9);
+        let extent = hi - lo;
+        let dims_for = |cell: f64| -> [i64; 3] {
+            [
+                (extent.x / cell) as i64 + 1,
+                (extent.y / cell) as i64 + 1,
+                (extent.z / cell) as i64 + 1,
+            ]
+        };
+        let mut dims = dims_for(cell);
+        // The raw product can exceed i64 for tiny spheres over a huge span,
+        // so the cap check runs in f64; the 1.001 margin absorbs the `+ 1`
+        // rounding in `dims_for` so the loop terminates in 1–2 iterations.
+        let mut total = dims[0] as f64 * dims[1] as f64 * dims[2] as f64;
+        while total > MAX_CELLS as f64 {
+            cell *= (total / MAX_CELLS as f64).cbrt() * 1.001;
+            dims = dims_for(cell);
+            total = dims[0] as f64 * dims[1] as f64 * dims[2] as f64;
+        }
+        self.cell = cell;
+        self.inv_cell = 1.0 / cell;
+        self.origin = lo;
+        self.dims = dims;
+        let ncells = (dims[0] * dims[1] * dims[2]) as usize;
+
+        self.cell_start.clear();
+        self.cell_start.resize(ncells + 1, 0);
+        for &c in &self.centers {
+            let k = self.cell_index(c);
+            self.cell_start[k + 1] += 1;
+        }
+        for k in 0..ncells {
+            self.cell_start[k + 1] += self.cell_start[k];
+        }
+        self.entries.clear();
+        self.entries.resize(n, 0);
+        // Scatter with the starts as cursors, then shift right to restore
+        // them (the standard scratch-free counting-sort finish).
+        for i in 0..n {
+            let k = self.cell_index(self.centers[i]);
+            self.entries[self.cell_start[k] as usize] = i as u32;
+            self.cell_start[k] += 1;
+        }
+        for k in (1..=ncells).rev() {
+            self.cell_start[k] = self.cell_start[k - 1];
+        }
+        self.cell_start[0] = 0;
+    }
+
+    /// Linear cell index of a binned center (clamped against FP edge cases).
+    #[inline]
+    fn cell_index(&self, p: Vec3) -> usize {
+        let ix = (((p.x - self.origin.x) * self.inv_cell) as i64).clamp(0, self.dims[0] - 1);
+        let iy = (((p.y - self.origin.y) * self.inv_cell) as i64).clamp(0, self.dims[1] - 1);
+        let iz = (((p.z - self.origin.z) * self.inv_cell) as i64).clamp(0, self.dims[2] - 1);
+        ((iz * self.dims[1] + iy) * self.dims[0] + ix) as usize
+    }
+
+    /// Number of indexed spheres.
+    pub fn len(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// True when no spheres are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.centers.is_empty()
+    }
+
+    /// Largest indexed radius.
+    pub fn max_radius(&self) -> f64 {
+        self.max_radius
+    }
+
+    /// Indexed sphere `i` as `(center, radius)`.
+    #[inline]
+    pub fn sphere(&self, i: usize) -> (Vec3, f64) {
+        (self.centers[i], self.radii[i])
+    }
+
+    /// All centers (counting-sort SoA view).
+    pub fn centers(&self) -> &[Vec3] {
+        &self.centers
+    }
+
+    /// All radii.
+    pub fn radii(&self) -> &[f64] {
+        &self.radii
+    }
+
+    /// Visits every indexed sphere whose surface could be within `reach`
+    /// of the point `p` — i.e. all spheres with `‖c − p‖ ≤ reach + r_max`.
+    ///
+    /// The callback receives `(index, center, radius)`. Candidates outside
+    /// the reach are *not* filtered here (the caller's distance math
+    /// already computes the exact distance); only whole cells are culled.
+    /// Visit order is deterministic: binned spheres in z→y→x cell order
+    /// (entries in counting-sort order within a row), then pending spheres
+    /// in insertion order.
+    #[inline]
+    pub fn for_neighbors<F: FnMut(usize, Vec3, f64)>(&self, p: Vec3, reach: f64, mut f: F) {
+        if !self.entries.is_empty() {
+            let range = reach + self.max_radius;
+            let lo_x = ((p.x - range - self.origin.x) * self.inv_cell).floor() as i64;
+            let hi_x = ((p.x + range - self.origin.x) * self.inv_cell).floor() as i64;
+            let lo_y = ((p.y - range - self.origin.y) * self.inv_cell).floor() as i64;
+            let hi_y = ((p.y + range - self.origin.y) * self.inv_cell).floor() as i64;
+            let lo_z = ((p.z - range - self.origin.z) * self.inv_cell).floor() as i64;
+            let hi_z = ((p.z + range - self.origin.z) * self.inv_cell).floor() as i64;
+            let [dx, dy, dz] = self.dims;
+            if hi_x >= 0 && lo_x < dx && hi_y >= 0 && lo_y < dy && hi_z >= 0 && lo_z < dz {
+                let (lo_x, hi_x) = (lo_x.max(0), hi_x.min(dx - 1));
+                let (lo_y, hi_y) = (lo_y.max(0), hi_y.min(dy - 1));
+                let (lo_z, hi_z) = (lo_z.max(0), hi_z.min(dz - 1));
+                for iz in lo_z..=hi_z {
+                    for iy in lo_y..=hi_y {
+                        // The whole x-row is contiguous in `entries`.
+                        let row = (iz * dy + iy) * dx;
+                        let a = self.cell_start[(row + lo_x) as usize] as usize;
+                        let b = self.cell_start[(row + hi_x) as usize + 1] as usize;
+                        for &i in &self.entries[a..b] {
+                            let i = i as usize;
+                            f(i, self.centers[i], self.radii[i]);
+                        }
+                    }
+                }
+            }
+        }
+        for &i in &self.pending {
+            let i = i as usize;
+            f(i, self.centers[i], self.radii[i]);
+        }
+    }
+
+    /// Collects the indices of spheres actually overlapping the query
+    /// sphere `(p, r)` (exact test, not just cell candidates).
+    pub fn overlapping(&self, p: Vec3, r: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.for_neighbors(p, r, |i, c, cr| {
+            let min_dist = r + cr;
+            if p.distance_sq(c) < min_dist * min_dist {
+                out.push(i);
+            }
+        });
+        out.sort_unstable();
+        out
+    }
+
+    /// Bounding box of all indexed spheres (surface-inclusive).
+    pub fn bounds(&self) -> Aabb {
+        self.bounds
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FixedBed
+// ---------------------------------------------------------------------------
+
+/// The packed bed a batch optimizes against: an incrementally grown
+/// [`CsrGrid`] plus the running top altitude along the gravity axis.
+///
+/// Replaces the seed's per-batch full rebuild (`build_grid(&particles)` and
+/// an O(packed) bed-top rescan in `spawn_batch`) with O(batch) pushes.
+#[derive(Debug, Clone)]
+pub struct FixedBed {
+    grid: CsrGrid,
+    axis: Axis,
+    top: f64,
+}
+
+impl FixedBed {
+    /// An empty bed measuring altitude along `axis`.
+    pub fn new(axis: Axis) -> FixedBed {
+        FixedBed {
+            grid: CsrGrid::empty(),
+            axis,
+            top: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Builds the bed from already packed particles.
+    pub fn from_particles(axis: Axis, particles: &[Particle]) -> FixedBed {
+        let mut bed = FixedBed::new(axis);
+        if particles.is_empty() {
+            return bed;
+        }
+        let centers: Vec<Vec3> = particles.iter().map(|p| p.center).collect();
+        let radii: Vec<f64> = particles.iter().map(|p| p.radius).collect();
+        bed.grid.rebuild(&centers, &radii);
+        let up = axis.up();
+        bed.top = particles
+            .iter()
+            .map(|p| up.dot(p.center) + p.radius)
+            .fold(f64::NEG_INFINITY, f64::max);
+        bed
+    }
+
+    /// Adds one packed sphere (amortized O(1)).
+    pub fn push(&mut self, center: Vec3, radius: f64) {
+        self.top = self.top.max(self.axis.up().dot(center) + radius);
+        self.grid.push(center, radius);
+    }
+
+    /// The neighbor-query structure over the bed.
+    pub fn grid(&self) -> &CsrGrid {
+        &self.grid
+    }
+
+    /// The gravity axis the bed tracks its top along.
+    pub fn axis(&self) -> Axis {
+        self.axis
+    }
+
+    /// Highest sphere-surface altitude, or `-∞` for an empty bed.
+    pub fn top(&self) -> f64 {
+        self.top
+    }
+
+    /// Number of packed spheres.
+    pub fn len(&self) -> usize {
+        self.grid.len()
+    }
+
+    /// True when nothing is packed yet.
+    pub fn is_empty(&self) -> bool {
+        self.grid.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// VerletLists
+// ---------------------------------------------------------------------------
+
+/// Skin-padded candidate pair lists for one batch (CSR layout).
+///
+/// `intra_entries[intra_start[i]..intra_start[i + 1]]` are the batch
+/// particles `j ≠ i` with `‖cᵢ−cⱼ‖ < rᵢ + rⱼ + skin` at build time, and
+/// `cross_*` likewise indexes the fixed bed. Reference coordinates are
+/// kept so [`VerletLists::needs_rebuild`] can apply the half-skin
+/// displacement criterion.
+#[derive(Debug, Clone, Default)]
+pub struct VerletLists {
+    skin: f64,
+    ref_coords: Vec<f64>,
+    intra_start: Vec<u32>,
+    intra_entries: Vec<u32>,
+    cross_start: Vec<u32>,
+    cross_entries: Vec<u32>,
+    rebuilds: usize,
+}
+
+impl VerletLists {
+    /// The skin the lists were last built with.
+    pub fn skin(&self) -> f64 {
+        self.skin
+    }
+
+    /// How many times the lists were (re)built since creation.
+    pub fn rebuilds(&self) -> usize {
+        self.rebuilds
+    }
+
+    /// True when no build happened yet or some particle moved further
+    /// than `skin / 2` from its position at the last build.
+    pub fn needs_rebuild(&self, c: &[f64]) -> bool {
+        if self.ref_coords.len() != c.len() {
+            return true;
+        }
+        let limit_sq = (self.skin / 2.0) * (self.skin / 2.0);
+        let n = c.len() / 3;
+        for i in 0..n {
+            let d = coords::get(c, i) - coords::get(&self.ref_coords, i);
+            if d.norm_sq() > limit_sq {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Rebuilds both lists from the current coordinates, reusing buffer
+    /// capacity. `scratch` is the caller's batch-grid workspace.
+    pub fn rebuild(
+        &mut self,
+        c: &[f64],
+        radii: &[f64],
+        fixed: &CsrGrid,
+        skin: f64,
+        scratch: &mut CsrGrid,
+        positions: &mut Vec<Vec3>,
+    ) {
+        let n = radii.len();
+        assert_eq!(c.len(), 3 * n, "coordinate buffer size mismatch");
+        assert!(skin > 0.0, "skin must be positive");
+        self.skin = skin;
+        self.ref_coords.clear();
+        self.ref_coords.extend_from_slice(c);
+        self.rebuilds += 1;
+
+        positions.clear();
+        for i in 0..n {
+            positions.push(coords::get(c, i));
+        }
+        scratch.rebuild(positions, radii);
+
+        self.intra_start.clear();
+        self.intra_entries.clear();
+        self.cross_start.clear();
+        self.cross_entries.clear();
+        self.intra_start.push(0);
+        self.cross_start.push(0);
+        for i in 0..n {
+            let ci = positions[i];
+            let ri = radii[i];
+            // Intra candidates: cutoff rᵢ + rⱼ + skin. The grid query's
+            // reach of rᵢ + skin plus its internal r_max margin covers it.
+            scratch.for_neighbors(ci, ri + skin, |j, cj, rj| {
+                if j != i && ci.distance_sq(cj) < (ri + rj + skin) * (ri + rj + skin) {
+                    self.intra_entries.push(j as u32);
+                }
+            });
+            self.intra_start.push(self.intra_entries.len() as u32);
+            fixed.for_neighbors(ci, ri + skin, |k, cf, rf| {
+                if ci.distance_sq(cf) < (ri + rf + skin) * (ri + rf + skin) {
+                    self.cross_entries.push(k as u32);
+                }
+            });
+            self.cross_start.push(self.cross_entries.len() as u32);
+        }
+    }
+
+    /// Batch-particle candidates of particle `i` (build-time order).
+    #[inline]
+    pub fn intra(&self, i: usize) -> &[u32] {
+        &self.intra_entries[self.intra_start[i] as usize..self.intra_start[i + 1] as usize]
+    }
+
+    /// Fixed-bed candidates of particle `i` (build-time order).
+    #[inline]
+    pub fn cross(&self, i: usize) -> &[u32] {
+        &self.cross_entries[self.cross_start[i] as usize..self.cross_start[i + 1] as usize]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workspace
+// ---------------------------------------------------------------------------
+
+/// Reusable buffers for the objective's fused value/gradient kernel.
+///
+/// One workspace is owned per optimization driver (e.g. the packer) and
+/// passed to every evaluation: per-particle partial values, the batch
+/// cell grid, the Verlet lists and position scratch all live here and are
+/// only ever grown, never freed — after the first few steps of a batch the
+/// entire step path runs without touching the heap.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    /// Per-particle partial objective values (reduced sequentially).
+    pub(crate) values: Vec<f64>,
+    /// Batch cell grid (per-evaluation in grid mode, per-rebuild in
+    /// Verlet mode).
+    pub(crate) batch_grid: CsrGrid,
+    /// Position scratch for coordinate-buffer → `Vec3` views.
+    pub(crate) positions: Vec<Vec3>,
+    /// The batch's Verlet candidate lists.
+    pub(crate) verlet: VerletLists,
+    /// Evaluations served since creation (diagnostics).
+    pub(crate) evals: usize,
+}
+
+impl Workspace {
+    /// A fresh, empty workspace.
+    pub fn new() -> Workspace {
+        Workspace::default()
+    }
+
+    /// Number of Verlet list (re)builds since creation.
+    pub fn verlet_rebuilds(&self) -> usize {
+        self.verlet.rebuilds()
+    }
+
+    /// Number of objective evaluations served since creation.
+    pub fn evals(&self) -> usize {
+        self.evals
+    }
+
+    /// Resets per-batch state (list reference positions), keeping every
+    /// buffer's capacity. Call between batches.
+    pub fn reset_batch(&mut self) {
+        self.verlet.ref_coords.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::CellGrid;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_cloud(seed: u64, n: usize, span: f64) -> (Vec<Vec3>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers = (0..n)
+            .map(|_| {
+                Vec3::new(
+                    rng.gen_range(-span..span),
+                    rng.gen_range(-span..span),
+                    rng.gen_range(-span..span),
+                )
+            })
+            .collect();
+        let radii = (0..n).map(|_| rng.gen_range(0.05..0.4)).collect();
+        (centers, radii)
+    }
+
+    #[test]
+    fn empty_grid_yields_nothing() {
+        let g = CsrGrid::empty();
+        assert!(g.is_empty());
+        assert_eq!(g.overlapping(Vec3::ZERO, 10.0), Vec::<usize>::new());
+        let mut visited = 0;
+        g.for_neighbors(Vec3::ZERO, 100.0, |_, _, _| visited += 1);
+        assert_eq!(visited, 0);
+        assert!(g.bounds().is_empty());
+    }
+
+    #[test]
+    fn matches_hashmap_oracle_on_random_clouds() {
+        for trial in 0..10 {
+            let (centers, radii) = random_cloud(1000 + trial, 300, 3.0);
+            let csr = CsrGrid::build(&centers, &radii);
+            let oracle = CellGrid::build(&centers, &radii);
+            let mut rng = StdRng::seed_from_u64(2000 + trial);
+            for _ in 0..50 {
+                let p = Vec3::new(
+                    rng.gen_range(-4.0..4.0),
+                    rng.gen_range(-4.0..4.0),
+                    rng.gen_range(-4.0..4.0),
+                );
+                let r = rng.gen_range(0.05..0.5);
+                assert_eq!(
+                    csr.overlapping(p, r),
+                    oracle.overlapping(p, r),
+                    "trial {trial}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn query_far_outside_the_aabb_is_empty_and_safe() {
+        let (centers, radii) = random_cloud(7, 50, 1.0);
+        let g = CsrGrid::build(&centers, &radii);
+        assert_eq!(g.overlapping(Vec3::splat(100.0), 0.5), Vec::<usize>::new());
+        // Reaching back into the cloud from far away still works.
+        let hits = g.overlapping(Vec3::splat(100.0), 200.0);
+        assert_eq!(hits.len(), 50);
+    }
+
+    #[test]
+    fn incremental_push_matches_bulk_build() {
+        let (centers, radii) = random_cloud(42, 500, 2.0);
+        let bulk = CsrGrid::build(&centers, &radii);
+        let mut inc = CsrGrid::empty();
+        for (&c, &r) in centers.iter().zip(&radii) {
+            inc.push(c, r);
+        }
+        assert_eq!(inc.len(), bulk.len());
+        let mut rng = StdRng::seed_from_u64(43);
+        for _ in 0..100 {
+            let p = Vec3::new(
+                rng.gen_range(-2.5..2.5),
+                rng.gen_range(-2.5..2.5),
+                rng.gen_range(-2.5..2.5),
+            );
+            let r = rng.gen_range(0.05..0.5);
+            assert_eq!(inc.overlapping(p, r), bulk.overlapping(p, r));
+        }
+        // Incremental bounds match the bulk bounds.
+        assert_eq!(inc.bounds().min, bulk.bounds().min);
+        assert_eq!(inc.bounds().max, bulk.bounds().max);
+    }
+
+    #[test]
+    fn push_with_growing_radius_stays_correct() {
+        // A pushed sphere larger than anything binned must still be found
+        // (max_radius grows, widening the query window).
+        let mut g = CsrGrid::build(&[Vec3::ZERO], &[0.1]);
+        g.push(Vec3::new(5.0, 0.0, 0.0), 3.0);
+        assert_eq!(g.overlapping(Vec3::new(8.5, 0.0, 0.0), 1.0), vec![1]);
+        assert_eq!(g.max_radius(), 3.0);
+    }
+
+    #[test]
+    fn rebuild_reuses_buffers() {
+        let (centers, radii) = random_cloud(9, 400, 2.0);
+        let mut g = CsrGrid::build(&centers, &radii);
+        let cap_entries = g.entries.capacity();
+        let cap_starts = g.cell_start.capacity();
+        g.rebuild(&centers[..300], &radii[..300]);
+        assert_eq!(g.len(), 300);
+        assert!(g.entries.capacity() >= cap_entries.min(300));
+        assert!(g.cell_start.capacity() <= cap_starts.max(g.cell_start.len()));
+    }
+
+    #[test]
+    fn degenerate_all_same_position_handled() {
+        let centers = vec![Vec3::splat(0.5); 20];
+        let radii = vec![0.1; 20];
+        let g = CsrGrid::build(&centers, &radii);
+        assert_eq!(g.overlapping(Vec3::splat(0.5), 0.05).len(), 20);
+        assert_eq!(g.dims, [1, 1, 1]);
+    }
+
+    #[test]
+    fn huge_span_caps_cell_count() {
+        // Two clusters 10⁶ apart with tiny radii would naively want an
+        // astronomically large grid.
+        let mut centers = vec![Vec3::ZERO];
+        centers.push(Vec3::splat(1e6));
+        let radii = vec![0.01, 0.01];
+        let g = CsrGrid::build(&centers, &radii);
+        assert!((g.dims[0] * g.dims[1] * g.dims[2]) as usize <= MAX_CELLS * 2);
+        assert_eq!(g.overlapping(Vec3::ZERO, 0.005), vec![0]);
+        assert_eq!(g.overlapping(Vec3::splat(1e6), 0.005), vec![1]);
+    }
+
+    #[test]
+    fn fixed_bed_tracks_top_incrementally() {
+        let mut bed = FixedBed::new(Axis::Z);
+        assert!(bed.is_empty());
+        assert_eq!(bed.top(), f64::NEG_INFINITY);
+        bed.push(Vec3::new(0.0, 0.0, 1.0), 0.5);
+        assert_eq!(bed.top(), 1.5);
+        bed.push(Vec3::new(1.0, 0.0, 0.2), 0.1);
+        assert_eq!(bed.top(), 1.5);
+        bed.push(Vec3::new(0.0, 1.0, 2.0), 0.25);
+        assert_eq!(bed.top(), 2.25);
+        assert_eq!(bed.len(), 3);
+
+        let particles: Vec<Particle> = vec![
+            Particle::new(Vec3::new(0.0, 0.0, 1.0), 0.5),
+            Particle::new(Vec3::new(1.0, 0.0, 0.2), 0.1),
+            Particle::new(Vec3::new(0.0, 1.0, 2.0), 0.25),
+        ];
+        let rebuilt = FixedBed::from_particles(Axis::Z, &particles);
+        assert_eq!(rebuilt.top(), bed.top());
+        assert_eq!(rebuilt.len(), bed.len());
+    }
+
+    #[test]
+    fn verlet_lists_cover_all_contact_pairs_until_half_skin() {
+        let (centers, radii) = random_cloud(77, 150, 1.0);
+        let c = coords::from_positions(&centers);
+        let fixed_cloud = random_cloud(78, 100, 1.0);
+        let fixed = CsrGrid::build(&fixed_cloud.0, &fixed_cloud.1);
+        let skin = 0.2;
+        let mut lists = VerletLists::default();
+        let mut scratch = CsrGrid::empty();
+        let mut positions = Vec::new();
+        assert!(lists.needs_rebuild(&c));
+        lists.rebuild(&c, &radii, &fixed, skin, &mut scratch, &mut positions);
+        assert!(!lists.needs_rebuild(&c));
+
+        // Move every particle by just under skin/2 in a random direction:
+        // lists stay valid and must still contain every overlapping pair.
+        let mut rng = StdRng::seed_from_u64(79);
+        let mut moved = c.clone();
+        for v in moved.iter_mut() {
+            *v += rng.gen_range(-0.99..0.99) * (skin / 2.0) / f64::sqrt(3.0);
+        }
+        assert!(!lists.needs_rebuild(&moved));
+        let n = radii.len();
+        for i in 0..n {
+            let ci = coords::get(&moved, i);
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let cj = coords::get(&moved, j);
+                if ci.distance(cj) < radii[i] + radii[j] {
+                    assert!(
+                        lists.intra(i).contains(&(j as u32)),
+                        "contact pair ({i},{j}) missing from the Verlet list"
+                    );
+                }
+            }
+            for k in 0..fixed.len() {
+                let (cf, rf) = fixed.sphere(k);
+                if ci.distance(cf) < radii[i] + rf {
+                    assert!(
+                        lists.cross(i).contains(&(k as u32)),
+                        "cross pair ({i},{k}) missing from the Verlet list"
+                    );
+                }
+            }
+        }
+
+        // A large move triggers the rebuild criterion.
+        let mut far = moved.clone();
+        far[0] += skin;
+        assert!(lists.needs_rebuild(&far));
+    }
+
+    #[test]
+    fn workspace_reports_diagnostics() {
+        let ws = Workspace::new();
+        assert_eq!(ws.verlet_rebuilds(), 0);
+        assert_eq!(ws.evals(), 0);
+    }
+}

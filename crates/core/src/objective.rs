@@ -19,16 +19,26 @@
 //! The reference implementation differentiates this with PyTorch autograd;
 //! here the gradient is closed-form — the expensive part is the same pair
 //! scan the value needs, so value and gradient are fused into one pass.
-//! Both are embarrassingly parallel over batch particles and use Rayon:
-//! particle `i`'s slot of the gradient buffer is written by exactly one
-//! task, and per-particle partial values are reduced **sequentially** from a
-//! scratch vector so results are bitwise-deterministic for a fixed seed
-//! regardless of thread count (the paper fixes seeds the same way, §IV).
+//!
+//! ## Neighbor pipeline
+//!
+//! Pair search is pluggable via [`NeighborStrategy`]: exhaustive scans
+//! (oracle), per-evaluation [`CsrGrid`] queries, or skin-padded Verlet
+//! candidate lists from [`crate::neighbor`] that amortize the search over
+//! many optimizer steps. The hot entry points
+//! [`Objective::value_and_grad_ws`]/[`Objective::value_ws`] thread a
+//! [`Workspace`] through so steady-state evaluations are allocation-free.
+//!
+//! Both kernels are data-parallel over batch particles: particle `i`'s slot
+//! of the gradient buffer is written by exactly one task, and per-particle
+//! partial values are reduced **sequentially** from a scratch vector so
+//! results are bitwise-deterministic for a fixed seed regardless of thread
+//! count (the paper fixes seeds the same way, §IV).
 
-use adampack_geometry::{HalfSpaceSet, Axis, Vec3};
-use rayon::prelude::*;
+use adampack_geometry::{Axis, HalfSpaceSet, Vec3};
+use rayon::par;
 
-use crate::grid::CellGrid;
+use crate::neighbor::{CsrGrid, NeighborStrategy, VerletLists, Workspace, VERLET_THRESHOLD};
 use crate::particle::coords;
 
 /// The objective's linear-combination weights (paper eq. 4/5).
@@ -56,8 +66,15 @@ impl Default for ObjectiveWeights {
 impl ObjectiveWeights {
     /// Panics on non-finite or negative weights.
     pub fn validate(&self) {
-        for (name, w) in [("alpha", self.alpha), ("beta", self.beta), ("gamma", self.gamma)] {
-            assert!(w.is_finite() && w >= 0.0, "weight {name} must be finite and >= 0, got {w}");
+        for (name, w) in [
+            ("alpha", self.alpha),
+            ("beta", self.beta),
+            ("gamma", self.gamma),
+        ] {
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "weight {name} must be finite and >= 0, got {w}"
+            );
         }
     }
 }
@@ -77,7 +94,8 @@ pub struct ObjectiveBreakdown {
     pub total: f64,
 }
 
-/// How the cross-layer penetration term is evaluated.
+/// How the cross-layer penetration term is evaluated (under the grid
+/// pipeline; [`NeighborStrategy::Verlet`] supersedes it).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CrossMode {
     /// Cell-list neighbour queries (default; O(batch · k)).
@@ -87,7 +105,8 @@ pub enum CrossMode {
     Naive,
 }
 
-/// How the intra-batch penetration term is evaluated.
+/// How the intra-batch penetration term is evaluated (under the grid
+/// pipeline; [`NeighborStrategy::Verlet`] supersedes it).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IntraMode {
     /// Pick by batch size: grid above [`INTRA_GRID_THRESHOLD`], naive below
@@ -106,6 +125,23 @@ pub enum IntraMode {
 /// 5000); 768 splits the gap conservatively.
 pub const INTRA_GRID_THRESHOLD: usize = 768;
 
+/// Default Verlet skin as a fraction of the largest batch radius.
+pub const DEFAULT_SKIN_FACTOR: f64 = 0.4;
+
+/// Resolved per-evaluation intra-batch pair source.
+enum IntraPlan<'w> {
+    Naive,
+    Grid(&'w CsrGrid),
+    Verlet(&'w VerletLists),
+}
+
+/// Resolved per-evaluation fixed-bed pair source.
+enum CrossPlan<'w> {
+    Naive,
+    Grid,
+    Verlet(&'w VerletLists),
+}
+
 /// One batch's objective: borrows the batch radii, the fixed bed and the
 /// container planes for the duration of a batch optimization.
 pub struct Objective<'a> {
@@ -113,21 +149,27 @@ pub struct Objective<'a> {
     axis: Axis,
     halfspaces: &'a HalfSpaceSet,
     radii: &'a [f64],
-    fixed: &'a CellGrid,
+    fixed: &'a CsrGrid,
     cross_mode: CrossMode,
     intra_mode: IntraMode,
+    strategy: NeighborStrategy,
+    skin: f64,
 }
 
 impl<'a> Objective<'a> {
     /// Creates the objective for a batch with the given radii.
+    ///
+    /// The neighbor strategy defaults to [`NeighborStrategy::Auto`] with a
+    /// skin of [`DEFAULT_SKIN_FACTOR`] × the largest batch radius.
     pub fn new(
         weights: ObjectiveWeights,
         axis: Axis,
         halfspaces: &'a HalfSpaceSet,
         radii: &'a [f64],
-        fixed: &'a CellGrid,
+        fixed: &'a CsrGrid,
     ) -> Objective<'a> {
         weights.validate();
+        let r_max = radii.iter().copied().fold(0.0, f64::max);
         Objective {
             weights,
             axis,
@@ -136,19 +178,43 @@ impl<'a> Objective<'a> {
             fixed,
             cross_mode: CrossMode::Grid,
             intra_mode: IntraMode::Auto,
+            strategy: NeighborStrategy::Auto,
+            skin: (DEFAULT_SKIN_FACTOR * r_max).max(1e-9),
         }
     }
 
-    /// Selects the cross-term evaluation strategy (ablation hook).
+    /// Selects the cross-term evaluation strategy (ablation hook). Also
+    /// pins the pipeline to [`NeighborStrategy::Grid`] so the mode choice
+    /// actually takes effect.
     pub fn with_cross_mode(mut self, mode: CrossMode) -> Objective<'a> {
         self.cross_mode = mode;
+        self.strategy = NeighborStrategy::Grid;
         self
     }
 
-    /// Selects the intra-batch evaluation strategy (ablation hook).
+    /// Selects the intra-batch evaluation strategy (ablation hook). Also
+    /// pins the pipeline to [`NeighborStrategy::Grid`].
     pub fn with_intra_mode(mut self, mode: IntraMode) -> Objective<'a> {
         self.intra_mode = mode;
+        self.strategy = NeighborStrategy::Grid;
         self
+    }
+
+    /// Selects the neighbor pipeline and Verlet skin (absolute length;
+    /// ignored outside the Verlet strategy). Panics on a non-positive skin.
+    pub fn with_neighbor(mut self, strategy: NeighborStrategy, skin: f64) -> Objective<'a> {
+        assert!(
+            skin > 0.0 && skin.is_finite(),
+            "skin must be positive, got {skin}"
+        );
+        self.strategy = strategy;
+        self.skin = skin;
+        self
+    }
+
+    /// The Verlet skin currently configured.
+    pub fn skin(&self) -> f64 {
+        self.skin
     }
 
     fn use_intra_grid(&self) -> bool {
@@ -159,143 +225,279 @@ impl<'a> Objective<'a> {
         }
     }
 
+    /// The strategy actually used for this batch size.
+    fn resolved_strategy(&self) -> NeighborStrategy {
+        match self.strategy {
+            NeighborStrategy::Auto => {
+                if self.radii.len() >= VERLET_THRESHOLD {
+                    NeighborStrategy::Verlet
+                } else {
+                    NeighborStrategy::Grid
+                }
+            }
+            s => s,
+        }
+    }
+
     /// Number of batch particles.
     pub fn n(&self) -> usize {
         self.radii.len()
     }
 
-    /// Evaluates `Z(C)`.
+    /// Evaluates `Z(C)` without computing the gradient (convenience;
+    /// allocates a throwaway workspace — hot paths use [`Self::value_ws`]).
     pub fn value(&self, c: &[f64]) -> f64 {
-        let mut grad = vec![0.0; c.len()];
-        self.value_and_grad(c, &mut grad)
+        let mut ws = Workspace::new();
+        self.value_ws(c, &mut ws)
     }
 
-    /// Evaluates `Z(C)` and writes `∂Z/∂C` into `grad` (overwritten).
-    ///
-    /// Cost: one fused pair scan. Deterministic for fixed inputs regardless
-    /// of the Rayon thread count.
+    /// Evaluates `Z(C)` and writes `∂Z/∂C` into `grad` (convenience;
+    /// allocates a throwaway workspace — hot paths use
+    /// [`Self::value_and_grad_ws`]).
     pub fn value_and_grad(&self, c: &[f64], grad: &mut [f64]) -> f64 {
+        let mut ws = Workspace::new();
+        self.value_and_grad_ws(c, grad, &mut ws)
+    }
+
+    /// Evaluates `Z(C)` only, reusing the workspace's buffers. No gradient
+    /// buffer is touched or required.
+    pub fn value_ws(&self, c: &[f64], ws: &mut Workspace) -> f64 {
         let n = self.radii.len();
         assert_eq!(c.len(), 3 * n, "coordinate buffer size mismatch");
-        assert_eq!(grad.len(), 3 * n, "gradient buffer size mismatch");
-        let ObjectiveWeights { alpha, beta, gamma } = self.weights;
-        let up = self.axis.up();
-
-        // Optional cell-list over the batch itself for very large batches
-        // (rebuilt per evaluation because batch positions move every step).
-        let intra_grid: Option<CellGrid> = if self.use_intra_grid() {
-            let positions = coords::to_positions(c);
-            Some(CellGrid::build(&positions, self.radii))
-        } else {
-            None
-        };
-
-        let mut values = vec![0.0; n];
-        grad.par_chunks_mut(3)
-            .zip(values.par_iter_mut())
-            .enumerate()
-            .for_each(|(i, (gslot, vslot))| {
-                let ci = coords::get(c, i);
-                let ri = self.radii[i];
-                let mut v = 0.0;
-                let mut g = Vec3::ZERO;
-
-                // Intra-batch penetration: row i of the ordered pair sum.
-                // Summing rows reproduces the full ordered total; the
-                // gradient of that total w.r.t. cᵢ collects both (i,j) and
-                // (j,i), hence the factor 2.
-                let mut intra = |j: usize, cj: Vec3, rj: f64| {
-                    if j == i {
-                        return;
-                    }
-                    let sum_r = ri + rj;
-                    let d = ci.distance(cj);
-                    if d < sum_r {
-                        v += alpha * (sum_r - d);
-                        let dir = pair_direction(ci, cj, d, i, j);
-                        // p_ij = sum_r − ‖cᵢ−cⱼ‖ ⇒ ∂p/∂cᵢ = −dir.
-                        g -= dir * (2.0 * alpha);
-                    }
-                };
-                match &intra_grid {
-                    Some(grid) => grid.for_neighbors(ci, ri, &mut intra),
-                    None => {
-                        for j in 0..n {
-                            intra(j, coords::get(c, j), self.radii[j]);
-                        }
-                    }
-                }
-
-                // Cross-layer penetration against the fixed bed (each pair
-                // counted once; only batch coordinates carry gradient).
-                let mut cross = |_, cf: Vec3, rf: f64| {
-                    let sum_r = ri + rf;
-                    let d = ci.distance(cf);
-                    if d < sum_r {
-                        v += alpha * (sum_r - d);
-                        let dir = pair_direction(ci, cf, d, i, usize::MAX);
-                        g -= dir * alpha;
-                    }
-                };
-                match self.cross_mode {
-                    CrossMode::Grid => self.fixed.for_neighbors(ci, ri, &mut cross),
-                    CrossMode::Naive => {
-                        for k in 0..self.fixed.len() {
-                            let (cf, rf) = self.fixed.sphere(k);
-                            cross(k, cf, rf);
-                        }
-                    }
-                }
-
-                // Exterior distance over the container planes.
-                for plane in self.halfspaces.planes() {
-                    let excess = plane.sphere_excess(ci, ri);
-                    if excess > 0.0 {
-                        v += gamma * excess;
-                        g += plane.normal * gamma;
-                    }
-                }
-
-                // Altitude.
-                v += beta * self.axis.altitude(ci);
-                g += up * beta;
-
-                gslot[0] = g.x;
-                gslot[1] = g.y;
-                gslot[2] = g.z;
-                *vslot = v;
-            });
-
+        let Workspace {
+            values,
+            batch_grid,
+            positions,
+            verlet,
+            evals,
+        } = ws;
+        *evals += 1;
+        values.clear();
+        values.resize(n, 0.0);
+        let (intra, cross) = self.plans(c, batch_grid, positions, verlet);
+        par::for_each_slot(values, |i, vslot| {
+            let (v, _) = self.particle_term(i, c, &intra, &cross);
+            *vslot = v;
+        });
         // Sequential reduction keeps the result bitwise-deterministic.
         values.iter().sum()
     }
 
+    /// Evaluates `Z(C)` and writes `∂Z/∂C` into `grad` (overwritten),
+    /// reusing the workspace's buffers: the steady-state step path performs
+    /// zero heap allocation.
+    ///
+    /// Cost: one fused pair scan. Deterministic for fixed inputs regardless
+    /// of the thread count.
+    pub fn value_and_grad_ws(&self, c: &[f64], grad: &mut [f64], ws: &mut Workspace) -> f64 {
+        let n = self.radii.len();
+        assert_eq!(c.len(), 3 * n, "coordinate buffer size mismatch");
+        assert_eq!(grad.len(), 3 * n, "gradient buffer size mismatch");
+        let Workspace {
+            values,
+            batch_grid,
+            positions,
+            verlet,
+            evals,
+        } = ws;
+        *evals += 1;
+        values.clear();
+        values.resize(n, 0.0);
+        let (intra, cross) = self.plans(c, batch_grid, positions, verlet);
+        par::for_each_chunk_zip(grad, 3, values, |i, gslot, vslot| {
+            let (v, g) = self.particle_term(i, c, &intra, &cross);
+            gslot[0] = g.x;
+            gslot[1] = g.y;
+            gslot[2] = g.z;
+            *vslot = v;
+        });
+        // Sequential reduction keeps the result bitwise-deterministic.
+        values.iter().sum()
+    }
+
+    /// Refreshes the workspace structures the resolved strategy needs and
+    /// returns the pair-source plans for this evaluation.
+    fn plans<'w>(
+        &self,
+        c: &[f64],
+        batch_grid: &'w mut CsrGrid,
+        positions: &'w mut Vec<Vec3>,
+        verlet: &'w mut VerletLists,
+    ) -> (IntraPlan<'w>, CrossPlan<'w>) {
+        match self.resolved_strategy() {
+            NeighborStrategy::Verlet => {
+                if verlet.skin() != self.skin || verlet.needs_rebuild(c) {
+                    verlet.rebuild(c, self.radii, self.fixed, self.skin, batch_grid, positions);
+                }
+                let lists: &'w VerletLists = verlet;
+                (IntraPlan::Verlet(lists), CrossPlan::Verlet(lists))
+            }
+            NeighborStrategy::Grid | NeighborStrategy::Auto => {
+                let cross = match self.cross_mode {
+                    CrossMode::Grid => CrossPlan::Grid,
+                    CrossMode::Naive => CrossPlan::Naive,
+                };
+                if self.use_intra_grid() {
+                    positions.clear();
+                    for i in 0..self.radii.len() {
+                        positions.push(coords::get(c, i));
+                    }
+                    batch_grid.rebuild(positions, self.radii);
+                    (IntraPlan::Grid(batch_grid), cross)
+                } else {
+                    (IntraPlan::Naive, cross)
+                }
+            }
+            NeighborStrategy::Naive => (IntraPlan::Naive, CrossPlan::Naive),
+        }
+    }
+
+    /// Particle `i`'s contribution `(vᵢ, ∂Z/∂cᵢ)` to the objective.
+    #[inline]
+    fn particle_term(
+        &self,
+        i: usize,
+        c: &[f64],
+        intra: &IntraPlan,
+        cross: &CrossPlan,
+    ) -> (f64, Vec3) {
+        let ObjectiveWeights { alpha, beta, gamma } = self.weights;
+        let ci = coords::get(c, i);
+        let ri = self.radii[i];
+        let mut v = 0.0;
+        let mut g = Vec3::ZERO;
+
+        // Intra-batch penetration: row i of the ordered pair sum. Summing
+        // rows reproduces the full ordered total; the gradient of that
+        // total w.r.t. cᵢ collects both (i,j) and (j,i), hence the factor 2.
+        let mut intra_term = |j: usize, cj: Vec3, rj: f64| {
+            if j == i {
+                return;
+            }
+            let sum_r = ri + rj;
+            let d = ci.distance(cj);
+            if d < sum_r {
+                v += alpha * (sum_r - d);
+                let dir = pair_direction(ci, cj, d, i, j);
+                // p_ij = sum_r − ‖cᵢ−cⱼ‖ ⇒ ∂p/∂cᵢ = −dir.
+                g -= dir * (2.0 * alpha);
+            }
+        };
+        match intra {
+            IntraPlan::Naive => {
+                for j in 0..self.radii.len() {
+                    intra_term(j, coords::get(c, j), self.radii[j]);
+                }
+            }
+            IntraPlan::Grid(grid) => grid.for_neighbors(ci, ri, &mut intra_term),
+            IntraPlan::Verlet(lists) => {
+                for &j in lists.intra(i) {
+                    let j = j as usize;
+                    intra_term(j, coords::get(c, j), self.radii[j]);
+                }
+            }
+        }
+
+        // Cross-layer penetration against the fixed bed (each pair counted
+        // once; only batch coordinates carry gradient).
+        let mut cross_term = |cf: Vec3, rf: f64| {
+            let sum_r = ri + rf;
+            let d = ci.distance(cf);
+            if d < sum_r {
+                v += alpha * (sum_r - d);
+                let dir = pair_direction(ci, cf, d, i, usize::MAX);
+                g -= dir * alpha;
+            }
+        };
+        match cross {
+            CrossPlan::Naive => {
+                for k in 0..self.fixed.len() {
+                    let (cf, rf) = self.fixed.sphere(k);
+                    cross_term(cf, rf);
+                }
+            }
+            CrossPlan::Grid => self
+                .fixed
+                .for_neighbors(ci, ri, |_, cf, rf| cross_term(cf, rf)),
+            CrossPlan::Verlet(lists) => {
+                for &k in lists.cross(i) {
+                    let (cf, rf) = self.fixed.sphere(k as usize);
+                    cross_term(cf, rf);
+                }
+            }
+        }
+
+        // Exterior distance over the container planes.
+        for plane in self.halfspaces.planes() {
+            let excess = plane.sphere_excess(ci, ri);
+            if excess > 0.0 {
+                v += gamma * excess;
+                g += plane.normal * gamma;
+            }
+        }
+
+        // Altitude.
+        v += beta * self.axis.altitude(ci);
+        g += self.axis.up() * beta;
+
+        (v, g)
+    }
+
     /// Evaluates the individual terms (diagnostics; single-threaded).
+    ///
+    /// Honors the configured [`IntraMode`]/[`CrossMode`] so term costs
+    /// track the production pipeline instead of always scanning O(n²)
+    /// ([`NeighborStrategy::Verlet`] reports via the grid, which yields the
+    /// same pair set).
     pub fn breakdown(&self, c: &[f64]) -> ObjectiveBreakdown {
         let n = self.radii.len();
         assert_eq!(c.len(), 3 * n, "coordinate buffer size mismatch");
         let mut b = ObjectiveBreakdown::default();
+        let intra_grid: Option<CsrGrid> = if self.use_intra_grid() {
+            let positions = coords::to_positions(c);
+            Some(CsrGrid::build(&positions, self.radii))
+        } else {
+            None
+        };
         for i in 0..n {
             let ci = coords::get(c, i);
             let ri = self.radii[i];
-            for j in 0..n {
+            let mut intra_term = |j: usize, cj: Vec3, rj: f64| {
                 if j == i {
-                    continue;
+                    return;
                 }
-                let cj = coords::get(c, j);
-                let sum_r = ri + self.radii[j];
+                let sum_r = ri + rj;
                 let d = ci.distance(cj);
                 if d < sum_r {
                     b.penetration_intra += sum_r - d;
                 }
+            };
+            match &intra_grid {
+                Some(grid) => grid.for_neighbors(ci, ri, &mut intra_term),
+                None => {
+                    for j in 0..n {
+                        intra_term(j, coords::get(c, j), self.radii[j]);
+                    }
+                }
             }
-            self.fixed.for_neighbors(ci, ri, |_, cf, rf| {
+            let mut cross_term = |cf: Vec3, rf: f64| {
                 let sum_r = ri + rf;
                 let d = ci.distance(cf);
                 if d < sum_r {
                     b.penetration_cross += sum_r - d;
                 }
-            });
+            };
+            match self.cross_mode {
+                CrossMode::Grid => self
+                    .fixed
+                    .for_neighbors(ci, ri, |_, cf, rf| cross_term(cf, rf)),
+                CrossMode::Naive => {
+                    for k in 0..self.fixed.len() {
+                        let (cf, rf) = self.fixed.sphere(k);
+                        cross_term(cf, rf);
+                    }
+                }
+            }
             b.exterior += self.halfspaces.sphere_exterior_distance(ci, ri);
             b.altitude += self.axis.altitude(ci);
         }
@@ -341,7 +543,7 @@ mod tests {
     fn objective_value(
         hs: &HalfSpaceSet,
         radii: &[f64],
-        fixed: &CellGrid,
+        fixed: &CsrGrid,
         c: &[f64],
         w: ObjectiveWeights,
     ) -> f64 {
@@ -351,7 +553,7 @@ mod tests {
     #[test]
     fn isolated_interior_sphere_feels_only_gravity() {
         let hs = box_halfspaces();
-        let fixed = CellGrid::empty();
+        let fixed = CsrGrid::empty();
         let radii = [0.1];
         let obj = Objective::new(ObjectiveWeights::default(), Axis::Z, &hs, &radii, &fixed);
         let c = [0.0, 0.0, 0.3];
@@ -372,9 +574,13 @@ mod tests {
     #[test]
     fn overlapping_pair_value_counts_ordered_pairs() {
         let hs = box_halfspaces();
-        let fixed = CellGrid::empty();
+        let fixed = CsrGrid::empty();
         let radii = [0.3, 0.3];
-        let w = ObjectiveWeights { alpha: 1.0, beta: 0.0, gamma: 0.0 };
+        let w = ObjectiveWeights {
+            alpha: 1.0,
+            beta: 0.0,
+            gamma: 0.0,
+        };
         // Distance 0.4 < 0.6: penetration 0.2 per ordered pair ⇒ P = 0.4.
         let c = [0.0, 0.0, 0.0, 0.4, 0.0, 0.0];
         let v = objective_value(&hs, &radii, &fixed, &c, w);
@@ -384,9 +590,13 @@ mod tests {
     #[test]
     fn pair_gradient_pushes_apart() {
         let hs = box_halfspaces();
-        let fixed = CellGrid::empty();
+        let fixed = CsrGrid::empty();
         let radii = [0.3, 0.3];
-        let w = ObjectiveWeights { alpha: 1.0, beta: 0.0, gamma: 0.0 };
+        let w = ObjectiveWeights {
+            alpha: 1.0,
+            beta: 0.0,
+            gamma: 0.0,
+        };
         let obj = Objective::new(w, Axis::Z, &hs, &radii, &fixed);
         let c = [0.0, 0.0, 0.0, 0.4, 0.0, 0.0];
         let mut grad = vec![0.0; 6];
@@ -402,9 +612,13 @@ mod tests {
     #[test]
     fn cross_term_counts_each_pair_once() {
         let hs = box_halfspaces();
-        let fixed = CellGrid::build(&[Vec3::ZERO], &[0.3]);
+        let fixed = CsrGrid::build(&[Vec3::ZERO], &[0.3]);
         let radii = [0.3];
-        let w = ObjectiveWeights { alpha: 1.0, beta: 0.0, gamma: 0.0 };
+        let w = ObjectiveWeights {
+            alpha: 1.0,
+            beta: 0.0,
+            gamma: 0.0,
+        };
         // Batch sphere at distance 0.4 from fixed sphere: penetration 0.2,
         // counted once.
         let c = [0.4, 0.0, 0.0];
@@ -425,11 +639,15 @@ mod tests {
         // A small bed of fixed spheres.
         for i in 0..5 {
             for j in 0..5 {
-                centers.push(Vec3::new(-0.8 + 0.4 * i as f64, -0.8 + 0.4 * j as f64, -0.8));
+                centers.push(Vec3::new(
+                    -0.8 + 0.4 * i as f64,
+                    -0.8 + 0.4 * j as f64,
+                    -0.8,
+                ));
                 radii_fixed.push(0.2);
             }
         }
-        let fixed = CellGrid::build(&centers, &radii_fixed);
+        let fixed = CsrGrid::build(&centers, &radii_fixed);
         let radii = [0.25, 0.15, 0.3];
         let c = [
             0.1, 0.0, -0.55, //
@@ -451,11 +669,136 @@ mod tests {
     }
 
     #[test]
+    fn verlet_matches_naive_value_and_gradient() {
+        let hs = box_halfspaces();
+        // A bed plus a crowded batch so all terms fire.
+        let mut bed_centers = Vec::new();
+        let mut bed_radii = Vec::new();
+        for i in 0..6 {
+            for j in 0..6 {
+                bed_centers.push(Vec3::new(
+                    -0.75 + 0.3 * i as f64,
+                    -0.75 + 0.3 * j as f64,
+                    -0.8,
+                ));
+                bed_radii.push(0.16);
+            }
+        }
+        let fixed = CsrGrid::build(&bed_centers, &bed_radii);
+        let n = 80;
+        let radii: Vec<f64> = (0..n).map(|i| 0.08 + 0.002 * (i % 7) as f64).collect();
+        let mut c = Vec::with_capacity(3 * n);
+        for i in 0..n {
+            let t = i as f64 * 0.61803398875;
+            c.extend_from_slice(&[
+                (t % 1.4) - 0.7,
+                ((t * 1.7) % 1.4) - 0.7,
+                ((t * 2.3) % 1.2) - 0.75,
+            ]);
+        }
+        let w = ObjectiveWeights::default();
+        let naive = Objective::new(w, Axis::Z, &hs, &radii, &fixed)
+            .with_neighbor(NeighborStrategy::Naive, 0.05);
+        let verlet = Objective::new(w, Axis::Z, &hs, &radii, &fixed)
+            .with_neighbor(NeighborStrategy::Verlet, 0.05);
+        let mut ws = Workspace::new();
+        let mut g1 = vec![0.0; 3 * n];
+        let mut g2 = vec![0.0; 3 * n];
+        let v1 = naive.value_and_grad(&c, &mut g1);
+        let v2 = verlet.value_and_grad_ws(&c, &mut g2, &mut ws);
+        assert!((v1 - v2).abs() < 1e-9 * v1.abs().max(1.0), "{v1} vs {v2}");
+        for (a, b) in g1.iter().zip(&g2) {
+            assert!((a - b).abs() < 1e-9 * b.abs().max(1.0));
+        }
+        // Small moves reuse the lists; values still agree.
+        let mut moved = c.clone();
+        for (k, v) in moved.iter_mut().enumerate() {
+            *v += 0.002 * ((k % 5) as f64 - 2.0);
+        }
+        let v1 = naive.value(&moved);
+        let v2 = verlet.value_and_grad_ws(&moved, &mut g2, &mut ws);
+        assert_eq!(ws.verlet_rebuilds(), 1, "small move must not rebuild");
+        assert!((v1 - v2).abs() < 1e-9 * v1.abs().max(1.0), "{v1} vs {v2}");
+    }
+
+    #[test]
+    fn value_ws_matches_value_and_grad() {
+        let hs = box_halfspaces();
+        let fixed = CsrGrid::build(&[Vec3::new(0.0, 0.0, -0.7)], &[0.25]);
+        let radii = [0.3, 0.25];
+        let c = [0.1, 0.05, -0.45, 0.35, 0.1, -0.3];
+        let obj = Objective::new(ObjectiveWeights::default(), Axis::Z, &hs, &radii, &fixed);
+        let mut ws = Workspace::new();
+        let mut grad = vec![0.0; 6];
+        let v1 = obj.value_ws(&c, &mut ws);
+        let v2 = obj.value_and_grad_ws(&c, &mut grad, &mut ws);
+        assert_eq!(v1.to_bits(), v2.to_bits());
+        assert_eq!(ws.evals(), 2);
+    }
+
+    #[test]
+    fn breakdown_honors_configured_modes() {
+        let hs = box_halfspaces();
+        let mut centers = Vec::new();
+        let mut bed_radii = Vec::new();
+        for i in 0..4 {
+            for j in 0..4 {
+                centers.push(Vec3::new(
+                    -0.6 + 0.4 * i as f64,
+                    -0.6 + 0.4 * j as f64,
+                    -0.8,
+                ));
+                bed_radii.push(0.2);
+            }
+        }
+        let fixed = CsrGrid::build(&centers, &bed_radii);
+        let radii: Vec<f64> = vec![0.15; 20];
+        let mut c = Vec::new();
+        for i in 0..20 {
+            let t = i as f64 * 0.37;
+            c.extend_from_slice(&[(t % 1.2) - 0.6, ((t * 1.9) % 1.2) - 0.6, -0.55]);
+        }
+        let w = ObjectiveWeights::default();
+        let combos = [
+            (IntraMode::Naive, CrossMode::Naive),
+            (IntraMode::Naive, CrossMode::Grid),
+            (IntraMode::Grid, CrossMode::Naive),
+            (IntraMode::Grid, CrossMode::Grid),
+        ];
+        let reference = Objective::new(w, Axis::Z, &hs, &radii, &fixed)
+            .with_intra_mode(IntraMode::Naive)
+            .with_cross_mode(CrossMode::Naive)
+            .breakdown(&c);
+        assert!(reference.penetration_intra > 0.0);
+        assert!(reference.penetration_cross > 0.0);
+        for (im, cm) in combos {
+            let b = Objective::new(w, Axis::Z, &hs, &radii, &fixed)
+                .with_intra_mode(im)
+                .with_cross_mode(cm)
+                .breakdown(&c);
+            let close = |a: f64, bb: f64| (a - bb).abs() < 1e-9 * a.abs().max(1.0);
+            assert!(
+                close(b.penetration_intra, reference.penetration_intra),
+                "{im:?}/{cm:?}"
+            );
+            assert!(
+                close(b.penetration_cross, reference.penetration_cross),
+                "{im:?}/{cm:?}"
+            );
+            assert!(close(b.total, reference.total), "{im:?}/{cm:?}");
+        }
+    }
+
+    #[test]
     fn exterior_term_matches_plane_excess() {
         let hs = box_halfspaces();
-        let fixed = CellGrid::empty();
+        let fixed = CsrGrid::empty();
         let radii = [0.5];
-        let w = ObjectiveWeights { alpha: 0.0, beta: 0.0, gamma: 1.0 };
+        let w = ObjectiveWeights {
+            alpha: 0.0,
+            beta: 0.0,
+            gamma: 1.0,
+        };
         // Sphere centred at x = 0.8 with r = 0.5 pokes 0.3 out of x = 1.
         let c = [0.8, 0.0, 0.0];
         let v = objective_value(&hs, &radii, &fixed, &c, w);
@@ -472,9 +815,13 @@ mod tests {
     #[test]
     fn sphere_out_of_corner_accumulates_all_planes() {
         let hs = box_halfspaces();
-        let fixed = CellGrid::empty();
+        let fixed = CsrGrid::empty();
         let radii = [0.5];
-        let w = ObjectiveWeights { alpha: 0.0, beta: 0.0, gamma: 1.0 };
+        let w = ObjectiveWeights {
+            alpha: 0.0,
+            beta: 0.0,
+            gamma: 1.0,
+        };
         // Poking out of three faces at once near the (+,+,+) corner.
         let c = [0.8, 0.9, 0.95];
         let v = objective_value(&hs, &radii, &fixed, &c, w);
@@ -484,7 +831,7 @@ mod tests {
     #[test]
     fn coincident_centers_get_finite_separating_gradient() {
         let hs = box_halfspaces();
-        let fixed = CellGrid::empty();
+        let fixed = CsrGrid::empty();
         let radii = [0.2, 0.2];
         let obj = Objective::new(ObjectiveWeights::default(), Axis::Z, &hs, &radii, &fixed);
         let c = [0.1, 0.1, 0.1, 0.1, 0.1, 0.1];
@@ -494,16 +841,23 @@ mod tests {
         assert!(grad.iter().all(|g| g.is_finite()));
         // Some separating force exists.
         let g0 = Vec3::new(grad[0], grad[1], grad[2] - 10.0); // remove gravity part
-        assert!(g0.norm() > 1.0, "expected a separating gradient, got {grad:?}");
+        assert!(
+            g0.norm() > 1.0,
+            "expected a separating gradient, got {grad:?}"
+        );
     }
 
     #[test]
     fn altitude_respects_custom_axis() {
         let hs = box_halfspaces();
-        let fixed = CellGrid::empty();
+        let fixed = CsrGrid::empty();
         let radii = [0.1];
         let axis = Axis::from_vector(Vec3::new(1.0, 0.0, 0.0)).unwrap();
-        let w = ObjectiveWeights { alpha: 0.0, beta: 1.0, gamma: 0.0 };
+        let w = ObjectiveWeights {
+            alpha: 0.0,
+            beta: 1.0,
+            gamma: 0.0,
+        };
         let obj = Objective::new(w, axis, &hs, &radii, &fixed);
         let c = [0.4, 0.0, 0.0];
         let mut grad = vec![0.0; 3];
@@ -517,7 +871,7 @@ mod tests {
     fn gradient_matches_finite_differences_on_random_config() {
         // Dense little configuration exercising all four terms at once.
         let hs = box_halfspaces();
-        let fixed = CellGrid::build(
+        let fixed = CsrGrid::build(
             &[Vec3::new(0.0, 0.0, -0.7), Vec3::new(0.3, 0.1, -0.6)],
             &[0.25, 0.2],
         );
@@ -532,9 +886,7 @@ mod tests {
         let mut grad = vec![0.0; 9];
         obj.value_and_grad(&c, &mut grad);
 
-        let f = |x: &[f64]| {
-            Objective::new(w, Axis::Z, &hs, &radii, &fixed).value(x)
-        };
+        let f = |x: &[f64]| Objective::new(w, Axis::Z, &hs, &radii, &fixed).value(x);
         for i in 0..9 {
             let h = 1e-7;
             let mut xp = c.clone();
@@ -553,7 +905,7 @@ mod tests {
     #[test]
     fn intra_grid_and_naive_agree() {
         let hs = box_halfspaces();
-        let fixed = CellGrid::empty();
+        let fixed = CsrGrid::empty();
         // A crowded batch with many overlaps.
         let n = 60;
         let radii: Vec<f64> = (0..n).map(|i| 0.08 + 0.002 * (i % 7) as f64).collect();
@@ -567,7 +919,8 @@ mod tests {
             ]);
         }
         let w = ObjectiveWeights::default();
-        let naive = Objective::new(w, Axis::Z, &hs, &radii, &fixed).with_intra_mode(IntraMode::Naive);
+        let naive =
+            Objective::new(w, Axis::Z, &hs, &radii, &fixed).with_intra_mode(IntraMode::Naive);
         let grid = Objective::new(w, Axis::Z, &hs, &radii, &fixed).with_intra_mode(IntraMode::Grid);
         let mut g1 = vec![0.0; 3 * n];
         let mut g2 = vec![0.0; 3 * n];
@@ -582,21 +935,25 @@ mod tests {
     #[test]
     fn auto_mode_switches_at_threshold() {
         let hs = box_halfspaces();
-        let fixed = CellGrid::empty();
+        let fixed = CsrGrid::empty();
         let small = vec![0.1; 4];
         let obj = Objective::new(ObjectiveWeights::default(), Axis::Z, &hs, &small, &fixed);
         assert!(!obj.use_intra_grid());
+        assert_eq!(obj.resolved_strategy(), NeighborStrategy::Grid);
         let big = vec![0.01; INTRA_GRID_THRESHOLD];
         let obj = Objective::new(ObjectiveWeights::default(), Axis::Z, &hs, &big, &fixed);
         assert!(obj.use_intra_grid());
+        assert_eq!(obj.resolved_strategy(), NeighborStrategy::Verlet);
     }
 
     #[test]
     fn value_is_deterministic_across_calls() {
         let hs = box_halfspaces();
-        let fixed = CellGrid::empty();
+        let fixed = CsrGrid::empty();
         let radii: Vec<f64> = (0..40).map(|i| 0.1 + 0.001 * i as f64).collect();
-        let c: Vec<f64> = (0..120).map(|i| ((i * 2654435761_usize) % 1000) as f64 / 1000.0 - 0.5).collect();
+        let c: Vec<f64> = (0..120)
+            .map(|i| ((i * 2654435761_usize) % 1000) as f64 / 1000.0 - 0.5)
+            .collect();
         let obj = Objective::new(ObjectiveWeights::default(), Axis::Z, &hs, &radii, &fixed);
         let v1 = obj.value(&c);
         let v2 = obj.value(&c);
@@ -607,7 +964,7 @@ mod tests {
     #[should_panic(expected = "size mismatch")]
     fn buffer_size_checked() {
         let hs = box_halfspaces();
-        let fixed = CellGrid::empty();
+        let fixed = CsrGrid::empty();
         let radii = [0.1, 0.1];
         let obj = Objective::new(ObjectiveWeights::default(), Axis::Z, &hs, &radii, &fixed);
         let _ = obj.value(&[0.0; 3]);

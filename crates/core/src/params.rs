@@ -11,7 +11,45 @@ use adampack_opt::{
     ReduceLrOnPlateau, ReduceLrOnPlateauConfig, RmsProp, RmsPropConfig, Sgd, SgdConfig,
 };
 
+use crate::neighbor::NeighborStrategy;
 use crate::objective::ObjectiveWeights;
+
+/// Neighbor-search configuration for the objective's pair scans.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NeighborParams {
+    /// Which pair-search pipeline the objective uses.
+    pub strategy: NeighborStrategy,
+    /// Verlet skin as a fraction of the largest batch radius. Larger skins
+    /// rebuild less often but scan more candidates per step; ~0.3–0.5 is a
+    /// good range for the paper's polydispersities.
+    pub skin_factor: f64,
+}
+
+impl Default for NeighborParams {
+    fn default() -> Self {
+        NeighborParams {
+            strategy: NeighborStrategy::Auto,
+            skin_factor: 0.4,
+        }
+    }
+}
+
+impl NeighborParams {
+    /// Panics on inconsistent settings.
+    pub fn validate(&self) {
+        assert!(
+            self.skin_factor.is_finite() && self.skin_factor > 0.0,
+            "skin_factor must be positive and finite, got {}",
+            self.skin_factor
+        );
+    }
+
+    /// The absolute skin length for a batch with the given radii.
+    pub fn skin_for(&self, radii: &[f64]) -> f64 {
+        let r_max = radii.iter().copied().fold(0.0, f64::max);
+        (self.skin_factor * r_max).max(1e-9)
+    }
+}
 
 /// Which optimizer drives the batch arrangement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,27 +73,48 @@ impl OptimizerKind {
     pub fn build(self, lr: f64, n_params: usize) -> Box<dyn Optimizer> {
         match self {
             OptimizerKind::AmsGrad => Box::new(Adam::new(
-                AdamConfig { lr, amsgrad: true, ..AdamConfig::default() },
+                AdamConfig {
+                    lr,
+                    amsgrad: true,
+                    ..AdamConfig::default()
+                },
                 n_params,
             )),
             OptimizerKind::Adam => Box::new(Adam::new(
-                AdamConfig { lr, amsgrad: false, ..AdamConfig::default() },
+                AdamConfig {
+                    lr,
+                    amsgrad: false,
+                    ..AdamConfig::default()
+                },
                 n_params,
             )),
             OptimizerKind::Sgd => Box::new(Sgd::new(
-                SgdConfig { lr, ..SgdConfig::default() },
+                SgdConfig {
+                    lr,
+                    ..SgdConfig::default()
+                },
                 n_params,
             )),
             OptimizerKind::Momentum => Box::new(Sgd::new(
-                SgdConfig { lr, momentum: 0.9, ..SgdConfig::default() },
+                SgdConfig {
+                    lr,
+                    momentum: 0.9,
+                    ..SgdConfig::default()
+                },
                 n_params,
             )),
             OptimizerKind::RmsProp => Box::new(RmsProp::new(
-                RmsPropConfig { lr, ..RmsPropConfig::default() },
+                RmsPropConfig {
+                    lr,
+                    ..RmsPropConfig::default()
+                },
                 n_params,
             )),
             OptimizerKind::NAdam => Box::new(NAdam::new(
-                NAdamConfig { lr, ..NAdamConfig::default() },
+                NAdamConfig {
+                    lr,
+                    ..NAdamConfig::default()
+                },
                 n_params,
             )),
         }
@@ -113,18 +172,23 @@ impl LrPolicy {
     pub fn build(&self) -> Box<dyn LrScheduler> {
         match *self {
             LrPolicy::Fixed(lr) => Box::new(ConstantLr::new(lr)),
-            LrPolicy::Plateau { initial, factor, patience, min_lr } => {
-                Box::new(ReduceLrOnPlateau::new(ReduceLrOnPlateauConfig {
-                    initial_lr: initial,
-                    factor,
-                    patience,
-                    min_lr,
-                    ..ReduceLrOnPlateauConfig::default()
-                }))
-            }
-            LrPolicy::Cosine { initial, min_lr, t_max } => {
-                Box::new(CosineAnnealingLr::new(initial, min_lr, t_max))
-            }
+            LrPolicy::Plateau {
+                initial,
+                factor,
+                patience,
+                min_lr,
+            } => Box::new(ReduceLrOnPlateau::new(ReduceLrOnPlateauConfig {
+                initial_lr: initial,
+                factor,
+                patience,
+                min_lr,
+                ..ReduceLrOnPlateauConfig::default()
+            })),
+            LrPolicy::Cosine {
+                initial,
+                min_lr,
+                t_max,
+            } => Box::new(CosineAnnealingLr::new(initial, min_lr, t_max)),
         }
     }
 }
@@ -168,6 +232,8 @@ pub struct PackingParams {
     /// Minimum relative objective improvement that resets the patience
     /// counter.
     pub improvement_tol: f64,
+    /// Neighbor-search pipeline configuration (strategy + Verlet skin).
+    pub neighbor: NeighborParams,
 }
 
 impl Default for PackingParams {
@@ -186,6 +252,7 @@ impl Default for PackingParams {
             accept_max_overlap: 0.25,
             spawn_density: 0.20,
             improvement_tol: 1e-6,
+            neighbor: NeighborParams::default(),
         }
     }
 }
@@ -210,6 +277,7 @@ impl PackingParams {
             "spawn_density must be in (0, 1)"
         );
         self.weights.validate();
+        self.neighbor.validate();
     }
 }
 
@@ -230,6 +298,29 @@ mod tests {
         assert_eq!(p.gravity, Axis::Z);
         assert_eq!(p.lr.initial_lr(), 1e-2);
         assert!(p.accept_max_overlap >= p.accept_mean_overlap);
+        assert_eq!(p.neighbor.strategy, NeighborStrategy::Auto);
+        assert!((p.neighbor.skin_factor - 0.4).abs() < 1e-12);
+        p.validate();
+    }
+
+    #[test]
+    fn neighbor_skin_scales_with_batch_radius() {
+        let n = NeighborParams::default();
+        assert!((n.skin_for(&[0.1, 0.5, 0.2]) - 0.2).abs() < 1e-12);
+        // Empty or zero radii fall back to the epsilon floor.
+        assert!(n.skin_for(&[]) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "skin_factor")]
+    fn zero_skin_rejected() {
+        let p = PackingParams {
+            neighbor: NeighborParams {
+                skin_factor: 0.0,
+                ..NeighborParams::default()
+            },
+            ..PackingParams::default()
+        };
         p.validate();
     }
 
@@ -254,7 +345,11 @@ mod tests {
         for policy in [
             LrPolicy::Fixed(1e-3),
             LrPolicy::paper_default(),
-            LrPolicy::Cosine { initial: 1e-2, min_lr: 1e-4, t_max: 100 },
+            LrPolicy::Cosine {
+                initial: 1e-2,
+                min_lr: 1e-4,
+                t_max: 100,
+            },
         ] {
             let mut s = policy.build();
             assert_eq!(s.current_lr(), policy.initial_lr());
@@ -266,7 +361,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "batch_size")]
     fn zero_batch_rejected() {
-        let p = PackingParams { batch_size: 0, ..PackingParams::default() };
+        let p = PackingParams {
+            batch_size: 0,
+            ..PackingParams::default()
+        };
         p.validate();
     }
 }

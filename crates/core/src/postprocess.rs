@@ -17,7 +17,7 @@
 use adampack_geometry::Vec3;
 
 use crate::container::Container;
-use crate::grid::CellGrid;
+use crate::neighbor::CsrGrid;
 use crate::particle::Particle;
 
 /// Outcome of a [`push_apart`] run.
@@ -55,7 +55,7 @@ pub fn push_apart(
         iterations += 1;
         let centers: Vec<Vec3> = particles.iter().map(|p| p.center).collect();
         let radii: Vec<f64> = particles.iter().map(|p| p.radius).collect();
-        let grid = CellGrid::build(&centers, &radii);
+        let grid = CsrGrid::build(&centers, &radii);
 
         // Accumulate displacements first, apply after (Jacobi-style), so the
         // sweep order cannot bias the result.
@@ -107,7 +107,7 @@ pub fn worst_overlap_ratio(particles: &[Particle]) -> f64 {
     }
     let centers: Vec<Vec3> = particles.iter().map(|p| p.center).collect();
     let radii: Vec<f64> = particles.iter().map(|p| p.radius).collect();
-    let grid = CellGrid::build(&centers, &radii);
+    let grid = CsrGrid::build(&centers, &radii);
     let mut worst: f64 = 0.0;
     for i in 0..particles.len() {
         grid.for_neighbors(centers[i], radii[i], |j, cj, rj| {
@@ -126,9 +126,8 @@ pub fn worst_overlap_ratio(particles: &[Particle]) -> f64 {
 /// `tol × radius`; returns how many were dropped.
 pub fn remove_escaped(particles: &mut Vec<Particle>, container: &Container, tol: f64) -> usize {
     let n0 = particles.len();
-    particles.retain(|p| {
-        container.halfspaces().sphere_max_excess(p.center, p.radius) <= tol * p.radius
-    });
+    particles
+        .retain(|p| container.halfspaces().sphere_max_excess(p.center, p.radius) <= tol * p.radius);
     n0 - particles.len()
 }
 
@@ -233,7 +232,10 @@ mod tests {
         assert_eq!(dropped, 1);
         assert_eq!(particles.len(), 2);
         let dropped2 = remove_escaped(&mut particles, &container, 0.1);
-        assert_eq!(dropped2, 1, "tighter tolerance drops the boundary-poking one");
+        assert_eq!(
+            dropped2, 1,
+            "tighter tolerance drops the boundary-poking one"
+        );
     }
 
     #[test]

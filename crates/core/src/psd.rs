@@ -51,21 +51,36 @@ pub enum Psd {
 impl Psd {
     /// Constant-radius PSD.
     pub fn constant(value: f64) -> Psd {
-        assert!(value > 0.0 && value.is_finite(), "radius must be positive, got {value}");
+        assert!(
+            value > 0.0 && value.is_finite(),
+            "radius must be positive, got {value}"
+        );
         Psd::Constant { value }
     }
 
     /// Uniform PSD on `[min, max]`.
     pub fn uniform(min: f64, max: f64) -> Psd {
-        assert!(min > 0.0 && min.is_finite(), "min radius must be positive, got {min}");
-        assert!(max >= min && max.is_finite(), "max must be >= min, got [{min}, {max}]");
+        assert!(
+            min > 0.0 && min.is_finite(),
+            "min radius must be positive, got {min}"
+        );
+        assert!(
+            max >= min && max.is_finite(),
+            "max must be >= min, got [{min}, {max}]"
+        );
         Psd::Uniform { min, max }
     }
 
     /// Truncated-normal PSD.
     pub fn normal(mean: f64, std_dev: f64) -> Psd {
-        assert!(mean > 0.0 && mean.is_finite(), "mean radius must be positive");
-        assert!(std_dev >= 0.0 && std_dev.is_finite(), "std_dev must be non-negative");
+        assert!(
+            mean > 0.0 && mean.is_finite(),
+            "mean radius must be positive"
+        );
+        assert!(
+            std_dev >= 0.0 && std_dev.is_finite(),
+            "std_dev must be non-negative"
+        );
         assert!(
             mean - 3.0 * std_dev > 0.0,
             "mean - 3σ must stay positive (got mean {mean}, σ {std_dev}); \
@@ -82,7 +97,10 @@ impl Psd {
 
     /// Mixture PSD; weights are relative and must be positive.
     pub fn mixture(components: Vec<(f64, Psd)>) -> Psd {
-        assert!(!components.is_empty(), "mixture needs at least one component");
+        assert!(
+            !components.is_empty(),
+            "mixture needs at least one component"
+        );
         assert!(
             components.iter().all(|(w, _)| *w > 0.0 && w.is_finite()),
             "mixture weights must be positive"
@@ -165,7 +183,11 @@ impl Psd {
             }
             Psd::Uniform { min, max } => {
                 if max == min {
-                    if x >= *min { 1.0 } else { 0.0 }
+                    if x >= *min {
+                        1.0
+                    } else {
+                        0.0
+                    }
                 } else {
                     ((x - min) / (max - min)).clamp(0.0, 1.0)
                 }
@@ -189,7 +211,11 @@ impl Psd {
                 if x <= 0.0 {
                     0.0
                 } else if *sigma == 0.0 {
-                    if x.ln() >= *mu { 1.0 } else { 0.0 }
+                    if x.ln() >= *mu {
+                        1.0
+                    } else {
+                        0.0
+                    }
                 } else {
                     std_normal_cdf((x.ln() - mu) / sigma)
                 }
@@ -229,7 +255,8 @@ fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -289,11 +316,16 @@ mod tests {
         let mut r = rng();
         let samples = psd.sample_n(&mut r, 50_000);
         assert!(samples.iter().all(|&x| x > 0.0));
-        assert!(samples.iter().all(|&x| (x - 0.04f64).abs() <= 0.015 + 1e-12));
+        assert!(samples
+            .iter()
+            .all(|&x| (x - 0.04f64).abs() <= 0.015 + 1e-12));
         let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
         assert!((mean - 0.04).abs() < 3e-4, "mean = {mean}");
-        let var: f64 =
-            samples.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
+        let var: f64 = samples
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / samples.len() as f64;
         // Truncation at 3σ shrinks the variance by ~1.5 %.
         assert!((var.sqrt() - 0.005).abs() < 4e-4, "σ = {}", var.sqrt());
     }
@@ -311,7 +343,11 @@ mod tests {
         let mut r = rng();
         let samples = psd.sample_n(&mut r, 100_000);
         let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
-        assert!((mean - psd.mean()).abs() / psd.mean() < 0.01, "mean = {mean} vs {}", psd.mean());
+        assert!(
+            (mean - psd.mean()).abs() / psd.mean() < 0.01,
+            "mean = {mean} vs {}",
+            psd.mean()
+        );
         assert!(samples.iter().all(|&x| x > 0.0));
         // max_radius is a (high-quantile) bound in practice.
         let bound = psd.max_radius();
@@ -322,10 +358,7 @@ mod tests {
     #[test]
     fn mixture_draws_from_both_components() {
         // 70 % small (0.01), 30 % large (0.1) — the §VI-A zones example.
-        let psd = Psd::mixture(vec![
-            (0.7, Psd::constant(0.01)),
-            (0.3, Psd::constant(0.1)),
-        ]);
+        let psd = Psd::mixture(vec![(0.7, Psd::constant(0.01)), (0.3, Psd::constant(0.1))]);
         let mut r = rng();
         let samples = psd.sample_n(&mut r, 10_000);
         let small = samples.iter().filter(|&&x| x == 0.01).count();
@@ -369,7 +402,10 @@ mod tests {
             Psd::uniform(0.05, 0.15),
             Psd::normal(0.1, 0.02),
             Psd::log_normal(-2.3, 0.3),
-            Psd::mixture(vec![(0.5, Psd::constant(0.05)), (0.5, Psd::uniform(0.1, 0.2))]),
+            Psd::mixture(vec![
+                (0.5, Psd::constant(0.05)),
+                (0.5, Psd::uniform(0.1, 0.2)),
+            ]),
         ];
         for psd in &psds {
             let mut prev = -1.0;

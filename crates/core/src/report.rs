@@ -10,7 +10,9 @@ use std::fmt;
 use crate::analysis::mean_coordination;
 use crate::collective::PackResult;
 use crate::container::Container;
-use crate::metrics::{boundary_stats, contact_stats, container_density, psd_adherence, ContactStats, PsdAdherence};
+use crate::metrics::{
+    boundary_stats, contact_stats, container_density, psd_adherence, ContactStats, PsdAdherence,
+};
 use crate::psd::Psd;
 
 /// Everything worth knowing about a finished packing.
@@ -41,7 +43,11 @@ pub struct QualityReport {
 impl QualityReport {
     /// Builds the report from a packing result (and optionally the PSD it
     /// was asked to follow).
-    pub fn from_result(result: &PackResult, container: &Container, psd: Option<&Psd>) -> QualityReport {
+    pub fn from_result(
+        result: &PackResult,
+        container: &Container,
+        psd: Option<&Psd>,
+    ) -> QualityReport {
         let centers: Vec<_> = result.particles.iter().map(|p| p.center).collect();
         let radii: Vec<f64> = result.particles.iter().map(|p| p.radius).collect();
         QualityReport {
@@ -56,7 +62,9 @@ impl QualityReport {
             },
             contacts: contact_stats(&result.particles),
             boundary: boundary_stats(&centers, &radii, container.halfspaces()),
-            psd: psd.filter(|_| !radii.is_empty()).map(|p| psd_adherence(&radii, p)),
+            psd: psd
+                .filter(|_| !radii.is_empty())
+                .map(|p| psd_adherence(&radii, p)),
             mean_coordination: mean_coordination(&result.particles, 0.05),
             seconds: result.duration.as_secs_f64(),
         }
@@ -133,7 +141,11 @@ mod tests {
         let psd_report = report.psd.expect("psd given");
         assert_eq!(psd_report.out_of_bound_fraction, 0.0);
         let critical = 1.36 / (report.packed as f64).sqrt();
-        assert!(psd_report.ks_statistic < 1.5 * critical, "D = {}", psd_report.ks_statistic);
+        assert!(
+            psd_report.ks_statistic < 1.5 * critical,
+            "D = {}",
+            psd_report.ks_statistic
+        );
     }
 
     #[test]

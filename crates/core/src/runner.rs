@@ -15,8 +15,13 @@ pub trait PackingAlgorithm: Send {
     fn name(&self) -> &'static str;
 
     /// Packs `n` particles drawn from `psd` into `container`.
-    fn pack(&self, container: &Container, psd: &Psd, n: usize, params: &PackingParams)
-        -> PackResult;
+    fn pack(
+        &self,
+        container: &Container,
+        psd: &Psd,
+        n: usize,
+        params: &PackingParams,
+    ) -> PackResult;
 }
 
 struct CollectiveRunner;
@@ -135,10 +140,7 @@ mod tests {
         for name in algorithm_names() {
             let algo = registry(name).unwrap();
             let result = algo.pack(&container, &psd, 20, &params);
-            assert!(
-                !result.particles.is_empty(),
-                "{name} packed nothing"
-            );
+            assert!(!result.particles.is_empty(), "{name} packed nothing");
             for p in &result.particles {
                 assert!(
                     container.contains_sphere(p.center, p.radius, 0.05 * p.radius),

@@ -100,8 +100,15 @@ pub struct ZonedPacker {
 impl ZonedPacker {
     /// Creates a zoned packer over `particle_sets` (indexed by the zones'
     /// proportion vectors).
-    pub fn new(container: Container, params: PackingParams, particle_sets: Vec<Psd>) -> ZonedPacker {
-        assert!(!particle_sets.is_empty(), "at least one particle set is required");
+    pub fn new(
+        container: Container,
+        params: PackingParams,
+        particle_sets: Vec<Psd>,
+    ) -> ZonedPacker {
+        assert!(
+            !particle_sets.is_empty(),
+            "at least one particle set is required"
+        );
         params.validate();
         ZonedPacker {
             container,
@@ -152,7 +159,10 @@ impl ZonedPacker {
             params.target_count = zone.n_particles;
             params.batch_size = self.params.batch_size.min(zone.n_particles.max(1));
             // Decorrelate zone RNG streams deterministically.
-            params.seed = self.params.seed.wrapping_add(0x9E37_79B9 * (step as u64 + 1));
+            params.seed = self
+                .params
+                .seed
+                .wrapping_add(0x9E37_79B9 * (step as u64 + 1));
             let mut packer = CollectivePacker::new(restricted, params);
             let result = packer.pack_onto(&psd, std::mem::take(&mut particles));
             particles = result.particles;
@@ -207,7 +217,11 @@ mod tests {
 
     #[test]
     fn slice_region_planes_carve_a_slab() {
-        let region = ZoneRegion::Slice { axis: Axis::Z, min: -0.5, max: 0.25 };
+        let region = ZoneRegion::Slice {
+            axis: Axis::Z,
+            min: -0.5,
+            max: 0.25,
+        };
         let planes = region.planes();
         assert_eq!(planes.len(), 2);
         let inside = Vec3::new(0.3, 0.1, 0.0);
@@ -221,7 +235,11 @@ mod tests {
     #[test]
     fn slice_bounds_clamp_axis() {
         let outer = Aabb::cube(Vec3::ZERO, 2.0);
-        let region = ZoneRegion::Slice { axis: Axis::Z, min: -0.5, max: 0.25 };
+        let region = ZoneRegion::Slice {
+            axis: Axis::Z,
+            min: -0.5,
+            max: 0.25,
+        };
         let bb = region.bounds(&outer);
         assert_eq!(bb.min.z, -0.5);
         assert_eq!(bb.max.z, 0.25);
@@ -247,19 +265,31 @@ mod tests {
         let sets = vec![Psd::constant(0.11), Psd::constant(0.16)];
         let zones = vec![
             ZoneSpec {
-                region: ZoneRegion::Slice { axis: Axis::Z, min: 0.0, max: 1.0 },
+                region: ZoneRegion::Slice {
+                    axis: Axis::Z,
+                    min: 0.0,
+                    max: 1.0,
+                },
                 n_particles: 15,
                 set_proportions: vec![0.0, 1.0],
             },
             ZoneSpec {
-                region: ZoneRegion::Slice { axis: Axis::Z, min: -1.0, max: 0.0 },
+                region: ZoneRegion::Slice {
+                    axis: Axis::Z,
+                    min: -1.0,
+                    max: 0.0,
+                },
                 n_particles: 20,
                 set_proportions: vec![1.0, 0.0],
             },
         ];
         let packer = ZonedPacker::new(container, quick_params(), sets);
         let result = packer.pack(&zones);
-        assert!(result.particles.len() >= 20, "packed {}", result.particles.len());
+        assert!(
+            result.particles.len() >= 20,
+            "packed {}",
+            result.particles.len()
+        );
         // Small particles (r = 0.11) should sit predominantly below the large ones.
         let small: Vec<f64> = result
             .particles
@@ -287,7 +317,11 @@ mod tests {
         let container = box_container();
         let sets = vec![Psd::constant(0.10), Psd::constant(0.15)];
         let zones = vec![ZoneSpec {
-            region: ZoneRegion::Slice { axis: Axis::Z, min: -1.0, max: 1.0 },
+            region: ZoneRegion::Slice {
+                axis: Axis::Z,
+                min: -1.0,
+                max: 1.0,
+            },
             n_particles: 40,
             set_proportions: vec![0.7, 0.3],
         }];
@@ -295,7 +329,10 @@ mod tests {
         let result = packer.pack(&zones);
         let small = result.particles.iter().filter(|p| p.radius < 0.12).count();
         let large = result.particles.len() - small;
-        assert!(small > 0 && large > 0, "both sets must appear ({small}/{large})");
+        assert!(
+            small > 0 && large > 0,
+            "both sets must appear ({small}/{large})"
+        );
     }
 
     #[test]
@@ -303,7 +340,11 @@ mod tests {
     fn mismatched_proportions_rejected() {
         let packer = ZonedPacker::new(box_container(), quick_params(), vec![Psd::constant(0.1)]);
         let zones = vec![ZoneSpec {
-            region: ZoneRegion::Slice { axis: Axis::Z, min: -1.0, max: 1.0 },
+            region: ZoneRegion::Slice {
+                axis: Axis::Z,
+                min: -1.0,
+                max: 1.0,
+            },
             n_particles: 5,
             set_proportions: vec![0.5, 0.5],
         }];

@@ -1,5 +1,7 @@
-//! Property tests for the packing core: PSD sampling, grid-vs-brute-force,
-//! objective invariants, optimizer descent.
+//! Property tests for the packing core: PSD sampling, grid-vs-brute-force
+//! (CSR and HashMap grids against the O(n²) scan), objective invariants,
+//! Verlet-vs-naive agreement over an optimization trajectory, optimizer
+//! descent.
 
 use adampack_core::grid::CellGrid;
 use adampack_core::objective::{CrossMode, IntraMode, Objective, ObjectiveWeights};
@@ -61,16 +63,26 @@ proptest! {
         let pts: Vec<Vec3> = centers.iter().map(|&(x, y, z)| Vec3::new(x, y, z)).collect();
         let mut rng = StdRng::seed_from_u64(radii_seed);
         let radii: Vec<f64> = pts.iter().map(|_| rng.gen_range(0.02..0.3)).collect();
-        let grid = CellGrid::build(&pts, &radii);
         let q = Vec3::new(qx, qy, qz);
-        let got = grid.overlapping(q, qr);
         let want: Vec<usize> = (0..pts.len())
             .filter(|&i| {
                 let m = qr + radii[i];
                 q.distance_sq(pts[i]) < m * m
             })
             .collect();
-        prop_assert_eq!(got, want);
+        // Both grid implementations must agree with the O(n²) scan: the
+        // HashMap cell-list is the long-standing oracle, the CSR grid is
+        // the production path.
+        let hash = CellGrid::build(&pts, &radii);
+        prop_assert_eq!(hash.overlapping(q, qr), want.clone());
+        let csr = CsrGrid::build(&pts, &radii);
+        prop_assert_eq!(csr.overlapping(q, qr), want.clone());
+        // And an incrementally-grown CSR grid sees the same set.
+        let mut grown = CsrGrid::empty();
+        for (i, &c) in pts.iter().enumerate() {
+            grown.push(c, radii[i]);
+        }
+        prop_assert_eq!(grown.overlapping(q, qr), want);
     }
 
     #[test]
@@ -82,7 +94,7 @@ proptest! {
         let n = coords.len() / 3;
         let radii = vec![r; n];
         let container = box_container();
-        let fixed = CellGrid::empty();
+        let fixed = CsrGrid::empty();
         let obj = Objective::new(
             ObjectiveWeights::default(),
             Axis::Z,
@@ -113,7 +125,7 @@ proptest! {
     ) {
         let bed_pts: Vec<Vec3> = bed.iter().map(|&(x, y, z)| Vec3::new(x, y, z)).collect();
         let bed_radii = vec![0.15; bed_pts.len()];
-        let fixed = CellGrid::build(&bed_pts, &bed_radii);
+        let fixed = CsrGrid::build(&bed_pts, &bed_radii);
         let radii = vec![0.12; batch.len()];
         let coords: Vec<f64> = batch.iter().flat_map(|&(x, y, z)| [x, y, z]).collect();
         let container = box_container();
@@ -139,7 +151,7 @@ proptest! {
         let radii = vec![0.2; batch.len()];
         let coords: Vec<f64> = batch.iter().flat_map(|&(x, y, z)| [x, y, z]).collect();
         let container = box_container();
-        let fixed = CellGrid::empty();
+        let fixed = CsrGrid::empty();
         let w = ObjectiveWeights::default();
         let mk = |mode| {
             Objective::new(w, Axis::Z, container.halfspaces(), &radii, &fixed)
@@ -160,7 +172,7 @@ proptest! {
         let radii = vec![0.2; batch.len()];
         let mut coords: Vec<f64> = batch.iter().flat_map(|&(x, y, z)| [x, y, z]).collect();
         let container = box_container();
-        let fixed = CellGrid::empty();
+        let fixed = CsrGrid::empty();
         let obj = Objective::new(
             ObjectiveWeights::default(),
             Axis::Z,
@@ -195,4 +207,82 @@ proptest! {
         prop_assert_eq!(mean, 0.0);
         prop_assert_eq!(max, 0.0);
     }
+}
+
+/// Satellite check: the Verlet pipeline must track the naive O(n²) scan in
+/// both value and gradient over a realistic optimization trajectory — many
+/// small Adam steps with intermittent list rebuilds.
+#[test]
+fn verlet_matches_naive_over_optimizer_trajectory() {
+    use adampack_core::neighbor::{NeighborStrategy, Workspace};
+    use adampack_opt::Optimizer;
+    use rand::Rng;
+
+    let container = box_container();
+    let mut rng = StdRng::seed_from_u64(11);
+
+    // A loose bed near the floor plus a crowded batch dropped onto it.
+    let bed_pts: Vec<Vec3> = (0..60)
+        .map(|_| {
+            Vec3::new(
+                rng.gen_range(-0.8..0.8),
+                rng.gen_range(-0.8..0.8),
+                rng.gen_range(-0.95..-0.55),
+            )
+        })
+        .collect();
+    let bed_radii: Vec<f64> = bed_pts.iter().map(|_| rng.gen_range(0.08..0.16)).collect();
+    let fixed = CsrGrid::build(&bed_pts, &bed_radii);
+
+    let n = 48;
+    let radii: Vec<f64> = (0..n).map(|_| rng.gen_range(0.06..0.14)).collect();
+    let mut coords: Vec<f64> = Vec::with_capacity(3 * n);
+    for _ in 0..n {
+        coords.push(rng.gen_range(-0.7..0.7));
+        coords.push(rng.gen_range(-0.7..0.7));
+        coords.push(rng.gen_range(-0.5..0.3));
+    }
+
+    let w = ObjectiveWeights::default();
+    let skin = 0.4 * radii.iter().copied().fold(0.0, f64::max);
+    let verlet = Objective::new(w, Axis::Z, container.halfspaces(), &radii, &fixed)
+        .with_neighbor(NeighborStrategy::Verlet, skin);
+    let naive = Objective::new(w, Axis::Z, container.halfspaces(), &radii, &fixed)
+        .with_neighbor(NeighborStrategy::Naive, skin);
+
+    let mut ws = Workspace::new();
+    let mut opt = adampack_opt::Adam::new(
+        adampack_opt::AdamConfig {
+            lr: 2e-3,
+            amsgrad: true,
+            ..Default::default()
+        },
+        coords.len(),
+    );
+    let mut g_verlet = vec![0.0; coords.len()];
+    let mut g_naive = vec![0.0; coords.len()];
+    for step in 0..400 {
+        let v1 = verlet.value_and_grad_ws(&coords, &mut g_verlet, &mut ws);
+        let v2 = naive.value_and_grad(&coords, &mut g_naive);
+        assert!(
+            (v1 - v2).abs() <= 1e-9 * v2.abs().max(1.0),
+            "step {step}: verlet value {v1} vs naive {v2}"
+        );
+        let scale = g_naive.iter().fold(0.0f64, |m, g| m.max(g.abs())).max(1.0);
+        for (k, (a, b)) in g_verlet.iter().zip(&g_naive).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-9 * scale,
+                "step {step}, coord {k}: verlet grad {a} vs naive {b}"
+            );
+        }
+        opt.step(&mut coords, &g_verlet);
+    }
+    // The skin must have amortized pair search: far fewer rebuilds than
+    // evaluations, but at least the initial build.
+    let rebuilds = ws.verlet_rebuilds();
+    assert!(rebuilds >= 1, "lists never built");
+    assert!(
+        rebuilds < 200,
+        "skin amortized nothing: {rebuilds} rebuilds / 400 steps"
+    );
 }

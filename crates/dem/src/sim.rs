@@ -1,9 +1,9 @@
 //! The soft-sphere DEM simulation.
 
-use adampack_core::grid::CellGrid;
+use adampack_core::neighbor::CsrGrid;
 use adampack_core::particle::Particle;
 use adampack_geometry::{HalfSpaceSet, Vec3};
-use rayon::prelude::*;
+use rayon::par;
 
 /// DEM material / integration parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,10 +64,16 @@ pub struct DemSimulation {
     walls: HalfSpaceSet,
     params: DemParams,
     time: f64,
-    grid_refresh: usize,
-    steps_since_grid: usize,
-    grid: CellGrid,
+    grid: CsrGrid,
     skin: f64,
+    /// Positions at the last grid build; the grid is refreshed only when a
+    /// particle has moved more than `skin / 2` since then, which keeps the
+    /// padded candidate set valid (each of a pair contributes at most
+    /// `skin / 2` of approach).
+    ref_positions: Vec<Vec3>,
+    padded_radii: Vec<f64>,
+    forces: Vec<Vec3>,
+    grid_rebuilds: usize,
 }
 
 impl DemSimulation {
@@ -78,7 +84,10 @@ impl DemSimulation {
     pub fn new(particles: &[Particle], walls: HalfSpaceSet, params: DemParams) -> DemSimulation {
         assert!(!particles.is_empty(), "DEM needs at least one particle");
         assert!(params.kn > 0.0, "kn must be positive");
-        assert!((0.0..=1.0).contains(&params.damping_ratio), "damping ratio in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&params.damping_ratio),
+            "damping ratio in [0, 1]"
+        );
         assert!(params.density > 0.0, "density must be positive");
         assert!(params.dt > 0.0, "dt must be positive");
 
@@ -99,19 +108,22 @@ impl DemSimulation {
 
         let r_min = radii.iter().copied().fold(f64::INFINITY, f64::min);
         let skin = 0.3 * r_min;
-        let grid = CellGrid::build(&positions, &radii.iter().map(|r| r + skin).collect::<Vec<_>>());
+        let padded_radii: Vec<f64> = radii.iter().map(|r| r + skin).collect();
+        let grid = CsrGrid::build(&positions, &padded_radii);
         DemSimulation {
             velocities: vec![Vec3::ZERO; positions.len()],
+            ref_positions: positions.clone(),
+            forces: vec![Vec3::ZERO; positions.len()],
             positions,
             radii,
             masses,
             walls,
             params,
             time: 0.0,
-            grid_refresh: 10,
-            steps_since_grid: 0,
             grid,
             skin,
+            padded_radii,
+            grid_rebuilds: 0,
         }
     }
 
@@ -145,17 +157,37 @@ impl DemSimulation {
         &self.radii
     }
 
-    /// Advances one time step (semi-implicit Euler: forces → velocities →
-    /// positions), rebuilding the contact grid every few steps.
-    pub fn step(&mut self) {
-        if self.steps_since_grid >= self.grid_refresh {
-            let padded: Vec<f64> = self.radii.iter().map(|r| r + self.skin).collect();
-            self.grid = CellGrid::build(&self.positions, &padded);
-            self.steps_since_grid = 0;
-        }
-        self.steps_since_grid += 1;
+    /// Contact-grid rebuilds so far (diagnostic: the displacement criterion
+    /// makes this far smaller than the step count for quasi-static beds).
+    pub fn grid_rebuilds(&self) -> usize {
+        self.grid_rebuilds
+    }
 
-        let DemParams { kn, damping_ratio, gravity, dt, tangential_damping, .. } = self.params;
+    /// Advances one time step (semi-implicit Euler: forces → velocities →
+    /// positions). The contact grid is rebuilt only when some particle has
+    /// drifted more than half the skin since the last build, not on a fixed
+    /// cadence.
+    pub fn step(&mut self) {
+        let limit_sq = (0.5 * self.skin) * (0.5 * self.skin);
+        let stale = self
+            .positions
+            .iter()
+            .zip(&self.ref_positions)
+            .any(|(p, q)| p.distance_sq(*q) > limit_sq);
+        if stale {
+            self.grid.rebuild(&self.positions, &self.padded_radii);
+            self.ref_positions.copy_from_slice(&self.positions);
+            self.grid_rebuilds += 1;
+        }
+
+        let DemParams {
+            kn,
+            damping_ratio,
+            gravity,
+            dt,
+            tangential_damping,
+            ..
+        } = self.params;
         let positions = &self.positions;
         let velocities = &self.velocities;
         let radii = &self.radii;
@@ -163,62 +195,61 @@ impl DemSimulation {
         let walls = &self.walls;
         let grid = &self.grid;
 
+        let skin = self.skin;
         // Forces are accumulated per particle; each pair is evaluated twice
         // (once from each side), which keeps the loop embarrassingly
-        // parallel at the cost of one redundant sqrt per pair.
-        let forces: Vec<Vec3> = (0..positions.len())
-            .into_par_iter()
-            .map(|i| {
-                let pi = positions[i];
-                let vi = velocities[i];
-                let ri = radii[i];
-                let mut f = gravity * masses[i];
+        // parallel at the cost of one redundant sqrt per pair. The buffer is
+        // reused across steps, so the force pass allocates nothing.
+        par::fill_with(&mut self.forces, |i| {
+            let pi = positions[i];
+            let vi = velocities[i];
+            let ri = radii[i];
+            let mut f = gravity * masses[i];
 
-                grid.for_neighbors(pi, ri + self.skin, |j, _, _| {
-                    if j == i {
-                        return;
-                    }
-                    let pj = positions[j];
-                    let sum_r = ri + radii[j];
-                    let delta_vec = pi - pj;
-                    let dist = delta_vec.norm();
-                    let overlap = sum_r - dist;
-                    if overlap > 0.0 && dist > 1e-12 {
-                        let n = delta_vec / dist;
-                        let m_eff = masses[i] * masses[j] / (masses[i] + masses[j]);
-                        let cn = 2.0 * damping_ratio * (kn * m_eff).sqrt();
-                        let v_rel = vi - velocities[j];
-                        let v_rel_n = v_rel.dot(n);
-                        f += n * (kn * overlap - cn * v_rel_n);
-                        if tangential_damping > 0.0 {
-                            let v_t = v_rel - n * v_rel_n;
-                            f -= v_t * (tangential_damping * cn);
-                        }
-                    }
-                });
-
-                // Wall contacts against every container plane.
-                for plane in walls.planes() {
-                    let gap = plane.sphere_excess(pi, ri);
-                    if gap > 0.0 {
-                        // Sphere penetrates the wall by `gap` along the
-                        // outward normal: push back inward.
-                        let m_eff = masses[i];
-                        let cn = 2.0 * damping_ratio * (kn * m_eff).sqrt();
-                        let v_n = vi.dot(plane.normal);
-                        f -= plane.normal * (kn * gap + cn * v_n.max(0.0));
-                        if tangential_damping > 0.0 {
-                            let v_t = vi - plane.normal * v_n;
-                            f -= v_t * (tangential_damping * cn);
-                        }
+            grid.for_neighbors(pi, ri + skin, |j, _, _| {
+                if j == i {
+                    return;
+                }
+                let pj = positions[j];
+                let sum_r = ri + radii[j];
+                let delta_vec = pi - pj;
+                let dist = delta_vec.norm();
+                let overlap = sum_r - dist;
+                if overlap > 0.0 && dist > 1e-12 {
+                    let n = delta_vec / dist;
+                    let m_eff = masses[i] * masses[j] / (masses[i] + masses[j]);
+                    let cn = 2.0 * damping_ratio * (kn * m_eff).sqrt();
+                    let v_rel = vi - velocities[j];
+                    let v_rel_n = v_rel.dot(n);
+                    f += n * (kn * overlap - cn * v_rel_n);
+                    if tangential_damping > 0.0 {
+                        let v_t = v_rel - n * v_rel_n;
+                        f -= v_t * (tangential_damping * cn);
                     }
                 }
-                f
-            })
-            .collect();
+            });
+
+            // Wall contacts against every container plane.
+            for plane in walls.planes() {
+                let gap = plane.sphere_excess(pi, ri);
+                if gap > 0.0 {
+                    // Sphere penetrates the wall by `gap` along the
+                    // outward normal: push back inward.
+                    let m_eff = masses[i];
+                    let cn = 2.0 * damping_ratio * (kn * m_eff).sqrt();
+                    let v_n = vi.dot(plane.normal);
+                    f -= plane.normal * (kn * gap + cn * v_n.max(0.0));
+                    if tangential_damping > 0.0 {
+                        let v_t = vi - plane.normal * v_n;
+                        f -= v_t * (tangential_damping * cn);
+                    }
+                }
+            }
+            f
+        });
 
         for i in 0..self.positions.len() {
-            self.velocities[i] += forces[i] * (dt / self.masses[i]);
+            self.velocities[i] += self.forces[i] * (dt / self.masses[i]);
             self.positions[i] += self.velocities[i] * dt;
         }
         self.time += dt;
@@ -255,7 +286,7 @@ impl DemSimulation {
             bed_height = bed_height.max(self.positions[i].z + self.radii[i]);
         }
         // Worst pairwise overlap via a fresh exact grid.
-        let grid = CellGrid::build(&self.positions, &self.radii);
+        let grid = CsrGrid::build(&self.positions, &self.radii);
         let mut max_ratio: f64 = 0.0;
         for i in 0..self.positions.len() {
             grid.for_neighbors(self.positions[i], self.radii[i], |j, pj, rj| {
@@ -316,10 +347,13 @@ mod tests {
     use adampack_geometry::shapes;
 
     fn floor_box() -> HalfSpaceSet {
-        Container::from_mesh(&shapes::box_mesh(Vec3::new(0.0, 0.0, 1.0), Vec3::new(2.0, 2.0, 2.0)))
-            .unwrap()
-            .halfspaces()
-            .clone()
+        Container::from_mesh(&shapes::box_mesh(
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::new(2.0, 2.0, 2.0),
+        ))
+        .unwrap()
+        .halfspaces()
+        .clone()
     }
 
     fn params() -> DemParams {
@@ -353,10 +387,14 @@ mod tests {
             Particle::new(Vec3::new(-0.05, 0.0, 1.0), 0.1),
             Particle::new(Vec3::new(0.05, 0.0, 1.0), 0.1),
         ];
-        let mut sim = DemSimulation::new(&p, floor_box(), DemParams {
-            gravity: Vec3::ZERO,
-            ..params()
-        });
+        let mut sim = DemSimulation::new(
+            &p,
+            floor_box(),
+            DemParams {
+                gravity: Vec3::ZERO,
+                ..params()
+            },
+        );
         let d0 = sim.positions()[0].distance(sim.positions()[1]);
         sim.run(2_000);
         let d1 = sim.positions()[0].distance(sim.positions()[1]);
@@ -393,10 +431,14 @@ mod tests {
             Particle::new(Vec3::new(0.0, 0.0, 0.5), 0.1),
             Particle::new(Vec3::new(0.195, 0.0, 0.5), 0.1),
         ];
-        let mut sim = DemSimulation::new(&p, floor_box(), DemParams {
-            gravity: Vec3::ZERO,
-            ..params()
-        });
+        let mut sim = DemSimulation::new(
+            &p,
+            floor_box(),
+            DemParams {
+                gravity: Vec3::ZERO,
+                ..params()
+            },
+        );
         let before = sim.stats().max_overlap_ratio;
         assert!(before > 0.02);
         let after = sim.relax_overlaps(0.005, 20_000);
@@ -471,10 +513,14 @@ mod tests {
         // its horizontal speed; with tangential damping it slows down.
         let make = |mu| {
             let p = vec![Particle::new(Vec3::new(-0.8, 0.0, 0.1 - 0.005), 0.1)];
-            let mut sim = DemSimulation::new(&p, floor_box(), DemParams {
-                tangential_damping: mu,
-                ..params()
-            });
+            let mut sim = DemSimulation::new(
+                &p,
+                floor_box(),
+                DemParams {
+                    tangential_damping: mu,
+                    ..params()
+                },
+            );
             sim.velocities[0] = Vec3::new(1.0, 0.0, 0.0);
             sim.run(20_000);
             sim.velocities()[0].x
@@ -491,10 +537,14 @@ mod tests {
     #[should_panic(expected = "unstable")]
     fn unstable_dt_rejected() {
         let p = vec![Particle::new(Vec3::new(0.0, 0.0, 0.5), 0.05)];
-        let _ = DemSimulation::new(&p, floor_box(), DemParams {
-            dt: 1e-2,
-            ..DemParams::default()
-        });
+        let _ = DemSimulation::new(
+            &p,
+            floor_box(),
+            DemParams {
+                dt: 1e-2,
+                ..DemParams::default()
+            },
+        );
     }
 
     #[test]

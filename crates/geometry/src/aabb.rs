@@ -234,7 +234,7 @@ mod tests {
         assert!(b.intersects_sphere(Vec3::splat(0.5), 0.1)); // inside
         assert!(b.intersects_sphere(Vec3::new(1.5, 0.5, 0.5), 0.6)); // touching face
         assert!(!b.intersects_sphere(Vec3::new(2.0, 0.5, 0.5), 0.5)); // too far
-        // Corner case: sphere approaching the (1,1,1) corner diagonally.
+                                                                      // Corner case: sphere approaching the (1,1,1) corner diagonally.
         let c = Vec3::splat(1.0 + 0.1 / (3.0f64).sqrt());
         assert!(b.intersects_sphere(c, 0.11));
         assert!(!b.intersects_sphere(c, 0.09));

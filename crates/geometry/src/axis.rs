@@ -11,13 +11,14 @@ use crate::vec3::Vec3;
 /// The *direction* points the way gravity pulls, i.e. the altitude term
 /// `A^C` of the objective is the sum of particle coordinates along
 /// `-direction` — minimizing it pushes particles *along* gravity.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Axis {
     /// Gravity pulls towards -x; altitude measured along +x.
     X,
     /// Gravity pulls towards -y; altitude measured along +y.
     Y,
     /// Gravity pulls towards -z; altitude measured along +z (paper default).
+    #[default]
     Z,
     /// Arbitrary *up* direction (unit vector); altitude measured along it.
     Custom(Vec3),
@@ -90,12 +91,6 @@ impl Axis {
     }
 }
 
-impl Default for Axis {
-    fn default() -> Self {
-        Axis::Z
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,9 +124,13 @@ mod tests {
 
     #[test]
     fn canonicalize_folds_unit_axes() {
-        let a = Axis::from_vector(Vec3::new(0.0, 2.0, 0.0)).unwrap().canonicalize();
+        let a = Axis::from_vector(Vec3::new(0.0, 2.0, 0.0))
+            .unwrap()
+            .canonicalize();
         assert_eq!(a, Axis::Y);
-        let skew = Axis::from_vector(Vec3::new(1.0, 1.0, 0.0)).unwrap().canonicalize();
+        let skew = Axis::from_vector(Vec3::new(1.0, 1.0, 0.0))
+            .unwrap()
+            .canonicalize();
         assert!(matches!(skew, Axis::Custom(_)));
     }
 

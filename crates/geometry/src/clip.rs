@@ -30,7 +30,11 @@ pub enum ClipResult {
 /// `eps` is the absolute tolerance for on-plane classification; pass
 /// something like `1e-9 ×` the mesh diagonal.
 pub fn clip_convex(mesh: &TriMesh, plane: &Plane, eps: f64) -> ClipResult {
-    let dists: Vec<f64> = mesh.vertices.iter().map(|&v| plane.signed_distance(v)).collect();
+    let dists: Vec<f64> = mesh
+        .vertices
+        .iter()
+        .map(|&v| plane.signed_distance(v))
+        .collect();
     let any_out = dists.iter().any(|&d| d > eps);
     let any_in = dists.iter().any(|&d| d < -eps);
     if !any_out {
@@ -103,7 +107,7 @@ pub fn clip_convex(mesh: &TriMesh, plane: &Plane, eps: f64) -> ClipResult {
         let mut dedup: Vec<Vec3> = Vec::with_capacity(ring.len() / 2 + 1);
         let tol2 = (eps * 10.0).powi(2).max(1e-24);
         for (_, p) in ring {
-            if dedup.last().map_or(true, |q| q.distance_sq(p) > tol2) {
+            if dedup.last().is_none_or(|q| q.distance_sq(p) > tol2) {
                 dedup.push(p);
             }
         }
@@ -178,7 +182,11 @@ mod tests {
             panic!("expected a cut");
         };
         assert!(half.is_watertight(), "clipped mesh must be closed");
-        assert!((half.signed_volume() - 4.0).abs() < 1e-9, "volume = {}", half.signed_volume());
+        assert!(
+            (half.signed_volume() - 4.0).abs() < 1e-9,
+            "volume = {}",
+            half.signed_volume()
+        );
         // All vertices on or below the plane.
         for &v in &half.vertices {
             assert!(v.z <= 1e-9);
@@ -195,7 +203,11 @@ mod tests {
             panic!("expected a cut");
         };
         assert!(piece.is_watertight());
-        assert!((piece.signed_volume() - 4.0).abs() < 1e-9, "volume = {}", piece.signed_volume());
+        assert!(
+            (piece.signed_volume() - 4.0).abs() < 1e-9,
+            "volume = {}",
+            piece.signed_volume()
+        );
     }
 
     #[test]
@@ -203,8 +215,11 @@ mod tests {
         // Cut off the (+,+,+) corner of the box with x + y + z ≤ 2: removes
         // a tetrahedron of volume 1/6 (legs of length 1).
         let m = unit_box();
-        let cut = Plane::from_point_normal(Vec3::new(2.0 / 3.0, 2.0 / 3.0, 2.0 / 3.0), Vec3::new(1.0, 1.0, 1.0))
-            .unwrap();
+        let cut = Plane::from_point_normal(
+            Vec3::new(2.0 / 3.0, 2.0 / 3.0, 2.0 / 3.0),
+            Vec3::new(1.0, 1.0, 1.0),
+        )
+        .unwrap();
         let ClipResult::Clipped(piece) = clip_convex(&m, &cut, 1e-9) else {
             panic!("expected a cut");
         };
@@ -269,6 +284,10 @@ mod tests {
         let expect = v_sphere - v_cap;
         let rel = (piece.signed_volume() - expect).abs() / expect;
         // Discretization error of the 64×48 sphere dominates.
-        assert!(rel < 0.01, "volume = {}, expect = {expect}", piece.signed_volume());
+        assert!(
+            rel < 0.01,
+            "volume = {}, expect = {expect}",
+            piece.signed_volume()
+        );
     }
 }

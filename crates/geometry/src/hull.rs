@@ -31,7 +31,9 @@ impl std::fmt::Display for HullError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             HullError::TooFewPoints(n) => write!(f, "convex hull needs >= 4 points, got {n}"),
-            HullError::Degenerate => write!(f, "input points are degenerate (collinear or coplanar)"),
+            HullError::Degenerate => {
+                write!(f, "input points are degenerate (collinear or coplanar)")
+            }
             HullError::Numerical => write!(f, "numerical failure during hull construction"),
         }
     }
@@ -293,10 +295,7 @@ fn quickhull(points: &[Vec3]) -> Result<ConvexHull, HullError> {
     }
 
     // Main loop: process faces with non-empty outside sets.
-    loop {
-        let Some(fi) = faces.iter().position(|f| f.alive && !f.outside.is_empty()) else {
-            break;
-        };
+    while let Some(fi) = faces.iter().position(|f| f.alive && !f.outside.is_empty()) {
         // Farthest conflict point of this face becomes the new hull vertex.
         let eye = {
             let f = &faces[fi];
@@ -388,7 +387,7 @@ fn quickhull(points: &[Vec3]) -> Result<ConvexHull, HullError> {
             let mut best: Option<(usize, f64)> = None;
             for &nf in &new_faces {
                 let d = faces[nf].plane.signed_distance(p);
-                if d > eps && best.map_or(true, |(_, bd)| d > bd) {
+                if d > eps && best.is_none_or(|(_, bd)| d > bd) {
                     best = Some((nf, d));
                 }
             }
@@ -461,7 +460,9 @@ fn initial_simplex(points: &[Vec3], eps: f64) -> Result<(usize, usize, usize, us
     }
 
     // Farthest point from the line (i0, i1).
-    let dir = (points[i1] - points[i0]).normalized().ok_or(HullError::Degenerate)?;
+    let dir = (points[i1] - points[i0])
+        .normalized()
+        .ok_or(HullError::Degenerate)?;
     let (mut i2, mut best) = (usize::MAX, eps);
     for (pi, &p) in points.iter().enumerate() {
         let v = p - points[i0];
@@ -476,7 +477,8 @@ fn initial_simplex(points: &[Vec3], eps: f64) -> Result<(usize, usize, usize, us
     }
 
     // Farthest point from the plane (i0, i1, i2).
-    let plane = Plane::from_triangle(points[i0], points[i1], points[i2]).ok_or(HullError::Degenerate)?;
+    let plane =
+        Plane::from_triangle(points[i0], points[i1], points[i2]).ok_or(HullError::Degenerate)?;
     let (mut i3, mut best) = (usize::MAX, eps);
     for (pi, &p) in points.iter().enumerate() {
         let d = plane.signed_distance(p).abs();
@@ -497,7 +499,9 @@ mod tests {
     use crate::shapes;
 
     fn box_points() -> Vec<Vec3> {
-        Aabb::new(Vec3::ZERO, Vec3::new(2.0, 2.0, 2.0)).corners().to_vec()
+        Aabb::new(Vec3::ZERO, Vec3::new(2.0, 2.0, 2.0))
+            .corners()
+            .to_vec()
     }
 
     #[test]
@@ -552,7 +556,11 @@ mod tests {
         let h = ConvexHull::from_points(&box_points()).unwrap();
         assert_eq!(h.vertices.len(), 8);
         assert_eq!(h.faces.len(), 12);
-        assert_eq!(h.halfspaces().len(), 6, "coplanar triangle planes dedupe to box faces");
+        assert_eq!(
+            h.halfspaces().len(),
+            6,
+            "coplanar triangle planes dedupe to box faces"
+        );
         assert!((h.volume() - 8.0).abs() < 1e-10);
     }
 

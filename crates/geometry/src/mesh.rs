@@ -147,9 +147,9 @@ impl TriMesh {
                 *directed.entry(e).or_insert(0) += 1;
             }
         }
-        directed.iter().all(|(&(a, b), &count)| {
-            count == 1 && directed.get(&(b, a)).copied() == Some(1)
-        })
+        directed
+            .iter()
+            .all(|(&(a, b), &count)| count == 1 && directed.get(&(b, a)).copied() == Some(1))
     }
 
     /// Euler characteristic `V - E + F` (2 for sphere-topology meshes).
@@ -256,9 +256,15 @@ mod tests {
 
     #[test]
     fn validation_catches_errors() {
-        assert_eq!(TriMesh::new(vec![Vec3::ZERO], vec![]).unwrap_err(), MeshError::Empty);
+        assert_eq!(
+            TriMesh::new(vec![Vec3::ZERO], vec![]).unwrap_err(),
+            MeshError::Empty
+        );
         let e = TriMesh::new(vec![Vec3::ZERO, Vec3::X], vec![[0, 1, 2]]).unwrap_err();
-        assert!(matches!(e, MeshError::IndexOutOfBounds { face: 0, index: 2 }));
+        assert!(matches!(
+            e,
+            MeshError::IndexOutOfBounds { face: 0, index: 2 }
+        ));
         let e = TriMesh::new(vec![Vec3::ZERO, Vec3::X, Vec3::Y], vec![[0, 1, 1]]).unwrap_err();
         assert!(matches!(e, MeshError::DegenerateFace { face: 0 }));
         let e = TriMesh::new(
@@ -302,14 +308,20 @@ mod tests {
         let mut m = tetra();
         let v0 = m.signed_volume();
         m.translate(Vec3::new(5.0, -2.0, 1.0));
-        assert!((m.signed_volume() - v0).abs() < 1e-12, "volume is translation invariant");
+        assert!(
+            (m.signed_volume() - v0).abs() < 1e-12,
+            "volume is translation invariant"
+        );
         m.scale(Vec3::new(2.0, 2.0, 2.0));
         assert!((m.signed_volume() - v0 * 8.0).abs() < 1e-9);
 
         let mut m2 = tetra();
         let r = Mat3::rotation_axis_angle(Vec3::Z, 1.0);
         m2.transform(&r);
-        assert!((m2.signed_volume() - v0).abs() < 1e-12, "rotation preserves volume");
+        assert!(
+            (m2.signed_volume() - v0).abs() < 1e-12,
+            "rotation preserves volume"
+        );
     }
 
     #[test]

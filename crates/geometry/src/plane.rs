@@ -117,7 +117,8 @@ mod tests {
 
     #[test]
     fn from_point_normal() {
-        let p = Plane::from_point_normal(Vec3::new(1.0, 1.0, 1.0), Vec3::new(0.0, 3.0, 0.0)).unwrap();
+        let p =
+            Plane::from_point_normal(Vec3::new(1.0, 1.0, 1.0), Vec3::new(0.0, 3.0, 0.0)).unwrap();
         assert!(p.signed_distance(Vec3::new(5.0, 1.0, -2.0)).abs() < 1e-12);
         assert!((p.signed_distance(Vec3::new(0.0, 4.0, 0.0)) - 3.0).abs() < 1e-12);
     }

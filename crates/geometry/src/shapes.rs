@@ -58,7 +58,10 @@ pub fn tall_box(base: f64, height: f64) -> TriMesh {
 /// `segments` ≥ 3 around the equator, `rings` ≥ 2 from pole to pole.
 pub fn uv_sphere(center: Vec3, radius: f64, segments: usize, rings: usize) -> TriMesh {
     assert!(radius > 0.0, "sphere radius must be positive");
-    assert!(segments >= 3 && rings >= 2, "need >= 3 segments and >= 2 rings");
+    assert!(
+        segments >= 3 && rings >= 2,
+        "need >= 3 segments and >= 2 rings"
+    );
     let mut vertices = Vec::with_capacity(segments * (rings - 1) + 2);
     vertices.push(center + Vec3::Z * radius); // north pole: 0
     for ri in 1..rings {
@@ -109,7 +112,10 @@ pub fn uv_sphere(center: Vec3, radius: f64, segments: usize, rings: usize) -> Tr
 /// level quadruples the face count.
 pub fn icosphere(center: Vec3, radius: f64, subdivisions: u32) -> TriMesh {
     assert!(radius > 0.0, "sphere radius must be positive");
-    assert!(subdivisions <= 7, "more than 7 subdivisions is > 1.3M faces");
+    assert!(
+        subdivisions <= 7,
+        "more than 7 subdivisions is > 1.3M faces"
+    );
     // Icosahedron from three orthogonal golden rectangles.
     let phi = (1.0 + 5.0f64.sqrt()) / 2.0;
     let verts = [
@@ -197,10 +203,16 @@ pub fn subdivide_midpoint(mesh: &TriMesh) -> TriMesh {
 /// `profile` is a list of `(z, radius)` pairs with strictly increasing `z`
 /// and positive radii (the first/last radius may be 0 for apexes).
 pub fn lathe(profile: &[(f64, f64)], segments: usize) -> TriMesh {
-    assert!(profile.len() >= 2, "lathe needs at least two profile points");
+    assert!(
+        profile.len() >= 2,
+        "lathe needs at least two profile points"
+    );
     assert!(segments >= 3, "lathe needs >= 3 segments");
     for w in profile.windows(2) {
-        assert!(w[1].0 > w[0].0, "lathe profile z must be strictly increasing");
+        assert!(
+            w[1].0 > w[0].0,
+            "lathe profile z must be strictly increasing"
+        );
     }
     for (i, &(_, r)) in profile.iter().enumerate() {
         let interior = i > 0 && i + 1 < profile.len();
@@ -403,7 +415,10 @@ mod tests {
         let centroid = m.volume_centroid().unwrap();
         assert!((centroid - c).norm() < 1e-9);
         for v in &m.vertices {
-            assert!((v.distance(c) - 0.5).abs() < 1e-12, "all vertices on the sphere");
+            assert!(
+                (v.distance(c) - 0.5).abs() < 1e-12,
+                "all vertices on the sphere"
+            );
         }
     }
 
@@ -434,7 +449,10 @@ mod tests {
             let m = cone(1.0, 1.0, 64, apex_up);
             assert!(m.is_watertight(), "apex_up = {apex_up}");
             let v = m.signed_volume();
-            assert!((v - exact).abs() / exact < 0.01, "v = {v} (apex_up = {apex_up})");
+            assert!(
+                (v - exact).abs() / exact < 0.01,
+                "v = {v} (apex_up = {apex_up})"
+            );
         }
     }
 

@@ -137,7 +137,11 @@ mod tests {
 
     #[test]
     fn centroid() {
-        let t = Triangle::new(Vec3::ZERO, Vec3::new(3.0, 0.0, 0.0), Vec3::new(0.0, 3.0, 0.0));
+        let t = Triangle::new(
+            Vec3::ZERO,
+            Vec3::new(3.0, 0.0, 0.0),
+            Vec3::new(0.0, 3.0, 0.0),
+        );
         assert!((t.centroid() - Vec3::new(1.0, 1.0, 0.0)).norm() < 1e-12);
     }
 

@@ -5,7 +5,9 @@
 //! mesh generation, plane math) uses [`Vec3`].
 
 use std::fmt;
-use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::ops::{
+    Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign,
+};
 
 /// A vector (or point) in ℝ³.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -20,13 +22,29 @@ pub struct Vec3 {
 
 impl Vec3 {
     /// The zero vector.
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
     /// Unit vector along +x.
-    pub const X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    pub const X: Vec3 = Vec3 {
+        x: 1.0,
+        y: 0.0,
+        z: 0.0,
+    };
     /// Unit vector along +y.
-    pub const Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    pub const Y: Vec3 = Vec3 {
+        x: 0.0,
+        y: 1.0,
+        z: 0.0,
+    };
     /// Unit vector along +z.
-    pub const Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+    pub const Z: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 1.0,
+    };
 
     /// Creates a vector from components.
     #[inline]
@@ -311,7 +329,11 @@ impl Mat3 {
     /// Matrix-vector product.
     #[inline]
     pub fn mul_vec(&self, v: Vec3) -> Vec3 {
-        Vec3::new(self.rows[0].dot(v), self.rows[1].dot(v), self.rows[2].dot(v))
+        Vec3::new(
+            self.rows[0].dot(v),
+            self.rows[1].dot(v),
+            self.rows[2].dot(v),
+        )
     }
 
     /// Matrix transpose.

@@ -5,12 +5,7 @@ use adampack_geometry::{clip_convex, shapes, Aabb, ClipResult, ConvexHull, Plane
 use proptest::prelude::*;
 
 fn vec3_strategy(range: f64) -> impl Strategy<Value = Vec3> {
-    (
-        -range..range,
-        -range..range,
-        -range..range,
-    )
-        .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+    (-range..range, -range..range, -range..range).prop_map(|(x, y, z)| Vec3::new(x, y, z))
 }
 
 proptest! {

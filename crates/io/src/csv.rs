@@ -47,17 +47,27 @@ pub fn read_particles_csv<R: BufRead>(r: R) -> io::Result<Vec<ParticleRow>> {
         if fields.len() < 4 {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("line {}: expected >= 4 fields, got {}", ln + 2, fields.len()),
+                format!(
+                    "line {}: expected >= 4 fields, got {}",
+                    ln + 2,
+                    fields.len()
+                ),
             ));
         }
         let num = |s: &str| {
             s.parse::<f64>().map_err(|_| {
-                io::Error::new(io::ErrorKind::InvalidData, format!("line {}: bad number '{s}'", ln + 2))
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: bad number '{s}'", ln + 2),
+                )
             })
         };
         let int = |s: &str| {
             s.parse::<usize>().map_err(|_| {
-                io::Error::new(io::ErrorKind::InvalidData, format!("line {}: bad index '{s}'", ln + 2))
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: bad index '{s}'", ln + 2),
+                )
             })
         };
         let c = Vec3::new(num(fields[0])?, num(fields[1])?, num(fields[2])?);

@@ -111,7 +111,11 @@ fn read_stl_binary(bytes: &[u8], n: usize) -> Result<TriMesh, StlError> {
         // Skip the stored normal (recomputed from winding on demand).
         let v = |k: usize| {
             let base = off + 12 + k * 12;
-            Vec3::new(f32_at(bytes, base), f32_at(bytes, base + 4), f32_at(bytes, base + 8))
+            Vec3::new(
+                f32_at(bytes, base),
+                f32_at(bytes, base + 4),
+                f32_at(bytes, base + 8),
+            )
         };
         tris.push(Triangle::new(v(0), v(1), v(2)));
         off += 50;
@@ -132,12 +136,12 @@ fn read_stl_ascii(bytes: &[u8]) -> Result<TriMesh, StlError> {
             Some("vertex") => {
                 let mut coord = [0.0f64; 3];
                 for c in coord.iter_mut() {
-                    let tok = tokens
-                        .next()
-                        .ok_or_else(|| StlError::Parse(format!("line {}: missing vertex coordinate", ln + 1)))?;
-                    *c = tok
-                        .parse()
-                        .map_err(|_| StlError::Parse(format!("line {}: bad number '{tok}'", ln + 1)))?;
+                    let tok = tokens.next().ok_or_else(|| {
+                        StlError::Parse(format!("line {}: missing vertex coordinate", ln + 1))
+                    })?;
+                    *c = tok.parse().map_err(|_| {
+                        StlError::Parse(format!("line {}: bad number '{tok}'", ln + 1))
+                    })?;
                 }
                 verts.push(Vec3::new(coord[0], coord[1], coord[2]));
             }
@@ -174,7 +178,9 @@ fn weld(tris: &[Triangle]) -> Result<TriMesh, StlError> {
     let diag = Aabb::from_points(&points).diagonal().max(1.0);
     let mut mesh = TriMesh {
         vertices: points,
-        faces: (0..tris.len()).map(|i| [3 * i, 3 * i + 1, 3 * i + 2]).collect(),
+        faces: (0..tris.len())
+            .map(|i| [3 * i, 3 * i + 1, 3 * i + 2])
+            .collect(),
     };
     mesh.deduplicate_vertices(diag * 1e-9);
     mesh.validate()
@@ -279,7 +285,10 @@ mod tests {
     fn binary_with_zero_triangles_errors() {
         let mut buf = vec![0u8; 84];
         buf[80..84].copy_from_slice(&0u32.to_le_bytes());
-        assert!(matches!(read_stl(&buf), Err(StlError::Empty) | Err(StlError::Parse(_))));
+        assert!(matches!(
+            read_stl(&buf),
+            Err(StlError::Empty) | Err(StlError::Parse(_))
+        ));
     }
 
     #[test]

@@ -56,7 +56,12 @@ pub fn write_mesh_vtk<W: Write>(
     for v in &mesh.vertices {
         writeln!(w, "{} {} {}", v.x, v.y, v.z)?;
     }
-    writeln!(w, "POLYGONS {} {}", mesh.face_count(), mesh.face_count() * 4)?;
+    writeln!(
+        w,
+        "POLYGONS {} {}",
+        mesh.face_count(),
+        mesh.face_count() * 4
+    )?;
     for f in &mesh.faces {
         writeln!(w, "3 {} {} {}", f[0], f[1], f[2])?;
     }

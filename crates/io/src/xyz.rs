@@ -46,11 +46,17 @@ pub fn read_xyz<R: BufRead>(r: R) -> io::Result<Vec<(Vec3, f64)>> {
             .unwrap_or("")
             .parse()
             .map_err(|_| {
-                io::Error::new(io::ErrorKind::InvalidData, format!("line {}: bad label", ln + 3))
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: bad label", ln + 3),
+                )
             })?;
         let num = |s: &str| {
             s.parse::<f64>().map_err(|_| {
-                io::Error::new(io::ErrorKind::InvalidData, format!("line {}: bad number", ln + 3))
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: bad number", ln + 3),
+                )
             })
         };
         out.push((

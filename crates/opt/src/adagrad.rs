@@ -38,7 +38,11 @@ pub struct AdaGrad {
 impl AdaGrad {
     /// Creates an optimizer for `n_params` parameters.
     pub fn new(cfg: AdaGradConfig, n_params: usize) -> AdaGrad {
-        assert!(cfg.lr > 0.0 && cfg.lr.is_finite(), "lr must be positive, got {}", cfg.lr);
+        assert!(
+            cfg.lr > 0.0 && cfg.lr.is_finite(),
+            "lr must be positive, got {}",
+            cfg.lr
+        );
         assert!(cfg.eps > 0.0, "eps must be positive");
         assert!(cfg.weight_decay >= 0.0, "weight_decay must be non-negative");
         AdaGrad {
@@ -53,7 +57,11 @@ impl Optimizer for AdaGrad {
     fn step(&mut self, params: &mut [f64], grads: &[f64]) {
         check_sizes(self.sum_sq.len(), params, grads);
         self.t += 1;
-        let AdaGradConfig { lr, eps, weight_decay } = self.cfg;
+        let AdaGradConfig {
+            lr,
+            eps,
+            weight_decay,
+        } = self.cfg;
         for i in 0..params.len() {
             let g = grads[i] + weight_decay * params[i];
             self.sum_sq[i] += g * g;
@@ -90,7 +98,13 @@ mod tests {
 
     #[test]
     fn first_step_normalizes_gradient() {
-        let mut opt = AdaGrad::new(AdaGradConfig { lr: 0.5, ..AdaGradConfig::default() }, 1);
+        let mut opt = AdaGrad::new(
+            AdaGradConfig {
+                lr: 0.5,
+                ..AdaGradConfig::default()
+            },
+            1,
+        );
         let mut p = vec![0.0];
         opt.step(&mut p, &[4.0]);
         // sum_sq = 16, Δ = 0.5 · 4/4 = 0.5.

@@ -37,11 +37,26 @@ impl Default for AdamConfig {
 impl AdamConfig {
     /// Panics on out-of-range hyper-parameters.
     fn validate(&self) {
-        assert!(self.lr > 0.0 && self.lr.is_finite(), "lr must be positive, got {}", self.lr);
-        assert!((0.0..1.0).contains(&self.beta1), "beta1 must be in [0, 1), got {}", self.beta1);
-        assert!((0.0..1.0).contains(&self.beta2), "beta2 must be in [0, 1), got {}", self.beta2);
+        assert!(
+            self.lr > 0.0 && self.lr.is_finite(),
+            "lr must be positive, got {}",
+            self.lr
+        );
+        assert!(
+            (0.0..1.0).contains(&self.beta1),
+            "beta1 must be in [0, 1), got {}",
+            self.beta1
+        );
+        assert!(
+            (0.0..1.0).contains(&self.beta2),
+            "beta2 must be in [0, 1), got {}",
+            self.beta2
+        );
         assert!(self.eps > 0.0, "eps must be positive, got {}", self.eps);
-        assert!(self.weight_decay >= 0.0, "weight_decay must be non-negative");
+        assert!(
+            self.weight_decay >= 0.0,
+            "weight_decay must be non-negative"
+        );
     }
 }
 
@@ -78,7 +93,11 @@ impl Adam {
             cfg,
             m: vec![0.0; n_params],
             v: vec![0.0; n_params],
-            v_max: if cfg.amsgrad { vec![0.0; n_params] } else { Vec::new() },
+            v_max: if cfg.amsgrad {
+                vec![0.0; n_params]
+            } else {
+                Vec::new()
+            },
             t: 0,
         }
     }
@@ -98,7 +117,14 @@ impl Optimizer for Adam {
     fn step(&mut self, params: &mut [f64], grads: &[f64]) {
         check_sizes(self.m.len(), params, grads);
         self.t += 1;
-        let AdamConfig { lr, beta1, beta2, eps, weight_decay, amsgrad } = self.cfg;
+        let AdamConfig {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+            amsgrad,
+        } = self.cfg;
         let bc1 = 1.0 - beta1.powi(self.t as i32);
         let bc2 = 1.0 - beta2.powi(self.t as i32);
 
@@ -154,7 +180,13 @@ mod tests {
     fn first_step_matches_hand_computation() {
         // For any constant gradient, the bias-corrected first step is
         // lr · g/|g| / (1 + eps·…) ≈ lr (sign of g).
-        let mut adam = Adam::new(AdamConfig { lr: 0.1, ..AdamConfig::default() }, 1);
+        let mut adam = Adam::new(
+            AdamConfig {
+                lr: 0.1,
+                ..AdamConfig::default()
+            },
+            1,
+        );
         let mut p = vec![0.0];
         adam.step(&mut p, &[1.0]);
         // m̂ = 1, v̂ = 1 ⇒ Δ = 0.1/(1 + 1e-8).
@@ -165,7 +197,10 @@ mod tests {
     #[test]
     fn two_steps_match_hand_computation() {
         // lr = 0.5, g = [3, then 1] on a single parameter.
-        let cfg = AdamConfig { lr: 0.5, ..AdamConfig::default() };
+        let cfg = AdamConfig {
+            lr: 0.5,
+            ..AdamConfig::default()
+        };
         let mut adam = Adam::new(cfg, 1);
         let mut p = vec![0.0];
         adam.step(&mut p, &[3.0]);
@@ -185,25 +220,46 @@ mod tests {
 
     #[test]
     fn amsgrad_vmax_is_monotone_nondecreasing() {
-        let mut adam = Adam::new(AdamConfig { amsgrad: true, ..AdamConfig::default() }, 2);
+        let mut adam = Adam::new(
+            AdamConfig {
+                amsgrad: true,
+                ..AdamConfig::default()
+            },
+            2,
+        );
         let mut p = vec![0.0, 0.0];
-        let mut prev = vec![0.0, 0.0];
+        let mut prev = [0.0, 0.0];
         // Alternate large and small gradients; v decays but v_max must not.
         for k in 0..50 {
             let g = if k % 2 == 0 { [5.0, 0.1] } else { [0.01, 0.01] };
             adam.step(&mut p, &g);
-            for i in 0..2 {
-                assert!(adam.v_max()[i] >= prev[i] - 1e-18, "v_max decreased at step {k}");
-                prev[i] = adam.v_max()[i];
+            for (i, p) in prev.iter_mut().enumerate() {
+                assert!(adam.v_max()[i] >= *p - 1e-18, "v_max decreased at step {k}");
+                *p = adam.v_max()[i];
             }
         }
     }
 
     #[test]
     fn amsgrad_differs_from_adam_after_gradient_spike() {
-        let cfg = AdamConfig { lr: 0.1, ..AdamConfig::default() };
-        let mut plain = Adam::new(AdamConfig { amsgrad: false, ..cfg }, 1);
-        let mut ams = Adam::new(AdamConfig { amsgrad: true, ..cfg }, 1);
+        let cfg = AdamConfig {
+            lr: 0.1,
+            ..AdamConfig::default()
+        };
+        let mut plain = Adam::new(
+            AdamConfig {
+                amsgrad: false,
+                ..cfg
+            },
+            1,
+        );
+        let mut ams = Adam::new(
+            AdamConfig {
+                amsgrad: true,
+                ..cfg
+            },
+            1,
+        );
         let (mut pp, mut pa) = (vec![0.0], vec![0.0]);
         let spike_then_small = |k: usize| if k == 0 { 100.0 } else { 0.1 };
         for k in 0..20 {
@@ -218,7 +274,11 @@ mod tests {
     #[test]
     fn weight_decay_shrinks_parameters() {
         let mut adam = Adam::new(
-            AdamConfig { lr: 0.01, weight_decay: 0.1, ..AdamConfig::default() },
+            AdamConfig {
+                lr: 0.01,
+                weight_decay: 0.1,
+                ..AdamConfig::default()
+            },
             1,
         );
         let mut p = vec![5.0];
@@ -230,7 +290,13 @@ mod tests {
 
     #[test]
     fn reset_restores_initial_state() {
-        let mut adam = Adam::new(AdamConfig { amsgrad: true, ..AdamConfig::default() }, 1);
+        let mut adam = Adam::new(
+            AdamConfig {
+                amsgrad: true,
+                ..AdamConfig::default()
+            },
+            1,
+        );
         let mut p1 = vec![1.0];
         adam.step(&mut p1, &[2.0]);
         adam.step(&mut p1, &[0.5]);
@@ -238,7 +304,13 @@ mod tests {
         assert_eq!(adam.steps_taken(), 0);
         let mut p2 = vec![1.0];
         adam.step(&mut p2, &[2.0]);
-        let mut fresh = Adam::new(AdamConfig { amsgrad: true, ..AdamConfig::default() }, 1);
+        let mut fresh = Adam::new(
+            AdamConfig {
+                amsgrad: true,
+                ..AdamConfig::default()
+            },
+            1,
+        );
         let mut p3 = vec![1.0];
         fresh.step(&mut p3, &[2.0]);
         assert_eq!(p2, p3, "post-reset trajectory matches a fresh optimizer");
@@ -246,7 +318,13 @@ mod tests {
 
     #[test]
     fn set_lr_takes_effect() {
-        let mut adam = Adam::new(AdamConfig { lr: 1e-3, ..AdamConfig::default() }, 1);
+        let mut adam = Adam::new(
+            AdamConfig {
+                lr: 1e-3,
+                ..AdamConfig::default()
+            },
+            1,
+        );
         adam.set_lr(1e-2);
         assert_eq!(adam.lr(), 1e-2);
         let mut p = vec![0.0];
@@ -257,7 +335,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "lr must be positive")]
     fn rejects_negative_lr() {
-        let _ = Adam::new(AdamConfig { lr: -1.0, ..AdamConfig::default() }, 1);
+        let _ = Adam::new(
+            AdamConfig {
+                lr: -1.0,
+                ..AdamConfig::default()
+            },
+            1,
+        );
     }
 
     #[test]
@@ -272,7 +356,13 @@ mod tests {
     fn adaptive_rates_are_per_parameter() {
         // Two parameters with gradients of very different scales end up with
         // comparable step magnitudes — Adam's defining property.
-        let mut adam = Adam::new(AdamConfig { lr: 0.1, ..AdamConfig::default() }, 2);
+        let mut adam = Adam::new(
+            AdamConfig {
+                lr: 0.1,
+                ..AdamConfig::default()
+            },
+            2,
+        );
         let mut p = vec![0.0, 0.0];
         for _ in 0..10 {
             adam.step(&mut p, &[1000.0, 0.001]);

@@ -102,7 +102,14 @@ mod tests {
 
     #[test]
     fn decay_shrinks_parameters_without_gradients() {
-        let mut opt = AdamW::new(AdamWConfig { lr: 0.1, weight_decay: 0.5, ..Default::default() }, 1);
+        let mut opt = AdamW::new(
+            AdamWConfig {
+                lr: 0.1,
+                weight_decay: 0.5,
+                ..Default::default()
+            },
+            1,
+        );
         let mut p = vec![10.0];
         opt.step(&mut p, &[0.0]);
         // One step: 10 · (1 − 0.1·0.5) = 9.5, Adam part contributes nothing
@@ -113,8 +120,21 @@ mod tests {
     #[test]
     fn zero_decay_equals_plain_adam() {
         use crate::adam::{Adam, AdamConfig};
-        let mut w = AdamW::new(AdamWConfig { lr: 0.01, weight_decay: 0.0, ..Default::default() }, 1);
-        let mut a = Adam::new(AdamConfig { lr: 0.01, ..AdamConfig::default() }, 1);
+        let mut w = AdamW::new(
+            AdamWConfig {
+                lr: 0.01,
+                weight_decay: 0.0,
+                ..Default::default()
+            },
+            1,
+        );
+        let mut a = Adam::new(
+            AdamConfig {
+                lr: 0.01,
+                ..AdamConfig::default()
+            },
+            1,
+        );
         let (mut pw, mut pa) = (vec![1.0], vec![1.0]);
         for k in 0..10 {
             let g = [(k as f64 * 0.37).sin()];
@@ -127,10 +147,20 @@ mod tests {
     #[test]
     fn decoupling_differs_from_coupled_l2() {
         use crate::adam::{Adam, AdamConfig};
-        let mut decoupled =
-            AdamW::new(AdamWConfig { lr: 0.01, weight_decay: 0.1, ..Default::default() }, 1);
+        let mut decoupled = AdamW::new(
+            AdamWConfig {
+                lr: 0.01,
+                weight_decay: 0.1,
+                ..Default::default()
+            },
+            1,
+        );
         let mut coupled = Adam::new(
-            AdamConfig { lr: 0.01, weight_decay: 0.1, ..AdamConfig::default() },
+            AdamConfig {
+                lr: 0.01,
+                weight_decay: 0.1,
+                ..AdamConfig::default()
+            },
             1,
         );
         let (mut pd, mut pc) = (vec![5.0], vec![5.0]);
@@ -138,12 +168,21 @@ mod tests {
             decoupled.step(&mut pd, &[1.0]);
             coupled.step(&mut pc, &[1.0]);
         }
-        assert!((pd[0] - pc[0]).abs() > 1e-6, "decoupled vs coupled L2 must differ");
+        assert!(
+            (pd[0] - pc[0]).abs() > 1e-6,
+            "decoupled vs coupled L2 must differ"
+        );
     }
 
     #[test]
     fn still_descends_quadratics() {
-        let mut opt = AdamW::new(AdamWConfig { lr: 0.05, ..Default::default() }, 2);
+        let mut opt = AdamW::new(
+            AdamWConfig {
+                lr: 0.05,
+                ..Default::default()
+            },
+            2,
+        );
         let mut p = vec![3.0, -2.0];
         for _ in 0..2000 {
             let g = vec![2.0 * p[0], 8.0 * p[1]];

@@ -59,14 +59,66 @@ pub use sgd::{Sgd, SgdConfig};
 /// `rmsprop`, `adam`, `amsgrad`, `nadam`, `adamw`.
 pub fn by_name(name: &str, lr: f64, n_params: usize) -> Option<Box<dyn Optimizer>> {
     let opt: Box<dyn Optimizer> = match name.to_ascii_lowercase().as_str() {
-        "sgd" => Box::new(Sgd::new(SgdConfig { lr, momentum: 0.0, ..SgdConfig::default() }, n_params)),
-        "momentum" => Box::new(Sgd::new(SgdConfig { lr, momentum: 0.9, ..SgdConfig::default() }, n_params)),
-        "adagrad" => Box::new(AdaGrad::new(AdaGradConfig { lr, ..AdaGradConfig::default() }, n_params)),
-        "rmsprop" => Box::new(RmsProp::new(RmsPropConfig { lr, ..RmsPropConfig::default() }, n_params)),
-        "adam" => Box::new(Adam::new(AdamConfig { lr, amsgrad: false, ..AdamConfig::default() }, n_params)),
-        "amsgrad" => Box::new(Adam::new(AdamConfig { lr, amsgrad: true, ..AdamConfig::default() }, n_params)),
-        "nadam" => Box::new(NAdam::new(NAdamConfig { lr, ..NAdamConfig::default() }, n_params)),
-        "adamw" => Box::new(AdamW::new(AdamWConfig { lr, ..AdamWConfig::default() }, n_params)),
+        "sgd" => Box::new(Sgd::new(
+            SgdConfig {
+                lr,
+                momentum: 0.0,
+                ..SgdConfig::default()
+            },
+            n_params,
+        )),
+        "momentum" => Box::new(Sgd::new(
+            SgdConfig {
+                lr,
+                momentum: 0.9,
+                ..SgdConfig::default()
+            },
+            n_params,
+        )),
+        "adagrad" => Box::new(AdaGrad::new(
+            AdaGradConfig {
+                lr,
+                ..AdaGradConfig::default()
+            },
+            n_params,
+        )),
+        "rmsprop" => Box::new(RmsProp::new(
+            RmsPropConfig {
+                lr,
+                ..RmsPropConfig::default()
+            },
+            n_params,
+        )),
+        "adam" => Box::new(Adam::new(
+            AdamConfig {
+                lr,
+                amsgrad: false,
+                ..AdamConfig::default()
+            },
+            n_params,
+        )),
+        "amsgrad" => Box::new(Adam::new(
+            AdamConfig {
+                lr,
+                amsgrad: true,
+                ..AdamConfig::default()
+            },
+            n_params,
+        )),
+        "nadam" => Box::new(NAdam::new(
+            NAdamConfig {
+                lr,
+                ..NAdamConfig::default()
+            },
+            n_params,
+        )),
+        "adamw" => Box::new(AdamW::new(
+            AdamWConfig {
+                lr,
+                ..AdamWConfig::default()
+            },
+            n_params,
+        )),
         _ => return None,
     };
     Some(opt)
@@ -78,7 +130,9 @@ mod tests {
 
     #[test]
     fn by_name_constructs_all_variants() {
-        for name in ["sgd", "momentum", "adagrad", "rmsprop", "adam", "AMSGrad", "nadam", "adamw"] {
+        for name in [
+            "sgd", "momentum", "adagrad", "rmsprop", "adam", "AMSGrad", "nadam", "adamw",
+        ] {
             let opt = by_name(name, 0.01, 3).unwrap_or_else(|| panic!("{name} not found"));
             assert!((opt.lr() - 0.01).abs() < 1e-15);
         }
@@ -88,7 +142,9 @@ mod tests {
     /// Every optimizer must make progress on a smooth convex quadratic.
     #[test]
     fn all_optimizers_descend_quadratic_bowl() {
-        for name in ["sgd", "momentum", "adagrad", "rmsprop", "adam", "amsgrad", "nadam", "adamw"] {
+        for name in [
+            "sgd", "momentum", "adagrad", "rmsprop", "adam", "amsgrad", "nadam", "adamw",
+        ] {
             let mut opt = by_name(name, 0.05, 2).unwrap();
             let mut p = vec![3.0, -2.0];
             let f = |p: &[f64]| p[0] * p[0] + 4.0 * p[1] * p[1];

@@ -66,7 +66,13 @@ impl Optimizer for NAdam {
     fn step(&mut self, params: &mut [f64], grads: &[f64]) {
         check_sizes(self.m.len(), params, grads);
         self.t += 1;
-        let NAdamConfig { lr, beta1, beta2, eps, momentum_decay } = self.cfg;
+        let NAdamConfig {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            momentum_decay,
+        } = self.cfg;
         let t = self.t as f64;
         let mu_t = beta1 * (1.0 - 0.5 * 0.96_f64.powf(t * momentum_decay));
         let mu_next = beta1 * (1.0 - 0.5 * 0.96_f64.powf((t + 1.0) * momentum_decay));
@@ -117,7 +123,13 @@ mod tests {
 
     #[test]
     fn descends_a_quadratic() {
-        let mut opt = NAdam::new(NAdamConfig { lr: 0.05, ..NAdamConfig::default() }, 2);
+        let mut opt = NAdam::new(
+            NAdamConfig {
+                lr: 0.05,
+                ..NAdamConfig::default()
+            },
+            2,
+        );
         let mut p = vec![3.0, -2.0];
         for _ in 0..2000 {
             let g = vec![2.0 * p[0], 8.0 * p[1]];
@@ -153,8 +165,20 @@ mod tests {
     #[test]
     fn nesterov_blend_differs_from_plain_adam() {
         use crate::adam::{Adam, AdamConfig};
-        let mut nadam = NAdam::new(NAdamConfig { lr: 0.01, ..NAdamConfig::default() }, 1);
-        let mut adam = Adam::new(AdamConfig { lr: 0.01, ..AdamConfig::default() }, 1);
+        let mut nadam = NAdam::new(
+            NAdamConfig {
+                lr: 0.01,
+                ..NAdamConfig::default()
+            },
+            1,
+        );
+        let mut adam = Adam::new(
+            AdamConfig {
+                lr: 0.01,
+                ..AdamConfig::default()
+            },
+            1,
+        );
         let (mut pn, mut pa) = (vec![0.0], vec![0.0]);
         for _ in 0..5 {
             nadam.step(&mut pn, &[1.0]);

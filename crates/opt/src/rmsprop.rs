@@ -42,14 +42,25 @@ pub struct RmsProp {
 impl RmsProp {
     /// Creates an optimizer for `n_params` parameters.
     pub fn new(cfg: RmsPropConfig, n_params: usize) -> RmsProp {
-        assert!(cfg.lr > 0.0 && cfg.lr.is_finite(), "lr must be positive, got {}", cfg.lr);
+        assert!(
+            cfg.lr > 0.0 && cfg.lr.is_finite(),
+            "lr must be positive, got {}",
+            cfg.lr
+        );
         assert!((0.0..1.0).contains(&cfg.alpha), "alpha must be in [0, 1)");
         assert!(cfg.eps > 0.0, "eps must be positive");
-        assert!((0.0..1.0).contains(&cfg.momentum), "momentum must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&cfg.momentum),
+            "momentum must be in [0, 1)"
+        );
         RmsProp {
             cfg,
             sq_avg: vec![0.0; n_params],
-            buf: if cfg.momentum > 0.0 { vec![0.0; n_params] } else { Vec::new() },
+            buf: if cfg.momentum > 0.0 {
+                vec![0.0; n_params]
+            } else {
+                Vec::new()
+            },
             t: 0,
         }
     }
@@ -59,7 +70,13 @@ impl Optimizer for RmsProp {
     fn step(&mut self, params: &mut [f64], grads: &[f64]) {
         check_sizes(self.sq_avg.len(), params, grads);
         self.t += 1;
-        let RmsPropConfig { lr, alpha, eps, momentum, weight_decay } = self.cfg;
+        let RmsPropConfig {
+            lr,
+            alpha,
+            eps,
+            momentum,
+            weight_decay,
+        } = self.cfg;
         for i in 0..params.len() {
             let g = grads[i] + weight_decay * params[i];
             self.sq_avg[i] = alpha * self.sq_avg[i] + (1.0 - alpha) * g * g;
@@ -103,7 +120,13 @@ mod tests {
 
     #[test]
     fn first_step_matches_hand_computation() {
-        let mut opt = RmsProp::new(RmsPropConfig { lr: 0.1, ..RmsPropConfig::default() }, 1);
+        let mut opt = RmsProp::new(
+            RmsPropConfig {
+                lr: 0.1,
+                ..RmsPropConfig::default()
+            },
+            1,
+        );
         let mut p = vec![0.0];
         opt.step(&mut p, &[2.0]);
         // sq_avg = 0.01·4 = 0.04; Δ = 0.1 · 2/(0.2 + 1e-8).
@@ -113,7 +136,11 @@ mod tests {
 
     #[test]
     fn momentum_variant_accumulates() {
-        let cfg = RmsPropConfig { lr: 0.1, momentum: 0.5, ..RmsPropConfig::default() };
+        let cfg = RmsPropConfig {
+            lr: 0.1,
+            momentum: 0.5,
+            ..RmsPropConfig::default()
+        };
         let mut opt = RmsProp::new(cfg, 1);
         let mut p = vec![0.0];
         opt.step(&mut p, &[1.0]);
@@ -127,7 +154,13 @@ mod tests {
     #[test]
     fn adapts_to_gradient_scale() {
         // After the average warms up, steps approach lr regardless of scale.
-        let mut opt = RmsProp::new(RmsPropConfig { lr: 0.01, ..RmsPropConfig::default() }, 2);
+        let mut opt = RmsProp::new(
+            RmsPropConfig {
+                lr: 0.01,
+                ..RmsPropConfig::default()
+            },
+            2,
+        );
         let mut p = vec![0.0, 0.0];
         for _ in 0..2000 {
             opt.step(&mut p, &[100.0, 0.01]);

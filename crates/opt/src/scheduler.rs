@@ -76,7 +76,7 @@ impl StepLr {
 impl LrScheduler for StepLr {
     fn step(&mut self, _metric: f64) -> f64 {
         self.t += 1;
-        if self.t % self.step_size == 0 {
+        if self.t.is_multiple_of(self.step_size) {
             self.lr *= self.gamma;
         }
         self.lr
@@ -229,7 +229,10 @@ impl ReduceLrOnPlateau {
     /// Creates a plateau scheduler.
     pub fn new(cfg: ReduceLrOnPlateauConfig) -> ReduceLrOnPlateau {
         assert!(cfg.initial_lr > 0.0 && cfg.initial_lr.is_finite());
-        assert!(cfg.factor > 0.0 && cfg.factor < 1.0, "factor must be in (0, 1)");
+        assert!(
+            cfg.factor > 0.0 && cfg.factor < 1.0,
+            "factor must be in (0, 1)"
+        );
         assert!(cfg.threshold >= 0.0);
         assert!(cfg.min_lr >= 0.0);
         ReduceLrOnPlateau {
@@ -381,7 +384,7 @@ mod tests {
         };
         let mut s = ReduceLrOnPlateau::new(cfg);
         s.step(100.0); // best = 100
-        // 95 is not a 10 % improvement over 100 ⇒ bad step ⇒ reduce (patience 0).
+                       // 95 is not a 10 % improvement over 100 ⇒ bad step ⇒ reduce (patience 0).
         assert_eq!(s.step(95.0), 0.5);
         // 85 beats 100·0.9 = 90 ⇒ improvement, no further cut.
         assert_eq!(s.step(85.0), 0.5);
@@ -402,7 +405,7 @@ mod tests {
         let mut s = ReduceLrOnPlateau::new(cfg);
         s.step(1.0);
         assert_eq!(s.step(1.0), 1e-4); // clamped to min_lr
-        // Further "reductions" are no-ops smaller than eps.
+                                       // Further "reductions" are no-ops smaller than eps.
         assert_eq!(s.step(1.0), 1e-4);
         assert_eq!(s.reductions(), 1);
     }
@@ -421,7 +424,7 @@ mod tests {
         let mut s = ReduceLrOnPlateau::new(cfg);
         s.step(1.0); // best
         assert_eq!(s.step(1.0), 0.5); // reduce, cooldown = 3
-        // During cooldown no reductions even though metrics are bad.
+                                      // During cooldown no reductions even though metrics are bad.
         assert_eq!(s.step(1.0), 0.5);
         assert_eq!(s.step(1.0), 0.5);
         assert_eq!(s.step(1.0), 0.5);

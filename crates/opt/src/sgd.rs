@@ -39,9 +39,19 @@ pub struct Sgd {
 impl Sgd {
     /// Creates an optimizer for `n_params` parameters.
     pub fn new(cfg: SgdConfig, n_params: usize) -> Sgd {
-        assert!(cfg.lr > 0.0 && cfg.lr.is_finite(), "lr must be positive, got {}", cfg.lr);
-        assert!((0.0..1.0).contains(&cfg.momentum), "momentum must be in [0, 1)");
-        assert!(!cfg.nesterov || cfg.momentum > 0.0, "nesterov requires momentum > 0");
+        assert!(
+            cfg.lr > 0.0 && cfg.lr.is_finite(),
+            "lr must be positive, got {}",
+            cfg.lr
+        );
+        assert!(
+            (0.0..1.0).contains(&cfg.momentum),
+            "momentum must be in [0, 1)"
+        );
+        assert!(
+            !cfg.nesterov || cfg.momentum > 0.0,
+            "nesterov requires momentum > 0"
+        );
         assert!(cfg.weight_decay >= 0.0, "weight_decay must be non-negative");
         Sgd {
             cfg,
@@ -60,7 +70,12 @@ impl Optimizer for Sgd {
     fn step(&mut self, params: &mut [f64], grads: &[f64]) {
         check_sizes(self.velocity.len(), params, grads);
         self.t += 1;
-        let SgdConfig { lr, momentum, nesterov, weight_decay } = self.cfg;
+        let SgdConfig {
+            lr,
+            momentum,
+            nesterov,
+            weight_decay,
+        } = self.cfg;
         for i in 0..params.len() {
             let g = grads[i] + weight_decay * params[i];
             let d = if momentum > 0.0 {
@@ -112,7 +127,13 @@ mod tests {
 
     #[test]
     fn plain_sgd_step_is_lr_times_grad() {
-        let mut sgd = Sgd::new(SgdConfig { lr: 0.1, ..SgdConfig::default() }, 2);
+        let mut sgd = Sgd::new(
+            SgdConfig {
+                lr: 0.1,
+                ..SgdConfig::default()
+            },
+            2,
+        );
         let mut p = vec![1.0, -1.0];
         sgd.step(&mut p, &[2.0, -4.0]);
         assert!((p[0] - 0.8).abs() < 1e-15);
@@ -121,7 +142,11 @@ mod tests {
 
     #[test]
     fn momentum_accumulates() {
-        let cfg = SgdConfig { lr: 0.1, momentum: 0.9, ..SgdConfig::default() };
+        let cfg = SgdConfig {
+            lr: 0.1,
+            momentum: 0.9,
+            ..SgdConfig::default()
+        };
         let mut sgd = Sgd::new(cfg, 1);
         let mut p = vec![0.0];
         sgd.step(&mut p, &[1.0]); // b = 1, Δ = 0.1
@@ -134,9 +159,19 @@ mod tests {
 
     #[test]
     fn nesterov_takes_larger_first_step_under_constant_gradient() {
-        let base = SgdConfig { lr: 0.1, momentum: 0.9, ..SgdConfig::default() };
+        let base = SgdConfig {
+            lr: 0.1,
+            momentum: 0.9,
+            ..SgdConfig::default()
+        };
         let mut plain = Sgd::new(base, 1);
-        let mut nest = Sgd::new(SgdConfig { nesterov: true, ..base }, 1);
+        let mut nest = Sgd::new(
+            SgdConfig {
+                nesterov: true,
+                ..base
+            },
+            1,
+        );
         let (mut pp, mut pn) = (vec![0.0], vec![0.0]);
         plain.step(&mut pp, &[1.0]);
         nest.step(&mut pn, &[1.0]);
@@ -149,7 +184,11 @@ mod tests {
     fn momentum_overshoots_then_returns_on_quadratic() {
         // Sanity: heavy-ball dynamics still converge on x².
         let mut sgd = Sgd::new(
-            SgdConfig { lr: 0.05, momentum: 0.9, ..SgdConfig::default() },
+            SgdConfig {
+                lr: 0.05,
+                momentum: 0.9,
+                ..SgdConfig::default()
+            },
             1,
         );
         let mut p = vec![1.0];
@@ -163,12 +202,23 @@ mod tests {
     #[test]
     #[should_panic(expected = "nesterov requires momentum")]
     fn nesterov_without_momentum_rejected() {
-        let _ = Sgd::new(SgdConfig { nesterov: true, momentum: 0.0, ..SgdConfig::default() }, 1);
+        let _ = Sgd::new(
+            SgdConfig {
+                nesterov: true,
+                momentum: 0.0,
+                ..SgdConfig::default()
+            },
+            1,
+        );
     }
 
     #[test]
     fn reset_clears_velocity() {
-        let cfg = SgdConfig { lr: 0.1, momentum: 0.9, ..SgdConfig::default() };
+        let cfg = SgdConfig {
+            lr: 0.1,
+            momentum: 0.9,
+            ..SgdConfig::default()
+        };
         let mut sgd = Sgd::new(cfg, 1);
         let mut p = vec![0.0];
         sgd.step(&mut p, &[1.0]);
@@ -176,6 +226,9 @@ mod tests {
         assert_eq!(sgd.steps_taken(), 0);
         let mut q = vec![0.0];
         sgd.step(&mut q, &[1.0]);
-        assert!((q[0] + 0.1).abs() < 1e-15, "first-step semantics after reset");
+        assert!(
+            (q[0] + 0.1).abs() < 1e-15,
+            "first-step semantics after reset"
+        );
     }
 }

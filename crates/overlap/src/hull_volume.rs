@@ -131,7 +131,12 @@ mod tests {
     fn sphere_inside_cone_counts_fully() {
         let hull = ConvexHull::from_mesh(&shapes::cone(1.5, 3.0, 64, false)).unwrap();
         // Small sphere well inside the cone's wide upper region.
-        let v = sphere_hull_overlap(Vec3::new(0.0, 0.0, 2.2), 0.3, hull.halfspaces(), &hull.aabb());
+        let v = sphere_hull_overlap(
+            Vec3::new(0.0, 0.0, 2.2),
+            0.3,
+            hull.halfspaces(),
+            &hull.aabb(),
+        );
         assert!((v - sphere_volume(0.3)).abs() < 1e-12);
     }
 
@@ -141,9 +146,7 @@ mod tests {
         // above the diagonal), intersected with a big box.
         let hull = box_hull();
         let mut hs = hull.halfspaces().clone();
-        hs.push(
-            adampack_geometry::Plane::from_coefficients(1.0, 0.0, -1.0, 0.0).unwrap(),
-        );
+        hs.push(adampack_geometry::Plane::from_coefficients(1.0, 0.0, -1.0, 0.0).unwrap());
         // Sphere centred on the diagonal plane: exactly half inside.
         let c = Vec3::new(0.0, 0.0, 0.0);
         let r = 0.4;
@@ -193,7 +196,12 @@ mod tests {
     fn disjoint_and_degenerate() {
         let hull = box_hull();
         assert_eq!(
-            sphere_hull_overlap(Vec3::new(5.0, 0.0, 0.0), 0.5, hull.halfspaces(), &hull.aabb()),
+            sphere_hull_overlap(
+                Vec3::new(5.0, 0.0, 0.0),
+                0.5,
+                hull.halfspaces(),
+                &hull.aabb()
+            ),
             0.0
         );
         assert_eq!(

@@ -34,6 +34,4 @@ pub use hull_volume::sphere_hull_overlap;
 pub use polygon::{circle_polygon_area, clip_polygon_halfplane};
 pub use probe::DensityProbe;
 pub use quad::adaptive_simpson;
-pub use volume::{
-    sphere_aabb_overlap, sphere_sphere_overlap, sphere_volume, spherical_cap_volume,
-};
+pub use volume::{sphere_aabb_overlap, sphere_sphere_overlap, sphere_volume, spherical_cap_volume};

@@ -17,7 +17,10 @@ pub struct DensityProbe {
 impl DensityProbe {
     /// Probe over an explicit box.
     pub fn new(region: Aabb) -> DensityProbe {
-        assert!(!region.is_empty() && region.volume() > 0.0, "probe box must have volume");
+        assert!(
+            !region.is_empty() && region.volume() > 0.0,
+            "probe box must have volume"
+        );
         DensityProbe { region }
     }
 

@@ -28,7 +28,17 @@ fn simpson(a: f64, b: f64, fa: f64, fm: f64, fb: f64) -> f64 {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn recurse<F>(f: &F, a: f64, b: f64, fa: f64, fm: f64, fb: f64, whole: f64, tol: f64, depth: u32) -> f64
+fn recurse<F>(
+    f: &F,
+    a: f64,
+    b: f64,
+    fa: f64,
+    fm: f64,
+    fb: f64,
+    whole: f64,
+    tol: f64,
+    depth: u32,
+) -> f64
 where
     F: Fn(f64) -> f64,
 {

@@ -42,8 +42,7 @@ pub fn sphere_sphere_overlap(c1: Vec3, r1: f64, c2: Vec3, r2: f64) -> f64 {
         return sphere_volume(r1.min(r2));
     }
     // Lens volume (e.g. Weisstein, "Sphere-Sphere Intersection").
-    let num = (r1 + r2 - d).powi(2)
-        * (d * d + 2.0 * d * (r1 + r2) - 3.0 * (r1 - r2).powi(2));
+    let num = (r1 + r2 - d).powi(2) * (d * d + 2.0 * d * (r1 + r2) - 3.0 * (r1 - r2).powi(2));
     std::f64::consts::PI * num / (12.0 * d)
 }
 
@@ -76,11 +75,7 @@ pub fn sphere_aabb_overlap(center: Vec3, radius: f64, aabb: &Aabb) -> f64 {
     }
     // Box fully inside the sphere: all 8 corners within radius.
     let r2 = radius * radius;
-    if aabb
-        .corners()
-        .iter()
-        .all(|&c| c.distance_sq(center) <= r2)
-    {
+    if aabb.corners().iter().all(|&c| c.distance_sq(center) <= r2) {
         return aabb.volume();
     }
 
@@ -132,10 +127,22 @@ mod tests {
     fn cap_volume_limits() {
         let r = 1.5;
         assert_eq!(spherical_cap_volume(r, 0.0), 0.0);
-        assert!(rel_eq(spherical_cap_volume(r, 2.0 * r), sphere_volume(r), 1e-14));
-        assert!(rel_eq(spherical_cap_volume(r, r), sphere_volume(r) / 2.0, 1e-14));
+        assert!(rel_eq(
+            spherical_cap_volume(r, 2.0 * r),
+            sphere_volume(r),
+            1e-14
+        ));
+        assert!(rel_eq(
+            spherical_cap_volume(r, r),
+            sphere_volume(r) / 2.0,
+            1e-14
+        ));
         // Clamping.
-        assert!(rel_eq(spherical_cap_volume(r, 10.0), sphere_volume(r), 1e-14));
+        assert!(rel_eq(
+            spherical_cap_volume(r, 10.0),
+            sphere_volume(r),
+            1e-14
+        ));
     }
 
     #[test]
@@ -223,9 +230,8 @@ mod tests {
         let b = Aabb::new(Vec3::new(-10.0, -10.0, -0.4), Vec3::new(10.0, 10.0, 0.3));
         let r = 1.0;
         let v = sphere_aabb_overlap(Vec3::ZERO, r, &b);
-        let expect = sphere_volume(r)
-            - spherical_cap_volume(r, r - 0.3)
-            - spherical_cap_volume(r, r - 0.4);
+        let expect =
+            sphere_volume(r) - spherical_cap_volume(r, r - 0.3) - spherical_cap_volume(r, r - 0.4);
         assert!(rel_eq(v, expect, REL), "v = {v}, expect = {expect}");
     }
 

@@ -2,7 +2,9 @@
 //! agreement on randomized configurations.
 
 use adampack_geometry::{Aabb, Vec3};
-use adampack_overlap::{circle_rect_area, sphere_aabb_overlap, sphere_sphere_overlap, sphere_volume};
+use adampack_overlap::{
+    circle_rect_area, sphere_aabb_overlap, sphere_sphere_overlap, sphere_volume,
+};
 use proptest::prelude::*;
 
 proptest! {

@@ -89,9 +89,16 @@ fn main() {
 
     // The normal set (mean 0.04, 3σ ≤ 0.055) vs the uniform set (≥ 0.05):
     // classify at the midpoint for the zone report.
-    let fine = result.particles.iter().filter(|p| p.radius < 0.0525).count();
+    let fine = result
+        .particles
+        .iter()
+        .filter(|p| p.radius < 0.0525)
+        .count();
     println!("fine (sphere zone, green in Fig. 10): {fine}");
-    println!("coarse (slice zone, blue in Fig. 10): {}", result.particles.len() - fine);
+    println!(
+        "coarse (slice zone, blue in Fig. 10): {}",
+        result.particles.len() - fine
+    );
 
     let path = dir.join("cone_zones.vtk");
     let triples: Vec<(Vec3, f64, usize)> = result

@@ -47,11 +47,17 @@ fn main() {
 
     // Phase 1: zero-gravity relaxation of the optimizer's residual overlaps.
     let relaxed = sim.relax_overlaps(0.002, 50_000);
-    println!("after relaxation: max overlap {:.3}% of radius", relaxed * 100.0);
+    println!(
+        "after relaxation: max overlap {:.3}% of radius",
+        relaxed * 100.0
+    );
 
     // Phase 2: settle under gravity and watch the energy decay.
     let bed0 = sim.stats().bed_height;
-    println!("{:>8} {:>14} {:>12} {:>12}", "t_ms", "kinetic_J", "max_v", "bed_height");
+    println!(
+        "{:>8} {:>14} {:>12} {:>12}",
+        "t_ms", "kinetic_J", "max_v", "bed_height"
+    );
     for _ in 0..10 {
         sim.run(2_500);
         let s = sim.stats();

@@ -22,10 +22,7 @@ fn main() {
         ("normal(0.10, 0.015)", Psd::normal(0.10, 0.015)),
         (
             "bimodal 70/30",
-            Psd::mixture(vec![
-                (0.7, Psd::constant(0.08)),
-                (0.3, Psd::constant(0.14)),
-            ]),
+            Psd::mixture(vec![(0.7, Psd::constant(0.08)), (0.3, Psd::constant(0.14))]),
         ),
     ];
 
@@ -64,5 +61,7 @@ fn main() {
             result.duration.as_secs_f64()
         );
     }
-    println!("note: radii are sampled from the PSD and never altered — adherence is sampling noise only");
+    println!(
+        "note: radii are sampled from the PSD and never altered — adherence is sampling noise only"
+    );
 }

@@ -87,7 +87,10 @@ fn main() {
     let file = std::fs::File::create(&path).expect("csv file");
     write_particles_csv(
         std::io::BufWriter::new(file),
-        result.particles.iter().map(|p| (p.center, p.radius, p.batch, p.set)),
+        result
+            .particles
+            .iter()
+            .map(|p| (p.center, p.radius, p.batch, p.set)),
     )
     .expect("csv write");
     println!("particles written to {}", path.display());

@@ -1,0 +1,120 @@
+//! Steady-state allocation audit: once the [`Workspace`] buffers are warm,
+//! an optimizer step (objective value + gradient through the Verlet
+//! pipeline, plus the Adam update) must perform **zero heap allocation**.
+//! Verified with a counting `#[global_allocator]` wrapped around the system
+//! allocator; the counter only runs while the measured window is active, so
+//! test-harness allocations don't pollute it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use adampack_core::neighbor::{CsrGrid, NeighborStrategy, Workspace};
+use adampack_core::objective::{Objective, ObjectiveWeights};
+use adampack_core::Container;
+use adampack_geometry::{shapes, Axis, Vec3};
+use adampack_opt::Optimizer;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_steps_do_not_allocate() {
+    let container = Container::from_mesh(&shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0))).unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+
+    // A fixed bed plus a batch big enough to exercise the parallel kernels
+    // and the Verlet pipeline (n ≥ the auto-threshold).
+    let bed: Vec<Vec3> = (0..120)
+        .map(|_| {
+            Vec3::new(
+                rng.gen_range(-0.8..0.8),
+                rng.gen_range(-0.8..0.8),
+                rng.gen_range(-0.95..-0.5),
+            )
+        })
+        .collect();
+    let bed_radii = vec![0.1; bed.len()];
+    let fixed = CsrGrid::build(&bed, &bed_radii);
+
+    let n = 80;
+    let radii = vec![0.08; n];
+    let mut coords = Vec::with_capacity(3 * n);
+    for _ in 0..n {
+        coords.push(rng.gen_range(-0.7..0.7));
+        coords.push(rng.gen_range(-0.7..0.7));
+        coords.push(rng.gen_range(-0.4..0.4));
+    }
+
+    let objective = Objective::new(
+        ObjectiveWeights::default(),
+        Axis::Z,
+        container.halfspaces(),
+        &radii,
+        &fixed,
+    )
+    .with_neighbor(NeighborStrategy::Verlet, 0.05);
+
+    let mut ws = Workspace::new();
+    let mut grad = vec![0.0; coords.len()];
+    let mut opt = adampack_opt::Adam::new(
+        adampack_opt::AdamConfig {
+            lr: 1e-3,
+            amsgrad: true,
+            ..Default::default()
+        },
+        coords.len(),
+    );
+
+    // Warm-up: fill every buffer to its steady-state capacity (including
+    // Verlet rebuilds triggered by real optimizer motion).
+    for _ in 0..400 {
+        let _ = objective.value_and_grad_ws(&coords, &mut grad, &mut ws);
+        opt.step(&mut coords, &grad);
+    }
+
+    // Measured window: steps continue from the warm state.
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    for _ in 0..100 {
+        let _ = objective.value_and_grad_ws(&coords, &mut grad, &mut ws);
+        opt.step(&mut coords, &grad);
+    }
+    ARMED.store(false, Ordering::SeqCst);
+
+    let allocs = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        allocs, 0,
+        "steady-state optimizer steps allocated {allocs} times in 100 steps"
+    );
+    assert!(
+        ws.evals() >= 500,
+        "workspace should have served every evaluation"
+    );
+}

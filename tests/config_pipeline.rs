@@ -114,8 +114,7 @@ particle_sets:
     std::fs::write(&config_path, yaml).unwrap();
     let cfg = PackingConfig::from_file(&config_path).unwrap();
     let algo = registry(&cfg.algorithm).expect("RSA registered");
-    let container =
-        Container::from_mesh(&read_stl_file(&cfg.container_path).unwrap()).unwrap();
+    let container = Container::from_mesh(&read_stl_file(&cfg.container_path).unwrap()).unwrap();
     let result = algo.pack(&container, &cfg.psds()[0], 60, &cfg.to_packing_params());
     assert!(!result.particles.is_empty());
     for p in &result.particles {

@@ -46,7 +46,11 @@ fn packed_cylinder_density_consistent_between_probes() {
         ..PackingParams::default()
     };
     let result = CollectivePacker::new(container.clone(), params).pack(&Psd::constant(0.12));
-    assert!(result.particles.len() > 150, "packed {}", result.particles.len());
+    assert!(
+        result.particles.len() > 150,
+        "packed {}",
+        result.particles.len()
+    );
 
     let d_container = container_density(&result.particles, &container);
     assert!(
@@ -56,10 +60,8 @@ fn packed_cylinder_density_consistent_between_probes() {
     // Core probe over the inscribed box of the cylinder (side √2·R), away
     // from walls: at least as dense as the whole container.
     let half = 1.0 / 2.0f64.sqrt() * 0.9;
-    let core_box = adampack_geometry::Aabb::new(
-        Vec3::new(-half, -half, 0.3),
-        Vec3::new(half, half, 1.2),
-    );
+    let core_box =
+        adampack_geometry::Aabb::new(Vec3::new(-half, -half, 0.3), Vec3::new(half, half, 1.2));
     let probe = adampack_overlap::DensityProbe::new(core_box);
     let d_core = probe.density(result.particles.iter().map(|p| (p.center, p.radius)));
     assert!(

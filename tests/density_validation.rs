@@ -60,7 +60,11 @@ fn density_beats_rsa_baseline() {
         ..PackingParams::default()
     };
     let ours = CollectivePacker::new(container.clone(), params).pack(&psd);
-    let rsa = RsaPacker { max_attempts: 2_000, seed: 1 }.pack(&container, &psd, 1_500);
+    let rsa = RsaPacker {
+        max_attempts: 2_000,
+        seed: 1,
+    }
+    .pack(&container, &psd, 1_500);
 
     let d_ours = metrics::core_density(&ours.particles, &container.aabb(), 1.0 / 3.0);
     let d_rsa = metrics::core_density(&rsa.particles, &container.aabb(), 1.0 / 3.0);

@@ -48,12 +48,14 @@ fn different_seeds_different_packings() {
     let a = pack(1);
     let b = pack(2);
     let identical = a.particles.len() == b.particles.len()
-        && a
-            .particles
+        && a.particles
             .iter()
             .zip(&b.particles)
             .all(|(x, y)| x.center == y.center && x.radius == y.radius);
-    assert!(!identical, "distinct seeds must explore distinct configurations");
+    assert!(
+        !identical,
+        "distinct seeds must explore distinct configurations"
+    );
 }
 
 #[test]
@@ -84,14 +86,30 @@ fn baseline_packers_are_deterministic_too() {
     let mesh = shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0));
     let container = Container::from_mesh(&mesh).unwrap();
     let psd = Psd::uniform(0.08, 0.12);
-    let a = RsaPacker { seed: 5, ..RsaPacker::default() }.pack(&container, &psd, 100);
-    let b = RsaPacker { seed: 5, ..RsaPacker::default() }.pack(&container, &psd, 100);
+    let a = RsaPacker {
+        seed: 5,
+        ..RsaPacker::default()
+    }
+    .pack(&container, &psd, 100);
+    let b = RsaPacker {
+        seed: 5,
+        ..RsaPacker::default()
+    }
+    .pack(&container, &psd, 100);
     assert_eq!(a.particles.len(), b.particles.len());
     for (x, y) in a.particles.iter().zip(&b.particles) {
         assert_eq!(x.center, y.center);
     }
-    let c = DropAndRollPacker { seed: 5, ..DropAndRollPacker::default() }.pack(&container, &psd, 100);
-    let d = DropAndRollPacker { seed: 5, ..DropAndRollPacker::default() }.pack(&container, &psd, 100);
+    let c = DropAndRollPacker {
+        seed: 5,
+        ..DropAndRollPacker::default()
+    }
+    .pack(&container, &psd, 100);
+    let d = DropAndRollPacker {
+        seed: 5,
+        ..DropAndRollPacker::default()
+    }
+    .pack(&container, &psd, 100);
     assert_eq!(c.particles.len(), d.particles.len());
     for (x, y) in c.particles.iter().zip(&d.particles) {
         assert_eq!(x.center, y.center);

@@ -46,7 +46,11 @@ fn box_container_end_to_end() {
     let container = Container::from_mesh(&mesh).unwrap();
     let result =
         CollectivePacker::new(container.clone(), quick_params(60, 1)).pack(&Psd::constant(0.13));
-    assert!(result.particles.len() >= 40, "packed {}", result.particles.len());
+    assert!(
+        result.particles.len() >= 40,
+        "packed {}",
+        result.particles.len()
+    );
     assert_packing_invariants(&container, &result, 0.05);
 }
 
@@ -54,8 +58,8 @@ fn box_container_end_to_end() {
 fn cylinder_container_end_to_end() {
     let mesh = shapes::cylinder(1.0, 2.0, 32);
     let container = Container::from_mesh(&mesh).unwrap();
-    let result =
-        CollectivePacker::new(container.clone(), quick_params(50, 2)).pack(&Psd::uniform(0.09, 0.13));
+    let result = CollectivePacker::new(container.clone(), quick_params(50, 2))
+        .pack(&Psd::uniform(0.09, 0.13));
     assert!(result.particles.len() >= 30);
     assert_packing_invariants(&container, &result, 0.05);
 }
@@ -74,8 +78,8 @@ fn cone_container_end_to_end() {
 fn blast_furnace_replica_end_to_end() {
     let mesh = shapes::blast_furnace(0.05, 24); // 1.6 units tall replica
     let container = Container::from_mesh(&mesh).unwrap();
-    let result =
-        CollectivePacker::new(container.clone(), quick_params(40, 4)).pack(&Psd::uniform(0.05, 0.07));
+    let result = CollectivePacker::new(container.clone(), quick_params(40, 4))
+        .pack(&Psd::uniform(0.05, 0.07));
     assert!(result.particles.len() >= 20);
     assert_packing_invariants(&container, &result, 0.05);
 }
@@ -84,11 +88,10 @@ fn blast_furnace_replica_end_to_end() {
 fn particles_settle_towards_gravity_floor() {
     let mesh = shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0));
     let container = Container::from_mesh(&mesh).unwrap();
-    let result =
-        CollectivePacker::new(container, quick_params(50, 5)).pack(&Psd::constant(0.12));
+    let result = CollectivePacker::new(container, quick_params(50, 5)).pack(&Psd::constant(0.12));
     // Bed occupies the lower part of the box: mean z well below centre 0.
-    let mean_z: f64 = result.particles.iter().map(|p| p.center.z).sum::<f64>()
-        / result.particles.len() as f64;
+    let mean_z: f64 =
+        result.particles.iter().map(|p| p.center.z).sum::<f64>() / result.particles.len() as f64;
     assert!(mean_z < -0.2, "bed should sit low, mean z = {mean_z}");
 }
 
@@ -104,7 +107,11 @@ fn psd_is_followed_exactly() {
     assert!(radii.iter().all(|&r| (0.08..=0.14).contains(&r)));
     // Radii are used verbatim from the sampler: the mean error is pure
     // sampling noise, bounded well under the distribution width.
-    assert!(adherence.mean_rel_error < 0.1, "err = {}", adherence.mean_rel_error);
+    assert!(
+        adherence.mean_rel_error < 0.1,
+        "err = {}",
+        adherence.mean_rel_error
+    );
 }
 
 #[test]
@@ -130,20 +137,24 @@ fn batch_metadata_is_consistent() {
 #[test]
 fn gravity_can_point_along_any_axis() {
     let mesh = shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0));
-    let cases: [(Axis, fn(&Vec3) -> f64); 3] = [
-        (Axis::X, |p| p.x),
-        (Axis::Y, |p| p.y),
-        (Axis::Z, |p| p.z),
-    ];
+    type Pick = fn(&Vec3) -> f64;
+    let cases: [(Axis, Pick); 3] = [(Axis::X, |p| p.x), (Axis::Y, |p| p.y), (Axis::Z, |p| p.z)];
     for (axis, pick) in cases {
         let container = Container::from_mesh(&mesh).unwrap();
         let mut params = quick_params(30, 8);
         params.gravity = axis;
         let result = CollectivePacker::new(container, params).pack(&Psd::constant(0.14));
         assert!(!result.particles.is_empty());
-        let mean: f64 = result.particles.iter().map(|p| pick(&p.center)).sum::<f64>()
+        let mean: f64 = result
+            .particles
+            .iter()
+            .map(|p| pick(&p.center))
+            .sum::<f64>()
             / result.particles.len() as f64;
-        assert!(mean < 0.0, "axis {axis:?}: bed should settle low, mean = {mean}");
+        assert!(
+            mean < 0.0,
+            "axis {axis:?}: bed should settle low, mean = {mean}"
+        );
     }
 }
 

@@ -38,12 +38,7 @@ fn degenerate_meshes_error_cleanly() {
         Err(HullError::TooFewPoints(3))
     ));
     // Non-finite vertices.
-    let bad = Container::from_points(&[
-        Vec3::new(f64::NAN, 0.0, 0.0),
-        Vec3::X,
-        Vec3::Y,
-        Vec3::Z,
-    ]);
+    let bad = Container::from_points(&[Vec3::new(f64::NAN, 0.0, 0.0), Vec3::X, Vec3::Y, Vec3::Z]);
     assert!(bad.is_err());
 }
 
@@ -51,18 +46,17 @@ fn degenerate_meshes_error_cleanly() {
 fn flat_mesh_rejected_or_sliver() {
     // A single flat triangle pair has no 3-D hull.
     let mesh = TriMesh::new(
-        vec![
-            Vec3::ZERO,
-            Vec3::X,
-            Vec3::Y,
-            Vec3::new(1.0, 1.0, 0.0),
-        ],
+        vec![Vec3::ZERO, Vec3::X, Vec3::Y, Vec3::new(1.0, 1.0, 0.0)],
         vec![[0, 1, 2], [1, 3, 2]],
     )
     .unwrap();
     match ConvexHull::from_mesh(&mesh) {
         Err(_) => {}
-        Ok(h) => assert!(h.volume().abs() < 1e-6, "flat mesh produced volume {}", h.volume()),
+        Ok(h) => assert!(
+            h.volume().abs() < 1e-6,
+            "flat mesh produced volume {}",
+            h.volume()
+        ),
     }
 }
 
@@ -91,21 +85,18 @@ fn invalid_packing_params_rejected() {
         batch_size: 0,
         ..PackingParams::default()
     };
-    assert!(std::panic::catch_unwind(move || {
-        CollectivePacker::new(container, bad)
-    })
-    .is_err());
+    assert!(std::panic::catch_unwind(move || { CollectivePacker::new(container, bad) }).is_err());
 }
 
 #[test]
 fn yaml_config_errors_never_panic() {
     use adampack_config::PackingConfig;
     for src in [
-        "",                              // empty
-        "container: 5",                  // wrong type
-        "container:\n  path: a.stl",     // missing particle_sets
-        "zones: nope",                   // wrong type downstream
-        "\tcontainer:",                  // tab indentation
+        "",                                                                              // empty
+        "container: 5",              // wrong type
+        "container:\n  path: a.stl", // missing particle_sets
+        "zones: nope",               // wrong type downstream
+        "\tcontainer:",              // tab indentation
         "container:\n  path: a.stl\nparticle_sets:\n  - radius_distribution: uniform\n", // missing bounds
     ] {
         let _ = PackingConfig::from_str(src); // must return Err, not panic
@@ -116,7 +107,11 @@ fn yaml_config_errors_never_panic() {
 fn rsa_on_impossible_problem_stops_quickly() {
     let mesh = shapes::box_mesh(Vec3::ZERO, Vec3::splat(0.5));
     let container = Container::from_mesh(&mesh).unwrap();
-    let result = RsaPacker { max_attempts: 100, seed: 1 }.pack(&container, &Psd::constant(0.4), 10);
+    let result = RsaPacker {
+        max_attempts: 100,
+        seed: 1,
+    }
+    .pack(&container, &Psd::constant(0.4), 10);
     assert!(result.particles.is_empty());
 }
 
@@ -133,10 +128,7 @@ fn empty_zone_region_fails_cleanly() {
         let _ = CollectivePacker::new(empty, PackingParams::default());
     });
     let err = result.expect_err("empty container must be rejected");
-    let msg = err
-        .downcast_ref::<String>()
-        .cloned()
-        .unwrap_or_default();
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
     assert!(msg.contains("empty"), "panic message should explain: {msg}");
 }
 

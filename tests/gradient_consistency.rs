@@ -4,7 +4,7 @@
 //! randomized configurations exercising every objective term.
 
 use adampack_autograd::{gradient_check, Graph, Var};
-use adampack_core::grid::CellGrid;
+use adampack_core::neighbor::{CsrGrid, NeighborStrategy, Workspace};
 use adampack_core::objective::{Objective, ObjectiveWeights};
 use adampack_core::Container;
 use adampack_geometry::{shapes, Axis, Vec3};
@@ -85,7 +85,7 @@ fn autograd_objective(
     (g.value(z), grad)
 }
 
-fn setup() -> (Container, Vec<(Vec3, f64)>, CellGrid) {
+fn setup() -> (Container, Vec<(Vec3, f64)>, CsrGrid) {
     let container = Container::from_mesh(&shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0))).unwrap();
     let fixed_spheres = vec![
         (Vec3::new(0.0, 0.0, -0.7), 0.25),
@@ -94,7 +94,7 @@ fn setup() -> (Container, Vec<(Vec3, f64)>, CellGrid) {
     ];
     let centers: Vec<Vec3> = fixed_spheres.iter().map(|s| s.0).collect();
     let radii: Vec<f64> = fixed_spheres.iter().map(|s| s.1).collect();
-    let grid = CellGrid::build(&centers, &radii);
+    let grid = CsrGrid::build(&centers, &radii);
     (container, fixed_spheres, grid)
 }
 
@@ -129,6 +129,47 @@ fn analytic_equals_autograd_on_dense_configuration() {
 }
 
 #[test]
+fn verlet_path_equals_autograd_on_dense_configuration() {
+    // Same configuration as above, evaluated through the Verlet-list
+    // workspace pipeline: the amortized pair search must not change the
+    // analytic gradient.
+    let (container, fixed_spheres, grid) = setup();
+    let radii = [0.3, 0.25, 0.35, 0.2];
+    let coords = vec![
+        0.1, 0.05, -0.45, 0.35, 0.1, -0.3, 0.85, 0.8, 0.9, -0.2, 0.3, -0.35,
+    ];
+    let w = ObjectiveWeights::default();
+    let obj = Objective::new(w, Axis::Z, container.halfspaces(), &radii, &grid)
+        .with_neighbor(NeighborStrategy::Verlet, 0.1);
+    let mut ws = Workspace::new();
+    let mut grad = vec![0.0; coords.len()];
+    let v_analytic = obj.value_and_grad_ws(&coords, &mut grad, &mut ws);
+
+    let planes = container.halfspaces().coefficient_rows();
+    let (v_auto, g_auto) = autograd_objective(&coords, &radii, &fixed_spheres, &planes, w);
+
+    assert!(
+        (v_analytic - v_auto).abs() < 1e-9 * v_auto.abs().max(1.0),
+        "values differ: verlet {v_analytic} vs autograd {v_auto}"
+    );
+    for (i, (a, b)) in grad.iter().zip(&g_auto).enumerate() {
+        assert!(
+            (a - b).abs() < 1e-9 * b.abs().max(1.0),
+            "gradient {i}: verlet {a} vs autograd {b}"
+        );
+    }
+
+    // Finite differences on the same Verlet pipeline.
+    let f = |x: &[f64]| {
+        Objective::new(w, Axis::Z, container.halfspaces(), &radii, &grid)
+            .with_neighbor(NeighborStrategy::Verlet, 0.1)
+            .value(x)
+    };
+    let worst = adampack_autograd::gradient_check(f, &coords, &grad, 1e-6);
+    assert!(worst < 1e-5, "worst relative discrepancy {worst}");
+}
+
+#[test]
 fn analytic_matches_finite_differences() {
     let (container, _, grid) = setup();
     let radii = [0.3, 0.25];
@@ -137,9 +178,7 @@ fn analytic_matches_finite_differences() {
     let obj = Objective::new(w, Axis::Z, container.halfspaces(), &radii, &grid);
     let mut grad = vec![0.0; 6];
     obj.value_and_grad(&coords, &mut grad);
-    let f = |x: &[f64]| {
-        Objective::new(w, Axis::Z, container.halfspaces(), &radii, &grid).value(x)
-    };
+    let f = |x: &[f64]| Objective::new(w, Axis::Z, container.halfspaces(), &radii, &grid).value(x);
     let worst = gradient_check(f, &coords, &grad, 1e-6);
     assert!(worst < 1e-5, "worst relative discrepancy {worst}");
 }

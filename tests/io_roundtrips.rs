@@ -29,7 +29,10 @@ fn packing_survives_csv_round_trip_exactly() {
     let mut buf = Vec::new();
     write_particles_csv(
         &mut buf,
-        result.particles.iter().map(|p| (p.center, p.radius, p.batch, p.set)),
+        result
+            .particles
+            .iter()
+            .map(|p| (p.center, p.radius, p.batch, p.set)),
     )
     .unwrap();
     let rows = read_particles_csv(BufReader::new(&buf[..])).unwrap();
@@ -65,12 +68,15 @@ fn vtk_export_is_well_formed() {
     assert!(text.contains(&format!("POINTS {} double", triples.len())));
     // Line counts: header(5) + points + point_data(3) + radii + batch header(2) + batches.
     let lines = text.lines().count();
-    assert_eq!(lines, 5 + triples.len() + 3 + triples.len() + 2 + triples.len());
+    assert_eq!(
+        lines,
+        5 + triples.len() + 3 + triples.len() + 2 + triples.len()
+    );
 }
 
 #[test]
 fn every_generated_shape_round_trips_through_both_stl_dialects() {
-    let meshes = vec![
+    let meshes = [
         shapes::box_mesh(Vec3::ZERO, Vec3::new(1.0, 2.0, 3.0)),
         shapes::cylinder(0.7, 1.4, 20),
         shapes::cone(1.0, 2.0, 20, true),
@@ -82,18 +88,31 @@ fn every_generated_shape_round_trips_through_both_stl_dialects() {
         let mut ascii = Vec::new();
         write_stl_ascii(&mut ascii, mesh, "shape").unwrap();
         let from_ascii = read_stl(&ascii).unwrap();
-        assert_eq!(from_ascii.face_count(), mesh.face_count(), "shape {k} (ascii)");
-        assert!(from_ascii.is_watertight(), "shape {k} ascii weld broke manifoldness");
+        assert_eq!(
+            from_ascii.face_count(),
+            mesh.face_count(),
+            "shape {k} (ascii)"
+        );
+        assert!(
+            from_ascii.is_watertight(),
+            "shape {k} ascii weld broke manifoldness"
+        );
 
         let mut binary = Vec::new();
         write_stl_binary(&mut binary, mesh).unwrap();
         let from_binary = read_stl(&binary).unwrap();
-        assert_eq!(from_binary.face_count(), mesh.face_count(), "shape {k} (binary)");
-        assert!(from_binary.is_watertight(), "shape {k} binary weld broke manifoldness");
+        assert_eq!(
+            from_binary.face_count(),
+            mesh.face_count(),
+            "shape {k} (binary)"
+        );
+        assert!(
+            from_binary.is_watertight(),
+            "shape {k} binary weld broke manifoldness"
+        );
 
         // Volumes agree within f32 serialization error.
-        let rel = (from_binary.signed_volume() - mesh.signed_volume()).abs()
-            / mesh.signed_volume();
+        let rel = (from_binary.signed_volume() - mesh.signed_volume()).abs() / mesh.signed_volume();
         assert!(rel < 1e-5, "shape {k}: volume drift {rel}");
     }
 }

@@ -17,8 +17,7 @@ fn quick_params(seed: u64) -> PackingParams {
 
 #[test]
 fn icosphere_zone_confines_particles() {
-    let container =
-        Container::from_mesh(&shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0))).unwrap();
+    let container = Container::from_mesh(&shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0))).unwrap();
     let zone_hull =
         ConvexHull::from_mesh(&shapes::icosphere(Vec3::new(0.2, -0.1, -0.3), 0.55, 2)).unwrap();
     let zones = vec![ZoneSpec {
@@ -28,7 +27,11 @@ fn icosphere_zone_confines_particles() {
     }];
     let packer = ZonedPacker::new(container, quick_params(1), vec![Psd::constant(0.09)]);
     let result = packer.pack(&zones);
-    assert!(result.particles.len() >= 15, "packed {}", result.particles.len());
+    assert!(
+        result.particles.len() >= 15,
+        "packed {}",
+        result.particles.len()
+    );
     for p in &result.particles {
         // Sphere centres (at least) must lie in the zone within tolerance;
         // the zone planes act like container walls for the sub-packing.
@@ -43,8 +46,7 @@ fn icosphere_zone_confines_particles() {
 
 #[test]
 fn three_stacked_slices_fill_bottom_up() {
-    let container =
-        Container::from_mesh(&shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0))).unwrap();
+    let container = Container::from_mesh(&shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0))).unwrap();
     let sets = vec![
         Psd::constant(0.10),
         Psd::constant(0.13),
@@ -54,7 +56,11 @@ fn three_stacked_slices_fill_bottom_up() {
         let mut props = vec![0.0; 3];
         props[set] = 1.0;
         ZoneSpec {
-            region: ZoneRegion::Slice { axis: Axis::Z, min: lo, max: hi },
+            region: ZoneRegion::Slice {
+                axis: Axis::Z,
+                min: lo,
+                max: hi,
+            },
             n_particles: 12,
             set_proportions: props,
         }
@@ -67,7 +73,11 @@ fn three_stacked_slices_fill_bottom_up() {
     ];
     let packer = ZonedPacker::new(container, quick_params(2), sets);
     let result = packer.pack(&zones);
-    assert!(result.particles.len() >= 24, "packed {}", result.particles.len());
+    assert!(
+        result.particles.len() >= 24,
+        "packed {}",
+        result.particles.len()
+    );
     // Mean altitude must increase with the radius tier.
     let mean_z = |r: f64| {
         let zs: Vec<f64> = result
@@ -89,12 +99,15 @@ fn three_stacked_slices_fill_bottom_up() {
 #[test]
 fn zone_respects_custom_gravity() {
     // Gravity along -x: a slice zone along x fills from the -x side.
-    let container =
-        Container::from_mesh(&shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0))).unwrap();
+    let container = Container::from_mesh(&shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0))).unwrap();
     let mut params = quick_params(3);
     params.gravity = Axis::X;
     let zones = vec![ZoneSpec {
-        region: ZoneRegion::Slice { axis: Axis::X, min: -1.0, max: 0.5 },
+        region: ZoneRegion::Slice {
+            axis: Axis::X,
+            min: -1.0,
+            max: 0.5,
+        },
         n_particles: 25,
         set_proportions: vec![1.0],
     }];
