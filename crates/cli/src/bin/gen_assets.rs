@@ -13,7 +13,7 @@ fn main() -> ExitCode {
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("configs"));
     if let Err(e) = run(&dir) {
-        eprintln!("error: {e}");
+        adampack_telemetry::error!("{e}");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -19,10 +19,11 @@
 
 use std::path::{Path, PathBuf};
 
-use adampack_config::{ConfigError, LocationConfig, PackingConfig};
+use adampack_config::{ConfigError, ConsoleLevel, LocationConfig, PackingConfig};
 use adampack_core::metrics;
 use adampack_core::prelude::*;
 use adampack_geometry::ConvexHull;
+use adampack_telemetry::{info, warn, JsonlWriter};
 
 /// Errors surfaced to the CLI user.
 #[derive(Debug)]
@@ -82,14 +83,59 @@ fn load_zone_hull(p: &Path) -> Result<ConvexHull, ConfigError> {
     ConvexHull::from_mesh(&mesh).map_err(|e| ConfigError::Field(e.to_string()))
 }
 
+/// Command-line overrides layered over the configuration's `telemetry:`
+/// block (a CLI flag always wins over the YAML value).
+#[derive(Debug, Clone, Default)]
+pub struct PackOptions {
+    /// Particle output file (`--out`, by extension).
+    pub out: Option<PathBuf>,
+    /// JSONL per-step trace file (`--trace-out`).
+    pub trace_out: Option<PathBuf>,
+    /// Prometheus-style metrics snapshot file (`--metrics-out`).
+    pub metrics_out: Option<PathBuf>,
+    /// Console log level (`--log-level`).
+    pub log_level: Option<ConsoleLevel>,
+}
+
 /// Runs a packing described by a configuration file and optionally writes
 /// the particles (`.csv`, `.vtk` or `.xyz`, by extension).
 pub fn run_pack(config_path: &Path, out: Option<&Path>) -> Result<RunSummary, CliError> {
+    run_pack_opts(
+        config_path,
+        &PackOptions {
+            out: out.map(Path::to_path_buf),
+            ..PackOptions::default()
+        },
+    )
+}
+
+/// [`run_pack`] with explicit telemetry overrides.
+pub fn run_pack_opts(config_path: &Path, opts: &PackOptions) -> Result<RunSummary, CliError> {
     let cfg = PackingConfig::from_file(config_path)?;
+
+    // Observability wiring: flags override YAML, YAML overrides the
+    // verbosity-derived default.
+    let level = opts.log_level.unwrap_or(cfg.telemetry.level);
+    adampack_telemetry::set_max_level(level.resolve(cfg.params.verbosity));
+    adampack_telemetry::set_enabled(cfg.telemetry.metrics);
+    let trace_out = opts
+        .trace_out
+        .clone()
+        .or_else(|| cfg.telemetry.trace_out.clone());
+    let metrics_out = opts
+        .metrics_out
+        .clone()
+        .or_else(|| cfg.telemetry.metrics_out.clone());
+
     let mesh = adampack_io::read_stl_file(&cfg.container_path)
         .map_err(|e| CliError::Geometry(e.to_string()))?;
     let container = Container::from_mesh(&mesh).map_err(|e| CliError::Geometry(e.to_string()))?;
     let params = cfg.to_packing_params();
+
+    let collective = cfg.algorithm.eq_ignore_ascii_case("COLLECTIVE_ARRANGEMENT");
+    if trace_out.is_some() && !(collective && cfg.zones.is_empty()) {
+        warn!("step tracing is only available for single-zone COLLECTIVE_ARRANGEMENT runs; no trace will be written");
+    }
 
     let result = if cfg.zones.is_empty() {
         // Single implicit everywhere-zone. The collective path honours the
@@ -101,15 +147,20 @@ pub fn run_pack(config_path: &Path, out: Option<&Path>) -> Result<RunSummary, Cl
             .next()
             .ok_or_else(|| CliError::Usage("configuration has no particle sets".into()))?;
         let n = container.capacity_estimate(psd.mean(), 0.6);
-        if cfg.algorithm.eq_ignore_ascii_case("COLLECTIVE_ARRANGEMENT") {
+        if collective {
             let mut p = params.clone();
             p.target_count = n;
             let mut packer = CollectivePacker::new(container.clone(), p);
+            if let Some(path) = &trace_out {
+                let file = std::fs::File::create(path)?;
+                packer.set_trace_sink(Box::new(JsonlWriter::new(std::io::BufWriter::new(file))));
+                info!("streaming step trace to {}", path.display());
+            }
             if cfg.params.verbosity > 0 {
                 let every = cfg.params.verbosity;
                 packer.set_batch_callback(move |b| {
                     if b.index % every == 0 {
-                        eprintln!(
+                        info!(
                             "batch {:>4}: {} particles, {} steps, fitness {:.3}, {}",
                             b.index,
                             b.requested,
@@ -120,7 +171,10 @@ pub fn run_pack(config_path: &Path, out: Option<&Path>) -> Result<RunSummary, Cl
                     }
                 });
             }
-            packer.pack(&psd)
+            let result = packer.pack(&psd);
+            // Drop the sink so buffered trace lines hit the file.
+            drop(packer.take_trace_sink());
+            result
         } else {
             let algo = registry(&cfg.algorithm).ok_or_else(|| {
                 CliError::Usage(format!(
@@ -132,7 +186,7 @@ pub fn run_pack(config_path: &Path, out: Option<&Path>) -> Result<RunSummary, Cl
             algo.pack(&container, &psd, n, &params)
         }
     } else {
-        if !cfg.algorithm.eq_ignore_ascii_case("COLLECTIVE_ARRANGEMENT") {
+        if !collective {
             return Err(CliError::Usage(
                 "zoned packings require algorithm COLLECTIVE_ARRANGEMENT".into(),
             ));
@@ -140,6 +194,11 @@ pub fn run_pack(config_path: &Path, out: Option<&Path>) -> Result<RunSummary, Cl
         let zones = cfg.zone_specs(load_zone_hull)?;
         ZonedPacker::new(container.clone(), params, cfg.psds()).pack(&zones)
     };
+
+    if let Some(path) = &metrics_out {
+        std::fs::write(path, adampack_telemetry::prometheus_snapshot())?;
+        info!("metrics snapshot written to {}", path.display());
+    }
 
     // Full quality report against the first particle set's PSD (zone mixes
     // are checked per zone by their own tests; the report's PSD row is only
@@ -154,15 +213,15 @@ pub fn run_pack(config_path: &Path, out: Option<&Path>) -> Result<RunSummary, Cl
         &container,
         psd_for_report.as_ref(),
     );
-    eprintln!("{report}");
+    info!("{report}");
     let density = metrics::core_density(&result.particles, &container.aabb(), 1.0 / 3.0);
     let contact = metrics::contact_stats(&result.particles);
 
-    let output = match out {
+    let output = match &opts.out {
         None => None,
         Some(path) => {
             write_particles(path, &result)?;
-            Some(path.to_path_buf())
+            Some(path.clone())
         }
     };
 
@@ -321,6 +380,32 @@ mod tests {
             run_pack(&cfg, Some(&bad)),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn pack_with_trace_and_metrics_outputs() {
+        let dir = std::env::temp_dir().join("adampack_cli_trace");
+        let cfg = setup_config(&dir, "COLLECTIVE_ARRANGEMENT", false);
+        let trace = dir.join("run.jsonl");
+        let metrics_snapshot = dir.join("metrics.prom");
+        let opts = PackOptions {
+            trace_out: Some(trace.clone()),
+            metrics_out: Some(metrics_snapshot.clone()),
+            log_level: Some(ConsoleLevel::Off),
+            ..PackOptions::default()
+        };
+        let summary = run_pack_opts(&cfg, &opts).unwrap();
+        assert!(summary.packed > 10);
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let mut lines = 0;
+        for line in text.lines() {
+            adampack_telemetry::StepRecord::parse(line).expect("every trace line parses");
+            lines += 1;
+        }
+        assert!(lines > 0, "trace must contain step records");
+        let prom = std::fs::read_to_string(&metrics_snapshot).unwrap();
+        assert!(prom.contains("adampack_optimizer_steps_total"));
+        assert!(prom.contains("adampack_phase_spawn_nanoseconds"));
     }
 
     #[test]

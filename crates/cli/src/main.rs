@@ -3,13 +3,17 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use adampack_cli::{run_info, run_pack, CliError};
+use adampack_cli::{run_info, run_pack_opts, CliError, PackOptions};
+use adampack_config::ConsoleLevel;
+use adampack_telemetry::Level;
 
 const USAGE: &str = "\
 adampack — rapid random packing of poly-disperse spheres (Adam/AMSGrad)
 
 USAGE:
     adampack pack <config.yaml> [--out <file.{csv,vtk,xyz}>]
+                  [--trace-out <run.jsonl>] [--metrics-out <metrics.prom>]
+                  [--log-level <error|warn|info|debug|trace|off>]
     adampack info <config.yaml>
     adampack help
 
@@ -17,13 +21,18 @@ COMMANDS:
     pack    run the packing described by the configuration and report
             particle count, core density, overlap stats and timing
     info    print the parsed configuration without running it
+
+Flags override the configuration's `telemetry:` block: --trace-out
+streams a per-step JSONL record (loss terms, gradient norm, lr, max
+displacement), --metrics-out writes a Prometheus-style counter and
+histogram snapshot after the run.
 ";
 
 fn main() -> ExitCode {
     match dispatch(std::env::args().skip(1).collect()) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
+            adampack_telemetry::error!("{e}");
             ExitCode::FAILURE
         }
     }
@@ -36,21 +45,33 @@ fn dispatch(args: Vec<String>) -> Result<(), CliError> {
             let config = it
                 .next()
                 .ok_or_else(|| CliError::Usage("pack requires a configuration path".into()))?;
-            let mut out: Option<PathBuf> = None;
+            let mut opts = PackOptions::default();
             while let Some(flag) = it.next() {
+                let mut value = |name: &str| {
+                    it.next()
+                        .map(PathBuf::from)
+                        .ok_or_else(|| CliError::Usage(format!("{name} requires a path")))
+                };
                 match flag.as_str() {
-                    "--out" => {
-                        let v = it
-                            .next()
-                            .ok_or_else(|| CliError::Usage("--out requires a path".into()))?;
-                        out = Some(PathBuf::from(v));
+                    "--out" => opts.out = Some(value("--out")?),
+                    "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
+                    "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
+                    "--log-level" => {
+                        let v = it.next().ok_or_else(|| {
+                            CliError::Usage("--log-level requires a level".into())
+                        })?;
+                        opts.log_level = Some(match Level::parse(v) {
+                            Ok(Some(level)) => ConsoleLevel::Fixed(level),
+                            Ok(None) => ConsoleLevel::Off,
+                            Err(e) => return Err(CliError::Usage(e)),
+                        });
                     }
                     other => {
                         return Err(CliError::Usage(format!("unknown flag '{other}'")));
                     }
                 }
             }
-            let summary = run_pack(Path::new(config), out.as_deref())?;
+            let summary = run_pack_opts(Path::new(config), &opts)?;
             println!("packed:        {}", summary.packed);
             println!("core density:  {:.4}", summary.core_density);
             println!(

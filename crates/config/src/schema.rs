@@ -6,6 +6,7 @@ use adampack_core::{
     LrPolicy, NeighborParams, NeighborStrategy, PackingParams, Psd, ZoneRegion, ZoneSpec,
 };
 use adampack_geometry::{Axis, ConvexHull};
+use adampack_telemetry::Level;
 
 use crate::yaml::{parse_yaml, Value, YamlError};
 
@@ -108,6 +109,64 @@ impl NeighborConfig {
     }
 }
 
+/// Console log-level selection (`telemetry: level:`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConsoleLevel {
+    /// Derive the level from `params.verbosity`: `info` normally, `debug`
+    /// when the verbosity period is positive.
+    #[default]
+    Auto,
+    /// Suppress all console logging (`level: off`).
+    Off,
+    /// A fixed explicit level.
+    Fixed(Level),
+}
+
+impl ConsoleLevel {
+    /// The effective maximum level given the configured progress-print
+    /// period (`params.verbosity`).
+    pub fn resolve(self, verbosity: usize) -> Option<Level> {
+        match self {
+            ConsoleLevel::Auto => Some(if verbosity > 0 {
+                Level::Debug
+            } else {
+                Level::Info
+            }),
+            ConsoleLevel::Off => None,
+            ConsoleLevel::Fixed(level) => Some(level),
+        }
+    }
+}
+
+/// The `telemetry:` block (observability sinks and console level).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryConfig {
+    /// `level:` — console log level (`error|warn|info|debug|trace|off`);
+    /// absent means [`ConsoleLevel::Auto`].
+    pub level: ConsoleLevel,
+    /// `trace_out:` — when set, a JSONL per-step trace is streamed to this
+    /// file (not resolved against the config directory: output paths are
+    /// relative to the working directory).
+    pub trace_out: Option<PathBuf>,
+    /// `metrics_out:` — when set, a Prometheus-style text snapshot of all
+    /// counters and histograms is written here after the run.
+    pub metrics_out: Option<PathBuf>,
+    /// `metrics:` — record counters/histograms/spans (default `true`;
+    /// disable to benchmark the telemetry-off configuration).
+    pub metrics: bool,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            level: ConsoleLevel::Auto,
+            trace_out: None,
+            metrics_out: None,
+            metrics: true,
+        }
+    }
+}
+
 /// A `particle_sets:` entry.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ParticleSetConfig {
@@ -188,6 +247,8 @@ pub struct PackingConfig {
     pub gravity_axis: Axis,
     /// Neighbor-search pipeline settings (`neighbor:`), defaulted.
     pub neighbor: NeighborConfig,
+    /// Observability settings (`telemetry:`), defaulted.
+    pub telemetry: TelemetryConfig,
     /// Particle sets.
     pub particle_sets: Vec<ParticleSetConfig>,
     /// Zones (empty means: one implicit everywhere-zone must be provided by
@@ -305,6 +366,26 @@ impl PackingConfig {
             }
         }
 
+        let mut telemetry = TelemetryConfig::default();
+        if let Some(t) = root.get("telemetry") {
+            if let Some(v) = t.get("level").and_then(Value::as_str) {
+                telemetry.level = match Level::parse(v) {
+                    Ok(Some(level)) => ConsoleLevel::Fixed(level),
+                    Ok(None) => ConsoleLevel::Off,
+                    Err(e) => return Err(field(format!("telemetry.level: {e}"))),
+                };
+            }
+            if let Some(v) = t.get("trace_out").and_then(Value::as_str) {
+                telemetry.trace_out = Some(PathBuf::from(v));
+            }
+            if let Some(v) = t.get("metrics_out").and_then(Value::as_str) {
+                telemetry.metrics_out = Some(PathBuf::from(v));
+            }
+            if let Some(v) = t.get("metrics").and_then(Value::as_bool) {
+                telemetry.metrics = v;
+            }
+        }
+
         let particle_sets = match root.get("particle_sets") {
             None => return Err(field("particle_sets is required")),
             Some(v) => {
@@ -340,6 +421,7 @@ impl PackingConfig {
             params,
             gravity_axis,
             neighbor,
+            telemetry,
             particle_sets,
             zones,
         })
@@ -677,7 +759,48 @@ zones:
         assert_eq!(cfg.params, AlgoParams::default());
         assert_eq!(cfg.gravity_axis, Axis::Z);
         assert_eq!(cfg.neighbor, NeighborConfig::default());
+        assert_eq!(cfg.telemetry, TelemetryConfig::default());
         assert!(cfg.zones.is_empty());
+    }
+
+    #[test]
+    fn telemetry_block_parses() {
+        let base = "container:\n  path: a.stl\nparticle_sets:\n  - radius_distribution: constant\n    radius_value: 0.1\n";
+        let src = format!(
+            "{base}telemetry:\n  level: debug\n  trace_out: \"run.jsonl\"\n  metrics_out: metrics.prom\n  metrics: false\n"
+        );
+        let cfg = PackingConfig::from_str(&src).unwrap();
+        assert_eq!(cfg.telemetry.level, ConsoleLevel::Fixed(Level::Debug));
+        assert_eq!(cfg.telemetry.trace_out, Some(PathBuf::from("run.jsonl")));
+        assert_eq!(
+            cfg.telemetry.metrics_out,
+            Some(PathBuf::from("metrics.prom"))
+        );
+        assert!(!cfg.telemetry.metrics);
+
+        let off = format!("{base}telemetry:\n  level: \"off\"\n");
+        let cfg = PackingConfig::from_str(&off).unwrap();
+        assert_eq!(cfg.telemetry.level, ConsoleLevel::Off);
+        assert_eq!(cfg.telemetry.trace_out, None);
+        assert!(cfg.telemetry.metrics);
+    }
+
+    #[test]
+    fn bad_telemetry_level_rejected() {
+        let src = "container:\n  path: a.stl\nparticle_sets:\n  - radius_distribution: constant\n    radius_value: 0.1\ntelemetry:\n  level: verbose\n";
+        let e = PackingConfig::from_str(src).unwrap_err();
+        assert!(e.to_string().contains("verbose"), "{e}");
+    }
+
+    #[test]
+    fn console_level_resolution() {
+        assert_eq!(ConsoleLevel::Auto.resolve(0), Some(Level::Info));
+        assert_eq!(ConsoleLevel::Auto.resolve(10), Some(Level::Debug));
+        assert_eq!(ConsoleLevel::Off.resolve(10), None);
+        assert_eq!(
+            ConsoleLevel::Fixed(Level::Trace).resolve(0),
+            Some(Level::Trace)
+        );
     }
 
     #[test]

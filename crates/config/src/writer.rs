@@ -6,7 +6,10 @@
 
 use std::fmt::Write;
 
-use crate::schema::{AlgoParams, LocationConfig, NeighborConfig, PackingConfig, ParticleSetConfig};
+use crate::schema::{
+    AlgoParams, ConsoleLevel, LocationConfig, NeighborConfig, PackingConfig, ParticleSetConfig,
+    TelemetryConfig,
+};
 
 /// Renders a configuration as YAML accepted by [`crate::PackingConfig::from_str`].
 pub fn to_yaml(cfg: &PackingConfig) -> String {
@@ -45,6 +48,23 @@ pub fn to_yaml(cfg: &PackingConfig) -> String {
         writeln!(s, "neighbor:").unwrap();
         writeln!(s, "    strategy: \"{strategy}\"").unwrap();
         writeln!(s, "    skin_factor: {}", cfg.neighbor.skin_factor).unwrap();
+    }
+    if cfg.telemetry != TelemetryConfig::default() {
+        writeln!(s, "telemetry:").unwrap();
+        match cfg.telemetry.level {
+            ConsoleLevel::Auto => {}
+            ConsoleLevel::Off => writeln!(s, "    level: \"off\"").unwrap(),
+            ConsoleLevel::Fixed(level) => writeln!(s, "    level: \"{}\"", level.name()).unwrap(),
+        }
+        if let Some(path) = &cfg.telemetry.trace_out {
+            writeln!(s, "    trace_out: \"{}\"", path.display()).unwrap();
+        }
+        if let Some(path) = &cfg.telemetry.metrics_out {
+            writeln!(s, "    metrics_out: \"{}\"", path.display()).unwrap();
+        }
+        if !cfg.telemetry.metrics {
+            writeln!(s, "    metrics: false").unwrap();
+        }
     }
     writeln!(s, "particle_sets:").unwrap();
     for set in &cfg.particle_sets {
@@ -120,6 +140,12 @@ mod tests {
                 strategy: adampack_core::NeighborStrategy::Verlet,
                 skin_factor: 0.25,
             },
+            telemetry: TelemetryConfig {
+                level: ConsoleLevel::Fixed(adampack_telemetry::Level::Debug),
+                trace_out: Some(PathBuf::from("trace.jsonl")),
+                metrics_out: Some(PathBuf::from("metrics.prom")),
+                metrics: false,
+            },
             particle_sets: vec![
                 ParticleSetConfig::Uniform {
                     min: 0.05,
@@ -168,6 +194,28 @@ mod tests {
         assert!(!yaml.contains("zones:"));
         let back = PackingConfig::from_str(&yaml).unwrap();
         assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn default_telemetry_is_omitted() {
+        let mut cfg = sample();
+        cfg.telemetry = TelemetryConfig::default();
+        let yaml = to_yaml(&cfg);
+        assert!(!yaml.contains("telemetry:"));
+        let back = PackingConfig::from_str(&yaml).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn off_level_round_trips() {
+        let mut cfg = sample();
+        cfg.telemetry = TelemetryConfig {
+            level: ConsoleLevel::Off,
+            ..TelemetryConfig::default()
+        };
+        let yaml = to_yaml(&cfg);
+        let back = PackingConfig::from_str(&yaml).unwrap();
+        assert_eq!(back.telemetry.level, ConsoleLevel::Off);
     }
 
     #[test]

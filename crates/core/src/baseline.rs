@@ -18,7 +18,7 @@ use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::time::Instant;
 
-use crate::collective::{BatchStats, PackResult};
+use crate::collective::{BatchPhaseBreakdown, BatchStats, PackResult};
 use crate::container::Container;
 use crate::particle::Particle;
 use crate::psd::Psd;
@@ -173,6 +173,8 @@ impl RsaPacker {
             mean_overlap_ratio: 0.0,
             mean_boundary_ratio: 0.0,
             duration: start.elapsed(),
+            verlet_rebuilds: 0,
+            phase: BatchPhaseBreakdown::default(),
         };
         PackResult {
             particles,
@@ -266,6 +268,8 @@ impl DropAndRollPacker {
             mean_overlap_ratio: 0.0,
             mean_boundary_ratio: 0.0,
             duration: start.elapsed(),
+            verlet_rebuilds: 0,
+            phase: BatchPhaseBreakdown::default(),
         };
         PackResult {
             particles,

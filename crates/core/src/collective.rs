@@ -14,6 +14,11 @@
 use std::time::{Duration, Instant};
 
 use adampack_geometry::Vec3;
+use adampack_telemetry::metrics::{
+    BATCHES_ACCEPTED_TOTAL, BATCHES_TOTAL, PARTICLES_PACKED_TOTAL, PHASE_ACCEPTANCE,
+    PHASE_GRADIENT, PHASE_OPTIMIZER, PHASE_SPAWN, STEPS_TOTAL,
+};
+use adampack_telemetry::{StepRecord, TraceRing, TraceSink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -36,6 +41,26 @@ pub struct StepTrace {
     pub lr: f64,
 }
 
+/// Wall-clock time spent in each phase of one attempted batch.
+///
+/// `spawn`, `optimize` and `acceptance` partition the batch duration;
+/// `gradient` and `optimizer` further break `optimize` down and are only
+/// accumulated while telemetry metrics are enabled (they stay zero under
+/// `adampack_telemetry::set_enabled(false)`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BatchPhaseBreakdown {
+    /// Initial-position generation.
+    pub spawn: Duration,
+    /// The whole inner optimization loop.
+    pub optimize: Duration,
+    /// Fused objective value+gradient evaluations (inside `optimize`).
+    pub gradient: Duration,
+    /// Scheduler + optimizer parameter updates (inside `optimize`).
+    pub optimizer: Duration,
+    /// The overlap-acceptance test.
+    pub acceptance: Duration,
+}
+
 /// Statistics for one attempted batch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchStats {
@@ -55,6 +80,10 @@ pub struct BatchStats {
     pub mean_boundary_ratio: f64,
     /// Wall-clock time spent on this batch.
     pub duration: Duration,
+    /// Verlet candidate-list rebuilds served to this batch.
+    pub verlet_rebuilds: usize,
+    /// Per-phase wall-clock breakdown.
+    pub phase: BatchPhaseBreakdown,
 }
 
 /// Result of a batch optimization run.
@@ -66,6 +95,12 @@ pub struct BatchOptimization {
     pub best_fitness: f64,
     /// Steps actually taken.
     pub steps: usize,
+    /// Verlet candidate-list rebuilds during this optimization.
+    pub verlet_rebuilds: usize,
+    /// Time in fused value+gradient evaluations (zero with metrics off).
+    pub gradient_time: Duration,
+    /// Time in scheduler + optimizer updates (zero with metrics off).
+    pub optimizer_time: Duration,
 }
 
 /// The outcome of a full packing run.
@@ -112,6 +147,18 @@ impl PackResult {
 /// Observer invoked after every attempted batch (accepted or not).
 type BatchCallback = Box<dyn FnMut(&BatchStats) + Send>;
 
+/// Per-step convergence tracing state: records are pushed into the
+/// preallocated ring inside the optimizer loop (allocation-free) and
+/// drained to the sink between batches.
+struct Tracer {
+    ring: TraceRing,
+    sink: Box<dyn TraceSink>,
+    /// Previous step's coordinates, for the max-displacement diagnostic.
+    prev: Vec<f64>,
+    /// Batch index stamped into records.
+    batch: u64,
+}
+
 /// The Algorithm 1 driver.
 pub struct CollectivePacker {
     container: Container,
@@ -121,6 +168,7 @@ pub struct CollectivePacker {
     /// Reusable evaluation buffers shared by all batches: steady-state
     /// optimizer steps allocate nothing.
     workspace: Workspace,
+    tracer: Option<Tracer>,
 }
 
 impl CollectivePacker {
@@ -142,6 +190,7 @@ impl CollectivePacker {
             rng,
             batch_callback: None,
             workspace: Workspace::new(),
+            tracer: None,
         }
     }
 
@@ -150,6 +199,34 @@ impl CollectivePacker {
     /// from here; libraries can collect statistics).
     pub fn set_batch_callback(&mut self, f: impl FnMut(&BatchStats) + Send + 'static) {
         self.batch_callback = Some(Box::new(f));
+    }
+
+    /// Installs a convergence-trace sink: every optimizer step of every
+    /// batch emits one [`StepRecord`] (loss terms, gradient norm, learning
+    /// rate, max displacement, Verlet rebuilds). Records are buffered in a
+    /// preallocated ring sized to `params.max_steps` and drained to the
+    /// sink between batches, so the step loop itself never does I/O.
+    ///
+    /// Tracing evaluates the objective breakdown once per step on top of
+    /// the fused value+gradient pass — expect a measurable slowdown; leave
+    /// it off for production runs.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        let capacity = self.params.max_steps.clamp(1, 65_536);
+        self.tracer = Some(Tracer {
+            ring: TraceRing::with_capacity(capacity),
+            sink,
+            prev: Vec::new(),
+            batch: 0,
+        });
+    }
+
+    /// Uninstalls the trace sink, draining any buffered records into it
+    /// first, and returns it (e.g. to recover and flush a file writer).
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.tracer.take().map(|mut t| {
+            t.ring.drain_into(t.sink.as_mut());
+            t.sink
+        })
     }
 
     /// The container.
@@ -199,8 +276,15 @@ impl CollectivePacker {
         while packed < target && batch_size > 0 {
             let n = batch_size.min(target - packed);
             let t0 = Instant::now();
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.batch = batch_index as u64;
+                tr.prev.clear();
+            }
             let radii = psd.sample_n(&mut self.rng, n);
             let init = self.spawn_batch(&radii, &bed);
+            let spawn = t0.elapsed();
+            PHASE_SPAWN.record_ns(spawn.as_nanos() as u64);
+            let t_opt = Instant::now();
             let run = self.optimize_batch_with(
                 &radii,
                 init,
@@ -210,10 +294,12 @@ impl CollectivePacker {
                 &self.params.lr.clone(),
                 None,
             );
+            let optimize = t_opt.elapsed();
 
             // Acceptance: mean contact overlap and boundary excess relative
             // to radius must stay below the configured threshold
             // (Algorithm 1 line 19).
+            let t_acc = Instant::now();
             let centers = coords::to_positions(&run.coords);
             let contact = contact_stats_vs_fixed(&centers, &radii, bed.grid());
             let boundary = boundary_stats(&centers, &radii, self.container.halfspaces());
@@ -221,6 +307,24 @@ impl CollectivePacker {
                 && boundary.0 <= self.params.accept_mean_overlap
                 && contact.max_overlap_ratio <= self.params.accept_max_overlap
                 && boundary.1 <= self.params.accept_max_overlap;
+            let acceptance = t_acc.elapsed();
+            PHASE_ACCEPTANCE.record_ns(acceptance.as_nanos() as u64);
+
+            BATCHES_TOTAL.inc();
+            if accepted {
+                BATCHES_ACCEPTED_TOTAL.inc();
+                PARTICLES_PACKED_TOTAL.add(n as u64);
+            }
+            adampack_telemetry::debug!(
+                "batch {batch_index}: {n} particles {}, {} steps, best Z {:.4}, \
+                 mean overlap {:.3}% of r, {} verlet rebuilds, {:.2?}",
+                if accepted { "accepted" } else { "rejected" },
+                run.steps,
+                run.best_fitness,
+                contact.mean_overlap_ratio * 100.0,
+                run.verlet_rebuilds,
+                t0.elapsed(),
+            );
 
             let stats = BatchStats {
                 index: batch_index,
@@ -231,12 +335,25 @@ impl CollectivePacker {
                 mean_overlap_ratio: contact.mean_overlap_ratio,
                 mean_boundary_ratio: boundary.0,
                 duration: t0.elapsed(),
+                verlet_rebuilds: run.verlet_rebuilds,
+                phase: BatchPhaseBreakdown {
+                    spawn,
+                    optimize,
+                    gradient: run.gradient_time,
+                    optimizer: run.optimizer_time,
+                    acceptance,
+                },
             };
             if let Some(cb) = self.batch_callback.as_mut() {
                 cb(&stats);
             }
             batches.push(stats);
             batch_index += 1;
+            // Drain the trace ring between batches: the sink (file I/O)
+            // never runs inside the optimizer loop.
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.ring.drain_into(tr.sink.as_mut());
+            }
 
             if accepted {
                 for (i, &c) in centers.iter().enumerate() {
@@ -354,15 +471,67 @@ impl CollectivePacker {
         let mut best_fitness = f64::INFINITY;
         let mut no_improvement = 0usize;
         let mut steps = 0usize;
+        let rebuilds_before = self.workspace.verlet_rebuilds();
+        // Per-step phase timing only while metrics are on: with telemetry
+        // disabled the loop reads no clock beyond what the seed had.
+        let metrics_on = adampack_telemetry::is_enabled();
+        let mut gradient_time = Duration::ZERO;
+        let mut optimizer_time = Duration::ZERO;
 
         for step in 0..max_steps {
+            let t_grad = if metrics_on {
+                Some(Instant::now())
+            } else {
+                None
+            };
             let z = objective.value_and_grad_ws(&coords, &mut grad, &mut self.workspace);
+            if let Some(t) = t_grad {
+                let d = t.elapsed();
+                PHASE_GRADIENT.record_ns(d.as_nanos() as u64);
+                gradient_time += d;
+            }
+            STEPS_TOTAL.inc();
             if let Some(t) = trace.as_deref_mut() {
                 t.push(StepTrace {
                     step,
                     fitness: z,
                     lr: scheduler.current_lr(),
                 });
+            }
+            if self.tracer.is_some() {
+                // Tracing pays for an extra breakdown pass per step; the
+                // record is a plain copy into the preallocated ring. The
+                // breakdown happens before the tracer is borrowed so the
+                // workspace stays available to it.
+                let b = objective.breakdown_ws(&coords, &mut self.workspace);
+                let grad_norm = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
+                let rebuilds = self.workspace.verlet_rebuilds() as u64;
+                if let Some(tr) = self.tracer.as_mut() {
+                    let max_disp = if tr.prev.len() == coords.len() {
+                        coords
+                            .iter()
+                            .zip(&tr.prev)
+                            .map(|(a, p)| (a - p).abs())
+                            .fold(0.0, f64::max)
+                    } else {
+                        0.0
+                    };
+                    tr.prev.clear();
+                    tr.prev.extend_from_slice(&coords);
+                    tr.ring.push(StepRecord {
+                        batch: tr.batch,
+                        step: step as u64,
+                        loss: z,
+                        penetration_intra: b.penetration_intra,
+                        penetration_cross: b.penetration_cross,
+                        altitude: b.altitude,
+                        exterior: b.exterior,
+                        grad_norm,
+                        lr: scheduler.current_lr(),
+                        max_disp,
+                        verlet_rebuilds: rebuilds,
+                    });
+                }
             }
             // Improvement bookkeeping (Algorithm 1 lines 11–16; the paper's
             // comparison direction is clearly meant to test improvement).
@@ -383,15 +552,28 @@ impl CollectivePacker {
             if no_improvement >= patience {
                 break;
             }
+            let t_opt = if metrics_on {
+                Some(Instant::now())
+            } else {
+                None
+            };
             let new_lr = scheduler.step(z);
             optimizer.set_lr(new_lr);
             optimizer.step(&mut coords, &grad);
+            if let Some(t) = t_opt {
+                let d = t.elapsed();
+                PHASE_OPTIMIZER.record_ns(d.as_nanos() as u64);
+                optimizer_time += d;
+            }
         }
 
         BatchOptimization {
             coords: best,
             best_fitness,
             steps,
+            verlet_rebuilds: self.workspace.verlet_rebuilds() - rebuilds_before,
+            gradient_time,
+            optimizer_time,
         }
     }
 }

@@ -87,7 +87,9 @@ pub mod zone;
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::baseline::{DropAndRollPacker, RsaPacker};
-    pub use crate::collective::{BatchStats, CollectivePacker, PackResult, StepTrace};
+    pub use crate::collective::{
+        BatchPhaseBreakdown, BatchStats, CollectivePacker, PackResult, StepTrace,
+    };
     pub use crate::container::Container;
     pub use crate::metrics::{contact_stats, psd_adherence, ContactStats};
     pub use crate::neighbor::{CsrGrid, FixedBed, NeighborStrategy, VerletLists, Workspace};

@@ -473,6 +473,8 @@ impl VerletLists {
         let n = radii.len();
         assert_eq!(c.len(), 3 * n, "coordinate buffer size mismatch");
         assert!(skin > 0.0, "skin must be positive");
+        let _span = adampack_telemetry::span(adampack_telemetry::Phase::VerletRebuild);
+        adampack_telemetry::metrics::VERLET_REBUILDS_TOTAL.inc();
         self.skin = skin;
         self.ref_coords.clear();
         self.ref_coords.extend_from_slice(c);

@@ -36,6 +36,7 @@
 //! count (the paper fixes seeds the same way, §IV).
 
 use adampack_geometry::{Axis, HalfSpaceSet, Vec3};
+use adampack_telemetry::metrics::EVALS_TOTAL;
 use rayon::par;
 
 use crate::neighbor::{CsrGrid, NeighborStrategy, VerletLists, Workspace, VERLET_THRESHOLD};
@@ -272,6 +273,7 @@ impl<'a> Objective<'a> {
             evals,
         } = ws;
         *evals += 1;
+        EVALS_TOTAL.inc();
         values.clear();
         values.resize(n, 0.0);
         let (intra, cross) = self.plans(c, batch_grid, positions, verlet);
@@ -301,6 +303,7 @@ impl<'a> Objective<'a> {
             evals,
         } = ws;
         *evals += 1;
+        EVALS_TOTAL.inc();
         values.clear();
         values.resize(n, 0.0);
         let (intra, cross) = self.plans(c, batch_grid, positions, verlet);
@@ -450,12 +453,28 @@ impl<'a> Objective<'a> {
     /// ([`NeighborStrategy::Verlet`] reports via the grid, which yields the
     /// same pair set).
     pub fn breakdown(&self, c: &[f64]) -> ObjectiveBreakdown {
+        let mut ws = Workspace::new();
+        self.breakdown_ws(c, &mut ws)
+    }
+
+    /// [`Self::breakdown`] with caller-owned scratch: reuses the
+    /// workspace's position buffer and batch grid, so per-step tracing
+    /// doesn't allocate fresh structures each evaluation.
+    ///
+    /// The batch grid is overwritten; both neighbor pipelines only use it
+    /// as build-time scratch, so a subsequent [`Self::value_and_grad_ws`]
+    /// call is unaffected.
+    pub fn breakdown_ws(&self, c: &[f64], ws: &mut Workspace) -> ObjectiveBreakdown {
         let n = self.radii.len();
         assert_eq!(c.len(), 3 * n, "coordinate buffer size mismatch");
         let mut b = ObjectiveBreakdown::default();
-        let intra_grid: Option<CsrGrid> = if self.use_intra_grid() {
-            let positions = coords::to_positions(c);
-            Some(CsrGrid::build(&positions, self.radii))
+        let intra_grid: Option<&CsrGrid> = if self.use_intra_grid() {
+            ws.positions.clear();
+            for i in 0..n {
+                ws.positions.push(coords::get(c, i));
+            }
+            ws.batch_grid.rebuild(&ws.positions, self.radii);
+            Some(&ws.batch_grid)
         } else {
             None
         };

@@ -8,7 +8,7 @@
 use std::fmt;
 
 use crate::analysis::mean_coordination;
-use crate::collective::PackResult;
+use crate::collective::{BatchPhaseBreakdown, PackResult};
 use crate::container::Container;
 use crate::metrics::{
     boundary_stats, contact_stats, container_density, psd_adherence, ContactStats, PsdAdherence,
@@ -38,6 +38,10 @@ pub struct QualityReport {
     pub mean_coordination: f64,
     /// Wall-clock seconds.
     pub seconds: f64,
+    /// Verlet candidate-list rebuilds summed over all batches.
+    pub verlet_rebuilds: usize,
+    /// Per-phase wall-clock summed over all batches.
+    pub phase: BatchPhaseBreakdown,
 }
 
 impl QualityReport {
@@ -67,6 +71,19 @@ impl QualityReport {
                 .map(|p| psd_adherence(&radii, p)),
             mean_coordination: mean_coordination(&result.particles, 0.05),
             seconds: result.duration.as_secs_f64(),
+            verlet_rebuilds: result.batches.iter().map(|b| b.verlet_rebuilds).sum(),
+            phase: result
+                .batches
+                .iter()
+                .fold(BatchPhaseBreakdown::default(), |acc, b| {
+                    BatchPhaseBreakdown {
+                        spawn: acc.spawn + b.phase.spawn,
+                        optimize: acc.optimize + b.phase.optimize,
+                        gradient: acc.gradient + b.phase.gradient,
+                        optimizer: acc.optimizer + b.phase.optimizer,
+                        acceptance: acc.acceptance + b.phase.acceptance,
+                    }
+                }),
         }
     }
 }
@@ -102,6 +119,16 @@ impl fmt::Display for QualityReport {
             )?;
         }
         writeln!(f, "mean coordination:  {:.2}", self.mean_coordination)?;
+        writeln!(f, "verlet rebuilds:    {}", self.verlet_rebuilds)?;
+        writeln!(
+            f,
+            "phase time:         spawn {:.2?}, optimize {:.2?} (gradient {:.2?}, optimizer {:.2?}), acceptance {:.2?}",
+            self.phase.spawn,
+            self.phase.optimize,
+            self.phase.gradient,
+            self.phase.optimizer,
+            self.phase.acceptance
+        )?;
         write!(f, "time:               {:.2} s", self.seconds)
     }
 }
@@ -138,6 +165,13 @@ mod tests {
         assert!(report.container_density > 0.0 && report.container_density < 0.75);
         assert!(report.mean_coordination >= 0.0);
         assert!(report.seconds > 0.0);
+        // Phase sums are consistent: the per-step splits nest inside the
+        // optimize phase.
+        assert!(report.phase.optimize >= report.phase.gradient);
+        assert!(
+            report.phase.optimize + report.phase.spawn + report.phase.acceptance
+                <= std::time::Duration::from_secs_f64(report.seconds)
+        );
         let psd_report = report.psd.expect("psd given");
         assert_eq!(psd_report.out_of_bound_fraction, 0.0);
         let critical = 1.36 / (report.packed as f64).sqrt();
@@ -161,6 +195,8 @@ mod tests {
             "boundary excess:",
             "psd adherence:",
             "mean coordination:",
+            "verlet rebuilds:",
+            "phase time:",
             "time:",
         ] {
             assert!(text.contains(needle), "missing '{needle}' in:\n{text}");

@@ -168,6 +168,8 @@ impl DemSimulation {
     /// drifted more than half the skin since the last build, not on a fixed
     /// cadence.
     pub fn step(&mut self) {
+        let _span = adampack_telemetry::span(adampack_telemetry::Phase::DemStep);
+        adampack_telemetry::metrics::DEM_STEPS_TOTAL.inc();
         let limit_sq = (0.5 * self.skin) * (0.5 * self.skin);
         let stale = self
             .positions

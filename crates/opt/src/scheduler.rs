@@ -282,6 +282,13 @@ impl LrScheduler for ReduceLrOnPlateau {
             if self.lr - new_lr > self.cfg.eps {
                 self.lr = new_lr;
                 self.reductions += 1;
+                adampack_telemetry::metrics::LR_REDUCTIONS_TOTAL.inc();
+                adampack_telemetry::debug!(
+                    "plateau: lr reduced to {:.3e} (reduction #{}, best metric {:.6})",
+                    self.lr,
+                    self.reductions,
+                    self.best,
+                );
             }
             self.cooldown_counter = self.cfg.cooldown;
             self.num_bad = 0;

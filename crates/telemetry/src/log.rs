@@ -1,0 +1,264 @@
+//! The leveled logging facade.
+//!
+//! A miniature, dependency-free analogue of the `log` crate: call sites use
+//! the [`error!`](crate::error), [`warn!`](crate::warn),
+//! [`info!`](crate::info), [`debug!`](crate::debug) and
+//! [`trace!`](crate::trace) macros; the global maximum level is one atomic
+//! load away, and a disabled level never constructs the message. The default
+//! sink writes `[level] message` lines to stderr; applications (or tests)
+//! can install their own [`LogSink`].
+
+use std::fmt;
+use std::io::Write;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::RwLock;
+
+/// Log severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum Level {
+    /// Unrecoverable or user-visible failures.
+    Error = 1,
+    /// Suspicious conditions the run survives.
+    Warn = 2,
+    /// High-level progress (default console level).
+    Info = 3,
+    /// Per-batch diagnostics.
+    Debug = 4,
+    /// Per-step firehose.
+    Trace = 5,
+}
+
+impl Level {
+    /// All levels, most severe first.
+    pub const ALL: [Level; 5] = [
+        Level::Error,
+        Level::Warn,
+        Level::Info,
+        Level::Debug,
+        Level::Trace,
+    ];
+
+    /// Parses a level name (case-insensitive). `"off"`/`"none"`/`"silent"`
+    /// parse as `None` (logging disabled); unknown names are an error.
+    pub fn parse(s: &str) -> Result<Option<Level>, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Ok(Some(Level::Error)),
+            "warn" | "warning" => Ok(Some(Level::Warn)),
+            "info" => Ok(Some(Level::Info)),
+            "debug" => Ok(Some(Level::Debug)),
+            "trace" => Ok(Some(Level::Trace)),
+            "off" | "none" | "silent" => Ok(None),
+            other => Err(format!(
+                "unknown log level '{other}' (use error|warn|info|debug|trace|off)"
+            )),
+        }
+    }
+
+    /// The canonical lower-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Receives enabled log events. Implementations must be cheap enough to run
+/// inline at the call site (the facade holds no queue).
+pub trait LogSink: Send + Sync {
+    /// Handles one already-level-filtered event. `target` is the emitting
+    /// module path.
+    fn log(&self, level: Level, target: &str, args: fmt::Arguments<'_>);
+}
+
+/// The default sink: `[level] message` to stderr, with the target appended
+/// for `debug`/`trace` events.
+struct StderrSink;
+
+impl LogSink for StderrSink {
+    fn log(&self, level: Level, target: &str, args: fmt::Arguments<'_>) {
+        let stderr = std::io::stderr();
+        let mut lock = stderr.lock();
+        let _ = if level >= Level::Debug {
+            writeln!(lock, "[{level}] {args} ({target})")
+        } else {
+            writeln!(lock, "[{level}] {args}")
+        };
+    }
+}
+
+/// 0 = off; 1..=5 map to [`Level`]. Default: info.
+static MAX_LEVEL: AtomicUsize = AtomicUsize::new(Level::Info as usize);
+
+static SINK: RwLock<Option<Box<dyn LogSink>>> = RwLock::new(None);
+
+/// Sets the global maximum level; `None` disables logging entirely.
+pub fn set_max_level(level: Option<Level>) {
+    MAX_LEVEL.store(level.map_or(0, |l| l as usize), Ordering::Relaxed);
+}
+
+/// The current maximum level (`None` = logging off).
+pub fn max_level() -> Option<Level> {
+    match MAX_LEVEL.load(Ordering::Relaxed) {
+        1 => Some(Level::Error),
+        2 => Some(Level::Warn),
+        3 => Some(Level::Info),
+        4 => Some(Level::Debug),
+        5 => Some(Level::Trace),
+        _ => None,
+    }
+}
+
+/// True when events at `level` would currently be delivered. One relaxed
+/// atomic load — safe to call in hot loops.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    level as usize <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Installs a custom sink (replacing the stderr default). Pass-through for
+/// tests capturing output; returns the previously installed sink, if any.
+pub fn set_sink(sink: Box<dyn LogSink>) -> Option<Box<dyn LogSink>> {
+    let mut guard = SINK.write().unwrap_or_else(|e| e.into_inner());
+    guard.replace(sink)
+}
+
+/// Delivers one event to the installed sink (or stderr). Call through the
+/// level macros, which perform the enabled check first.
+pub fn log_event(level: Level, target: &str, args: fmt::Arguments<'_>) {
+    let guard = SINK.read().unwrap_or_else(|e| e.into_inner());
+    match guard.as_ref() {
+        Some(sink) => sink.log(level, target, args),
+        None => StderrSink.log(level, target, args),
+    }
+}
+
+/// Logs at [`Level::Error`].
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => {
+        if $crate::enabled($crate::Level::Error) {
+            $crate::log_event($crate::Level::Error, module_path!(), format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Warn`].
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        if $crate::enabled($crate::Level::Warn) {
+            $crate::log_event($crate::Level::Warn, module_path!(), format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Info`].
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        if $crate::enabled($crate::Level::Info) {
+            $crate::log_event($crate::Level::Info, module_path!(), format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Debug`].
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        if $crate::enabled($crate::Level::Debug) {
+            $crate::log_event($crate::Level::Debug, module_path!(), format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Trace`].
+#[macro_export]
+macro_rules! trace {
+    ($($arg:tt)*) => {
+        if $crate::enabled($crate::Level::Trace) {
+            $crate::log_event($crate::Level::Trace, module_path!(), format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    /// Collects events for assertions.
+    pub struct Capture {
+        pub events: Arc<Mutex<Vec<(Level, String, String)>>>,
+    }
+
+    impl LogSink for Capture {
+        fn log(&self, level: Level, target: &str, args: fmt::Arguments<'_>) {
+            self.events
+                .lock()
+                .unwrap()
+                .push((level, target.to_string(), format!("{args}")));
+        }
+    }
+
+    #[test]
+    fn level_parse_round_trips() {
+        for l in Level::ALL {
+            assert_eq!(Level::parse(l.name()).unwrap(), Some(l));
+        }
+        assert_eq!(Level::parse("OFF").unwrap(), None);
+        assert_eq!(Level::parse("WARNING").unwrap(), Some(Level::Warn));
+        assert!(Level::parse("loud").is_err());
+    }
+
+    #[test]
+    fn level_ordering_matches_severity() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Info < Level::Trace);
+    }
+
+    #[test]
+    fn facade_filters_and_delivers() {
+        // This test owns the global logger state; the other tests here do
+        // not touch it (Rust runs tests in one process).
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let prev_sink = set_sink(Box::new(Capture {
+            events: events.clone(),
+        }));
+        let prev_level = max_level();
+
+        set_max_level(Some(Level::Info));
+        crate::info!("hello {}", 42);
+        crate::debug!("dropped");
+        assert!(enabled(Level::Info) && !enabled(Level::Debug));
+
+        set_max_level(None);
+        crate::error!("also dropped");
+
+        set_max_level(Some(Level::Trace));
+        crate::trace!("firehose");
+
+        let got = events.lock().unwrap().clone();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, Level::Info);
+        assert_eq!(got[0].2, "hello 42");
+        assert!(got[0].1.contains("log::tests"));
+        assert_eq!(got[1].0, Level::Trace);
+
+        set_max_level(prev_level);
+        if let Some(s) = prev_sink {
+            set_sink(s);
+        }
+    }
+}

@@ -1,0 +1,470 @@
+//! Counters, fixed-bucket histograms and phase-span timers.
+//!
+//! The metric set is **static and closed**: every counter and histogram the
+//! workspace records is declared here, so registration needs no locks or
+//! allocation and the full registry can be rendered as a Prometheus
+//! text-format snapshot at any time. Recording is a relaxed atomic add;
+//! with telemetry disabled ([`set_enabled`]`(false)`) a span costs one
+//! atomic load and skips the clock entirely.
+//!
+//! All durations are recorded in nanoseconds (`Instant`-based, monotonic).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Master switch for metric recording (spans, counters, histograms).
+/// Defaults to **on** — the recording path is the one the < 2 % overhead
+/// budget and the allocation-free proof apply to.
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Enables or disables all metric recording.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// True when metric recording is active.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Counter
+// ---------------------------------------------------------------------------
+
+/// A monotonic counter.
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    help: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Declares a counter (only this module declares them).
+    pub const fn new(name: &'static str, help: &'static str) -> Counter {
+        Counter {
+            name,
+            help,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if is_enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Metric name (Prometheus style, `adampack_*`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+/// Bucket upper bounds shared by all duration histograms, in nanoseconds:
+/// quarter-decade steps from 250 ns to 4 s, plus a +Inf overflow bucket.
+pub const DURATION_BOUNDS_NS: [u64; 13] = [
+    250,
+    1_000,
+    4_000,
+    16_000,
+    64_000,
+    256_000,
+    1_000_000,
+    4_000_000,
+    16_000_000,
+    64_000_000,
+    256_000_000,
+    1_000_000_000,
+    4_000_000_000,
+];
+
+const N_BUCKETS: usize = DURATION_BOUNDS_NS.len() + 1;
+
+/// A fixed-bucket histogram over nanosecond durations.
+#[derive(Debug)]
+pub struct Histogram {
+    name: &'static str,
+    help: &'static str,
+    /// Non-cumulative per-bucket counts; the last bucket is +Inf overflow.
+    buckets: [AtomicU64; N_BUCKETS],
+    sum_ns: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Declares a histogram over [`DURATION_BOUNDS_NS`].
+    pub const fn new(name: &'static str, help: &'static str) -> Histogram {
+        // Repeated const item: the standard trick for `[AtomicU64; N]` init.
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            name,
+            help,
+            buckets: [ZERO; N_BUCKETS],
+            sum_ns: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation (nanoseconds).
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        if !is_enabled() {
+            return;
+        }
+        let idx = DURATION_BOUNDS_NS
+            .iter()
+            .position(|&b| ns <= b)
+            .unwrap_or(N_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations, nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_ns() as f64 / n as f64
+        }
+    }
+
+    /// Metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum_ns.store(0, Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The static registry
+// ---------------------------------------------------------------------------
+
+/// Optimizer steps taken (all batches).
+pub static STEPS_TOTAL: Counter = Counter::new(
+    "adampack_optimizer_steps_total",
+    "Optimizer steps taken across all batches",
+);
+/// Objective evaluations (value or value+gradient).
+pub static EVALS_TOTAL: Counter = Counter::new(
+    "adampack_objective_evals_total",
+    "Objective evaluations served by the workspace",
+);
+/// Batches attempted.
+pub static BATCHES_TOTAL: Counter =
+    Counter::new("adampack_batches_total", "Batches attempted (all outcomes)");
+/// Batches accepted.
+pub static BATCHES_ACCEPTED_TOTAL: Counter = Counter::new(
+    "adampack_batches_accepted_total",
+    "Batches that passed the overlap-acceptance test",
+);
+/// Particles packed (accepted into the bed).
+pub static PARTICLES_PACKED_TOTAL: Counter = Counter::new(
+    "adampack_particles_packed_total",
+    "Particles accepted into the packing",
+);
+/// Verlet candidate-list (re)builds.
+pub static VERLET_REBUILDS_TOTAL: Counter = Counter::new(
+    "adampack_verlet_rebuilds_total",
+    "Verlet candidate-list rebuilds",
+);
+/// Learning-rate reductions by plateau schedulers.
+pub static LR_REDUCTIONS_TOTAL: Counter = Counter::new(
+    "adampack_lr_reductions_total",
+    "Learning-rate reductions performed by ReduceLROnPlateau",
+);
+/// DEM integration steps.
+pub static DEM_STEPS_TOTAL: Counter =
+    Counter::new("adampack_dem_steps_total", "DEM velocity-Verlet steps");
+/// Convergence-trace records emitted to a sink.
+pub static TRACE_RECORDS_TOTAL: Counter = Counter::new(
+    "adampack_trace_records_total",
+    "Convergence-trace step records delivered to sinks",
+);
+/// Trace records lost to ring-buffer overwrite.
+pub static TRACE_RECORDS_DROPPED_TOTAL: Counter = Counter::new(
+    "adampack_trace_records_dropped_total",
+    "Convergence-trace records overwritten before being drained",
+);
+
+/// Batch spawn time (initial-position generation).
+pub static PHASE_SPAWN: Histogram = Histogram::new(
+    "adampack_phase_spawn_nanoseconds",
+    "Per-batch initial-position generation time",
+);
+/// Fused objective value+gradient evaluation time.
+pub static PHASE_GRADIENT: Histogram = Histogram::new(
+    "adampack_phase_gradient_nanoseconds",
+    "Per-step fused objective value+gradient time",
+);
+/// Optimizer parameter-update time (scheduler + Adam step).
+pub static PHASE_OPTIMIZER: Histogram = Histogram::new(
+    "adampack_phase_optimizer_nanoseconds",
+    "Per-step scheduler + optimizer update time",
+);
+/// Verlet candidate-list rebuild time.
+pub static PHASE_VERLET_REBUILD: Histogram = Histogram::new(
+    "adampack_phase_verlet_rebuild_nanoseconds",
+    "Verlet candidate-list rebuild time",
+);
+/// Batch acceptance-test time.
+pub static PHASE_ACCEPTANCE: Histogram = Histogram::new(
+    "adampack_phase_acceptance_nanoseconds",
+    "Per-batch overlap-acceptance test time",
+);
+/// DEM step time.
+pub static PHASE_DEM_STEP: Histogram = Histogram::new(
+    "adampack_phase_dem_step_nanoseconds",
+    "DEM velocity-Verlet step time",
+);
+
+static COUNTERS: [&Counter; 10] = [
+    &STEPS_TOTAL,
+    &EVALS_TOTAL,
+    &BATCHES_TOTAL,
+    &BATCHES_ACCEPTED_TOTAL,
+    &PARTICLES_PACKED_TOTAL,
+    &VERLET_REBUILDS_TOTAL,
+    &LR_REDUCTIONS_TOTAL,
+    &DEM_STEPS_TOTAL,
+    &TRACE_RECORDS_TOTAL,
+    &TRACE_RECORDS_DROPPED_TOTAL,
+];
+
+static HISTOGRAMS: [&Histogram; 6] = [
+    &PHASE_SPAWN,
+    &PHASE_GRADIENT,
+    &PHASE_OPTIMIZER,
+    &PHASE_VERLET_REBUILD,
+    &PHASE_ACCEPTANCE,
+    &PHASE_DEM_STEP,
+];
+
+/// A packing-loop phase with a dedicated duration histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Initial-position generation for a batch.
+    Spawn,
+    /// Fused objective value+gradient evaluation.
+    Gradient,
+    /// Scheduler + optimizer parameter update.
+    OptimizerStep,
+    /// Verlet candidate-list rebuild.
+    VerletRebuild,
+    /// Batch overlap-acceptance test.
+    Acceptance,
+    /// DEM velocity-Verlet step.
+    DemStep,
+}
+
+impl Phase {
+    /// The histogram backing this phase.
+    pub fn histogram(self) -> &'static Histogram {
+        match self {
+            Phase::Spawn => &PHASE_SPAWN,
+            Phase::Gradient => &PHASE_GRADIENT,
+            Phase::OptimizerStep => &PHASE_OPTIMIZER,
+            Phase::VerletRebuild => &PHASE_VERLET_REBUILD,
+            Phase::Acceptance => &PHASE_ACCEPTANCE,
+            Phase::DemStep => &PHASE_DEM_STEP,
+        }
+    }
+}
+
+/// Times a phase from creation to drop, recording into its histogram.
+/// With telemetry disabled the guard is inert (no clock read).
+#[must_use = "the span measures until the guard is dropped"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    phase: Phase,
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// Elapsed time so far, nanoseconds (0 when disabled).
+    pub fn elapsed_ns(&self) -> u64 {
+        self.start.map_or(0, |s| s.elapsed().as_nanos() as u64)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.phase
+                .histogram()
+                .record_ns(start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Opens a phase span; record by dropping the guard.
+#[inline]
+pub fn span(phase: Phase) -> SpanGuard {
+    SpanGuard {
+        phase,
+        start: if is_enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        },
+    }
+}
+
+/// Renders every metric in the Prometheus text exposition format
+/// (counters as `counter`, histograms with cumulative `_bucket{le=…}`,
+/// `_sum` and `_count` series).
+pub fn prometheus_snapshot() -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for c in COUNTERS {
+        writeln!(out, "# HELP {} {}", c.name, c.help).unwrap();
+        writeln!(out, "# TYPE {} counter", c.name).unwrap();
+        writeln!(out, "{} {}", c.name, c.get()).unwrap();
+    }
+    for h in HISTOGRAMS {
+        writeln!(out, "# HELP {} {}", h.name, h.help).unwrap();
+        writeln!(out, "# TYPE {} histogram", h.name).unwrap();
+        let mut cumulative = 0u64;
+        for (i, bound) in DURATION_BOUNDS_NS.iter().enumerate() {
+            cumulative += h.buckets[i].load(Ordering::Relaxed);
+            writeln!(out, "{}_bucket{{le=\"{bound}\"}} {cumulative}", h.name).unwrap();
+        }
+        cumulative += h.buckets[N_BUCKETS - 1].load(Ordering::Relaxed);
+        writeln!(out, "{}_bucket{{le=\"+Inf\"}} {cumulative}", h.name).unwrap();
+        writeln!(out, "{}_sum {}", h.name, h.sum_ns()).unwrap();
+        writeln!(out, "{}_count {}", h.name, h.count()).unwrap();
+    }
+    out
+}
+
+/// Resets every counter and histogram to zero (tests and benches).
+pub fn reset_all() {
+    for c in COUNTERS {
+        c.reset();
+    }
+    for h in HISTOGRAMS {
+        h.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is global; tests touching it run under one lock so the
+    // whole module stays order-independent.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let _g = LOCK.lock().unwrap();
+        reset_all();
+        set_enabled(true);
+        STEPS_TOTAL.inc();
+        STEPS_TOTAL.add(4);
+        assert_eq!(STEPS_TOTAL.get(), 5);
+        set_enabled(false);
+        STEPS_TOTAL.inc();
+        assert_eq!(STEPS_TOTAL.get(), 5, "disabled counter must not move");
+        set_enabled(true);
+        reset_all();
+        assert_eq!(STEPS_TOTAL.get(), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let _g = LOCK.lock().unwrap();
+        reset_all();
+        set_enabled(true);
+        PHASE_GRADIENT.record_ns(100); // le=250
+        PHASE_GRADIENT.record_ns(250); // le=250 (inclusive bound)
+        PHASE_GRADIENT.record_ns(500_000); // le=1e6
+        PHASE_GRADIENT.record_ns(10_000_000_000); // overflow bucket
+        assert_eq!(PHASE_GRADIENT.count(), 4);
+        assert_eq!(
+            PHASE_GRADIENT.sum_ns(),
+            100 + 250 + 500_000 + 10_000_000_000
+        );
+        assert!(PHASE_GRADIENT.mean_ns() > 0.0);
+        let snap = prometheus_snapshot();
+        assert!(snap.contains("adampack_phase_gradient_nanoseconds_bucket{le=\"250\"} 2"));
+        assert!(snap.contains("adampack_phase_gradient_nanoseconds_bucket{le=\"+Inf\"} 4"));
+        assert!(snap.contains("adampack_phase_gradient_nanoseconds_count 4"));
+        reset_all();
+    }
+
+    #[test]
+    fn spans_record_into_their_phase() {
+        let _g = LOCK.lock().unwrap();
+        reset_all();
+        set_enabled(true);
+        {
+            let guard = span(Phase::Spawn);
+            std::hint::black_box(());
+            assert!(guard.elapsed_ns() < 1_000_000_000);
+        }
+        assert_eq!(PHASE_SPAWN.count(), 1);
+
+        set_enabled(false);
+        {
+            let _guard = span(Phase::Spawn);
+        }
+        assert_eq!(PHASE_SPAWN.count(), 1, "disabled span must not record");
+        set_enabled(true);
+        reset_all();
+    }
+
+    #[test]
+    fn snapshot_lists_every_metric_with_headers() {
+        let _g = LOCK.lock().unwrap();
+        let snap = prometheus_snapshot();
+        for c in COUNTERS {
+            assert!(snap.contains(&format!("# TYPE {} counter", c.name())));
+        }
+        for h in HISTOGRAMS {
+            assert!(snap.contains(&format!("# TYPE {} histogram", h.name())));
+        }
+    }
+}

@@ -4,6 +4,12 @@
 //! Verified with a counting `#[global_allocator]` wrapped around the system
 //! allocator; the counter only runs while the measured window is active, so
 //! test-harness allocations don't pollute it.
+//!
+//! The measured window deliberately runs with telemetry **enabled** and
+//! exercises the full per-step observability surface — a phase span, the
+//! step counter and a trace-ring push — proving the instrumentation keeps
+//! the hot loop allocation-free (spans and counters are atomics, the ring
+//! is preallocated).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -99,11 +105,26 @@ fn steady_state_steps_do_not_allocate() {
         opt.step(&mut coords, &grad);
     }
 
-    // Measured window: steps continue from the warm state.
+    // Telemetry on, with a preallocated trace ring large enough that no
+    // record is dropped inside the window.
+    adampack_telemetry::set_enabled(true);
+    let mut ring = adampack_telemetry::TraceRing::with_capacity(128);
+
+    // Measured window: steps continue from the warm state, instrumented the
+    // way `CollectivePacker` instruments them.
     ALLOCS.store(0, Ordering::SeqCst);
     ARMED.store(true, Ordering::SeqCst);
-    for _ in 0..100 {
-        let _ = objective.value_and_grad_ws(&coords, &mut grad, &mut ws);
+    for step in 0..100u64 {
+        let span = adampack_telemetry::span(adampack_telemetry::Phase::Gradient);
+        let z = objective.value_and_grad_ws(&coords, &mut grad, &mut ws);
+        drop(span);
+        adampack_telemetry::metrics::STEPS_TOTAL.inc();
+        ring.push(adampack_telemetry::StepRecord {
+            step,
+            loss: z,
+            ..adampack_telemetry::StepRecord::default()
+        });
+        let _span = adampack_telemetry::span(adampack_telemetry::Phase::OptimizerStep);
         opt.step(&mut coords, &grad);
     }
     ARMED.store(false, Ordering::SeqCst);
@@ -116,5 +137,11 @@ fn steady_state_steps_do_not_allocate() {
     assert!(
         ws.evals() >= 500,
         "workspace should have served every evaluation"
+    );
+    assert_eq!(ring.len(), 100, "every step record landed in the ring");
+    assert_eq!(ring.dropped(), 0, "no record was overwritten");
+    assert!(
+        adampack_telemetry::metrics::PHASE_GRADIENT.count() >= 100,
+        "spans recorded into the gradient histogram"
     );
 }
