@@ -2,14 +2,29 @@
 //!
 //! The paper packs 10,000 particles (batch 500) in a 2×2×2 box on a
 //! 128-core MeluXina node and reports a 7.93× speedup at 64 cores — strong
-//! but sub-linear scaling, because only the objective/gradient kernels
-//! parallelize while the optimizer update and batch management stay serial.
+//! but sub-linear scaling, because part of the per-batch work stays serial.
 //! This binary reruns the same packing under Rayon thread pools of
-//! increasing size and prints both series (Fig. 6: time, Fig. 7: speedup).
+//! increasing size and prints both series (Fig. 6: time, Fig. 7: speedup),
+//! plus the telemetry per-phase wall-clock breakdown (grid build, Verlet
+//! rebuild, gradient, optimizer, spawn, acceptance) and the serial fraction
+//! measured from Amdahl's law, `s = (p/S − 1)/(p − 1)` at `p` threads.
+//!
+//! Results are also written to `target/experiments/BENCH_threads.json`.
 
 use adampack_bench::{aggregate, cli, csv_writer, secs, timed, write_row};
 use adampack_core::prelude::*;
 use adampack_geometry::{shapes, Vec3};
+use adampack_telemetry::metrics;
+use std::io::Write;
+
+const PHASES: [(&str, &metrics::Histogram); 6] = [
+    ("grid_build", &metrics::PHASE_GRID_BUILD),
+    ("verlet_rebuild", &metrics::PHASE_VERLET_REBUILD),
+    ("gradient", &metrics::PHASE_GRADIENT),
+    ("optimizer", &metrics::PHASE_OPTIMIZER),
+    ("spawn", &metrics::PHASE_SPAWN),
+    ("acceptance", &metrics::PHASE_ACCEPTANCE),
+];
 
 fn main() {
     let full = cli::flag("--full");
@@ -30,22 +45,31 @@ fn main() {
     let container = Container::from_mesh(&mesh).expect("box hull");
     let psd = Psd::constant(radius);
 
+    // Phase spans only record while metrics are enabled.
+    adampack_telemetry::set_enabled(true);
+
     println!("# Figs. 6/7 — packing time and speedup vs CPU cores");
     println!("# particles = {n}, radius = {radius}, batch = 500, repeats = {repeats}");
     println!(
-        "{:>8} {:>12} {:>12} {:>12} {:>10}",
-        "threads", "mean_s", "min_s", "max_s", "speedup"
+        "{:>8} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "threads", "mean_s", "min_s", "max_s", "speedup", "serial_f"
     );
 
     let (path, mut csv) = csv_writer("fig6_thread_scaling").expect("csv");
-    write_row(&mut csv, &["threads,mean_s,min_s,max_s,speedup".into()]).unwrap();
+    write_row(
+        &mut csv,
+        &["threads,mean_s,min_s,max_s,speedup,serial_fraction".into()],
+    )
+    .unwrap();
 
+    let mut rows = String::new();
     let mut t1 = None;
     for &threads in &thread_counts {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(threads)
             .build()
             .expect("thread pool");
+        metrics::reset_all();
         let mut times = Vec::new();
         for rep in 0..repeats {
             let params = PackingParams {
@@ -60,23 +84,67 @@ fn main() {
                 timed(|| pool.install(|| CollectivePacker::new(container, params).pack(&psd)));
             times.push(secs(elapsed));
         }
+        // Per-phase wall-clock summed over the repeats, averaged per run.
+        let phase_s: Vec<(&str, f64)> = PHASES
+            .iter()
+            .map(|(name, h)| (*name, h.sum_ns() as f64 * 1e-9 / repeats as f64))
+            .collect();
         let a = aggregate(&times);
         let base = *t1.get_or_insert(a.mean);
         let speedup = base / a.mean;
+        // Amdahl: S = 1 / (s + (1−s)/p)  ⇒  s = (p/S − 1)/(p − 1).
+        let serial_fraction = if threads > 1 {
+            Some((threads as f64 / speedup - 1.0) / (threads as f64 - 1.0))
+        } else {
+            None
+        };
+        let serial_text = serial_fraction.map_or("-".into(), |s| format!("{s:.3}"));
         println!(
-            "{threads:>8} {:>12.3} {:>12.3} {:>12.3} {speedup:>10.2}",
+            "{threads:>8} {:>12.3} {:>12.3} {:>12.3} {speedup:>10.2} {serial_text:>10}",
             a.mean, a.min, a.max
         );
+        let breakdown = phase_s
+            .iter()
+            .map(|(name, s)| format!("{name} {s:.3}s"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!("         phases/run: {breakdown}");
         write_row(
             &mut csv,
             &[format!(
-                "{threads},{},{},{},{speedup}",
-                a.mean, a.min, a.max
+                "{threads},{},{},{},{speedup},{}",
+                a.mean,
+                a.min,
+                a.max,
+                serial_fraction.map_or("".into(), |s| s.to_string())
             )],
         )
         .unwrap();
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        let phase_json = phase_s
+            .iter()
+            .map(|(name, s)| format!("\"{name}_s\": {s:.6}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        rows.push_str(&format!(
+            "    {{\"threads\": {threads}, \"mean_s\": {:.6}, \"min_s\": {:.6}, \
+             \"max_s\": {:.6}, \"speedup\": {speedup:.4}, \"serial_fraction\": {}, \
+             {phase_json}}}",
+            a.mean,
+            a.min,
+            a.max,
+            serial_fraction.map_or("null".into(), |s| format!("{s:.4}")),
+        ));
     }
+    let dir = std::path::Path::new("target/experiments");
+    std::fs::create_dir_all(dir).expect("create target/experiments");
+    let json_path = dir.join("BENCH_threads.json");
+    let mut f = std::fs::File::create(&json_path).expect("create BENCH_threads.json");
+    writeln!(f, "{{\n  \"rows\": [\n{rows}\n  ]\n}}").expect("write json");
     println!("# series written to {}", path.display());
+    println!("# json written to {}", json_path.display());
     println!(
         "# expected shape: monotone speedup with decaying efficiency (paper: 7.93x at 64 cores)"
     );

@@ -95,6 +95,11 @@ pub struct PackOptions {
     pub metrics_out: Option<PathBuf>,
     /// Console log level (`--log-level`).
     pub log_level: Option<ConsoleLevel>,
+    /// Worker threads for the parallel phases (`--threads`); 0 defers to
+    /// the configuration's `params.threads` (itself 0 = one per hardware
+    /// thread). Purely a performance knob: results are bitwise identical
+    /// for any value.
+    pub threads: usize,
 }
 
 /// Runs a packing described by a configuration file and optionally writes
@@ -127,6 +132,32 @@ pub fn run_pack_opts(config_path: &Path, opts: &PackOptions) -> Result<RunSummar
         .clone()
         .or_else(|| cfg.telemetry.metrics_out.clone());
 
+    // Thread-pool wiring, installed once for the whole run: the CLI flag
+    // wins over the YAML `params.threads`, and 0 means one worker per
+    // hardware thread. Purely a performance knob — results are bitwise
+    // identical for any count.
+    let threads = if opts.threads > 0 {
+        opts.threads
+    } else {
+        cfg.params.threads
+    };
+    let mut builder = rayon::ThreadPoolBuilder::new();
+    if threads > 0 {
+        builder = builder.num_threads(threads);
+    }
+    let pool = builder
+        .build()
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    pool.install(|| run_pack_configured(&cfg, opts, trace_out, metrics_out))
+}
+
+/// The packing driver proper, run inside the installed thread pool.
+fn run_pack_configured(
+    cfg: &PackingConfig,
+    opts: &PackOptions,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+) -> Result<RunSummary, CliError> {
     let mesh = adampack_io::read_stl_file(&cfg.container_path)
         .map_err(|e| CliError::Geometry(e.to_string()))?;
     let container = Container::from_mesh(&mesh).map_err(|e| CliError::Geometry(e.to_string()))?;

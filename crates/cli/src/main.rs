@@ -14,6 +14,7 @@ USAGE:
     adampack pack <config.yaml> [--out <file.{csv,vtk,xyz}>]
                   [--trace-out <run.jsonl>] [--metrics-out <metrics.prom>]
                   [--log-level <error|warn|info|debug|trace|off>]
+                  [--threads <n>]
     adampack info <config.yaml>
     adampack help
 
@@ -26,6 +27,10 @@ Flags override the configuration's `telemetry:` block: --trace-out
 streams a per-step JSONL record (loss terms, gradient norm, lr, max
 displacement), --metrics-out writes a Prometheus-style counter and
 histogram snapshot after the run.
+
+--threads overrides the configuration's `params.threads` worker count
+for the parallel phases (0 = one per hardware thread). Results are
+bitwise identical for any value.
 ";
 
 fn main() -> ExitCode {
@@ -56,6 +61,16 @@ fn dispatch(args: Vec<String>) -> Result<(), CliError> {
                     "--out" => opts.out = Some(value("--out")?),
                     "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
                     "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
+                    "--threads" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| CliError::Usage("--threads requires a count".into()))?;
+                        opts.threads = v.parse().map_err(|_| {
+                            CliError::Usage(format!(
+                                "--threads expects a non-negative integer, got '{v}'"
+                            ))
+                        })?;
+                    }
                     "--log-level" => {
                         let v = it.next().ok_or_else(|| {
                             CliError::Usage("--log-level requires a level".into())

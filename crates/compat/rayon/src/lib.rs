@@ -3,8 +3,8 @@
 //! The build environment has no registry access, so the workspace vendors
 //! the slice of `rayon` it actually needs: a persistent thread pool with a
 //! [`ThreadPoolBuilder`]/[`ThreadPool::install`] thread-count override, and
-//! the flat data-parallel primitives in [`par`] used by the objective and
-//! DEM kernels.
+//! the flat data-parallel primitives in [`par`] used by the objective, grid,
+//! optimizer and DEM kernels.
 //!
 //! Unlike `rayon`'s work-stealing deques, parallel regions here partition
 //! the index space into **contiguous static chunks** claimed from a shared
@@ -12,8 +12,15 @@
 //! output slot from exactly one task and reduces partial values
 //! sequentially afterwards, so the static partition keeps results
 //! bitwise-identical for any thread count while still spreading the work.
+//!
+//! Wake-ups are chained rather than broadcast: posting a region wakes one
+//! worker, and each worker that claims a job wakes the next only while
+//! unclaimed jobs remain. Short regions whose poster drains every chunk
+//! itself therefore cost one futex wake instead of a thundering herd —
+//! the dominant overhead when the pool is wider than the machine.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
 use std::thread;
@@ -36,7 +43,11 @@ struct BoardState {
     n_jobs: usize,
     cursor: usize,
     done: usize,
-    panicked: bool,
+    /// First captured panic payload and the index of the job that raised it.
+    /// The payload is re-thrown on the posting thread when the region ends;
+    /// the `Box` is the only allocation and happens exclusively on the
+    /// panic path.
+    panic: Option<(Box<dyn Any + Send>, usize)>,
 }
 
 struct Board {
@@ -83,6 +94,17 @@ pub fn current_num_threads() -> usize {
         .unwrap_or_else(hardware_threads)
 }
 
+/// The parallelism a region can actually realize: the configured pool width
+/// capped by the hardware thread count. A pool wider than the machine buys
+/// no concurrency — the extra workers only time-slice against each other —
+/// so regions size their job count by this instead of the raw width, and
+/// results stay bitwise identical either way (chunking never affects
+/// values, only scheduling). Setting `RAYON_NUM_THREADS` raises the
+/// hardware figure, which forces genuine oversubscription for testing.
+pub fn effective_parallelism() -> usize {
+    current_num_threads().min(hardware_threads())
+}
+
 fn pool() -> &'static Pool {
     static POOL: OnceLock<Pool> = OnceLock::new();
     POOL.get_or_init(|| Pool {
@@ -92,7 +114,7 @@ fn pool() -> &'static Pool {
                 n_jobs: 0,
                 cursor: 0,
                 done: 0,
-                panicked: false,
+                panic: None,
             }),
             work: Condvar::new(),
             finished: Condvar::new(),
@@ -102,17 +124,23 @@ fn pool() -> &'static Pool {
     })
 }
 
+fn record_panic(st: &mut BoardState, payload: Box<dyn Any + Send>, k: usize) {
+    if st.panic.is_none() {
+        st.panic = Some((payload, k));
+    }
+}
+
 fn worker_loop(board: &'static Board) {
     IN_WORKER.with(|w| w.set(true));
     loop {
-        let (job, k) = {
+        let (job, k, more) = {
             let mut st = board.state.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 match st.job {
                     Some(job) if st.cursor < st.n_jobs => {
                         let k = st.cursor;
                         st.cursor += 1;
-                        break (job, k);
+                        break (job, k, st.cursor < st.n_jobs);
                     }
                     _ => {
                         st = board.work.wait(st).unwrap_or_else(|e| e.into_inner());
@@ -120,13 +148,18 @@ fn worker_loop(board: &'static Board) {
                 }
             }
         };
+        // Chain the wake-up: rouse one more worker only while unclaimed jobs
+        // remain, instead of broadcasting to the whole pool on every region.
+        if more {
+            board.work.notify_one();
+        }
         // SAFETY: the region owner waits until `done == n_jobs`, which we
         // only report after the call returns, so the closure is alive here.
-        let ok = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(k) })).is_ok();
+        let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(k) }));
         let mut st = board.state.lock().unwrap_or_else(|e| e.into_inner());
         st.done += 1;
-        if !ok {
-            st.panicked = true;
+        if let Err(payload) = outcome {
+            record_panic(&mut st, payload, k);
         }
         if st.done == st.n_jobs {
             board.finished.notify_all();
@@ -158,9 +191,11 @@ fn ensure_workers(target: usize) {
 /// Runs `job(0..n_jobs)` across the pool, blocking until every job
 /// completed. Falls back to a sequential loop for trivial sizes, for a
 /// one-thread configuration, and for nested calls from inside a worker.
-/// Performs no heap allocation on the steady-state path.
+/// Performs no heap allocation on the steady-state path. A panic in any
+/// job is captured and re-thrown on the posting thread once the region
+/// has quiesced.
 fn run_region(n_jobs: usize, job: &(dyn Fn(usize) + Sync)) {
-    let threads = current_num_threads();
+    let threads = effective_parallelism();
     if n_jobs <= 1 || threads <= 1 || IN_WORKER.with(|w| w.get()) {
         for k in 0..n_jobs {
             job(k);
@@ -180,9 +215,9 @@ fn run_region(n_jobs: usize, job: &(dyn Fn(usize) + Sync)) {
         st.n_jobs = n_jobs;
         st.cursor = 0;
         st.done = 0;
-        st.panicked = false;
-        p.board.work.notify_all();
+        st.panic = None;
     }
+    p.board.work.notify_one();
     // The posting thread participates too.
     loop {
         let k = {
@@ -194,26 +229,28 @@ fn run_region(n_jobs: usize, job: &(dyn Fn(usize) + Sync)) {
             st.cursor += 1;
             k
         };
-        let ok = catch_unwind(AssertUnwindSafe(|| job(k))).is_ok();
+        let outcome = catch_unwind(AssertUnwindSafe(|| job(k)));
         let mut st = p.board.state.lock().unwrap_or_else(|e| e.into_inner());
         st.done += 1;
-        if !ok {
-            st.panicked = true;
+        if let Err(payload) = outcome {
+            record_panic(&mut st, payload, k);
         }
         if st.done == st.n_jobs {
             p.board.finished.notify_all();
         }
     }
-    let panicked = {
+    let panic = {
         let mut st = p.board.state.lock().unwrap_or_else(|e| e.into_inner());
         while st.done < st.n_jobs {
             st = p.board.finished.wait(st).unwrap_or_else(|e| e.into_inner());
         }
         st.job = None;
-        st.panicked
+        st.panic.take()
     };
-    if panicked {
-        panic!("a parallel job panicked");
+    if let Some((payload, _k)) = panic {
+        // The payload already carries the chunk's index range when it came
+        // through one of the `par` primitives (see `annotate_chunk`).
+        resume_unwind(payload);
     }
 }
 
@@ -225,9 +262,12 @@ fn run_region(n_jobs: usize, job: &(dyn Fn(usize) + Sync)) {
 ///
 /// All of them partition the index space into contiguous chunks, hand each
 /// chunk to one pool task, and guarantee one writer per output slot — the
-/// substrate for the workspace's bitwise-determinism contract.
+/// substrate for the workspace's bitwise-determinism contract. Reductions
+/// ([`map_reduce`]) additionally fix the partial shape as a function of the
+/// problem size alone, so the sequential combine gives the same float
+/// result for any thread count.
 pub mod par {
-    use super::{current_num_threads, run_region};
+    use super::{catch_unwind, effective_parallelism, resume_unwind, run_region, AssertUnwindSafe};
 
     /// Raw slice view that can cross the job boundary. Disjointness of the
     /// per-job subranges is what makes handing out `&mut` views sound.
@@ -248,6 +288,11 @@ pub mod par {
             debug_assert!(start + len <= self.len);
             std::slice::from_raw_parts_mut(self.ptr.add(start), len)
         }
+        /// SAFETY: callers must write each index from exactly one task.
+        unsafe fn write(&self, idx: usize, value: T) {
+            debug_assert!(idx < self.len);
+            *self.ptr.add(idx) = value;
+        }
     }
 
     #[inline]
@@ -262,7 +307,30 @@ pub mod par {
 
     #[inline]
     fn job_count(n: usize) -> usize {
-        current_num_threads().min(n).max(1)
+        effective_parallelism().min(n).max(1)
+    }
+
+    fn payload_text(payload: &(dyn std::any::Any + Send)) -> &str {
+        payload
+            .downcast_ref::<&'static str>()
+            .copied()
+            .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+            .unwrap_or("non-string panic payload")
+    }
+
+    /// Runs a chunk body, annotating any panic with the chunk's index range
+    /// before letting it unwind to the board (and from there to the posting
+    /// thread). Uses `resume_unwind` so the panic hook does not fire twice —
+    /// the original panic site already reported itself.
+    #[inline]
+    fn annotate_chunk<R>(start: usize, end: usize, body: impl FnOnce() -> R) -> R {
+        match catch_unwind(AssertUnwindSafe(body)) {
+            Ok(r) => r,
+            Err(payload) => resume_unwind(Box::new(format!(
+                "parallel chunk over indices {start}..{end} panicked: {}",
+                payload_text(&*payload)
+            ))),
+        }
     }
 
     /// Calls `f(i, &mut items[i])` for every `i`, in parallel.
@@ -278,9 +346,11 @@ pub mod par {
             let (start, len) = chunk_bounds(n, jobs, k);
             // SAFETY: chunk_bounds windows are pairwise disjoint.
             let window = unsafe { raw.window(start, len) };
-            for (off, slot) in window.iter_mut().enumerate() {
-                f(start + off, slot);
-            }
+            annotate_chunk(start, start + len, || {
+                for (off, slot) in window.iter_mut().enumerate() {
+                    f(start + off, slot);
+                }
+            });
         });
     }
 
@@ -305,13 +375,119 @@ pub mod par {
             // SAFETY: windows derived from disjoint slot ranges.
             let wa = unsafe { raw_a.window(start * chunk, len * chunk) };
             let wb = unsafe { raw_b.window(start, len) };
-            for off in 0..len {
-                f(
-                    start + off,
-                    &mut wa[off * chunk..(off + 1) * chunk],
-                    &mut wb[off],
-                );
-            }
+            annotate_chunk(start, start + len, || {
+                for off in 0..len {
+                    f(
+                        start + off,
+                        &mut wa[off * chunk..(off + 1) * chunk],
+                        &mut wb[off],
+                    );
+                }
+            });
+        });
+    }
+
+    /// Calls `f(i, &mut a[i], &mut b[i])` for every `i`, in parallel.
+    ///
+    /// Panics unless the slices have equal length.
+    pub fn for_each_slot_zip2<A, B, F>(a: &mut [A], b: &mut [B], f: F)
+    where
+        A: Send,
+        B: Send,
+        F: Fn(usize, &mut A, &mut B) + Sync,
+    {
+        assert_eq!(a.len(), b.len(), "zipped slice length mismatch");
+        let n = a.len();
+        let jobs = job_count(n);
+        let raw_a = RawSlice::new(a);
+        let raw_b = RawSlice::new(b);
+        run_region(jobs, &|k| {
+            let (start, len) = chunk_bounds(n, jobs, k);
+            // SAFETY: disjoint windows of each slice.
+            let wa = unsafe { raw_a.window(start, len) };
+            let wb = unsafe { raw_b.window(start, len) };
+            annotate_chunk(start, start + len, || {
+                for off in 0..len {
+                    f(start + off, &mut wa[off], &mut wb[off]);
+                }
+            });
+        });
+    }
+
+    /// Calls `f(i, &mut a[i], &mut b[i], &mut c[i])` for every `i`, in
+    /// parallel. The three-buffer optimizer-state shape (params + two
+    /// moment vectors).
+    pub fn for_each_slot_zip3<A, B, C, F>(a: &mut [A], b: &mut [B], c: &mut [C], f: F)
+    where
+        A: Send,
+        B: Send,
+        C: Send,
+        F: Fn(usize, &mut A, &mut B, &mut C) + Sync,
+    {
+        assert_eq!(a.len(), b.len(), "zipped slice length mismatch");
+        assert_eq!(a.len(), c.len(), "zipped slice length mismatch");
+        let n = a.len();
+        let jobs = job_count(n);
+        let raw_a = RawSlice::new(a);
+        let raw_b = RawSlice::new(b);
+        let raw_c = RawSlice::new(c);
+        run_region(jobs, &|k| {
+            let (start, len) = chunk_bounds(n, jobs, k);
+            // SAFETY: disjoint windows of each slice.
+            let wa = unsafe { raw_a.window(start, len) };
+            let wb = unsafe { raw_b.window(start, len) };
+            let wc = unsafe { raw_c.window(start, len) };
+            annotate_chunk(start, start + len, || {
+                for off in 0..len {
+                    f(start + off, &mut wa[off], &mut wb[off], &mut wc[off]);
+                }
+            });
+        });
+    }
+
+    /// Calls `f(i, &mut a[i], &mut b[i], &mut c[i], &mut d[i])` for every
+    /// `i`, in parallel. The four-buffer AMSGrad shape (params + m + v +
+    /// v_max).
+    pub fn for_each_slot_zip4<A, B, C, D, F>(
+        a: &mut [A],
+        b: &mut [B],
+        c: &mut [C],
+        d: &mut [D],
+        f: F,
+    ) where
+        A: Send,
+        B: Send,
+        C: Send,
+        D: Send,
+        F: Fn(usize, &mut A, &mut B, &mut C, &mut D) + Sync,
+    {
+        assert_eq!(a.len(), b.len(), "zipped slice length mismatch");
+        assert_eq!(a.len(), c.len(), "zipped slice length mismatch");
+        assert_eq!(a.len(), d.len(), "zipped slice length mismatch");
+        let n = a.len();
+        let jobs = job_count(n);
+        let raw_a = RawSlice::new(a);
+        let raw_b = RawSlice::new(b);
+        let raw_c = RawSlice::new(c);
+        let raw_d = RawSlice::new(d);
+        run_region(jobs, &|k| {
+            let (start, len) = chunk_bounds(n, jobs, k);
+            // SAFETY: disjoint windows of each slice.
+            let wa = unsafe { raw_a.window(start, len) };
+            let wb = unsafe { raw_b.window(start, len) };
+            let wc = unsafe { raw_c.window(start, len) };
+            let wd = unsafe { raw_d.window(start, len) };
+            annotate_chunk(start, start + len, || {
+                for off in 0..len {
+                    f(
+                        start + off,
+                        &mut wa[off],
+                        &mut wb[off],
+                        &mut wc[off],
+                        &mut wd[off],
+                    );
+                }
+            });
         });
     }
 
@@ -322,6 +498,211 @@ pub mod par {
         F: Fn(usize) -> T + Sync,
     {
         for_each_slot(out, |i, slot| *slot = f(i));
+    }
+
+    /// Upper bound on the number of reduction partials (and thus on the
+    /// useful parallelism of one [`map_reduce`] call).
+    const MAX_PARTIALS: usize = 64;
+
+    /// Chunked parallel reduction with a **fixed-shape sequential combine**.
+    ///
+    /// The index space `0..n` is split into `ceil(n / block)` blocks
+    /// (capped at [`MAX_PARTIALS`]); `map(start, end)` produces one partial
+    /// per block in parallel, and the partials are folded **sequentially in
+    /// block order** with `combine`. Because the block layout depends only
+    /// on `n` and `block` — never on the thread count — the float result is
+    /// bitwise identical for any pool width. Keep `block` a constant at
+    /// each call site; tuning it per-run would break that guarantee.
+    ///
+    /// `block` trades scheduling overhead against parallelism: use a small
+    /// block for expensive per-element maps and a large one for cheap
+    /// arithmetic reductions.
+    pub fn map_reduce<R, M, C>(n: usize, block: usize, identity: R, map: M, combine: C) -> R
+    where
+        R: Copy + Send,
+        M: Fn(usize, usize) -> R + Sync,
+        C: Fn(R, R) -> R,
+    {
+        assert!(block > 0, "block size must be positive");
+        if n == 0 {
+            return identity;
+        }
+        let blocks = n.div_ceil(block).min(MAX_PARTIALS).max(1);
+        let mut partials = [identity; MAX_PARTIALS];
+        let raw = RawSlice::new(&mut partials[..blocks]);
+        run_region(blocks, &|k| {
+            let (start, len) = chunk_bounds(n, blocks, k);
+            // SAFETY: one writer per partial slot.
+            let slot = unsafe { raw.window(k, 1) };
+            slot[0] = annotate_chunk(start, start + len, || map(start, start + len));
+        });
+        partials[..blocks]
+            .iter()
+            .fold(identity, |acc, &p| combine(acc, p))
+    }
+
+    /// Below this many keys the counting sort runs the classic one-pass
+    /// serial algorithm — the parallel version pays two sweeps plus a
+    /// histogram transpose, which only amortizes on larger inputs.
+    const PAR_SORT_MIN: usize = 4096;
+    /// Cap on scatter tasks: per-chunk histograms cost
+    /// `jobs * n_keys` scratch words.
+    const MAX_SORT_JOBS: usize = 16;
+    /// Cap on total scratch (in `u32`s) the parallel path may request;
+    /// `jobs` is halved until the per-chunk histograms fit.
+    const SORT_SCRATCH_CAP: usize = 1 << 22;
+
+    /// Stable parallel counting sort: sorts the indices `0..keys.len()` by
+    /// `keys[i]` (each `< n_keys`) into `out`, ascending index within equal
+    /// keys, and fills `starts` with the `n_keys + 1` CSR bucket offsets.
+    ///
+    /// The parallel path builds per-chunk histograms in `scratch`
+    /// (`jobs * n_keys` words, reused across calls), scans them
+    /// sequentially into absolute write cursors, then scatters in parallel
+    /// — each chunk owns disjoint destination ranges, so the output is
+    /// identical to the serial sort for **any** chunk count. The building
+    /// block behind `CsrGrid` rebinning.
+    pub fn counting_sort_by_key(
+        keys: &[u32],
+        n_keys: usize,
+        starts: &mut Vec<u32>,
+        out: &mut Vec<u32>,
+        scratch: &mut Vec<u32>,
+    ) {
+        let n = keys.len();
+        starts.clear();
+        starts.resize(n_keys + 1, 0);
+        out.clear();
+        out.resize(n, 0);
+        if n == 0 {
+            return;
+        }
+        let mut jobs = if n < PAR_SORT_MIN {
+            1
+        } else {
+            job_count(n).min(MAX_SORT_JOBS)
+        };
+        while jobs > 1 && jobs * n_keys > SORT_SCRATCH_CAP {
+            jobs /= 2;
+        }
+        if jobs <= 1 {
+            // One-pass serial sort: counts at key+1, inclusive scan, scatter
+            // using starts as cursors, then shift right to restore offsets.
+            for &k in keys {
+                starts[k as usize + 1] += 1;
+            }
+            for k in 0..n_keys {
+                starts[k + 1] += starts[k];
+            }
+            for (i, &k) in keys.iter().enumerate() {
+                let slot = &mut starts[k as usize];
+                out[*slot as usize] = i as u32;
+                *slot += 1;
+            }
+            for k in (1..=n_keys).rev() {
+                starts[k] = starts[k - 1];
+            }
+            starts[0] = 0;
+            return;
+        }
+        scratch.clear();
+        scratch.resize(jobs * n_keys, 0);
+        let raw_scratch = RawSlice::new(scratch);
+        // Pass 1: per-chunk histograms (each task owns one scratch row).
+        run_region(jobs, &|c| {
+            // SAFETY: row `c` is written by task `c` alone.
+            let row = unsafe { raw_scratch.window(c * n_keys, n_keys) };
+            let (start, len) = chunk_bounds(n, jobs, c);
+            annotate_chunk(start, start + len, || {
+                row.fill(0);
+                for &k in &keys[start..start + len] {
+                    row[k as usize] += 1;
+                }
+            });
+        });
+        // Sequential scan in (key, chunk) order: bucket offsets into
+        // `starts`, per-chunk histogram cells into absolute write cursors.
+        let mut total = 0u32;
+        for k in 0..n_keys {
+            starts[k] = total;
+            for c in 0..jobs {
+                let cell = &mut scratch[c * n_keys + k];
+                let count = *cell;
+                *cell = total;
+                total += count;
+            }
+        }
+        starts[n_keys] = total;
+        debug_assert_eq!(total as usize, n);
+        // Pass 2: parallel scatter. Chunk `c`'s cursors cover destination
+        // ranges disjoint from every other chunk's, and scanning the chunk
+        // in ascending `i` keeps equal keys in ascending index order — the
+        // same output the serial sort produces.
+        let raw_scratch = RawSlice::new(scratch);
+        let raw_out = RawSlice::new(out);
+        run_region(jobs, &|c| {
+            // SAFETY: row `c` is written by task `c` alone.
+            let row = unsafe { raw_scratch.window(c * n_keys, n_keys) };
+            let (start, len) = chunk_bounds(n, jobs, c);
+            annotate_chunk(start, start + len, || {
+                for i in start..start + len {
+                    let k = keys[i] as usize;
+                    let pos = row[k] as usize;
+                    row[k] += 1;
+                    // SAFETY: cursor ranges are pairwise disjoint.
+                    unsafe { raw_out.write(pos, i as u32) };
+                }
+            });
+        });
+    }
+
+    /// Calls `f(i, a_row, b_row)` for every CSR row `i`, in parallel, where
+    /// `a_row = &mut a[a_starts[i]..a_starts[i+1]]` and likewise for `b`.
+    /// The parallel-fill shape of a two-list candidate rebuild: offsets are
+    /// computed first (counts + prefix sum), then every row window is
+    /// disjoint and can be filled concurrently.
+    ///
+    /// `a_starts` and `b_starts` must be monotone with
+    /// `a_starts[0] == 0 == b_starts[0]`, one more entry than there are
+    /// rows, and final entries equal to the respective slice lengths.
+    pub fn for_each_csr_row_zip<A, B, F>(
+        a_starts: &[u32],
+        a: &mut [A],
+        b_starts: &[u32],
+        b: &mut [B],
+        f: F,
+    ) where
+        A: Send,
+        B: Send,
+        F: Fn(usize, &mut [A], &mut [B]) + Sync,
+    {
+        assert!(!a_starts.is_empty(), "starts need a leading 0 entry");
+        let n = a_starts.len() - 1;
+        assert_eq!(b_starts.len(), n + 1, "starts length mismatch");
+        assert_eq!(a.len(), a_starts[n] as usize, "entry slice length mismatch");
+        assert_eq!(b.len(), b_starts[n] as usize, "entry slice length mismatch");
+        let jobs = job_count(n);
+        let raw_a = RawSlice::new(a);
+        let raw_b = RawSlice::new(b);
+        run_region(jobs, &|k| {
+            let (start, len) = chunk_bounds(n, jobs, k);
+            let (a_lo, a_hi) = (a_starts[start] as usize, a_starts[start + len] as usize);
+            let (b_lo, b_hi) = (b_starts[start] as usize, b_starts[start + len] as usize);
+            // SAFETY: row ranges of disjoint chunks are disjoint (starts
+            // are monotone).
+            let wa = unsafe { raw_a.window(a_lo, a_hi - a_lo) };
+            let wb = unsafe { raw_b.window(b_lo, b_hi - b_lo) };
+            annotate_chunk(start, start + len, || {
+                let (mut a_off, mut b_off) = (0usize, 0usize);
+                for i in start..start + len {
+                    let la = (a_starts[i + 1] - a_starts[i]) as usize;
+                    let lb = (b_starts[i + 1] - b_starts[i]) as usize;
+                    f(i, &mut wa[a_off..a_off + la], &mut wb[b_off..b_off + lb]);
+                    a_off += la;
+                    b_off += lb;
+                }
+            });
+        });
     }
 }
 
@@ -394,13 +775,24 @@ impl ThreadPool {
 
 /// Glob-import surface; re-exports the flat primitives.
 pub mod prelude {
-    pub use crate::par::{fill_with, for_each_chunk_zip, for_each_slot};
+    pub use crate::par::{
+        counting_sort_by_key, fill_with, for_each_chunk_zip, for_each_csr_row_zip, for_each_slot,
+        for_each_slot_zip2, for_each_slot_zip3, for_each_slot_zip4, map_reduce,
+    };
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn with_threads<R>(threads: usize, op: impl FnOnce() -> R) -> R {
+        ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(op)
+    }
 
     #[test]
     fn for_each_slot_visits_every_index_once() {
@@ -431,6 +823,30 @@ mod tests {
     }
 
     #[test]
+    fn slot_zips_visit_all_lanes() {
+        let n = 1537;
+        with_threads(4, || {
+            let (mut a, mut b, mut c, mut d) =
+                (vec![0i64; n], vec![0i64; n], vec![0i64; n], vec![0i64; n]);
+            par::for_each_slot_zip2(&mut a, &mut b, |i, a, b| {
+                *a = i as i64;
+                *b = -(i as i64);
+            });
+            par::for_each_slot_zip3(&mut b, &mut c, &mut d, |i, b, c, d| {
+                *c = *b * 2;
+                *d = i as i64 + 1;
+            });
+            let mut e = vec![0i64; n];
+            par::for_each_slot_zip4(&mut a, &mut c, &mut d, &mut e, |_, a, c, d, e| {
+                *e = *a + *c + *d;
+            });
+            for i in 0..n as i64 {
+                assert_eq!(e[i as usize], i + (-i * 2) + (i + 1));
+            }
+        });
+    }
+
+    #[test]
     fn install_overrides_thread_count() {
         let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
         assert_eq!(pool.current_num_threads(), 3);
@@ -449,11 +865,7 @@ mod tests {
     #[test]
     fn results_identical_across_thread_counts() {
         let run = |threads: usize| {
-            let pool = ThreadPoolBuilder::new()
-                .num_threads(threads)
-                .build()
-                .unwrap();
-            pool.install(|| {
+            with_threads(threads, || {
                 let mut v = vec![0.0f64; 5000];
                 par::fill_with(&mut v, |i| (i as f64).sin());
                 v
@@ -464,6 +876,111 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.to_bits(), y.to_bits());
         }
+    }
+
+    #[test]
+    fn map_reduce_is_bitwise_stable_across_thread_counts() {
+        let data: Vec<f64> = (0..10_001).map(|i| ((i as f64) * 0.37).sin()).collect();
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                par::map_reduce(
+                    data.len(),
+                    128,
+                    0.0f64,
+                    |start, end| data[start..end].iter().map(|x| x * x).sum::<f64>(),
+                    |a, b| a + b,
+                )
+            })
+        };
+        let base = run(1);
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(base.to_bits(), run(threads).to_bits());
+        }
+        // And the value is right (within fp tolerance of the plain sum).
+        let serial: f64 = data.iter().map(|x| x * x).sum();
+        assert!((base - serial).abs() <= 1e-9 * serial.abs());
+    }
+
+    #[test]
+    fn map_reduce_empty_returns_identity() {
+        let r = par::map_reduce(0, 64, -1.0f64, |_, _| panic!("no blocks"), |a, _| a);
+        assert_eq!(r, -1.0);
+    }
+
+    fn reference_sort(keys: &[u32], n_keys: usize) -> (Vec<u32>, Vec<u32>) {
+        let mut buckets = vec![Vec::new(); n_keys];
+        for (i, &k) in keys.iter().enumerate() {
+            buckets[k as usize].push(i as u32);
+        }
+        let mut starts = vec![0u32; n_keys + 1];
+        let mut out = Vec::new();
+        for (k, b) in buckets.iter().enumerate() {
+            starts[k + 1] = starts[k] + b.len() as u32;
+            out.extend_from_slice(b);
+        }
+        (starts, out)
+    }
+
+    #[test]
+    fn counting_sort_matches_reference_and_is_stable() {
+        // Large enough to hit the parallel path, odd-sized, skewed keys.
+        let n = 9173;
+        let n_keys = 257;
+        let keys: Vec<u32> = (0..n).map(|i| ((i * i + 7 * i) % n_keys) as u32).collect();
+        let (ref_starts, ref_out) = reference_sort(&keys, n_keys);
+        for threads in [1usize, 2, 4, 8] {
+            with_threads(threads, || {
+                let (mut starts, mut out, mut scratch) = (Vec::new(), Vec::new(), Vec::new());
+                par::counting_sort_by_key(&keys, n_keys, &mut starts, &mut out, &mut scratch);
+                assert_eq!(starts, ref_starts, "threads = {threads}");
+                assert_eq!(out, ref_out, "threads = {threads}");
+            });
+        }
+    }
+
+    #[test]
+    fn counting_sort_small_input_uses_serial_path() {
+        let keys = [2u32, 0, 1, 2, 0];
+        let (ref_starts, ref_out) = reference_sort(&keys, 3);
+        let (mut starts, mut out, mut scratch) = (Vec::new(), Vec::new(), Vec::new());
+        par::counting_sort_by_key(&keys, 3, &mut starts, &mut out, &mut scratch);
+        assert_eq!(starts, ref_starts);
+        assert_eq!(out, ref_out);
+        assert!(scratch.is_empty(), "serial path needs no scratch");
+    }
+
+    #[test]
+    fn csr_row_zip_fills_disjoint_rows() {
+        let n = 513;
+        // Row i has i % 4 entries in `a` and (i + 1) % 3 in `b`.
+        let mut a_starts = vec![0u32];
+        let mut b_starts = vec![0u32];
+        for i in 0..n {
+            a_starts.push(a_starts[i] + (i % 4) as u32);
+            b_starts.push(b_starts[i] + ((i + 1) % 3) as u32);
+        }
+        with_threads(4, || {
+            let mut a = vec![0u32; a_starts[n] as usize];
+            let mut b = vec![0u32; b_starts[n] as usize];
+            par::for_each_csr_row_zip(&a_starts, &mut a, &b_starts, &mut b, |i, ra, rb| {
+                assert_eq!(ra.len(), i % 4);
+                assert_eq!(rb.len(), (i + 1) % 3);
+                for (off, slot) in ra.iter_mut().enumerate() {
+                    *slot = (i * 10 + off) as u32;
+                }
+                for (off, slot) in rb.iter_mut().enumerate() {
+                    *slot = (i * 100 + off) as u32;
+                }
+            });
+            for i in 0..n {
+                for off in 0..(i % 4) {
+                    assert_eq!(a[a_starts[i] as usize + off], (i * 10 + off) as u32);
+                }
+                for off in 0..((i + 1) % 3) {
+                    assert_eq!(b[b_starts[i] as usize + off], (i * 100 + off) as u32);
+                }
+            }
+        });
     }
 
     #[test]
@@ -494,5 +1011,65 @@ mod tests {
         for h in handles {
             assert!(h.join().unwrap());
         }
+    }
+
+    #[test]
+    fn panic_payload_carries_chunk_range() {
+        let caught = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                let mut v = vec![0usize; 1000];
+                par::for_each_slot(&mut v, |i, _| {
+                    if i == 777 {
+                        panic!("boom at {i}");
+                    }
+                });
+            });
+        })
+        .expect_err("the region must propagate the panic");
+        let msg = caught
+            .downcast_ref::<String>()
+            .expect("annotated payload is a String")
+            .clone();
+        assert!(
+            msg.contains("indices") && msg.contains("boom at 777"),
+            "message must carry the chunk range and original payload: {msg}"
+        );
+    }
+
+    #[test]
+    fn panic_propagates_from_sequential_fallback_too() {
+        let caught = std::panic::catch_unwind(|| {
+            with_threads(1, || {
+                let mut v = vec![0usize; 16];
+                par::for_each_slot(&mut v, |i, _| {
+                    if i == 3 {
+                        panic!("seq boom");
+                    }
+                });
+            });
+        })
+        .expect_err("sequential fallback must propagate too");
+        let msg = caught.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("0..16") && msg.contains("seq boom"), "{msg}");
+    }
+
+    #[test]
+    fn pool_survives_a_panicked_region() {
+        let _ = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                let mut v = vec![0usize; 512];
+                par::for_each_slot(&mut v, |i, _| {
+                    if i % 97 == 5 {
+                        panic!("multi boom");
+                    }
+                });
+            });
+        });
+        // The board must be clean: the next region completes normally.
+        with_threads(4, || {
+            let mut v = vec![0usize; 4096];
+            par::for_each_slot(&mut v, |i, s| *s = i + 1);
+            assert!(v.iter().enumerate().all(|(i, &x)| x == i + 1));
+        });
     }
 }

@@ -64,6 +64,10 @@ pub struct AlgoParams {
     pub batch_size: usize,
     /// RNG seed (`seed`), default 0.
     pub seed: u64,
+    /// Worker threads for the parallel phases (`threads`), default 0 =
+    /// one per hardware thread. Results are bitwise identical for any
+    /// value; this is purely a performance knob.
+    pub threads: usize,
 }
 
 impl Default for AlgoParams {
@@ -75,6 +79,7 @@ impl Default for AlgoParams {
             verbosity: 0,
             batch_size: 500,
             seed: 0,
+            threads: 0,
         }
     }
 }
@@ -314,6 +319,12 @@ impl PackingConfig {
             }
             if let Some(v) = p.get("seed").and_then(Value::as_i64) {
                 params.seed = v as u64;
+            }
+            if let Some(v) = p.get("threads").and_then(Value::as_i64) {
+                if v < 0 {
+                    return Err(field("params.threads must be non-negative"));
+                }
+                params.threads = v as usize;
             }
         }
 

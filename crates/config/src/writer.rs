@@ -24,6 +24,7 @@ pub fn to_yaml(cfg: &PackingConfig) -> String {
         verbosity,
         batch_size,
         seed,
+        threads,
     } = cfg.params;
     writeln!(s, "params:").unwrap();
     writeln!(s, "    lr: {lr}").unwrap();
@@ -32,6 +33,7 @@ pub fn to_yaml(cfg: &PackingConfig) -> String {
     writeln!(s, "    verbosity: {verbosity}").unwrap();
     writeln!(s, "    batch_size: {batch_size}").unwrap();
     writeln!(s, "    seed: {seed}").unwrap();
+    writeln!(s, "    threads: {threads}").unwrap();
     let axis = match cfg.gravity_axis {
         adampack_geometry::Axis::X => "x",
         adampack_geometry::Axis::Y => "y",
@@ -134,6 +136,7 @@ mod tests {
                 verbosity: 10,
                 batch_size: 500,
                 seed: 7,
+                threads: 4,
             },
             gravity_axis: Axis::Z,
             neighbor: NeighborConfig {

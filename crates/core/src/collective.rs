@@ -21,6 +21,7 @@ use adampack_telemetry::metrics::{
 use adampack_telemetry::{StepRecord, TraceRing, TraceSink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::par;
 
 use crate::container::Container;
 use crate::metrics::{boundary_stats, contact_stats_vs_fixed};
@@ -29,6 +30,11 @@ use crate::objective::Objective;
 use crate::params::{LrPolicy, PackingParams};
 use crate::particle::{coords, Particle};
 use crate::psd::Psd;
+
+/// Fixed block size for the tracer's parallel reductions. The partial
+/// layout depends only on the input length — never the pool width — so the
+/// reduced values are bitwise identical for any thread count.
+const REDUCE_BLOCK: usize = 1024;
 
 /// One optimizer step of a batch, for Fig. 3-style fitness traces.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -484,7 +490,17 @@ impl CollectivePacker {
             } else {
                 None
             };
-            let z = objective.value_and_grad_ws(&coords, &mut grad, &mut self.workspace);
+            // Traced steps use the fused kernel: value, gradient and term
+            // breakdown from one neighbor traversal, with a loss bitwise
+            // equal to the untraced call's.
+            let (z, breakdown) = if self.tracer.is_some() {
+                let (z, b) =
+                    objective.value_grad_breakdown_ws(&coords, &mut grad, &mut self.workspace);
+                (z, b)
+            } else {
+                let z = objective.value_and_grad_ws(&coords, &mut grad, &mut self.workspace);
+                (z, Default::default())
+            };
             if let Some(t) = t_grad {
                 let d = t.elapsed();
                 PHASE_GRADIENT.record_ns(d.as_nanos() as u64);
@@ -499,20 +515,35 @@ impl CollectivePacker {
                 });
             }
             if self.tracer.is_some() {
-                // Tracing pays for an extra breakdown pass per step; the
-                // record is a plain copy into the preallocated ring. The
-                // breakdown happens before the tracer is borrowed so the
-                // workspace stays available to it.
-                let b = objective.breakdown_ws(&coords, &mut self.workspace);
-                let grad_norm = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
+                let b = breakdown;
+                // Fixed-shape parallel reduction: the partial layout
+                // depends only on the length, so the norm is bitwise
+                // thread-independent.
+                let grad_norm = par::map_reduce(
+                    grad.len(),
+                    REDUCE_BLOCK,
+                    0.0,
+                    |s, e| grad[s..e].iter().map(|g| g * g).sum::<f64>(),
+                    |a, b| a + b,
+                )
+                .sqrt();
                 let rebuilds = self.workspace.verlet_rebuilds() as u64;
                 if let Some(tr) = self.tracer.as_mut() {
                     let max_disp = if tr.prev.len() == coords.len() {
-                        coords
-                            .iter()
-                            .zip(&tr.prev)
-                            .map(|(a, p)| (a - p).abs())
-                            .fold(0.0, f64::max)
+                        let (coords, prev) = (&coords, &tr.prev);
+                        par::map_reduce(
+                            coords.len(),
+                            REDUCE_BLOCK,
+                            0.0,
+                            |s, e| {
+                                coords[s..e]
+                                    .iter()
+                                    .zip(&prev[s..e])
+                                    .map(|(a, p)| (a - p).abs())
+                                    .fold(0.0, f64::max)
+                            },
+                            f64::max,
+                        )
                     } else {
                         0.0
                     };

@@ -7,10 +7,17 @@
 
 use adampack_geometry::{Aabb, HalfSpaceSet, Vec3};
 use adampack_overlap::DensityProbe;
+use rayon::par;
 
 use crate::neighbor::CsrGrid;
 use crate::particle::Particle;
 use crate::psd::Psd;
+
+/// Row block for the parallel pair reductions. Fixed (thread-independent),
+/// so per-block partials — and therefore the reduced statistics — are
+/// bitwise identical on any pool width. Inputs at or below one block take
+/// the exact serial summation order.
+const PAIR_BLOCK: usize = 256;
 
 /// Contact-overlap statistics over all overlapping sphere pairs.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -33,14 +40,23 @@ pub fn contact_stats(particles: &[Particle]) -> ContactStats {
         return ContactStats::default();
     }
     let grid = CsrGrid::build(&centers, &radii);
-    let mut stats = Accum::default();
-    for i in 0..centers.len() {
-        grid.for_neighbors(centers[i], radii[i], |j, cj, rj| {
-            if j > i {
-                stats.add_pair(centers[i], radii[i], cj, rj);
+    let stats = par::map_reduce(
+        centers.len(),
+        PAIR_BLOCK,
+        Accum::default(),
+        |s, e| {
+            let mut acc = Accum::default();
+            for i in s..e {
+                grid.for_neighbors(centers[i], radii[i], |j, cj, rj| {
+                    if j > i {
+                        acc.add_pair(centers[i], radii[i], cj, rj);
+                    }
+                });
             }
-        });
-    }
+            acc
+        },
+        Accum::merge,
+    );
     stats.finish()
 }
 
@@ -48,23 +64,43 @@ pub fn contact_stats(particles: &[Particle]) -> ContactStats {
 /// acceptance test of Algorithm 1 line 19.
 pub fn contact_stats_vs_fixed(centers: &[Vec3], radii: &[f64], fixed: &CsrGrid) -> ContactStats {
     assert_eq!(centers.len(), radii.len());
-    let mut stats = Accum::default();
-    // Batch-batch pairs.
-    for i in 0..centers.len() {
-        for j in (i + 1)..centers.len() {
-            stats.add_pair(centers[i], radii[i], centers[j], radii[j]);
-        }
-    }
-    // Batch-fixed pairs.
-    for i in 0..centers.len() {
-        fixed.for_neighbors(centers[i], radii[i], |_, cf, rf| {
-            stats.add_pair(centers[i], radii[i], cf, rf);
-        });
-    }
-    stats.finish()
+    let n = centers.len();
+    // Batch-batch rows then batch-fixed rows, each reduced over fixed row
+    // blocks so the statistics are bitwise thread-independent.
+    let intra = par::map_reduce(
+        n,
+        PAIR_BLOCK,
+        Accum::default(),
+        |s, e| {
+            let mut acc = Accum::default();
+            for i in s..e {
+                for j in (i + 1)..n {
+                    acc.add_pair(centers[i], radii[i], centers[j], radii[j]);
+                }
+            }
+            acc
+        },
+        Accum::merge,
+    );
+    let cross = par::map_reduce(
+        n,
+        PAIR_BLOCK,
+        Accum::default(),
+        |s, e| {
+            let mut acc = Accum::default();
+            for i in s..e {
+                fixed.for_neighbors(centers[i], radii[i], |_, cf, rf| {
+                    acc.add_pair(centers[i], radii[i], cf, rf);
+                });
+            }
+            acc
+        },
+        Accum::merge,
+    );
+    Accum::merge(intra, cross).finish()
 }
 
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 struct Accum {
     contacts: usize,
     sum_ratio: f64,
@@ -73,6 +109,16 @@ struct Accum {
 }
 
 impl Accum {
+    /// Order-preserving combine for the chunked reduction.
+    fn merge(a: Accum, b: Accum) -> Accum {
+        Accum {
+            contacts: a.contacts + b.contacts,
+            sum_ratio: a.sum_ratio + b.sum_ratio,
+            max_ratio: a.max_ratio.max(b.max_ratio),
+            sum_pen: a.sum_pen + b.sum_pen,
+        }
+    }
+
     #[inline]
     fn add_pair(&mut self, c1: Vec3, r1: f64, c2: Vec3, r2: f64) {
         let d = c1.distance(c2);
@@ -109,13 +155,22 @@ pub fn boundary_stats(centers: &[Vec3], radii: &[f64], hs: &HalfSpaceSet) -> (f6
     if centers.is_empty() {
         return (0.0, 0.0);
     }
-    let mut sum = 0.0;
-    let mut max: f64 = 0.0;
-    for (c, r) in centers.iter().zip(radii) {
-        let excess = hs.sphere_max_excess(*c, *r).max(0.0) / r;
-        sum += excess;
-        max = max.max(excess);
-    }
+    let (sum, max) = par::map_reduce(
+        centers.len(),
+        PAIR_BLOCK,
+        (0.0, 0.0),
+        |s, e| {
+            let mut sum = 0.0;
+            let mut max: f64 = 0.0;
+            for (c, r) in centers[s..e].iter().zip(&radii[s..e]) {
+                let excess = hs.sphere_max_excess(*c, *r).max(0.0) / r;
+                sum += excess;
+                max = max.max(excess);
+            }
+            (sum, max)
+        },
+        |a, b| (a.0 + b.0, a.1.max(b.1)),
+    );
     (sum / centers.len() as f64, max)
 }
 

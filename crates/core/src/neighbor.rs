@@ -32,7 +32,9 @@
 //! fixed seed gives bitwise-identical packings on any thread count.
 
 use adampack_geometry::{Aabb, Axis, Vec3};
+use rayon::par;
 
+use crate::objective::ObjectiveBreakdown;
 use crate::particle::{coords, Particle};
 
 /// How the objective searches for interacting sphere pairs.
@@ -64,6 +66,10 @@ const MAX_CELLS: usize = 1 << 21;
 const PENDING_FRACTION: usize = 4;
 const PENDING_MIN: usize = 64;
 
+/// Reduction block for AABB / max-radius scans. Fixed (thread-independent)
+/// so [`par::map_reduce`] partials have the same shape on any pool width.
+const SCAN_BLOCK: usize = 4096;
+
 // ---------------------------------------------------------------------------
 // CsrGrid
 // ---------------------------------------------------------------------------
@@ -92,6 +98,10 @@ pub struct CsrGrid {
     bounds: Aabb,
     /// Indices pushed since the last rebin; scanned linearly by queries.
     pending: Vec<u32>,
+    /// Per-sphere cell keys (rebin scratch, reused).
+    keys: Vec<u32>,
+    /// Per-chunk histogram scratch for the parallel counting sort.
+    sort_scratch: Vec<u32>,
 }
 
 impl Default for CsrGrid {
@@ -126,6 +136,8 @@ impl CsrGrid {
             max_radius: 0.0,
             bounds: Aabb::empty(),
             pending: Vec::new(),
+            keys: Vec::new(),
+            sort_scratch: Vec::new(),
         }
     }
 
@@ -136,11 +148,34 @@ impl CsrGrid {
         self.centers.extend_from_slice(centers);
         self.radii.clear();
         self.radii.extend_from_slice(radii);
-        self.max_radius = radii.iter().copied().fold(0.0, f64::max);
+        // min/max reductions are exact under any grouping, so the parallel
+        // fold matches the serial one bit for bit.
+        let (lo, hi, max_r) = par::map_reduce(
+            centers.len(),
+            SCAN_BLOCK,
+            (
+                Vec3::splat(f64::INFINITY),
+                Vec3::splat(f64::NEG_INFINITY),
+                0.0,
+            ),
+            |s, e| {
+                let mut lo = Vec3::splat(f64::INFINITY);
+                let mut hi = Vec3::splat(f64::NEG_INFINITY);
+                let mut max_r = 0.0f64;
+                for (&c, &r) in centers[s..e].iter().zip(&radii[s..e]) {
+                    lo = lo.min(c - Vec3::splat(r));
+                    hi = hi.max(c + Vec3::splat(r));
+                    max_r = max_r.max(r);
+                }
+                (lo, hi, max_r)
+            },
+            |a, b| (a.0.min(b.0), a.1.max(b.1), a.2.max(b.2)),
+        );
+        self.max_radius = max_r;
         self.bounds = Aabb::empty();
-        for (&c, &r) in centers.iter().zip(radii) {
-            self.bounds.expand_point(c + Vec3::splat(r));
-            self.bounds.expand_point(c - Vec3::splat(r));
+        if !centers.is_empty() {
+            self.bounds.expand_point(lo);
+            self.bounds.expand_point(hi);
         }
         self.rebin();
     }
@@ -173,14 +208,25 @@ impl CsrGrid {
             self.dims = [1, 1, 1];
             return;
         }
+        let _span = adampack_telemetry::span(adampack_telemetry::Phase::GridBuild);
         // Bin over the AABB of the centers (surfaces don't matter for
         // binning; `max_radius` widens the query window instead).
-        let mut lo = self.centers[0];
-        let mut hi = self.centers[0];
-        for &c in &self.centers[1..] {
-            lo = lo.min(c);
-            hi = hi.max(c);
-        }
+        let centers = &self.centers;
+        let (lo, hi) = par::map_reduce(
+            n,
+            SCAN_BLOCK,
+            (Vec3::splat(f64::INFINITY), Vec3::splat(f64::NEG_INFINITY)),
+            |s, e| {
+                let mut lo = centers[s];
+                let mut hi = centers[s];
+                for &c in &centers[s + 1..e] {
+                    lo = lo.min(c);
+                    hi = hi.max(c);
+                }
+                (lo, hi)
+            },
+            |a, b| (a.0.min(b.0), a.1.max(b.1)),
+        );
         let mut cell = (2.0 * self.max_radius).max(1e-9);
         let extent = hi - lo;
         let dims_for = |cell: f64| -> [i64; 3] {
@@ -206,37 +252,23 @@ impl CsrGrid {
         self.dims = dims;
         let ncells = (dims[0] * dims[1] * dims[2]) as usize;
 
-        self.cell_start.clear();
-        self.cell_start.resize(ncells + 1, 0);
-        for &c in &self.centers {
-            let k = self.cell_index(c);
-            self.cell_start[k + 1] += 1;
-        }
-        for k in 0..ncells {
-            self.cell_start[k + 1] += self.cell_start[k];
-        }
-        self.entries.clear();
-        self.entries.resize(n, 0);
-        // Scatter with the starts as cursors, then shift right to restore
-        // them (the standard scratch-free counting-sort finish).
-        for i in 0..n {
-            let k = self.cell_index(self.centers[i]);
-            self.entries[self.cell_start[k] as usize] = i as u32;
-            self.cell_start[k] += 1;
-        }
-        for k in (1..=ncells).rev() {
-            self.cell_start[k] = self.cell_start[k - 1];
-        }
-        self.cell_start[0] = 0;
-    }
-
-    /// Linear cell index of a binned center (clamped against FP edge cases).
-    #[inline]
-    fn cell_index(&self, p: Vec3) -> usize {
-        let ix = (((p.x - self.origin.x) * self.inv_cell) as i64).clamp(0, self.dims[0] - 1);
-        let iy = (((p.y - self.origin.y) * self.inv_cell) as i64).clamp(0, self.dims[1] - 1);
-        let iz = (((p.z - self.origin.z) * self.inv_cell) as i64).clamp(0, self.dims[2] - 1);
-        ((iz * self.dims[1] + iy) * self.dims[0] + ix) as usize
+        // Parallel key pass, then the shim's deterministic counting sort
+        // (per-chunk histograms → sequential scan → parallel scatter).
+        // Its output is entry-for-entry identical to a serial counting
+        // sort for any chunk count, so binning stays thread-independent.
+        let (origin, inv_cell) = (self.origin, self.inv_cell);
+        self.keys.clear();
+        self.keys.resize(n, 0);
+        par::fill_with(&mut self.keys, |i| {
+            cell_index_raw(centers[i], origin, inv_cell, dims) as u32
+        });
+        par::counting_sort_by_key(
+            &self.keys,
+            ncells,
+            &mut self.cell_start,
+            &mut self.entries,
+            &mut self.sort_scratch,
+        );
     }
 
     /// Number of indexed spheres.
@@ -332,6 +364,16 @@ impl CsrGrid {
     pub fn bounds(&self) -> Aabb {
         self.bounds
     }
+}
+
+/// Linear cell index with the grid parameters passed explicitly, so the
+/// parallel key pass can run while `self` is partially borrowed.
+#[inline]
+fn cell_index_raw(p: Vec3, origin: Vec3, inv_cell: f64, dims: [i64; 3]) -> usize {
+    let ix = (((p.x - origin.x) * inv_cell) as i64).clamp(0, dims[0] - 1);
+    let iy = (((p.y - origin.y) * inv_cell) as i64).clamp(0, dims[1] - 1);
+    let iz = (((p.z - origin.z) * inv_cell) as i64).clamp(0, dims[2] - 1);
+    ((iz * dims[1] + iy) * dims[0] + ix) as usize
 }
 
 // ---------------------------------------------------------------------------
@@ -481,11 +523,104 @@ impl VerletLists {
         self.rebuilds += 1;
 
         positions.clear();
-        for i in 0..n {
-            positions.push(coords::get(c, i));
-        }
+        positions.resize(n, Vec3::ZERO);
+        par::fill_with(positions, |i| coords::get(c, i));
         scratch.rebuild(positions, radii);
 
+        // Without real concurrency keep the single-pass builder: the
+        // parallel two-pass variant below re-runs every grid query once
+        // for the counts, which only pays for itself when the fill is
+        // shared across workers. Both paths emit identical lists (same
+        // per-row candidate order), so branching on achievable
+        // parallelism stays bitwise thread-independent.
+        if rayon::effective_parallelism() == 1 {
+            self.rebuild_rows_serial(radii, fixed, skin, scratch, positions);
+            return;
+        }
+        let positions: &[Vec3] = positions;
+        let scratch: &CsrGrid = scratch;
+
+        // Pass 1: per-particle candidate counts, written into the slot
+        // `start[i + 1]` so the prefix sum can run in place.
+        self.intra_start.clear();
+        self.intra_start.resize(n + 1, 0);
+        self.cross_start.clear();
+        self.cross_start.resize(n + 1, 0);
+        par::for_each_slot_zip2(
+            &mut self.intra_start[1..],
+            &mut self.cross_start[1..],
+            |i, intra_count, cross_count| {
+                let ci = positions[i];
+                let ri = radii[i];
+                // Intra candidates: cutoff rᵢ + rⱼ + skin. The grid
+                // query's reach of rᵢ + skin plus its internal r_max
+                // margin covers it.
+                let mut n_intra = 0u32;
+                scratch.for_neighbors(ci, ri + skin, |j, cj, rj| {
+                    if j != i && ci.distance_sq(cj) < (ri + rj + skin) * (ri + rj + skin) {
+                        n_intra += 1;
+                    }
+                });
+                *intra_count = n_intra;
+                let mut n_cross = 0u32;
+                fixed.for_neighbors(ci, ri + skin, |_, cf, rf| {
+                    if ci.distance_sq(cf) < (ri + rf + skin) * (ri + rf + skin) {
+                        n_cross += 1;
+                    }
+                });
+                *cross_count = n_cross;
+            },
+        );
+        for i in 0..n {
+            self.intra_start[i + 1] += self.intra_start[i];
+            self.cross_start[i + 1] += self.cross_start[i];
+        }
+
+        // Pass 2: each CSR row is filled by exactly one job, visiting
+        // candidates in the same deterministic query order as pass 1.
+        self.intra_entries.clear();
+        self.intra_entries.resize(self.intra_start[n] as usize, 0);
+        self.cross_entries.clear();
+        self.cross_entries.resize(self.cross_start[n] as usize, 0);
+        par::for_each_csr_row_zip(
+            &self.intra_start,
+            &mut self.intra_entries,
+            &self.cross_start,
+            &mut self.cross_entries,
+            |i, intra_row, cross_row| {
+                let ci = positions[i];
+                let ri = radii[i];
+                let mut w = 0;
+                scratch.for_neighbors(ci, ri + skin, |j, cj, rj| {
+                    if j != i && ci.distance_sq(cj) < (ri + rj + skin) * (ri + rj + skin) {
+                        intra_row[w] = j as u32;
+                        w += 1;
+                    }
+                });
+                debug_assert_eq!(w, intra_row.len(), "intra count/fill mismatch");
+                let mut w = 0;
+                fixed.for_neighbors(ci, ri + skin, |k, cf, rf| {
+                    if ci.distance_sq(cf) < (ri + rf + skin) * (ri + rf + skin) {
+                        cross_row[w] = k as u32;
+                        w += 1;
+                    }
+                });
+                debug_assert_eq!(w, cross_row.len(), "cross count/fill mismatch");
+            },
+        );
+    }
+
+    /// Single-pass list builder used on one-thread pools (no count pass;
+    /// entries are pushed as the grid queries visit them).
+    fn rebuild_rows_serial(
+        &mut self,
+        radii: &[f64],
+        fixed: &CsrGrid,
+        skin: f64,
+        scratch: &CsrGrid,
+        positions: &[Vec3],
+    ) {
+        let n = radii.len();
         self.intra_start.clear();
         self.intra_entries.clear();
         self.cross_start.clear();
@@ -540,6 +675,9 @@ impl VerletLists {
 pub struct Workspace {
     /// Per-particle partial objective values (reduced sequentially).
     pub(crate) values: Vec<f64>,
+    /// Per-particle breakdown partials for the fused traced evaluation
+    /// (reduced sequentially, like `values`).
+    pub(crate) breakdowns: Vec<ObjectiveBreakdown>,
     /// Batch cell grid (per-evaluation in grid mode, per-rebuild in
     /// Verlet mode).
     pub(crate) batch_grid: CsrGrid,

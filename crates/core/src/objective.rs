@@ -271,6 +271,7 @@ impl<'a> Objective<'a> {
             positions,
             verlet,
             evals,
+            ..
         } = ws;
         *evals += 1;
         EVALS_TOTAL.inc();
@@ -301,6 +302,7 @@ impl<'a> Objective<'a> {
             positions,
             verlet,
             evals,
+            ..
         } = ws;
         *evals += 1;
         EVALS_TOTAL.inc();
@@ -316,6 +318,59 @@ impl<'a> Objective<'a> {
         });
         // Sequential reduction keeps the result bitwise-deterministic.
         values.iter().sum()
+    }
+
+    /// Fused traced evaluation: value, gradient **and** the unweighted
+    /// term breakdown from one neighbor traversal, so a traced step pays
+    /// the same single sweep as an untraced one (the seed tracer re-ran
+    /// [`Self::breakdown_ws`] as a second full pass).
+    ///
+    /// The returned loss is bitwise identical to what
+    /// [`Self::value_and_grad_ws`] computes for the same inputs: the
+    /// per-particle value arithmetic is shared and the recording only adds
+    /// separate accumulators, never reorders the value ops.
+    pub fn value_grad_breakdown_ws(
+        &self,
+        c: &[f64],
+        grad: &mut [f64],
+        ws: &mut Workspace,
+    ) -> (f64, ObjectiveBreakdown) {
+        let n = self.radii.len();
+        assert_eq!(c.len(), 3 * n, "coordinate buffer size mismatch");
+        assert_eq!(grad.len(), 3 * n, "gradient buffer size mismatch");
+        let Workspace {
+            breakdowns,
+            batch_grid,
+            positions,
+            verlet,
+            evals,
+            ..
+        } = ws;
+        *evals += 1;
+        EVALS_TOTAL.inc();
+        breakdowns.clear();
+        breakdowns.resize(n, ObjectiveBreakdown::default());
+        let (intra, cross) = self.plans(c, batch_grid, positions, verlet);
+        par::for_each_chunk_zip(grad, 3, breakdowns, |i, gslot, bslot| {
+            let (v, g, mut b) = self.particle_term_impl::<true>(i, c, &intra, &cross);
+            gslot[0] = g.x;
+            gslot[1] = g.y;
+            gslot[2] = g.z;
+            b.total = v;
+            *bslot = b;
+        });
+        // Sequential reduction keeps every field bitwise-deterministic;
+        // `total` sums the exact per-particle values the untraced path
+        // reduces, in the same order.
+        let mut sum = ObjectiveBreakdown::default();
+        for b in breakdowns.iter() {
+            sum.penetration_intra += b.penetration_intra;
+            sum.penetration_cross += b.penetration_cross;
+            sum.altitude += b.altitude;
+            sum.exterior += b.exterior;
+            sum.total += b.total;
+        }
+        (sum.total, sum)
     }
 
     /// Refreshes the workspace structures the resolved strategy needs and
@@ -364,11 +419,30 @@ impl<'a> Objective<'a> {
         intra: &IntraPlan,
         cross: &CrossPlan,
     ) -> (f64, Vec3) {
+        let (v, g, _) = self.particle_term_impl::<false>(i, c, intra, cross);
+        (v, g)
+    }
+
+    /// The shared per-particle kernel. With `RECORD` the unweighted term
+    /// magnitudes are accumulated into a breakdown alongside the value —
+    /// as *extra* accumulators only, so the value/gradient FP sequence is
+    /// identical to the non-recording instantiation (the traced loss stays
+    /// bitwise equal to the untraced one). `breakdown.total` is left 0;
+    /// callers stamp it.
+    #[inline]
+    fn particle_term_impl<const RECORD: bool>(
+        &self,
+        i: usize,
+        c: &[f64],
+        intra: &IntraPlan,
+        cross: &CrossPlan,
+    ) -> (f64, Vec3, ObjectiveBreakdown) {
         let ObjectiveWeights { alpha, beta, gamma } = self.weights;
         let ci = coords::get(c, i);
         let ri = self.radii[i];
         let mut v = 0.0;
         let mut g = Vec3::ZERO;
+        let mut b = ObjectiveBreakdown::default();
 
         // Intra-batch penetration: row i of the ordered pair sum. Summing
         // rows reproduces the full ordered total; the gradient of that
@@ -381,6 +455,9 @@ impl<'a> Objective<'a> {
             let d = ci.distance(cj);
             if d < sum_r {
                 v += alpha * (sum_r - d);
+                if RECORD {
+                    b.penetration_intra += sum_r - d;
+                }
                 let dir = pair_direction(ci, cj, d, i, j);
                 // p_ij = sum_r − ‖cᵢ−cⱼ‖ ⇒ ∂p/∂cᵢ = −dir.
                 g -= dir * (2.0 * alpha);
@@ -408,6 +485,9 @@ impl<'a> Objective<'a> {
             let d = ci.distance(cf);
             if d < sum_r {
                 v += alpha * (sum_r - d);
+                if RECORD {
+                    b.penetration_cross += sum_r - d;
+                }
                 let dir = pair_direction(ci, cf, d, i, usize::MAX);
                 g -= dir * alpha;
             }
@@ -435,15 +515,22 @@ impl<'a> Objective<'a> {
             let excess = plane.sphere_excess(ci, ri);
             if excess > 0.0 {
                 v += gamma * excess;
+                if RECORD {
+                    b.exterior += excess;
+                }
                 g += plane.normal * gamma;
             }
         }
 
         // Altitude.
-        v += beta * self.axis.altitude(ci);
+        let altitude = self.axis.altitude(ci);
+        v += beta * altitude;
+        if RECORD {
+            b.altitude += altitude;
+        }
         g += self.axis.up() * beta;
 
-        (v, g)
+        (v, g, b)
     }
 
     /// Evaluates the individual terms (diagnostics; single-threaded).

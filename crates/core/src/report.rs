@@ -42,6 +42,8 @@ pub struct QualityReport {
     pub verlet_rebuilds: usize,
     /// Per-phase wall-clock summed over all batches.
     pub phase: BatchPhaseBreakdown,
+    /// Worker threads the parallel phases ran on.
+    pub threads: usize,
 }
 
 impl QualityReport {
@@ -84,6 +86,7 @@ impl QualityReport {
                         acceptance: acc.acceptance + b.phase.acceptance,
                     }
                 }),
+            threads: rayon::current_num_threads(),
         }
     }
 }
@@ -120,6 +123,7 @@ impl fmt::Display for QualityReport {
         }
         writeln!(f, "mean coordination:  {:.2}", self.mean_coordination)?;
         writeln!(f, "verlet rebuilds:    {}", self.verlet_rebuilds)?;
+        writeln!(f, "threads:            {}", self.threads)?;
         writeln!(
             f,
             "phase time:         spawn {:.2?}, optimize {:.2?} (gradient {:.2?}, optimizer {:.2?}), acceptance {:.2?}",
@@ -196,6 +200,7 @@ mod tests {
             "psd adherence:",
             "mean coordination:",
             "verlet rebuilds:",
+            "threads:",
             "phase time:",
             "time:",
         ] {

@@ -250,10 +250,13 @@ impl DemSimulation {
             f
         });
 
-        for i in 0..self.positions.len() {
-            self.velocities[i] += self.forces[i] * (dt / self.masses[i]);
-            self.positions[i] += self.velocities[i] * dt;
-        }
+        // Symplectic-Euler integration, one writer per slot: chunking
+        // cannot change the arithmetic.
+        let (forces, masses) = (&self.forces, &self.masses);
+        par::for_each_slot_zip2(&mut self.positions, &mut self.velocities, |i, p, v| {
+            *v += forces[i] * (dt / masses[i]);
+            *p += *v * dt;
+        });
         self.time += dt;
     }
 

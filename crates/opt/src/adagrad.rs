@@ -1,5 +1,7 @@
 //! AdaGrad (Duchi, Hazan & Singer, 2011).
 
+use rayon::par;
+
 use crate::optimizer::{check_sizes, Optimizer};
 
 /// Hyper-parameters for [`AdaGrad`].
@@ -62,11 +64,11 @@ impl Optimizer for AdaGrad {
             eps,
             weight_decay,
         } = self.cfg;
-        for i in 0..params.len() {
-            let g = grads[i] + weight_decay * params[i];
-            self.sum_sq[i] += g * g;
-            params[i] -= lr * g / (self.sum_sq[i].sqrt() + eps);
-        }
+        par::for_each_slot_zip2(params, &mut self.sum_sq, |i, p, sq| {
+            let g = grads[i] + weight_decay * *p;
+            *sq += g * g;
+            *p -= lr * g / (sq.sqrt() + eps);
+        });
     }
 
     fn lr(&self) -> f64 {

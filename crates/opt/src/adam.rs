@@ -1,6 +1,8 @@
 //! Adam [Kingma & Ba] and its AMSGrad variant [Reddi, Kale & Kumar] with
 //! PyTorch-compatible update semantics.
 
+use rayon::par;
+
 use crate::optimizer::{check_sizes, Optimizer};
 
 /// Hyper-parameters for [`Adam`]. Defaults match `torch.optim.Adam`.
@@ -128,22 +130,39 @@ impl Optimizer for Adam {
         let bc1 = 1.0 - beta1.powi(self.t as i32);
         let bc2 = 1.0 - beta2.powi(self.t as i32);
 
-        for i in 0..params.len() {
-            let g = grads[i] + weight_decay * params[i];
-            let m = beta1 * self.m[i] + (1.0 - beta1) * g;
-            let v = beta2 * self.v[i] + (1.0 - beta2) * g * g;
-            self.m[i] = m;
-            self.v[i] = v;
-            let v_eff = if amsgrad {
-                let vm = self.v_max[i].max(v);
-                self.v_max[i] = vm;
-                vm
-            } else {
-                v
-            };
-            let m_hat = m / bc1;
-            let denom = (v_eff / bc2).sqrt() + eps;
-            params[i] -= lr * m_hat / denom;
+        // Element-wise update, one writer per slot: parallel chunking
+        // cannot change the arithmetic, so the trajectory is bitwise
+        // identical for any thread count.
+        if amsgrad {
+            par::for_each_slot_zip4(
+                params,
+                &mut self.m,
+                &mut self.v,
+                &mut self.v_max,
+                |i, p, m, v, vm| {
+                    let g = grads[i] + weight_decay * *p;
+                    let m_new = beta1 * *m + (1.0 - beta1) * g;
+                    let v_new = beta2 * *v + (1.0 - beta2) * g * g;
+                    *m = m_new;
+                    *v = v_new;
+                    let v_eff = (*vm).max(v_new);
+                    *vm = v_eff;
+                    let m_hat = m_new / bc1;
+                    let denom = (v_eff / bc2).sqrt() + eps;
+                    *p -= lr * m_hat / denom;
+                },
+            );
+        } else {
+            par::for_each_slot_zip3(params, &mut self.m, &mut self.v, |i, p, m, v| {
+                let g = grads[i] + weight_decay * *p;
+                let m_new = beta1 * *m + (1.0 - beta1) * g;
+                let v_new = beta2 * *v + (1.0 - beta2) * g * g;
+                *m = m_new;
+                *v = v_new;
+                let m_hat = m_new / bc1;
+                let denom = (v_new / bc2).sqrt() + eps;
+                *p -= lr * m_hat / denom;
+            });
         }
     }
 

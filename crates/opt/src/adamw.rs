@@ -1,5 +1,7 @@
 //! AdamW (Loshchilov & Hutter, 2019): Adam with decoupled weight decay.
 
+use rayon::par;
+
 use crate::adam::{Adam, AdamConfig};
 use crate::optimizer::{check_sizes, Optimizer};
 
@@ -69,9 +71,7 @@ impl Optimizer for AdamW {
     fn step(&mut self, params: &mut [f64], grads: &[f64]) {
         check_sizes(self.inner.n_params(), params, grads);
         let shrink = 1.0 - self.inner.lr() * self.weight_decay;
-        for p in params.iter_mut() {
-            *p *= shrink;
-        }
+        par::for_each_slot(params, |_, p| *p *= shrink);
         self.inner.step(params, grads);
     }
 

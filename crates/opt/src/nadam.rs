@@ -1,5 +1,7 @@
 //! NAdam (Dozat, 2016): Adam with Nesterov momentum, PyTorch semantics.
 
+use rayon::par;
+
 use crate::optimizer::{check_sizes, Optimizer};
 
 /// Hyper-parameters for [`NAdam`]. Defaults match `torch.optim.NAdam`.
@@ -81,15 +83,15 @@ impl Optimizer for NAdam {
         self.mu_product = mu_product;
         let bc2 = 1.0 - beta2.powi(self.t as i32);
 
-        for i in 0..params.len() {
+        par::for_each_slot_zip3(params, &mut self.m, &mut self.v, |i, p, m, v| {
             let g = grads[i];
-            self.m[i] = beta1 * self.m[i] + (1.0 - beta1) * g;
-            self.v[i] = beta2 * self.v[i] + (1.0 - beta2) * g * g;
-            let denom = (self.v[i] / bc2).sqrt() + eps;
+            *m = beta1 * *m + (1.0 - beta1) * g;
+            *v = beta2 * *v + (1.0 - beta2) * g * g;
+            let denom = (*v / bc2).sqrt() + eps;
             // Nesterov blend of current gradient and next-step momentum.
-            params[i] -= lr * (1.0 - mu_t) / (1.0 - mu_product) * g / denom
-                + lr * mu_next / (1.0 - mu_product_next) * self.m[i] / denom;
-        }
+            *p -= lr * (1.0 - mu_t) / (1.0 - mu_product) * g / denom
+                + lr * mu_next / (1.0 - mu_product_next) * *m / denom;
+        });
     }
 
     fn lr(&self) -> f64 {

@@ -1,5 +1,7 @@
 //! RMSProp (Tieleman & Hinton, 2012).
 
+use rayon::par;
+
 use crate::optimizer::{check_sizes, Optimizer};
 
 /// Hyper-parameters for [`RmsProp`]. Defaults match `torch.optim.RMSprop`.
@@ -77,16 +79,21 @@ impl Optimizer for RmsProp {
             momentum,
             weight_decay,
         } = self.cfg;
-        for i in 0..params.len() {
-            let g = grads[i] + weight_decay * params[i];
-            self.sq_avg[i] = alpha * self.sq_avg[i] + (1.0 - alpha) * g * g;
-            let denom = self.sq_avg[i].sqrt() + eps;
-            if momentum > 0.0 {
-                self.buf[i] = momentum * self.buf[i] + g / denom;
-                params[i] -= lr * self.buf[i];
-            } else {
-                params[i] -= lr * g / denom;
-            }
+        if momentum > 0.0 {
+            par::for_each_slot_zip3(params, &mut self.sq_avg, &mut self.buf, |i, p, sq, buf| {
+                let g = grads[i] + weight_decay * *p;
+                *sq = alpha * *sq + (1.0 - alpha) * g * g;
+                let denom = sq.sqrt() + eps;
+                *buf = momentum * *buf + g / denom;
+                *p -= lr * *buf;
+            });
+        } else {
+            par::for_each_slot_zip2(params, &mut self.sq_avg, |i, p, sq| {
+                let g = grads[i] + weight_decay * *p;
+                *sq = alpha * *sq + (1.0 - alpha) * g * g;
+                let denom = sq.sqrt() + eps;
+                *p -= lr * g / denom;
+            });
         }
     }
 

@@ -1,5 +1,7 @@
 //! Stochastic gradient descent with optional (Nesterov) momentum.
 
+use rayon::par;
+
 use crate::optimizer::{check_sizes, Optimizer};
 
 /// Hyper-parameters for [`Sgd`]. Defaults match `torch.optim.SGD` with
@@ -76,16 +78,13 @@ impl Optimizer for Sgd {
             nesterov,
             weight_decay,
         } = self.cfg;
-        for i in 0..params.len() {
-            let g = grads[i] + weight_decay * params[i];
+        let first_step = self.t == 1;
+        par::for_each_slot_zip2(params, &mut self.velocity, |i, p, vel| {
+            let g = grads[i] + weight_decay * *p;
             let d = if momentum > 0.0 {
                 // PyTorch initializes the buffer with the first gradient.
-                let b = if self.t == 1 {
-                    g
-                } else {
-                    momentum * self.velocity[i] + g
-                };
-                self.velocity[i] = b;
+                let b = if first_step { g } else { momentum * *vel + g };
+                *vel = b;
                 if nesterov {
                     g + momentum * b
                 } else {
@@ -94,8 +93,8 @@ impl Optimizer for Sgd {
             } else {
                 g
             };
-            params[i] -= lr * d;
-        }
+            *p -= lr * d;
+        });
     }
 
     fn lr(&self) -> f64 {

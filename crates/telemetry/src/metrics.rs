@@ -259,6 +259,11 @@ pub static PHASE_DEM_STEP: Histogram = Histogram::new(
     "adampack_phase_dem_step_nanoseconds",
     "DEM velocity-Verlet step time",
 );
+/// CSR cell-grid (re)binning time.
+pub static PHASE_GRID_BUILD: Histogram = Histogram::new(
+    "adampack_phase_grid_build_nanoseconds",
+    "CSR cell-grid counting-sort rebin time",
+);
 
 static COUNTERS: [&Counter; 10] = [
     &STEPS_TOTAL,
@@ -273,13 +278,14 @@ static COUNTERS: [&Counter; 10] = [
     &TRACE_RECORDS_DROPPED_TOTAL,
 ];
 
-static HISTOGRAMS: [&Histogram; 6] = [
+static HISTOGRAMS: [&Histogram; 7] = [
     &PHASE_SPAWN,
     &PHASE_GRADIENT,
     &PHASE_OPTIMIZER,
     &PHASE_VERLET_REBUILD,
     &PHASE_ACCEPTANCE,
     &PHASE_DEM_STEP,
+    &PHASE_GRID_BUILD,
 ];
 
 /// A packing-loop phase with a dedicated duration histogram.
@@ -297,6 +303,8 @@ pub enum Phase {
     Acceptance,
     /// DEM velocity-Verlet step.
     DemStep,
+    /// CSR cell-grid counting-sort rebin.
+    GridBuild,
 }
 
 impl Phase {
@@ -309,6 +317,7 @@ impl Phase {
             Phase::VerletRebuild => &PHASE_VERLET_REBUILD,
             Phase::Acceptance => &PHASE_ACCEPTANCE,
             Phase::DemStep => &PHASE_DEM_STEP,
+            Phase::GridBuild => &PHASE_GRID_BUILD,
         }
     }
 }

@@ -10,6 +10,11 @@
 //! step counter and a trace-ring push — proving the instrumentation keeps
 //! the hot loop allocation-free (spans and counters are atomics, the ring
 //! is preallocated).
+//!
+//! The whole audit runs inside a 4-thread pool: parallel regions must post
+//! work to the persistent workers without allocating, and the window also
+//! covers the parallel grid rebuild and the fused value+gradient+breakdown
+//! traversal used by traced runs.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -52,6 +57,21 @@ static ALLOCATOR: CountingAlloc = CountingAlloc;
 
 #[test]
 fn steady_state_steps_do_not_allocate() {
+    // Post parallel regions from a 4-thread pool: worker spawning happens
+    // during warm-up, and steady-state job posting must not allocate. The
+    // shim caps effective width at the hardware thread count, so raise the
+    // cap first — a 1-core box would otherwise audit only the serial path.
+    if std::env::var_os("RAYON_NUM_THREADS").is_none() {
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+    }
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build()
+        .unwrap();
+    pool.install(steady_state_body);
+}
+
+fn steady_state_body() {
     let container = Container::from_mesh(&shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0))).unwrap();
     let mut rng = StdRng::seed_from_u64(5);
 
@@ -98,12 +118,23 @@ fn steady_state_steps_do_not_allocate() {
         coords.len(),
     );
 
+    // A separate grid rebuilt inside the measured window (the `fixed` grid
+    // stays borrowed by the objective). Same input every rebuild, so the
+    // key/histogram scratch reaches steady-state capacity after one pass.
+    let mut rebuilt = CsrGrid::build(&bed, &bed_radii);
+
     // Warm-up: fill every buffer to its steady-state capacity (including
-    // Verlet rebuilds triggered by real optimizer motion).
-    for _ in 0..400 {
-        let _ = objective.value_and_grad_ws(&coords, &mut grad, &mut ws);
+    // Verlet rebuilds triggered by real optimizer motion, and the
+    // per-particle breakdown buffer used by the fused traced path).
+    for step in 0..400 {
+        if step % 2 == 0 {
+            let _ = objective.value_and_grad_ws(&coords, &mut grad, &mut ws);
+        } else {
+            let _ = objective.value_grad_breakdown_ws(&coords, &mut grad, &mut ws);
+        }
         opt.step(&mut coords, &grad);
     }
+    rebuilt.rebuild(&bed, &bed_radii);
 
     // Telemetry on, with a preallocated trace ring large enough that no
     // record is dropped inside the window.
@@ -116,7 +147,13 @@ fn steady_state_steps_do_not_allocate() {
     ARMED.store(true, Ordering::SeqCst);
     for step in 0..100u64 {
         let span = adampack_telemetry::span(adampack_telemetry::Phase::Gradient);
-        let z = objective.value_and_grad_ws(&coords, &mut grad, &mut ws);
+        let z = if step % 2 == 0 {
+            objective.value_and_grad_ws(&coords, &mut grad, &mut ws)
+        } else {
+            objective
+                .value_grad_breakdown_ws(&coords, &mut grad, &mut ws)
+                .0
+        };
         drop(span);
         adampack_telemetry::metrics::STEPS_TOTAL.inc();
         ring.push(adampack_telemetry::StepRecord {
@@ -126,6 +163,10 @@ fn steady_state_steps_do_not_allocate() {
         });
         let _span = adampack_telemetry::span(adampack_telemetry::Phase::OptimizerStep);
         opt.step(&mut coords, &grad);
+        if step % 10 == 0 {
+            let _span = adampack_telemetry::span(adampack_telemetry::Phase::GridBuild);
+            rebuilt.rebuild(&bed, &bed_radii);
+        }
     }
     ARMED.store(false, Ordering::SeqCst);
 

@@ -5,10 +5,25 @@
 //! Rayon thread counts*, because the objective reduces per-particle partial
 //! values sequentially.
 
+use std::sync::{Arc, Mutex};
+
 use adampack_core::prelude::*;
 use adampack_geometry::{shapes, Vec3};
+use adampack_telemetry::{StepRecord, TraceSink};
 
-fn pack(seed: u64) -> PackResult {
+/// The shim caps a pool's effective width at the hardware thread count
+/// (oversubscription buys nothing in production). This suite exists to prove
+/// thread-count independence, so raise the cap before the process's first
+/// parallel region resolves (and caches) it — otherwise a 1-core CI box
+/// would run every "parallel" pool serially and prove nothing.
+fn force_parallel_hardware() {
+    if std::env::var_os("RAYON_NUM_THREADS").is_none() {
+        std::env::set_var("RAYON_NUM_THREADS", "8");
+    }
+}
+
+fn packer(seed: u64) -> CollectivePacker {
+    force_parallel_hardware();
     let mesh = shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0));
     let container = Container::from_mesh(&mesh).unwrap();
     let params = PackingParams {
@@ -19,7 +34,65 @@ fn pack(seed: u64) -> PackResult {
         seed,
         ..PackingParams::default()
     };
-    CollectivePacker::new(container, params).pack(&Psd::uniform(0.09, 0.13))
+    CollectivePacker::new(container, params)
+}
+
+fn pack(seed: u64) -> PackResult {
+    packer(seed).pack(&Psd::uniform(0.09, 0.13))
+}
+
+/// A trace sink sharing its record buffer, so the trace survives
+/// [`CollectivePacker::take_trace_sink`] returning an opaque box.
+struct SharedSink(Arc<Mutex<Vec<StepRecord>>>);
+
+impl TraceSink for SharedSink {
+    fn record(&mut self, record: &StepRecord) {
+        self.0.lock().unwrap().push(*record);
+    }
+}
+
+/// Runs the reference packing under an `n`-thread pool, optionally with a
+/// step tracer attached, returning the result and the collected trace.
+fn pack_with_threads(threads: usize, traced: bool) -> (PackResult, Vec<StepRecord>) {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .unwrap();
+    pool.install(|| {
+        let mut p = packer(77);
+        let records = Arc::new(Mutex::new(Vec::new()));
+        if traced {
+            p.set_trace_sink(Box::new(SharedSink(Arc::clone(&records))));
+        }
+        let result = p.pack(&Psd::uniform(0.09, 0.13));
+        drop(p.take_trace_sink());
+        let records = Arc::try_unwrap(records).ok().unwrap().into_inner().unwrap();
+        (result, records)
+    })
+}
+
+fn assert_same_packing(a: &PackResult, b: &PackResult, what: &str) {
+    assert_eq!(
+        a.particles.len(),
+        b.particles.len(),
+        "{what}: particle count"
+    );
+    for (pa, pb) in a.particles.iter().zip(&b.particles) {
+        assert_eq!(pa.center.x.to_bits(), pb.center.x.to_bits(), "{what}: x");
+        assert_eq!(pa.center.y.to_bits(), pb.center.y.to_bits(), "{what}: y");
+        assert_eq!(pa.center.z.to_bits(), pb.center.z.to_bits(), "{what}: z");
+        assert_eq!(pa.radius.to_bits(), pb.radius.to_bits(), "{what}: radius");
+    }
+    assert_eq!(a.batches.len(), b.batches.len(), "{what}: batch count");
+    for (ba, bb) in a.batches.iter().zip(&b.batches) {
+        assert_eq!(ba.steps, bb.steps, "{what}: steps");
+        assert_eq!(
+            ba.best_fitness.to_bits(),
+            bb.best_fitness.to_bits(),
+            "{what}: fitness"
+        );
+        assert_eq!(ba.accepted, bb.accepted, "{what}: acceptance");
+    }
 }
 
 #[test]
@@ -60,24 +133,62 @@ fn different_seeds_different_packings() {
 
 #[test]
 fn determinism_is_thread_count_independent() {
-    // Run the identical packing under 1-thread and N-thread Rayon pools.
-    let run_with_threads = |threads: usize| {
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .unwrap();
-        pool.install(|| pack(77))
-    };
-    let serial = run_with_threads(1);
-    let parallel = run_with_threads(4);
-    assert_eq!(serial.particles.len(), parallel.particles.len());
-    for (pa, pb) in serial.particles.iter().zip(&parallel.particles) {
+    // Run the identical packing under 1/2/4/8-thread pools: final centers,
+    // per-batch step counts, fitnesses and acceptance decisions must all be
+    // bitwise identical (static contiguous chunking + fixed-shape sequential
+    // reductions make the arithmetic independent of the pool width).
+    let (reference, _) = pack_with_threads(1, false);
+    for threads in [2, 4, 8] {
+        let (run, _) = pack_with_threads(threads, false);
+        assert_same_packing(&reference, &run, &format!("{threads} threads"));
+    }
+}
+
+#[test]
+fn tracing_is_thread_count_independent_and_free_of_side_effects() {
+    // The traced path goes through the fused value+gradient traversal, the
+    // untraced path through the plain one; both must produce the identical
+    // packing, and the trace itself (loss, gradient norm, displacement)
+    // must be bitwise identical for any thread count.
+    let (untraced, _) = pack_with_threads(1, false);
+    let (reference, ref_trace) = pack_with_threads(1, true);
+    assert_same_packing(&untraced, &reference, "traced vs untraced");
+    assert!(!ref_trace.is_empty(), "tracer must record steps");
+    for threads in [2, 4, 8] {
+        let (run, trace) = pack_with_threads(threads, true);
+        assert_same_packing(&reference, &run, &format!("traced, {threads} threads"));
         assert_eq!(
-            pa.center.x.to_bits(),
-            pb.center.x.to_bits(),
-            "thread count changed the result"
+            trace.len(),
+            ref_trace.len(),
+            "{threads} threads: trace length"
         );
-        assert_eq!(pa.center.z.to_bits(), pb.center.z.to_bits());
+        for (ra, rb) in ref_trace.iter().zip(&trace) {
+            assert_eq!(ra.batch, rb.batch);
+            assert_eq!(ra.step, rb.step);
+            assert_eq!(
+                ra.loss.to_bits(),
+                rb.loss.to_bits(),
+                "{threads} threads: loss"
+            );
+            assert_eq!(
+                ra.grad_norm.to_bits(),
+                rb.grad_norm.to_bits(),
+                "{threads} threads: grad norm"
+            );
+            assert_eq!(
+                ra.max_disp.to_bits(),
+                rb.max_disp.to_bits(),
+                "{threads} threads: max displacement"
+            );
+            for (fa, fb) in [
+                (ra.penetration_intra, rb.penetration_intra),
+                (ra.penetration_cross, rb.penetration_cross),
+                (ra.altitude, rb.altitude),
+                (ra.exterior, rb.exterior),
+            ] {
+                assert_eq!(fa.to_bits(), fb.to_bits(), "{threads} threads: breakdown");
+            }
+        }
     }
 }
 
