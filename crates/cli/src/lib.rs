@@ -100,6 +100,10 @@ pub struct PackOptions {
     /// thread). Purely a performance knob: results are bitwise identical
     /// for any value.
     pub threads: usize,
+    /// Arithmetic kernel override (`--kernel scalar|simd`); `None` defers
+    /// to the configuration's `params.kernel` (default `simd`). Purely a
+    /// performance knob: both kernels produce bitwise identical packings.
+    pub kernel: Option<Kernel>,
 }
 
 /// Runs a packing described by a configuration file and optionally writes
@@ -161,7 +165,10 @@ fn run_pack_configured(
     let mesh = adampack_io::read_stl_file(&cfg.container_path)
         .map_err(|e| CliError::Geometry(e.to_string()))?;
     let container = Container::from_mesh(&mesh).map_err(|e| CliError::Geometry(e.to_string()))?;
-    let params = cfg.to_packing_params();
+    let mut params = cfg.to_packing_params();
+    if let Some(kernel) = opts.kernel {
+        params.kernel = kernel;
+    }
 
     let collective = cfg.algorithm.eq_ignore_ascii_case("COLLECTIVE_ARRANGEMENT");
     if trace_out.is_some() && !(collective && cfg.zones.is_empty()) {
@@ -437,6 +444,31 @@ mod tests {
         let prom = std::fs::read_to_string(&metrics_snapshot).unwrap();
         assert!(prom.contains("adampack_optimizer_steps_total"));
         assert!(prom.contains("adampack_phase_spawn_nanoseconds"));
+    }
+
+    #[test]
+    fn kernel_override_produces_identical_packing() {
+        let dir = std::env::temp_dir().join("adampack_cli_kernel");
+        let cfg = setup_config(&dir, "COLLECTIVE_ARRANGEMENT", false);
+        let mut summaries = Vec::new();
+        for kernel in [Kernel::Scalar, Kernel::Simd] {
+            let opts = PackOptions {
+                kernel: Some(kernel),
+                log_level: Some(ConsoleLevel::Off),
+                ..PackOptions::default()
+            };
+            summaries.push(run_pack_opts(&cfg, &opts).unwrap());
+        }
+        assert_eq!(summaries[0].packed, summaries[1].packed);
+        assert_eq!(
+            summaries[0].core_density.to_bits(),
+            summaries[1].core_density.to_bits(),
+            "scalar and simd kernels must pack bitwise identically"
+        );
+        assert_eq!(
+            summaries[0].mean_overlap_ratio.to_bits(),
+            summaries[1].mean_overlap_ratio.to_bits()
+        );
     }
 
     #[test]

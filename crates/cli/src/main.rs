@@ -5,6 +5,7 @@ use std::process::ExitCode;
 
 use adampack_cli::{run_info, run_pack_opts, CliError, PackOptions};
 use adampack_config::ConsoleLevel;
+use adampack_core::Kernel;
 use adampack_telemetry::Level;
 
 const USAGE: &str = "\
@@ -14,7 +15,7 @@ USAGE:
     adampack pack <config.yaml> [--out <file.{csv,vtk,xyz}>]
                   [--trace-out <run.jsonl>] [--metrics-out <metrics.prom>]
                   [--log-level <error|warn|info|debug|trace|off>]
-                  [--threads <n>]
+                  [--threads <n>] [--kernel <scalar|simd>]
     adampack info <config.yaml>
     adampack help
 
@@ -31,6 +32,10 @@ histogram snapshot after the run.
 --threads overrides the configuration's `params.threads` worker count
 for the parallel phases (0 = one per hardware thread). Results are
 bitwise identical for any value.
+
+--kernel overrides the configuration's `params.kernel` arithmetic
+kernel for the hot loops (default simd). Both kernels produce bitwise
+identical packings; scalar survives as the correctness oracle.
 ";
 
 fn main() -> ExitCode {
@@ -70,6 +75,16 @@ fn dispatch(args: Vec<String>) -> Result<(), CliError> {
                                 "--threads expects a non-negative integer, got '{v}'"
                             ))
                         })?;
+                    }
+                    "--kernel" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| CliError::Usage("--kernel requires a name".into()))?;
+                        opts.kernel = Some(Kernel::parse(v).ok_or_else(|| {
+                            CliError::Usage(format!(
+                                "--kernel expects 'scalar' or 'simd', got '{v}'"
+                            ))
+                        })?);
                     }
                     "--log-level" => {
                         let v = it.next().ok_or_else(|| {

@@ -491,6 +491,72 @@ pub mod par {
         });
     }
 
+    /// Hands each job its whole contiguous chunk of three equal-length
+    /// slices: `f(start, &mut a[start..end], &mut b[start..end],
+    /// &mut c[start..end])`. The window shape lets the callee iterate with
+    /// SIMD lanes instead of per-element calls; `chunk_bounds` still
+    /// partitions by `effective_parallelism()`, so where the windows split
+    /// varies with the pool width — callers must keep their per-element
+    /// arithmetic bitwise independent of the split (lane ≡ scalar tail).
+    pub fn for_each_window_zip3<A, B, C, F>(a: &mut [A], b: &mut [B], c: &mut [C], f: F)
+    where
+        A: Send,
+        B: Send,
+        C: Send,
+        F: Fn(usize, &mut [A], &mut [B], &mut [C]) + Sync,
+    {
+        assert_eq!(a.len(), b.len(), "zipped slice length mismatch");
+        assert_eq!(a.len(), c.len(), "zipped slice length mismatch");
+        let n = a.len();
+        let jobs = job_count(n);
+        let raw_a = RawSlice::new(a);
+        let raw_b = RawSlice::new(b);
+        let raw_c = RawSlice::new(c);
+        run_region(jobs, &|k| {
+            let (start, len) = chunk_bounds(n, jobs, k);
+            // SAFETY: disjoint windows of each slice.
+            let wa = unsafe { raw_a.window(start, len) };
+            let wb = unsafe { raw_b.window(start, len) };
+            let wc = unsafe { raw_c.window(start, len) };
+            annotate_chunk(start, start + len, || f(start, wa, wb, wc));
+        });
+    }
+
+    /// Four-slice variant of [`for_each_window_zip3`] (the AMSGrad state
+    /// shape: params + m + v + v_max).
+    pub fn for_each_window_zip4<A, B, C, D, F>(
+        a: &mut [A],
+        b: &mut [B],
+        c: &mut [C],
+        d: &mut [D],
+        f: F,
+    ) where
+        A: Send,
+        B: Send,
+        C: Send,
+        D: Send,
+        F: Fn(usize, &mut [A], &mut [B], &mut [C], &mut [D]) + Sync,
+    {
+        assert_eq!(a.len(), b.len(), "zipped slice length mismatch");
+        assert_eq!(a.len(), c.len(), "zipped slice length mismatch");
+        assert_eq!(a.len(), d.len(), "zipped slice length mismatch");
+        let n = a.len();
+        let jobs = job_count(n);
+        let raw_a = RawSlice::new(a);
+        let raw_b = RawSlice::new(b);
+        let raw_c = RawSlice::new(c);
+        let raw_d = RawSlice::new(d);
+        run_region(jobs, &|k| {
+            let (start, len) = chunk_bounds(n, jobs, k);
+            // SAFETY: disjoint windows of each slice.
+            let wa = unsafe { raw_a.window(start, len) };
+            let wb = unsafe { raw_b.window(start, len) };
+            let wc = unsafe { raw_c.window(start, len) };
+            let wd = unsafe { raw_d.window(start, len) };
+            annotate_chunk(start, start + len, || f(start, wa, wb, wc, wd));
+        });
+    }
+
     /// Fills `out[i] = f(i)` for every `i`, in parallel.
     pub fn fill_with<T, F>(out: &mut [T], f: F)
     where
@@ -777,7 +843,8 @@ impl ThreadPool {
 pub mod prelude {
     pub use crate::par::{
         counting_sort_by_key, fill_with, for_each_chunk_zip, for_each_csr_row_zip, for_each_slot,
-        for_each_slot_zip2, for_each_slot_zip3, for_each_slot_zip4, map_reduce,
+        for_each_slot_zip2, for_each_slot_zip3, for_each_slot_zip4, for_each_window_zip3,
+        for_each_window_zip4, map_reduce,
     };
 }
 
@@ -801,6 +868,70 @@ mod tests {
         for (i, &x) in v.iter().enumerate() {
             assert_eq!(x, i * 2);
         }
+    }
+
+    #[test]
+    fn window_zips_cover_every_index_exactly_once() {
+        for threads in [1, 3, 8] {
+            with_threads(threads, || {
+                let n = 4097;
+                let (mut a, mut b, mut c, mut d) =
+                    (vec![0u64; n], vec![0u64; n], vec![0u64; n], vec![0u64; n]);
+                par::for_each_window_zip3(&mut a, &mut b, &mut c, |start, wa, wb, wc| {
+                    assert_eq!(wa.len(), wb.len());
+                    assert_eq!(wa.len(), wc.len());
+                    for off in 0..wa.len() {
+                        let i = (start + off) as u64;
+                        wa[off] += i;
+                        wb[off] += 2 * i;
+                        wc[off] += 3 * i;
+                    }
+                });
+                par::for_each_window_zip4(
+                    &mut a,
+                    &mut b,
+                    &mut c,
+                    &mut d,
+                    |start, wa, wb, wc, wd| {
+                        for off in 0..wa.len() {
+                            let i = (start + off) as u64;
+                            wa[off] += 10 * i;
+                            wb[off] += 20 * i;
+                            wc[off] += 30 * i;
+                            wd[off] += 40 * i;
+                        }
+                    },
+                );
+                for i in 0..n as u64 {
+                    assert_eq!(a[i as usize], 11 * i, "{threads} threads");
+                    assert_eq!(b[i as usize], 22 * i, "{threads} threads");
+                    assert_eq!(c[i as usize], 33 * i, "{threads} threads");
+                    assert_eq!(d[i as usize], 40 * i, "{threads} threads");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn window_zip_panic_reports_chunk_range() {
+        let caught = std::panic::catch_unwind(|| {
+            let n = 64;
+            let (mut a, mut b, mut c) = (vec![0u8; n], vec![0u8; n], vec![0u8; n]);
+            par::for_each_window_zip3(&mut a, &mut b, &mut c, |start, _, _, _| {
+                if start == 0 {
+                    panic!("boom");
+                }
+            });
+        });
+        let msg = caught.unwrap_err();
+        let text = msg
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .unwrap_or("");
+        assert!(
+            text.contains("parallel chunk over indices"),
+            "panic message should carry the chunk range, got: {text}"
+        );
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::path::{Path, PathBuf};
 
 use adampack_core::{
-    LrPolicy, NeighborParams, NeighborStrategy, PackingParams, Psd, ZoneRegion, ZoneSpec,
+    Kernel, LrPolicy, NeighborParams, NeighborStrategy, PackingParams, Psd, ZoneRegion, ZoneSpec,
 };
 use adampack_geometry::{Axis, ConvexHull};
 use adampack_telemetry::Level;
@@ -68,6 +68,10 @@ pub struct AlgoParams {
     /// one per hardware thread. Results are bitwise identical for any
     /// value; this is purely a performance knob.
     pub threads: usize,
+    /// Arithmetic kernel for the hot loops (`kernel`): `simd` (default) or
+    /// `scalar`. The two produce bitwise identical packings; this is
+    /// purely a performance knob.
+    pub kernel: Kernel,
 }
 
 impl Default for AlgoParams {
@@ -80,6 +84,7 @@ impl Default for AlgoParams {
             batch_size: 500,
             seed: 0,
             threads: 0,
+            kernel: Kernel::default(),
         }
     }
 }
@@ -326,6 +331,13 @@ impl PackingConfig {
                 }
                 params.threads = v as usize;
             }
+            if let Some(v) = p.get("kernel").and_then(Value::as_str) {
+                params.kernel = Kernel::parse(v).ok_or_else(|| {
+                    field(format!(
+                        "params.kernel: unknown kernel '{v}' (expected 'scalar' or 'simd')"
+                    ))
+                })?;
+            }
         }
 
         let gravity_axis = match root.get("gravity_axis") {
@@ -480,6 +492,7 @@ impl PackingConfig {
                 min_lr: 1e-5,
             },
             neighbor: self.neighbor.to_params(),
+            kernel: self.params.kernel,
             ..PackingParams::default()
         }
     }
@@ -801,6 +814,31 @@ zones:
         let src = "container:\n  path: a.stl\nparticle_sets:\n  - radius_distribution: constant\n    radius_value: 0.1\ntelemetry:\n  level: verbose\n";
         let e = PackingConfig::from_str(src).unwrap_err();
         assert!(e.to_string().contains("verbose"), "{e}");
+    }
+
+    #[test]
+    fn kernel_knob_parses_and_defaults_to_simd() {
+        let base = "container:\n  path: a.stl\nparticle_sets:\n  - radius_distribution: constant\n    radius_value: 0.1\n";
+        let cfg = PackingConfig::from_str(base).unwrap();
+        assert_eq!(cfg.params.kernel, Kernel::Simd);
+        assert_eq!(cfg.to_packing_params().kernel, Kernel::Simd);
+
+        let scalar = format!("{base}params:\n  kernel: \"scalar\"\n");
+        let cfg = PackingConfig::from_str(&scalar).unwrap();
+        assert_eq!(cfg.params.kernel, Kernel::Scalar);
+        assert_eq!(cfg.to_packing_params().kernel, Kernel::Scalar);
+
+        // Case-insensitive.
+        let simd = format!("{base}params:\n  kernel: SIMD\n");
+        let cfg = PackingConfig::from_str(&simd).unwrap();
+        assert_eq!(cfg.params.kernel, Kernel::Simd);
+    }
+
+    #[test]
+    fn unknown_kernel_rejected() {
+        let src = "container:\n  path: a.stl\nparticle_sets:\n  - radius_distribution: constant\n    radius_value: 0.1\nparams:\n  kernel: avx512\n";
+        let e = PackingConfig::from_str(src).unwrap_err();
+        assert!(e.to_string().contains("avx512"), "{e}");
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub fn to_yaml(cfg: &PackingConfig) -> String {
         batch_size,
         seed,
         threads,
+        kernel,
     } = cfg.params;
     writeln!(s, "params:").unwrap();
     writeln!(s, "    lr: {lr}").unwrap();
@@ -34,6 +35,7 @@ pub fn to_yaml(cfg: &PackingConfig) -> String {
     writeln!(s, "    batch_size: {batch_size}").unwrap();
     writeln!(s, "    seed: {seed}").unwrap();
     writeln!(s, "    threads: {threads}").unwrap();
+    writeln!(s, "    kernel: \"{}\"", kernel.name()).unwrap();
     let axis = match cfg.gravity_axis {
         adampack_geometry::Axis::X => "x",
         adampack_geometry::Axis::Y => "y",
@@ -137,6 +139,7 @@ mod tests {
                 batch_size: 500,
                 seed: 7,
                 threads: 4,
+                kernel: adampack_core::Kernel::Scalar,
             },
             gravity_axis: Axis::Z,
             neighbor: NeighborConfig {

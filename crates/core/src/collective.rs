@@ -28,7 +28,7 @@ use crate::metrics::{boundary_stats, contact_stats_vs_fixed};
 use crate::neighbor::{CsrGrid, FixedBed, Workspace};
 use crate::objective::Objective;
 use crate::params::{LrPolicy, PackingParams};
-use crate::particle::{coords, Particle};
+use crate::particle::Particle;
 use crate::psd::Psd;
 
 /// Fixed block size for the tracer's parallel reductions. The partial
@@ -306,9 +306,11 @@ impl CollectivePacker {
             // to radius must stay below the configured threshold
             // (Algorithm 1 line 19).
             let t_acc = Instant::now();
-            let centers = coords::to_positions(&run.coords);
-            let contact = contact_stats_vs_fixed(&centers, &radii, bed.grid());
-            let boundary = boundary_stats(&centers, &radii, self.container.halfspaces());
+            // Read the final coordinates through the workspace's SoA
+            // snapshot instead of an interleaved-gather allocation.
+            let centers = self.workspace.positions_from(&run.coords, &radii);
+            let contact = contact_stats_vs_fixed(centers, &radii, bed.grid());
+            let boundary = boundary_stats(centers, &radii, self.container.halfspaces());
             let accepted = contact.mean_overlap_ratio <= self.params.accept_mean_overlap
                 && boundary.0 <= self.params.accept_mean_overlap
                 && contact.max_overlap_ratio <= self.params.accept_max_overlap
@@ -463,14 +465,19 @@ impl CollectivePacker {
         .with_neighbor(
             self.params.neighbor.strategy,
             self.params.neighbor.skin_for(radii),
-        );
+        )
+        .with_kernel(self.params.kernel);
         // Fresh batch: invalidate the previous batch's Verlet lists while
         // keeping every buffer's capacity.
         self.workspace.reset_batch();
 
         let mut coords = init;
         let mut grad = vec![0.0; coords.len()];
-        let mut optimizer = self.params.optimizer.build(lr.initial_lr(), coords.len());
+        let mut optimizer = self.params.optimizer.build_with_kernel(
+            lr.initial_lr(),
+            coords.len(),
+            self.params.kernel,
+        );
         let mut scheduler = lr.build();
 
         let mut best = coords.clone();
@@ -624,6 +631,7 @@ pub fn build_grid(particles: &[Particle]) -> CsrGrid {
 mod tests {
     use super::*;
     use crate::params::OptimizerKind;
+    use crate::particle::coords;
     use adampack_geometry::{shapes, Axis};
 
     fn small_box_container() -> Container {

@@ -73,6 +73,7 @@ pub mod baseline;
 pub mod collective;
 pub mod container;
 pub mod grid;
+pub(crate) mod kernels;
 pub mod metrics;
 pub mod neighbor;
 pub mod objective;
@@ -99,6 +100,7 @@ pub mod prelude {
     pub use crate::psd::Psd;
     pub use crate::runner::{registry, PackingAlgorithm};
     pub use crate::zone::{ZoneRegion, ZoneSpec, ZonedPacker};
+    pub use adampack_opt::Kernel;
 }
 
 pub use prelude::*;

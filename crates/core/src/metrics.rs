@@ -121,8 +121,15 @@ impl Accum {
 
     #[inline]
     fn add_pair(&mut self, c1: Vec3, r1: f64, c2: Vec3, r2: f64) {
-        let d = c1.distance(c2);
-        let pen = r1 + r2 - d;
+        // Squared-distance early-out: most candidate pairs are rejected
+        // before the sqrt. The inner `pen > 0` check keeps the original
+        // semantics at the contact boundary.
+        let sum_r = r1 + r2;
+        let d_sq = c1.distance_sq(c2);
+        if d_sq >= sum_r * sum_r {
+            return;
+        }
+        let pen = sum_r - d_sq.sqrt();
         if pen > 0.0 {
             let ratio = pen / r1.min(r2);
             self.contacts += 1;

@@ -34,6 +34,7 @@
 use adampack_geometry::{Aabb, Axis, Vec3};
 use rayon::par;
 
+use crate::kernels::{PlaneSoa, SoaCoords};
 use crate::objective::ObjectiveBreakdown;
 use crate::particle::{coords, Particle};
 
@@ -313,6 +314,22 @@ impl CsrGrid {
     /// in insertion order.
     #[inline]
     pub fn for_neighbors<F: FnMut(usize, Vec3, f64)>(&self, p: Vec3, reach: f64, mut f: F) {
+        self.for_neighbor_rows(p, reach, |row| {
+            for &i in row {
+                let i = i as usize;
+                f(i, self.centers[i], self.radii[i]);
+            }
+        });
+    }
+
+    /// Row-granular variant of [`Self::for_neighbors`]: the callback gets
+    /// each candidate x-row as one contiguous index slice (then the pending
+    /// overflow list), in the exact order `for_neighbors` visits individual
+    /// candidates. This is what the vectorized pair kernels consume — a
+    /// whole row can be chunked into SIMD lanes without any per-candidate
+    /// callback overhead.
+    #[inline]
+    pub fn for_neighbor_rows<F: FnMut(&[u32])>(&self, p: Vec3, reach: f64, mut f: F) {
         if !self.entries.is_empty() {
             let range = reach + self.max_radius;
             let lo_x = ((p.x - range - self.origin.x) * self.inv_cell).floor() as i64;
@@ -332,17 +349,13 @@ impl CsrGrid {
                         let row = (iz * dy + iy) * dx;
                         let a = self.cell_start[(row + lo_x) as usize] as usize;
                         let b = self.cell_start[(row + hi_x) as usize + 1] as usize;
-                        for &i in &self.entries[a..b] {
-                            let i = i as usize;
-                            f(i, self.centers[i], self.radii[i]);
-                        }
+                        f(&self.entries[a..b]);
                     }
                 }
             }
         }
-        for &i in &self.pending {
-            let i = i as usize;
-            f(i, self.centers[i], self.radii[i]);
+        if !self.pending.is_empty() {
+            f(&self.pending);
         }
     }
 
@@ -685,6 +698,12 @@ pub struct Workspace {
     pub(crate) positions: Vec<Vec3>,
     /// The batch's Verlet candidate lists.
     pub(crate) verlet: VerletLists,
+    /// SoA coordinate snapshot for the vectorized kernels, refreshed once
+    /// per evaluation (padded to the SIMD lane width).
+    pub(crate) soa: SoaCoords,
+    /// SoA snapshot of the container planes for the vectorized half-space
+    /// loop.
+    pub(crate) plane_soa: PlaneSoa,
     /// Evaluations served since creation (diagnostics).
     pub(crate) evals: usize,
 }
@@ -709,6 +728,24 @@ impl Workspace {
     /// buffer's capacity. Call between batches.
     pub fn reset_batch(&mut self) {
         self.verlet.ref_coords.clear();
+    }
+
+    /// Refreshes the SoA coordinate snapshot and the `positions` scratch
+    /// from a flat interleaved buffer and returns the positions view.
+    ///
+    /// This is the acceptance path's replacement for a per-batch
+    /// `coords::to_positions` allocation: both buffers reuse capacity, and
+    /// the read goes through the same SoA snapshot the kernels use (the
+    /// restored best coordinates differ from the last-evaluated ones, so
+    /// the snapshot must be re-taken here anyway).
+    pub fn positions_from(&mut self, c: &[f64], radii: &[f64]) -> &[Vec3] {
+        self.soa.refresh(c, radii);
+        let n = radii.len();
+        self.positions.clear();
+        for i in 0..n {
+            self.positions.push(self.soa.point(i));
+        }
+        &self.positions
     }
 }
 

@@ -36,9 +36,12 @@
 //! count (the paper fixes seeds the same way, §IV).
 
 use adampack_geometry::{Axis, HalfSpaceSet, Vec3};
+use adampack_opt::Kernel;
 use adampack_telemetry::metrics::EVALS_TOTAL;
+use adampack_telemetry::Phase;
 use rayon::par;
 
+use crate::kernels::{self, FixedView, PlaneSoa, SoaCoords};
 use crate::neighbor::{CsrGrid, NeighborStrategy, VerletLists, Workspace, VERLET_THRESHOLD};
 use crate::particle::coords;
 
@@ -155,6 +158,7 @@ pub struct Objective<'a> {
     intra_mode: IntraMode,
     strategy: NeighborStrategy,
     skin: f64,
+    kernel: Kernel,
 }
 
 impl<'a> Objective<'a> {
@@ -181,7 +185,23 @@ impl<'a> Objective<'a> {
             intra_mode: IntraMode::Auto,
             strategy: NeighborStrategy::Auto,
             skin: (DEFAULT_SKIN_FACTOR * r_max).max(1e-9),
+            kernel: Kernel::default(),
         }
+    }
+
+    /// Selects the arithmetic kernel for the hot loops. The scalar and
+    /// SIMD kernels produce bitwise identical results (same candidate
+    /// order, same IEEE sequence per element); [`Kernel::LegacyScalar`] is
+    /// the pre-vectorization baseline (a `sqrt` per candidate, no
+    /// squared-distance early-out) kept for benchmarking only.
+    pub fn with_kernel(mut self, kernel: Kernel) -> Objective<'a> {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The kernel currently selected.
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
     }
 
     /// Selects the cross-term evaluation strategy (ablation hook). Also
@@ -271,15 +291,20 @@ impl<'a> Objective<'a> {
             positions,
             verlet,
             evals,
+            soa,
+            plane_soa,
             ..
         } = ws;
         *evals += 1;
         EVALS_TOTAL.inc();
         values.clear();
         values.resize(n, 0.0);
+        self.refresh_snapshots(c, soa, plane_soa);
         let (intra, cross) = self.plans(c, batch_grid, positions, verlet);
+        let (soa, plane_soa) = (&*soa, &*plane_soa);
+        let _span = adampack_telemetry::span(self.kernel_phase());
         par::for_each_slot(values, |i, vslot| {
-            let (v, _) = self.particle_term(i, c, &intra, &cross);
+            let (v, _) = self.particle_term(i, c, &intra, &cross, soa, plane_soa);
             *vslot = v;
         });
         // Sequential reduction keeps the result bitwise-deterministic.
@@ -302,15 +327,20 @@ impl<'a> Objective<'a> {
             positions,
             verlet,
             evals,
+            soa,
+            plane_soa,
             ..
         } = ws;
         *evals += 1;
         EVALS_TOTAL.inc();
         values.clear();
         values.resize(n, 0.0);
+        self.refresh_snapshots(c, soa, plane_soa);
         let (intra, cross) = self.plans(c, batch_grid, positions, verlet);
+        let (soa, plane_soa) = (&*soa, &*plane_soa);
+        let _span = adampack_telemetry::span(self.kernel_phase());
         par::for_each_chunk_zip(grad, 3, values, |i, gslot, vslot| {
-            let (v, g) = self.particle_term(i, c, &intra, &cross);
+            let (v, g) = self.particle_term(i, c, &intra, &cross, soa, plane_soa);
             gslot[0] = g.x;
             gslot[1] = g.y;
             gslot[2] = g.z;
@@ -344,15 +374,21 @@ impl<'a> Objective<'a> {
             positions,
             verlet,
             evals,
+            soa,
+            plane_soa,
             ..
         } = ws;
         *evals += 1;
         EVALS_TOTAL.inc();
         breakdowns.clear();
         breakdowns.resize(n, ObjectiveBreakdown::default());
+        self.refresh_snapshots(c, soa, plane_soa);
         let (intra, cross) = self.plans(c, batch_grid, positions, verlet);
+        let (soa, plane_soa) = (&*soa, &*plane_soa);
+        let _span = adampack_telemetry::span(self.kernel_phase());
         par::for_each_chunk_zip(grad, 3, breakdowns, |i, gslot, bslot| {
-            let (v, g, mut b) = self.particle_term_impl::<true>(i, c, &intra, &cross);
+            let (v, g, mut b) =
+                self.particle_term_impl::<true>(i, c, &intra, &cross, soa, plane_soa);
             gslot[0] = g.x;
             gslot[1] = g.y;
             gslot[2] = g.z;
@@ -410,6 +446,24 @@ impl<'a> Objective<'a> {
         }
     }
 
+    /// Refreshes the workspace's SoA snapshots when the SIMD kernel will
+    /// consume them (the scalar kernels read the interleaved buffer
+    /// directly, so the copies would be dead work).
+    fn refresh_snapshots(&self, c: &[f64], soa: &mut SoaCoords, plane_soa: &mut PlaneSoa) {
+        if self.kernel == Kernel::Simd {
+            soa.refresh(c, self.radii);
+            plane_soa.refresh(self.halfspaces);
+        }
+    }
+
+    /// Telemetry phase for the selected kernel.
+    fn kernel_phase(&self) -> Phase {
+        match self.kernel {
+            Kernel::Simd => Phase::KernelSimd,
+            Kernel::Scalar | Kernel::LegacyScalar => Phase::KernelScalar,
+        }
+    }
+
     /// Particle `i`'s contribution `(vᵢ, ∂Z/∂cᵢ)` to the objective.
     #[inline]
     fn particle_term(
@@ -418,19 +472,46 @@ impl<'a> Objective<'a> {
         c: &[f64],
         intra: &IntraPlan,
         cross: &CrossPlan,
+        soa: &SoaCoords,
+        plane_soa: &PlaneSoa,
     ) -> (f64, Vec3) {
-        let (v, g, _) = self.particle_term_impl::<false>(i, c, intra, cross);
+        let (v, g, _) = self.particle_term_impl::<false>(i, c, intra, cross, soa, plane_soa);
         (v, g)
     }
 
-    /// The shared per-particle kernel. With `RECORD` the unweighted term
-    /// magnitudes are accumulated into a breakdown alongside the value —
-    /// as *extra* accumulators only, so the value/gradient FP sequence is
-    /// identical to the non-recording instantiation (the traced loss stays
-    /// bitwise equal to the untraced one). `breakdown.total` is left 0;
-    /// callers stamp it.
+    /// The shared per-particle kernel dispatcher. With `RECORD` the
+    /// unweighted term magnitudes are accumulated into a breakdown
+    /// alongside the value — as *extra* accumulators only, so the
+    /// value/gradient FP sequence is identical to the non-recording
+    /// instantiation (the traced loss stays bitwise equal to the untraced
+    /// one). `breakdown.total` is left 0; callers stamp it.
     #[inline]
     fn particle_term_impl<const RECORD: bool>(
+        &self,
+        i: usize,
+        c: &[f64],
+        intra: &IntraPlan,
+        cross: &CrossPlan,
+        soa: &SoaCoords,
+        plane_soa: &PlaneSoa,
+    ) -> (f64, Vec3, ObjectiveBreakdown) {
+        match self.kernel {
+            Kernel::Simd => self.particle_term_simd::<RECORD>(i, intra, cross, soa, plane_soa),
+            Kernel::Scalar => self.particle_term_scalar::<RECORD, false>(i, c, intra, cross),
+            Kernel::LegacyScalar => self.particle_term_scalar::<RECORD, true>(i, c, intra, cross),
+        }
+    }
+
+    /// Scalar per-particle kernel. `LEGACY` reproduces the pre-vectorization
+    /// arithmetic (one `sqrt` per candidate, compare `d < sum_r`); the
+    /// current scalar path tests `d² < sum_r²` first and only pays the
+    /// `sqrt` for actual hits. On hit both compute the identical `d`
+    /// (`sqrt(d²)` of the same dot product), so the hot-pair arithmetic is
+    /// bitwise unchanged — the early-out can differ from the legacy
+    /// condition only when `d²` rounds across `sum_r²` exactly at contact,
+    /// a measure-zero FP-order change documented in the determinism suite.
+    #[inline]
+    fn particle_term_scalar<const RECORD: bool, const LEGACY: bool>(
         &self,
         i: usize,
         c: &[f64],
@@ -447,20 +528,30 @@ impl<'a> Objective<'a> {
         // Intra-batch penetration: row i of the ordered pair sum. Summing
         // rows reproduces the full ordered total; the gradient of that
         // total w.r.t. cᵢ collects both (i,j) and (j,i), hence the factor 2.
+        let mut intra_hit = |j: usize, cj: Vec3, sum_r: f64, d: f64| {
+            v += alpha * (sum_r - d);
+            if RECORD {
+                b.penetration_intra += sum_r - d;
+            }
+            let dir = pair_direction(ci, cj, d, i, j);
+            // p_ij = sum_r − ‖cᵢ−cⱼ‖ ⇒ ∂p/∂cᵢ = −dir.
+            g -= dir * (2.0 * alpha);
+        };
         let mut intra_term = |j: usize, cj: Vec3, rj: f64| {
             if j == i {
                 return;
             }
             let sum_r = ri + rj;
-            let d = ci.distance(cj);
-            if d < sum_r {
-                v += alpha * (sum_r - d);
-                if RECORD {
-                    b.penetration_intra += sum_r - d;
+            if LEGACY {
+                let d = ci.distance(cj);
+                if d < sum_r {
+                    intra_hit(j, cj, sum_r, d);
                 }
-                let dir = pair_direction(ci, cj, d, i, j);
-                // p_ij = sum_r − ‖cᵢ−cⱼ‖ ⇒ ∂p/∂cᵢ = −dir.
-                g -= dir * (2.0 * alpha);
+            } else {
+                let d_sq = ci.distance_sq(cj);
+                if d_sq < sum_r * sum_r {
+                    intra_hit(j, cj, sum_r, d_sq.sqrt());
+                }
             }
         };
         match intra {
@@ -480,16 +571,26 @@ impl<'a> Objective<'a> {
 
         // Cross-layer penetration against the fixed bed (each pair counted
         // once; only batch coordinates carry gradient).
+        let mut cross_hit = |cf: Vec3, sum_r: f64, d: f64| {
+            v += alpha * (sum_r - d);
+            if RECORD {
+                b.penetration_cross += sum_r - d;
+            }
+            let dir = pair_direction(ci, cf, d, i, usize::MAX);
+            g -= dir * alpha;
+        };
         let mut cross_term = |cf: Vec3, rf: f64| {
             let sum_r = ri + rf;
-            let d = ci.distance(cf);
-            if d < sum_r {
-                v += alpha * (sum_r - d);
-                if RECORD {
-                    b.penetration_cross += sum_r - d;
+            if LEGACY {
+                let d = ci.distance(cf);
+                if d < sum_r {
+                    cross_hit(cf, sum_r, d);
                 }
-                let dir = pair_direction(ci, cf, d, i, usize::MAX);
-                g -= dir * alpha;
+            } else {
+                let d_sq = ci.distance_sq(cf);
+                if d_sq < sum_r * sum_r {
+                    cross_hit(cf, sum_r, d_sq.sqrt());
+                }
             }
         };
         match cross {
@@ -533,6 +634,118 @@ impl<'a> Objective<'a> {
         (v, g, b)
     }
 
+    /// SIMD per-particle kernel: walks the same candidate rows in the same
+    /// order as the scalar path but tests four candidates at a time with a
+    /// branchless `d² < (rᵢ+rⱼ)²` rejection; hit lanes fall through to the
+    /// exact scalar hot-pair body in lane order, so the output is bitwise
+    /// identical to [`Self::particle_term_scalar::<RECORD, false>`].
+    #[inline]
+    fn particle_term_simd<const RECORD: bool>(
+        &self,
+        i: usize,
+        intra: &IntraPlan,
+        cross: &CrossPlan,
+        soa: &SoaCoords,
+        plane_soa: &PlaneSoa,
+    ) -> (f64, Vec3, ObjectiveBreakdown) {
+        let ObjectiveWeights { alpha, beta, gamma } = self.weights;
+        let ci = soa.point(i);
+        let ri = self.radii[i];
+        let mut v = 0.0;
+        let mut g = Vec3::ZERO;
+        let mut b = ObjectiveBreakdown::default();
+
+        match intra {
+            IntraPlan::Naive => kernels::pairs_dense::<RECORD>(
+                ci,
+                ri,
+                i,
+                alpha,
+                soa,
+                &mut v,
+                &mut g,
+                &mut b.penetration_intra,
+            ),
+            IntraPlan::Grid(grid) => grid.for_neighbor_rows(ci, ri, |row| {
+                kernels::pairs_sparse::<SoaCoords, RECORD, true>(
+                    ci,
+                    ri,
+                    i,
+                    alpha,
+                    row,
+                    soa,
+                    &mut v,
+                    &mut g,
+                    &mut b.penetration_intra,
+                )
+            }),
+            IntraPlan::Verlet(lists) => kernels::pairs_sparse::<SoaCoords, RECORD, true>(
+                ci,
+                ri,
+                i,
+                alpha,
+                lists.intra(i),
+                soa,
+                &mut v,
+                &mut g,
+                &mut b.penetration_intra,
+            ),
+        }
+
+        let fixed_view = FixedView {
+            centers: self.fixed.centers(),
+            radii: self.fixed.radii(),
+        };
+        match cross {
+            CrossPlan::Naive => kernels::pairs_range::<FixedView, RECORD, false>(
+                ci,
+                ri,
+                i,
+                alpha,
+                self.fixed.len(),
+                &fixed_view,
+                &mut v,
+                &mut g,
+                &mut b.penetration_cross,
+            ),
+            CrossPlan::Grid => self.fixed.for_neighbor_rows(ci, ri, |row| {
+                kernels::pairs_sparse::<FixedView, RECORD, false>(
+                    ci,
+                    ri,
+                    i,
+                    alpha,
+                    row,
+                    &fixed_view,
+                    &mut v,
+                    &mut g,
+                    &mut b.penetration_cross,
+                )
+            }),
+            CrossPlan::Verlet(lists) => kernels::pairs_sparse::<FixedView, RECORD, false>(
+                ci,
+                ri,
+                i,
+                alpha,
+                lists.cross(i),
+                &fixed_view,
+                &mut v,
+                &mut g,
+                &mut b.penetration_cross,
+            ),
+        }
+
+        kernels::planes_term::<RECORD>(ci, ri, gamma, plane_soa, &mut v, &mut g, &mut b.exterior);
+
+        let altitude = self.axis.altitude(ci);
+        v += beta * altitude;
+        if RECORD {
+            b.altitude += altitude;
+        }
+        g += self.axis.up() * beta;
+
+        (v, g, b)
+    }
+
     /// Evaluates the individual terms (diagnostics; single-threaded).
     ///
     /// Honors the configured [`IntraMode`]/[`CrossMode`] so term costs
@@ -555,42 +768,53 @@ impl<'a> Objective<'a> {
         let n = self.radii.len();
         assert_eq!(c.len(), 3 * n, "coordinate buffer size mismatch");
         let mut b = ObjectiveBreakdown::default();
+        // Read centres through the SoA snapshot rather than interleaved
+        // `coords::get` gathers, matching the production kernels' memory
+        // layout (and exercising the refresh path for the diagnostics too).
+        let Workspace {
+            positions,
+            batch_grid,
+            soa,
+            ..
+        } = ws;
+        soa.refresh(c, self.radii);
         let intra_grid: Option<&CsrGrid> = if self.use_intra_grid() {
-            ws.positions.clear();
+            positions.clear();
             for i in 0..n {
-                ws.positions.push(coords::get(c, i));
+                positions.push(soa.point(i));
             }
-            ws.batch_grid.rebuild(&ws.positions, self.radii);
-            Some(&ws.batch_grid)
+            batch_grid.rebuild(positions, self.radii);
+            Some(batch_grid)
         } else {
             None
         };
         for i in 0..n {
-            let ci = coords::get(c, i);
+            let ci = soa.point(i);
             let ri = self.radii[i];
             let mut intra_term = |j: usize, cj: Vec3, rj: f64| {
                 if j == i {
                     return;
                 }
                 let sum_r = ri + rj;
-                let d = ci.distance(cj);
-                if d < sum_r {
-                    b.penetration_intra += sum_r - d;
+                // Squared-distance early-out: only hits pay the sqrt.
+                let d_sq = ci.distance_sq(cj);
+                if d_sq < sum_r * sum_r {
+                    b.penetration_intra += sum_r - d_sq.sqrt();
                 }
             };
             match &intra_grid {
                 Some(grid) => grid.for_neighbors(ci, ri, &mut intra_term),
                 None => {
                     for j in 0..n {
-                        intra_term(j, coords::get(c, j), self.radii[j]);
+                        intra_term(j, soa.point(j), self.radii[j]);
                     }
                 }
             }
             let mut cross_term = |cf: Vec3, rf: f64| {
                 let sum_r = ri + rf;
-                let d = ci.distance(cf);
-                if d < sum_r {
-                    b.penetration_cross += sum_r - d;
+                let d_sq = ci.distance_sq(cf);
+                if d_sq < sum_r * sum_r {
+                    b.penetration_cross += sum_r - d_sq.sqrt();
                 }
             };
             match self.cross_mode {
@@ -618,7 +842,7 @@ impl<'a> Objective<'a> {
 /// the centres (nearly) coincide — the gradient of `‖cᵢ−cⱼ‖` is undefined
 /// there, and returning NaN would poison the optimizer state.
 #[inline]
-fn pair_direction(ci: Vec3, cj: Vec3, d: f64, i: usize, j: usize) -> Vec3 {
+pub(crate) fn pair_direction(ci: Vec3, cj: Vec3, d: f64, i: usize, j: usize) -> Vec3 {
     if d > 1e-12 {
         (ci - cj) / d
     } else {
@@ -825,6 +1049,136 @@ mod tests {
         let v2 = verlet.value_and_grad_ws(&moved, &mut g2, &mut ws);
         assert_eq!(ws.verlet_rebuilds(), 1, "small move must not rebuild");
         assert!((v1 - v2).abs() < 1e-9 * v1.abs().max(1.0), "{v1} vs {v2}");
+    }
+
+    /// The central contract of the vectorized kernel layer: for every
+    /// neighbor pipeline, the SIMD kernel's value, gradient and traced
+    /// breakdown are **bitwise** identical to the scalar kernel's.
+    #[test]
+    fn simd_kernel_matches_scalar_bitwise_across_strategies() {
+        let hs = box_halfspaces();
+        let mut bed_centers = Vec::new();
+        let mut bed_radii = Vec::new();
+        for i in 0..6 {
+            for j in 0..6 {
+                bed_centers.push(Vec3::new(
+                    -0.75 + 0.3 * i as f64,
+                    -0.75 + 0.3 * j as f64,
+                    -0.8,
+                ));
+                bed_radii.push(0.16);
+            }
+        }
+        let fixed = CsrGrid::build(&bed_centers, &bed_radii);
+        let n = 90;
+        let radii: Vec<f64> = (0..n).map(|i| 0.08 + 0.002 * (i % 7) as f64).collect();
+        let mut c = Vec::with_capacity(3 * n);
+        for i in 0..n {
+            let t = i as f64 * 0.61803398875;
+            c.extend_from_slice(&[
+                (t % 1.4) - 0.7,
+                ((t * 1.7) % 1.4) - 0.7,
+                ((t * 2.3) % 1.2) - 0.75,
+            ]);
+        }
+        let w = ObjectiveWeights::default();
+        for strategy in [
+            NeighborStrategy::Naive,
+            NeighborStrategy::Grid,
+            NeighborStrategy::Verlet,
+        ] {
+            let scalar = Objective::new(w, Axis::Z, &hs, &radii, &fixed)
+                .with_neighbor(strategy, 0.05)
+                .with_kernel(Kernel::Scalar);
+            let simd = Objective::new(w, Axis::Z, &hs, &radii, &fixed)
+                .with_neighbor(strategy, 0.05)
+                .with_kernel(Kernel::Simd);
+            let mut ws_s = Workspace::new();
+            let mut ws_v = Workspace::new();
+            let mut gs = vec![0.0; 3 * n];
+            let mut gv = vec![0.0; 3 * n];
+            let (vs, bs) = scalar.value_grad_breakdown_ws(&c, &mut gs, &mut ws_s);
+            let (vv, bv) = simd.value_grad_breakdown_ws(&c, &mut gv, &mut ws_v);
+            assert_eq!(vs.to_bits(), vv.to_bits(), "{strategy:?} value");
+            for (k, (a, b)) in gs.iter().zip(&gv).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "{strategy:?} grad[{k}]");
+            }
+            for (name, a, b) in [
+                ("intra", bs.penetration_intra, bv.penetration_intra),
+                ("cross", bs.penetration_cross, bv.penetration_cross),
+                ("altitude", bs.altitude, bv.altitude),
+                ("exterior", bs.exterior, bv.exterior),
+            ] {
+                assert_eq!(a.to_bits(), b.to_bits(), "{strategy:?} breakdown {name}");
+            }
+        }
+    }
+
+    /// The intra-grid pipeline (batch above [`INTRA_GRID_THRESHOLD`])
+    /// routes through `for_neighbor_rows`; prove SIMD ≡ scalar there too.
+    #[test]
+    fn simd_kernel_matches_scalar_bitwise_under_intra_grid() {
+        let hs = box_halfspaces();
+        let fixed = CsrGrid::empty();
+        let n = 64;
+        let radii: Vec<f64> = (0..n).map(|i| 0.09 + 0.003 * (i % 5) as f64).collect();
+        let mut c = Vec::with_capacity(3 * n);
+        for i in 0..n {
+            let t = i as f64 * 0.37;
+            c.extend_from_slice(&[
+                (t % 1.4) - 0.7,
+                ((t * 1.9) % 1.4) - 0.7,
+                ((t * 2.7) % 1.2) - 0.7,
+            ]);
+        }
+        let w = ObjectiveWeights::default();
+        let mut gs = vec![0.0; 3 * n];
+        let mut gv = vec![0.0; 3 * n];
+        let vs = Objective::new(w, Axis::Z, &hs, &radii, &fixed)
+            .with_intra_mode(IntraMode::Grid)
+            .with_kernel(Kernel::Scalar)
+            .value_and_grad(&c, &mut gs);
+        let vv = Objective::new(w, Axis::Z, &hs, &radii, &fixed)
+            .with_intra_mode(IntraMode::Grid)
+            .with_kernel(Kernel::Simd)
+            .value_and_grad(&c, &mut gv);
+        assert_eq!(vs.to_bits(), vv.to_bits());
+        for (a, b) in gs.iter().zip(&gv) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// The legacy scalar kernel (sqrt per candidate) agrees with the new
+    /// sqrt-free scalar path to tight tolerance — identical arithmetic on
+    /// hits, differing only in the rejection test's FP order.
+    #[test]
+    fn legacy_scalar_agrees_with_sqrt_free_scalar() {
+        let hs = box_halfspaces();
+        let fixed = CsrGrid::build(&[Vec3::new(0.0, 0.0, -0.7)], &[0.25]);
+        let n = 40;
+        let radii: Vec<f64> = (0..n).map(|i| 0.1 + 0.004 * (i % 3) as f64).collect();
+        let mut c = Vec::with_capacity(3 * n);
+        for i in 0..n {
+            let t = i as f64 * 0.7548776662;
+            c.extend_from_slice(&[
+                (t % 1.4) - 0.7,
+                ((t * 1.3) % 1.4) - 0.7,
+                ((t * 2.1) % 1.0) - 0.8,
+            ]);
+        }
+        let w = ObjectiveWeights::default();
+        let mut gl = vec![0.0; 3 * n];
+        let mut gn = vec![0.0; 3 * n];
+        let vl = Objective::new(w, Axis::Z, &hs, &radii, &fixed)
+            .with_kernel(Kernel::LegacyScalar)
+            .value_and_grad(&c, &mut gl);
+        let vn = Objective::new(w, Axis::Z, &hs, &radii, &fixed)
+            .with_kernel(Kernel::Scalar)
+            .value_and_grad(&c, &mut gn);
+        assert_eq!(vl.to_bits(), vn.to_bits(), "{vl} vs {vn}");
+        for (a, b) in gl.iter().zip(&gn) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

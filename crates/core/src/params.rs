@@ -7,8 +7,8 @@
 
 use adampack_geometry::Axis;
 use adampack_opt::{
-    Adam, AdamConfig, ConstantLr, CosineAnnealingLr, LrScheduler, NAdam, NAdamConfig, Optimizer,
-    ReduceLrOnPlateau, ReduceLrOnPlateauConfig, RmsProp, RmsPropConfig, Sgd, SgdConfig,
+    Adam, AdamConfig, ConstantLr, CosineAnnealingLr, Kernel, LrScheduler, NAdam, NAdamConfig,
+    Optimizer, ReduceLrOnPlateau, ReduceLrOnPlateauConfig, RmsProp, RmsPropConfig, Sgd, SgdConfig,
 };
 
 use crate::neighbor::NeighborStrategy;
@@ -69,13 +69,22 @@ pub enum OptimizerKind {
 }
 
 impl OptimizerKind {
-    /// Instantiates the optimizer for `n_params` scalar parameters.
+    /// Instantiates the optimizer for `n_params` scalar parameters with the
+    /// default arithmetic kernel.
     pub fn build(self, lr: f64, n_params: usize) -> Box<dyn Optimizer> {
+        self.build_with_kernel(lr, n_params, Kernel::default())
+    }
+
+    /// Instantiates the optimizer with an explicit arithmetic kernel for
+    /// its update loop (honored by the Adam family; the ablation
+    /// optimizers are scalar-only and ignore it).
+    pub fn build_with_kernel(self, lr: f64, n_params: usize, kernel: Kernel) -> Box<dyn Optimizer> {
         match self {
             OptimizerKind::AmsGrad => Box::new(Adam::new(
                 AdamConfig {
                     lr,
                     amsgrad: true,
+                    kernel,
                     ..AdamConfig::default()
                 },
                 n_params,
@@ -84,6 +93,7 @@ impl OptimizerKind {
                 AdamConfig {
                     lr,
                     amsgrad: false,
+                    kernel,
                     ..AdamConfig::default()
                 },
                 n_params,
@@ -234,6 +244,10 @@ pub struct PackingParams {
     pub improvement_tol: f64,
     /// Neighbor-search pipeline configuration (strategy + Verlet skin).
     pub neighbor: NeighborParams,
+    /// Arithmetic kernel for the hot loops (objective pair/plane scans and
+    /// the Adam update). `Simd` and `Scalar` are bitwise interchangeable;
+    /// the scalar path survives as the correctness oracle.
+    pub kernel: Kernel,
 }
 
 impl Default for PackingParams {
@@ -253,6 +267,7 @@ impl Default for PackingParams {
             spawn_density: 0.20,
             improvement_tol: 1e-6,
             neighbor: NeighborParams::default(),
+            kernel: Kernel::default(),
         }
     }
 }
@@ -300,6 +315,7 @@ mod tests {
         assert!(p.accept_max_overlap >= p.accept_mean_overlap);
         assert_eq!(p.neighbor.strategy, NeighborStrategy::Auto);
         assert!((p.neighbor.skin_factor - 0.4).abs() < 1e-12);
+        assert_eq!(p.kernel, Kernel::Simd);
         p.validate();
     }
 

@@ -2,7 +2,9 @@
 //! PyTorch-compatible update semantics.
 
 use rayon::par;
+use wide::f64x4;
 
+use crate::kernel::Kernel;
 use crate::optimizer::{check_sizes, Optimizer};
 
 /// Hyper-parameters for [`Adam`]. Defaults match `torch.optim.Adam`.
@@ -21,6 +23,9 @@ pub struct AdamConfig {
     /// Enables the AMSGrad maximum over second moments, the variant the
     /// paper uses ("Adaptive Moment Estimation with stable steps").
     pub amsgrad: bool,
+    /// Which implementation runs the slot update (scalar oracle vs 4-lane
+    /// fused). Both are bitwise identical; see [`Kernel`].
+    pub kernel: Kernel,
 }
 
 impl Default for AdamConfig {
@@ -32,6 +37,7 @@ impl Default for AdamConfig {
             eps: 1e-8,
             weight_decay: 0.0,
             amsgrad: false,
+            kernel: Kernel::default(),
         }
     }
 }
@@ -126,42 +132,51 @@ impl Optimizer for Adam {
             eps,
             weight_decay,
             amsgrad,
+            kernel: _,
         } = self.cfg;
         let bc1 = 1.0 - beta1.powi(self.t as i32);
         let bc2 = 1.0 - beta2.powi(self.t as i32);
 
         // Element-wise update, one writer per slot: parallel chunking
         // cannot change the arithmetic, so the trajectory is bitwise
-        // identical for any thread count.
+        // identical for any thread count. The SIMD kernel fuses four slots
+        // per lane but performs the identical IEEE operation sequence per
+        // element, so scalar and simd trajectories are bitwise identical
+        // too (the `LegacyScalar` bench baseline shares the scalar update —
+        // the pre-PR-4 optimizer arithmetic never changed).
+        let upd = Update {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+            bc1,
+            bc2,
+        };
+        let simd = self.cfg.kernel == Kernel::Simd;
         if amsgrad {
-            par::for_each_slot_zip4(
+            par::for_each_window_zip4(
                 params,
                 &mut self.m,
                 &mut self.v,
                 &mut self.v_max,
-                |i, p, m, v, vm| {
-                    let g = grads[i] + weight_decay * *p;
-                    let m_new = beta1 * *m + (1.0 - beta1) * g;
-                    let v_new = beta2 * *v + (1.0 - beta2) * g * g;
-                    *m = m_new;
-                    *v = v_new;
-                    let v_eff = (*vm).max(v_new);
-                    *vm = v_eff;
-                    let m_hat = m_new / bc1;
-                    let denom = (v_eff / bc2).sqrt() + eps;
-                    *p -= lr * m_hat / denom;
+                |start, p, m, v, vm| {
+                    let g = &grads[start..start + p.len()];
+                    if simd {
+                        upd.amsgrad_window_simd(p, m, v, vm, g);
+                    } else {
+                        upd.amsgrad_window_scalar(p, m, v, vm, g);
+                    }
                 },
             );
         } else {
-            par::for_each_slot_zip3(params, &mut self.m, &mut self.v, |i, p, m, v| {
-                let g = grads[i] + weight_decay * *p;
-                let m_new = beta1 * *m + (1.0 - beta1) * g;
-                let v_new = beta2 * *v + (1.0 - beta2) * g * g;
-                *m = m_new;
-                *v = v_new;
-                let m_hat = m_new / bc1;
-                let denom = (v_new / bc2).sqrt() + eps;
-                *p -= lr * m_hat / denom;
+            par::for_each_window_zip3(params, &mut self.m, &mut self.v, |start, p, m, v| {
+                let g = &grads[start..start + p.len()];
+                if simd {
+                    upd.plain_window_simd(p, m, v, g);
+                } else {
+                    upd.plain_window_scalar(p, m, v, g);
+                }
             });
         }
     }
@@ -191,9 +206,201 @@ impl Optimizer for Adam {
     }
 }
 
+/// Per-step scalar constants of the Adam update, shared by the scalar and
+/// SIMD window bodies.
+#[derive(Clone, Copy)]
+struct Update {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    weight_decay: f64,
+    bc1: f64,
+    bc2: f64,
+}
+
+/// Stores the four lanes of `v` into `dst[..4]`.
+#[inline]
+fn store(dst: &mut [f64], v: f64x4) {
+    dst[..4].copy_from_slice(&v.to_array());
+}
+
+impl Update {
+    /// Scalar AMSGrad update over one contiguous window (the oracle body;
+    /// also the tail of the SIMD body). `v_eff` uses the SSE-style maximum
+    /// (`if a > b { a } else { b }`) so lane and tail agree bitwise
+    /// unconditionally; second moments are non-negative, so this matches
+    /// `f64::max` on every reachable input.
+    fn amsgrad_window_scalar(
+        &self,
+        p: &mut [f64],
+        m: &mut [f64],
+        v: &mut [f64],
+        vm: &mut [f64],
+        g: &[f64],
+    ) {
+        for i in 0..p.len() {
+            let gi = g[i] + self.weight_decay * p[i];
+            let m_new = self.beta1 * m[i] + (1.0 - self.beta1) * gi;
+            let v_new = self.beta2 * v[i] + (1.0 - self.beta2) * gi * gi;
+            m[i] = m_new;
+            v[i] = v_new;
+            let v_eff = if vm[i] > v_new { vm[i] } else { v_new };
+            vm[i] = v_eff;
+            let m_hat = m_new / self.bc1;
+            let denom = (v_eff / self.bc2).sqrt() + self.eps;
+            p[i] -= self.lr * m_hat / denom;
+        }
+    }
+
+    /// Lane-fused AMSGrad update: four slots per iteration, scalar tail.
+    /// Every operation is element-wise IEEE in the same sequence as the
+    /// scalar body, so the result is bitwise identical to it — chunk
+    /// boundaries (which move with the pool width) cannot affect the
+    /// trajectory.
+    fn amsgrad_window_simd(
+        &self,
+        p: &mut [f64],
+        m: &mut [f64],
+        v: &mut [f64],
+        vm: &mut [f64],
+        g: &[f64],
+    ) {
+        let n = p.len();
+        let lanes = n - n % 4;
+        let b1 = f64x4::splat(self.beta1);
+        let one_m_b1 = f64x4::splat(1.0 - self.beta1);
+        let b2 = f64x4::splat(self.beta2);
+        let one_m_b2 = f64x4::splat(1.0 - self.beta2);
+        let lr = f64x4::splat(self.lr);
+        let eps = f64x4::splat(self.eps);
+        let wd = f64x4::splat(self.weight_decay);
+        let bc1 = f64x4::splat(self.bc1);
+        let bc2 = f64x4::splat(self.bc2);
+        let mut i = 0;
+        while i < lanes {
+            let pv = f64x4::from_slice(&p[i..]);
+            let gv = f64x4::from_slice(&g[i..]) + wd * pv;
+            let m_new = b1 * f64x4::from_slice(&m[i..]) + one_m_b1 * gv;
+            let v_new = b2 * f64x4::from_slice(&v[i..]) + (one_m_b2 * gv) * gv;
+            let v_eff = f64x4::from_slice(&vm[i..]).max(v_new);
+            let m_hat = m_new / bc1;
+            let denom = (v_eff / bc2).sqrt() + eps;
+            store(&mut p[i..], pv - lr * m_hat / denom);
+            store(&mut m[i..], m_new);
+            store(&mut v[i..], v_new);
+            store(&mut vm[i..], v_eff);
+            i += 4;
+        }
+        self.amsgrad_window_scalar(
+            &mut p[lanes..],
+            &mut m[lanes..],
+            &mut v[lanes..],
+            &mut vm[lanes..],
+            &g[lanes..],
+        );
+    }
+
+    /// Scalar plain-Adam update over one contiguous window.
+    fn plain_window_scalar(&self, p: &mut [f64], m: &mut [f64], v: &mut [f64], g: &[f64]) {
+        for i in 0..p.len() {
+            let gi = g[i] + self.weight_decay * p[i];
+            let m_new = self.beta1 * m[i] + (1.0 - self.beta1) * gi;
+            let v_new = self.beta2 * v[i] + (1.0 - self.beta2) * gi * gi;
+            m[i] = m_new;
+            v[i] = v_new;
+            let m_hat = m_new / self.bc1;
+            let denom = (v_new / self.bc2).sqrt() + self.eps;
+            p[i] -= self.lr * m_hat / denom;
+        }
+    }
+
+    /// Lane-fused plain-Adam update (see [`Update::amsgrad_window_simd`]).
+    fn plain_window_simd(&self, p: &mut [f64], m: &mut [f64], v: &mut [f64], g: &[f64]) {
+        let n = p.len();
+        let lanes = n - n % 4;
+        let b1 = f64x4::splat(self.beta1);
+        let one_m_b1 = f64x4::splat(1.0 - self.beta1);
+        let b2 = f64x4::splat(self.beta2);
+        let one_m_b2 = f64x4::splat(1.0 - self.beta2);
+        let lr = f64x4::splat(self.lr);
+        let eps = f64x4::splat(self.eps);
+        let wd = f64x4::splat(self.weight_decay);
+        let bc1 = f64x4::splat(self.bc1);
+        let bc2 = f64x4::splat(self.bc2);
+        let mut i = 0;
+        while i < lanes {
+            let pv = f64x4::from_slice(&p[i..]);
+            let gv = f64x4::from_slice(&g[i..]) + wd * pv;
+            let m_new = b1 * f64x4::from_slice(&m[i..]) + one_m_b1 * gv;
+            let v_new = b2 * f64x4::from_slice(&v[i..]) + (one_m_b2 * gv) * gv;
+            let m_hat = m_new / bc1;
+            let denom = (v_new / bc2).sqrt() + eps;
+            store(&mut p[i..], pv - lr * m_hat / denom);
+            store(&mut m[i..], m_new);
+            store(&mut v[i..], v_new);
+            i += 4;
+        }
+        self.plain_window_scalar(
+            &mut p[lanes..],
+            &mut m[lanes..],
+            &mut v[lanes..],
+            &g[lanes..],
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Scalar and SIMD kernels must produce bitwise-identical trajectories,
+    /// including at window tails (sizes not divisible by the lane width).
+    #[test]
+    fn scalar_and_simd_kernels_agree_bitwise() {
+        for amsgrad in [false, true] {
+            for n in [1, 3, 4, 7, 64, 131] {
+                let cfg = AdamConfig {
+                    lr: 0.05,
+                    weight_decay: 0.01,
+                    amsgrad,
+                    ..AdamConfig::default()
+                };
+                let mut scalar = Adam::new(
+                    AdamConfig {
+                        kernel: Kernel::Scalar,
+                        ..cfg
+                    },
+                    n,
+                );
+                let mut simd = Adam::new(
+                    AdamConfig {
+                        kernel: Kernel::Simd,
+                        ..cfg
+                    },
+                    n,
+                );
+                let mut ps: Vec<f64> = (0..n).map(|i| (i as f64) * 0.37 - 1.0).collect();
+                let mut pv = ps.clone();
+                for step in 0..25 {
+                    let g: Vec<f64> = (0..n)
+                        .map(|i| ((i * 31 + step * 17) % 97) as f64 * 0.11 - 5.0)
+                        .collect();
+                    scalar.step(&mut ps, &g);
+                    simd.step(&mut pv, &g);
+                }
+                for i in 0..n {
+                    assert_eq!(
+                        ps[i].to_bits(),
+                        pv[i].to_bits(),
+                        "n={n} amsgrad={amsgrad} slot {i}: {} vs {}",
+                        ps[i],
+                        pv[i]
+                    );
+                }
+            }
+        }
+    }
 
     #[test]
     fn first_step_matches_hand_computation() {

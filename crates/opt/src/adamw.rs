@@ -59,6 +59,7 @@ impl AdamW {
                     eps: cfg.eps,
                     weight_decay: 0.0, // decoupled: applied here, not inside
                     amsgrad: cfg.amsgrad,
+                    ..AdamConfig::default()
                 },
                 n_params,
             ),

@@ -34,6 +34,7 @@
 mod adagrad;
 mod adam;
 mod adamw;
+mod kernel;
 mod nadam;
 mod optimizer;
 mod rmsprop;
@@ -43,6 +44,7 @@ mod sgd;
 pub use adagrad::{AdaGrad, AdaGradConfig};
 pub use adam::{Adam, AdamConfig};
 pub use adamw::{AdamW, AdamWConfig};
+pub use kernel::Kernel;
 pub use nadam::{NAdam, NAdamConfig};
 pub use optimizer::Optimizer;
 pub use rmsprop::{RmsProp, RmsPropConfig};

@@ -264,6 +264,16 @@ pub static PHASE_GRID_BUILD: Histogram = Histogram::new(
     "adampack_phase_grid_build_nanoseconds",
     "CSR cell-grid counting-sort rebin time",
 );
+/// Scalar-kernel fused objective evaluation time.
+pub static PHASE_KERNEL_SCALAR: Histogram = Histogram::new(
+    "adampack_phase_kernel_scalar_nanoseconds",
+    "Scalar-kernel fused objective evaluation time",
+);
+/// SIMD-kernel fused objective evaluation time.
+pub static PHASE_KERNEL_SIMD: Histogram = Histogram::new(
+    "adampack_phase_kernel_simd_nanoseconds",
+    "SIMD-kernel fused objective evaluation time",
+);
 
 static COUNTERS: [&Counter; 10] = [
     &STEPS_TOTAL,
@@ -278,7 +288,7 @@ static COUNTERS: [&Counter; 10] = [
     &TRACE_RECORDS_DROPPED_TOTAL,
 ];
 
-static HISTOGRAMS: [&Histogram; 7] = [
+static HISTOGRAMS: [&Histogram; 9] = [
     &PHASE_SPAWN,
     &PHASE_GRADIENT,
     &PHASE_OPTIMIZER,
@@ -286,6 +296,8 @@ static HISTOGRAMS: [&Histogram; 7] = [
     &PHASE_ACCEPTANCE,
     &PHASE_DEM_STEP,
     &PHASE_GRID_BUILD,
+    &PHASE_KERNEL_SCALAR,
+    &PHASE_KERNEL_SIMD,
 ];
 
 /// A packing-loop phase with a dedicated duration histogram.
@@ -305,6 +317,10 @@ pub enum Phase {
     DemStep,
     /// CSR cell-grid counting-sort rebin.
     GridBuild,
+    /// Fused objective evaluation through the scalar oracle kernel.
+    KernelScalar,
+    /// Fused objective evaluation through the vectorized kernel.
+    KernelSimd,
 }
 
 impl Phase {
@@ -318,6 +334,8 @@ impl Phase {
             Phase::Acceptance => &PHASE_ACCEPTANCE,
             Phase::DemStep => &PHASE_DEM_STEP,
             Phase::GridBuild => &PHASE_GRID_BUILD,
+            Phase::KernelScalar => &PHASE_KERNEL_SCALAR,
+            Phase::KernelSimd => &PHASE_KERNEL_SIMD,
         }
     }
 }

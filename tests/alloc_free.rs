@@ -98,6 +98,9 @@ fn steady_state_body() {
         coords.push(rng.gen_range(-0.4..0.4));
     }
 
+    // The default kernel is SIMD, so the measured window also audits the
+    // per-step SoA coordinate/plane snapshot refresh: after warm-up the
+    // padded columns are resized in place, never reallocated.
     let objective = Objective::new(
         ObjectiveWeights::default(),
         Axis::Z,
@@ -106,6 +109,7 @@ fn steady_state_body() {
         &fixed,
     )
     .with_neighbor(NeighborStrategy::Verlet, 0.05);
+    assert_eq!(objective.kernel(), adampack_core::Kernel::Simd);
 
     let mut ws = Workspace::new();
     let mut grad = vec![0.0; coords.len()];

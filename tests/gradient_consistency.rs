@@ -6,7 +6,7 @@
 use adampack_autograd::{gradient_check, Graph, Var};
 use adampack_core::neighbor::{CsrGrid, NeighborStrategy, Workspace};
 use adampack_core::objective::{Objective, ObjectiveWeights};
-use adampack_core::Container;
+use adampack_core::{Container, Kernel};
 use adampack_geometry::{shapes, Axis, Vec3};
 use proptest::prelude::*;
 
@@ -167,6 +167,38 @@ fn verlet_path_equals_autograd_on_dense_configuration() {
     };
     let worst = adampack_autograd::gradient_check(f, &coords, &grad, 1e-6);
     assert!(worst < 1e-5, "worst relative discrepancy {worst}");
+}
+
+#[test]
+fn simd_kernel_equals_autograd_explicitly() {
+    // The other tests cover the vectorized objective implicitly (SIMD is
+    // the default kernel); this one pins both kernels explicitly so the
+    // cross-validation against the tape survives a change of default.
+    let (container, fixed_spheres, grid) = setup();
+    let radii = [0.3, 0.25, 0.35, 0.2];
+    let coords = vec![
+        0.1, 0.05, -0.45, 0.35, 0.1, -0.3, 0.85, 0.8, 0.9, -0.2, 0.3, -0.35,
+    ];
+    let w = ObjectiveWeights::default();
+    let planes = container.halfspaces().coefficient_rows();
+    let (v_auto, g_auto) = autograd_objective(&coords, &radii, &fixed_spheres, &planes, w);
+
+    for kernel in [Kernel::Simd, Kernel::Scalar] {
+        let obj =
+            Objective::new(w, Axis::Z, container.halfspaces(), &radii, &grid).with_kernel(kernel);
+        let mut grad = vec![0.0; coords.len()];
+        let v = obj.value_and_grad(&coords, &mut grad);
+        assert!(
+            (v - v_auto).abs() < 1e-9 * v_auto.abs().max(1.0),
+            "{kernel}: value {v} vs autograd {v_auto}"
+        );
+        for (i, (a, b)) in grad.iter().zip(&g_auto).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-9 * b.abs().max(1.0),
+                "{kernel}: gradient {i}: {a} vs autograd {b}"
+            );
+        }
+    }
 }
 
 #[test]
