@@ -30,12 +30,32 @@ use adampack_telemetry::{info, warn, JsonlWriter};
 pub enum CliError {
     /// Configuration loading/validation failure.
     Config(ConfigError),
-    /// Geometry failure (hull construction etc.).
+    /// Geometry failure (hull construction, container sanity, …).
     Geometry(String),
     /// I/O failure.
     Io(std::io::Error),
     /// Bad command-line usage.
     Usage(String),
+    /// The packing run itself failed (divergence budget exhausted, resume
+    /// state mismatch).
+    Pack(PackError),
+    /// Checkpoint files exist but none could be loaded.
+    Checkpoint(String),
+}
+
+impl CliError {
+    /// Stable process exit code for scripts: each failure class gets its
+    /// own value (success is 0).
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Config(_) => 3,
+            CliError::Geometry(_) => 4,
+            CliError::Io(_) => 5,
+            CliError::Pack(PackError::Diverged { .. }) => 6,
+            CliError::Pack(PackError::Resume(_)) | CliError::Checkpoint(_) => 7,
+        }
+    }
 }
 
 impl std::fmt::Display for CliError {
@@ -45,11 +65,19 @@ impl std::fmt::Display for CliError {
             CliError::Geometry(m) => write!(f, "geometry error: {m}"),
             CliError::Io(e) => write!(f, "i/o error: {e}"),
             CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Pack(e) => write!(f, "{e}"),
+            CliError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
         }
     }
 }
 
 impl std::error::Error for CliError {}
+
+impl From<PackError> for CliError {
+    fn from(e: PackError) -> Self {
+        CliError::Pack(e)
+    }
+}
 
 impl From<ConfigError> for CliError {
     fn from(e: ConfigError) -> Self {
@@ -83,6 +111,30 @@ fn load_zone_hull(p: &Path) -> Result<ConvexHull, ConfigError> {
     ConvexHull::from_mesh(&mesh).map_err(|e| ConfigError::Field(e.to_string()))
 }
 
+/// Loads and sanity-checks the container mesh, naming the file and the
+/// offending facet on failure. Non-convexity is only a warning — the
+/// pipeline packs into the convex hull by design — but a sliver facet, an
+/// open edge or inverted winding means the file does not describe the
+/// container the user thinks it does, so those are hard errors.
+fn load_container_mesh(path: &Path) -> Result<adampack_geometry::TriMesh, CliError> {
+    let mesh = adampack_io::read_stl_path(path).map_err(|e| CliError::Geometry(e.to_string()))?;
+    match adampack_geometry::container_sanity(&mesh, 1e-6) {
+        Ok(()) => {}
+        Err(adampack_geometry::SanityError::NotConvex {
+            mesh_volume,
+            hull_volume,
+        }) => warn!(
+            "container {}: mesh is not convex (volume {mesh_volume:.6e} vs hull \
+             {hull_volume:.6e}); packing into its convex hull",
+            path.display()
+        ),
+        Err(e) => {
+            return Err(CliError::Geometry(format!("{}: {e}", path.display())));
+        }
+    }
+    Ok(mesh)
+}
+
 /// Command-line overrides layered over the configuration's `telemetry:`
 /// block (a CLI flag always wins over the YAML value).
 #[derive(Debug, Clone, Default)]
@@ -104,6 +156,88 @@ pub struct PackOptions {
     /// to the configuration's `params.kernel` (default `simd`). Purely a
     /// performance knob: both kernels produce bitwise identical packings.
     pub kernel: Option<Kernel>,
+    /// Checkpoint file (`--checkpoint`); overrides `checkpoint.path`.
+    pub checkpoint: Option<PathBuf>,
+    /// Checkpoint cadence in optimizer steps (`--checkpoint-every`);
+    /// overrides `checkpoint.every_steps`.
+    pub checkpoint_every: Option<usize>,
+    /// Checkpoint files retained (`--checkpoint-keep`); overrides
+    /// `checkpoint.keep_last`.
+    pub checkpoint_keep: Option<usize>,
+    /// Resume from the newest readable checkpoint (`--resume`). Starts
+    /// fresh (with a warning) when no checkpoint file exists yet; fails
+    /// when checkpoints exist but all are corrupt.
+    pub resume: bool,
+}
+
+/// The resolved checkpoint settings (CLI flags layered over the YAML
+/// `checkpoint:` block).
+#[derive(Debug, Clone)]
+struct CheckpointSettings {
+    path: PathBuf,
+    every_steps: usize,
+    keep_last: usize,
+}
+
+fn resolve_checkpoint(cfg: &PackingConfig, opts: &PackOptions) -> Option<CheckpointSettings> {
+    use adampack_config::CheckpointConfig;
+    let path = opts
+        .checkpoint
+        .clone()
+        .or_else(|| cfg.checkpoint.as_ref().map(|c| c.path.clone()))?;
+    Some(CheckpointSettings {
+        path,
+        every_steps: opts
+            .checkpoint_every
+            .or_else(|| cfg.checkpoint.as_ref().map(|c| c.every_steps))
+            .unwrap_or(CheckpointConfig::DEFAULT_EVERY_STEPS),
+        keep_last: opts
+            .checkpoint_keep
+            .or_else(|| cfg.checkpoint.as_ref().map(|c| c.keep_last))
+            .unwrap_or(CheckpointConfig::DEFAULT_KEEP_LAST),
+    })
+}
+
+/// Bridges the core packer's checkpoint cadence to the rotating atomic
+/// file writer in `adampack-io`.
+struct FileCheckpointSink {
+    writer: adampack_io::RotatingCheckpointWriter,
+}
+
+impl CheckpointSink for FileCheckpointSink {
+    fn save(&mut self, state: &RunState) -> Result<(), String> {
+        let bytes = adampack_core::checkpoint::encode(state);
+        self.writer.save(&bytes).map_err(|e| e.to_string())
+    }
+}
+
+/// Loads the newest readable checkpoint from the rotation chain.
+///
+/// `Ok(None)` means no checkpoint file exists yet (fresh start); an error
+/// means files exist but every candidate was rejected (corrupt state is
+/// never silently discarded).
+fn load_latest_checkpoint(
+    path: &Path,
+    keep_last: usize,
+) -> Result<Option<(PathBuf, RunState)>, CliError> {
+    let candidates = adampack_io::checkpoint_candidates(path, keep_last);
+    if candidates.is_empty() {
+        return Ok(None);
+    }
+    for cand in &candidates {
+        match std::fs::read(cand) {
+            Err(e) => warn!("checkpoint {} unreadable: {e}", cand.display()),
+            Ok(bytes) => match adampack_core::checkpoint::decode(&bytes) {
+                Ok(state) => return Ok(Some((cand.clone(), state))),
+                Err(e) => warn!("checkpoint {} rejected: {e}", cand.display()),
+            },
+        }
+    }
+    Err(CliError::Checkpoint(format!(
+        "all {} checkpoint file(s) at {} are corrupt",
+        candidates.len(),
+        path.display()
+    )))
 }
 
 /// Runs a packing described by a configuration file and optionally writes
@@ -162,8 +296,7 @@ fn run_pack_configured(
     trace_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
 ) -> Result<RunSummary, CliError> {
-    let mesh = adampack_io::read_stl_file(&cfg.container_path)
-        .map_err(|e| CliError::Geometry(e.to_string()))?;
+    let mesh = load_container_mesh(&cfg.container_path)?;
     let container = Container::from_mesh(&mesh).map_err(|e| CliError::Geometry(e.to_string()))?;
     let mut params = cfg.to_packing_params();
     if let Some(kernel) = opts.kernel {
@@ -173,6 +306,10 @@ fn run_pack_configured(
     let collective = cfg.algorithm.eq_ignore_ascii_case("COLLECTIVE_ARRANGEMENT");
     if trace_out.is_some() && !(collective && cfg.zones.is_empty()) {
         warn!("step tracing is only available for single-zone COLLECTIVE_ARRANGEMENT runs; no trace will be written");
+    }
+    let checkpoint = resolve_checkpoint(cfg, opts);
+    if (checkpoint.is_some() || opts.resume) && !(collective && cfg.zones.is_empty()) {
+        warn!("checkpoint/resume is only available for single-zone COLLECTIVE_ARRANGEMENT runs; no checkpoints will be written");
     }
 
     let result = if cfg.zones.is_empty() {
@@ -189,10 +326,51 @@ fn run_pack_configured(
             let mut p = params.clone();
             p.target_count = n;
             let mut packer = CollectivePacker::new(container.clone(), p);
+            // Locate resume state first: the trace file must be appended
+            // to (not truncated) when continuing an interrupted run.
+            let resume_state = match (&checkpoint, opts.resume) {
+                (Some(ck), true) => {
+                    let loaded = load_latest_checkpoint(&ck.path, ck.keep_last)?;
+                    if loaded.is_none() {
+                        warn!(
+                            "--resume: no checkpoint at {}, starting fresh",
+                            ck.path.display()
+                        );
+                    }
+                    loaded
+                }
+                (None, true) => {
+                    return Err(CliError::Usage(
+                        "--resume requires a checkpoint path (--checkpoint or the \
+                         configuration's checkpoint: block)"
+                            .into(),
+                    ));
+                }
+                _ => None,
+            };
             if let Some(path) = &trace_out {
-                let file = std::fs::File::create(path)?;
+                let file = if resume_state.is_some() {
+                    std::fs::OpenOptions::new()
+                        .create(true)
+                        .append(true)
+                        .open(path)?
+                } else {
+                    std::fs::File::create(path)?
+                };
                 packer.set_trace_sink(Box::new(JsonlWriter::new(std::io::BufWriter::new(file))));
                 info!("streaming step trace to {}", path.display());
+            }
+            if let Some(ck) = &checkpoint {
+                let sink = FileCheckpointSink {
+                    writer: adampack_io::RotatingCheckpointWriter::new(&ck.path, ck.keep_last),
+                };
+                packer.set_checkpoint_sink(Box::new(sink), ck.every_steps);
+                info!(
+                    "checkpointing to {} every {} steps (keeping {})",
+                    ck.path.display(),
+                    ck.every_steps,
+                    ck.keep_last
+                );
             }
             if cfg.params.verbosity > 0 {
                 let every = cfg.params.verbosity;
@@ -209,7 +387,18 @@ fn run_pack_configured(
                     }
                 });
             }
-            let result = packer.pack(&psd);
+            let result = match resume_state {
+                Some((from, state)) => {
+                    info!(
+                        "resuming from {} ({} particles packed, batch {})",
+                        from.display(),
+                        state.packed,
+                        state.batch_index
+                    );
+                    packer.resume(&psd, state)?
+                }
+                None => packer.try_pack(&psd)?,
+            };
             // Drop the sink so buffered trace lines hit the file.
             drop(packer.take_trace_sink());
             result
@@ -314,8 +503,7 @@ pub fn write_particles(path: &Path, result: &PackResult) -> Result<(), CliError>
 /// running the packing.
 pub fn run_info(config_path: &Path) -> Result<String, CliError> {
     let cfg = PackingConfig::from_file(config_path)?;
-    let mesh = adampack_io::read_stl_file(&cfg.container_path)
-        .map_err(|e| CliError::Geometry(e.to_string()))?;
+    let mesh = load_container_mesh(&cfg.container_path)?;
     let container = Container::from_mesh(&mesh).map_err(|e| CliError::Geometry(e.to_string()))?;
     let mut s = String::new();
     use std::fmt::Write;
@@ -501,5 +689,109 @@ mod tests {
     fn missing_config_is_io_error() {
         let err = run_pack(Path::new("/definitely/not/here.yaml"), None).unwrap_err();
         assert!(matches!(err, CliError::Config(_)));
+    }
+
+    #[test]
+    fn exit_codes_are_distinct_per_class() {
+        let codes = [
+            CliError::Usage("u".into()).exit_code(),
+            CliError::Config(ConfigError::Field("f".into())).exit_code(),
+            CliError::Geometry("g".into()).exit_code(),
+            CliError::Io(std::io::Error::other("io")).exit_code(),
+            CliError::Pack(PackError::Diverged {
+                batch: 0,
+                step: 1,
+                recoveries: 2,
+            })
+            .exit_code(),
+            CliError::Checkpoint("c".into()).exit_code(),
+        ];
+        let mut unique = codes.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), codes.len(), "codes collide: {codes:?}");
+        assert!(codes.iter().all(|&c| c != 0), "0 is reserved for success");
+    }
+
+    #[test]
+    fn checkpoint_flag_writes_a_resumable_file() {
+        let dir = std::env::temp_dir().join("adampack_cli_ckpt");
+        let cfg = setup_config(&dir, "COLLECTIVE_ARRANGEMENT", false);
+        let ckpt = dir.join("run.ckpt");
+        let opts = PackOptions {
+            checkpoint: Some(ckpt.clone()),
+            checkpoint_every: Some(40),
+            checkpoint_keep: Some(2),
+            log_level: Some(ConsoleLevel::Off),
+            ..PackOptions::default()
+        };
+        let summary = run_pack_opts(&cfg, &opts).unwrap();
+        assert!(summary.packed > 10);
+        let bytes = std::fs::read(&ckpt).expect("checkpoint written");
+        let state = adampack_core::checkpoint::decode(&bytes).expect("checkpoint decodes");
+        assert_eq!(state.seed, 3, "seed from setup_config");
+        assert!(!state.particles.is_empty() || state.batch.is_some());
+    }
+
+    #[test]
+    fn resume_without_checkpoint_path_is_usage_error() {
+        let dir = std::env::temp_dir().join("adampack_cli_resume_nopath");
+        let cfg = setup_config(&dir, "COLLECTIVE_ARRANGEMENT", false);
+        let opts = PackOptions {
+            resume: true,
+            log_level: Some(ConsoleLevel::Off),
+            ..PackOptions::default()
+        };
+        let err = run_pack_opts(&cfg, &opts).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err:?}");
+    }
+
+    #[test]
+    fn resume_without_existing_checkpoint_starts_fresh() {
+        let dir = std::env::temp_dir().join("adampack_cli_resume_fresh");
+        let cfg = setup_config(&dir, "COLLECTIVE_ARRANGEMENT", false);
+        let ckpt = dir.join("never_written.ckpt");
+        std::fs::remove_file(&ckpt).ok();
+        let opts = PackOptions {
+            checkpoint: Some(ckpt),
+            resume: true,
+            log_level: Some(ConsoleLevel::Off),
+            ..PackOptions::default()
+        };
+        let summary = run_pack_opts(&cfg, &opts).unwrap();
+        assert!(summary.packed > 10);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_without_fallback_is_checkpoint_error() {
+        let dir = std::env::temp_dir().join("adampack_cli_resume_corrupt");
+        let cfg = setup_config(&dir, "COLLECTIVE_ARRANGEMENT", false);
+        let ckpt = dir.join("run.ckpt");
+        std::fs::write(&ckpt, b"definitely not a checkpoint").unwrap();
+        let opts = PackOptions {
+            checkpoint: Some(ckpt),
+            resume: true,
+            log_level: Some(ConsoleLevel::Off),
+            ..PackOptions::default()
+        };
+        let err = run_pack_opts(&cfg, &opts).unwrap_err();
+        assert!(matches!(err, CliError::Checkpoint(_)), "{err:?}");
+        assert_eq!(err.exit_code(), 7);
+    }
+
+    #[test]
+    fn open_container_mesh_rejected_naming_the_facet() {
+        let dir = std::env::temp_dir().join("adampack_cli_badmesh");
+        let cfg = setup_config(&dir, "COLLECTIVE_ARRANGEMENT", false);
+        // Overwrite the container with an open box (one facet removed).
+        let mut boxm = shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0));
+        boxm.faces.pop();
+        let f = std::fs::File::create(dir.join("box.stl")).unwrap();
+        write_stl_ascii(std::io::BufWriter::new(f), &boxm, "open box").unwrap();
+        let err = run_pack(&cfg, None).unwrap_err();
+        assert!(matches!(err, CliError::Geometry(_)), "{err:?}");
+        let msg = err.to_string();
+        assert!(msg.contains("facet"), "{msg}");
+        assert!(msg.contains("box.stl"), "{msg}");
     }
 }

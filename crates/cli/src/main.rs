@@ -16,6 +16,8 @@ USAGE:
                   [--trace-out <run.jsonl>] [--metrics-out <metrics.prom>]
                   [--log-level <error|warn|info|debug|trace|off>]
                   [--threads <n>] [--kernel <scalar|simd>]
+                  [--checkpoint <run.ckpt>] [--checkpoint-every <steps>]
+                  [--checkpoint-keep <n>] [--resume]
     adampack info <config.yaml>
     adampack help
 
@@ -36,6 +38,18 @@ bitwise identical for any value.
 --kernel overrides the configuration's `params.kernel` arithmetic
 kernel for the hot loops (default simd). Both kernels produce bitwise
 identical packings; scalar survives as the correctness oracle.
+
+--checkpoint writes a crash-resume checkpoint (atomic temp+rename,
+rotated history) every --checkpoint-every optimizer steps (default 500),
+keeping --checkpoint-keep files (default 2); these flags override the
+configuration's `checkpoint:` block. --resume continues from the newest
+readable checkpoint — the resumed run finishes bitwise identical to an
+uninterrupted one — falling back to older rotated files when the newest
+is torn or corrupt.
+
+EXIT CODES:
+    0 success   2 usage   3 configuration   4 geometry   5 i/o
+    6 divergence budget exhausted   7 checkpoint/resume failure
 ";
 
 fn main() -> ExitCode {
@@ -43,7 +57,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             adampack_telemetry::error!("{e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }
@@ -66,6 +80,30 @@ fn dispatch(args: Vec<String>) -> Result<(), CliError> {
                     "--out" => opts.out = Some(value("--out")?),
                     "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
                     "--metrics-out" => opts.metrics_out = Some(value("--metrics-out")?),
+                    "--checkpoint" => opts.checkpoint = Some(value("--checkpoint")?),
+                    "--checkpoint-every" => {
+                        let v = it.next().ok_or_else(|| {
+                            CliError::Usage("--checkpoint-every requires a step count".into())
+                        })?;
+                        let steps: usize = v.parse().ok().filter(|&s| s > 0).ok_or_else(|| {
+                            CliError::Usage(format!(
+                                "--checkpoint-every expects a positive integer, got '{v}'"
+                            ))
+                        })?;
+                        opts.checkpoint_every = Some(steps);
+                    }
+                    "--checkpoint-keep" => {
+                        let v = it.next().ok_or_else(|| {
+                            CliError::Usage("--checkpoint-keep requires a count".into())
+                        })?;
+                        let keep: usize = v.parse().ok().filter(|&k| k > 0).ok_or_else(|| {
+                            CliError::Usage(format!(
+                                "--checkpoint-keep expects a positive integer, got '{v}'"
+                            ))
+                        })?;
+                        opts.checkpoint_keep = Some(keep);
+                    }
+                    "--resume" => opts.resume = true,
                     "--threads" => {
                         let v = it
                             .next()

@@ -1,0 +1,230 @@
+//! Dependency-free fault injection ("failpoints").
+//!
+//! Production code marks recoverable failure sites with
+//! [`should_fail`]`("site.name")`; tests arm a site with [`arm`] and the
+//! next `skip`-th through `skip + times`-th evaluations of that site report
+//! `true`, letting a suite force I/O errors, NaN objectives or panics at a
+//! precise step without touching the code under test.
+//!
+//! With the `enabled` cargo feature **off** (the default for release
+//! builds) every call compiles to a constant: there is no registry, no
+//! atomics, no branches — the facility vanishes. With the feature on, the
+//! unarmed fast path is a single relaxed atomic load (no lock, no
+//! allocation), so instrumented hot loops — the objective evaluation runs
+//! inside the allocation-free step path — stay allocation-free and cheap
+//! while nothing is armed.
+//!
+//! Sites are plain `&'static str` names; the registry is a tiny fixed-size
+//! table (no HashMap, no heap) guarded by a mutex that only the *armed*
+//! path and the control functions touch. Tests that arm failpoints must
+//! serialize themselves (the registry is process-global).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+#[cfg(feature = "enabled")]
+mod imp {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    /// Upper bound on simultaneously armed sites (plenty: the workspace
+    /// defines fewer than a dozen sites in total).
+    const MAX_ARMED: usize = 16;
+
+    #[derive(Clone, Copy)]
+    struct Armed {
+        site: &'static str,
+        /// Evaluations to let pass before failing.
+        skip: u64,
+        /// Failures still to deliver once `skip` is exhausted.
+        times: u64,
+        /// Evaluations seen so far.
+        seen: u64,
+        /// Failures delivered so far.
+        hits: u64,
+    }
+
+    struct Registry {
+        slots: [Option<Armed>; MAX_ARMED],
+    }
+
+    /// Number of armed sites; the unarmed fast path is one relaxed load of
+    /// this plus a compare against zero.
+    static ARMED_COUNT: AtomicUsize = AtomicUsize::new(0);
+    static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
+        slots: [None; MAX_ARMED],
+    });
+
+    /// Arms `site`: after `skip` passing evaluations, the next `times`
+    /// evaluations report failure. Re-arming an armed site replaces its
+    /// schedule and zeroes its counters.
+    pub fn arm(site: &'static str, skip: u64, times: u64) {
+        let mut reg = REGISTRY.lock().unwrap();
+        if let Some(slot) = reg
+            .slots
+            .iter_mut()
+            .find(|s| matches!(s, Some(a) if a.site == site))
+        {
+            *slot = Some(Armed {
+                site,
+                skip,
+                times,
+                seen: 0,
+                hits: 0,
+            });
+            return;
+        }
+        let slot = reg
+            .slots
+            .iter_mut()
+            .find(|s| s.is_none())
+            .expect("failpoint registry full");
+        *slot = Some(Armed {
+            site,
+            skip,
+            times,
+            seen: 0,
+            hits: 0,
+        });
+        ARMED_COUNT.fetch_add(1, Ordering::Release);
+    }
+
+    /// Disarms `site` (a no-op when it is not armed).
+    pub fn disarm(site: &str) {
+        let mut reg = REGISTRY.lock().unwrap();
+        for slot in reg.slots.iter_mut() {
+            if matches!(slot, Some(a) if a.site == site) {
+                *slot = None;
+                ARMED_COUNT.fetch_sub(1, Ordering::Release);
+            }
+        }
+    }
+
+    /// Disarms every site.
+    pub fn reset() {
+        let mut reg = REGISTRY.lock().unwrap();
+        for slot in reg.slots.iter_mut() {
+            if slot.take().is_some() {
+                ARMED_COUNT.fetch_sub(1, Ordering::Release);
+            }
+        }
+    }
+
+    /// Evaluates `site`: `true` means the caller must fail here.
+    #[inline]
+    pub fn should_fail(site: &str) -> bool {
+        if ARMED_COUNT.load(Ordering::Acquire) == 0 {
+            return false;
+        }
+        should_fail_slow(site)
+    }
+
+    #[cold]
+    fn should_fail_slow(site: &str) -> bool {
+        let mut reg = REGISTRY.lock().unwrap();
+        for slot in reg.slots.iter_mut().flatten() {
+            if slot.site == site {
+                let fire = slot.seen >= slot.skip && slot.hits < slot.times;
+                slot.seen += 1;
+                if fire {
+                    slot.hits += 1;
+                }
+                return fire;
+            }
+        }
+        false
+    }
+
+    /// Failures delivered so far at `site` (0 when not armed).
+    pub fn hits(site: &str) -> u64 {
+        let reg = REGISTRY.lock().unwrap();
+        reg.slots
+            .iter()
+            .flatten()
+            .find(|a| a.site == site)
+            .map_or(0, |a| a.hits)
+    }
+}
+
+#[cfg(feature = "enabled")]
+pub use imp::{arm, disarm, hits, reset, should_fail};
+
+#[cfg(not(feature = "enabled"))]
+mod imp_off {
+    /// Arms `site` (inert: the `enabled` feature is off).
+    pub fn arm(_site: &'static str, _skip: u64, _times: u64) {}
+    /// Disarms `site` (inert: the `enabled` feature is off).
+    pub fn disarm(_site: &str) {}
+    /// Disarms every site (inert: the `enabled` feature is off).
+    pub fn reset() {}
+    /// Always `false`: the `enabled` feature is off, so every site is a
+    /// constant the optimizer removes.
+    #[inline(always)]
+    pub fn should_fail(_site: &str) -> bool {
+        false
+    }
+    /// Always 0 (inert: the `enabled` feature is off).
+    pub fn hits(_site: &str) -> u64 {
+        0
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+pub use imp_off::{arm, disarm, hits, reset, should_fail};
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // The registry is process-global; serialize the tests.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn unarmed_site_never_fails() {
+        let _g = LOCK.lock().unwrap();
+        reset();
+        for _ in 0..100 {
+            assert!(!should_fail("test.unarmed"));
+        }
+    }
+
+    #[test]
+    fn skip_then_fire_times_then_pass() {
+        let _g = LOCK.lock().unwrap();
+        reset();
+        arm("test.site", 3, 2);
+        let fired: Vec<bool> = (0..8).map(|_| should_fail("test.site")).collect();
+        assert_eq!(
+            fired,
+            [false, false, false, true, true, false, false, false]
+        );
+        assert_eq!(hits("test.site"), 2);
+        reset();
+        assert!(!should_fail("test.site"));
+    }
+
+    #[test]
+    fn rearm_replaces_schedule_and_disarm_clears() {
+        let _g = LOCK.lock().unwrap();
+        reset();
+        arm("test.re", 0, 1);
+        assert!(should_fail("test.re"));
+        assert!(!should_fail("test.re"), "times exhausted");
+        arm("test.re", 0, 1);
+        assert!(should_fail("test.re"), "re-arm restarts the schedule");
+        disarm("test.re");
+        assert!(!should_fail("test.re"));
+        assert_eq!(hits("test.re"), 0);
+    }
+
+    #[test]
+    fn sites_are_independent() {
+        let _g = LOCK.lock().unwrap();
+        reset();
+        arm("test.a", 0, 1);
+        assert!(!should_fail("test.b"));
+        assert!(should_fail("test.a"));
+        reset();
+    }
+}

@@ -177,6 +177,27 @@ impl Default for TelemetryConfig {
     }
 }
 
+/// The `checkpoint:` block (crash-resume knobs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointConfig {
+    /// `path:` — checkpoint file. Like the telemetry outputs this is *not*
+    /// resolved against the config directory: output paths are relative to
+    /// the working directory.
+    pub path: PathBuf,
+    /// `every_steps:` — optimizer steps between checkpoints, default 500.
+    pub every_steps: usize,
+    /// `keep_last:` — checkpoint files retained (current + rotated
+    /// history), default 2.
+    pub keep_last: usize,
+}
+
+impl CheckpointConfig {
+    /// Default cadence when the block gives only a path.
+    pub const DEFAULT_EVERY_STEPS: usize = 500;
+    /// Default retention when the block gives only a path.
+    pub const DEFAULT_KEEP_LAST: usize = 2;
+}
+
 /// A `particle_sets:` entry.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ParticleSetConfig {
@@ -259,6 +280,8 @@ pub struct PackingConfig {
     pub neighbor: NeighborConfig,
     /// Observability settings (`telemetry:`), defaulted.
     pub telemetry: TelemetryConfig,
+    /// Crash-resume settings (`checkpoint:`); absent means no checkpoints.
+    pub checkpoint: Option<CheckpointConfig>,
     /// Particle sets.
     pub particle_sets: Vec<ParticleSetConfig>,
     /// Zones (empty means: one implicit everywhere-zone must be provided by
@@ -409,6 +432,39 @@ impl PackingConfig {
             }
         }
 
+        let checkpoint = match root.get("checkpoint") {
+            None => None,
+            Some(c) => {
+                let path = c
+                    .get("path")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| field("checkpoint.path is required"))?;
+                let every_steps = match c.get("every_steps").and_then(Value::as_i64) {
+                    None => CheckpointConfig::DEFAULT_EVERY_STEPS,
+                    Some(v) if v > 0 => v as usize,
+                    Some(v) => {
+                        return Err(field(format!(
+                            "checkpoint.every_steps must be positive, got {v}"
+                        )))
+                    }
+                };
+                let keep_last = match c.get("keep_last").and_then(Value::as_i64) {
+                    None => CheckpointConfig::DEFAULT_KEEP_LAST,
+                    Some(v) if v > 0 => v as usize,
+                    Some(v) => {
+                        return Err(field(format!(
+                            "checkpoint.keep_last must be positive, got {v}"
+                        )))
+                    }
+                };
+                Some(CheckpointConfig {
+                    path: PathBuf::from(path),
+                    every_steps,
+                    keep_last,
+                })
+            }
+        };
+
         let particle_sets = match root.get("particle_sets") {
             None => return Err(field("particle_sets is required")),
             Some(v) => {
@@ -445,6 +501,7 @@ impl PackingConfig {
             gravity_axis,
             neighbor,
             telemetry,
+            checkpoint,
             particle_sets,
             zones,
         })
@@ -784,7 +841,44 @@ zones:
         assert_eq!(cfg.gravity_axis, Axis::Z);
         assert_eq!(cfg.neighbor, NeighborConfig::default());
         assert_eq!(cfg.telemetry, TelemetryConfig::default());
+        assert_eq!(cfg.checkpoint, None);
         assert!(cfg.zones.is_empty());
+    }
+
+    #[test]
+    fn checkpoint_block_parses_with_defaults() {
+        let base = "container:\n  path: a.stl\nparticle_sets:\n  - radius_distribution: constant\n    radius_value: 0.1\n";
+        let src = format!("{base}checkpoint:\n  path: \"run.ckpt\"\n");
+        let cfg = PackingConfig::from_str(&src).unwrap();
+        assert_eq!(
+            cfg.checkpoint,
+            Some(CheckpointConfig {
+                path: PathBuf::from("run.ckpt"),
+                every_steps: CheckpointConfig::DEFAULT_EVERY_STEPS,
+                keep_last: CheckpointConfig::DEFAULT_KEEP_LAST,
+            })
+        );
+
+        let src =
+            format!("{base}checkpoint:\n  path: run.ckpt\n  every_steps: 100\n  keep_last: 4\n");
+        let cfg = PackingConfig::from_str(&src).unwrap();
+        let ck = cfg.checkpoint.unwrap();
+        assert_eq!(ck.every_steps, 100);
+        assert_eq!(ck.keep_last, 4);
+    }
+
+    #[test]
+    fn bad_checkpoint_block_rejected() {
+        let base = "container:\n  path: a.stl\nparticle_sets:\n  - radius_distribution: constant\n    radius_value: 0.1\n";
+        let no_path = format!("{base}checkpoint:\n  every_steps: 100\n");
+        let e = PackingConfig::from_str(&no_path).unwrap_err();
+        assert!(e.to_string().contains("checkpoint.path"), "{e}");
+        let bad_cadence = format!("{base}checkpoint:\n  path: run.ckpt\n  every_steps: 0\n");
+        let e = PackingConfig::from_str(&bad_cadence).unwrap_err();
+        assert!(e.to_string().contains("every_steps"), "{e}");
+        let bad_keep = format!("{base}checkpoint:\n  path: run.ckpt\n  keep_last: -1\n");
+        let e = PackingConfig::from_str(&bad_keep).unwrap_err();
+        assert!(e.to_string().contains("keep_last"), "{e}");
     }
 
     #[test]

@@ -70,6 +70,12 @@ pub fn to_yaml(cfg: &PackingConfig) -> String {
             writeln!(s, "    metrics: false").unwrap();
         }
     }
+    if let Some(ck) = &cfg.checkpoint {
+        writeln!(s, "checkpoint:").unwrap();
+        writeln!(s, "    path: \"{}\"", ck.path.display()).unwrap();
+        writeln!(s, "    every_steps: {}", ck.every_steps).unwrap();
+        writeln!(s, "    keep_last: {}", ck.keep_last).unwrap();
+    }
     writeln!(s, "particle_sets:").unwrap();
     for set in &cfg.particle_sets {
         match set {
@@ -123,7 +129,7 @@ pub fn to_yaml(cfg: &PackingConfig) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::schema::ZoneConfig;
+    use crate::schema::{CheckpointConfig, ZoneConfig};
     use adampack_geometry::Axis;
     use std::path::PathBuf;
 
@@ -152,6 +158,11 @@ mod tests {
                 metrics_out: Some(PathBuf::from("metrics.prom")),
                 metrics: false,
             },
+            checkpoint: Some(CheckpointConfig {
+                path: PathBuf::from("run.ckpt"),
+                every_steps: 250,
+                keep_last: 3,
+            }),
             particle_sets: vec![
                 ParticleSetConfig::Uniform {
                     min: 0.05,

@@ -182,6 +182,7 @@ impl RsaPacker {
             container: container.clone(),
             duration: start.elapsed(),
             target: n,
+            recoveries: 0,
         }
     }
 }
@@ -277,6 +278,7 @@ impl DropAndRollPacker {
             container: container.clone(),
             duration: start.elapsed(),
             target: n,
+            recoveries: 0,
         }
     }
 }

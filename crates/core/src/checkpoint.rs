@@ -1,0 +1,824 @@
+//! Versioned binary run-state checkpoints.
+//!
+//! A checkpoint captures everything [`crate::CollectivePacker`] needs to
+//! continue a packing run **bitwise identically** to an uninterrupted one:
+//! the RNG state, every packed particle, per-batch statistics, and — when
+//! taken mid-batch — the in-progress batch's coordinate buffers, optimizer
+//! slots (Adam `m`/`v`/`v̂_max`), scheduler state and trace reference.
+//!
+//! ## Format
+//!
+//! ```text
+//! magic    8 bytes  b"ADPKCKP1"
+//! version  u32 LE   FORMAT_VERSION
+//! section* ...      [tag u32][len u64][crc32 u32][payload: len bytes]
+//! ```
+//!
+//! Every section payload carries its own CRC-32 (IEEE), so torn writes and
+//! bit rot are detected per section rather than silently resumed from.
+//! Integers are little-endian; `f64`s are stored as their IEEE-754 bit
+//! patterns (`to_bits`), which is what makes restored trajectories bitwise
+//! rather than merely approximately equal.
+//!
+//! The codec is self-contained (no serde): the format is small, fixed and
+//! versioned, and decoding validates every length against the remaining
+//! buffer so corrupt headers cannot trigger huge allocations.
+
+use std::time::Duration;
+
+use adampack_opt::{OptimizerState, SchedulerState};
+
+use crate::collective::{BatchPhaseBreakdown, BatchStats};
+use crate::particle::Particle;
+use adampack_geometry::Vec3;
+
+/// File magic: "ADamPacK ChecKPoint v1-family".
+pub const MAGIC: [u8; 8] = *b"ADPKCKP1";
+/// Current encoder output version. Decoders reject anything newer.
+pub const FORMAT_VERSION: u32 = 1;
+
+const TAG_META: u32 = 1;
+const TAG_PARTICLES: u32 = 2;
+const TAG_BATCHES: u32 = 3;
+const TAG_BATCH: u32 = 4;
+/// End-of-stream footer (empty payload). Because the `batch` section is
+/// optional, a file torn at an exact section boundary would otherwise
+/// decode as a complete checkpoint; the mandatory footer makes every
+/// truncation detectable.
+const TAG_END: u32 = 0xFFFF_FFFF;
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Why a checkpoint could not be decoded or applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The byte stream ended before a complete header or section.
+    Truncated {
+        /// Offset at which more bytes were needed.
+        at: usize,
+        /// How many more bytes the decoder expected.
+        needed: usize,
+    },
+    /// The first 8 bytes are not the checkpoint magic.
+    BadMagic,
+    /// The format version is newer than this decoder understands.
+    UnsupportedVersion(u32),
+    /// A section's payload does not match its stored CRC-32.
+    CrcMismatch {
+        /// Which section failed its integrity check.
+        section: &'static str,
+    },
+    /// The payload decoded but violated an internal invariant.
+    Malformed(String),
+    /// The checkpoint is internally valid but belongs to a different run
+    /// (seed or parameter fingerprint mismatch) or an incompatible state.
+    StateMismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Truncated { at, needed } => {
+                write!(
+                    f,
+                    "checkpoint truncated at byte {at} ({needed} more needed)"
+                )
+            }
+            CheckpointError::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "checkpoint format version {v} is newer than supported {FORMAT_VERSION}"
+                )
+            }
+            CheckpointError::CrcMismatch { section } => {
+                write!(f, "checkpoint section '{section}' failed its CRC-32 check")
+            }
+            CheckpointError::Malformed(msg) => write!(f, "malformed checkpoint: {msg}"),
+            CheckpointError::StateMismatch(msg) => {
+                write!(f, "checkpoint does not match this run: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+fn malformed(msg: impl Into<String>) -> CheckpointError {
+    CheckpointError::Malformed(msg.into())
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE) and FNV-1a
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// FNV-1a over `bytes` — the parameter-fingerprint hash stored in every
+/// checkpoint so a resume against different hyper-parameters is rejected
+/// instead of silently producing a non-reproducible hybrid run.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Run state
+// ---------------------------------------------------------------------------
+
+/// The in-progress batch's optimizer-loop state (present when the
+/// checkpoint was taken mid-batch).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BatchInProgress {
+    /// Batch particle radii (already drawn from the PSD).
+    pub radii: Vec<f64>,
+    /// Current flat coordinate buffer.
+    pub coords: Vec<f64>,
+    /// Best coordinates found so far.
+    pub best: Vec<f64>,
+    /// Best objective value so far.
+    pub best_fitness: f64,
+    /// Patience counter at the checkpoint.
+    pub no_improvement: u64,
+    /// The step index the resumed loop continues from.
+    pub next_step: u64,
+    /// Workspace Verlet-rebuild count captured when the batch started.
+    pub rebuilds_at_start: u64,
+    /// Spawn-phase wall time of this batch, nanoseconds.
+    pub spawn_ns: u64,
+    /// Accumulated gradient-phase wall time, nanoseconds.
+    pub gradient_ns: u64,
+    /// Accumulated optimizer-phase wall time, nanoseconds.
+    pub optimizer_ns: u64,
+    /// Sentinel recoveries consumed by this batch so far.
+    pub batch_recoveries: u64,
+    /// The tracer's previous-step coordinates (max-displacement reference).
+    pub trace_prev: Vec<f64>,
+    /// Full optimizer snapshot (moments, step count, learning rate).
+    pub optimizer: OptimizerState,
+    /// Scheduler snapshot.
+    pub scheduler: SchedulerState,
+}
+
+/// Everything needed to continue a packing run bitwise identically.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunState {
+    /// The run's RNG seed (checked on resume).
+    pub seed: u64,
+    /// FNV-1a fingerprint of the hyper-parameters + container (checked on
+    /// resume).
+    pub params_fingerprint: u64,
+    /// Optimizer steps taken across the whole run (cadence counter).
+    pub global_step: u64,
+    /// Divergence-sentinel recoveries so far.
+    pub recoveries: u64,
+    /// Particles that existed before the run (`pack_onto` bed).
+    pub preexisting: u64,
+    /// Requested particle count.
+    pub target: u64,
+    /// Next batch index.
+    pub batch_index: u64,
+    /// Particles packed by this run so far.
+    pub packed: u64,
+    /// Current batch size (after any halvings).
+    pub batch_size: u64,
+    /// Run wall time consumed before the checkpoint, nanoseconds.
+    pub elapsed_ns: u64,
+    /// Workspace objective evaluations served so far.
+    pub evals: u64,
+    /// Workspace Verlet rebuilds served so far.
+    pub verlet_rebuilds: u64,
+    /// Xoshiro generator state (see `StdRng::state`).
+    pub rng: [u64; 4],
+    /// All particles (preexisting first, then packed, in bed order).
+    pub particles: Vec<Particle>,
+    /// Per-batch statistics of every attempted batch so far.
+    pub batches: Vec<BatchStats>,
+    /// Mid-batch optimizer-loop state, absent at batch boundaries.
+    pub batch: Option<BatchInProgress>,
+}
+
+// ---------------------------------------------------------------------------
+// Primitive writer / reader
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Buf(Vec<u8>);
+
+impl Buf {
+    fn u8(&mut self, x: u8) {
+        self.0.push(x);
+    }
+    fn u64(&mut self, x: u64) {
+        self.0.extend_from_slice(&x.to_le_bytes());
+    }
+    fn f64(&mut self, x: f64) {
+        self.u64(x.to_bits());
+    }
+    fn f64s(&mut self, xs: &[f64]) {
+        self.u64(xs.len() as u64);
+        for &x in xs {
+            self.f64(x);
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        if self.remaining() < n {
+            return Err(CheckpointError::Truncated {
+                at: self.pos,
+                needed: n - self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, CheckpointError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Length-prefixed f64 vector; the length is validated against the
+    /// remaining bytes before any allocation.
+    fn f64s(&mut self) -> Result<Vec<f64>, CheckpointError> {
+        let n = self.u64()? as usize;
+        if n.checked_mul(8).is_none_or(|b| b > self.remaining()) {
+            return Err(malformed(format!(
+                "f64 vector length {n} exceeds remaining {} bytes",
+                self.remaining()
+            )));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.f64()?);
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encode
+// ---------------------------------------------------------------------------
+
+fn push_section(out: &mut Vec<u8>, tag: u32, payload: &[u8]) {
+    out.extend_from_slice(&tag.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+fn encode_optimizer(b: &mut Buf, s: &OptimizerState) {
+    b.u64(s.t);
+    b.f64(s.lr);
+    b.f64s(&s.scalars);
+    b.u64(s.slots.len() as u64);
+    for slot in &s.slots {
+        b.f64s(slot);
+    }
+}
+
+fn decode_optimizer(r: &mut Reader<'_>) -> Result<OptimizerState, CheckpointError> {
+    let t = r.u64()?;
+    let lr = r.f64()?;
+    let scalars = r.f64s()?;
+    let n_slots = r.u64()? as usize;
+    if n_slots > 16 {
+        return Err(malformed(format!("{n_slots} optimizer slots (max 16)")));
+    }
+    let mut slots = Vec::with_capacity(n_slots);
+    for _ in 0..n_slots {
+        slots.push(r.f64s()?);
+    }
+    Ok(OptimizerState {
+        t,
+        lr,
+        scalars,
+        slots,
+    })
+}
+
+fn encode_scheduler(b: &mut Buf, s: &SchedulerState) {
+    for &x in &s.floats {
+        b.f64(x);
+    }
+    for &x in &s.ints {
+        b.u64(x);
+    }
+}
+
+fn decode_scheduler(r: &mut Reader<'_>) -> Result<SchedulerState, CheckpointError> {
+    let mut s = SchedulerState::default();
+    for x in &mut s.floats {
+        *x = r.f64()?;
+    }
+    for x in &mut s.ints {
+        *x = r.u64()?;
+    }
+    Ok(s)
+}
+
+fn encode_duration(b: &mut Buf, d: Duration) {
+    b.u64(d.as_nanos().min(u64::MAX as u128) as u64);
+}
+
+fn decode_duration(r: &mut Reader<'_>) -> Result<Duration, CheckpointError> {
+    Ok(Duration::from_nanos(r.u64()?))
+}
+
+/// Serializes a run state to the versioned checkpoint byte format.
+pub fn encode(state: &RunState) -> Vec<u8> {
+    let mut out = Vec::with_capacity(
+        64 + state.particles.len() * 40
+            + state.batches.len() * 120
+            + state
+                .batch
+                .as_ref()
+                .map_or(0, |b| b.coords.len() * 40 + 256),
+    );
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+
+    let mut b = Buf::default();
+    b.u64(state.seed);
+    b.u64(state.params_fingerprint);
+    b.u64(state.global_step);
+    b.u64(state.recoveries);
+    b.u64(state.preexisting);
+    b.u64(state.target);
+    b.u64(state.batch_index);
+    b.u64(state.packed);
+    b.u64(state.batch_size);
+    b.u64(state.elapsed_ns);
+    b.u64(state.evals);
+    b.u64(state.verlet_rebuilds);
+    for &w in &state.rng {
+        b.u64(w);
+    }
+    push_section(&mut out, TAG_META, &b.0);
+
+    let mut b = Buf::default();
+    b.u64(state.particles.len() as u64);
+    for p in &state.particles {
+        b.f64(p.center.x);
+        b.f64(p.center.y);
+        b.f64(p.center.z);
+        b.f64(p.radius);
+        b.u64(p.batch as u64);
+        b.u64(p.set as u64);
+    }
+    push_section(&mut out, TAG_PARTICLES, &b.0);
+
+    let mut b = Buf::default();
+    b.u64(state.batches.len() as u64);
+    for s in &state.batches {
+        b.u64(s.index as u64);
+        b.u64(s.requested as u64);
+        b.u8(s.accepted as u8);
+        b.u64(s.steps as u64);
+        b.f64(s.best_fitness);
+        b.f64(s.mean_overlap_ratio);
+        b.f64(s.mean_boundary_ratio);
+        encode_duration(&mut b, s.duration);
+        b.u64(s.verlet_rebuilds as u64);
+        encode_duration(&mut b, s.phase.spawn);
+        encode_duration(&mut b, s.phase.optimize);
+        encode_duration(&mut b, s.phase.gradient);
+        encode_duration(&mut b, s.phase.optimizer);
+        encode_duration(&mut b, s.phase.acceptance);
+    }
+    push_section(&mut out, TAG_BATCHES, &b.0);
+
+    if let Some(bp) = &state.batch {
+        let mut b = Buf::default();
+        b.f64s(&bp.radii);
+        b.f64s(&bp.coords);
+        b.f64s(&bp.best);
+        b.f64(bp.best_fitness);
+        b.u64(bp.no_improvement);
+        b.u64(bp.next_step);
+        b.u64(bp.rebuilds_at_start);
+        b.u64(bp.spawn_ns);
+        b.u64(bp.gradient_ns);
+        b.u64(bp.optimizer_ns);
+        b.u64(bp.batch_recoveries);
+        b.f64s(&bp.trace_prev);
+        encode_optimizer(&mut b, &bp.optimizer);
+        encode_scheduler(&mut b, &bp.scheduler);
+        push_section(&mut out, TAG_BATCH, &b.0);
+    }
+    push_section(&mut out, TAG_END, &[]);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Decode
+// ---------------------------------------------------------------------------
+
+fn section_name(tag: u32) -> &'static str {
+    match tag {
+        TAG_META => "meta",
+        TAG_PARTICLES => "particles",
+        TAG_BATCHES => "batches",
+        TAG_BATCH => "batch",
+        _ => "unknown",
+    }
+}
+
+/// Decodes a checkpoint byte stream, verifying magic, version and every
+/// section CRC. Unknown sections (future extensions) are skipped as long as
+/// their CRC holds.
+pub fn decode(bytes: &[u8]) -> Result<RunState, CheckpointError> {
+    let mut r = Reader::new(bytes);
+    if r.remaining() < MAGIC.len() {
+        return Err(CheckpointError::Truncated {
+            at: 0,
+            needed: MAGIC.len() - r.remaining(),
+        });
+    }
+    if r.bytes(MAGIC.len())? != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version == 0 || version > FORMAT_VERSION {
+        return Err(CheckpointError::UnsupportedVersion(version));
+    }
+
+    let mut state = RunState::default();
+    let (mut have_meta, mut have_particles, mut have_batches) = (false, false, false);
+    let mut have_end = false;
+    while r.remaining() > 0 {
+        let tag = r.u32()?;
+        let len = r.u64()? as usize;
+        let crc = r.u32()?;
+        let payload = r.bytes(len)?;
+        if crc32(payload) != crc {
+            return Err(CheckpointError::CrcMismatch {
+                section: section_name(tag),
+            });
+        }
+        let mut s = Reader::new(payload);
+        match tag {
+            TAG_META => {
+                state.seed = s.u64()?;
+                state.params_fingerprint = s.u64()?;
+                state.global_step = s.u64()?;
+                state.recoveries = s.u64()?;
+                state.preexisting = s.u64()?;
+                state.target = s.u64()?;
+                state.batch_index = s.u64()?;
+                state.packed = s.u64()?;
+                state.batch_size = s.u64()?;
+                state.elapsed_ns = s.u64()?;
+                state.evals = s.u64()?;
+                state.verlet_rebuilds = s.u64()?;
+                for w in &mut state.rng {
+                    *w = s.u64()?;
+                }
+                have_meta = true;
+            }
+            TAG_PARTICLES => {
+                let n = s.u64()? as usize;
+                if n.checked_mul(48).is_none_or(|b| b > s.remaining()) {
+                    return Err(malformed(format!("particle count {n} exceeds payload")));
+                }
+                state.particles = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let center = Vec3::new(s.f64()?, s.f64()?, s.f64()?);
+                    let radius = s.f64()?;
+                    let batch = s.u64()? as usize;
+                    let set = s.u64()? as usize;
+                    state.particles.push(Particle {
+                        center,
+                        radius,
+                        batch,
+                        set,
+                    });
+                }
+                have_particles = true;
+            }
+            TAG_BATCHES => {
+                let n = s.u64()? as usize;
+                // 105 = the exact encoded size of one BatchStats entry.
+                if n.checked_mul(105).is_none_or(|b| b > s.remaining()) {
+                    return Err(malformed(format!("batch count {n} exceeds payload")));
+                }
+                state.batches = Vec::with_capacity(n);
+                for _ in 0..n {
+                    state.batches.push(BatchStats {
+                        index: s.u64()? as usize,
+                        requested: s.u64()? as usize,
+                        accepted: s.u8()? != 0,
+                        steps: s.u64()? as usize,
+                        best_fitness: s.f64()?,
+                        mean_overlap_ratio: s.f64()?,
+                        mean_boundary_ratio: s.f64()?,
+                        duration: decode_duration(&mut s)?,
+                        verlet_rebuilds: s.u64()? as usize,
+                        phase: BatchPhaseBreakdown {
+                            spawn: decode_duration(&mut s)?,
+                            optimize: decode_duration(&mut s)?,
+                            gradient: decode_duration(&mut s)?,
+                            optimizer: decode_duration(&mut s)?,
+                            acceptance: decode_duration(&mut s)?,
+                        },
+                    });
+                }
+                have_batches = true;
+            }
+            TAG_BATCH => {
+                let mut bp = BatchInProgress {
+                    radii: s.f64s()?,
+                    coords: s.f64s()?,
+                    best: s.f64s()?,
+                    best_fitness: s.f64()?,
+                    no_improvement: s.u64()?,
+                    next_step: s.u64()?,
+                    rebuilds_at_start: s.u64()?,
+                    spawn_ns: s.u64()?,
+                    gradient_ns: s.u64()?,
+                    optimizer_ns: s.u64()?,
+                    batch_recoveries: s.u64()?,
+                    trace_prev: s.f64s()?,
+                    ..BatchInProgress::default()
+                };
+                bp.optimizer = decode_optimizer(&mut s)?;
+                bp.scheduler = decode_scheduler(&mut s)?;
+                if bp.coords.len() != bp.radii.len() * 3 || bp.best.len() != bp.coords.len() {
+                    return Err(malformed(format!(
+                        "batch buffers inconsistent: {} radii, {} coords, {} best",
+                        bp.radii.len(),
+                        bp.coords.len(),
+                        bp.best.len()
+                    )));
+                }
+                state.batch = Some(bp);
+            }
+            TAG_END => have_end = true,
+            _ => { /* unknown but CRC-valid section: skip (forward compat) */ }
+        }
+    }
+
+    if !have_end {
+        return Err(malformed(
+            "missing end-of-checkpoint marker (torn write at a section boundary)".to_string(),
+        ));
+    }
+    if !(have_meta && have_particles && have_batches) {
+        return Err(malformed(format!(
+            "missing required sections (meta: {have_meta}, particles: {have_particles}, \
+             batches: {have_batches})"
+        )));
+    }
+    if state.particles.len() as u64 != state.preexisting + state.packed {
+        return Err(malformed(format!(
+            "{} particles but preexisting {} + packed {}",
+            state.particles.len(),
+            state.preexisting,
+            state.packed
+        )));
+    }
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_state(with_batch: bool) -> RunState {
+        let particles: Vec<Particle> = (0..17)
+            .map(|i| Particle {
+                center: Vec3::new(i as f64 * 0.31, -(i as f64) * 0.07, (i % 5) as f64),
+                radius: 0.1 + i as f64 * 1e-3,
+                batch: i / 6,
+                set: i % 2,
+            })
+            .collect();
+        let batches = vec![BatchStats {
+            index: 0,
+            requested: 17,
+            accepted: true,
+            steps: 212,
+            best_fitness: 3.5e-2,
+            mean_overlap_ratio: 0.011,
+            mean_boundary_ratio: 0.002,
+            duration: Duration::from_millis(37),
+            verlet_rebuilds: 9,
+            phase: BatchPhaseBreakdown {
+                spawn: Duration::from_micros(412),
+                optimize: Duration::from_millis(35),
+                gradient: Duration::from_millis(20),
+                optimizer: Duration::from_millis(8),
+                acceptance: Duration::from_micros(881),
+            },
+        }];
+        RunState {
+            seed: 42,
+            params_fingerprint: 0xDEAD_BEEF_CAFE_F00D,
+            global_step: 999,
+            recoveries: 2,
+            preexisting: 0,
+            target: 100,
+            batch_index: 1,
+            packed: 17,
+            batch_size: 40,
+            elapsed_ns: 123_456_789,
+            evals: 1234,
+            verlet_rebuilds: 56,
+            rng: [1, 2, 3, u64::MAX],
+            particles,
+            batches,
+            batch: with_batch.then(|| BatchInProgress {
+                radii: vec![0.1, 0.2, 0.3],
+                coords: (0..9).map(|i| i as f64 * 0.5).collect(),
+                best: (0..9).map(|i| i as f64 * 0.25).collect(),
+                best_fitness: 7.25,
+                no_improvement: 4,
+                next_step: 120,
+                rebuilds_at_start: 50,
+                spawn_ns: 5000,
+                gradient_ns: 9000,
+                optimizer_ns: 3000,
+                batch_recoveries: 1,
+                trace_prev: (0..9).map(|i| i as f64 * 0.5 - 0.1).collect(),
+                optimizer: OptimizerState {
+                    t: 120,
+                    lr: 5e-3,
+                    scalars: vec![0.87],
+                    slots: vec![vec![1.0, -2.0, f64::MIN_POSITIVE], vec![0.5; 3]],
+                },
+                scheduler: SchedulerState {
+                    floats: [5e-3, 7.25, 0.0, 0.0],
+                    ints: [3, 0, 1, 0],
+                },
+            }),
+        }
+    }
+
+    #[test]
+    fn round_trip_is_bitwise_exact() {
+        for with_batch in [false, true] {
+            let state = sample_state(with_batch);
+            let bytes = encode(&state);
+            let back = decode(&bytes).unwrap();
+            assert_eq!(back, state);
+            // Float equality above uses PartialEq (NaN-hostile); spot-check
+            // the bit patterns of a few floats explicitly.
+            assert_eq!(
+                back.particles[3].center.x.to_bits(),
+                state.particles[3].center.x.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn nan_fitness_survives_the_round_trip() {
+        let mut state = sample_state(true);
+        state.batch.as_mut().unwrap().best_fitness = f64::NAN;
+        let back = decode(&encode(&state)).unwrap();
+        assert!(back.batch.unwrap().best_fitness.is_nan());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = encode(&sample_state(false));
+        bytes[0] ^= 0xFF;
+        assert_eq!(decode(&bytes), Err(CheckpointError::BadMagic));
+    }
+
+    #[test]
+    fn newer_version_rejected() {
+        let mut bytes = encode(&sample_state(false));
+        bytes[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        assert_eq!(
+            decode(&bytes),
+            Err(CheckpointError::UnsupportedVersion(FORMAT_VERSION + 1))
+        );
+    }
+
+    #[test]
+    fn every_truncation_point_is_detected() {
+        let bytes = encode(&sample_state(true));
+        for cut in 0..bytes.len() {
+            let err = decode(&bytes[..cut]).expect_err("truncated checkpoint accepted");
+            assert!(
+                matches!(
+                    err,
+                    CheckpointError::Truncated { .. }
+                        | CheckpointError::CrcMismatch { .. }
+                        | CheckpointError::Malformed(_)
+                        | CheckpointError::BadMagic
+                ),
+                "cut at {cut}: unexpected error {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_fail_the_crc() {
+        let bytes = encode(&sample_state(true));
+        // Flip one bit in each section's payload region (skip the 12-byte
+        // header so the magic/version checks don't mask the CRC).
+        for &offset in &[20usize, bytes.len() / 2, bytes.len() - 3] {
+            let mut corrupt = bytes.clone();
+            corrupt[offset] ^= 0x10;
+            let err = decode(&corrupt).expect_err("corrupt checkpoint accepted");
+            assert!(
+                matches!(
+                    err,
+                    CheckpointError::CrcMismatch { .. }
+                        | CheckpointError::Truncated { .. }
+                        | CheckpointError::Malformed(_)
+                ),
+                "offset {offset}: unexpected error {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_sections_are_skipped() {
+        let state = sample_state(false);
+        let mut bytes = encode(&state);
+        // Append a future-format section with a valid CRC.
+        let payload = b"future payload";
+        bytes.extend_from_slice(&99u32.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&crc32(payload).to_le_bytes());
+        bytes.extend_from_slice(payload);
+        assert_eq!(decode(&bytes).unwrap(), state);
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn fnv1a_matches_known_vectors() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -14,15 +14,18 @@
 use std::time::{Duration, Instant};
 
 use adampack_geometry::Vec3;
+use adampack_opt::{LrScheduler, Optimizer, OptimizerState, SchedulerState};
 use adampack_telemetry::metrics::{
-    BATCHES_ACCEPTED_TOTAL, BATCHES_TOTAL, PARTICLES_PACKED_TOTAL, PHASE_ACCEPTANCE,
-    PHASE_GRADIENT, PHASE_OPTIMIZER, PHASE_SPAWN, STEPS_TOTAL,
+    BATCHES_ACCEPTED_TOTAL, BATCHES_TOTAL, CHECKPOINT_FAILURES_TOTAL, CHECKPOINT_WRITES_TOTAL,
+    PARTICLES_PACKED_TOTAL, PHASE_ACCEPTANCE, PHASE_GRADIENT, PHASE_OPTIMIZER, PHASE_SPAWN,
+    SENTINEL_RECOVERIES_TOTAL, STEPS_TOTAL,
 };
 use adampack_telemetry::{StepRecord, TraceRing, TraceSink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::par;
 
+use crate::checkpoint::{self, BatchInProgress, CheckpointError, RunState};
 use crate::container::Container;
 use crate::metrics::{boundary_stats, contact_stats_vs_fixed};
 use crate::neighbor::{CsrGrid, FixedBed, Workspace};
@@ -122,6 +125,9 @@ pub struct PackResult {
     pub duration: Duration,
     /// The requested particle count (`nb_max`).
     pub target: usize,
+    /// Divergence-sentinel recoveries (rollbacks to a good snapshot) the
+    /// run needed. Zero for a healthy run.
+    pub recoveries: u64,
 }
 
 impl PackResult {
@@ -150,6 +156,181 @@ impl PackResult {
     }
 }
 
+/// Why a fallible packing run stopped early.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PackError {
+    /// The divergence sentinel exhausted its per-batch recovery budget:
+    /// the objective kept producing non-finite values or exploding steps
+    /// even after repeated rollbacks and learning-rate cuts.
+    Diverged {
+        /// Batch that could not be stabilized.
+        batch: usize,
+        /// Step at which the final divergence was detected.
+        step: usize,
+        /// Rollbacks spent on this batch before giving up.
+        recoveries: usize,
+    },
+    /// A resume was attempted from an unusable checkpoint.
+    Resume(CheckpointError),
+}
+
+impl std::fmt::Display for PackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PackError::Diverged {
+                batch,
+                step,
+                recoveries,
+            } => write!(
+                f,
+                "optimization diverged in batch {batch} at step {step} \
+                 after {recoveries} sentinel recoveries"
+            ),
+            PackError::Resume(e) => write!(f, "cannot resume: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PackError {}
+
+impl From<CheckpointError> for PackError {
+    fn from(e: CheckpointError) -> PackError {
+        PackError::Resume(e)
+    }
+}
+
+/// Destination for run-state checkpoints taken at the configured step
+/// cadence. Implementations persist the state (atomically — see
+/// `adampack_io`); a returned `Err` is counted and logged but does **not**
+/// abort the run.
+pub trait CheckpointSink: Send {
+    /// Persists one run state.
+    fn save(&mut self, state: &RunState) -> Result<(), String>;
+}
+
+/// Checkpoint cadence state: the sink plus the run-global optimizer-step
+/// counter that triggers it.
+pub struct CheckpointCadence {
+    sink: Box<dyn CheckpointSink>,
+    every_steps: usize,
+    global_step: u64,
+}
+
+impl CheckpointCadence {
+    /// A cadence writing to `sink` every `every_steps` optimizer steps
+    /// (0 disables step-triggered checkpoints).
+    pub fn new(sink: Box<dyn CheckpointSink>, every_steps: usize) -> CheckpointCadence {
+        CheckpointCadence {
+            sink,
+            every_steps,
+            global_step: 0,
+        }
+    }
+}
+
+/// Outer-loop context threaded into the inner optimizer loop so a mid-batch
+/// checkpoint can capture the whole run.
+struct CheckpointCtx<'a> {
+    cadence: &'a mut CheckpointCadence,
+    fingerprint: u64,
+    preexisting: usize,
+    target: usize,
+    batch_index: usize,
+    packed: usize,
+    batch_size: usize,
+    elapsed_base: Duration,
+    start: Instant,
+    spawn: Duration,
+    particles: &'a [Particle],
+    batches: &'a [BatchStats],
+}
+
+/// The divergence sentinel's last known-good optimizer-loop state. All
+/// buffers are reused across snapshots (copy, not reallocate).
+struct GoodSnapshot {
+    /// Step to re-execute from after a rollback.
+    step: usize,
+    coords: Vec<f64>,
+    best: Vec<f64>,
+    best_fitness: f64,
+    no_improvement: usize,
+    opt: OptimizerState,
+    sched: SchedulerState,
+    /// Trace-ring length at snapshot time; rollback truncates to it so
+    /// reverted steps don't linger in the persisted trace.
+    ring_len: usize,
+    /// Tracer previous-step coordinates at snapshot time.
+    prev: Vec<f64>,
+}
+
+/// Refreshes the sentinel snapshot from the current loop state — but only
+/// when that state is entirely finite, so a rollback never lands on a
+/// poisoned snapshot.
+#[allow(clippy::too_many_arguments)]
+fn refresh_snapshot(
+    snap: &mut GoodSnapshot,
+    opt_scratch: &mut OptimizerState,
+    step: usize,
+    coords: &[f64],
+    best: &[f64],
+    best_fitness: f64,
+    no_improvement: usize,
+    optimizer: &dyn Optimizer,
+    scheduler: &dyn LrScheduler,
+    tracer: Option<&Tracer>,
+) {
+    optimizer.save_state(opt_scratch);
+    if !opt_scratch.is_finite() || coords.iter().any(|c| !c.is_finite()) {
+        return;
+    }
+    snap.step = step;
+    snap.coords.copy_from_slice(coords);
+    snap.best.copy_from_slice(best);
+    snap.best_fitness = best_fitness;
+    snap.no_improvement = no_improvement;
+    std::mem::swap(&mut snap.opt, opt_scratch);
+    snap.sched = scheduler.save_state();
+    snap.ring_len = tracer.map_or(0, |t| t.ring.len());
+    snap.prev.clear();
+    if let Some(tr) = tracer {
+        snap.prev.extend_from_slice(&tr.prev);
+    }
+}
+
+/// Restores the loop state from the last good snapshot and tightens the
+/// learning rate through the scheduler's forced reduction.
+#[allow(clippy::too_many_arguments)]
+fn rollback(
+    snap: &GoodSnapshot,
+    coords: &mut [f64],
+    best: &mut [f64],
+    best_fitness: &mut f64,
+    no_improvement: &mut usize,
+    optimizer: &mut dyn Optimizer,
+    scheduler: &mut dyn LrScheduler,
+    workspace: &mut Workspace,
+    tracer: Option<&mut Tracer>,
+) {
+    coords.copy_from_slice(&snap.coords);
+    best.copy_from_slice(&snap.best);
+    *best_fitness = snap.best_fitness;
+    *no_improvement = snap.no_improvement;
+    optimizer
+        .load_state(&snap.opt)
+        .expect("sentinel snapshot always matches its own optimizer");
+    scheduler.load_state(snap.sched);
+    let lr = scheduler.force_reduction();
+    optimizer.set_lr(lr);
+    // The snapshot's Verlet reference positions are gone; force a rebuild.
+    workspace.reset_batch();
+    if let Some(tr) = tracer {
+        tr.ring.truncate(snap.ring_len);
+        tr.prev.clear();
+        tr.prev.extend_from_slice(&snap.prev);
+    }
+    SENTINEL_RECOVERIES_TOTAL.inc();
+}
+
 /// Observer invoked after every attempted batch (accepted or not).
 type BatchCallback = Box<dyn FnMut(&BatchStats) + Send>;
 
@@ -175,6 +356,10 @@ pub struct CollectivePacker {
     /// optimizer steps allocate nothing.
     workspace: Workspace,
     tracer: Option<Tracer>,
+    /// Run-state checkpointing, off by default (zero steady-state cost).
+    checkpoint: Option<CheckpointCadence>,
+    /// Divergence-sentinel rollbacks across the current run.
+    recoveries: u64,
 }
 
 impl CollectivePacker {
@@ -197,6 +382,8 @@ impl CollectivePacker {
             batch_callback: None,
             workspace: Workspace::new(),
             tracer: None,
+            checkpoint: None,
+            recoveries: 0,
         }
     }
 
@@ -235,6 +422,49 @@ impl CollectivePacker {
         })
     }
 
+    /// Installs a checkpoint sink: every `every_steps` optimizer steps
+    /// (counted across batches) the full run state is captured and handed
+    /// to `sink`. `every_steps = 0` installs the sink without a step
+    /// cadence (no checkpoints are taken).
+    ///
+    /// Checkpointing canonicalizes the neighbor-grid layout at batch and
+    /// cadence boundaries so a run resumed from any checkpoint is bitwise
+    /// identical to the uninterrupted checkpointed run. A failed save is
+    /// counted and logged but never aborts the packing.
+    pub fn set_checkpoint_sink(&mut self, sink: Box<dyn CheckpointSink>, every_steps: usize) {
+        self.checkpoint = Some(CheckpointCadence::new(sink, every_steps));
+    }
+
+    /// Uninstalls the checkpoint sink and returns it.
+    pub fn take_checkpoint_sink(&mut self) -> Option<Box<dyn CheckpointSink>> {
+        self.checkpoint.take().map(|c| c.sink)
+    }
+
+    /// Divergence-sentinel rollbacks performed in the current/last run.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// FNV-1a fingerprint over the hyper-parameters and container geometry,
+    /// stored in checkpoints and verified on [`CollectivePacker::resume`].
+    pub fn fingerprint(&self) -> u64 {
+        use std::fmt::Write as _;
+        let mut s = format!("{:?}", self.params);
+        let bb = self.container.aabb();
+        for v in [
+            bb.min.x,
+            bb.min.y,
+            bb.min.z,
+            bb.max.x,
+            bb.max.y,
+            bb.max.z,
+            self.container.volume(),
+        ] {
+            let _ = write!(s, "|{:016x}", v.to_bits());
+        }
+        checkpoint::fnv1a(s.as_bytes())
+    }
+
     /// The container.
     pub fn container(&self) -> &Container {
         &self.container
@@ -258,21 +488,129 @@ impl CollectivePacker {
     }
 
     /// Packs `params.target_count` particles drawn from `psd`.
+    ///
+    /// Panics if the divergence sentinel gives up (see
+    /// [`CollectivePacker::try_pack`] for the fallible variant).
     pub fn pack(&mut self, psd: &Psd) -> PackResult {
         self.pack_onto(psd, Vec::new())
     }
 
     /// Packs on top of an existing bed (used by zoned packings): `existing`
-    /// particles are fixed and included in the result.
+    /// particles are fixed and included in the result. Panics on
+    /// [`PackError`]; see [`CollectivePacker::try_pack_onto`].
     pub fn pack_onto(&mut self, psd: &Psd, existing: Vec<Particle>) -> PackResult {
+        self.try_pack_onto(psd, existing)
+            .unwrap_or_else(|e| panic!("packing failed: {e}"))
+    }
+
+    /// Fallible [`CollectivePacker::pack`].
+    pub fn try_pack(&mut self, psd: &Psd) -> Result<PackResult, PackError> {
+        self.try_pack_onto(psd, Vec::new())
+    }
+
+    /// Fallible [`CollectivePacker::pack_onto`]: returns
+    /// [`PackError::Diverged`] when non-finite losses/gradients persist
+    /// through the sentinel's recovery budget instead of packing garbage.
+    /// (Finite-but-exploding batches are abandoned to batch acceptance —
+    /// which rejects them and halves — rather than erroring, so infeasible
+    /// inputs still terminate with a partial result.)
+    pub fn try_pack_onto(
+        &mut self,
+        psd: &Psd,
+        existing: Vec<Particle>,
+    ) -> Result<PackResult, PackError> {
+        self.recoveries = 0;
+        if let Some(c) = self.checkpoint.as_mut() {
+            c.global_step = 0;
+        }
+        let preexisting = existing.len();
+        let batch_size = self.params.batch_size;
+        // The cadence is detached from `self` for the duration of the run so
+        // the inner loop can borrow both it and the packer; reattached even
+        // on error.
+        let mut cadence = self.checkpoint.take();
+        let result = self.run_loop(
+            psd,
+            &mut cadence,
+            existing,
+            Vec::new(),
+            preexisting,
+            0,
+            0,
+            batch_size,
+            Duration::ZERO,
+            None,
+        );
+        self.checkpoint = cadence;
+        result
+    }
+
+    /// Continues a run from a decoded checkpoint, bitwise identically to
+    /// the uninterrupted (checkpointed) run.
+    ///
+    /// The packer must be constructed with the same container and
+    /// parameters as the original run: seed and parameter fingerprint are
+    /// verified and a mismatch returns [`PackError::Resume`] rather than
+    /// silently producing a non-reproducible hybrid.
+    pub fn resume(&mut self, psd: &Psd, state: RunState) -> Result<PackResult, PackError> {
+        if state.seed != self.params.seed {
+            return Err(CheckpointError::StateMismatch(format!(
+                "checkpoint seed {} but params seed {}",
+                state.seed, self.params.seed
+            ))
+            .into());
+        }
+        let fp = self.fingerprint();
+        if state.params_fingerprint != fp {
+            return Err(CheckpointError::StateMismatch(format!(
+                "parameter fingerprint {fp:#018x} does not match checkpoint {:#018x} \
+                 (different hyper-parameters or container)",
+                state.params_fingerprint
+            ))
+            .into());
+        }
+        self.rng = StdRng::from_state(state.rng);
+        self.workspace
+            .restore_counters(state.evals as usize, state.verlet_rebuilds as usize);
+        self.recoveries = state.recoveries;
+        if let Some(c) = self.checkpoint.as_mut() {
+            c.global_step = state.global_step;
+        }
+        let mut cadence = self.checkpoint.take();
+        let result = self.run_loop(
+            psd,
+            &mut cadence,
+            state.particles,
+            state.batches,
+            state.preexisting as usize,
+            state.packed as usize,
+            state.batch_index as usize,
+            state.batch_size as usize,
+            Duration::from_nanos(state.elapsed_ns),
+            state.batch,
+        );
+        self.checkpoint = cadence;
+        result
+    }
+
+    /// The shared batch loop behind fresh and resumed runs.
+    #[allow(clippy::too_many_arguments)]
+    fn run_loop(
+        &mut self,
+        psd: &Psd,
+        cadence: &mut Option<CheckpointCadence>,
+        mut particles: Vec<Particle>,
+        mut batches: Vec<BatchStats>,
+        preexisting: usize,
+        mut packed: usize,
+        mut batch_index: usize,
+        mut batch_size: usize,
+        elapsed_base: Duration,
+        mut resume_batch: Option<BatchInProgress>,
+    ) -> Result<PackResult, PackError> {
         let start = Instant::now();
-        let mut particles = existing;
-        let preexisting = particles.len();
-        let mut batches = Vec::new();
-        let mut batch_size = self.params.batch_size;
         let target = self.params.target_count;
-        let mut packed = 0usize;
-        let mut batch_index = 0usize;
+        let fingerprint = cadence.as_ref().map(|_| self.fingerprint()).unwrap_or(0);
 
         // The bed is built once and grown incrementally: accepting a batch
         // pushes its spheres (amortized O(1) each) instead of rebuilding the
@@ -280,26 +618,64 @@ impl CollectivePacker {
         let mut bed = FixedBed::from_particles(self.params.gravity, &particles);
 
         while packed < target && batch_size > 0 {
-            let n = batch_size.min(target - packed);
+            // With checkpointing on, the grid layout must be a pure function
+            // of the particle list so the resumed run's rebuilt bed matches
+            // the straight run's incrementally grown one bit for bit.
+            if cadence.is_some() {
+                bed.canonicalize();
+            }
+            let resumed = resume_batch.take();
             let t0 = Instant::now();
             if let Some(tr) = self.tracer.as_mut() {
                 tr.batch = batch_index as u64;
                 tr.prev.clear();
             }
-            let radii = psd.sample_n(&mut self.rng, n);
-            let init = self.spawn_batch(&radii, &bed);
-            let spawn = t0.elapsed();
-            PHASE_SPAWN.record_ns(spawn.as_nanos() as u64);
+            let (radii, init, spawn) = match &resumed {
+                // Mid-batch resume: radii and positions come from the
+                // checkpoint; the RNG already advanced past this spawn.
+                Some(bp) => (
+                    bp.radii.clone(),
+                    bp.coords.clone(),
+                    Duration::from_nanos(bp.spawn_ns),
+                ),
+                None => {
+                    let n = batch_size.min(target - packed);
+                    let radii = psd.sample_n(&mut self.rng, n);
+                    let init = self.spawn_batch(&radii, &bed);
+                    let spawn = t0.elapsed();
+                    PHASE_SPAWN.record_ns(spawn.as_nanos() as u64);
+                    (radii, init, spawn)
+                }
+            };
+            let n = radii.len();
             let t_opt = Instant::now();
-            let run = self.optimize_batch_with(
+            let lr = self.params.lr;
+            let ctx = cadence.as_mut().map(|c| CheckpointCtx {
+                cadence: c,
+                fingerprint,
+                preexisting,
+                target,
+                batch_index,
+                packed,
+                batch_size,
+                elapsed_base,
+                start,
+                spawn,
+                particles: &particles,
+                batches: &batches,
+            });
+            let run = self.optimize_batch_core(
                 &radii,
                 init,
                 bed.grid(),
                 self.params.max_steps,
                 self.params.patience,
-                &self.params.lr.clone(),
+                &lr,
                 None,
-            );
+                resumed.as_ref(),
+                ctx,
+                batch_index,
+            )?;
             let optimize = t_opt.elapsed();
 
             // Acceptance: mean contact overlap and boundary excess relative
@@ -380,13 +756,14 @@ impl CollectivePacker {
         }
 
         debug_assert_eq!(particles.len(), preexisting + packed);
-        PackResult {
+        Ok(PackResult {
             particles,
             batches,
             container: self.container.clone(),
-            duration: start.elapsed(),
+            duration: elapsed_base + start.elapsed(),
             target,
-        }
+            recoveries: self.recoveries,
+        })
     }
 
     /// Generates initial positions for a batch above the current bed — the
@@ -443,6 +820,7 @@ impl CollectivePacker {
     ///
     /// Public so experiments (e.g. the Fig. 3 learning-rate study) can drive
     /// a single batch with custom step budgets and record [`StepTrace`]s.
+    /// Panics if the divergence sentinel exhausts its recovery budget.
     #[allow(clippy::too_many_arguments)]
     pub fn optimize_batch_with(
         &mut self,
@@ -452,8 +830,32 @@ impl CollectivePacker {
         max_steps: usize,
         patience: usize,
         lr: &LrPolicy,
-        mut trace: Option<&mut Vec<StepTrace>>,
+        trace: Option<&mut Vec<StepTrace>>,
     ) -> BatchOptimization {
+        self.optimize_batch_core(
+            radii, init, fixed, max_steps, patience, lr, trace, None, None, 0,
+        )
+        .unwrap_or_else(|e| panic!("batch optimization failed: {e}"))
+    }
+
+    /// The full inner loop: optimization plus the divergence sentinel and
+    /// the checkpoint cadence. `resume` restores a mid-batch state saved by
+    /// a previous run; `ckpt` carries the outer-loop context a mid-batch
+    /// checkpoint must capture.
+    #[allow(clippy::too_many_arguments)]
+    fn optimize_batch_core(
+        &mut self,
+        radii: &[f64],
+        init: Vec<f64>,
+        fixed: &CsrGrid,
+        max_steps: usize,
+        patience: usize,
+        lr: &LrPolicy,
+        mut trace: Option<&mut Vec<StepTrace>>,
+        resume: Option<&BatchInProgress>,
+        mut ckpt: Option<CheckpointCtx<'_>>,
+        batch_index: usize,
+    ) -> Result<BatchOptimization, PackError> {
         assert_eq!(init.len(), radii.len() * 3, "init buffer size mismatch");
         let objective = Objective::new(
             self.params.weights,
@@ -484,14 +886,82 @@ impl CollectivePacker {
         let mut best_fitness = f64::INFINITY;
         let mut no_improvement = 0usize;
         let mut steps = 0usize;
-        let rebuilds_before = self.workspace.verlet_rebuilds();
+        let mut start_step = 0usize;
+        let mut rebuilds_before = self.workspace.verlet_rebuilds();
         // Per-step phase timing only while metrics are on: with telemetry
         // disabled the loop reads no clock beyond what the seed had.
         let metrics_on = adampack_telemetry::is_enabled();
         let mut gradient_time = Duration::ZERO;
         let mut optimizer_time = Duration::ZERO;
+        let mut batch_recoveries = 0usize;
 
-        for step in 0..max_steps {
+        if let Some(bp) = resume {
+            // `coords` was initialized from `bp.coords` by the caller.
+            best.copy_from_slice(&bp.best);
+            best_fitness = bp.best_fitness;
+            no_improvement = bp.no_improvement as usize;
+            start_step = bp.next_step as usize;
+            steps = start_step;
+            rebuilds_before = bp.rebuilds_at_start as usize;
+            gradient_time = Duration::from_nanos(bp.gradient_ns);
+            optimizer_time = Duration::from_nanos(bp.optimizer_ns);
+            batch_recoveries = bp.batch_recoveries as usize;
+            optimizer
+                .load_state(&bp.optimizer)
+                .map_err(|e| PackError::Resume(CheckpointError::StateMismatch(e.to_string())))?;
+            scheduler.load_state(bp.scheduler);
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.prev.clear();
+                tr.prev.extend_from_slice(&bp.trace_prev);
+            }
+        }
+
+        // Divergence-sentinel setup: the explosion bound and the initial
+        // known-good snapshot (the spawn state).
+        let sentinel = self.params.sentinel;
+        let sentinel_on = sentinel.enabled;
+        let (aabb_center, explosion_limit) = {
+            let bb = self.container.aabb();
+            let c = (bb.min + bb.max) * 0.5;
+            let diag = bb.min.distance(bb.max);
+            ([c.x, c.y, c.z], sentinel.explosion_factor * diag.max(1e-9))
+        };
+        let mut snap = GoodSnapshot {
+            step: start_step,
+            coords: coords.clone(),
+            best: best.clone(),
+            best_fitness,
+            no_improvement,
+            opt: OptimizerState::default(),
+            sched: scheduler.save_state(),
+            ring_len: self.tracer.as_ref().map_or(0, |t| t.ring.len()),
+            prev: self
+                .tracer
+                .as_ref()
+                .map(|t| t.prev.clone())
+                .unwrap_or_default(),
+        };
+        optimizer.save_state(&mut snap.opt);
+        let mut opt_scratch = OptimizerState::default();
+
+        let mut step = start_step;
+        while step < max_steps {
+            // Periodic known-good snapshot (skipped right after a rollback,
+            // when `step == snap.step` and the state is the snapshot).
+            if sentinel_on && step != snap.step && step.is_multiple_of(sentinel.snapshot_every) {
+                refresh_snapshot(
+                    &mut snap,
+                    &mut opt_scratch,
+                    step,
+                    &coords,
+                    &best,
+                    best_fitness,
+                    no_improvement,
+                    optimizer.as_ref(),
+                    scheduler.as_ref(),
+                    self.tracer.as_ref(),
+                );
+            }
             let t_grad = if metrics_on {
                 Some(Instant::now())
             } else {
@@ -512,6 +982,42 @@ impl CollectivePacker {
                 let d = t.elapsed();
                 PHASE_GRADIENT.record_ns(d.as_nanos() as u64);
                 gradient_time += d;
+            }
+            // Divergence sentinel, stage 1: a non-finite loss or gradient
+            // poisons everything downstream — roll back before it spreads.
+            if sentinel_on && (!z.is_finite() || grad.iter().any(|g| !g.is_finite())) {
+                batch_recoveries += 1;
+                self.recoveries += 1;
+                adampack_telemetry::warn!(
+                    "sentinel: non-finite objective at batch {batch_index} step {step} \
+                     (z = {z}); rolling back to step {} (recovery {batch_recoveries}/{})",
+                    snap.step,
+                    sentinel.max_recoveries,
+                );
+                if batch_recoveries > sentinel.max_recoveries {
+                    return Err(PackError::Diverged {
+                        batch: batch_index,
+                        step,
+                        recoveries: batch_recoveries,
+                    });
+                }
+                rollback(
+                    &snap,
+                    &mut coords,
+                    &mut best,
+                    &mut best_fitness,
+                    &mut no_improvement,
+                    optimizer.as_mut(),
+                    scheduler.as_mut(),
+                    &mut self.workspace,
+                    self.tracer.as_mut(),
+                );
+                // Persist the LR cut into the snapshot so a repeat
+                // divergence doesn't undo it.
+                optimizer.save_state(&mut snap.opt);
+                snap.sched = scheduler.save_state();
+                step = snap.step;
+                continue;
             }
             STEPS_TOTAL.inc();
             if let Some(t) = trace.as_deref_mut() {
@@ -603,16 +1109,150 @@ impl CollectivePacker {
                 PHASE_OPTIMIZER.record_ns(d.as_nanos() as u64);
                 optimizer_time += d;
             }
+            // Divergence sentinel, stage 2: the update itself may blow up
+            // (non-finite or exploding coordinates) even from a finite
+            // gradient when the learning rate is far too hot.
+            if sentinel_on {
+                let exploded = coords.chunks_exact(3).any(|c| {
+                    !(c[0].is_finite() && c[1].is_finite() && c[2].is_finite())
+                        || (c[0] - aabb_center[0]).abs() > explosion_limit
+                        || (c[1] - aabb_center[1]).abs() > explosion_limit
+                        || (c[2] - aabb_center[2]).abs() > explosion_limit
+                });
+                if exploded {
+                    batch_recoveries += 1;
+                    self.recoveries += 1;
+                    adampack_telemetry::warn!(
+                        "sentinel: displacement explosion at batch {batch_index} step {step}; \
+                         rolling back to step {} (recovery {batch_recoveries}/{})",
+                        snap.step,
+                        sentinel.max_recoveries,
+                    );
+                    if batch_recoveries > sentinel.max_recoveries {
+                        // Exploding-but-finite coordinates are not fatal the
+                        // way NaNs are: `best` still holds the last finite
+                        // state, so hand the batch to acceptance (which will
+                        // reject it and halve) instead of killing the run —
+                        // infeasible inputs must degrade, not error.
+                        adampack_telemetry::warn!(
+                            "sentinel: batch {batch_index} keeps exploding after \
+                             {batch_recoveries} recoveries; abandoning optimization \
+                             and leaving the batch to acceptance"
+                        );
+                        break;
+                    }
+                    rollback(
+                        &snap,
+                        &mut coords,
+                        &mut best,
+                        &mut best_fitness,
+                        &mut no_improvement,
+                        optimizer.as_mut(),
+                        scheduler.as_mut(),
+                        &mut self.workspace,
+                        self.tracer.as_mut(),
+                    );
+                    optimizer.save_state(&mut snap.opt);
+                    snap.sched = scheduler.save_state();
+                    step = snap.step;
+                    continue;
+                }
+            }
+            // Checkpoint cadence: counted in run-global optimizer steps and
+            // taken after the update, so the resumed loop continues at
+            // `step + 1` with the post-update state.
+            if let Some(ctx) = ckpt.as_mut() {
+                ctx.cadence.global_step += 1;
+                let every = ctx.cadence.every_steps;
+                if every > 0 && ctx.cadence.global_step % every as u64 == 0 {
+                    // Drain the trace ring first so persisted step records
+                    // align with the checkpoint, then reset the Verlet
+                    // reference so straight and resumed runs rebuild their
+                    // candidate lists at the same steps (bitwise equality).
+                    if let Some(tr) = self.tracer.as_mut() {
+                        tr.ring.drain_into(tr.sink.as_mut());
+                    }
+                    self.workspace.reset_batch();
+                    let mut opt_state = OptimizerState::default();
+                    optimizer.save_state(&mut opt_state);
+                    let state = RunState {
+                        seed: self.params.seed,
+                        params_fingerprint: ctx.fingerprint,
+                        global_step: ctx.cadence.global_step,
+                        recoveries: self.recoveries,
+                        preexisting: ctx.preexisting as u64,
+                        target: ctx.target as u64,
+                        batch_index: ctx.batch_index as u64,
+                        packed: ctx.packed as u64,
+                        batch_size: ctx.batch_size as u64,
+                        elapsed_ns: (ctx.elapsed_base + ctx.start.elapsed())
+                            .as_nanos()
+                            .min(u64::MAX as u128) as u64,
+                        evals: self.workspace.evals() as u64,
+                        verlet_rebuilds: self.workspace.verlet_rebuilds() as u64,
+                        rng: self.rng.state(),
+                        particles: ctx.particles.to_vec(),
+                        batches: ctx.batches.to_vec(),
+                        batch: Some(BatchInProgress {
+                            radii: radii.to_vec(),
+                            coords: coords.clone(),
+                            best: best.clone(),
+                            best_fitness,
+                            no_improvement: no_improvement as u64,
+                            next_step: (step + 1) as u64,
+                            rebuilds_at_start: rebuilds_before as u64,
+                            spawn_ns: ctx.spawn.as_nanos().min(u64::MAX as u128) as u64,
+                            gradient_ns: gradient_time.as_nanos().min(u64::MAX as u128) as u64,
+                            optimizer_ns: optimizer_time.as_nanos().min(u64::MAX as u128) as u64,
+                            batch_recoveries: batch_recoveries as u64,
+                            trace_prev: self
+                                .tracer
+                                .as_ref()
+                                .map(|t| t.prev.clone())
+                                .unwrap_or_default(),
+                            optimizer: opt_state,
+                            scheduler: scheduler.save_state(),
+                        }),
+                    };
+                    match ctx.cadence.sink.save(&state) {
+                        Ok(()) => CHECKPOINT_WRITES_TOTAL.inc(),
+                        Err(e) => {
+                            CHECKPOINT_FAILURES_TOTAL.inc();
+                            adampack_telemetry::warn!(
+                                "checkpoint write failed (run continues): {e}"
+                            );
+                        }
+                    }
+                    // Re-snapshot from the just-persisted state: the ring
+                    // was drained, so a later rollback must not truncate to
+                    // a pre-drain length.
+                    if sentinel_on {
+                        refresh_snapshot(
+                            &mut snap,
+                            &mut opt_scratch,
+                            step + 1,
+                            &coords,
+                            &best,
+                            best_fitness,
+                            no_improvement,
+                            optimizer.as_ref(),
+                            scheduler.as_ref(),
+                            self.tracer.as_ref(),
+                        );
+                    }
+                }
+            }
+            step += 1;
         }
 
-        BatchOptimization {
+        Ok(BatchOptimization {
             coords: best,
             best_fitness,
             steps,
             verlet_rebuilds: self.workspace.verlet_rebuilds() - rebuilds_before,
             gradient_time,
             optimizer_time,
-        }
+        })
     }
 }
 

@@ -70,6 +70,7 @@
 
 pub mod analysis;
 pub mod baseline;
+pub mod checkpoint;
 pub mod collective;
 pub mod container;
 pub mod grid;
@@ -88,14 +89,18 @@ pub mod zone;
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::baseline::{DropAndRollPacker, RsaPacker};
+    pub use crate::checkpoint::{BatchInProgress, CheckpointError, RunState};
     pub use crate::collective::{
-        BatchPhaseBreakdown, BatchStats, CollectivePacker, PackResult, StepTrace,
+        BatchPhaseBreakdown, BatchStats, CheckpointCadence, CheckpointSink, CollectivePacker,
+        PackError, PackResult, StepTrace,
     };
     pub use crate::container::Container;
     pub use crate::metrics::{contact_stats, psd_adherence, ContactStats};
     pub use crate::neighbor::{CsrGrid, FixedBed, NeighborStrategy, VerletLists, Workspace};
     pub use crate::objective::{Objective, ObjectiveBreakdown, ObjectiveWeights};
-    pub use crate::params::{LrPolicy, NeighborParams, OptimizerKind, PackingParams};
+    pub use crate::params::{
+        LrPolicy, NeighborParams, OptimizerKind, PackingParams, SentinelParams,
+    };
     pub use crate::particle::Particle;
     pub use crate::psd::Psd;
     pub use crate::runner::{registry, PackingAlgorithm};

@@ -198,9 +198,26 @@ impl CsrGrid {
         }
     }
 
+    /// Folds any pending spheres into the CSR structure.
+    ///
+    /// After this the grid layout is a pure function of the `(centers,
+    /// radii)` arrays in insertion order — the same canonical layout
+    /// [`CsrGrid::rebuild`] produces — regardless of how pushes and
+    /// automatic rebins interleaved. Checkpointing calls this at every
+    /// cadence point so a resumed run (which rebuilds the grid from the
+    /// particle list) sees a bitwise-identical neighbor structure.
+    pub fn flush_pending(&mut self) {
+        if !self.pending.is_empty() {
+            self.rebin();
+        }
+    }
+
     /// Counting-sorts all spheres into `cell_start`/`entries` and clears
     /// the pending list. Reuses buffer capacity.
     fn rebin(&mut self) {
+        if failpoints::should_fail("core.grid.rebuild") {
+            panic!("failpoint core.grid.rebuild: injected grid-rebuild fault");
+        }
         self.pending.clear();
         let n = self.centers.len();
         if n == 0 {
@@ -436,6 +453,13 @@ impl FixedBed {
     pub fn push(&mut self, center: Vec3, radius: f64) {
         self.top = self.top.max(self.axis.up().dot(center) + radius);
         self.grid.push(center, radius);
+    }
+
+    /// Folds pending pushes into the canonical CSR layout (see
+    /// [`CsrGrid::flush_pending`]). Called at checkpoint cadence points so
+    /// straight and resumed runs agree bitwise on the bed's grid.
+    pub fn canonicalize(&mut self) {
+        self.grid.flush_pending();
     }
 
     /// The neighbor-query structure over the bed.
@@ -728,6 +752,13 @@ impl Workspace {
     /// buffer's capacity. Call between batches.
     pub fn reset_batch(&mut self) {
         self.verlet.ref_coords.clear();
+    }
+
+    /// Restores the cumulative diagnostics counters from a checkpoint so a
+    /// resumed run reports the same totals as an uninterrupted one.
+    pub fn restore_counters(&mut self, evals: usize, verlet_rebuilds: usize) {
+        self.evals = evals;
+        self.verlet.rebuilds = verlet_rebuilds;
     }
 
     /// Refreshes the SoA coordinate snapshot and the `positions` scratch

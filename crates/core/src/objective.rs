@@ -346,6 +346,9 @@ impl<'a> Objective<'a> {
             gslot[2] = g.z;
             *vslot = v;
         });
+        if failpoints::should_fail("core.objective.eval") {
+            return f64::NAN;
+        }
         // Sequential reduction keeps the result bitwise-deterministic.
         values.iter().sum()
     }
@@ -405,6 +408,9 @@ impl<'a> Objective<'a> {
             sum.altitude += b.altitude;
             sum.exterior += b.exterior;
             sum.total += b.total;
+        }
+        if failpoints::should_fail("core.objective.eval") {
+            return (f64::NAN, sum);
         }
         (sum.total, sum)
     }

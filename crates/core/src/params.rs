@@ -203,6 +203,52 @@ impl LrPolicy {
     }
 }
 
+/// Divergence-sentinel configuration: the step-loop guard that catches
+/// non-finite losses/gradients and displacement explosions, rolls the batch
+/// back to the last good snapshot and tightens the learning rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SentinelParams {
+    /// Enables the guard. Off, a non-finite loss poisons the whole batch
+    /// (the pre-sentinel behavior).
+    pub enabled: bool,
+    /// Rollbacks tolerated per batch before the sentinel gives up: a
+    /// persistent stream of non-finite values aborts the run with
+    /// [`crate::collective::PackError::Diverged`], while finite-but-
+    /// exploding batches are abandoned to acceptance (rejected and halved).
+    pub max_recoveries: usize,
+    /// Steps between in-memory good-state snapshots. Smaller values lose
+    /// less progress per rollback but copy the coordinate buffers more
+    /// often.
+    pub snapshot_every: usize,
+    /// A step is an "explosion" when any coordinate strays farther than
+    /// this multiple of the container's AABB diagonal from the AABB center.
+    pub explosion_factor: f64,
+}
+
+impl Default for SentinelParams {
+    fn default() -> Self {
+        SentinelParams {
+            enabled: true,
+            max_recoveries: 8,
+            snapshot_every: 25,
+            explosion_factor: 4.0,
+        }
+    }
+}
+
+impl SentinelParams {
+    /// Panics on inconsistent settings.
+    pub fn validate(&self) {
+        assert!(self.max_recoveries > 0, "max_recoveries must be positive");
+        assert!(self.snapshot_every > 0, "snapshot_every must be positive");
+        assert!(
+            self.explosion_factor.is_finite() && self.explosion_factor > 0.0,
+            "explosion_factor must be positive and finite, got {}",
+            self.explosion_factor
+        );
+    }
+}
+
 /// All hyper-parameters of Algorithm 1.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PackingParams {
@@ -244,6 +290,9 @@ pub struct PackingParams {
     pub improvement_tol: f64,
     /// Neighbor-search pipeline configuration (strategy + Verlet skin).
     pub neighbor: NeighborParams,
+    /// Divergence-sentinel configuration (rollback + LR tightening on
+    /// non-finite or exploding steps).
+    pub sentinel: SentinelParams,
     /// Arithmetic kernel for the hot loops (objective pair/plane scans and
     /// the Adam update). `Simd` and `Scalar` are bitwise interchangeable;
     /// the scalar path survives as the correctness oracle.
@@ -267,6 +316,7 @@ impl Default for PackingParams {
             spawn_density: 0.20,
             improvement_tol: 1e-6,
             neighbor: NeighborParams::default(),
+            sentinel: SentinelParams::default(),
             kernel: Kernel::default(),
         }
     }
@@ -293,6 +343,7 @@ impl PackingParams {
         );
         self.weights.validate();
         self.neighbor.validate();
+        self.sentinel.validate();
     }
 }
 
@@ -316,6 +367,22 @@ mod tests {
         assert_eq!(p.neighbor.strategy, NeighborStrategy::Auto);
         assert!((p.neighbor.skin_factor - 0.4).abs() < 1e-12);
         assert_eq!(p.kernel, Kernel::Simd);
+        assert!(p.sentinel.enabled);
+        assert_eq!(p.sentinel.max_recoveries, 8);
+        assert_eq!(p.sentinel.snapshot_every, 25);
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "explosion_factor")]
+    fn non_finite_explosion_factor_rejected() {
+        let p = PackingParams {
+            sentinel: SentinelParams {
+                explosion_factor: f64::NAN,
+                ..SentinelParams::default()
+            },
+            ..PackingParams::default()
+        };
         p.validate();
     }
 

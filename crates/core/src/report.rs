@@ -40,6 +40,8 @@ pub struct QualityReport {
     pub seconds: f64,
     /// Verlet candidate-list rebuilds summed over all batches.
     pub verlet_rebuilds: usize,
+    /// Divergence-sentinel recoveries (rollback + LR cut) the run needed.
+    pub recoveries: u64,
     /// Per-phase wall-clock summed over all batches.
     pub phase: BatchPhaseBreakdown,
     /// Worker threads the parallel phases ran on.
@@ -74,6 +76,7 @@ impl QualityReport {
             mean_coordination: mean_coordination(&result.particles, 0.05),
             seconds: result.duration.as_secs_f64(),
             verlet_rebuilds: result.batches.iter().map(|b| b.verlet_rebuilds).sum(),
+            recoveries: result.recoveries,
             phase: result
                 .batches
                 .iter()
@@ -123,6 +126,7 @@ impl fmt::Display for QualityReport {
         }
         writeln!(f, "mean coordination:  {:.2}", self.mean_coordination)?;
         writeln!(f, "verlet rebuilds:    {}", self.verlet_rebuilds)?;
+        writeln!(f, "sentinel recoveries: {}", self.recoveries)?;
         writeln!(f, "threads:            {}", self.threads)?;
         writeln!(
             f,
@@ -200,6 +204,7 @@ mod tests {
             "psd adherence:",
             "mean coordination:",
             "verlet rebuilds:",
+            "sentinel recoveries:",
             "threads:",
             "phase time:",
             "time:",

@@ -175,6 +175,7 @@ impl ZonedPacker {
             container: self.container.clone(),
             duration: start.elapsed(),
             target: total_target,
+            recoveries: 0,
         }
     }
 

@@ -30,6 +30,7 @@ pub mod clip;
 pub mod hull;
 pub mod mesh;
 pub mod plane;
+pub mod sanity;
 pub mod shapes;
 pub mod triangle;
 pub mod vec3;
@@ -38,8 +39,9 @@ pub use aabb::Aabb;
 pub use axis::Axis;
 pub use clip::{clip_convex, clip_convex_all, ClipResult};
 pub use hull::{ConvexHull, HalfSpaceSet, HullError};
-pub use mesh::TriMesh;
+pub use mesh::{MeshError, TriMesh};
 pub use plane::Plane;
+pub use sanity::{container_sanity, SanityError};
 pub use triangle::Triangle;
 pub use vec3::{Mat3, Vec3};
 

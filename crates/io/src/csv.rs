@@ -11,11 +11,18 @@ use adampack_geometry::Vec3;
 /// `adampack_core::Particle` without the dependency).
 pub type ParticleRow = (Vec3, f64, usize, usize);
 
+/// Failpoint site: fires an injected I/O error before the CSV header is
+/// written.
+pub const FAILPOINT_CSV_WRITE: &str = "io.csv.write";
+
 /// Writes particles as CSV with a header row.
 pub fn write_particles_csv<W: Write>(
     mut w: W,
     rows: impl IntoIterator<Item = ParticleRow>,
 ) -> io::Result<()> {
+    if failpoints::should_fail(FAILPOINT_CSV_WRITE) {
+        return Err(io::Error::other("injected failpoint io.csv.write"));
+    }
     writeln!(w, "x,y,z,radius,batch,set")?;
     for (c, r, batch, set) in rows {
         writeln!(w, "{},{},{},{},{},{}", c.x, c.y, c.z, r, batch, set)?;

@@ -1,0 +1,144 @@
+//! Unified typed error for the file-level I/O entry points.
+//!
+//! The per-format modules keep their own narrow error types (e.g.
+//! [`StlError`](crate::stl::StlError)) so in-memory users don't pay for
+//! path bookkeeping; the file-level helpers and the checkpoint writer wrap
+//! those in [`Error`], which always carries the offending path so a CLI
+//! message can name the file without the caller threading it through.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::stl::StlError;
+
+/// A file-level I/O failure with the path it happened on.
+#[derive(Debug)]
+pub enum Error {
+    /// Operating-system I/O failure (open/read/write/rename/fsync).
+    Io {
+        /// File (or directory, for fsync-of-parent) the operation targeted.
+        path: PathBuf,
+        /// What the writer was doing when it failed.
+        op: &'static str,
+        /// Underlying OS error.
+        source: io::Error,
+    },
+    /// STL content was malformed.
+    Stl {
+        /// The offending file.
+        path: PathBuf,
+        /// Parse-level detail (dialect, line/byte position, cause).
+        source: StlError,
+    },
+    /// Non-STL content was malformed (CSV/checkpoint framing, …).
+    Format {
+        /// The offending file.
+        path: PathBuf,
+        /// What was wrong, with line/byte-offset context where available.
+        message: String,
+    },
+    /// No readable checkpoint exists among the rotation candidates.
+    NoCheckpoint {
+        /// The primary checkpoint path that was probed.
+        path: PathBuf,
+    },
+}
+
+impl Error {
+    /// Wraps an OS error with the path and operation it occurred on.
+    pub fn io(path: impl AsRef<Path>, op: &'static str, source: io::Error) -> Error {
+        Error::Io {
+            path: path.as_ref().to_path_buf(),
+            op,
+            source,
+        }
+    }
+
+    /// The path the failure occurred on.
+    pub fn path(&self) -> &Path {
+        match self {
+            Error::Io { path, .. }
+            | Error::Stl { path, .. }
+            | Error::Format { path, .. }
+            | Error::NoCheckpoint { path } => path,
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Io { path, op, source } => {
+                write!(f, "{op} {}: {source}", path.display())
+            }
+            Error::Stl { path, source } => write!(f, "{}: {source}", path.display()),
+            Error::Format { path, message } => write!(f, "{}: {message}", path.display()),
+            Error::NoCheckpoint { path } => {
+                write!(
+                    f,
+                    "no readable checkpoint at {} (or rotated copies)",
+                    path.display()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io { source, .. } => Some(source),
+            Error::Stl { source, .. } => Some(source),
+            Error::Format { .. } | Error::NoCheckpoint { .. } => None,
+        }
+    }
+}
+
+/// Reads an STL file, attaching the path to any failure.
+pub fn read_stl_path(path: impl AsRef<Path>) -> Result<adampack_geometry::TriMesh, Error> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path).map_err(|e| Error::io(path, "read", e))?;
+    crate::stl::read_stl(&bytes).map_err(|source| Error::Stl {
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_path_and_cause() {
+        let e = Error::io(
+            "/tmp/x.stl",
+            "read",
+            io::Error::new(io::ErrorKind::NotFound, "gone"),
+        );
+        let text = e.to_string();
+        assert!(text.contains("/tmp/x.stl"), "{text}");
+        assert!(text.contains("gone"), "{text}");
+        assert_eq!(e.path(), Path::new("/tmp/x.stl"));
+    }
+
+    #[test]
+    fn read_stl_path_names_the_file_on_parse_error() {
+        let dir = std::env::temp_dir().join("adampack_io_error_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.stl");
+        std::fs::write(&path, b"hello world").unwrap();
+        let err = read_stl_path(&path).expect_err("garbage accepted");
+        assert!(matches!(err, Error::Stl { .. }));
+        assert!(err.to_string().contains("bad.stl"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_reports_io_with_op() {
+        let err = read_stl_path("/nonexistent/adampack/void.stl").expect_err("file exists?");
+        match &err {
+            Error::Io { op, .. } => assert_eq!(*op, "read"),
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+}

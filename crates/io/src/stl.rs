@@ -38,8 +38,19 @@ impl From<io::Error> for StlError {
     }
 }
 
+/// Failpoint site: fires an injected I/O error at the start of either STL
+/// writer, before any bytes reach the sink.
+pub const FAILPOINT_STL_WRITE: &str = "io.stl.write";
+
+fn injected_write_error(site: &str) -> StlError {
+    StlError::Io(io::Error::other(format!("injected failpoint {site}")))
+}
+
 /// Writes a mesh as ASCII STL.
 pub fn write_stl_ascii<W: Write>(mut w: W, mesh: &TriMesh, name: &str) -> Result<(), StlError> {
+    if failpoints::should_fail(FAILPOINT_STL_WRITE) {
+        return Err(injected_write_error(FAILPOINT_STL_WRITE));
+    }
     writeln!(w, "solid {name}")?;
     for t in mesh.triangles() {
         let n = t.normal().unwrap_or(Vec3::Z);
@@ -57,6 +68,9 @@ pub fn write_stl_ascii<W: Write>(mut w: W, mesh: &TriMesh, name: &str) -> Result
 
 /// Writes a mesh as binary STL.
 pub fn write_stl_binary<W: Write>(mut w: W, mesh: &TriMesh) -> Result<(), StlError> {
+    if failpoints::should_fail(FAILPOINT_STL_WRITE) {
+        return Err(injected_write_error(FAILPOINT_STL_WRITE));
+    }
     let mut header = [0u8; 80];
     let tag = b"adampack binary stl";
     header[..tag.len()].copy_from_slice(tag);
@@ -84,8 +98,19 @@ pub fn write_stl_binary<W: Write>(mut w: W, mesh: &TriMesh) -> Result<(), StlErr
 pub fn read_stl(bytes: &[u8]) -> Result<TriMesh, StlError> {
     if bytes.len() >= 84 {
         let n = u32::from_le_bytes([bytes[80], bytes[81], bytes[82], bytes[83]]) as usize;
-        if bytes.len() == 84 + 50 * n {
+        let expected = 84 + 50 * n;
+        if bytes.len() == expected {
             return read_stl_binary(bytes, n);
+        }
+        // Wrong length for the declared triangle count. If it can't be the
+        // ASCII dialect either, say exactly how many bytes are missing
+        // instead of surfacing a confusing UTF-8 error.
+        if std::str::from_utf8(bytes).is_err() {
+            return Err(StlError::Parse(format!(
+                "binary STL truncated or corrupt: header declares {n} triangles \
+                 ({expected} bytes), file has {} bytes",
+                bytes.len()
+            )));
         }
     }
     read_stl_ascii(bytes)
@@ -279,6 +304,20 @@ mod tests {
         assert!(matches!(read_stl(empty.as_bytes()), Err(StlError::Empty)));
         // Random text without 'solid'.
         assert!(read_stl(b"hello world").is_err());
+    }
+
+    #[test]
+    fn truncated_binary_reports_byte_counts() {
+        let mesh = sample_mesh();
+        let mut buf = Vec::new();
+        write_stl_binary(&mut buf, &mesh).unwrap();
+        buf.truncate(buf.len() - 7); // tear mid-facet
+        buf[0] = 0xFF; // make sure the header can't pass as UTF-8 ASCII
+        let err = read_stl(&buf).expect_err("torn binary accepted");
+        let msg = err.to_string();
+        assert!(msg.contains("truncated"), "{msg}");
+        assert!(msg.contains("12 triangles"), "{msg}");
+        assert!(msg.contains(&format!("{} bytes", buf.len())), "{msg}");
     }
 
     #[test]

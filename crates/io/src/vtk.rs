@@ -8,12 +8,19 @@ use std::io::{self, Write};
 
 use adampack_geometry::Vec3;
 
+/// Failpoint site: fires an injected I/O error before any VTK bytes are
+/// written (both the particle and the mesh writer).
+pub const FAILPOINT_VTK_WRITE: &str = "io.vtk.write";
+
 /// Writes `(center, radius, batch)` triples as a legacy VTK file.
 pub fn write_particles_vtk<W: Write>(
     mut w: W,
     particles: &[(Vec3, f64, usize)],
     title: &str,
 ) -> io::Result<()> {
+    if failpoints::should_fail(FAILPOINT_VTK_WRITE) {
+        return Err(io::Error::other("injected failpoint io.vtk.write"));
+    }
     writeln!(w, "# vtk DataFile Version 3.0")?;
     // Legacy VTK limits the title line to 256 characters.
     let mut t = title.replace(['\n', '\r'], " ");
@@ -46,6 +53,9 @@ pub fn write_mesh_vtk<W: Write>(
     mesh: &adampack_geometry::TriMesh,
     title: &str,
 ) -> io::Result<()> {
+    if failpoints::should_fail(FAILPOINT_VTK_WRITE) {
+        return Err(io::Error::other("injected failpoint io.vtk.write"));
+    }
     writeln!(w, "# vtk DataFile Version 3.0")?;
     let mut t = title.replace(['\n', '\r'], " ");
     t.truncate(255);

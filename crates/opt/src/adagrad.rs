@@ -3,6 +3,7 @@
 use rayon::par;
 
 use crate::optimizer::{check_sizes, Optimizer};
+use crate::state::{check_slots, load_slot, OptimizerState, StateMismatch};
 
 /// Hyper-parameters for [`AdaGrad`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -91,6 +92,19 @@ impl Optimizer for AdaGrad {
 
     fn steps_taken(&self) -> u64 {
         self.t
+    }
+
+    fn save_state(&self, out: &mut OptimizerState) {
+        let slots = out.refill(self.t, self.cfg.lr, 1);
+        slots[0].extend_from_slice(&self.sum_sq);
+    }
+
+    fn load_state(&mut self, state: &OptimizerState) -> Result<(), StateMismatch> {
+        check_slots(state, 1)?;
+        load_slot(&mut self.sum_sq, &state.slots[0], "sum_sq")?;
+        self.t = state.t;
+        self.set_lr(state.lr);
+        Ok(())
     }
 }
 

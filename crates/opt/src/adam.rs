@@ -6,6 +6,7 @@ use wide::f64x4;
 
 use crate::kernel::Kernel;
 use crate::optimizer::{check_sizes, Optimizer};
+use crate::state::{check_slots, load_slot, OptimizerState, StateMismatch};
 
 /// Hyper-parameters for [`Adam`]. Defaults match `torch.optim.Adam`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -203,6 +204,28 @@ impl Optimizer for Adam {
 
     fn steps_taken(&self) -> u64 {
         self.t
+    }
+
+    fn save_state(&self, out: &mut OptimizerState) {
+        let n_slots = if self.cfg.amsgrad { 3 } else { 2 };
+        let slots = out.refill(self.t, self.cfg.lr, n_slots);
+        slots[0].extend_from_slice(&self.m);
+        slots[1].extend_from_slice(&self.v);
+        if self.cfg.amsgrad {
+            slots[2].extend_from_slice(&self.v_max);
+        }
+    }
+
+    fn load_state(&mut self, state: &OptimizerState) -> Result<(), StateMismatch> {
+        check_slots(state, if self.cfg.amsgrad { 3 } else { 2 })?;
+        load_slot(&mut self.m, &state.slots[0], "m")?;
+        load_slot(&mut self.v, &state.slots[1], "v")?;
+        if self.cfg.amsgrad {
+            load_slot(&mut self.v_max, &state.slots[2], "v_max")?;
+        }
+        self.t = state.t;
+        self.set_lr(state.lr);
+        Ok(())
     }
 }
 

@@ -4,6 +4,7 @@ use rayon::par;
 
 use crate::adam::{Adam, AdamConfig};
 use crate::optimizer::{check_sizes, Optimizer};
+use crate::state::{OptimizerState, StateMismatch};
 
 /// Hyper-parameters for [`AdamW`]. Defaults match `torch.optim.AdamW`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -94,6 +95,16 @@ impl Optimizer for AdamW {
 
     fn steps_taken(&self) -> u64 {
         self.inner.steps_taken()
+    }
+
+    fn save_state(&self, out: &mut OptimizerState) {
+        // The decoupled decay adds no mutable state of its own; the inner
+        // Adam's snapshot is the whole story.
+        self.inner.save_state(out);
+    }
+
+    fn load_state(&mut self, state: &OptimizerState) -> Result<(), StateMismatch> {
+        self.inner.load_state(state)
     }
 }
 

@@ -40,6 +40,7 @@ mod optimizer;
 mod rmsprop;
 mod scheduler;
 mod sgd;
+mod state;
 
 pub use adagrad::{AdaGrad, AdaGradConfig};
 pub use adam::{Adam, AdamConfig};
@@ -53,6 +54,7 @@ pub use scheduler::{
     ReduceLrOnPlateauConfig, StepLr, ThresholdMode,
 };
 pub use sgd::{Sgd, SgdConfig};
+pub use state::{OptimizerState, SchedulerState, StateMismatch};
 
 /// Constructs any supported optimizer by name — mirrors the string-keyed
 /// algorithm selection of the paper's YAML configuration.

@@ -3,6 +3,7 @@
 use rayon::par;
 
 use crate::optimizer::{check_sizes, Optimizer};
+use crate::state::{check_slots, load_slot, mismatch, OptimizerState, StateMismatch};
 
 /// Hyper-parameters for [`NAdam`]. Defaults match `torch.optim.NAdam`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -116,6 +117,29 @@ impl Optimizer for NAdam {
 
     fn steps_taken(&self) -> u64 {
         self.t
+    }
+
+    fn save_state(&self, out: &mut OptimizerState) {
+        let slots = out.refill(self.t, self.cfg.lr, 2);
+        slots[0].extend_from_slice(&self.m);
+        slots[1].extend_from_slice(&self.v);
+        out.scalars.push(self.mu_product);
+    }
+
+    fn load_state(&mut self, state: &OptimizerState) -> Result<(), StateMismatch> {
+        check_slots(state, 2)?;
+        if state.scalars.len() != 1 {
+            return Err(mismatch(format!(
+                "expected 1 scalar (mu_product), snapshot has {}",
+                state.scalars.len()
+            )));
+        }
+        load_slot(&mut self.m, &state.slots[0], "m")?;
+        load_slot(&mut self.v, &state.slots[1], "v")?;
+        self.mu_product = state.scalars[0];
+        self.t = state.t;
+        self.set_lr(state.lr);
+        Ok(())
     }
 }
 

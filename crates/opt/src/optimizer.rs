@@ -1,5 +1,7 @@
 //! The optimizer abstraction shared by all update rules.
 
+use crate::state::{OptimizerState, StateMismatch};
+
 /// A first-order optimizer over a flat parameter vector.
 ///
 /// Implementations keep per-parameter state (moments, accumulators) sized at
@@ -24,6 +26,18 @@ pub trait Optimizer: Send {
 
     /// Number of `step` calls since construction/reset.
     fn steps_taken(&self) -> u64;
+
+    /// Copies the complete mutable state (step counter, learning rate,
+    /// every slot vector) into `out`, reusing its buffers. A later
+    /// [`Optimizer::load_state`] of the snapshot into an identically
+    /// configured optimizer reproduces the remaining trajectory bitwise.
+    fn save_state(&self, out: &mut OptimizerState);
+
+    /// Restores state captured by [`Optimizer::save_state`]. Fails when the
+    /// snapshot's shape (slot count or lengths) does not match this
+    /// optimizer; hyper-parameters are kept, except the learning rate,
+    /// which is restored from the snapshot.
+    fn load_state(&mut self, state: &OptimizerState) -> Result<(), StateMismatch>;
 }
 
 /// Validates slice lengths against the optimizer's state size.

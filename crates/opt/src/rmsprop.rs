@@ -3,6 +3,7 @@
 use rayon::par;
 
 use crate::optimizer::{check_sizes, Optimizer};
+use crate::state::{check_slots, load_slot, OptimizerState, StateMismatch};
 
 /// Hyper-parameters for [`RmsProp`]. Defaults match `torch.optim.RMSprop`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -118,6 +119,26 @@ impl Optimizer for RmsProp {
 
     fn steps_taken(&self) -> u64 {
         self.t
+    }
+
+    fn save_state(&self, out: &mut OptimizerState) {
+        let n_slots = if self.cfg.momentum > 0.0 { 2 } else { 1 };
+        let slots = out.refill(self.t, self.cfg.lr, n_slots);
+        slots[0].extend_from_slice(&self.sq_avg);
+        if self.cfg.momentum > 0.0 {
+            slots[1].extend_from_slice(&self.buf);
+        }
+    }
+
+    fn load_state(&mut self, state: &OptimizerState) -> Result<(), StateMismatch> {
+        check_slots(state, if self.cfg.momentum > 0.0 { 2 } else { 1 })?;
+        load_slot(&mut self.sq_avg, &state.slots[0], "sq_avg")?;
+        if self.cfg.momentum > 0.0 {
+            load_slot(&mut self.buf, &state.slots[1], "buf")?;
+        }
+        self.t = state.t;
+        self.set_lr(state.lr);
+        Ok(())
     }
 }
 

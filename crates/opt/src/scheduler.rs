@@ -6,6 +6,8 @@
 //! minimum LR). Fixed-rate and classic decay schedules are included for the
 //! learning-rate study and ablations.
 
+use crate::state::SchedulerState;
+
 /// A learning-rate schedule.
 ///
 /// Call [`LrScheduler::step`] once per optimization step (or epoch) with the
@@ -21,6 +23,21 @@ pub trait LrScheduler: Send {
 
     /// Restores the initial state.
     fn reset(&mut self);
+
+    /// Snapshots the complete mutable state (allocation-free: the snapshot
+    /// is `Copy`). Feeding it back through [`LrScheduler::load_state`] on an
+    /// identically configured scheduler reproduces the remaining schedule
+    /// bitwise.
+    fn save_state(&self) -> SchedulerState;
+
+    /// Restores state captured by [`LrScheduler::save_state`].
+    fn load_state(&mut self, state: SchedulerState);
+
+    /// Forces an immediate learning-rate cut and returns the new rate —
+    /// the divergence sentinel's recovery hook. Schedulers with a natural
+    /// reduction rule apply it (the plateau scheduler performs exactly the
+    /// cut it would after exhausted patience); the rest halve the rate.
+    fn force_reduction(&mut self) -> f64;
 }
 
 /// Fixed learning rate (the paper's `10⁻²`, `10⁻³`, `10⁻⁴` baselines).
@@ -45,6 +62,21 @@ impl LrScheduler for ConstantLr {
         self.lr
     }
     fn reset(&mut self) {}
+    fn save_state(&self) -> SchedulerState {
+        SchedulerState {
+            floats: [self.lr, 0.0, 0.0, 0.0],
+            ..SchedulerState::default()
+        }
+    }
+    fn load_state(&mut self, state: SchedulerState) {
+        self.lr = state.floats[0];
+    }
+    fn force_reduction(&mut self) -> f64 {
+        // "Constant" bends for divergence recovery: a sentinel cut that
+        // left the rate unchanged would deterministically re-diverge.
+        self.lr *= 0.5;
+        self.lr
+    }
 }
 
 /// Multiplies the LR by `gamma` every `step_size` steps.
@@ -88,6 +120,20 @@ impl LrScheduler for StepLr {
         self.lr = self.initial_lr;
         self.t = 0;
     }
+    fn save_state(&self) -> SchedulerState {
+        SchedulerState {
+            floats: [self.lr, 0.0, 0.0, 0.0],
+            ints: [self.t, 0, 0, 0],
+        }
+    }
+    fn load_state(&mut self, state: SchedulerState) {
+        self.lr = state.floats[0];
+        self.t = state.ints[0];
+    }
+    fn force_reduction(&mut self) -> f64 {
+        self.lr *= self.gamma;
+        self.lr
+    }
 }
 
 /// Multiplies the LR by `gamma` every step.
@@ -121,6 +167,19 @@ impl LrScheduler for ExponentialLr {
     }
     fn reset(&mut self) {
         self.lr = self.initial_lr;
+    }
+    fn save_state(&self) -> SchedulerState {
+        SchedulerState {
+            floats: [self.lr, 0.0, 0.0, 0.0],
+            ..SchedulerState::default()
+        }
+    }
+    fn load_state(&mut self, state: SchedulerState) {
+        self.lr = state.floats[0];
+    }
+    fn force_reduction(&mut self) -> f64 {
+        self.lr *= self.gamma;
+        self.lr
     }
 }
 
@@ -161,6 +220,22 @@ impl LrScheduler for CosineAnnealingLr {
     }
     fn reset(&mut self) {
         self.t = 0;
+    }
+    fn save_state(&self) -> SchedulerState {
+        SchedulerState {
+            ints: [self.t, 0, 0, 0],
+            ..SchedulerState::default()
+        }
+    }
+    fn load_state(&mut self, state: SchedulerState) {
+        self.t = state.ints[0];
+    }
+    fn force_reduction(&mut self) -> f64 {
+        // The rate is a pure function of `t`, so a cut means jumping the
+        // clock: halve the remaining annealing window (monotone decrease,
+        // lands on min_lr after a bounded number of cuts).
+        self.t = ((self.t + self.t_max).div_ceil(2)).min(self.t_max);
+        self.current_lr()
     }
 }
 
@@ -256,10 +331,36 @@ impl ReduceLrOnPlateau {
     }
 
     fn is_improvement(&self, metric: f64) -> bool {
+        // A non-finite metric (NaN from a diverged objective, ±∞ from an
+        // overflow) is never an improvement: without this guard a single
+        // -∞ poisons `best` permanently, and NaN comparisons silently
+        // count as bad steps against a corrupted baseline.
+        if !metric.is_finite() {
+            return false;
+        }
         match self.cfg.threshold_mode {
             ThresholdMode::Relative => metric < self.best * (1.0 - self.cfg.threshold),
             ThresholdMode::Absolute => metric < self.best - self.cfg.threshold,
         }
+    }
+
+    /// The exact LR cut `step` performs after exhausted patience, shared
+    /// with [`LrScheduler::force_reduction`].
+    fn reduce(&mut self) {
+        let new_lr = (self.lr * self.cfg.factor).max(self.cfg.min_lr);
+        if self.lr - new_lr > self.cfg.eps {
+            self.lr = new_lr;
+            self.reductions += 1;
+            adampack_telemetry::metrics::LR_REDUCTIONS_TOTAL.inc();
+            adampack_telemetry::debug!(
+                "plateau: lr reduced to {:.3e} (reduction #{}, best metric {:.6})",
+                self.lr,
+                self.reductions,
+                self.best,
+            );
+        }
+        self.cooldown_counter = self.cfg.cooldown;
+        self.num_bad = 0;
     }
 }
 
@@ -278,20 +379,7 @@ impl LrScheduler for ReduceLrOnPlateau {
         }
 
         if self.num_bad > self.cfg.patience {
-            let new_lr = (self.lr * self.cfg.factor).max(self.cfg.min_lr);
-            if self.lr - new_lr > self.cfg.eps {
-                self.lr = new_lr;
-                self.reductions += 1;
-                adampack_telemetry::metrics::LR_REDUCTIONS_TOTAL.inc();
-                adampack_telemetry::debug!(
-                    "plateau: lr reduced to {:.3e} (reduction #{}, best metric {:.6})",
-                    self.lr,
-                    self.reductions,
-                    self.best,
-                );
-            }
-            self.cooldown_counter = self.cfg.cooldown;
-            self.num_bad = 0;
+            self.reduce();
         }
         self.lr
     }
@@ -306,6 +394,30 @@ impl LrScheduler for ReduceLrOnPlateau {
         self.num_bad = 0;
         self.cooldown_counter = 0;
         self.reductions = 0;
+    }
+
+    fn save_state(&self) -> SchedulerState {
+        SchedulerState {
+            floats: [self.lr, self.best, 0.0, 0.0],
+            ints: [self.num_bad, self.cooldown_counter, self.reductions, 0],
+        }
+    }
+
+    fn load_state(&mut self, state: SchedulerState) {
+        self.lr = state.floats[0];
+        self.best = state.floats[1];
+        self.num_bad = state.ints[0];
+        self.cooldown_counter = state.ints[1];
+        self.reductions = state.ints[2];
+    }
+
+    fn force_reduction(&mut self) -> f64 {
+        // Divergence recovery uses the scheduler's own cut so that the
+        // min_lr/eps floor, cooldown and reduction accounting stay uniform
+        // with plateau-triggered reductions. `best` is deliberately kept:
+        // the rolled-back state had reached it once already.
+        self.reduce();
+        self.lr
     }
 }
 
@@ -472,5 +584,132 @@ mod tests {
         }
         assert_eq!(s.reductions(), 0);
         assert_eq!(s.current_lr(), 1.0);
+    }
+
+    #[test]
+    fn plateau_non_finite_metrics_do_not_corrupt_best() {
+        let mut s = ReduceLrOnPlateau::new(ReduceLrOnPlateauConfig {
+            initial_lr: 1.0,
+            patience: 100,
+            ..ReduceLrOnPlateauConfig::default()
+        });
+        s.step(5.0);
+        assert_eq!(s.best(), 5.0);
+        // NaN, +∞ and (crucially) -∞ must all count as bad steps and
+        // leave the recorded best untouched.
+        for m in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+            s.step(m);
+            assert_eq!(s.best(), 5.0, "best corrupted by {m}");
+        }
+        // After the bad spell a genuine improvement is still recognised.
+        s.step(4.0);
+        assert_eq!(s.best(), 4.0);
+    }
+
+    #[test]
+    fn plateau_force_reduction_matches_natural_cut() {
+        let cfg = ReduceLrOnPlateauConfig {
+            initial_lr: 1.0,
+            factor: 0.25,
+            patience: 10,
+            cooldown: 2,
+            min_lr: 0.1,
+            ..ReduceLrOnPlateauConfig::default()
+        };
+        let mut s = ReduceLrOnPlateau::new(cfg);
+        s.step(3.0);
+        assert_eq!(s.force_reduction(), 0.25);
+        assert_eq!(s.reductions(), 1);
+        assert_eq!(s.best(), 3.0, "forced cut keeps the best metric");
+        // Cooldown armed: immediately-following bad metrics don't count.
+        s.step(9.0);
+        s.step(9.0);
+        assert_eq!(s.current_lr(), 0.25);
+        // Floor respected: 0.25 · 0.25 < min_lr ⇒ clamps to 0.1.
+        assert_eq!(s.force_reduction(), 0.1);
+        // At the floor further forced cuts are no-ops (eps gate).
+        assert_eq!(s.force_reduction(), 0.1);
+        assert_eq!(s.reductions(), 2);
+    }
+
+    #[test]
+    fn plateau_state_round_trip_is_bitwise() {
+        let cfg = ReduceLrOnPlateauConfig {
+            initial_lr: 1.0,
+            factor: 0.5,
+            patience: 2,
+            ..ReduceLrOnPlateauConfig::default()
+        };
+        let mut s = ReduceLrOnPlateau::new(cfg);
+        for m in [3.0, 2.5, 2.6, 2.7, 2.8, 2.9] {
+            s.step(m);
+        }
+        let snap = s.save_state();
+        let mut replay: Vec<f64> = Vec::new();
+        for m in [3.0, 3.0, 3.0, 2.0, 2.1] {
+            replay.push(s.step(m));
+        }
+        let mut r = ReduceLrOnPlateau::new(cfg);
+        r.load_state(snap);
+        for (k, m) in [3.0, 3.0, 3.0, 2.0, 2.1].into_iter().enumerate() {
+            assert_eq!(r.step(m).to_bits(), replay[k].to_bits(), "step {k}");
+        }
+        assert_eq!(r.reductions(), s.reductions());
+    }
+
+    #[test]
+    fn non_plateau_schedulers_state_round_trip() {
+        // Each scheduler is advanced, snapshotted, advanced further, then a
+        // fresh instance restored from the snapshot must replay bitwise.
+        fn check<S: LrScheduler>(mut a: S, mut fresh: S, what: &str) {
+            for _ in 0..7 {
+                a.step(1.0);
+            }
+            let snap = a.save_state();
+            let cont: Vec<f64> = (0..5).map(|_| a.step(1.0)).collect();
+            fresh.load_state(snap);
+            let replay: Vec<f64> = (0..5).map(|_| fresh.step(1.0)).collect();
+            for (k, (x, y)) in cont.iter().zip(&replay).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "{what} step {k}");
+            }
+        }
+        check(ConstantLr::new(0.3), ConstantLr::new(0.3), "constant");
+        check(StepLr::new(1.0, 3, 0.5), StepLr::new(1.0, 3, 0.5), "step");
+        check(
+            ExponentialLr::new(1.0, 0.9),
+            ExponentialLr::new(1.0, 0.9),
+            "exponential",
+        );
+        check(
+            CosineAnnealingLr::new(1.0, 0.01, 40),
+            CosineAnnealingLr::new(1.0, 0.01, 40),
+            "cosine",
+        );
+    }
+
+    #[test]
+    fn force_reduction_shrinks_every_scheduler() {
+        // The sentinel relies on force_reduction actually lowering (or at
+        // worst pinning) the rate for every scheduler kind.
+        let mut c = ConstantLr::new(1.0);
+        assert_eq!(c.force_reduction(), 0.5);
+        let mut st = StepLr::new(1.0, 10, 0.5);
+        assert_eq!(st.force_reduction(), 0.5);
+        let mut e = ExponentialLr::new(1.0, 0.9);
+        assert!((e.force_reduction() - 0.9).abs() < 1e-15);
+        let mut cos = CosineAnnealingLr::new(1.0, 0.0, 100);
+        let before = cos.current_lr();
+        let after = cos.force_reduction();
+        assert!(
+            after < before,
+            "cosine cut must shrink: {before} -> {after}"
+        );
+        // Repeated cuts converge on eta_min instead of oscillating.
+        let mut last = after;
+        for _ in 0..10 {
+            let next = cos.force_reduction();
+            assert!(next <= last + 1e-15);
+            last = next;
+        }
     }
 }

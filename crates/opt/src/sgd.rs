@@ -3,6 +3,7 @@
 use rayon::par;
 
 use crate::optimizer::{check_sizes, Optimizer};
+use crate::state::{check_slots, load_slot, OptimizerState, StateMismatch};
 
 /// Hyper-parameters for [`Sgd`]. Defaults match `torch.optim.SGD` with
 /// `lr = 0.01`.
@@ -117,6 +118,21 @@ impl Optimizer for Sgd {
 
     fn steps_taken(&self) -> u64 {
         self.t
+    }
+
+    fn save_state(&self, out: &mut OptimizerState) {
+        // `t` matters beyond bookkeeping: PyTorch's first-step buffer
+        // initialization keys off it.
+        let slots = out.refill(self.t, self.cfg.lr, 1);
+        slots[0].extend_from_slice(&self.velocity);
+    }
+
+    fn load_state(&mut self, state: &OptimizerState) -> Result<(), StateMismatch> {
+        check_slots(state, 1)?;
+        load_slot(&mut self.velocity, &state.slots[0], "velocity")?;
+        self.t = state.t;
+        self.set_lr(state.lr);
+        Ok(())
     }
 }
 

@@ -1,0 +1,164 @@
+//! Serializable optimizer and scheduler state.
+//!
+//! Checkpoint/resume and the divergence sentinel's in-memory rollback both
+//! need the *complete* mutable state of the update rule — for Adam/AMSGrad
+//! that is the m/v/v̂-max slots and the step counter the bias correction
+//! depends on; dropping any of it changes the remaining trajectory, which
+//! would break the bitwise resume guarantee. The snapshot types here are
+//! deliberately dumb flat containers: a few scalars plus named slot
+//! vectors, copied verbatim, so a save → load round trip is bitwise exact
+//! and the encoding layer (in `adampack-core`) never needs to know which
+//! optimizer it is serializing.
+
+/// Flat snapshot of an optimizer's mutable state.
+///
+/// `slots` holds the per-parameter state vectors in an order fixed by each
+/// optimizer (e.g. Adam: `[m, v]`, AMSGrad: `[m, v, v_max]`); `scalars`
+/// holds non-config scalar state (e.g. NAdam's μ-product). Hyper-parameters
+/// are *not* part of the snapshot — the loading optimizer must be built
+/// with the same configuration, which [`crate::Optimizer::load_state`]
+/// cross-checks structurally (slot count and lengths).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OptimizerState {
+    /// Step counter (`steps_taken`).
+    pub t: u64,
+    /// Base learning rate in force at snapshot time.
+    pub lr: f64,
+    /// Scalar state beyond `t`/`lr` (optimizer-specific order).
+    pub scalars: Vec<f64>,
+    /// Per-parameter state vectors (optimizer-specific order).
+    pub slots: Vec<Vec<f64>>,
+}
+
+impl OptimizerState {
+    /// Begins refilling the snapshot in place: sets the scalar header and
+    /// clears `scalars`/`slots` *contents* while keeping every allocated
+    /// buffer, so repeated saves into the same snapshot are allocation-free
+    /// once the shapes have stabilized.
+    pub(crate) fn refill(&mut self, t: u64, lr: f64, n_slots: usize) -> &mut [Vec<f64>] {
+        self.t = t;
+        self.lr = lr;
+        self.scalars.clear();
+        self.slots.resize_with(n_slots, Vec::new);
+        self.slots.truncate(n_slots);
+        for s in self.slots.iter_mut() {
+            s.clear();
+        }
+        &mut self.slots
+    }
+
+    /// True when every slot element and scalar is finite (rollback sanity
+    /// check: restoring non-finite moments would re-diverge immediately).
+    pub fn is_finite(&self) -> bool {
+        self.lr.is_finite()
+            && self.scalars.iter().all(|x| x.is_finite())
+            && self.slots.iter().all(|s| s.iter().all(|x| x.is_finite()))
+    }
+}
+
+/// Error from [`crate::Optimizer::load_state`]: the snapshot's shape does
+/// not match the optimizer it is being loaded into.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateMismatch {
+    /// What disagreed (human-readable).
+    pub message: String,
+}
+
+impl std::fmt::Display for StateMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "optimizer state mismatch: {}", self.message)
+    }
+}
+
+impl std::error::Error for StateMismatch {}
+
+pub(crate) fn mismatch(message: impl Into<String>) -> StateMismatch {
+    StateMismatch {
+        message: message.into(),
+    }
+}
+
+/// Copies a snapshot slot into a live state vector, checking lengths.
+pub(crate) fn load_slot(dst: &mut [f64], src: &[f64], name: &str) -> Result<(), StateMismatch> {
+    if dst.len() != src.len() {
+        return Err(mismatch(format!(
+            "slot '{name}': expected {} elements, snapshot has {}",
+            dst.len(),
+            src.len()
+        )));
+    }
+    dst.copy_from_slice(src);
+    Ok(())
+}
+
+/// Checks a snapshot's slot count before loading.
+pub(crate) fn check_slots(s: &OptimizerState, expected: usize) -> Result<(), StateMismatch> {
+    if s.slots.len() != expected {
+        return Err(mismatch(format!(
+            "expected {expected} state slots, snapshot has {}",
+            s.slots.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Flat snapshot of a learning-rate scheduler's mutable state.
+///
+/// Every scheduler in this crate fits in four floats and four integers
+/// (`ReduceLrOnPlateau` is the largest: lr, best, num_bad, cooldown,
+/// reductions), so the snapshot is `Copy` and saving it never allocates —
+/// it can be taken inside the hot step loop.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SchedulerState {
+    /// Float state words (scheduler-specific order).
+    pub floats: [f64; 4],
+    /// Integer state words (scheduler-specific order).
+    pub ints: [u64; 4],
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refill_reuses_buffers_and_clears_contents() {
+        let mut s = OptimizerState::default();
+        {
+            let slots = s.refill(3, 0.5, 2);
+            slots[0].extend_from_slice(&[1.0, 2.0]);
+            slots[1].extend_from_slice(&[3.0]);
+        }
+        assert_eq!(s.t, 3);
+        assert_eq!(s.slots.len(), 2);
+        {
+            let slots = s.refill(4, 0.25, 2);
+            assert!(slots[0].is_empty() && slots[1].is_empty());
+        }
+        assert_eq!(s.lr, 0.25);
+    }
+
+    #[test]
+    fn finiteness_check_catches_bad_slots() {
+        let mut s = OptimizerState {
+            t: 1,
+            lr: 0.1,
+            scalars: vec![1.0],
+            slots: vec![vec![0.0, 1.0]],
+        };
+        assert!(s.is_finite());
+        s.slots[0][1] = f64::NAN;
+        assert!(!s.is_finite());
+        s.slots[0][1] = 1.0;
+        s.scalars[0] = f64::INFINITY;
+        assert!(!s.is_finite());
+    }
+
+    #[test]
+    fn load_slot_rejects_length_mismatch() {
+        let mut dst = vec![0.0; 3];
+        assert!(load_slot(&mut dst, &[1.0, 2.0, 3.0], "m").is_ok());
+        assert_eq!(dst, vec![1.0, 2.0, 3.0]);
+        let err = load_slot(&mut dst, &[1.0], "m").unwrap_err();
+        assert!(err.to_string().contains("slot 'm'"), "{err}");
+    }
+}

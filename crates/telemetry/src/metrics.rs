@@ -228,6 +228,21 @@ pub static TRACE_RECORDS_DROPPED_TOTAL: Counter = Counter::new(
     "adampack_trace_records_dropped_total",
     "Convergence-trace records overwritten before being drained",
 );
+/// Divergence-sentinel rollback recoveries.
+pub static SENTINEL_RECOVERIES_TOTAL: Counter = Counter::new(
+    "adampack_sentinel_recoveries_total",
+    "Divergence-sentinel rollbacks to the last good snapshot",
+);
+/// Checkpoints written successfully.
+pub static CHECKPOINT_WRITES_TOTAL: Counter = Counter::new(
+    "adampack_checkpoint_writes_total",
+    "Run-state checkpoints persisted successfully",
+);
+/// Checkpoint write attempts that failed.
+pub static CHECKPOINT_FAILURES_TOTAL: Counter = Counter::new(
+    "adampack_checkpoint_failures_total",
+    "Run-state checkpoint writes that failed (run continues)",
+);
 
 /// Batch spawn time (initial-position generation).
 pub static PHASE_SPAWN: Histogram = Histogram::new(
@@ -275,7 +290,7 @@ pub static PHASE_KERNEL_SIMD: Histogram = Histogram::new(
     "SIMD-kernel fused objective evaluation time",
 );
 
-static COUNTERS: [&Counter; 10] = [
+static COUNTERS: [&Counter; 13] = [
     &STEPS_TOTAL,
     &EVALS_TOTAL,
     &BATCHES_TOTAL,
@@ -286,6 +301,9 @@ static COUNTERS: [&Counter; 10] = [
     &DEM_STEPS_TOTAL,
     &TRACE_RECORDS_TOTAL,
     &TRACE_RECORDS_DROPPED_TOTAL,
+    &SENTINEL_RECOVERIES_TOTAL,
+    &CHECKPOINT_WRITES_TOTAL,
+    &CHECKPOINT_FAILURES_TOTAL,
 ];
 
 static HISTOGRAMS: [&Histogram; 9] = [

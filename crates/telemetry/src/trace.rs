@@ -262,6 +262,19 @@ impl TraceRing {
         }
     }
 
+    /// Discards records newer than the first `keep` live ones.
+    ///
+    /// Used by the divergence sentinel when it rolls a batch back: records
+    /// written by the rolled-back steps would otherwise be drained alongside
+    /// their replayed counterparts, duplicating (and misordering) steps in
+    /// the JSONL trace. `keep` larger than the live count is a no-op.
+    pub fn truncate(&mut self, keep: usize) {
+        self.len = self.len.min(keep);
+        if self.len == 0 {
+            self.head = 0;
+        }
+    }
+
     /// Delivers all live records to `sink` oldest-first, then clears the
     /// ring (capacity retained) and flushes the sink.
     pub fn drain_into(&mut self, sink: &mut dyn TraceSink) {
@@ -291,9 +304,18 @@ pub trait TraceSink: Send {
 
 /// Writes records as JSON Lines (`application/jsonl`): one flat object per
 /// line in the [`StepRecord::FIELDS`] schema.
+///
+/// Dropping the writer flushes it, so a trace file stays line-complete even
+/// when the owning run unwinds mid-batch: every line that reached the sink
+/// is parseable, the interrupted record simply never got in. Each record is
+/// staged in an internal buffer and handed to the writer as one `write_all`
+/// call, so a `BufWriter`-backed sink never persists half a line unless the
+/// OS itself tears the write.
 #[derive(Debug)]
 pub struct JsonlWriter<W: Write + Send> {
-    writer: W,
+    /// `None` only after [`JsonlWriter::into_inner`]; the `Option` exists so
+    /// the drop guard and the by-value unwrap can coexist.
+    writer: Option<W>,
     /// Reused per-record serialization buffer.
     line: String,
     written: u64,
@@ -305,7 +327,7 @@ impl<W: Write + Send> JsonlWriter<W> {
     /// Wraps a writer (use a `BufWriter` for files).
     pub fn new(writer: W) -> JsonlWriter<W> {
         JsonlWriter {
-            writer,
+            writer: Some(writer),
             line: String::with_capacity(256),
             written: 0,
             failed: false,
@@ -317,20 +339,32 @@ impl<W: Write + Send> JsonlWriter<W> {
         self.written
     }
 
-    /// Unwraps the inner writer (flushing is the caller's concern).
-    pub fn into_inner(self) -> W {
-        self.writer
+    /// Unwraps the inner writer after a final flush.
+    pub fn into_inner(mut self) -> W {
+        self.flush();
+        self.writer.take().expect("writer present until into_inner")
+    }
+}
+
+impl<W: Write + Send> Drop for JsonlWriter<W> {
+    fn drop(&mut self) {
+        // Flush even when dropped by an unwinding panic — a best-effort
+        // guard that keeps the JSONL file valid up to the last full record.
+        self.flush();
     }
 }
 
 impl<W: Write + Send> TraceSink for JsonlWriter<W> {
     fn record(&mut self, record: &StepRecord) {
+        let Some(writer) = self.writer.as_mut() else {
+            return;
+        };
         if self.failed {
             return;
         }
         record.write_json(&mut self.line);
         self.line.push('\n');
-        if let Err(e) = self.writer.write_all(self.line.as_bytes()) {
+        if let Err(e) = writer.write_all(self.line.as_bytes()) {
             self.failed = true;
             crate::error!("trace sink write failed, disabling: {e}");
             return;
@@ -339,8 +373,11 @@ impl<W: Write + Send> TraceSink for JsonlWriter<W> {
     }
 
     fn flush(&mut self) {
+        let Some(writer) = self.writer.as_mut() else {
+            return;
+        };
         if !self.failed {
-            if let Err(e) = self.writer.flush() {
+            if let Err(e) = writer.flush() {
                 self.failed = true;
                 crate::error!("trace sink flush failed, disabling: {e}");
             }
@@ -446,6 +483,71 @@ mod tests {
         ring.push(sample(9));
         ring.drain_into(&mut sink);
         assert_eq!(sink.records.last().unwrap().step, 9);
+    }
+
+    #[test]
+    fn truncate_discards_newest_records_only() {
+        let mut ring = TraceRing::with_capacity(8);
+        for step in 0..6 {
+            ring.push(sample(step));
+        }
+        ring.truncate(4); // sentinel rollback to the snapshot at step 4
+        let mut sink = VecSink::default();
+        ring.drain_into(&mut sink);
+        let steps: Vec<u64> = sink.records.iter().map(|r| r.step).collect();
+        assert_eq!(steps, vec![0, 1, 2, 3], "newest records discarded");
+        // Oversized keep is a no-op; truncate works across a wrap, too.
+        let mut ring = TraceRing::with_capacity(4);
+        for step in 0..7 {
+            ring.push(sample(step)); // live: 3,4,5,6 (head wrapped)
+        }
+        ring.truncate(100);
+        assert_eq!(ring.len(), 4);
+        ring.truncate(2);
+        let mut sink = VecSink::default();
+        ring.drain_into(&mut sink);
+        let steps: Vec<u64> = sink.records.iter().map(|r| r.step).collect();
+        assert_eq!(steps, vec![3, 4], "keeps the oldest live records");
+    }
+
+    /// A `Write` impl that appends into shared storage, so the buffer's
+    /// contents survive the `JsonlWriter` being dropped.
+    struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_writer_flushes_on_drop_even_mid_panic() {
+        let storage = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let result = std::panic::catch_unwind({
+            let storage = storage.clone();
+            move || {
+                let inner = std::io::BufWriter::with_capacity(1 << 16, SharedBuf(storage));
+                let mut sink = JsonlWriter::new(inner);
+                for step in 0..3 {
+                    sink.record(&sample(step));
+                }
+                // Nothing reached the shared storage yet: it all sits in the
+                // BufWriter. The panic must not lose it.
+                panic!("simulated mid-run crash");
+            }
+        });
+        assert!(result.is_err());
+        let bytes = storage.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "drop guard flushed the buffered records");
+        for (i, line) in lines.iter().enumerate() {
+            assert_eq!(StepRecord::parse(line).unwrap().step, i as u64);
+        }
     }
 
     #[test]
