@@ -15,21 +15,17 @@
 //!
 //! Results are also written to `target/experiments/BENCH_neighbor.json`.
 
-use adampack_bench::{cli, secs, timed};
+use adampack_bench::{cli, secs, timed, JsonReport};
 use adampack_core::grid::CellGrid;
 use adampack_core::objective::{CrossMode, Objective, ObjectiveWeights};
 use adampack_core::prelude::*;
 use adampack_geometry::{shapes, Axis, Vec3};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::io::Write;
 
-fn json_row(out: &mut String, section: &str, size: usize, a_ms: f64, b_ms: f64) {
-    if !out.is_empty() {
-        out.push_str(",\n");
-    }
-    out.push_str(&format!(
-        "    {{\"section\": \"{section}\", \"size\": {size}, \
+fn json_row(report: &mut JsonReport, section: &str, size: usize, a_ms: f64, b_ms: f64) {
+    report.row(format!(
+        "{{\"section\": \"{section}\", \"size\": {size}, \
          \"baseline_ms\": {b_ms:.4}, \"new_ms\": {a_ms:.4}, \
          \"speedup\": {:.3}}}",
         b_ms / a_ms
@@ -45,7 +41,7 @@ fn main() {
     let container = Container::from_mesh(&mesh).expect("tall box hull");
     let hs = container.halfspaces();
     let mut rng = StdRng::seed_from_u64(7);
-    let mut rows = String::new();
+    let mut report = JsonReport::new("neighbor");
 
     println!("# Ablation 1 — cross-term evaluation: cell grid vs naive scan");
     println!(
@@ -112,7 +108,7 @@ fn main() {
             "{bed_size:>10} {g_ms:>14.3} {n_ms:>14.3} {:>10.1}",
             n_ms / g_ms
         );
-        json_row(&mut rows, "cross_grid_vs_naive", bed_size, g_ms, n_ms);
+        json_row(&mut report, "cross_grid_vs_naive", bed_size, g_ms, n_ms);
 
         // Ablation 2 on the same bed: CSR vs HashMap build + full query sweep.
         // Each structure may scan a different candidate superset (cell sizes
@@ -155,7 +151,7 @@ fn main() {
             "",
             h_ms / c_ms
         );
-        json_row(&mut rows, "csr_vs_hashmap", bed_size, c_ms, h_ms);
+        json_row(&mut report, "csr_vs_hashmap", bed_size, c_ms, h_ms);
     }
     println!("# expected: naive cost grows with the bed, grid cost stays flat");
 
@@ -236,7 +232,7 @@ fn main() {
             "{n:>8} {g_ms:>14.3} {v_ms:>14.3} {:>8.2} {rebuilds:>9}",
             g_ms / v_ms
         );
-        json_row(&mut rows, "verlet_vs_grid", n, v_ms, g_ms);
+        json_row(&mut report, "verlet_vs_grid", n, v_ms, g_ms);
     }
     println!("# expected: Verlet amortizes pair search; rebuilds ≪ evals");
 
@@ -309,7 +305,7 @@ fn main() {
             let ms = secs(t) * 1e3 / evals as f64;
             println!("{factor:>12.2} {ms:>14.3} {:>9}", ws.verlet_rebuilds());
             json_row(
-                &mut rows,
+                &mut report,
                 "skin_sweep_x100",
                 (factor * 100.0) as usize,
                 ms,
@@ -319,10 +315,6 @@ fn main() {
     }
     println!("# expected: cost is U-shaped in the skin; the default 0.4 sits near the floor");
 
-    let dir = std::path::PathBuf::from("target/experiments");
-    std::fs::create_dir_all(&dir).expect("create target/experiments");
-    let path = dir.join("BENCH_neighbor.json");
-    let mut f = std::fs::File::create(&path).expect("create BENCH_neighbor.json");
-    writeln!(f, "{{\n  \"rows\": [\n{rows}\n  ]\n}}").expect("write json");
+    let path = report.write().expect("write BENCH_neighbor.json");
     println!("# wrote {}", path.display());
 }

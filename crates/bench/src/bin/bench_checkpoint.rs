@@ -21,12 +21,11 @@
 //! (same seed, target, batch size). Results go to stdout and
 //! `target/experiments/BENCH_checkpoint.json`.
 
-use adampack_bench::{cli, secs, timed};
+use adampack_bench::{cli, experiments_dir, json_str, secs, timed, JsonReport};
 use adampack_core::checkpoint::{self, RunState};
 use adampack_core::prelude::*;
 use adampack_geometry::{shapes, Vec3};
 use adampack_io::RotatingCheckpointWriter;
-use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -119,8 +118,7 @@ fn main() {
     let every = cli::usize_arg("--every", 100);
     let repeats = cli::usize_arg("--repeats", 3);
 
-    let dir = std::path::PathBuf::from("target/experiments");
-    std::fs::create_dir_all(&dir).expect("create target/experiments");
+    let dir = experiments_dir().expect("create target/experiments");
 
     println!(
         "# Checkpoint overhead — target {target}, batch {batch}, cadence {every}, best of {repeats}"
@@ -149,7 +147,11 @@ fn main() {
     // run follows its own deterministic trajectory — see module docs.)
     assert_same(&best[1].result, &best[2].result, "encode vs file");
 
-    let mut rows = String::new();
+    let mut report = JsonReport::new("checkpoint");
+    report
+        .meta("target", target)
+        .meta("batch", batch)
+        .meta("every_steps", every);
     for (i, mode) in modes.iter().enumerate() {
         let s = &best[i];
         let overhead = (s.seconds / best[0].seconds - 1.0) * 100.0;
@@ -162,24 +164,18 @@ fn main() {
             "{:>8} {:>10.3} {:>8.1}% {:>12} {:>10.1}",
             mode, s.seconds, overhead, s.writes, kib
         );
-        if !rows.is_empty() {
-            rows.push_str(",\n");
-        }
-        rows.push_str(&format!(
-            "    {{\"mode\": \"{}\", \"seconds\": {:.4}, \"overhead_pct\": {:.2}, \
+        report.row(format!(
+            "{{\"mode\": {}, \"seconds\": {:.4}, \"overhead_pct\": {:.2}, \
              \"checkpoints\": {}, \"kib_per_checkpoint\": {:.1}}}",
-            mode, s.seconds, overhead, s.writes, kib
+            json_str(mode),
+            s.seconds,
+            overhead,
+            s.writes,
+            kib
         ));
     }
     println!("# encode and file sinks asserted bitwise identical; repeats identical per mode");
 
-    let path = dir.join("BENCH_checkpoint.json");
-    let mut f = std::fs::File::create(&path).expect("create BENCH_checkpoint.json");
-    writeln!(
-        f,
-        "{{\n  \"target\": {target}, \"batch\": {batch}, \"every_steps\": {every},\n  \
-         \"rows\": [\n{rows}\n  ]\n}}"
-    )
-    .expect("write json");
+    let path = report.write().expect("write BENCH_checkpoint.json");
     println!("# wrote {}", path.display());
 }

@@ -20,7 +20,7 @@
 //! n = 2000. Results are also written to
 //! `target/experiments/BENCH_kernels.json`.
 
-use adampack_bench::{aggregate, cli, secs, timed, Agg};
+use adampack_bench::{aggregate, cli, json_str, secs, timed, Agg, JsonReport};
 use adampack_core::neighbor::{CsrGrid, NeighborStrategy, Workspace};
 use adampack_core::objective::{Objective, ObjectiveWeights};
 use adampack_core::{Container, Kernel};
@@ -28,7 +28,6 @@ use adampack_geometry::{shapes, Axis, Vec3};
 use adampack_opt::{Adam, AdamConfig, Optimizer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::io::Write;
 
 const KERNELS: [Kernel; 3] = [Kernel::LegacyScalar, Kernel::Scalar, Kernel::Simd];
 
@@ -218,12 +217,9 @@ fn print_row(n: usize, ms: &[Agg; 3]) {
     );
 }
 
-fn json_row(out: &mut String, phase: &str, n: usize, ms: &[Agg; 3]) {
-    if !out.is_empty() {
-        out.push_str(",\n");
-    }
-    out.push_str(&format!(
-        "    {{\"phase\": \"{phase}\", \"n\": {n}, \
+fn json_row(report: &mut JsonReport, phase: &str, n: usize, ms: &[Agg; 3]) {
+    report.row(format!(
+        "{{\"phase\": \"{phase}\", \"n\": {n}, \
          \"scalar_legacy_ms\": {:.5}, \"scalar_ms\": {:.5}, \"simd_ms\": {:.5}, \
          \"speedup_vs_legacy\": {:.3}, \"speedup_vs_scalar\": {:.3}}}",
         ms[0].mean,
@@ -252,7 +248,7 @@ fn run(repeats: usize) {
         wide::detected_isa()
     );
     let sizes = [500usize, 2000, 8000];
-    let mut rows = String::new();
+    let mut report = JsonReport::new("kernels");
     let mut acceptance = None;
 
     println!("# phase 'pairs' — fused value+gradient, crowded batch over a fixed bed");
@@ -265,7 +261,7 @@ fn run(repeats: usize) {
         if n == 2000 {
             acceptance = Some(ms[0].mean / ms[2].mean);
         }
-        json_row(&mut rows, "pairs", n, &ms);
+        json_row(&mut report, "pairs", n, &ms);
     }
 
     println!("# phase 'planes' — fused value+gradient, sparse batch around a tight box");
@@ -275,7 +271,7 @@ fn run(repeats: usize) {
         let evals = (2_000_000 / n).max(20);
         let ms = bench_objective(&scene, repeats, evals);
         print_row(n, &ms);
-        json_row(&mut rows, "planes", n, &ms);
+        json_row(&mut report, "planes", n, &ms);
     }
     println!(
         "# note: with near-zero pair work the per-eval SoA snapshot refresh is not \
@@ -289,7 +285,7 @@ fn run(repeats: usize) {
         let steps = (4_000_000 / (3 * n)).max(50);
         let ms = bench_adam(n, repeats, steps);
         print_row(n, &ms);
-        json_row(&mut rows, "optimizer", n, &ms);
+        json_row(&mut report, "optimizer", n, &ms);
     }
 
     let speedup = acceptance.expect("n = 2000 ran");
@@ -303,17 +299,11 @@ fn run(repeats: usize) {
         wide::backend_name()
     );
 
-    let dir = std::path::PathBuf::from("target/experiments");
-    std::fs::create_dir_all(&dir).expect("create target/experiments");
-    let path = dir.join("BENCH_kernels.json");
-    let mut f = std::fs::File::create(&path).expect("create BENCH_kernels.json");
-    writeln!(
-        f,
-        "{{\n  \"backend\": \"{}\",\n  \"detected_isa\": \"{}\",\n  \"threads\": 1,\n  \
-         \"acceptance_speedup_n2000\": {speedup:.3},\n  \"rows\": [\n{rows}\n  ]\n}}",
-        wide::backend_name(),
-        wide::detected_isa()
-    )
-    .expect("write json");
+    report
+        .meta("backend", json_str(wide::backend_name()))
+        .meta("detected_isa", json_str(wide::detected_isa()))
+        .meta("threads", 1)
+        .meta("acceptance_speedup_n2000", format!("{speedup:.3}"));
+    let path = report.write().expect("write BENCH_kernels.json");
     println!("# wrote {}", path.display());
 }

@@ -11,11 +11,10 @@
 //!
 //! Results are also written to `target/experiments/BENCH_threads.json`.
 
-use adampack_bench::{aggregate, cli, csv_writer, secs, timed, write_row};
+use adampack_bench::{aggregate, cli, csv_writer, secs, timed, write_row, JsonReport};
 use adampack_core::prelude::*;
 use adampack_geometry::{shapes, Vec3};
 use adampack_telemetry::metrics;
-use std::io::Write;
 
 const PHASES: [(&str, &metrics::Histogram); 6] = [
     ("grid_build", &metrics::PHASE_GRID_BUILD),
@@ -62,7 +61,7 @@ fn main() {
     )
     .unwrap();
 
-    let mut rows = String::new();
+    let mut report = JsonReport::new("threads");
     let mut t1 = None;
     for &threads in &thread_counts {
         let pool = rayon::ThreadPoolBuilder::new()
@@ -120,16 +119,13 @@ fn main() {
             )],
         )
         .unwrap();
-        if !rows.is_empty() {
-            rows.push_str(",\n");
-        }
         let phase_json = phase_s
             .iter()
             .map(|(name, s)| format!("\"{name}_s\": {s:.6}"))
             .collect::<Vec<_>>()
             .join(", ");
-        rows.push_str(&format!(
-            "    {{\"threads\": {threads}, \"mean_s\": {:.6}, \"min_s\": {:.6}, \
+        report.row(format!(
+            "{{\"threads\": {threads}, \"mean_s\": {:.6}, \"min_s\": {:.6}, \
              \"max_s\": {:.6}, \"speedup\": {speedup:.4}, \"serial_fraction\": {}, \
              {phase_json}}}",
             a.mean,
@@ -138,11 +134,7 @@ fn main() {
             serial_fraction.map_or("null".into(), |s| format!("{s:.4}")),
         ));
     }
-    let dir = std::path::Path::new("target/experiments");
-    std::fs::create_dir_all(dir).expect("create target/experiments");
-    let json_path = dir.join("BENCH_threads.json");
-    let mut f = std::fs::File::create(&json_path).expect("create BENCH_threads.json");
-    writeln!(f, "{{\n  \"rows\": [\n{rows}\n  ]\n}}").expect("write json");
+    let json_path = report.write().expect("write BENCH_threads.json");
     println!("# series written to {}", path.display());
     println!("# json written to {}", json_path.display());
     println!(

@@ -75,19 +75,112 @@ pub mod cli {
         })
     }
 
+    /// Parses `--name v1,v2,…` as a comma-separated `usize` list, with a
+    /// default when the flag is absent.
+    pub fn usize_list_arg(name: &str, default: &[usize]) -> Vec<usize> {
+        value_arg(name).map_or_else(
+            || default.to_vec(),
+            |v| {
+                v.split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(|s| {
+                        s.parse()
+                            .unwrap_or_else(|e| panic!("invalid value for {name}: {e}"))
+                    })
+                    .collect()
+            },
+        )
+    }
+
+    /// Returns `--name value` as a string when the flag is present.
+    pub fn str_arg(name: &str) -> Option<String> {
+        value_arg(name)
+    }
+
     fn value_arg(name: &str) -> Option<String> {
         let args: Vec<String> = std::env::args().collect();
         args.windows(2).find(|w| w[0] == name).map(|w| w[1].clone())
     }
 }
 
-/// Opens `target/experiments/<name>.csv` for writing, creating directories.
-pub fn csv_writer(name: &str) -> std::io::Result<(PathBuf, std::fs::File)> {
+/// The experiment output directory (`target/experiments`), created on
+/// first use.
+pub fn experiments_dir() -> std::io::Result<PathBuf> {
     let dir = PathBuf::from("target/experiments");
     std::fs::create_dir_all(&dir)?;
+    Ok(dir)
+}
+
+/// Opens `target/experiments/<name>.csv` for writing, creating directories.
+pub fn csv_writer(name: &str) -> std::io::Result<(PathBuf, std::fs::File)> {
+    let dir = experiments_dir()?;
     let path = dir.join(format!("{name}.csv"));
     let file = std::fs::File::create(&path)?;
     Ok((path, file))
+}
+
+/// Quotes a string as a JSON value.
+pub fn json_str(s: &str) -> String {
+    format!("\"{}\"", s.escape_default())
+}
+
+/// A `target/experiments/BENCH_<name>.json` report: top-level metadata
+/// fields plus a `rows` array of objects, in insertion order. Replaces the
+/// hand-rolled `json_row` + `create_dir_all` + `File::create` triplet the
+/// experiment binaries used to duplicate.
+#[derive(Debug, Clone, Default)]
+pub struct JsonReport {
+    name: String,
+    meta: Vec<(String, String)>,
+    rows: Vec<String>,
+}
+
+impl JsonReport {
+    /// A report destined for `target/experiments/BENCH_<name>.json`.
+    pub fn new(name: &str) -> JsonReport {
+        JsonReport {
+            name: name.to_string(),
+            meta: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds a top-level metadata field; `value` must already be rendered as
+    /// JSON (numbers pass through, strings go through [`json_str`]).
+    pub fn meta(&mut self, key: &str, value: impl std::fmt::Display) -> &mut JsonReport {
+        self.meta.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Appends one row — a complete JSON object like `{"n": 3}`.
+    pub fn row(&mut self, object: String) -> &mut JsonReport {
+        self.rows.push(object);
+        self
+    }
+
+    /// The report body (also what [`JsonReport::write`] persists).
+    pub fn render(&self) -> String {
+        let mut s = String::from("{\n");
+        for (k, v) in &self.meta {
+            s.push_str(&format!("  \"{k}\": {v},\n"));
+        }
+        s.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            s.push_str("    ");
+            s.push_str(row);
+            s.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Writes `target/experiments/BENCH_<name>.json`, returning its path.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let path = experiments_dir()?.join(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.render())?;
+        Ok(path)
+    }
 }
 
 /// Writes one CSV row from string-able fields.
@@ -129,6 +222,30 @@ mod tests {
     fn cli_defaults_apply() {
         assert_eq!(cli::usize_arg("--never-passed", 5), 5);
         assert_eq!(cli::f64_arg("--never-passed", 0.5), 0.5);
+        assert_eq!(
+            cli::usize_list_arg("--never-passed", &[1, 4, 16]),
+            [1, 4, 16]
+        );
         assert!(!cli::flag("--never-passed"));
+    }
+
+    #[test]
+    fn json_report_renders_meta_and_rows() {
+        let mut rep = JsonReport::new("demo");
+        rep.meta("threads", 4)
+            .meta("backend", json_str("sse2"))
+            .row("{\"n\": 1}".to_string())
+            .row("{\"n\": 2}".to_string());
+        let body = rep.render();
+        assert_eq!(
+            body,
+            "{\n  \"threads\": 4,\n  \"backend\": \"sse2\",\n  \"rows\": [\n    {\"n\": 1},\n    {\"n\": 2}\n  ]\n}\n"
+        );
+    }
+
+    #[test]
+    fn json_report_with_no_rows_is_valid() {
+        let body = JsonReport::new("empty").render();
+        assert_eq!(body, "{\n  \"rows\": [\n  ]\n}\n");
     }
 }

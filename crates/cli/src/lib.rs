@@ -19,7 +19,7 @@
 
 use std::path::{Path, PathBuf};
 
-use adampack_config::{ConfigError, ConsoleLevel, LocationConfig, PackingConfig};
+use adampack_config::{BatchConfig, ConfigError, ConsoleLevel, LocationConfig, PackingConfig};
 use adampack_core::metrics;
 use adampack_core::prelude::*;
 use adampack_geometry::ConvexHull;
@@ -168,6 +168,14 @@ pub struct PackOptions {
     /// fresh (with a warning) when no checkpoint file exists yet; fails
     /// when checkpoints exist but all are corrupt.
     pub resume: bool,
+    /// Sweep-axis override: RNG seeds (`--batch-seeds`). Any `--batch-*`
+    /// flag switches the run into the batched multi-system engine, layered
+    /// over the configuration's `batch:` block.
+    pub batch_seeds: Option<Vec<u64>>,
+    /// Sweep-axis override: initial learning rates (`--batch-lrs`).
+    pub batch_lrs: Option<Vec<f64>>,
+    /// Sweep-axis override: PSD radius multipliers (`--batch-scales`).
+    pub batch_scales: Option<Vec<f64>>,
 }
 
 /// The resolved checkpoint settings (CLI flags layered over the YAML
@@ -240,6 +248,95 @@ fn load_latest_checkpoint(
     )))
 }
 
+/// Bridges the batched engine's checkpoint cadence to the same rotating
+/// atomic file writer, with the batched container format.
+struct BatchedFileSink {
+    writer: adampack_io::RotatingCheckpointWriter,
+}
+
+impl BatchedCheckpointSink for BatchedFileSink {
+    fn save(&mut self, state: &BatchedRunState) -> Result<(), String> {
+        let bytes = adampack_core::checkpoint::encode_batched(state);
+        self.writer.save(&bytes).map_err(|e| e.to_string())
+    }
+}
+
+/// [`load_latest_checkpoint`] for the batched container format.
+fn load_latest_batched_checkpoint(
+    path: &Path,
+    keep_last: usize,
+) -> Result<Option<(PathBuf, BatchedRunState)>, CliError> {
+    let candidates = adampack_io::checkpoint_candidates(path, keep_last);
+    if candidates.is_empty() {
+        return Ok(None);
+    }
+    for cand in &candidates {
+        match std::fs::read(cand) {
+            Err(e) => warn!("checkpoint {} unreadable: {e}", cand.display()),
+            Ok(bytes) => match adampack_core::checkpoint::decode_batched(&bytes) {
+                Ok(state) => return Ok(Some((cand.clone(), state))),
+                Err(e) => warn!("checkpoint {} rejected: {e}", cand.display()),
+            },
+        }
+    }
+    Err(CliError::Checkpoint(format!(
+        "all {} checkpoint file(s) at {} are corrupt",
+        candidates.len(),
+        path.display()
+    )))
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The checkpoint fingerprint salt for the run context: the knobs that
+/// live outside `PackingParams` (thread count, kernel override, sweep
+/// grid) but would make a resumed run diverge from — or mean something
+/// different than — the run that wrote the checkpoint. Mixed into every
+/// system's params fingerprint so a resume under a different context is
+/// rejected with exit 7 instead of silently diverging.
+fn context_salt(threads: usize, kernel: Kernel, batch: Option<&BatchConfig>) -> u64 {
+    let desc = batch.map_or_else(|| "none".to_string(), BatchConfig::descriptor);
+    fnv1a(&format!(
+        "threads={threads}|kernel={}|batch={desc}",
+        kernel.name()
+    ))
+}
+
+/// The effective sweep grid: `--batch-*` flags layered over the YAML
+/// `batch:` block, axis by axis. `None` means a plain single-system run.
+fn effective_batch(cfg: &PackingConfig, opts: &PackOptions) -> Option<BatchConfig> {
+    if opts.batch_seeds.is_none() && opts.batch_lrs.is_none() && opts.batch_scales.is_none() {
+        return cfg.batch.clone();
+    }
+    let base = cfg.batch.clone().unwrap_or_default();
+    Some(BatchConfig {
+        seeds: opts.batch_seeds.clone().unwrap_or(base.seeds),
+        lrs: opts.batch_lrs.clone().unwrap_or(base.lrs),
+        radius_scales: opts.batch_scales.clone().unwrap_or(base.radius_scales),
+    })
+}
+
+/// `out.vtk` + label `s7_lr0.01` → `out.s7_lr0.01.vtk` (per-system output
+/// files of a batched sweep).
+fn labeled_output_path(path: &Path, label: &str) -> PathBuf {
+    let stem = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("packing");
+    let name = match path.extension().and_then(|e| e.to_str()) {
+        Some(ext) if !ext.is_empty() => format!("{stem}.{label}.{ext}"),
+        _ => format!("{stem}.{label}"),
+    };
+    path.with_file_name(name)
+}
+
 /// Runs a packing described by a configuration file and optionally writes
 /// the particles (`.csv`, `.vtk` or `.xyz`, by extension).
 pub fn run_pack(config_path: &Path, out: Option<&Path>) -> Result<RunSummary, CliError> {
@@ -304,6 +401,26 @@ fn run_pack_configured(
     }
 
     let collective = cfg.algorithm.eq_ignore_ascii_case("COLLECTIVE_ARRANGEMENT");
+
+    if let Some(batch) = effective_batch(cfg, opts) {
+        // YAML axes were validated at parse time; CLI-supplied axes (and
+        // their combination with the YAML block) are checked here.
+        batch
+            .validate()
+            .map_err(|e| CliError::Usage(format!("{e} (from --batch-* flags)")))?;
+        if !(collective && cfg.zones.is_empty()) {
+            return Err(CliError::Usage(
+                "batched sweeps (batch: / --batch-*) require single-zone \
+                 COLLECTIVE_ARRANGEMENT"
+                    .into(),
+            ));
+        }
+        if trace_out.is_some() {
+            warn!("step tracing is not available for batched sweeps; no trace will be written");
+        }
+        return run_pack_batched(cfg, opts, &batch, &container, params, metrics_out);
+    }
+
     if trace_out.is_some() && !(collective && cfg.zones.is_empty()) {
         warn!("step tracing is only available for single-zone COLLECTIVE_ARRANGEMENT runs; no trace will be written");
     }
@@ -326,6 +443,12 @@ fn run_pack_configured(
             let mut p = params.clone();
             p.target_count = n;
             let mut packer = CollectivePacker::new(container.clone(), p);
+            let threads = if opts.threads > 0 {
+                opts.threads
+            } else {
+                cfg.params.threads
+            };
+            packer.set_fingerprint_context(context_salt(threads, params.kernel, None));
             // Locate resume state first: the trace file must be appended
             // to (not truncated) when continuing an interrupted run.
             let resume_state = match (&checkpoint, opts.resume) {
@@ -461,6 +584,165 @@ fn run_pack_configured(
     })
 }
 
+/// The batched multi-system driver: expands the sweep grid into labeled
+/// systems, packs them all in one process with the batched engine, writes
+/// per-system outputs (`out.<label>.vtk`), and aggregates the summary.
+fn run_pack_batched(
+    cfg: &PackingConfig,
+    opts: &PackOptions,
+    batch: &BatchConfig,
+    container: &Container,
+    params: PackingParams,
+    metrics_out: Option<PathBuf>,
+) -> Result<RunSummary, CliError> {
+    let systems = batch.expand(&cfg.params);
+    if systems.len() > BatchConfig::MAX_SYSTEMS {
+        return Err(CliError::Usage(format!(
+            "batch sweep expands to {} systems (max {})",
+            systems.len(),
+            BatchConfig::MAX_SYSTEMS
+        )));
+    }
+    let threads = if opts.threads > 0 {
+        opts.threads
+    } else {
+        cfg.params.threads
+    };
+    let salt = context_salt(threads, params.kernel, Some(batch));
+
+    let mut specs = Vec::with_capacity(systems.len());
+    for sys in &systems {
+        let psd = cfg
+            .psds_scaled(sys.radius_scale)
+            .into_iter()
+            .next()
+            .ok_or_else(|| CliError::Usage("configuration has no particle sets".into()))?;
+        let mut p = cfg.to_packing_params_for(sys);
+        p.kernel = params.kernel;
+        p.target_count = container.capacity_estimate(psd.mean(), 0.6);
+        specs.push(SystemSpec {
+            label: sys.label.clone(),
+            params: p,
+            psd,
+        });
+    }
+    info!(
+        "batched sweep: {} systems ({})",
+        specs.len(),
+        batch.descriptor()
+    );
+
+    let mut packer = BatchedPacker::new(container, specs);
+    packer.set_threads(threads);
+    packer.set_fingerprint_context(salt);
+
+    let checkpoint = resolve_checkpoint(cfg, opts);
+    if let Some(ck) = &checkpoint {
+        let sink = BatchedFileSink {
+            writer: adampack_io::RotatingCheckpointWriter::new(&ck.path, ck.keep_last),
+        };
+        packer.set_checkpoint_sink(Box::new(sink), ck.every_steps);
+        info!(
+            "checkpointing batched state to {} every {} steps (keeping {})",
+            ck.path.display(),
+            ck.every_steps,
+            ck.keep_last
+        );
+    }
+    if opts.resume {
+        let ck = checkpoint.as_ref().ok_or_else(|| {
+            CliError::Usage(
+                "--resume requires a checkpoint path (--checkpoint or the configuration's \
+                 checkpoint: block)"
+                    .into(),
+            )
+        })?;
+        match load_latest_batched_checkpoint(&ck.path, ck.keep_last)? {
+            None => warn!(
+                "--resume: no checkpoint at {}, starting fresh",
+                ck.path.display()
+            ),
+            Some((from, state)) => {
+                info!(
+                    "resuming batched sweep from {} (pass {}, {} systems)",
+                    from.display(),
+                    state.pass,
+                    state.systems.len()
+                );
+                packer.resume(state)?;
+            }
+        }
+    }
+    if cfg.params.verbosity > 0 {
+        let every = cfg.params.verbosity as u64;
+        packer.set_pass_callback(move |p| {
+            if p.pass % every == 0 {
+                info!(
+                    "pass {:>4}: {} systems active, {} particles, {} steps this pass",
+                    p.pass, p.active, p.packed, p.steps
+                );
+            }
+        });
+    }
+
+    let reports = packer.run();
+
+    if let Some(path) = &metrics_out {
+        std::fs::write(path, adampack_telemetry::prometheus_snapshot())?;
+        info!("metrics snapshot written to {}", path.display());
+    }
+
+    let mut packed = 0usize;
+    let mut density_sum = 0.0;
+    let mut overlap_sum = 0.0;
+    let mut seconds: f64 = 0.0;
+    let mut ok_count = 0usize;
+    let mut first_err: Option<PackError> = None;
+    for rep in reports {
+        match rep.result {
+            Ok(result) => {
+                let density =
+                    metrics::core_density(&result.particles, &container.aabb(), 1.0 / 3.0);
+                let contact = metrics::contact_stats(&result.particles);
+                info!(
+                    "system {}: {} particles, core density {:.4}, mean overlap {:.3}%, {:.2} s",
+                    rep.label,
+                    result.particles.len(),
+                    density,
+                    contact.mean_overlap_ratio * 100.0,
+                    result.duration.as_secs_f64()
+                );
+                packed += result.particles.len();
+                density_sum += density;
+                overlap_sum += contact.mean_overlap_ratio;
+                seconds = seconds.max(result.duration.as_secs_f64());
+                ok_count += 1;
+                if let Some(out) = &opts.out {
+                    let path = labeled_output_path(out, &rep.label);
+                    write_particles(&path, &result)?;
+                    info!("system {}: wrote {}", rep.label, path.display());
+                }
+            }
+            Err(e) => {
+                warn!("system {} failed: {e}", rep.label);
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e.into());
+    }
+    Ok(RunSummary {
+        packed,
+        core_density: density_sum / ok_count.max(1) as f64,
+        mean_overlap_ratio: overlap_sum / ok_count.max(1) as f64,
+        seconds,
+        output: opts.out.clone(),
+    })
+}
+
 /// Writes particles in the format selected by the output extension.
 pub fn write_particles(path: &Path, result: &PackResult) -> Result<(), CliError> {
     let ext = path
@@ -524,6 +806,14 @@ pub fn run_info(config_path: &Path) -> Result<String, CliError> {
         cfg.params.lr, cfg.params.n_epoch, cfg.params.patience, cfg.params.batch_size
     )
     .ok();
+    if let Some(batch) = &cfg.batch {
+        let systems = batch.expand(&cfg.params);
+        writeln!(s, "  batch sweep: {} systems ({})", systems.len(), {
+            let labels: Vec<&str> = systems.iter().map(|y| y.label.as_str()).collect();
+            labels.join(", ")
+        })
+        .ok();
+    }
     writeln!(s, "  particle sets: {}", cfg.particle_sets.len()).ok();
     for (i, ps) in cfg.particle_sets.iter().enumerate() {
         writeln!(s, "    [{i}] {ps:?} (mean r = {:.4})", ps.to_psd().mean()).ok();
@@ -751,7 +1041,11 @@ mod tests {
         let dir = std::env::temp_dir().join("adampack_cli_resume_fresh");
         let cfg = setup_config(&dir, "COLLECTIVE_ARRANGEMENT", false);
         let ckpt = dir.join("never_written.ckpt");
-        std::fs::remove_file(&ckpt).ok();
+        // Clear the whole rotation chain: a stale `.1` from an earlier test
+        // run would otherwise be picked up as a resume candidate.
+        for stale in adampack_io::checkpoint_candidates(&ckpt, 8) {
+            std::fs::remove_file(stale).ok();
+        }
         let opts = PackOptions {
             checkpoint: Some(ckpt),
             resume: true,
@@ -777,6 +1071,165 @@ mod tests {
         let err = run_pack_opts(&cfg, &opts).unwrap_err();
         assert!(matches!(err, CliError::Checkpoint(_)), "{err:?}");
         assert_eq!(err.exit_code(), 7);
+    }
+
+    #[test]
+    fn batched_pack_writes_per_system_outputs() {
+        let dir = std::env::temp_dir().join("adampack_cli_batched");
+        let cfg = setup_config(&dir, "COLLECTIVE_ARRANGEMENT", false);
+        let out = dir.join("sweep.csv");
+        let opts = PackOptions {
+            out: Some(out.clone()),
+            batch_seeds: Some(vec![3, 4]),
+            log_level: Some(ConsoleLevel::Off),
+            ..PackOptions::default()
+        };
+        let summary = run_pack_opts(&cfg, &opts).unwrap();
+        assert!(summary.packed > 20, "two systems packed {}", summary.packed);
+        for label in ["s3_lr0.01", "s4_lr0.01"] {
+            let p = dir.join(format!("sweep.{label}.csv"));
+            assert!(p.exists(), "missing per-system output {}", p.display());
+        }
+    }
+
+    #[test]
+    fn duplicate_batch_flag_values_are_a_usage_error() {
+        let dir = std::env::temp_dir().join("adampack_cli_batched_dup");
+        let cfg = setup_config(&dir, "COLLECTIVE_ARRANGEMENT", false);
+        let opts = PackOptions {
+            batch_seeds: Some(vec![5, 5]),
+            log_level: Some(ConsoleLevel::Off),
+            ..PackOptions::default()
+        };
+        let err = run_pack_opts(&cfg, &opts).unwrap_err();
+        match err {
+            CliError::Usage(msg) => {
+                assert!(msg.contains("duplicate seed 5"), "{msg}");
+                assert!(msg.contains("--batch-*"), "{msg}");
+            }
+            other => panic!("expected usage error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batched_system_matches_single_run_bitwise() {
+        let dir = std::env::temp_dir().join("adampack_cli_batched_parity");
+        let cfg = setup_config(&dir, "COLLECTIVE_ARRANGEMENT", false);
+        let single = run_pack_opts(
+            &cfg,
+            &PackOptions {
+                log_level: Some(ConsoleLevel::Off),
+                ..PackOptions::default()
+            },
+        )
+        .unwrap();
+        // A one-system sweep over the same seed must reproduce the single
+        // run bitwise (batching is a throughput knob, not a semantic one).
+        let batched = run_pack_opts(
+            &cfg,
+            &PackOptions {
+                batch_seeds: Some(vec![3]),
+                log_level: Some(ConsoleLevel::Off),
+                ..PackOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(single.packed, batched.packed);
+        assert_eq!(
+            single.core_density.to_bits(),
+            batched.core_density.to_bits()
+        );
+        assert_eq!(
+            single.mean_overlap_ratio.to_bits(),
+            batched.mean_overlap_ratio.to_bits()
+        );
+    }
+
+    #[test]
+    fn batched_resume_under_different_sweep_is_exit_7() {
+        let dir = std::env::temp_dir().join("adampack_cli_batched_resume");
+        let cfg = setup_config(&dir, "COLLECTIVE_ARRANGEMENT", false);
+        let ckpt = dir.join("sweep.ckpt");
+        for stale in adampack_io::checkpoint_candidates(&ckpt, 8) {
+            std::fs::remove_file(stale).ok();
+        }
+        let opts = PackOptions {
+            batch_seeds: Some(vec![3, 4]),
+            checkpoint: Some(ckpt.clone()),
+            checkpoint_every: Some(40),
+            log_level: Some(ConsoleLevel::Off),
+            ..PackOptions::default()
+        };
+        run_pack_opts(&cfg, &opts).unwrap();
+        assert!(ckpt.exists(), "batched checkpoint written");
+        // Same grid resumes cleanly (run is already complete — fresh-ish
+        // no-op resume still has to accept the state).
+        let resume_same = PackOptions {
+            resume: true,
+            ..opts.clone()
+        };
+        run_pack_opts(&cfg, &resume_same).unwrap();
+        // A different sweep grid must be rejected with exit code 7.
+        let resume_other = PackOptions {
+            batch_seeds: Some(vec![5, 6]),
+            resume: true,
+            ..opts.clone()
+        };
+        let err = run_pack_opts(&cfg, &resume_other).unwrap_err();
+        assert!(
+            matches!(err, CliError::Pack(PackError::Resume(_))),
+            "{err:?}"
+        );
+        assert_eq!(err.exit_code(), 7);
+    }
+
+    #[test]
+    fn resume_under_different_threads_or_kernel_is_exit_7() {
+        let dir = std::env::temp_dir().join("adampack_cli_ctx_fingerprint");
+        let cfg = setup_config(&dir, "COLLECTIVE_ARRANGEMENT", false);
+        let ckpt = dir.join("run.ckpt");
+        for stale in adampack_io::checkpoint_candidates(&ckpt, 8) {
+            std::fs::remove_file(stale).ok();
+        }
+        let opts = PackOptions {
+            checkpoint: Some(ckpt.clone()),
+            checkpoint_every: Some(40),
+            log_level: Some(ConsoleLevel::Off),
+            ..PackOptions::default()
+        };
+        run_pack_opts(&cfg, &opts).unwrap();
+        assert!(ckpt.exists());
+        for other in [
+            PackOptions {
+                threads: 2,
+                resume: true,
+                ..opts.clone()
+            },
+            PackOptions {
+                kernel: Some(Kernel::Scalar),
+                resume: true,
+                ..opts.clone()
+            },
+        ] {
+            let err = run_pack_opts(&cfg, &other).unwrap_err();
+            assert!(
+                matches!(err, CliError::Pack(PackError::Resume(_))),
+                "{err:?}"
+            );
+            assert_eq!(err.exit_code(), 7);
+        }
+    }
+
+    #[test]
+    fn labeled_output_paths() {
+        assert_eq!(
+            labeled_output_path(Path::new("/a/out.vtk"), "s1_lr0.01"),
+            PathBuf::from("/a/out.s1_lr0.01.vtk")
+        );
+        assert_eq!(
+            labeled_output_path(Path::new("out"), "s1_lr0.01"),
+            PathBuf::from("out.s1_lr0.01")
+        );
     }
 
     #[test]

@@ -18,6 +18,8 @@ USAGE:
                   [--threads <n>] [--kernel <scalar|simd>]
                   [--checkpoint <run.ckpt>] [--checkpoint-every <steps>]
                   [--checkpoint-keep <n>] [--resume]
+                  [--batch-seeds <s1,s2,…>] [--batch-lrs <lr1,lr2,…>]
+                  [--batch-scales <x1,x2,…>]
     adampack info <config.yaml>
     adampack help
 
@@ -47,10 +49,38 @@ readable checkpoint — the resumed run finishes bitwise identical to an
 uninterrupted one — falling back to older rotated files when the newest
 is torn or corrupt.
 
+--batch-seeds / --batch-lrs / --batch-scales sweep the full cartesian
+grid seeds × learning rates × PSD radius scales as independent systems
+packed by one batched engine pass (comma-separated values; these flags
+override the configuration's `batch:` block axis by axis). Each system
+is bitwise identical to the equivalent single run; with --out, per-
+system files are written as `out.<label>.vtk` for labels like
+`s7_lr0.01`. Batched checkpoints carry one section per system and
+resume bitwise; resuming under a different grid, thread count or
+kernel is rejected with exit 7.
+
 EXIT CODES:
     0 success   2 usage   3 configuration   4 geometry   5 i/o
     6 divergence budget exhausted   7 checkpoint/resume failure
 ";
+
+fn parse_num_list<T: std::str::FromStr>(flag: &str, v: &str) -> Result<Vec<T>, CliError> {
+    let xs: Vec<T> = v
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse::<T>()
+                .map_err(|_| CliError::Usage(format!("{flag}: bad value '{s}' in '{v}'")))
+        })
+        .collect::<Result<_, _>>()?;
+    if xs.is_empty() {
+        return Err(CliError::Usage(format!(
+            "{flag} requires a comma-separated list of values"
+        )));
+    }
+    Ok(xs)
+}
 
 fn main() -> ExitCode {
     match dispatch(std::env::args().skip(1).collect()) {
@@ -104,6 +134,36 @@ fn dispatch(args: Vec<String>) -> Result<(), CliError> {
                         opts.checkpoint_keep = Some(keep);
                     }
                     "--resume" => opts.resume = true,
+                    "--batch-seeds" => {
+                        let v = it.next().ok_or_else(|| {
+                            CliError::Usage("--batch-seeds requires a seed list".into())
+                        })?;
+                        opts.batch_seeds = Some(parse_num_list::<u64>("--batch-seeds", v)?);
+                    }
+                    "--batch-lrs" => {
+                        let v = it.next().ok_or_else(|| {
+                            CliError::Usage("--batch-lrs requires a learning-rate list".into())
+                        })?;
+                        let lrs = parse_num_list::<f64>("--batch-lrs", v)?;
+                        if lrs.iter().any(|&x| !(x > 0.0 && x.is_finite())) {
+                            return Err(CliError::Usage(format!(
+                                "--batch-lrs: learning rates must be positive and finite, got '{v}'"
+                            )));
+                        }
+                        opts.batch_lrs = Some(lrs);
+                    }
+                    "--batch-scales" => {
+                        let v = it.next().ok_or_else(|| {
+                            CliError::Usage("--batch-scales requires a scale list".into())
+                        })?;
+                        let scales = parse_num_list::<f64>("--batch-scales", v)?;
+                        if scales.iter().any(|&x| !(x > 0.0 && x.is_finite())) {
+                            return Err(CliError::Usage(format!(
+                                "--batch-scales: scales must be positive and finite, got '{v}'"
+                            )));
+                        }
+                        opts.batch_scales = Some(scales);
+                    }
                     "--threads" => {
                         let v = it
                             .next()

@@ -22,8 +22,8 @@ pub mod writer;
 pub mod yaml;
 
 pub use schema::{
-    AlgoParams, CheckpointConfig, ConfigError, ConsoleLevel, LocationConfig, NeighborConfig,
-    PackingConfig, ParticleSetConfig, TelemetryConfig, ZoneConfig,
+    AlgoParams, BatchConfig, BatchSystem, CheckpointConfig, ConfigError, ConsoleLevel,
+    LocationConfig, NeighborConfig, PackingConfig, ParticleSetConfig, TelemetryConfig, ZoneConfig,
 };
 pub use writer::to_yaml;
 pub use yaml::{parse_yaml, Value, YamlError};

@@ -198,6 +198,132 @@ impl CheckpointConfig {
     pub const DEFAULT_KEEP_LAST: usize = 2;
 }
 
+/// The `batch:` block (multi-system sweep grids).
+///
+/// Each axis lists values to sweep; the batched engine packs the full
+/// cartesian product `seeds × lrs × radius_scales` as independent systems
+/// in one process. An empty axis means "use the base value" (`params.seed`,
+/// `params.lr`, or an unscaled PSD respectively), so any subset of axes can
+/// be swept.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BatchConfig {
+    /// `seeds:` — RNG seeds to sweep; empty means the base `params.seed`.
+    pub seeds: Vec<u64>,
+    /// `lrs:` — initial learning rates to sweep; empty means `params.lr`.
+    pub lrs: Vec<f64>,
+    /// `radius_scales:` — PSD radius multipliers; empty means no scaling.
+    pub radius_scales: Vec<f64>,
+}
+
+/// One expanded system of a batched sweep (a point of the cartesian grid).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchSystem {
+    /// Stable system label (`s{seed}_lr{lr}` plus `_x{scale}` when the
+    /// sweep has a radius-scale axis) — used for output file stems,
+    /// checkpoint sections and report lines.
+    pub label: String,
+    /// RNG seed for this system.
+    pub seed: u64,
+    /// Initial learning rate for this system.
+    pub lr: f64,
+    /// PSD radius multiplier for this system (1.0 = unscaled).
+    pub radius_scale: f64,
+}
+
+impl BatchConfig {
+    /// Hard cap on the expanded system count: a sweep larger than this is a
+    /// config error (it almost certainly means a typo in a grid axis).
+    pub const MAX_SYSTEMS: usize = 1024;
+
+    /// Expands the grid into the labeled system list (cartesian product,
+    /// seeds outermost, radius scales innermost — a deterministic order).
+    pub fn expand(&self, base: &AlgoParams) -> Vec<BatchSystem> {
+        let seeds: Vec<u64> = if self.seeds.is_empty() {
+            vec![base.seed]
+        } else {
+            self.seeds.clone()
+        };
+        let lrs: Vec<f64> = if self.lrs.is_empty() {
+            vec![base.lr]
+        } else {
+            self.lrs.clone()
+        };
+        let scaled = !self.radius_scales.is_empty();
+        let scales: Vec<f64> = if scaled {
+            self.radius_scales.clone()
+        } else {
+            vec![1.0]
+        };
+        let mut systems = Vec::with_capacity(seeds.len() * lrs.len() * scales.len());
+        for &seed in &seeds {
+            for &lr in &lrs {
+                for &scale in &scales {
+                    let mut label = format!("s{seed}_lr{lr}");
+                    if scaled {
+                        label.push_str(&format!("_x{scale}"));
+                    }
+                    systems.push(BatchSystem {
+                        label,
+                        seed,
+                        lr,
+                        radius_scale: scale,
+                    });
+                }
+            }
+        }
+        systems
+    }
+
+    /// Checks the axis invariants shared by the YAML parser and the CLI
+    /// sweep flags: positive finite rates/scales, no duplicate values per
+    /// axis, expanded grid within [`BatchConfig::MAX_SYSTEMS`]. The YAML
+    /// parser enforces these per element as it reads; CLI-supplied axes
+    /// arrive pre-built and go through this instead.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, s) in self.seeds.iter().enumerate() {
+            if self.seeds[..i].contains(s) {
+                return Err(format!("batch seeds: duplicate seed {s}"));
+            }
+        }
+        for (key, axis) in [("lrs", &self.lrs), ("radius_scales", &self.radius_scales)] {
+            for (i, &f) in axis.iter().enumerate() {
+                if !(f > 0.0 && f.is_finite()) {
+                    return Err(format!(
+                        "batch {key}: value {f} must be positive and finite"
+                    ));
+                }
+                if axis[..i].iter().any(|o| o.to_bits() == f.to_bits()) {
+                    return Err(format!("batch {key}: duplicate value {f}"));
+                }
+            }
+        }
+        let count =
+            self.seeds.len().max(1) * self.lrs.len().max(1) * self.radius_scales.len().max(1);
+        if count > BatchConfig::MAX_SYSTEMS {
+            return Err(format!(
+                "batch sweep expands to {count} systems (max {})",
+                BatchConfig::MAX_SYSTEMS
+            ));
+        }
+        Ok(())
+    }
+
+    /// A stable one-line description of the sweep grid, mixed into the
+    /// checkpoint fingerprint so a resume under a different sweep is
+    /// rejected instead of silently diverging.
+    pub fn descriptor(&self) -> String {
+        fn join<T: std::fmt::Display>(xs: &[T]) -> String {
+            xs.iter().map(T::to_string).collect::<Vec<_>>().join(",")
+        }
+        format!(
+            "seeds=[{}]|lrs=[{}]|scales=[{}]",
+            join(&self.seeds),
+            join(&self.lrs),
+            join(&self.radius_scales)
+        )
+    }
+}
+
 /// A `particle_sets:` entry.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ParticleSetConfig {
@@ -225,10 +351,18 @@ pub enum ParticleSetConfig {
 impl ParticleSetConfig {
     /// Converts to a runtime PSD (validates ranges).
     pub fn to_psd(&self) -> Psd {
+        self.to_psd_scaled(1.0)
+    }
+
+    /// Converts to a runtime PSD with every radius parameter multiplied by
+    /// `scale` (used by the `batch:` radius-scale sweep axis).
+    pub fn to_psd_scaled(&self, scale: f64) -> Psd {
         match *self {
-            ParticleSetConfig::Constant { value } => Psd::constant(value),
-            ParticleSetConfig::Uniform { min, max } => Psd::uniform(min, max),
-            ParticleSetConfig::Normal { mean, std_dev } => Psd::normal(mean, std_dev),
+            ParticleSetConfig::Constant { value } => Psd::constant(value * scale),
+            ParticleSetConfig::Uniform { min, max } => Psd::uniform(min * scale, max * scale),
+            ParticleSetConfig::Normal { mean, std_dev } => {
+                Psd::normal(mean * scale, std_dev * scale)
+            }
         }
     }
 }
@@ -282,6 +416,8 @@ pub struct PackingConfig {
     pub telemetry: TelemetryConfig,
     /// Crash-resume settings (`checkpoint:`); absent means no checkpoints.
     pub checkpoint: Option<CheckpointConfig>,
+    /// Multi-system sweep grids (`batch:`); absent means a single system.
+    pub batch: Option<BatchConfig>,
     /// Particle sets.
     pub particle_sets: Vec<ParticleSetConfig>,
     /// Zones (empty means: one implicit everywhere-zone must be provided by
@@ -465,6 +601,11 @@ impl PackingConfig {
             }
         };
 
+        let batch = match root.get("batch") {
+            None => None,
+            Some(b) => Some(parse_batch(b)?),
+        };
+
         let particle_sets = match root.get("particle_sets") {
             None => return Err(field("particle_sets is required")),
             Some(v) => {
@@ -502,6 +643,7 @@ impl PackingConfig {
             neighbor,
             telemetry,
             checkpoint,
+            batch,
             particle_sets,
             zones,
         })
@@ -554,11 +696,30 @@ impl PackingConfig {
         }
     }
 
+    /// The runtime `PackingParams` for one system of a batched sweep: the
+    /// base parameters with the system's seed and learning rate swapped in.
+    pub fn to_packing_params_for(&self, sys: &BatchSystem) -> PackingParams {
+        let mut params = self.to_packing_params();
+        params.seed = sys.seed;
+        params.lr = LrPolicy::Plateau {
+            initial: sys.lr,
+            factor: 0.5,
+            patience: 20,
+            min_lr: 1e-5,
+        };
+        params
+    }
+
     /// Runtime PSDs for all particle sets.
     pub fn psds(&self) -> Vec<Psd> {
+        self.psds_scaled(1.0)
+    }
+
+    /// Runtime PSDs with every radius parameter multiplied by `scale`.
+    pub fn psds_scaled(&self, scale: f64) -> Vec<Psd> {
         self.particle_sets
             .iter()
-            .map(ParticleSetConfig::to_psd)
+            .map(|s| s.to_psd_scaled(scale))
             .collect()
     }
 
@@ -595,6 +756,70 @@ impl PackingConfig {
             })
             .collect()
     }
+}
+
+fn parse_batch(v: &Value) -> Result<BatchConfig, ConfigError> {
+    let mut batch = BatchConfig::default();
+
+    if let Some(list) = v.get("seeds") {
+        let seq = list
+            .as_seq()
+            .ok_or_else(|| field("batch.seeds must be a list"))?;
+        for (i, x) in seq.iter().enumerate() {
+            let s = x
+                .as_i64()
+                .ok_or_else(|| field(format!("batch.seeds[{i}] must be an integer")))?;
+            if s < 0 {
+                return Err(field(format!(
+                    "batch.seeds[{i}] must be non-negative, got {s}"
+                )));
+            }
+            let s = s as u64;
+            if batch.seeds.contains(&s) {
+                return Err(field(format!("batch.seeds: duplicate seed {s}")));
+            }
+            batch.seeds.push(s);
+        }
+    }
+
+    let float_axis = |key: &'static str, out: &mut Vec<f64>| -> Result<(), ConfigError> {
+        if let Some(list) = v.get(key) {
+            let seq = list
+                .as_seq()
+                .ok_or_else(|| field(format!("batch.{key} must be a list")))?;
+            for (i, x) in seq.iter().enumerate() {
+                let f = x
+                    .as_f64()
+                    .ok_or_else(|| field(format!("batch.{key}[{i}] must be numeric")))?;
+                if !(f > 0.0 && f.is_finite()) {
+                    return Err(field(format!(
+                        "batch.{key}[{i}] must be positive and finite, got {f}"
+                    )));
+                }
+                if out.iter().any(|&o| o.to_bits() == f.to_bits()) {
+                    return Err(field(format!("batch.{key}: duplicate value {f}")));
+                }
+                out.push(f);
+            }
+        }
+        Ok(())
+    };
+    let mut lrs = Vec::new();
+    float_axis("lrs", &mut lrs)?;
+    let mut radius_scales = Vec::new();
+    float_axis("radius_scales", &mut radius_scales)?;
+    batch.lrs = lrs;
+    batch.radius_scales = radius_scales;
+
+    let count =
+        batch.seeds.len().max(1) * batch.lrs.len().max(1) * batch.radius_scales.len().max(1);
+    if count > BatchConfig::MAX_SYSTEMS {
+        return Err(field(format!(
+            "batch: sweep expands to {count} systems (max {})",
+            BatchConfig::MAX_SYSTEMS
+        )));
+    }
+    Ok(batch)
 }
 
 fn parse_particle_set(i: usize, v: &Value) -> Result<ParticleSetConfig, ConfigError> {
@@ -842,7 +1067,136 @@ zones:
         assert_eq!(cfg.neighbor, NeighborConfig::default());
         assert_eq!(cfg.telemetry, TelemetryConfig::default());
         assert_eq!(cfg.checkpoint, None);
+        assert_eq!(cfg.batch, None);
         assert!(cfg.zones.is_empty());
+    }
+
+    #[test]
+    fn batch_block_parses_and_expands() {
+        let base = "container:\n  path: a.stl\nparams:\n  seed: 3\n  lr: 0.05\nparticle_sets:\n  - radius_distribution: constant\n    radius_value: 0.1\n";
+        let src = format!("{base}batch:\n  seeds: [1, 2]\n  lrs: [0.01, 0.02]\n");
+        let cfg = PackingConfig::from_str(&src).unwrap();
+        let batch = cfg.batch.clone().expect("batch block");
+        assert_eq!(batch.seeds, vec![1, 2]);
+        assert_eq!(batch.lrs, vec![0.01, 0.02]);
+        assert!(batch.radius_scales.is_empty());
+
+        let systems = batch.expand(&cfg.params);
+        assert_eq!(systems.len(), 4);
+        let labels: Vec<&str> = systems.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(labels, ["s1_lr0.01", "s1_lr0.02", "s2_lr0.01", "s2_lr0.02"]);
+        assert!(systems.iter().all(|s| s.radius_scale == 1.0));
+
+        // Empty axes fall back to the base params.
+        let only_seeds = format!("{base}batch:\n  seeds: [9]\n");
+        let cfg = PackingConfig::from_str(&only_seeds).unwrap();
+        let systems = cfg.batch.clone().unwrap().expand(&cfg.params);
+        assert_eq!(systems.len(), 1);
+        assert_eq!(systems[0].label, "s9_lr0.05");
+        assert_eq!(systems[0].seed, 9);
+        assert_eq!(systems[0].lr, 0.05);
+
+        // Radius scales show up in the label only when that axis is swept.
+        let with_scales = format!("{base}batch:\n  seeds: [1]\n  radius_scales: [1, 1.5]\n");
+        let cfg = PackingConfig::from_str(&with_scales).unwrap();
+        let systems = cfg.batch.clone().unwrap().expand(&cfg.params);
+        assert_eq!(systems.len(), 2);
+        assert_eq!(systems[0].label, "s1_lr0.05_x1");
+        assert_eq!(systems[1].label, "s1_lr0.05_x1.5");
+    }
+
+    #[test]
+    fn batch_system_overrides_runtime_params_and_psd() {
+        let src = "container:\n  path: a.stl\nparams:\n  seed: 3\nbatch:\n  seeds: [5]\n  lrs: [0.04]\n  radius_scales: [2]\nparticle_sets:\n  - radius_distribution: uniform\n    radius_min: 0.05\n    radius_max: 0.07\n";
+        let cfg = PackingConfig::from_str(src).unwrap();
+        let systems = cfg.batch.clone().unwrap().expand(&cfg.params);
+        assert_eq!(systems.len(), 1);
+        let params = cfg.to_packing_params_for(&systems[0]);
+        assert_eq!(params.seed, 5);
+        assert_eq!(params.lr.initial_lr(), 0.04);
+        let psds = cfg.psds_scaled(systems[0].radius_scale);
+        assert!((psds[0].mean() - 0.12).abs() < 1e-12, "scaled uniform mean");
+    }
+
+    #[test]
+    fn batch_descriptor_is_stable_and_distinguishes_grids() {
+        let a = BatchConfig {
+            seeds: vec![1, 2],
+            lrs: vec![0.01],
+            radius_scales: vec![],
+        };
+        assert_eq!(a.descriptor(), "seeds=[1,2]|lrs=[0.01]|scales=[]");
+        let b = BatchConfig {
+            seeds: vec![1],
+            lrs: vec![0.01],
+            radius_scales: vec![2.0],
+        };
+        assert_ne!(a.descriptor(), b.descriptor());
+    }
+
+    #[test]
+    fn bad_batch_block_rejected() {
+        let base = "container:\n  path: a.stl\nparticle_sets:\n  - radius_distribution: constant\n    radius_value: 0.1\n";
+        for (snippet, needle) in [
+            ("batch:\n  seeds: [-1]\n", "non-negative"),
+            ("batch:\n  seeds: [1, 1]\n", "duplicate"),
+            ("batch:\n  lrs: [0]\n", "positive"),
+            ("batch:\n  lrs: [0.01, 0.01]\n", "duplicate"),
+            ("batch:\n  radius_scales: [-2]\n", "positive"),
+            ("batch:\n  seeds: 5\n", "must be a list"),
+        ] {
+            let e = PackingConfig::from_str(&format!("{base}{snippet}")).unwrap_err();
+            assert!(e.to_string().contains(needle), "{snippet}: {e}");
+        }
+    }
+
+    #[test]
+    fn batch_validate_catches_axes_assembled_outside_yaml() {
+        // CLI `--batch-*` flags build a BatchConfig directly, bypassing
+        // parse_batch; validate() is the shared gate.
+        let ok = BatchConfig {
+            seeds: vec![1, 2],
+            lrs: vec![0.01, 0.02],
+            radius_scales: vec![],
+        };
+        assert_eq!(ok.validate(), Ok(()));
+        for (cfg, needle) in [
+            (
+                BatchConfig {
+                    seeds: vec![1, 1],
+                    lrs: vec![],
+                    radius_scales: vec![],
+                },
+                "duplicate seed 1",
+            ),
+            (
+                BatchConfig {
+                    seeds: vec![],
+                    lrs: vec![0.01, 0.01],
+                    radius_scales: vec![],
+                },
+                "lrs: duplicate",
+            ),
+            (
+                BatchConfig {
+                    seeds: vec![],
+                    lrs: vec![],
+                    radius_scales: vec![0.0],
+                },
+                "positive and finite",
+            ),
+            (
+                BatchConfig {
+                    seeds: (0..40).collect(),
+                    lrs: (1..=40).map(|i| i as f64 * 0.001).collect(),
+                    radius_scales: vec![],
+                },
+                "max 1024",
+            ),
+        ] {
+            let e = cfg.validate().unwrap_err();
+            assert!(e.contains(needle), "{e}");
+        }
     }
 
     #[test]

@@ -11,6 +11,11 @@ use crate::schema::{
     TelemetryConfig,
 };
 
+fn yaml_list<T: std::fmt::Display>(xs: &[T]) -> String {
+    let rendered: Vec<String> = xs.iter().map(T::to_string).collect();
+    format!("[{}]", rendered.join(", "))
+}
+
 /// Renders a configuration as YAML accepted by [`crate::PackingConfig::from_str`].
 pub fn to_yaml(cfg: &PackingConfig) -> String {
     let mut s = String::new();
@@ -76,6 +81,18 @@ pub fn to_yaml(cfg: &PackingConfig) -> String {
         writeln!(s, "    every_steps: {}", ck.every_steps).unwrap();
         writeln!(s, "    keep_last: {}", ck.keep_last).unwrap();
     }
+    if let Some(b) = &cfg.batch {
+        writeln!(s, "batch:").unwrap();
+        if !b.seeds.is_empty() {
+            writeln!(s, "    seeds: {}", yaml_list(&b.seeds)).unwrap();
+        }
+        if !b.lrs.is_empty() {
+            writeln!(s, "    lrs: {}", yaml_list(&b.lrs)).unwrap();
+        }
+        if !b.radius_scales.is_empty() {
+            writeln!(s, "    radius_scales: {}", yaml_list(&b.radius_scales)).unwrap();
+        }
+    }
     writeln!(s, "particle_sets:").unwrap();
     for set in &cfg.particle_sets {
         match set {
@@ -129,7 +146,7 @@ pub fn to_yaml(cfg: &PackingConfig) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::schema::{CheckpointConfig, ZoneConfig};
+    use crate::schema::{BatchConfig, CheckpointConfig, ZoneConfig};
     use adampack_geometry::Axis;
     use std::path::PathBuf;
 
@@ -162,6 +179,11 @@ mod tests {
                 path: PathBuf::from("run.ckpt"),
                 every_steps: 250,
                 keep_last: 3,
+            }),
+            batch: Some(BatchConfig {
+                seeds: vec![7, 11],
+                lrs: vec![0.01, 0.02],
+                radius_scales: vec![],
             }),
             particle_sets: vec![
                 ParticleSetConfig::Uniform {
@@ -221,6 +243,24 @@ mod tests {
         assert!(!yaml.contains("telemetry:"));
         let back = PackingConfig::from_str(&yaml).unwrap();
         assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn batch_block_round_trips_and_is_omitted_when_absent() {
+        let cfg = sample();
+        let yaml = to_yaml(&cfg);
+        assert!(yaml.contains("batch:"));
+        assert!(yaml.contains("seeds: [7, 11]"));
+        assert!(yaml.contains("lrs: [0.01, 0.02]"));
+        assert!(!yaml.contains("radius_scales:"));
+        let back = PackingConfig::from_str(&yaml).unwrap();
+        assert_eq!(back.batch, cfg.batch);
+
+        let mut cfg = cfg;
+        cfg.batch = None;
+        let yaml = to_yaml(&cfg);
+        assert!(!yaml.contains("batch:"));
+        assert_eq!(PackingConfig::from_str(&yaml).unwrap(), cfg);
     }
 
     #[test]

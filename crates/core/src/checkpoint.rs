@@ -46,6 +46,13 @@ const TAG_BATCH: u32 = 4;
 /// decode as a complete checkpoint; the mandatory footer makes every
 /// truncation detectable.
 const TAG_END: u32 = 0xFFFF_FFFF;
+/// Batched-run header (sweep fingerprint, thread knob, pass counter,
+/// system count). Present only in multi-system checkpoints, which keeps
+/// the single-run decoder rejecting them via its required-section check.
+const TAG_BATCHED_META: u32 = 16;
+/// One system of a batched run: its label plus a complete nested
+/// single-run checkpoint stream.
+const TAG_SYSTEM: u32 = 17;
 
 // ---------------------------------------------------------------------------
 // Errors
@@ -231,6 +238,36 @@ pub struct RunState {
     pub batches: Vec<BatchStats>,
     /// Mid-batch optimizer-loop state, absent at batch boundaries.
     pub batch: Option<BatchInProgress>,
+}
+
+/// One system's entry inside a batched (multi-system) checkpoint.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BatchedSystemState {
+    /// The sweep label of the system (e.g. `s7_lr0.01`).
+    pub label: String,
+    /// `Some((batch, step, recoveries))` when the system terminally
+    /// diverged before the checkpoint; it is never advanced again and a
+    /// resume re-reports the same `PackError::Diverged`.
+    pub diverged: Option<[u64; 3]>,
+    /// The system's complete single-run state at a batch boundary.
+    pub state: RunState,
+}
+
+/// Everything needed to continue a batched multi-system run bitwise
+/// identically: the engine header plus one nested [`RunState`] per system.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BatchedRunState {
+    /// FNV-1a over every system's parameter fingerprint, the labels, the
+    /// thread knob and the system count — checked on resume so a different
+    /// sweep configuration is rejected instead of silently diverging.
+    pub sweep_fingerprint: u64,
+    /// Resolved thread-count knob the run was started with.
+    pub threads: u64,
+    /// Engine passes completed (each pass advances every live system by
+    /// one batch attempt).
+    pub pass: u64,
+    /// Per-system states, in sweep-expansion order.
+    pub systems: Vec<BatchedSystemState>,
 }
 
 // ---------------------------------------------------------------------------
@@ -482,6 +519,8 @@ fn section_name(tag: u32) -> &'static str {
         TAG_PARTICLES => "particles",
         TAG_BATCHES => "batches",
         TAG_BATCH => "batch",
+        TAG_BATCHED_META => "batched-meta",
+        TAG_SYSTEM => "system",
         _ => "unknown",
     }
 }
@@ -637,6 +676,148 @@ pub fn decode(bytes: &[u8]) -> Result<RunState, CheckpointError> {
             state.particles.len(),
             state.preexisting,
             state.packed
+        )));
+    }
+    Ok(state)
+}
+
+// ---------------------------------------------------------------------------
+// Batched (multi-system) checkpoints
+// ---------------------------------------------------------------------------
+
+/// Serializes a batched multi-system run state. Same container format as
+/// [`encode`] (magic, version, CRC'd sections, mandatory footer); each
+/// system's [`RunState`] is nested as a complete single-run stream, so the
+/// per-system payload reuses the whole single-run codec including its
+/// validation.
+pub fn encode_batched(state: &BatchedRunState) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + state.systems.len() * 256);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+
+    let mut b = Buf::default();
+    b.u64(state.sweep_fingerprint);
+    b.u64(state.threads);
+    b.u64(state.pass);
+    b.u64(state.systems.len() as u64);
+    push_section(&mut out, TAG_BATCHED_META, &b.0);
+
+    for sys in &state.systems {
+        let mut b = Buf::default();
+        b.u64(sys.label.len() as u64);
+        b.0.extend_from_slice(sys.label.as_bytes());
+        match sys.diverged {
+            Some(d) => {
+                b.u8(1);
+                for w in d {
+                    b.u64(w);
+                }
+            }
+            None => {
+                b.u8(0);
+                for _ in 0..3 {
+                    b.u64(0);
+                }
+            }
+        }
+        let nested = encode(&sys.state);
+        b.u64(nested.len() as u64);
+        b.0.extend_from_slice(&nested);
+        push_section(&mut out, TAG_SYSTEM, &b.0);
+    }
+    push_section(&mut out, TAG_END, &[]);
+    out
+}
+
+/// Decodes a batched multi-system checkpoint. A single-run stream is
+/// rejected (it has no `batched-meta` section), mirroring how [`decode`]
+/// rejects batched streams via its own required-section check.
+pub fn decode_batched(bytes: &[u8]) -> Result<BatchedRunState, CheckpointError> {
+    let mut r = Reader::new(bytes);
+    if r.remaining() < MAGIC.len() {
+        return Err(CheckpointError::Truncated {
+            at: 0,
+            needed: MAGIC.len() - r.remaining(),
+        });
+    }
+    if r.bytes(MAGIC.len())? != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version == 0 || version > FORMAT_VERSION {
+        return Err(CheckpointError::UnsupportedVersion(version));
+    }
+
+    let mut state = BatchedRunState::default();
+    let mut declared_systems = 0usize;
+    let (mut have_meta, mut have_end) = (false, false);
+    while r.remaining() > 0 {
+        let tag = r.u32()?;
+        let len = r.u64()? as usize;
+        let crc = r.u32()?;
+        let payload = r.bytes(len)?;
+        if crc32(payload) != crc {
+            return Err(CheckpointError::CrcMismatch {
+                section: section_name(tag),
+            });
+        }
+        let mut s = Reader::new(payload);
+        match tag {
+            TAG_BATCHED_META => {
+                state.sweep_fingerprint = s.u64()?;
+                state.threads = s.u64()?;
+                state.pass = s.u64()?;
+                declared_systems = s.u64()? as usize;
+                have_meta = true;
+            }
+            TAG_SYSTEM => {
+                let label_len = s.u64()? as usize;
+                if label_len > s.remaining() || label_len > 4096 {
+                    return Err(malformed(format!(
+                        "system label length {label_len} exceeds payload"
+                    )));
+                }
+                let label = std::str::from_utf8(s.bytes(label_len)?)
+                    .map_err(|_| malformed("system label is not UTF-8"))?
+                    .to_string();
+                let flag = s.u8()?;
+                let mut d = [0u64; 3];
+                for w in &mut d {
+                    *w = s.u64()?;
+                }
+                let diverged = (flag != 0).then_some(d);
+                let nested_len = s.u64()? as usize;
+                if nested_len > s.remaining() {
+                    return Err(malformed(format!(
+                        "nested system state length {nested_len} exceeds payload"
+                    )));
+                }
+                let nested = decode(s.bytes(nested_len)?)?;
+                state.systems.push(BatchedSystemState {
+                    label,
+                    diverged,
+                    state: nested,
+                });
+            }
+            TAG_END => have_end = true,
+            _ => { /* unknown but CRC-valid section: skip (forward compat) */ }
+        }
+    }
+
+    if !have_end {
+        return Err(malformed(
+            "missing end-of-checkpoint marker (torn write at a section boundary)".to_string(),
+        ));
+    }
+    if !have_meta {
+        return Err(malformed(
+            "missing batched-meta section (not a batched checkpoint)".to_string(),
+        ));
+    }
+    if state.systems.len() != declared_systems {
+        return Err(malformed(format!(
+            "batched checkpoint declares {declared_systems} systems but carries {}",
+            state.systems.len()
         )));
     }
     Ok(state)
@@ -820,5 +1001,67 @@ mod tests {
     fn fnv1a_matches_known_vectors() {
         assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    fn sample_batched() -> BatchedRunState {
+        let mut healthy = sample_state(true);
+        healthy.seed = 11;
+        let mut dead = sample_state(false);
+        dead.seed = 22;
+        BatchedRunState {
+            sweep_fingerprint: 0xFEED_FACE_0123_4567,
+            threads: 4,
+            pass: 9,
+            systems: vec![
+                BatchedSystemState {
+                    label: "s11_lr0.01".to_string(),
+                    diverged: None,
+                    state: healthy,
+                },
+                BatchedSystemState {
+                    label: "s22_lr0.02".to_string(),
+                    diverged: Some([3, 417, 5]),
+                    state: dead,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn batched_round_trip_is_bitwise_exact() {
+        let state = sample_batched();
+        let back = decode_batched(&encode_batched(&state)).unwrap();
+        assert_eq!(back, state);
+        assert_eq!(
+            back.systems[0].state.particles[3].center.x.to_bits(),
+            state.systems[0].state.particles[3].center.x.to_bits()
+        );
+    }
+
+    #[test]
+    fn batched_and_single_decoders_reject_each_other() {
+        let single = encode(&sample_state(true));
+        assert!(matches!(
+            decode_batched(&single),
+            Err(CheckpointError::Malformed(_))
+        ));
+        let batched = encode_batched(&sample_batched());
+        assert!(matches!(
+            decode(&batched),
+            Err(CheckpointError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn batched_truncations_and_bit_flips_are_detected() {
+        let bytes = encode_batched(&sample_batched());
+        for cut in [0, 5, 13, bytes.len() / 3, bytes.len() - 1] {
+            assert!(decode_batched(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        for &offset in &[16usize, bytes.len() / 2, bytes.len() - 20] {
+            let mut corrupt = bytes.clone();
+            corrupt[offset] ^= 0x04;
+            assert!(decode_batched(&corrupt).is_err(), "flip at {offset}");
+        }
     }
 }

@@ -334,6 +334,77 @@ fn rollback(
 /// Observer invoked after every attempted batch (accepted or not).
 type BatchCallback = Box<dyn FnMut(&BatchStats) + Send>;
 
+/// Mutable state of one packing run, advanced one batch attempt at a time.
+///
+/// Produced by [`CollectivePacker::begin_run`] /
+/// [`CollectivePacker::begin_resumed`], driven by
+/// [`CollectivePacker::advance_batch`] until [`RunProgress::finished`], and
+/// consumed by [`CollectivePacker::finish_run`]. Fresh, resumed and batched
+/// multi-system runs all step through this exact sequence — which is what
+/// makes a system inside a batched run bitwise equal to its own single run.
+pub struct RunProgress {
+    particles: Vec<Particle>,
+    batches: Vec<BatchStats>,
+    bed: FixedBed,
+    preexisting: usize,
+    packed: usize,
+    batch_index: usize,
+    batch_size: usize,
+    target: usize,
+    elapsed_base: Duration,
+    start: Instant,
+    resume_batch: Option<BatchInProgress>,
+    /// Canonicalize the bed grid at batch starts (the checkpointing
+    /// contract: grid layout must be a pure function of the particle list).
+    canonical: bool,
+    fingerprint: u64,
+    /// Optimizer steps attempted across this run — drives the batched
+    /// engine's pass-level checkpoint cadence.
+    steps_taken: u64,
+}
+
+impl RunProgress {
+    /// True when the run is over: target reached or batch size collapsed.
+    pub fn finished(&self) -> bool {
+        self.packed >= self.target || self.batch_size == 0
+    }
+
+    /// Particles packed so far by this run (excluding preexisting ones).
+    pub fn packed(&self) -> usize {
+        self.packed
+    }
+
+    /// The requested particle count.
+    pub fn target(&self) -> usize {
+        self.target
+    }
+
+    /// Next batch index (accepted and rejected batches both count).
+    pub fn batch_index(&self) -> usize {
+        self.batch_index
+    }
+
+    /// Current batch size (halved after each rejection).
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// All particles, preexisting first.
+    pub fn particles(&self) -> &[Particle] {
+        &self.particles
+    }
+
+    /// Per-batch statistics so far.
+    pub fn batches(&self) -> &[BatchStats] {
+        &self.batches
+    }
+
+    /// Optimizer steps attempted so far (across all batch attempts).
+    pub fn steps_taken(&self) -> u64 {
+        self.steps_taken
+    }
+}
+
 /// Per-step convergence tracing state: records are pushed into the
 /// preallocated ring inside the optimizer loop (allocation-free) and
 /// drained to the sink between batches.
@@ -360,6 +431,9 @@ pub struct CollectivePacker {
     checkpoint: Option<CheckpointCadence>,
     /// Divergence-sentinel rollbacks across the current run.
     recoveries: u64,
+    /// Extra context folded into the checkpoint fingerprint (thread count,
+    /// sweep grid — knobs that live outside `PackingParams`).
+    fingerprint_salt: u64,
 }
 
 impl CollectivePacker {
@@ -384,6 +458,7 @@ impl CollectivePacker {
             tracer: None,
             checkpoint: None,
             recoveries: 0,
+            fingerprint_salt: 0,
         }
     }
 
@@ -445,8 +520,9 @@ impl CollectivePacker {
         self.recoveries
     }
 
-    /// FNV-1a fingerprint over the hyper-parameters and container geometry,
-    /// stored in checkpoints and verified on [`CollectivePacker::resume`].
+    /// FNV-1a fingerprint over the hyper-parameters, container geometry and
+    /// the [`CollectivePacker::set_fingerprint_context`] salt, stored in
+    /// checkpoints and verified on [`CollectivePacker::resume`].
     pub fn fingerprint(&self) -> u64 {
         use std::fmt::Write as _;
         let mut s = format!("{:?}", self.params);
@@ -462,7 +538,17 @@ impl CollectivePacker {
         ] {
             let _ = write!(s, "|{:016x}", v.to_bits());
         }
+        let _ = write!(s, "|ctx:{:016x}", self.fingerprint_salt);
         checkpoint::fnv1a(s.as_bytes())
+    }
+
+    /// Folds extra run-configuration context into the checkpoint
+    /// fingerprint. The CLI hashes the knobs that affect a run but live
+    /// outside `PackingParams` — the resolved thread count and the `batch:`
+    /// sweep grid — so a resume under a different configuration is rejected
+    /// (exit 7) instead of silently diverging.
+    pub fn set_fingerprint_context(&mut self, salt: u64) {
+        self.fingerprint_salt = salt;
     }
 
     /// The container.
@@ -519,30 +605,15 @@ impl CollectivePacker {
         psd: &Psd,
         existing: Vec<Particle>,
     ) -> Result<PackResult, PackError> {
-        self.recoveries = 0;
-        if let Some(c) = self.checkpoint.as_mut() {
-            c.global_step = 0;
-        }
-        let preexisting = existing.len();
-        let batch_size = self.params.batch_size;
+        let checkpointing = self.checkpoint.is_some();
+        let mut prog = self.begin_run(existing, checkpointing);
         // The cadence is detached from `self` for the duration of the run so
         // the inner loop can borrow both it and the packer; reattached even
         // on error.
         let mut cadence = self.checkpoint.take();
-        let result = self.run_loop(
-            psd,
-            &mut cadence,
-            existing,
-            Vec::new(),
-            preexisting,
-            0,
-            0,
-            batch_size,
-            Duration::ZERO,
-            None,
-        );
+        let result = self.drive_to_end(psd, &mut prog, &mut cadence);
         self.checkpoint = cadence;
-        result
+        result.map(|()| self.finish_run(prog))
     }
 
     /// Continues a run from a decoded checkpoint, bitwise identically to
@@ -553,6 +624,58 @@ impl CollectivePacker {
     /// verified and a mismatch returns [`PackError::Resume`] rather than
     /// silently producing a non-reproducible hybrid.
     pub fn resume(&mut self, psd: &Psd, state: RunState) -> Result<PackResult, PackError> {
+        let checkpointing = self.checkpoint.is_some();
+        let mut prog = self.begin_resumed(state, checkpointing)?;
+        let mut cadence = self.checkpoint.take();
+        let result = self.drive_to_end(psd, &mut prog, &mut cadence);
+        self.checkpoint = cadence;
+        result.map(|()| self.finish_run(prog))
+    }
+
+    /// Starts a stepping run: resets per-run counters and returns the
+    /// [`RunProgress`] that [`CollectivePacker::advance_batch`] drives.
+    ///
+    /// `checkpointing` opts into the checkpointing contract (bed grid
+    /// canonicalized at batch starts, parameter fingerprint computed) — pass
+    /// true whenever the run's state may be captured, including by the
+    /// batched engine's pass-boundary checkpoints.
+    pub fn begin_run(&mut self, existing: Vec<Particle>, checkpointing: bool) -> RunProgress {
+        self.recoveries = 0;
+        if let Some(c) = self.checkpoint.as_mut() {
+            c.global_step = 0;
+        }
+        let fingerprint = if checkpointing { self.fingerprint() } else { 0 };
+        // The bed is built once and grown incrementally: accepting a batch
+        // pushes its spheres (amortized O(1) each) instead of rebuilding the
+        // whole grid, and the top altitude is a running maximum.
+        let bed = FixedBed::from_particles(self.params.gravity, &existing);
+        RunProgress {
+            preexisting: existing.len(),
+            particles: existing,
+            batches: Vec::new(),
+            bed,
+            packed: 0,
+            batch_index: 0,
+            batch_size: self.params.batch_size,
+            target: self.params.target_count,
+            elapsed_base: Duration::ZERO,
+            start: Instant::now(),
+            resume_batch: None,
+            canonical: checkpointing,
+            fingerprint,
+            steps_taken: 0,
+        }
+    }
+
+    /// Starts a stepping run from a decoded checkpoint: verifies seed and
+    /// parameter fingerprint, restores the RNG/workspace/recovery counters
+    /// and returns the mid-run [`RunProgress`]. See
+    /// [`CollectivePacker::begin_run`] for `checkpointing`.
+    pub fn begin_resumed(
+        &mut self,
+        state: RunState,
+        checkpointing: bool,
+    ) -> Result<RunProgress, PackError> {
         if state.seed != self.params.seed {
             return Err(CheckpointError::StateMismatch(format!(
                 "checkpoint seed {} but params seed {}",
@@ -576,194 +699,228 @@ impl CollectivePacker {
         if let Some(c) = self.checkpoint.as_mut() {
             c.global_step = state.global_step;
         }
-        let mut cadence = self.checkpoint.take();
-        let result = self.run_loop(
-            psd,
-            &mut cadence,
-            state.particles,
-            state.batches,
-            state.preexisting as usize,
-            state.packed as usize,
-            state.batch_index as usize,
-            state.batch_size as usize,
-            Duration::from_nanos(state.elapsed_ns),
-            state.batch,
-        );
-        self.checkpoint = cadence;
-        result
+        let bed = FixedBed::from_particles(self.params.gravity, &state.particles);
+        Ok(RunProgress {
+            preexisting: state.preexisting as usize,
+            particles: state.particles,
+            batches: state.batches,
+            bed,
+            packed: state.packed as usize,
+            batch_index: state.batch_index as usize,
+            batch_size: state.batch_size as usize,
+            target: self.params.target_count,
+            elapsed_base: Duration::from_nanos(state.elapsed_ns),
+            start: Instant::now(),
+            resume_batch: state.batch,
+            canonical: checkpointing,
+            fingerprint: if checkpointing { fp } else { 0 },
+            steps_taken: state.global_step,
+        })
     }
 
-    /// The shared batch loop behind fresh and resumed runs.
-    #[allow(clippy::too_many_arguments)]
-    fn run_loop(
+    /// Snapshot of a stepping run at a batch boundary (no batch in flight).
+    /// The batched engine persists one per system inside its pass-boundary
+    /// checkpoints; [`CollectivePacker::begin_resumed`] accepts it back.
+    pub fn capture_state(&self, prog: &RunProgress) -> RunState {
+        RunState {
+            seed: self.params.seed,
+            params_fingerprint: prog.fingerprint,
+            global_step: prog.steps_taken,
+            recoveries: self.recoveries,
+            preexisting: prog.preexisting as u64,
+            target: prog.target as u64,
+            batch_index: prog.batch_index as u64,
+            packed: prog.packed as u64,
+            batch_size: prog.batch_size as u64,
+            elapsed_ns: (prog.elapsed_base + prog.start.elapsed())
+                .as_nanos()
+                .min(u64::MAX as u128) as u64,
+            evals: self.workspace.evals() as u64,
+            verlet_rebuilds: self.workspace.verlet_rebuilds() as u64,
+            rng: self.rng.state(),
+            particles: prog.particles.clone(),
+            batches: prog.batches.clone(),
+            batch: None,
+        }
+    }
+
+    /// Runs [`CollectivePacker::advance_batch`] until the run finishes.
+    fn drive_to_end(
         &mut self,
         psd: &Psd,
+        prog: &mut RunProgress,
         cadence: &mut Option<CheckpointCadence>,
-        mut particles: Vec<Particle>,
-        mut batches: Vec<BatchStats>,
-        preexisting: usize,
-        mut packed: usize,
-        mut batch_index: usize,
-        mut batch_size: usize,
-        elapsed_base: Duration,
-        mut resume_batch: Option<BatchInProgress>,
-    ) -> Result<PackResult, PackError> {
-        let start = Instant::now();
-        let target = self.params.target_count;
-        let fingerprint = cadence.as_ref().map(|_| self.fingerprint()).unwrap_or(0);
+    ) -> Result<(), PackError> {
+        while !prog.finished() {
+            self.advance_batch(psd, prog, cadence)?;
+        }
+        Ok(())
+    }
 
-        // The bed is built once and grown incrementally: accepting a batch
-        // pushes its spheres (amortized O(1) each) instead of rebuilding the
-        // whole grid, and the top altitude is a running maximum.
-        let mut bed = FixedBed::from_particles(self.params.gravity, &particles);
+    /// Consumes a finished (or abandoned) stepping run into a
+    /// [`PackResult`].
+    pub fn finish_run(&mut self, prog: RunProgress) -> PackResult {
+        debug_assert_eq!(prog.particles.len(), prog.preexisting + prog.packed);
+        PackResult {
+            particles: prog.particles,
+            batches: prog.batches,
+            container: self.container.clone(),
+            duration: prog.elapsed_base + prog.start.elapsed(),
+            target: prog.target,
+            recoveries: self.recoveries,
+        }
+    }
 
-        while packed < target && batch_size > 0 {
-            // With checkpointing on, the grid layout must be a pure function
-            // of the particle list so the resumed run's rebuilt bed matches
-            // the straight run's incrementally grown one bit for bit.
-            if cadence.is_some() {
-                bed.canonicalize();
+    /// Executes one outer-loop iteration of Algorithm 1: spawn (or restore)
+    /// a batch, optimize it, run the acceptance test and either grow the
+    /// bed or halve the batch size. No-op when the run is already finished.
+    pub fn advance_batch(
+        &mut self,
+        psd: &Psd,
+        prog: &mut RunProgress,
+        cadence: &mut Option<CheckpointCadence>,
+    ) -> Result<(), PackError> {
+        if prog.finished() {
+            return Ok(());
+        }
+        // With checkpointing on, the grid layout must be a pure function
+        // of the particle list so the resumed run's rebuilt bed matches
+        // the straight run's incrementally grown one bit for bit.
+        if prog.canonical {
+            prog.bed.canonicalize();
+        }
+        let resumed = prog.resume_batch.take();
+        let t0 = Instant::now();
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.batch = prog.batch_index as u64;
+            tr.prev.clear();
+        }
+        let (radii, init, spawn) = match &resumed {
+            // Mid-batch resume: radii and positions come from the
+            // checkpoint; the RNG already advanced past this spawn.
+            Some(bp) => (
+                bp.radii.clone(),
+                bp.coords.clone(),
+                Duration::from_nanos(bp.spawn_ns),
+            ),
+            None => {
+                let n = prog.batch_size.min(prog.target - prog.packed);
+                let radii = psd.sample_n(&mut self.rng, n);
+                let init = self.spawn_batch(&radii, &prog.bed);
+                let spawn = t0.elapsed();
+                PHASE_SPAWN.record_ns(spawn.as_nanos() as u64);
+                (radii, init, spawn)
             }
-            let resumed = resume_batch.take();
-            let t0 = Instant::now();
-            if let Some(tr) = self.tracer.as_mut() {
-                tr.batch = batch_index as u64;
-                tr.prev.clear();
-            }
-            let (radii, init, spawn) = match &resumed {
-                // Mid-batch resume: radii and positions come from the
-                // checkpoint; the RNG already advanced past this spawn.
-                Some(bp) => (
-                    bp.radii.clone(),
-                    bp.coords.clone(),
-                    Duration::from_nanos(bp.spawn_ns),
-                ),
-                None => {
-                    let n = batch_size.min(target - packed);
-                    let radii = psd.sample_n(&mut self.rng, n);
-                    let init = self.spawn_batch(&radii, &bed);
-                    let spawn = t0.elapsed();
-                    PHASE_SPAWN.record_ns(spawn.as_nanos() as u64);
-                    (radii, init, spawn)
-                }
-            };
-            let n = radii.len();
-            let t_opt = Instant::now();
-            let lr = self.params.lr;
-            let ctx = cadence.as_mut().map(|c| CheckpointCtx {
-                cadence: c,
-                fingerprint,
-                preexisting,
-                target,
-                batch_index,
-                packed,
-                batch_size,
-                elapsed_base,
-                start,
+        };
+        let n = radii.len();
+        let t_opt = Instant::now();
+        let lr = self.params.lr;
+        let ctx = cadence.as_mut().map(|c| CheckpointCtx {
+            cadence: c,
+            fingerprint: prog.fingerprint,
+            preexisting: prog.preexisting,
+            target: prog.target,
+            batch_index: prog.batch_index,
+            packed: prog.packed,
+            batch_size: prog.batch_size,
+            elapsed_base: prog.elapsed_base,
+            start: prog.start,
+            spawn,
+            particles: &prog.particles,
+            batches: &prog.batches,
+        });
+        let run = self.optimize_batch_core(
+            &radii,
+            init,
+            prog.bed.grid(),
+            self.params.max_steps,
+            self.params.patience,
+            &lr,
+            None,
+            resumed.as_ref(),
+            ctx,
+            prog.batch_index,
+        )?;
+        let optimize = t_opt.elapsed();
+
+        // Acceptance: mean contact overlap and boundary excess relative
+        // to radius must stay below the configured threshold
+        // (Algorithm 1 line 19).
+        let t_acc = Instant::now();
+        // Read the final coordinates through the workspace's SoA
+        // snapshot instead of an interleaved-gather allocation.
+        let centers = self.workspace.positions_from(&run.coords, &radii);
+        let contact = contact_stats_vs_fixed(centers, &radii, prog.bed.grid());
+        let boundary = boundary_stats(centers, &radii, self.container.halfspaces());
+        let accepted = contact.mean_overlap_ratio <= self.params.accept_mean_overlap
+            && boundary.0 <= self.params.accept_mean_overlap
+            && contact.max_overlap_ratio <= self.params.accept_max_overlap
+            && boundary.1 <= self.params.accept_max_overlap;
+        let acceptance = t_acc.elapsed();
+        PHASE_ACCEPTANCE.record_ns(acceptance.as_nanos() as u64);
+
+        BATCHES_TOTAL.inc();
+        if accepted {
+            BATCHES_ACCEPTED_TOTAL.inc();
+            PARTICLES_PACKED_TOTAL.add(n as u64);
+        }
+        adampack_telemetry::debug!(
+            "batch {}: {n} particles {}, {} steps, best Z {:.4}, \
+             mean overlap {:.3}% of r, {} verlet rebuilds, {:.2?}",
+            prog.batch_index,
+            if accepted { "accepted" } else { "rejected" },
+            run.steps,
+            run.best_fitness,
+            contact.mean_overlap_ratio * 100.0,
+            run.verlet_rebuilds,
+            t0.elapsed(),
+        );
+
+        let stats = BatchStats {
+            index: prog.batch_index,
+            requested: n,
+            accepted,
+            steps: run.steps,
+            best_fitness: run.best_fitness,
+            mean_overlap_ratio: contact.mean_overlap_ratio,
+            mean_boundary_ratio: boundary.0,
+            duration: t0.elapsed(),
+            verlet_rebuilds: run.verlet_rebuilds,
+            phase: BatchPhaseBreakdown {
                 spawn,
-                particles: &particles,
-                batches: &batches,
-            });
-            let run = self.optimize_batch_core(
-                &radii,
-                init,
-                bed.grid(),
-                self.params.max_steps,
-                self.params.patience,
-                &lr,
-                None,
-                resumed.as_ref(),
-                ctx,
-                batch_index,
-            )?;
-            let optimize = t_opt.elapsed();
-
-            // Acceptance: mean contact overlap and boundary excess relative
-            // to radius must stay below the configured threshold
-            // (Algorithm 1 line 19).
-            let t_acc = Instant::now();
-            // Read the final coordinates through the workspace's SoA
-            // snapshot instead of an interleaved-gather allocation.
-            let centers = self.workspace.positions_from(&run.coords, &radii);
-            let contact = contact_stats_vs_fixed(centers, &radii, bed.grid());
-            let boundary = boundary_stats(centers, &radii, self.container.halfspaces());
-            let accepted = contact.mean_overlap_ratio <= self.params.accept_mean_overlap
-                && boundary.0 <= self.params.accept_mean_overlap
-                && contact.max_overlap_ratio <= self.params.accept_max_overlap
-                && boundary.1 <= self.params.accept_max_overlap;
-            let acceptance = t_acc.elapsed();
-            PHASE_ACCEPTANCE.record_ns(acceptance.as_nanos() as u64);
-
-            BATCHES_TOTAL.inc();
-            if accepted {
-                BATCHES_ACCEPTED_TOTAL.inc();
-                PARTICLES_PACKED_TOTAL.add(n as u64);
-            }
-            adampack_telemetry::debug!(
-                "batch {batch_index}: {n} particles {}, {} steps, best Z {:.4}, \
-                 mean overlap {:.3}% of r, {} verlet rebuilds, {:.2?}",
-                if accepted { "accepted" } else { "rejected" },
-                run.steps,
-                run.best_fitness,
-                contact.mean_overlap_ratio * 100.0,
-                run.verlet_rebuilds,
-                t0.elapsed(),
-            );
-
-            let stats = BatchStats {
-                index: batch_index,
-                requested: n,
-                accepted,
-                steps: run.steps,
-                best_fitness: run.best_fitness,
-                mean_overlap_ratio: contact.mean_overlap_ratio,
-                mean_boundary_ratio: boundary.0,
-                duration: t0.elapsed(),
-                verlet_rebuilds: run.verlet_rebuilds,
-                phase: BatchPhaseBreakdown {
-                    spawn,
-                    optimize,
-                    gradient: run.gradient_time,
-                    optimizer: run.optimizer_time,
-                    acceptance,
-                },
-            };
-            if let Some(cb) = self.batch_callback.as_mut() {
-                cb(&stats);
-            }
-            batches.push(stats);
-            batch_index += 1;
-            // Drain the trace ring between batches: the sink (file I/O)
-            // never runs inside the optimizer loop.
-            if let Some(tr) = self.tracer.as_mut() {
-                tr.ring.drain_into(tr.sink.as_mut());
-            }
-
-            if accepted {
-                for (i, &c) in centers.iter().enumerate() {
-                    bed.push(c, radii[i]);
-                    particles.push(Particle {
-                        center: c,
-                        radius: radii[i],
-                        batch: batch_index - 1,
-                        set: 0,
-                    });
-                }
-                packed += n;
-            } else {
-                batch_size /= 2;
-            }
+                optimize,
+                gradient: run.gradient_time,
+                optimizer: run.optimizer_time,
+                acceptance,
+            },
+        };
+        if let Some(cb) = self.batch_callback.as_mut() {
+            cb(&stats);
+        }
+        prog.batches.push(stats);
+        prog.batch_index += 1;
+        prog.steps_taken += run.steps as u64;
+        // Drain the trace ring between batches: the sink (file I/O)
+        // never runs inside the optimizer loop.
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.ring.drain_into(tr.sink.as_mut());
         }
 
-        debug_assert_eq!(particles.len(), preexisting + packed);
-        Ok(PackResult {
-            particles,
-            batches,
-            container: self.container.clone(),
-            duration: elapsed_base + start.elapsed(),
-            target,
-            recoveries: self.recoveries,
-        })
+        if accepted {
+            for (i, &c) in centers.iter().enumerate() {
+                prog.bed.push(c, radii[i]);
+                prog.particles.push(Particle {
+                    center: c,
+                    radius: radii[i],
+                    batch: prog.batch_index - 1,
+                    set: 0,
+                });
+            }
+            prog.packed += n;
+        } else {
+            prog.batch_size /= 2;
+        }
+        Ok(())
     }
 
     /// Generates initial positions for a batch above the current bed — the

@@ -70,6 +70,7 @@
 
 pub mod analysis;
 pub mod baseline;
+pub mod batch;
 pub mod checkpoint;
 pub mod collective;
 pub mod container;
@@ -89,10 +90,16 @@ pub mod zone;
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::baseline::{DropAndRollPacker, RsaPacker};
-    pub use crate::checkpoint::{BatchInProgress, CheckpointError, RunState};
+    pub use crate::batch::{
+        ArenaAggregate, BatchedCheckpointSink, BatchedPacker, PassStats, SystemArena, SystemReport,
+        SystemSpec,
+    };
+    pub use crate::checkpoint::{
+        BatchInProgress, BatchedRunState, BatchedSystemState, CheckpointError, RunState,
+    };
     pub use crate::collective::{
         BatchPhaseBreakdown, BatchStats, CheckpointCadence, CheckpointSink, CollectivePacker,
-        PackError, PackResult, StepTrace,
+        PackError, PackResult, RunProgress, StepTrace,
     };
     pub use crate::container::Container;
     pub use crate::metrics::{contact_stats, psd_adherence, ContactStats};

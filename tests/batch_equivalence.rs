@@ -1,0 +1,175 @@
+//! The batched engine's core contract (DESIGN.md §11): a system packed as
+//! one lane of a batched multi-system run finishes **bitwise identical** to
+//! the same system packed alone by [`CollectivePacker::try_pack`].
+//!
+//! The equality is structural, not approximate: the batched engine drives
+//! each system through the identical `advance_batch` sequence with its own
+//! RNG, optimizer, scheduler and workspace state, so positions, radii,
+//! per-batch fitness and acceptance decisions all match to the bit. The
+//! matrix proven here:
+//!
+//! * S ∈ {1, 2, 3} systems with **ragged** per-system targets (different
+//!   N per lane exercises the arena's inf-padding),
+//! * scalar × SIMD kernels — each batched lane matches its same-kernel
+//!   single run,
+//! * 1- and 4-thread pools — the engine parallelizes across systems, the
+//!   single runs across particles; both are thread-count invariant,
+//! * a property test randomizing seeds, targets and PSDs per system.
+
+use adampack_core::prelude::*;
+use adampack_geometry::{shapes, Vec3};
+use proptest::prelude::*;
+
+/// See tests/determinism.rs: raise the pool-width cap before the first
+/// parallel region resolves it, so 1-core CI still exercises parallelism.
+fn force_parallel_hardware() {
+    if std::env::var_os("RAYON_NUM_THREADS").is_none() {
+        std::env::set_var("RAYON_NUM_THREADS", "8");
+    }
+}
+
+fn box_container() -> Container {
+    Container::from_mesh(&shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0))).unwrap()
+}
+
+fn quick_params(seed: u64, target: usize, kernel: Kernel) -> PackingParams {
+    PackingParams {
+        batch_size: target,
+        target_count: target,
+        max_steps: 200,
+        patience: 40,
+        seed,
+        kernel,
+        ..PackingParams::default()
+    }
+}
+
+/// S=3 sweep with ragged targets (14/9/17) and mixed PSDs.
+fn ragged_specs(kernel: Kernel) -> Vec<SystemSpec> {
+    vec![
+        SystemSpec {
+            label: "a".into(),
+            params: quick_params(11, 14, kernel),
+            psd: Psd::constant(0.15),
+        },
+        SystemSpec {
+            label: "b".into(),
+            params: quick_params(22, 9, kernel),
+            psd: Psd::uniform(0.11, 0.16),
+        },
+        SystemSpec {
+            label: "c".into(),
+            params: quick_params(33, 17, kernel),
+            psd: Psd::constant(0.13),
+        },
+    ]
+}
+
+fn assert_bitwise_equal(got: &PackResult, want: &PackResult, what: &str) {
+    assert_eq!(got.particles.len(), want.particles.len(), "{what}: count");
+    for (g, w) in got.particles.iter().zip(&want.particles) {
+        assert_eq!(g.center.x.to_bits(), w.center.x.to_bits(), "{what}: x");
+        assert_eq!(g.center.y.to_bits(), w.center.y.to_bits(), "{what}: y");
+        assert_eq!(g.center.z.to_bits(), w.center.z.to_bits(), "{what}: z");
+        assert_eq!(g.radius.to_bits(), w.radius.to_bits(), "{what}: radius");
+    }
+    assert_eq!(got.batches.len(), want.batches.len(), "{what}: batches");
+    for (g, w) in got.batches.iter().zip(&want.batches) {
+        assert_eq!(g.steps, w.steps, "{what}: steps");
+        assert_eq!(g.accepted, w.accepted, "{what}: acceptance");
+        assert_eq!(
+            g.best_fitness.to_bits(),
+            w.best_fitness.to_bits(),
+            "{what}: fitness"
+        );
+    }
+}
+
+/// Packs each spec alone, then as one batched run, and compares per-system.
+fn check_batched_matches_singles(specs: Vec<SystemSpec>, what: &str) {
+    let container = box_container();
+    let singles: Vec<PackResult> = specs
+        .iter()
+        .map(|spec| {
+            CollectivePacker::new(container.clone(), spec.params.clone())
+                .try_pack(&spec.psd)
+                .unwrap_or_else(|e| panic!("{what}: single run '{}': {e}", spec.label))
+        })
+        .collect();
+    let labels: Vec<String> = specs.iter().map(|s| s.label.clone()).collect();
+    let reports = BatchedPacker::new(&container, specs).run();
+    assert_eq!(reports.len(), singles.len(), "{what}: report count");
+    for ((label, single), report) in labels.iter().zip(&singles).zip(&reports) {
+        assert_eq!(&report.label, label, "{what}: label order");
+        let batched = report
+            .result
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{what}: batched system '{label}': {e}"));
+        assert_bitwise_equal(batched, single, &format!("{what}, system '{label}'"));
+    }
+}
+
+#[test]
+fn batched_matches_singles_across_kernels_threads_and_widths() {
+    force_parallel_hardware();
+    for kernel in [Kernel::Simd, Kernel::Scalar] {
+        for threads in [1usize, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| {
+                // Ragged S=3, plus its S=1 and S=2 prefixes: every width
+                // must reproduce the same per-system bits.
+                let full = ragged_specs(kernel);
+                for s in 1..=full.len() {
+                    check_batched_matches_singles(
+                        full[..s].to_vec(),
+                        &format!("{kernel} kernel, {threads} threads, S={s}"),
+                    );
+                }
+            });
+        }
+    }
+}
+
+#[test]
+fn batched_lane_is_independent_of_its_siblings() {
+    force_parallel_hardware();
+    // System "b" packed inside two different sweeps (S=3 ragged, and alone)
+    // must produce identical bits: lanes share nothing but the pass loop.
+    let container = box_container();
+    let specs = ragged_specs(Kernel::default());
+    let alone = BatchedPacker::new(&container, vec![specs[1].clone()]).run();
+    let together = BatchedPacker::new(&container, specs).run();
+    let a = alone[0].result.as_ref().unwrap();
+    let b = together[1].result.as_ref().unwrap();
+    assert_bitwise_equal(b, a, "system 'b' alone vs inside S=3");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Randomized sweeps: any S ∈ {1,2,3} with per-system random seeds,
+    /// ragged targets and PSD widths still reproduces each single run
+    /// bitwise. Budgets are small (N ≤ 10, one batch per system) so the
+    /// property stays cheap enough for CI.
+    #[test]
+    fn random_ragged_sweeps_match_their_single_runs(
+        systems in proptest::collection::vec(
+            (0u64..1000, 4usize..=10, 0.11f64..0.14), 1..=3,
+        ),
+    ) {
+        force_parallel_hardware();
+        let specs: Vec<SystemSpec> = systems
+            .iter()
+            .enumerate()
+            .map(|(i, &(seed, target, r))| SystemSpec {
+                label: format!("p{i}"),
+                params: quick_params(seed, target, Kernel::default()),
+                psd: Psd::uniform(r, r + 0.03),
+            })
+            .collect();
+        check_batched_matches_singles(specs, "proptest sweep");
+    }
+}

@@ -32,7 +32,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex, MutexGuard};
 
-use adampack_core::checkpoint::{self, RunState};
+use adampack_core::checkpoint::{self, BatchedRunState, RunState};
 use adampack_core::prelude::*;
 use adampack_geometry::{shapes, Vec3};
 use adampack_io::{
@@ -108,6 +108,21 @@ impl CheckpointSink for FileSink {
         self.0
             .save(&checkpoint::encode(state))
             .map_err(|e| e.to_string())
+    }
+}
+
+/// Multi-system counterpart of [`MemorySink`]: captures every encoded
+/// batched state so the kill-and-resume test replays the real wire format.
+#[derive(Clone, Default)]
+struct BatchedMemorySink(Arc<Mutex<Vec<Vec<u8>>>>);
+
+impl BatchedCheckpointSink for BatchedMemorySink {
+    fn save(&mut self, state: &BatchedRunState) -> Result<(), String> {
+        self.0
+            .lock()
+            .unwrap()
+            .push(checkpoint::encode_batched(state));
+        Ok(())
     }
 }
 
@@ -241,6 +256,70 @@ fn kill_and_resume_is_bitwise_identical_across_kernels_and_threads() {
             });
         }
     }
+}
+
+/// A ragged three-system sweep for the batched kill-and-resume scenario.
+fn batched_specs() -> Vec<SystemSpec> {
+    let sys = |label: &str, seed: u64, target: usize, psd: Psd| SystemSpec {
+        label: label.into(),
+        params: PackingParams {
+            batch_size: 6,
+            target_count: target,
+            max_steps: 300,
+            patience: 40,
+            seed,
+            ..PackingParams::default()
+        },
+        psd,
+    };
+    vec![
+        sys("a", 13, 14, Psd::constant(0.15)),
+        sys("b", 29, 9, Psd::uniform(0.11, 0.16)),
+        sys("c", 37, 17, Psd::constant(0.13)),
+    ]
+}
+
+#[test]
+fn batched_kill_and_resume_is_bitwise_identical() {
+    let _guard = failpoint_guard();
+    force_parallel_hardware();
+    let mesh = shapes::box_mesh(Vec3::ZERO, Vec3::splat(2.0));
+    let container = Container::from_mesh(&mesh).unwrap();
+
+    // Uninterrupted batched run with a checkpoint cadence.
+    let sink = BatchedMemorySink::default();
+    let mut straight = BatchedPacker::new(&container, batched_specs());
+    straight.set_checkpoint_sink(Box::new(sink.clone()), 20);
+    let want = straight.run();
+    let blobs = sink.0.lock().unwrap().clone();
+    assert!(
+        blobs.len() >= 2,
+        "need several cadence points, got {}",
+        blobs.len()
+    );
+
+    // Kill at the middle checkpoint: decode the bytes and finish the sweep
+    // from them, as if the process died right after that write.
+    let mid = &blobs[blobs.len() / 2];
+    let state = checkpoint::decode_batched(mid).expect("captured batched checkpoint decodes");
+    let mut resumed = BatchedPacker::new(&container, batched_specs());
+    resumed.set_checkpoint_sink(Box::new(BatchedMemorySink::default()), 20);
+    resumed.resume(state).expect("mid-run state resumes");
+    let got = resumed.run();
+
+    assert_eq!(want.len(), got.len());
+    for (w, g) in want.iter().zip(&got) {
+        assert_eq!(w.label, g.label, "system order preserved");
+        let what = format!("batched resume, system '{}'", w.label);
+        assert_same_packing(
+            w.result.as_ref().unwrap(),
+            g.result.as_ref().unwrap(),
+            &what,
+        );
+    }
+
+    // A torn batched checkpoint is rejected, never half-resumed.
+    assert!(checkpoint::decode_batched(&mid[..mid.len() - 5]).is_err());
 }
 
 #[test]
