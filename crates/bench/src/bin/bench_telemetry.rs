@@ -1,7 +1,7 @@
 //! Telemetry overhead guard (DESIGN.md "Observability").
 //!
 //! Times a steady-state optimizer step — objective value + gradient through
-//! the Verlet pipeline, plus the Adam update — under the three telemetry
+//! the Verlet pipeline, plus the Adam update — under the four telemetry
 //! configurations the runtime supports:
 //!
 //! * **off** — `set_enabled(false)`: the step loop reads no clock and
@@ -10,24 +10,26 @@
 //!   the phase histograms, counters tick,
 //! * **tracing** — a trace sink is installed: on top of passive, every step
 //!   pays an extra objective-breakdown pass, a gradient-norm reduction, a
-//!   displacement diff and a ring push (the documented expensive mode).
+//!   displacement diff and a ring push (the documented expensive mode),
+//! * **timeline** — the span timeline is enabled: on top of passive, every
+//!   step pushes begin/end events for its gradient and optimizer spans
+//!   into the per-thread event ring (the Chrome-trace export path).
 //!
-//! All three modes replay the *same* trajectory (instrumentation never
-//! feeds back into the dynamics), so the ratios are pure overhead. The
+//! All modes replay the *same* trajectory (instrumentation never feeds
+//! back into the dynamics), so the ratios are pure overhead. The
 //! acceptance budget for passive mode is **< 2 %** over off.
 //!
 //! Results go to stdout and `target/experiments/BENCH_telemetry.json`.
 
-use adampack_bench::{cli, secs, timed};
+use adampack_bench::{cli, json_str, secs, timed, JsonReport};
 use adampack_core::objective::{Objective, ObjectiveWeights};
 use adampack_core::prelude::*;
 use adampack_geometry::{shapes, Axis, Vec3};
 use adampack_opt::Optimizer;
 use adampack_telemetry::metrics::{PHASE_GRADIENT, PHASE_OPTIMIZER, STEPS_TOTAL};
-use adampack_telemetry::{StepRecord, TraceRing};
+use adampack_telemetry::{timeline, StepRecord, TraceRing};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::io::Write;
 use std::time::Instant;
 
 struct Scenario {
@@ -78,7 +80,10 @@ enum Mode {
     Off,
     Passive,
     Tracing,
+    Timeline,
 }
+
+const MODES: [Mode; 4] = [Mode::Off, Mode::Passive, Mode::Tracing, Mode::Timeline];
 
 impl Mode {
     fn name(self) -> &'static str {
@@ -86,6 +91,7 @@ impl Mode {
             Mode::Off => "off",
             Mode::Passive => "passive",
             Mode::Tracing => "tracing",
+            Mode::Timeline => "timeline",
         }
     }
 }
@@ -95,6 +101,10 @@ impl Mode {
 /// modes: telemetry must never perturb the trajectory).
 fn run_mode(s: &Scenario, mode: Mode, warmup: usize, steps: usize) -> (f64, std::time::Duration) {
     adampack_telemetry::set_enabled(mode != Mode::Off);
+    timeline::set_timeline_enabled(mode == Mode::Timeline);
+    if mode == Mode::Timeline {
+        timeline::reset_timeline();
+    }
     let objective = Objective::new(
         ObjectiveWeights::default(),
         Axis::Z,
@@ -130,10 +140,16 @@ fn run_mode(s: &Scenario, mode: Mode, warmup: usize, steps: usize) -> (f64, std:
                 opt.step(coords, grad);
                 z
             }
-            Mode::Passive | Mode::Tracing => {
+            Mode::Passive | Mode::Tracing | Mode::Timeline => {
+                if mode == Mode::Timeline {
+                    timeline::begin("gradient");
+                }
                 let t = Instant::now();
                 let z = objective.value_and_grad_ws(coords, grad, ws);
                 PHASE_GRADIENT.record_ns(t.elapsed().as_nanos() as u64);
+                if mode == Mode::Timeline {
+                    timeline::end("gradient");
+                }
                 STEPS_TOTAL.inc();
                 if mode == Mode::Tracing {
                     // Mirror CollectivePacker's per-record work: breakdown
@@ -165,9 +181,15 @@ fn run_mode(s: &Scenario, mode: Mode, warmup: usize, steps: usize) -> (f64, std:
                         verlet_rebuilds: ws.verlet_rebuilds() as u64,
                     });
                 }
+                if mode == Mode::Timeline {
+                    timeline::begin("optimizer");
+                }
                 let t = Instant::now();
                 opt.step(coords, grad);
                 PHASE_OPTIMIZER.record_ns(t.elapsed().as_nanos() as u64);
+                if mode == Mode::Timeline {
+                    timeline::end("optimizer");
+                }
                 z
             }
         }
@@ -200,6 +222,7 @@ fn run_mode(s: &Scenario, mode: Mode, warmup: usize, steps: usize) -> (f64, std:
         z
     });
     adampack_telemetry::set_enabled(true);
+    timeline::set_timeline_enabled(false);
     (z, t)
 }
 
@@ -213,13 +236,10 @@ fn main() {
     println!("# Telemetry overhead — batch {batch}, {steps} steps, best of {repeats}");
     println!("{:>10} {:>14} {:>12}", "mode", "us_per_step", "vs_off");
 
-    let mut best = [f64::INFINITY; 3];
+    let mut best = [f64::INFINITY; MODES.len()];
     let mut reference: Option<f64> = None;
     for _ in 0..repeats {
-        for (i, mode) in [Mode::Off, Mode::Passive, Mode::Tracing]
-            .into_iter()
-            .enumerate()
-        {
+        for (i, mode) in MODES.into_iter().enumerate() {
             let (z, t) = run_mode(&s, mode, warmup, steps);
             match reference {
                 None => reference = Some(z),
@@ -232,12 +252,21 @@ fn main() {
             best[i] = best[i].min(secs(t) * 1e6 / steps as f64);
         }
     }
+    // The timeline leg must have produced an exportable Chrome trace.
+    let trace = timeline::export_chrome_trace();
+    assert!(
+        trace.starts_with("{\"traceEvents\":[") && trace.contains("\"name\":\"gradient\""),
+        "timeline leg produced no exportable trace"
+    );
 
-    let mut rows = String::new();
-    for (i, mode) in [Mode::Off, Mode::Passive, Mode::Tracing]
-        .into_iter()
-        .enumerate()
-    {
+    let mut report = JsonReport::new("telemetry");
+    report
+        .meta("batch", batch)
+        .meta("steps", steps)
+        .meta("warmup", warmup)
+        .meta("repeats", repeats)
+        .meta("threads", rayon::current_num_threads());
+    for (i, mode) in MODES.into_iter().enumerate() {
         let ratio = best[i] / best[0];
         println!(
             "{:>10} {:>14.2} {:>11.1}%",
@@ -245,26 +274,14 @@ fn main() {
             best[i],
             (ratio - 1.0) * 100.0
         );
-        if !rows.is_empty() {
-            rows.push_str(",\n");
-        }
-        rows.push_str(&format!(
-            "    {{\"mode\": \"{}\", \"us_per_step\": {:.3}, \"overhead_pct\": {:.2}}}",
-            mode.name(),
+        report.row(format!(
+            "{{\"mode\": {}, \"us_per_step\": {:.3}, \"overhead_pct\": {:.2}}}",
+            json_str(mode.name()),
             best[i],
             (ratio - 1.0) * 100.0
         ));
     }
     println!("# budget: passive < 2% over off; tracing pays a documented breakdown pass");
-
-    let dir = std::path::PathBuf::from("target/experiments");
-    std::fs::create_dir_all(&dir).expect("create target/experiments");
-    let path = dir.join("BENCH_telemetry.json");
-    let mut f = std::fs::File::create(&path).expect("create BENCH_telemetry.json");
-    writeln!(
-        f,
-        "{{\n  \"batch\": {batch}, \"steps\": {steps},\n  \"rows\": [\n{rows}\n  ]\n}}"
-    )
-    .expect("write json");
+    let path = report.write().expect("write BENCH_telemetry.json");
     println!("# wrote {}", path.display());
 }

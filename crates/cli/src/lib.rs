@@ -22,8 +22,9 @@ use std::path::{Path, PathBuf};
 use adampack_config::{BatchConfig, ConfigError, ConsoleLevel, LocationConfig, PackingConfig};
 use adampack_core::metrics;
 use adampack_core::prelude::*;
+use adampack_core::report::QualityReport;
 use adampack_geometry::ConvexHull;
-use adampack_telemetry::{info, warn, JsonlWriter};
+use adampack_telemetry::{info, timeline, warn, JsonlWriter};
 
 /// Errors surfaced to the CLI user.
 #[derive(Debug)]
@@ -176,6 +177,14 @@ pub struct PackOptions {
     pub batch_lrs: Option<Vec<f64>>,
     /// Sweep-axis override: PSD radius multipliers (`--batch-scales`).
     pub batch_scales: Option<Vec<f64>>,
+    /// Chrome-trace timeline output (`--trace-timeline`); overrides the
+    /// configuration's `telemetry.timeline_out`. Enables the hierarchical
+    /// span timeline for the run (off by default — the tracer costs one
+    /// atomic load per span when disabled).
+    pub trace_timeline: Option<PathBuf>,
+    /// Convergence-diagnostics mode (`--diagnostics off|summary|events`);
+    /// `None` defers to the configuration's `telemetry.diagnostics`.
+    pub diagnostics: Option<DiagMode>,
 }
 
 /// The resolved checkpoint settings (CLI flags layered over the YAML
@@ -366,6 +375,22 @@ pub fn run_pack_opts(config_path: &Path, opts: &PackOptions) -> Result<RunSummar
         .metrics_out
         .clone()
         .or_else(|| cfg.telemetry.metrics_out.clone());
+    let timeline_out = opts
+        .trace_timeline
+        .clone()
+        .or_else(|| cfg.telemetry.timeline_out.clone());
+    let diag_mode = opts.diagnostics.unwrap_or(cfg.telemetry.diagnostics);
+    // The span timeline is gated on one relaxed atomic load when off;
+    // start each run from an empty ring so repeated in-process runs don't
+    // bleed events into each other's exports. A full packing emits a few
+    // events per optimizer step, so a CLI export gets a much deeper ring
+    // than the library default (only threads that record allocate one);
+    // runs that still overflow keep the newest events and warn.
+    timeline::set_timeline_enabled(timeline_out.is_some());
+    if timeline_out.is_some() {
+        timeline::set_ring_capacity(1 << 20);
+        timeline::reset_timeline();
+    }
 
     // Thread-pool wiring, installed once for the whole run: the CLI flag
     // wins over the YAML `params.threads`, and 0 means one worker per
@@ -383,7 +408,32 @@ pub fn run_pack_opts(config_path: &Path, opts: &PackOptions) -> Result<RunSummar
     let pool = builder
         .build()
         .map_err(|e| CliError::Usage(e.to_string()))?;
-    pool.install(|| run_pack_configured(&cfg, opts, trace_out, metrics_out))
+    pool.install(|| {
+        run_pack_configured(&cfg, opts, trace_out, metrics_out, timeline_out, diag_mode)
+    })
+}
+
+/// Exports the accumulated span timeline as Chrome Trace Format JSON,
+/// written atomically so a crash mid-export never leaves a torn file.
+fn write_timeline(path: &Path) -> Result<(), CliError> {
+    let json = timeline::export_chrome_trace();
+    adampack_io::write_atomic(path, json.as_bytes())
+        .map_err(|e| CliError::Io(std::io::Error::other(e.to_string())))?;
+    let dropped = timeline::dropped_events();
+    if dropped > 0 {
+        warn!("timeline ring overflowed: {dropped} oldest events dropped (ring keeps the newest)");
+    }
+    info!("timeline trace written to {}", path.display());
+    Ok(())
+}
+
+/// Writes a [`RunManifest`] atomically next to `output`.
+fn write_manifest(output: &Path, manifest: &RunManifest) -> Result<(), CliError> {
+    let path = RunManifest::path_for(output);
+    adampack_io::write_atomic(&path, manifest.to_json().as_bytes())
+        .map_err(|e| CliError::Io(std::io::Error::other(e.to_string())))?;
+    info!("run manifest written to {}", path.display());
+    Ok(())
 }
 
 /// The packing driver proper, run inside the installed thread pool.
@@ -392,6 +442,8 @@ fn run_pack_configured(
     opts: &PackOptions,
     trace_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
+    timeline_out: Option<PathBuf>,
+    diag_mode: DiagMode,
 ) -> Result<RunSummary, CliError> {
     let mesh = load_container_mesh(&cfg.container_path)?;
     let container = Container::from_mesh(&mesh).map_err(|e| CliError::Geometry(e.to_string()))?;
@@ -418,7 +470,16 @@ fn run_pack_configured(
         if trace_out.is_some() {
             warn!("step tracing is not available for batched sweeps; no trace will be written");
         }
-        return run_pack_batched(cfg, opts, &batch, &container, params, metrics_out);
+        return run_pack_batched(
+            cfg,
+            opts,
+            &batch,
+            &container,
+            params,
+            metrics_out,
+            timeline_out,
+            diag_mode,
+        );
     }
 
     if trace_out.is_some() && !(collective && cfg.zones.is_empty()) {
@@ -428,6 +489,18 @@ fn run_pack_configured(
     if (checkpoint.is_some() || opts.resume) && !(collective && cfg.zones.is_empty()) {
         warn!("checkpoint/resume is only available for single-zone COLLECTIVE_ARRANGEMENT runs; no checkpoints will be written");
     }
+
+    // Filled in by the collective branch; the manifest falls back to 0 /
+    // empty for registry algorithms (they have no checkpoint fingerprint).
+    let mut run_fingerprint = 0u64;
+    let mut diag_records: Vec<adampack_telemetry::DiagRecord> = Vec::new();
+    let threads = if opts.threads > 0 {
+        opts.threads
+    } else {
+        cfg.params.threads
+    };
+    let salt = context_salt(threads, params.kernel, None);
+    let (run_seed, run_kernel) = (params.seed, params.kernel);
 
     let result = if cfg.zones.is_empty() {
         // Single implicit everywhere-zone. The collective path honours the
@@ -443,12 +516,8 @@ fn run_pack_configured(
             let mut p = params.clone();
             p.target_count = n;
             let mut packer = CollectivePacker::new(container.clone(), p);
-            let threads = if opts.threads > 0 {
-                opts.threads
-            } else {
-                cfg.params.threads
-            };
-            packer.set_fingerprint_context(context_salt(threads, params.kernel, None));
+            packer.set_fingerprint_context(salt);
+            packer.set_diagnostics(diag_mode);
             // Locate resume state first: the trace file must be appended
             // to (not truncated) when continuing an interrupted run.
             let resume_state = match (&checkpoint, opts.resume) {
@@ -524,6 +593,8 @@ fn run_pack_configured(
             };
             // Drop the sink so buffered trace lines hit the file.
             drop(packer.take_trace_sink());
+            run_fingerprint = packer.fingerprint();
+            diag_records = packer.take_diagnostics();
             result
         } else {
             let algo = registry(&cfg.algorithm).ok_or_else(|| {
@@ -558,11 +629,8 @@ fn run_pack_configured(
     } else {
         None
     };
-    let report = adampack_core::report::QualityReport::from_result(
-        &result,
-        &container,
-        psd_for_report.as_ref(),
-    );
+    let report = QualityReport::from_result(&result, &container, psd_for_report.as_ref())
+        .with_diagnostics(DiagSummary::from_records(&diag_records));
     info!("{report}");
     let density = metrics::core_density(&result.particles, &container.aabb(), 1.0 / 3.0);
     let contact = metrics::contact_stats(&result.particles);
@@ -574,6 +642,38 @@ fn run_pack_configured(
             Some(path.clone())
         }
     };
+
+    // Export the timeline before the manifest so the manifest records the
+    // trace file's real size.
+    if let Some(path) = &timeline_out {
+        write_timeline(path)?;
+    }
+    if let Some(out) = &output {
+        let mut manifest = RunManifest {
+            label: String::new(),
+            fingerprint: run_fingerprint,
+            context_salt: salt,
+            seed: run_seed,
+            threads: rayon::current_num_threads(),
+            kernel: run_kernel.name().to_string(),
+            backend: wide::backend_name().to_string(),
+            isa: wide::detected_isa().to_string(),
+            batch_grid: String::new(),
+            packed: result.particles.len() as u64,
+            target: result.target as u64,
+            wall_seconds: result.duration.as_secs_f64(),
+            phase: report.phase,
+            artifacts: Vec::new(),
+        };
+        manifest.add_artifact(out);
+        for extra in [&trace_out, &metrics_out, &timeline_out]
+            .into_iter()
+            .flatten()
+        {
+            manifest.add_artifact(extra);
+        }
+        write_manifest(out, &manifest)?;
+    }
 
     Ok(RunSummary {
         packed: result.particles.len(),
@@ -587,6 +687,7 @@ fn run_pack_configured(
 /// The batched multi-system driver: expands the sweep grid into labeled
 /// systems, packs them all in one process with the batched engine, writes
 /// per-system outputs (`out.<label>.vtk`), and aggregates the summary.
+#[allow(clippy::too_many_arguments)]
 fn run_pack_batched(
     cfg: &PackingConfig,
     opts: &PackOptions,
@@ -594,7 +695,12 @@ fn run_pack_batched(
     container: &Container,
     params: PackingParams,
     metrics_out: Option<PathBuf>,
+    timeline_out: Option<PathBuf>,
+    diag_mode: DiagMode,
 ) -> Result<RunSummary, CliError> {
+    // Per-system labeled series from any previous in-process run would
+    // otherwise survive in the registry and leak into this run's snapshot.
+    adampack_telemetry::metrics::clear_system_metrics();
     let systems = batch.expand(&cfg.params);
     if systems.len() > BatchConfig::MAX_SYSTEMS {
         return Err(CliError::Usage(format!(
@@ -631,10 +737,17 @@ fn run_pack_batched(
         specs.len(),
         batch.descriptor()
     );
+    // (label, seed, target) per system, for the per-system manifests — the
+    // specs themselves are consumed by the engine.
+    let system_meta: Vec<(String, u64, usize)> = specs
+        .iter()
+        .map(|s| (s.label.clone(), s.params.seed, s.params.target_count))
+        .collect();
 
     let mut packer = BatchedPacker::new(container, specs);
     packer.set_threads(threads);
     packer.set_fingerprint_context(salt);
+    packer.set_diagnostics(diag_mode);
 
     let checkpoint = resolve_checkpoint(cfg, opts);
     if let Some(ck) = &checkpoint {
@@ -686,10 +799,15 @@ fn run_pack_batched(
     }
 
     let reports = packer.run();
+    let diags = packer.take_diagnostics();
+    let fingerprints = packer.fingerprints();
 
     if let Some(path) = &metrics_out {
         std::fs::write(path, adampack_telemetry::prometheus_snapshot())?;
         info!("metrics snapshot written to {}", path.display());
+    }
+    if let Some(path) = &timeline_out {
+        write_timeline(path)?;
     }
 
     let mut packed = 0usize;
@@ -712,6 +830,13 @@ fn run_pack_batched(
                     contact.mean_overlap_ratio * 100.0,
                     result.duration.as_secs_f64()
                 );
+                let diag_summary = diags
+                    .iter()
+                    .find(|(l, _)| *l == rep.label)
+                    .and_then(|(_, recs)| DiagSummary::from_records(recs));
+                let sys_report = QualityReport::from_result(&result, container, None)
+                    .with_diagnostics(diag_summary);
+                adampack_telemetry::debug!("system {} report:\n{sys_report}", rep.label);
                 packed += result.particles.len();
                 density_sum += density;
                 overlap_sum += contact.mean_overlap_ratio;
@@ -721,6 +846,37 @@ fn run_pack_batched(
                     let path = labeled_output_path(out, &rep.label);
                     write_particles(&path, &result)?;
                     info!("system {}: wrote {}", rep.label, path.display());
+                    let (seed, target) = system_meta
+                        .iter()
+                        .find(|(l, _, _)| *l == rep.label)
+                        .map(|&(_, s, t)| (s, t))
+                        .unwrap_or((0, 0));
+                    let fingerprint = fingerprints
+                        .iter()
+                        .find(|(l, _)| *l == rep.label)
+                        .map(|&(_, f)| f)
+                        .unwrap_or(0);
+                    let mut manifest = RunManifest {
+                        label: rep.label.clone(),
+                        fingerprint,
+                        context_salt: salt,
+                        seed,
+                        threads: rayon::current_num_threads(),
+                        kernel: params.kernel.name().to_string(),
+                        backend: wide::backend_name().to_string(),
+                        isa: wide::detected_isa().to_string(),
+                        batch_grid: batch.descriptor(),
+                        packed: result.particles.len() as u64,
+                        target: target as u64,
+                        wall_seconds: result.duration.as_secs_f64(),
+                        phase: sys_report.phase,
+                        artifacts: Vec::new(),
+                    };
+                    manifest.add_artifact(&path);
+                    for extra in [&metrics_out, &timeline_out].into_iter().flatten() {
+                        manifest.add_artifact(extra);
+                    }
+                    write_manifest(&path, &manifest)?;
                 }
             }
             Err(e) => {
@@ -1218,6 +1374,132 @@ mod tests {
             );
             assert_eq!(err.exit_code(), 7);
         }
+    }
+
+    #[test]
+    fn timeline_manifest_and_diagnostics_for_single_run() {
+        let dir = std::env::temp_dir().join("adampack_cli_timeline");
+        let cfg = setup_config(&dir, "COLLECTIVE_ARRANGEMENT", false);
+        let out = dir.join("out.csv");
+        let trace = dir.join("trace.json");
+        let ckpt = dir.join("run.ckpt");
+        for stale in adampack_io::checkpoint_candidates(&ckpt, 8) {
+            std::fs::remove_file(stale).ok();
+        }
+        let opts = PackOptions {
+            out: Some(out.clone()),
+            trace_timeline: Some(trace.clone()),
+            diagnostics: Some(DiagMode::Events),
+            checkpoint: Some(ckpt.clone()),
+            checkpoint_every: Some(40),
+            log_level: Some(ConsoleLevel::Off),
+            ..PackOptions::default()
+        };
+        let summary = run_pack_opts(&cfg, &opts).unwrap();
+        assert!(summary.packed > 10);
+        // The timeline is valid Chrome Trace Format with the hierarchy's
+        // span names and diagnostic instants.
+        let json = std::fs::read_to_string(&trace).unwrap();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        for needle in [
+            "\"name\":\"batch\"",
+            "\"name\":\"optimize\"",
+            "\"name\":\"gradient\"",
+            "\"name\":\"diag.loss_slope\"",
+            "\"selfTime\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle}");
+        }
+        // The manifest sits next to the output and its fingerprint matches
+        // the checkpoint's, so provenance can be cross-checked.
+        let manifest = std::fs::read_to_string(RunManifest::path_for(&out)).unwrap();
+        assert!(manifest.contains("\"schema\": \"adampack.manifest/v1\""));
+        assert!(manifest.contains("out.csv"));
+        assert!(manifest.contains("trace.json"));
+        let state = adampack_core::checkpoint::decode(&std::fs::read(&ckpt).unwrap()).unwrap();
+        assert!(
+            manifest.contains(&format!("\"{:016x}\"", state.params_fingerprint)),
+            "manifest fingerprint must match the checkpoint fingerprint:\n{manifest}"
+        );
+    }
+
+    #[test]
+    fn batched_run_labels_metrics_manifests_and_timeline_per_system() {
+        let dir = std::env::temp_dir().join("adampack_cli_batched_obs");
+        let cfg = setup_config(&dir, "COLLECTIVE_ARRANGEMENT", false);
+        let out = dir.join("sweep.csv");
+        let trace = dir.join("sweep.trace.json");
+        let prom = dir.join("sweep.prom");
+        let opts = PackOptions {
+            out: Some(out.clone()),
+            trace_timeline: Some(trace.clone()),
+            metrics_out: Some(prom.clone()),
+            diagnostics: Some(DiagMode::Summary),
+            batch_seeds: Some(vec![3, 4]),
+            batch_lrs: Some(vec![0.01, 0.02]),
+            log_level: Some(ConsoleLevel::Off),
+            ..PackOptions::default()
+        };
+        let summary = run_pack_opts(&cfg, &opts).unwrap();
+        assert!(
+            summary.packed > 40,
+            "four systems packed {}",
+            summary.packed
+        );
+        let labels = ["s3_lr0.01", "s3_lr0.02", "s4_lr0.01", "s4_lr0.02"];
+        // One labeled Prometheus series and one manifest per system.
+        let snapshot = std::fs::read_to_string(&prom).unwrap();
+        let json = std::fs::read_to_string(&trace).unwrap();
+        for label in labels {
+            assert!(
+                snapshot.contains(&format!(
+                    "adampack_system_steps_total{{system=\"{label}\"}}"
+                )),
+                "missing labeled series for {label}"
+            );
+            assert!(
+                json.contains(&format!("\"system\":\"{label}\"")),
+                "timeline missing system label {label}"
+            );
+            let mpath = RunManifest::path_for(&labeled_output_path(&out, label));
+            let manifest = std::fs::read_to_string(&mpath).unwrap();
+            assert!(manifest.contains(&format!("\"label\": \"{label}\"")));
+            assert!(manifest.contains("\"batch_grid\": "));
+        }
+    }
+
+    #[test]
+    fn observability_never_steers_the_packing() {
+        let dir = std::env::temp_dir().join("adampack_cli_obs_inert");
+        let cfg = setup_config(&dir, "COLLECTIVE_ARRANGEMENT", false);
+        let plain = run_pack_opts(
+            &cfg,
+            &PackOptions {
+                log_level: Some(ConsoleLevel::Off),
+                ..PackOptions::default()
+            },
+        )
+        .unwrap();
+        let observed = run_pack_opts(
+            &cfg,
+            &PackOptions {
+                trace_timeline: Some(dir.join("trace.json")),
+                diagnostics: Some(DiagMode::Events),
+                log_level: Some(ConsoleLevel::Off),
+                ..PackOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(plain.packed, observed.packed);
+        assert_eq!(
+            plain.core_density.to_bits(),
+            observed.core_density.to_bits(),
+            "tracing and diagnostics must not perturb the trajectory"
+        );
+        assert_eq!(
+            plain.mean_overlap_ratio.to_bits(),
+            observed.mean_overlap_ratio.to_bits()
+        );
     }
 
     #[test]

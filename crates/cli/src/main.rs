@@ -6,7 +6,7 @@ use std::process::ExitCode;
 use adampack_cli::{run_info, run_pack_opts, CliError, PackOptions};
 use adampack_config::ConsoleLevel;
 use adampack_core::Kernel;
-use adampack_telemetry::Level;
+use adampack_telemetry::{DiagMode, Level};
 
 const USAGE: &str = "\
 adampack — rapid random packing of poly-disperse spheres (Adam/AMSGrad)
@@ -20,6 +20,8 @@ USAGE:
                   [--checkpoint-keep <n>] [--resume]
                   [--batch-seeds <s1,s2,…>] [--batch-lrs <lr1,lr2,…>]
                   [--batch-scales <x1,x2,…>]
+                  [--trace-timeline <trace.json>]
+                  [--diagnostics <off|summary|events>]
     adampack info <config.yaml>
     adampack help
 
@@ -58,6 +60,24 @@ system files are written as `out.<label>.vtk` for labels like
 `s7_lr0.01`. Batched checkpoints carry one section per system and
 resume bitwise; resuming under a different grid, thread count or
 kernel is rejected with exit 7.
+
+--trace-timeline records the run's hierarchical spans (passes, batches,
+spawn/gradient/optimizer/acceptance, grid builds, kernels) in Chrome
+Trace Format — open the file in chrome://tracing or Perfetto. Events
+are labeled by thread and, in batched sweeps, by system. The tracer is
+off unless this flag (or `telemetry.timeline_out`) is given and costs
+one atomic load per span when off. Every run with --out also writes a
+provenance manifest `out.manifest.json` (one per system when batched)
+recording the parameter fingerprint, context salt, kernel/ISA, seed,
+threads, per-phase wall-clock and artifact list.
+
+--diagnostics enables per-batch convergence diagnostics (loss slope
+over a sliding window, gradient-norm trend, acceptance rate,
+oscillation rate, stall/divergence classification): `summary` adds a
+convergence row to the quality report, `events` additionally emits
+per-batch instant events on the timeline. Diagnostics read the
+trajectory but never steer it — packings are bitwise identical with
+diagnostics on or off.
 
 EXIT CODES:
     0 success   2 usage   3 configuration   4 geometry   5 i/o
@@ -134,6 +154,21 @@ fn dispatch(args: Vec<String>) -> Result<(), CliError> {
                         opts.checkpoint_keep = Some(keep);
                     }
                     "--resume" => opts.resume = true,
+                    "--trace-timeline" => opts.trace_timeline = Some(value("--trace-timeline")?),
+                    "--diagnostics" => {
+                        let v = it.next().ok_or_else(|| {
+                            CliError::Usage(format!(
+                                "--diagnostics requires a mode (accepted: {})",
+                                DiagMode::ACCEPTED
+                            ))
+                        })?;
+                        opts.diagnostics = Some(DiagMode::parse(v).ok_or_else(|| {
+                            CliError::Usage(format!(
+                                "--diagnostics: unknown mode '{v}' (accepted: {})",
+                                DiagMode::ACCEPTED
+                            ))
+                        })?);
+                    }
                     "--batch-seeds" => {
                         let v = it.next().ok_or_else(|| {
                             CliError::Usage("--batch-seeds requires a seed list".into())
@@ -226,5 +261,45 @@ fn dispatch(args: Vec<String>) -> Result<(), CliError> {
         Some(other) => Err(CliError::Usage(format!(
             "unknown command '{other}' (try 'adampack help')"
         ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(xs: &[&str]) -> Vec<String> {
+        xs.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn unknown_diagnostics_mode_is_usage_error_naming_accepted_values() {
+        let err = dispatch(args(&["pack", "cfg.yaml", "--diagnostics", "verbose"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        let msg = err.to_string();
+        assert!(msg.contains("verbose"), "{msg}");
+        assert!(msg.contains("'off', 'summary' or 'events'"), "{msg}");
+    }
+
+    #[test]
+    fn missing_diagnostics_value_is_usage_error_naming_accepted_values() {
+        let err = dispatch(args(&["pack", "cfg.yaml", "--diagnostics"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("'off', 'summary' or 'events'"));
+    }
+
+    #[test]
+    fn missing_trace_timeline_path_is_usage_error() {
+        let err = dispatch(args(&["pack", "cfg.yaml", "--trace-timeline"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("--trace-timeline"));
+    }
+
+    #[test]
+    fn unknown_kernel_still_names_accepted_values() {
+        let err = dispatch(args(&["pack", "cfg.yaml", "--kernel", "avx512"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        let msg = err.to_string();
+        assert!(msg.contains("'scalar' or 'simd'"), "{msg}");
     }
 }

@@ -6,7 +6,7 @@ use adampack_core::{
     Kernel, LrPolicy, NeighborParams, NeighborStrategy, PackingParams, Psd, ZoneRegion, ZoneSpec,
 };
 use adampack_geometry::{Axis, ConvexHull};
-use adampack_telemetry::Level;
+use adampack_telemetry::{DiagMode, Level};
 
 use crate::yaml::{parse_yaml, Value, YamlError};
 
@@ -164,6 +164,15 @@ pub struct TelemetryConfig {
     /// `metrics:` — record counters/histograms/spans (default `true`;
     /// disable to benchmark the telemetry-off configuration).
     pub metrics: bool,
+    /// `timeline_out:` — when set, a Chrome-trace timeline of the run's
+    /// hierarchical spans is written here (load in `chrome://tracing` or
+    /// Perfetto). Enables the span timeline for the run.
+    pub timeline_out: Option<PathBuf>,
+    /// `diagnostics:` — convergence diagnostics (`off|summary|events`),
+    /// default `off`. `summary` adds a convergence row to the quality
+    /// report; `events` additionally emits per-batch instant events on the
+    /// timeline.
+    pub diagnostics: DiagMode,
 }
 
 impl Default for TelemetryConfig {
@@ -173,6 +182,8 @@ impl Default for TelemetryConfig {
             trace_out: None,
             metrics_out: None,
             metrics: true,
+            timeline_out: None,
+            diagnostics: DiagMode::Off,
         }
     }
 }
@@ -565,6 +576,17 @@ impl PackingConfig {
             }
             if let Some(v) = t.get("metrics").and_then(Value::as_bool) {
                 telemetry.metrics = v;
+            }
+            if let Some(v) = t.get("timeline_out").and_then(Value::as_str) {
+                telemetry.timeline_out = Some(PathBuf::from(v));
+            }
+            if let Some(v) = t.get("diagnostics").and_then(Value::as_str) {
+                telemetry.diagnostics = DiagMode::parse(v).ok_or_else(|| {
+                    field(format!(
+                        "telemetry.diagnostics: unknown mode '{v}' (accepted: {})",
+                        DiagMode::ACCEPTED
+                    ))
+                })?;
             }
         }
 
@@ -1239,7 +1261,7 @@ zones:
     fn telemetry_block_parses() {
         let base = "container:\n  path: a.stl\nparticle_sets:\n  - radius_distribution: constant\n    radius_value: 0.1\n";
         let src = format!(
-            "{base}telemetry:\n  level: debug\n  trace_out: \"run.jsonl\"\n  metrics_out: metrics.prom\n  metrics: false\n"
+            "{base}telemetry:\n  level: debug\n  trace_out: \"run.jsonl\"\n  metrics_out: metrics.prom\n  metrics: false\n  timeline_out: \"trace.json\"\n  diagnostics: summary\n"
         );
         let cfg = PackingConfig::from_str(&src).unwrap();
         assert_eq!(cfg.telemetry.level, ConsoleLevel::Fixed(Level::Debug));
@@ -1249,12 +1271,28 @@ zones:
             Some(PathBuf::from("metrics.prom"))
         );
         assert!(!cfg.telemetry.metrics);
+        assert_eq!(
+            cfg.telemetry.timeline_out,
+            Some(PathBuf::from("trace.json"))
+        );
+        assert_eq!(cfg.telemetry.diagnostics, DiagMode::Summary);
 
         let off = format!("{base}telemetry:\n  level: \"off\"\n");
         let cfg = PackingConfig::from_str(&off).unwrap();
         assert_eq!(cfg.telemetry.level, ConsoleLevel::Off);
         assert_eq!(cfg.telemetry.trace_out, None);
         assert!(cfg.telemetry.metrics);
+        assert_eq!(cfg.telemetry.timeline_out, None);
+        assert_eq!(cfg.telemetry.diagnostics, DiagMode::Off);
+    }
+
+    #[test]
+    fn bad_diagnostics_mode_rejected_naming_accepted_values() {
+        let src = "container:\n  path: a.stl\nparticle_sets:\n  - radius_distribution: constant\n    radius_value: 0.1\ntelemetry:\n  diagnostics: verbose\n";
+        let e = PackingConfig::from_str(src).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("verbose"), "{msg}");
+        assert!(msg.contains("'off', 'summary' or 'events'"), "{msg}");
     }
 
     #[test]

@@ -74,6 +74,17 @@ pub fn to_yaml(cfg: &PackingConfig) -> String {
         if !cfg.telemetry.metrics {
             writeln!(s, "    metrics: false").unwrap();
         }
+        if let Some(path) = &cfg.telemetry.timeline_out {
+            writeln!(s, "    timeline_out: \"{}\"", path.display()).unwrap();
+        }
+        if cfg.telemetry.diagnostics.enabled() {
+            writeln!(
+                s,
+                "    diagnostics: \"{}\"",
+                cfg.telemetry.diagnostics.name()
+            )
+            .unwrap();
+        }
     }
     if let Some(ck) = &cfg.checkpoint {
         writeln!(s, "checkpoint:").unwrap();
@@ -174,6 +185,8 @@ mod tests {
                 trace_out: Some(PathBuf::from("trace.jsonl")),
                 metrics_out: Some(PathBuf::from("metrics.prom")),
                 metrics: false,
+                timeline_out: Some(PathBuf::from("timeline.json")),
+                diagnostics: adampack_telemetry::DiagMode::Events,
             },
             checkpoint: Some(CheckpointConfig {
                 path: PathBuf::from("run.ckpt"),

@@ -39,11 +39,13 @@
 use std::time::Instant;
 
 use adampack_telemetry::metrics::{CHECKPOINT_FAILURES_TOTAL, CHECKPOINT_WRITES_TOTAL};
+use adampack_telemetry::{timeline, DiagRecord, SystemCounters};
 use rayon::{par, ThreadPoolBuilder};
 
 use crate::checkpoint::{self, BatchedRunState, BatchedSystemState, CheckpointError};
 use crate::collective::{CollectivePacker, PackError, PackResult, RunProgress};
 use crate::container::Container;
+use crate::diagnostics::DiagMode;
 use crate::params::PackingParams;
 use crate::particle::Particle;
 use crate::psd::Psd;
@@ -124,6 +126,33 @@ struct SystemSlot {
     error: Option<PackError>,
     /// Steps counter at the previous pass boundary (for per-pass deltas).
     steps_before: u64,
+    /// Interned timeline system-label id (events recorded while this slot
+    /// is being advanced carry it).
+    timeline_id: u32,
+}
+
+/// This system's counters, computed from its own run progress — never by
+/// slicing the global registry — so per-system series cannot bleed into
+/// each other no matter how passes interleave.
+fn slot_counters(prog: &RunProgress, recoveries: u64) -> SystemCounters {
+    let mut c = SystemCounters {
+        steps: prog.steps_taken(),
+        batches: prog.batches().len() as u64,
+        particles_packed: prog.packed() as u64,
+        recoveries,
+        ..SystemCounters::default()
+    };
+    let ns = |d: std::time::Duration| d.as_nanos().min(u64::MAX as u128) as u64;
+    for b in prog.batches() {
+        if b.accepted {
+            c.batches_accepted += 1;
+        }
+        c.spawn_ns += ns(b.phase.spawn);
+        c.gradient_ns += ns(b.phase.gradient);
+        c.optimizer_ns += ns(b.phase.optimizer);
+        c.acceptance_ns += ns(b.phase.acceptance);
+    }
+    c
 }
 
 // ---------------------------------------------------------------------------
@@ -291,6 +320,7 @@ impl BatchedPacker {
             .into_iter()
             .map(|spec| SystemSlot {
                 packer: CollectivePacker::new(container.clone(), spec.params),
+                timeline_id: timeline::intern_system(&spec.label),
                 label: spec.label,
                 psd: spec.psd,
                 progress: None,
@@ -346,6 +376,33 @@ impl BatchedPacker {
     /// Installs a per-pass progress hook.
     pub fn set_pass_callback(&mut self, f: impl FnMut(&PassStats) + Send + 'static) {
         self.pass_callback = Some(Box::new(f));
+    }
+
+    /// Enables convergence diagnostics on every system, labeled with that
+    /// system's sweep label.
+    pub fn set_diagnostics(&mut self, mode: DiagMode) {
+        for slot in &mut self.slots {
+            slot.packer.set_diagnostics(mode);
+            slot.packer.set_diagnostics_label(&slot.label);
+        }
+    }
+
+    /// Per-system checkpoint fingerprints, label-paired — what a provenance
+    /// manifest records so it can be matched against this run's checkpoints.
+    pub fn fingerprints(&self) -> Vec<(String, u64)> {
+        self.slots
+            .iter()
+            .map(|slot| (slot.label.clone(), slot.packer.fingerprint()))
+            .collect()
+    }
+
+    /// Drains each system's accumulated diagnostic records, paired with the
+    /// system label.
+    pub fn take_diagnostics(&mut self) -> Vec<(String, Vec<DiagRecord>)> {
+        self.slots
+            .iter_mut()
+            .map(|slot| (slot.label.clone(), slot.packer.take_diagnostics()))
+            .collect()
     }
 
     /// Installs a batched checkpoint sink: a [`BatchedRunState`] is captured
@@ -481,6 +538,7 @@ impl BatchedPacker {
             .expect("one-thread pool handle");
         loop {
             let t0 = Instant::now();
+            let _tl_pass = timeline::span("pass");
             let mut active: Vec<&mut SystemSlot> = self
                 .slots
                 .iter_mut()
@@ -491,6 +549,8 @@ impl BatchedPacker {
             }
             self.pass += 1;
             par::for_each_slot(&mut active, |_, slot| {
+                let _scope = timeline::SystemScope::enter(slot.timeline_id);
+                let _tl = timeline::span("system_pass");
                 sequential.install(|| {
                     let prog = slot.progress.as_mut().expect("active system has progress");
                     if let Err(e) = slot.packer.advance_batch(&slot.psd, prog, &mut None) {
@@ -514,6 +574,10 @@ impl BatchedPacker {
                     if slot.error.is_none() && !p.finished() {
                         still_active += 1;
                     }
+                    adampack_telemetry::metrics::record_system(
+                        &slot.label,
+                        slot_counters(p, slot.packer.recoveries()),
+                    );
                 }
             }
             let rows: Vec<&[Particle]> = self
@@ -674,6 +738,42 @@ mod tests {
         let agg = arena.aggregate();
         assert_eq!(agg.particles, total);
         assert!(agg.volume > 0.0 && agg.max_radius > 0.0);
+    }
+
+    #[test]
+    fn per_system_metric_labels_never_leak_across_systems() {
+        adampack_telemetry::metrics::clear_system_metrics();
+        let container = box_container();
+        let mut batched = BatchedPacker::new(&container, specs_s3());
+        batched.set_diagnostics(DiagMode::Summary);
+        let reports = batched.run();
+        // Each label's counters are computed from that system's own run
+        // progress — they must match its report exactly, not a slice of
+        // some shared pool.
+        for report in &reports {
+            let result = report.result.as_ref().unwrap();
+            let counters = adampack_telemetry::metrics::system_counters(&report.label)
+                .unwrap_or_else(|| panic!("no labeled counters for {}", report.label));
+            assert_eq!(counters.particles_packed, result.particles.len() as u64);
+            assert_eq!(counters.batches, result.batches.len() as u64);
+            assert_eq!(
+                counters.batches_accepted,
+                result.batches.iter().filter(|b| b.accepted).count() as u64
+            );
+            let steps: u64 = result.batches.iter().map(|b| b.steps as u64).sum();
+            assert_eq!(counters.steps, steps);
+        }
+        // Distinct systems (different seeds, PSDs, targets) must produce
+        // distinct series.
+        let a = adampack_telemetry::metrics::system_counters("a").unwrap();
+        let b = adampack_telemetry::metrics::system_counters("b").unwrap();
+        assert_ne!(a.particles_packed, b.particles_packed);
+        // Diagnostics accumulated per system under its own label.
+        for (label, records) in batched.take_diagnostics() {
+            assert!(!records.is_empty(), "no diagnostics for {label}");
+            assert!(records.iter().all(|r| r.system == label));
+        }
+        adampack_telemetry::metrics::clear_system_metrics();
     }
 
     #[test]

@@ -20,13 +20,14 @@ use adampack_telemetry::metrics::{
     PARTICLES_PACKED_TOTAL, PHASE_ACCEPTANCE, PHASE_GRADIENT, PHASE_OPTIMIZER, PHASE_SPAWN,
     SENTINEL_RECOVERIES_TOTAL, STEPS_TOTAL,
 };
-use adampack_telemetry::{StepRecord, TraceRing, TraceSink};
+use adampack_telemetry::{timeline, DiagRecord, StepRecord, TraceRing, TraceSink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::par;
 
 use crate::checkpoint::{self, BatchInProgress, CheckpointError, RunState};
 use crate::container::Container;
+use crate::diagnostics::{DiagEngine, DiagMode};
 use crate::metrics::{boundary_stats, contact_stats_vs_fixed};
 use crate::neighbor::{CsrGrid, FixedBed, Workspace};
 use crate::objective::Objective;
@@ -434,6 +435,8 @@ pub struct CollectivePacker {
     /// Extra context folded into the checkpoint fingerprint (thread count,
     /// sweep grid — knobs that live outside `PackingParams`).
     fingerprint_salt: u64,
+    /// Convergence diagnostics, off by default (zero steady-state cost).
+    diag: Option<DiagEngine>,
 }
 
 impl CollectivePacker {
@@ -459,6 +462,7 @@ impl CollectivePacker {
             checkpoint: None,
             recoveries: 0,
             fingerprint_salt: 0,
+            diag: None,
         }
     }
 
@@ -518,6 +522,47 @@ impl CollectivePacker {
     /// Divergence-sentinel rollbacks performed in the current/last run.
     pub fn recoveries(&self) -> u64 {
         self.recoveries
+    }
+
+    /// Enables convergence diagnostics ([`DiagMode::Off`] disables them):
+    /// each batch is distilled into a [`adampack_telemetry::DiagRecord`]
+    /// (loss slope, gradient trend, acceptance rate, oscillation rate,
+    /// classification). The engine is preallocated here and allocation-free
+    /// per step, but `Summary`/`Events` add a gradient-norm reduction to
+    /// every untraced step — leave `Off` for production runs.
+    pub fn set_diagnostics(&mut self, mode: DiagMode) {
+        self.diag = if mode.enabled() {
+            Some(DiagEngine::new(mode, 64))
+        } else {
+            None
+        };
+    }
+
+    /// Labels subsequent diagnostics records (batched sweeps stamp each
+    /// system's label; single runs leave this empty).
+    pub fn set_diagnostics_label(&mut self, label: &str) {
+        if let Some(d) = self.diag.as_mut() {
+            d.set_label(label);
+        }
+    }
+
+    /// Diagnostics records accumulated so far (empty when disabled).
+    pub fn diagnostics(&self) -> &[DiagRecord] {
+        self.diag.as_ref().map_or(&[], |d| d.records())
+    }
+
+    /// Drains the accumulated diagnostics records.
+    pub fn take_diagnostics(&mut self) -> Vec<DiagRecord> {
+        self.diag
+            .as_mut()
+            .map_or_else(Vec::new, |d| d.take_records())
+    }
+
+    /// Consecutive batches the diagnostics classified as stalled (0 when
+    /// diagnostics are off). Advisory — surfaced next to, never instead
+    /// of, the divergence sentinel.
+    pub fn diag_stall_streak(&self) -> u64 {
+        self.diag.as_ref().map_or(0, |d| d.stall_streak())
     }
 
     /// FNV-1a fingerprint over the hyper-parameters, container geometry and
@@ -783,6 +828,7 @@ impl CollectivePacker {
         if prog.finished() {
             return Ok(());
         }
+        let _tl_batch = timeline::span("batch");
         // With checkpointing on, the grid layout must be a pure function
         // of the particle list so the resumed run's rebuilt bed matches
         // the straight run's incrementally grown one bit for bit.
@@ -795,6 +841,9 @@ impl CollectivePacker {
             tr.batch = prog.batch_index as u64;
             tr.prev.clear();
         }
+        if let Some(d) = self.diag.as_mut() {
+            d.begin_batch();
+        }
         let (radii, init, spawn) = match &resumed {
             // Mid-batch resume: radii and positions come from the
             // checkpoint; the RNG already advanced past this spawn.
@@ -804,6 +853,7 @@ impl CollectivePacker {
                 Duration::from_nanos(bp.spawn_ns),
             ),
             None => {
+                let _tl = timeline::span("spawn");
                 let n = prog.batch_size.min(prog.target - prog.packed);
                 let radii = psd.sample_n(&mut self.rng, n);
                 let init = self.spawn_batch(&radii, &prog.bed);
@@ -846,6 +896,7 @@ impl CollectivePacker {
         // Acceptance: mean contact overlap and boundary excess relative
         // to radius must stay below the configured threshold
         // (Algorithm 1 line 19).
+        let tl_acc = timeline::span("acceptance");
         let t_acc = Instant::now();
         // Read the final coordinates through the workspace's SoA
         // snapshot instead of an interleaved-gather allocation.
@@ -858,6 +909,7 @@ impl CollectivePacker {
             && boundary.1 <= self.params.accept_max_overlap;
         let acceptance = t_acc.elapsed();
         PHASE_ACCEPTANCE.record_ns(acceptance.as_nanos() as u64);
+        drop(tl_acc);
 
         BATCHES_TOTAL.inc();
         if accepted {
@@ -896,6 +948,31 @@ impl CollectivePacker {
         };
         if let Some(cb) = self.batch_callback.as_mut() {
             cb(&stats);
+        }
+        if let Some(d) = self.diag.as_mut() {
+            let rec = d.finish_batch(prog.batch_index as u64, accepted);
+            adampack_telemetry::debug!(
+                "diagnostics: batch {} {} (loss slope {:.3e}, grad trend {:.3}, \
+                 accept rate {:.2}, osc rate {:.2})",
+                rec.batch,
+                rec.classification,
+                rec.loss_slope,
+                rec.grad_trend,
+                rec.accept_rate,
+                rec.osc_rate,
+            );
+            // The stall signal is advisory and additive: the divergence
+            // sentinel still owns rollbacks; diagnostics only surface that
+            // extra steps are buying nothing.
+            let streak = d.stall_streak();
+            if streak >= 3 {
+                adampack_telemetry::warn!(
+                    "diagnostics: {streak} consecutive stalled batches at batch {} \
+                     (sentinel recoveries so far: {})",
+                    prog.batch_index,
+                    self.recoveries,
+                );
+            }
         }
         prog.batches.push(stats);
         prog.batch_index += 1;
@@ -1048,6 +1125,8 @@ impl CollectivePacker {
         // Per-step phase timing only while metrics are on: with telemetry
         // disabled the loop reads no clock beyond what the seed had.
         let metrics_on = adampack_telemetry::is_enabled();
+        let diag_on = self.diag.is_some();
+        let _tl_opt = timeline::span("optimize");
         let mut gradient_time = Duration::ZERO;
         let mut optimizer_time = Duration::ZERO;
         let mut batch_recoveries = 0usize;
@@ -1119,6 +1198,7 @@ impl CollectivePacker {
                     self.tracer.as_ref(),
                 );
             }
+            timeline::begin("gradient");
             let t_grad = if metrics_on {
                 Some(Instant::now())
             } else {
@@ -1140,6 +1220,7 @@ impl CollectivePacker {
                 PHASE_GRADIENT.record_ns(d.as_nanos() as u64);
                 gradient_time += d;
             }
+            timeline::end("gradient");
             // Divergence sentinel, stage 1: a non-finite loss or gradient
             // poisons everything downstream — roll back before it spreads.
             if sentinel_on && (!z.is_finite() || grad.iter().any(|g| !g.is_finite())) {
@@ -1184,7 +1265,7 @@ impl CollectivePacker {
                     lr: scheduler.current_lr(),
                 });
             }
-            if self.tracer.is_some() {
+            if self.tracer.is_some() || diag_on {
                 let b = breakdown;
                 // Fixed-shape parallel reduction: the partial layout
                 // depends only on the length, so the norm is bitwise
@@ -1197,6 +1278,11 @@ impl CollectivePacker {
                     |a, b| a + b,
                 )
                 .sqrt();
+                // Diagnostics read, never steer: the engine sees the same
+                // loss and norm the trace would record.
+                if let Some(d) = self.diag.as_mut() {
+                    d.push_step(z, grad_norm);
+                }
                 let rebuilds = self.workspace.verlet_rebuilds() as u64;
                 if let Some(tr) = self.tracer.as_mut() {
                     let max_disp = if tr.prev.len() == coords.len() {
@@ -1253,6 +1339,7 @@ impl CollectivePacker {
             if no_improvement >= patience {
                 break;
             }
+            timeline::begin("optimizer");
             let t_opt = if metrics_on {
                 Some(Instant::now())
             } else {
@@ -1266,6 +1353,7 @@ impl CollectivePacker {
                 PHASE_OPTIMIZER.record_ns(d.as_nanos() as u64);
                 optimizer_time += d;
             }
+            timeline::end("optimizer");
             // Divergence sentinel, stage 2: the update itself may blow up
             // (non-finite or exploding coordinates) even from a finite
             // gradient when the learning rate is far too hot.

@@ -74,8 +74,10 @@ pub mod batch;
 pub mod checkpoint;
 pub mod collective;
 pub mod container;
+pub mod diagnostics;
 pub mod grid;
 pub(crate) mod kernels;
+pub mod manifest;
 pub mod metrics;
 pub mod neighbor;
 pub mod objective;
@@ -102,6 +104,8 @@ pub mod prelude {
         PackError, PackResult, RunProgress, StepTrace,
     };
     pub use crate::container::Container;
+    pub use crate::diagnostics::{DiagEngine, DiagMode, DiagSummary};
+    pub use crate::manifest::{ArtifactEntry, RunManifest};
     pub use crate::metrics::{contact_stats, psd_adherence, ContactStats};
     pub use crate::neighbor::{CsrGrid, FixedBed, NeighborStrategy, VerletLists, Workspace};
     pub use crate::objective::{Objective, ObjectiveBreakdown, ObjectiveWeights};

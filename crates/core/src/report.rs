@@ -10,6 +10,7 @@ use std::fmt;
 use crate::analysis::mean_coordination;
 use crate::collective::{BatchPhaseBreakdown, PackResult};
 use crate::container::Container;
+use crate::diagnostics::DiagSummary;
 use crate::metrics::{
     boundary_stats, contact_stats, container_density, psd_adherence, ContactStats, PsdAdherence,
 };
@@ -46,6 +47,8 @@ pub struct QualityReport {
     pub phase: BatchPhaseBreakdown,
     /// Worker threads the parallel phases ran on.
     pub threads: usize,
+    /// Convergence-diagnostic summary (present when diagnostics ran).
+    pub diagnostics: Option<DiagSummary>,
 }
 
 impl QualityReport {
@@ -90,7 +93,14 @@ impl QualityReport {
                     }
                 }),
             threads: rayon::current_num_threads(),
+            diagnostics: None,
         }
+    }
+
+    /// Attaches a convergence-diagnostic summary (builder style).
+    pub fn with_diagnostics(mut self, diag: Option<DiagSummary>) -> QualityReport {
+        self.diagnostics = diag;
+        self
     }
 }
 
@@ -127,6 +137,18 @@ impl fmt::Display for QualityReport {
         writeln!(f, "mean coordination:  {:.2}", self.mean_coordination)?;
         writeln!(f, "verlet rebuilds:    {}", self.verlet_rebuilds)?;
         writeln!(f, "sentinel recoveries: {}", self.recoveries)?;
+        if let Some(d) = &self.diagnostics {
+            writeln!(
+                f,
+                "convergence:        {} (stalled {}/{}, oscillating {}, diverging {}, accept {:.0}%)",
+                d.last.name(),
+                d.stalled,
+                d.batches,
+                d.oscillating,
+                d.diverging,
+                d.mean_accept_rate * 100.0
+            )?;
+        }
         writeln!(f, "threads:            {}", self.threads)?;
         writeln!(
             f,
@@ -211,6 +233,27 @@ mod tests {
         ] {
             assert!(text.contains(needle), "missing '{needle}' in:\n{text}");
         }
+    }
+
+    #[test]
+    fn diagnostics_row_renders_only_when_present() {
+        let (result, container, _) = run();
+        let report = QualityReport::from_result(&result, &container, None);
+        assert!(!report.to_string().contains("convergence:"));
+        let summary = DiagSummary {
+            batches: 3,
+            stalled: 1,
+            oscillating: 0,
+            diverging: 0,
+            last: crate::diagnostics::Convergence::Improving,
+            last_loss_slope: -0.5,
+            mean_accept_rate: 1.0,
+        };
+        let text = report.with_diagnostics(Some(summary)).to_string();
+        assert!(
+            text.contains("convergence:        improving (stalled 1/3"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -352,6 +352,7 @@ impl ReduceLrOnPlateau {
             self.lr = new_lr;
             self.reductions += 1;
             adampack_telemetry::metrics::LR_REDUCTIONS_TOTAL.inc();
+            adampack_telemetry::timeline::instant("lr_reduction", self.lr);
             adampack_telemetry::debug!(
                 "plateau: lr reduced to {:.3e} (reduction #{}, best metric {:.6})",
                 self.lr,

@@ -1,0 +1,460 @@
+//! Convergence-diagnostics records.
+//!
+//! The convergence trace ([`crate::trace`]) answers *what did step k look
+//! like*; diagnostics answer *is this run going anywhere*. Each batch the
+//! engine distills its step history into one [`DiagRecord`] — loss slope
+//! over a sliding window, gradient-norm trend, acceptance-rate trajectory,
+//! an oscillation score — and classifies the batch as improving, stalled,
+//! oscillating or diverging. Records serialize to the same flat single-line
+//! JSON the step trace uses, extended here with proper string escaping so
+//! system labels may contain quotes, backslashes and non-ASCII text.
+//!
+//! Like [`crate::trace::StepRecord`], parsing is exact-schema: every field
+//! present, no nesting. Unlike `StepRecord`, values may be JSON strings.
+
+use std::fmt;
+
+/// How much diagnostics work the engine performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DiagMode {
+    /// No diagnostics (the default; zero overhead).
+    #[default]
+    Off,
+    /// Compute per-batch records and summarize them in the quality report.
+    Summary,
+    /// `Summary`, plus structured instant events on the timeline.
+    Events,
+}
+
+impl DiagMode {
+    /// The accepted spellings, for CLI/config error messages.
+    pub const ACCEPTED: &'static str = "'off', 'summary' or 'events'";
+
+    /// Parses a mode name (`off` / `summary` / `events`).
+    pub fn parse(s: &str) -> Option<DiagMode> {
+        match s {
+            "off" => Some(DiagMode::Off),
+            "summary" => Some(DiagMode::Summary),
+            "events" => Some(DiagMode::Events),
+            _ => None,
+        }
+    }
+
+    /// Canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DiagMode::Off => "off",
+            DiagMode::Summary => "summary",
+            DiagMode::Events => "events",
+        }
+    }
+
+    /// True unless `Off`.
+    pub fn enabled(self) -> bool {
+        self != DiagMode::Off
+    }
+}
+
+/// The verdict on one batch's optimization trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Convergence {
+    /// Loss is decreasing at a healthy rate.
+    Improving,
+    /// Loss plateaued and the gradient collapsed — more steps buy nothing.
+    Stalled,
+    /// Loss alternates sign-of-change step to step (learning rate too hot).
+    Oscillating,
+    /// Loss is trending up over the window.
+    Diverging,
+}
+
+impl Convergence {
+    /// Canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Convergence::Improving => "improving",
+            Convergence::Stalled => "stalled",
+            Convergence::Oscillating => "oscillating",
+            Convergence::Diverging => "diverging",
+        }
+    }
+
+    /// Parses a canonical name.
+    pub fn parse(s: &str) -> Option<Convergence> {
+        match s {
+            "improving" => Some(Convergence::Improving),
+            "stalled" => Some(Convergence::Stalled),
+            "oscillating" => Some(Convergence::Oscillating),
+            "diverging" => Some(Convergence::Diverging),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Convergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One batch's convergence diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiagRecord {
+    /// System label (empty for single-system runs). May contain arbitrary
+    /// text — quotes and unicode round-trip through the JSON form.
+    pub system: String,
+    /// Batch index (0-based).
+    pub batch: u64,
+    /// Optimizer steps the batch took.
+    pub steps: u64,
+    /// Per-step loss slope of a least-squares line over the trailing
+    /// window (negative = improving).
+    pub loss_slope: f64,
+    /// Gradient-norm trend: mean over the window's last half divided by
+    /// mean over its first half (< 1 = shrinking gradients).
+    pub grad_trend: f64,
+    /// Acceptance rate over the recent-batch window, in `[0, 1]`.
+    pub accept_rate: f64,
+    /// Fraction of window steps whose loss delta flipped sign, in `[0, 1]`.
+    pub osc_rate: f64,
+    /// The classification the numbers add up to.
+    pub classification: Convergence,
+}
+
+/// Why a [`DiagRecord`] line failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiagParseError {
+    /// The line is not the expected flat JSON object.
+    Malformed(String),
+    /// A required key is missing.
+    MissingKey(&'static str),
+    /// A value failed to parse.
+    BadValue(&'static str),
+}
+
+impl fmt::Display for DiagParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiagParseError::Malformed(why) => write!(f, "malformed diagnostics line: {why}"),
+            DiagParseError::MissingKey(k) => write!(f, "diagnostics line missing key {k:?}"),
+            DiagParseError::BadValue(k) => write!(f, "diagnostics line has a bad value for {k:?}"),
+        }
+    }
+}
+
+impl std::error::Error for DiagParseError {}
+
+/// Appends `s` as a JSON string literal (quotes, escapes applied).
+pub fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write;
+                write!(out, "\\u{:04x}", c as u32).unwrap();
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// One scanned flat-JSON value: either raw (number / null / bool text) or
+/// a decoded string.
+#[derive(Debug, Clone, PartialEq)]
+enum FlatValue {
+    Raw(String),
+    Str(String),
+}
+
+/// Scans a flat (non-nested) JSON object into `(key, value)` pairs,
+/// decoding string escapes. Rejects nesting — this is a line format, not a
+/// general parser.
+fn scan_flat_object(line: &str) -> Result<Vec<(String, FlatValue)>, DiagParseError> {
+    let body = line.trim();
+    let body = body
+        .strip_prefix('{')
+        .and_then(|b| b.strip_suffix('}'))
+        .ok_or_else(|| DiagParseError::Malformed("missing braces".into()))?;
+    let mut pairs = Vec::new();
+    let mut chars = body.chars().peekable();
+
+    let skip_ws = |chars: &mut std::iter::Peekable<std::str::Chars>| {
+        while chars.peek().is_some_and(|c| c.is_whitespace()) {
+            chars.next();
+        }
+    };
+    // Decodes one quoted string starting after its opening quote.
+    fn read_string(
+        chars: &mut std::iter::Peekable<std::str::Chars>,
+    ) -> Result<String, DiagParseError> {
+        let mut s = String::new();
+        loop {
+            match chars.next() {
+                None => return Err(DiagParseError::Malformed("unterminated string".into())),
+                Some('"') => return Ok(s),
+                Some('\\') => match chars.next() {
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    Some('/') => s.push('/'),
+                    Some('n') => s.push('\n'),
+                    Some('r') => s.push('\r'),
+                    Some('t') => s.push('\t'),
+                    Some('u') => {
+                        let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                        let code = u32::from_str_radix(&hex, 16).map_err(|_| {
+                            DiagParseError::Malformed(format!("bad \\u escape {hex:?}"))
+                        })?;
+                        s.push(char::from_u32(code).ok_or_else(|| {
+                            DiagParseError::Malformed(format!("bad codepoint {code:#x}"))
+                        })?);
+                    }
+                    other => {
+                        return Err(DiagParseError::Malformed(format!("bad escape {other:?}")))
+                    }
+                },
+                Some(c) => s.push(c),
+            }
+        }
+    }
+
+    loop {
+        skip_ws(&mut chars);
+        match chars.peek() {
+            None => break,
+            Some(',') => {
+                chars.next();
+                continue;
+            }
+            Some('"') => {}
+            Some(c) => {
+                return Err(DiagParseError::Malformed(format!(
+                    "expected key, found {c:?}"
+                )))
+            }
+        }
+        chars.next(); // opening quote
+        let key = read_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next() != Some(':') {
+            return Err(DiagParseError::Malformed(format!(
+                "missing ':' after key {key:?}"
+            )));
+        }
+        skip_ws(&mut chars);
+        let value = match chars.peek() {
+            Some('"') => {
+                chars.next();
+                FlatValue::Str(read_string(&mut chars)?)
+            }
+            Some('{') | Some('[') => {
+                return Err(DiagParseError::Malformed(
+                    "nested values unsupported".into(),
+                ))
+            }
+            _ => {
+                let mut raw = String::new();
+                while chars
+                    .peek()
+                    .is_some_and(|&c| c != ',' && !c.is_whitespace())
+                {
+                    raw.push(chars.next().unwrap());
+                }
+                if raw.is_empty() {
+                    return Err(DiagParseError::Malformed(format!(
+                        "missing value for key {key:?}"
+                    )));
+                }
+                FlatValue::Raw(raw)
+            }
+        };
+        pairs.push((key, value));
+    }
+    Ok(pairs)
+}
+
+impl DiagRecord {
+    /// Field names in serialization order.
+    pub const FIELDS: [&'static str; 8] = [
+        "system",
+        "batch",
+        "steps",
+        "loss_slope",
+        "grad_trend",
+        "accept_rate",
+        "osc_rate",
+        "classification",
+    ];
+
+    /// Renders as one flat JSON object (no trailing newline). Non-finite
+    /// floats become `null`, matching the step-trace convention.
+    pub fn write_json(&self, out: &mut String) {
+        use fmt::Write;
+        out.push_str("{\"system\":");
+        push_json_string(out, &self.system);
+        write!(out, ",\"batch\":{},\"steps\":{}", self.batch, self.steps).unwrap();
+        for (key, v) in [
+            ("loss_slope", self.loss_slope),
+            ("grad_trend", self.grad_trend),
+            ("accept_rate", self.accept_rate),
+            ("osc_rate", self.osc_rate),
+        ] {
+            if v.is_finite() {
+                write!(out, ",\"{key}\":{v}").unwrap();
+            } else {
+                write!(out, ",\"{key}\":null").unwrap();
+            }
+        }
+        out.push_str(",\"classification\":");
+        push_json_string(out, self.classification.name());
+        out.push('}');
+    }
+
+    /// The JSON line as a `String`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        self.write_json(&mut s);
+        s
+    }
+
+    /// Parses a line produced by [`DiagRecord::write_json`].
+    pub fn parse(line: &str) -> Result<DiagRecord, DiagParseError> {
+        let pairs = scan_flat_object(line)?;
+        let get = |key: &'static str| -> Result<&FlatValue, DiagParseError> {
+            pairs
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or(DiagParseError::MissingKey(key))
+        };
+        let get_str = |key: &'static str| -> Result<String, DiagParseError> {
+            match get(key)? {
+                FlatValue::Str(s) => Ok(s.clone()),
+                FlatValue::Raw(_) => Err(DiagParseError::BadValue(key)),
+            }
+        };
+        let get_u64 = |key: &'static str| -> Result<u64, DiagParseError> {
+            match get(key)? {
+                FlatValue::Raw(r) => r.parse().map_err(|_| DiagParseError::BadValue(key)),
+                FlatValue::Str(_) => Err(DiagParseError::BadValue(key)),
+            }
+        };
+        let get_f64 = |key: &'static str| -> Result<f64, DiagParseError> {
+            match get(key)? {
+                FlatValue::Raw(r) if r == "null" => Ok(f64::NAN),
+                FlatValue::Raw(r) => r.parse().map_err(|_| DiagParseError::BadValue(key)),
+                FlatValue::Str(_) => Err(DiagParseError::BadValue(key)),
+            }
+        };
+        Ok(DiagRecord {
+            system: get_str("system")?,
+            batch: get_u64("batch")?,
+            steps: get_u64("steps")?,
+            loss_slope: get_f64("loss_slope")?,
+            grad_trend: get_f64("grad_trend")?,
+            accept_rate: get_f64("accept_rate")?,
+            osc_rate: get_f64("osc_rate")?,
+            classification: Convergence::parse(&get_str("classification")?)
+                .ok_or(DiagParseError::BadValue("classification"))?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DiagRecord {
+        DiagRecord {
+            system: "s0_lr0.01".to_string(),
+            batch: 3,
+            steps: 250,
+            loss_slope: -1.25e-4,
+            grad_trend: 0.42,
+            accept_rate: 0.875,
+            osc_rate: 0.04,
+            classification: Convergence::Improving,
+        }
+    }
+
+    #[test]
+    fn round_trip_plain() {
+        let r = sample();
+        let parsed = DiagRecord::parse(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn round_trip_quotes_and_unicode_label() {
+        let mut r = sample();
+        r.system = "sys \"α\"\\β\n·µ".to_string();
+        r.classification = Convergence::Oscillating;
+        let json = r.to_json();
+        assert!(json.contains("\\\""), "quotes must be escaped: {json}");
+        let parsed = DiagRecord::parse(&json).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip_as_null() {
+        let mut r = sample();
+        r.loss_slope = f64::NAN;
+        r.grad_trend = f64::INFINITY;
+        let json = r.to_json();
+        assert!(json.contains("\"loss_slope\":null"));
+        assert!(json.contains("\"grad_trend\":null"));
+        let parsed = DiagRecord::parse(&json).unwrap();
+        assert!(parsed.loss_slope.is_nan());
+        assert!(parsed.grad_trend.is_nan());
+    }
+
+    #[test]
+    fn unicode_escape_decodes() {
+        let line = "{\"system\":\"\\u0041b\",\"batch\":0,\"steps\":1,\"loss_slope\":0,\"grad_trend\":1,\"accept_rate\":1,\"osc_rate\":0,\"classification\":\"stalled\"}";
+        let parsed = DiagRecord::parse(line).unwrap();
+        assert_eq!(parsed.system, "Ab");
+        assert_eq!(parsed.classification, Convergence::Stalled);
+    }
+
+    #[test]
+    fn missing_key_and_bad_value_are_named() {
+        let r = sample();
+        let json = r.to_json().replace("\"osc_rate\"", "\"other\"");
+        assert_eq!(
+            DiagRecord::parse(&json),
+            Err(DiagParseError::MissingKey("osc_rate"))
+        );
+        let json = r.to_json().replace(
+            "\"classification\":\"improving\"",
+            "\"classification\":\"sideways\"",
+        );
+        assert_eq!(
+            DiagRecord::parse(&json),
+            Err(DiagParseError::BadValue("classification"))
+        );
+    }
+
+    #[test]
+    fn nesting_is_rejected() {
+        assert!(matches!(
+            DiagRecord::parse("{\"system\":{\"nested\":1}}"),
+            Err(DiagParseError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn diag_mode_parses_and_names() {
+        assert_eq!(DiagMode::parse("off"), Some(DiagMode::Off));
+        assert_eq!(DiagMode::parse("summary"), Some(DiagMode::Summary));
+        assert_eq!(DiagMode::parse("events"), Some(DiagMode::Events));
+        assert_eq!(DiagMode::parse("loud"), None);
+        assert!(DiagMode::Events.enabled());
+        assert!(!DiagMode::Off.enabled());
+        assert_eq!(DiagMode::Summary.name(), "summary");
+    }
+}

@@ -22,6 +22,14 @@
 //!   inside the optimizer loop (allocation-free, overwrite-oldest) and
 //!   drained between batches into a [`trace::TraceSink`] such as the
 //!   [`trace::JsonlWriter`].
+//! * [`timeline`] — the hierarchical span timeline: begin/end/instant
+//!   events in preallocated per-thread rings (off by default, one relaxed
+//!   load when disabled) with thread + system attribution, exported as
+//!   Chrome Trace Format JSON with per-phase self-time.
+//! * [`diag`] — per-batch convergence-diagnostics records
+//!   ([`diag::DiagRecord`]): loss slope, gradient trend, acceptance rate,
+//!   oscillation score and a stall/oscillation classification, with a
+//!   string-capable flat-JSON round trip.
 //!
 //! The counting-allocator test in the workspace suite (`tests/alloc_free.rs`)
 //! proves that steady-state optimizer steps still perform zero heap
@@ -32,13 +40,17 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod diag;
 pub mod log;
 pub mod metrics;
+pub mod timeline;
 pub mod trace;
 
+pub use crate::diag::{Convergence, DiagMode, DiagParseError, DiagRecord};
 pub use crate::log::{enabled, log_event, max_level, set_max_level, set_sink, Level, LogSink};
 pub use crate::metrics::{
     is_enabled, prometheus_snapshot, reset_all, set_enabled, span, Counter, Histogram, Phase,
-    SpanGuard,
+    SpanGuard, SystemCounters,
 };
+pub use crate::timeline::{SystemScope, TimelineSpan};
 pub use crate::trace::{JsonlWriter, StepRecord, TraceParseError, TraceRing, TraceSink};

@@ -10,6 +10,7 @@
 //! All durations are recorded in nanoseconds (`Instant`-based, monotonic).
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Master switch for metric recording (spans, counters, histograms).
@@ -356,15 +357,35 @@ impl Phase {
             Phase::KernelSimd => &PHASE_KERNEL_SIMD,
         }
     }
+
+    /// Short name, used as the timeline span label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Spawn => "spawn",
+            Phase::Gradient => "gradient",
+            Phase::OptimizerStep => "optimizer",
+            Phase::VerletRebuild => "verlet_rebuild",
+            Phase::Acceptance => "acceptance",
+            Phase::DemStep => "dem_step",
+            Phase::GridBuild => "grid_build",
+            Phase::KernelScalar => "kernel_scalar",
+            Phase::KernelSimd => "kernel_simd",
+        }
+    }
 }
 
 /// Times a phase from creation to drop, recording into its histogram.
-/// With telemetry disabled the guard is inert (no clock read).
+/// With telemetry disabled the guard is inert (no clock read). When the
+/// timeline ([`crate::timeline`]) is recording, the guard also emits a
+/// begin/end event pair, so every instrumented phase shows up in the
+/// Chrome-trace export for free; with the timeline off that hook costs one
+/// relaxed atomic load.
 #[must_use = "the span measures until the guard is dropped"]
 #[derive(Debug)]
 pub struct SpanGuard {
     phase: Phase,
     start: Option<Instant>,
+    timeline: bool,
 }
 
 impl SpanGuard {
@@ -376,6 +397,9 @@ impl SpanGuard {
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
+        if self.timeline {
+            crate::timeline::end(self.phase.name());
+        }
         if let Some(start) = self.start {
             self.phase
                 .histogram()
@@ -387,6 +411,10 @@ impl Drop for SpanGuard {
 /// Opens a phase span; record by dropping the guard.
 #[inline]
 pub fn span(phase: Phase) -> SpanGuard {
+    let timeline = crate::timeline::timeline_enabled();
+    if timeline {
+        crate::timeline::begin(phase.name());
+    }
     SpanGuard {
         phase,
         start: if is_enabled() {
@@ -394,12 +422,85 @@ pub fn span(phase: Phase) -> SpanGuard {
         } else {
             None
         },
+        timeline,
     }
+}
+
+// ---------------------------------------------------------------------------
+// Per-system labeled metrics
+// ---------------------------------------------------------------------------
+
+/// One system's counter values in a batched sweep. The batched engine
+/// computes these from each system's own run progress (never by slicing
+/// the global counters) and publishes them wholesale after every pass, so
+/// systems cannot leak into each other's series by construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SystemCounters {
+    /// Optimizer steps this system took.
+    pub steps: u64,
+    /// Batches this system attempted.
+    pub batches: u64,
+    /// Batches this system accepted.
+    pub batches_accepted: u64,
+    /// Particles this system packed.
+    pub particles_packed: u64,
+    /// Sentinel rollbacks this system performed.
+    pub recoveries: u64,
+    /// Cumulative spawn-phase time, nanoseconds.
+    pub spawn_ns: u64,
+    /// Cumulative gradient-phase time, nanoseconds.
+    pub gradient_ns: u64,
+    /// Cumulative optimizer-phase time, nanoseconds.
+    pub optimizer_ns: u64,
+    /// Cumulative acceptance-phase time, nanoseconds.
+    pub acceptance_ns: u64,
+}
+
+/// `label → counters`, insertion-ordered. Updated off the hot path (once
+/// per engine pass), so a mutex is fine.
+static SYSTEM_REGISTRY: Mutex<Vec<(String, SystemCounters)>> = Mutex::new(Vec::new());
+
+/// Publishes (upserts) one system's counters under its label.
+pub fn record_system(label: &str, counters: SystemCounters) {
+    let mut reg = SYSTEM_REGISTRY.lock().unwrap();
+    match reg.iter_mut().find(|(l, _)| l == label) {
+        Some((_, c)) => *c = counters,
+        None => reg.push((label.to_string(), counters)),
+    }
+}
+
+/// The last-published counters for a label, if any.
+pub fn system_counters(label: &str) -> Option<SystemCounters> {
+    SYSTEM_REGISTRY
+        .lock()
+        .unwrap()
+        .iter()
+        .find(|(l, _)| l == label)
+        .map(|(_, c)| *c)
+}
+
+/// Removes every per-system series (tests, and run setup).
+pub fn clear_system_metrics() {
+    SYSTEM_REGISTRY.lock().unwrap().clear();
+}
+
+/// Escapes a Prometheus label value (`\`, `"` and newline).
+fn escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Renders every metric in the Prometheus text exposition format
 /// (counters as `counter`, histograms with cumulative `_bucket{le=…}`,
-/// `_sum` and `_count` series).
+/// `_sum` and `_count` series, per-system series with a `system` label).
 pub fn prometheus_snapshot() -> String {
     use std::fmt::Write;
     let mut out = String::new();
@@ -420,6 +521,68 @@ pub fn prometheus_snapshot() -> String {
         writeln!(out, "{}_bucket{{le=\"+Inf\"}} {cumulative}", h.name).unwrap();
         writeln!(out, "{}_sum {}", h.name, h.sum_ns()).unwrap();
         writeln!(out, "{}_count {}", h.name, h.count()).unwrap();
+    }
+    let systems = SYSTEM_REGISTRY.lock().unwrap();
+    if !systems.is_empty() {
+        type SystemFamily = (&'static str, &'static str, fn(&SystemCounters) -> u64);
+        let families: [SystemFamily; 5] = [
+            (
+                "adampack_system_steps_total",
+                "Optimizer steps per system",
+                |c| c.steps,
+            ),
+            (
+                "adampack_system_batches_total",
+                "Batches attempted per system",
+                |c| c.batches,
+            ),
+            (
+                "adampack_system_batches_accepted_total",
+                "Batches accepted per system",
+                |c| c.batches_accepted,
+            ),
+            (
+                "adampack_system_particles_packed_total",
+                "Particles packed per system",
+                |c| c.particles_packed,
+            ),
+            (
+                "adampack_system_recoveries_total",
+                "Sentinel rollbacks per system",
+                |c| c.recoveries,
+            ),
+        ];
+        for (name, help, get) in families {
+            writeln!(out, "# HELP {name} {help}").unwrap();
+            writeln!(out, "# TYPE {name} counter").unwrap();
+            for (label, c) in systems.iter() {
+                writeln!(
+                    out,
+                    "{name}{{system=\"{}\"}} {}",
+                    escape_label(label),
+                    get(c)
+                )
+                .unwrap();
+            }
+        }
+        let name = "adampack_system_phase_nanoseconds_total";
+        writeln!(out, "# HELP {name} Cumulative phase time per system").unwrap();
+        writeln!(out, "# TYPE {name} counter").unwrap();
+        for (label, c) in systems.iter() {
+            for (phase, ns) in [
+                ("spawn", c.spawn_ns),
+                ("gradient", c.gradient_ns),
+                ("optimizer", c.optimizer_ns),
+                ("acceptance", c.acceptance_ns),
+            ] {
+                writeln!(
+                    out,
+                    "{name}{{system=\"{}\",phase=\"{phase}\"}} {ns}",
+                    escape_label(label)
+                )
+                .unwrap();
+            }
+        }
     }
     out
 }
@@ -499,6 +662,65 @@ mod tests {
         assert_eq!(PHASE_SPAWN.count(), 1, "disabled span must not record");
         set_enabled(true);
         reset_all();
+    }
+
+    #[test]
+    fn labeled_system_series_render_and_isolate() {
+        let _g = LOCK.lock().unwrap();
+        clear_system_metrics();
+        record_system(
+            "s0_lr0.01",
+            SystemCounters {
+                steps: 100,
+                batches: 4,
+                batches_accepted: 3,
+                particles_packed: 75,
+                recoveries: 1,
+                gradient_ns: 1_000,
+                ..Default::default()
+            },
+        );
+        record_system(
+            "s1_lr0.10",
+            SystemCounters {
+                steps: 7,
+                ..Default::default()
+            },
+        );
+        // Upsert: republishing replaces, never accumulates across systems.
+        record_system(
+            "s1_lr0.10",
+            SystemCounters {
+                steps: 9,
+                ..Default::default()
+            },
+        );
+        let snap = prometheus_snapshot();
+        assert!(snap.contains("adampack_system_steps_total{system=\"s0_lr0.01\"} 100"));
+        assert!(snap.contains("adampack_system_steps_total{system=\"s1_lr0.10\"} 9"));
+        assert!(snap.contains(
+            "adampack_system_phase_nanoseconds_total{system=\"s0_lr0.01\",phase=\"gradient\"} 1000"
+        ));
+        assert_eq!(system_counters("s0_lr0.01").unwrap().steps, 100);
+        assert_eq!(system_counters("s1_lr0.10").unwrap().steps, 9);
+        clear_system_metrics();
+        assert!(!prometheus_snapshot().contains("adampack_system_steps_total"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let _g = LOCK.lock().unwrap();
+        clear_system_metrics();
+        record_system(
+            "q\"uo\\te\nß",
+            SystemCounters {
+                steps: 1,
+                ..Default::default()
+            },
+        );
+        let snap = prometheus_snapshot();
+        assert!(snap.contains("{system=\"q\\\"uo\\\\te\\nß\"} 1"));
+        clear_system_metrics();
     }
 
     #[test]
