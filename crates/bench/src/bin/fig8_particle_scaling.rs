@@ -1,19 +1,118 @@
-//! Fig. 8 — execution time as a function of the number of particles.
+//! Fig. 8 / BENCH_scale — execution time, throughput and hot-set memory
+//! versus the number of particles.
 //!
 //! The paper packs particles of r = 0.03 into a tall vertical container
 //! with a 2×2 square base (batch 500) and reports *linear* scaling up to
-//! 200,000 particles (1 h 17 min) — the cell-list over the fixed bed keeps
-//! the per-batch cost flat as the bed grows. This binary sweeps the
-//! particle count, prints the time series and a linearity diagnostic.
+//! 200,000 particles (1 h 17 min). This binary sweeps the particle count
+//! and reports, per N:
+//!
+//! * wall-clock time and particle·steps/s throughput (each optimizer step
+//!   covers `requested` particles, so `Σ steps·requested / t` is exact);
+//! * the resident hot-set peak (`adampack_hot_set_bytes` gauge: bed grid +
+//!   workspace) for the monolithic run and for a gravity-axis tiled run —
+//!   the tiled peak tracks the *active surface*, not total N;
+//! * a bitwise tiled-vs-untiled parity check (tiling is a pure memory
+//!   optimization; any divergence is a bug, so the bench hard-asserts it);
+//!
+//! plus two one-shot sections at the largest N:
+//!
+//! * Morton-vs-strided sweep-order throughput (the z-order query
+//!   permutation is the default; strided survives as the oracle);
+//! * an Amdahl thread sweep (1/2/4/8): serial fraction
+//!   `s = (p/S − 1)/(p − 1)` from the measured speedup `S` at `p` threads.
+//!
+//! Everything lands in `target/experiments/BENCH_scale.json` (and a CSV of
+//! the N sweep), with the usual `--full` paper-scale switch. For
+//! million-particle demonstrations use the tuning knobs, e.g.
+//! `--full --only 1000000 --batch 4000 --repeats 1 --skip-amdahl
+//! --skip-order` (keep `--max-steps` at its default: patience ends
+//! converged batches early, while a starved step budget fails acceptance
+//! and collapses the batch-halving ladder).
 
-use adampack_bench::{aggregate, cli, csv_writer, secs, timed, write_row};
+use adampack_bench::{aggregate, cli, csv_writer, json_str, secs, timed, write_row, JsonReport};
 use adampack_core::prelude::*;
-use adampack_geometry::shapes;
+use adampack_geometry::{shapes, Axis};
+use adampack_telemetry::metrics;
+
+struct Knobs {
+    batch: usize,
+    max_steps: usize,
+    radius: f64,
+    tiles: usize,
+}
+
+struct Run {
+    result: PackResult,
+    secs: f64,
+    /// Exact particle·steps of the run: `Σ_batches steps × requested`.
+    psteps: f64,
+    hot_peak: u64,
+}
+
+fn run_once(
+    container: &Container,
+    psd: &Psd,
+    n: usize,
+    seed: u64,
+    tiles: usize,
+    knobs: &Knobs,
+) -> Run {
+    metrics::reset_all();
+    let params = PackingParams {
+        batch_size: knobs.batch,
+        target_count: n,
+        max_steps: knobs.max_steps,
+        seed,
+        tiles,
+        ..PackingParams::default()
+    };
+    let container = container.clone();
+    let psd = psd.clone();
+    let (result, elapsed) = timed(|| CollectivePacker::new(container, params).pack(&psd));
+    assert!(
+        result.particles.len() >= n * 9 / 10,
+        "packing fell short: {} of {n}",
+        result.particles.len()
+    );
+    let psteps: f64 = result
+        .batches
+        .iter()
+        .map(|b| (b.steps * b.requested) as f64)
+        .sum();
+    Run {
+        result,
+        secs: secs(elapsed),
+        psteps,
+        hot_peak: metrics::HOT_SET_BYTES.peak(),
+    }
+}
+
+/// Tiling must be invisible in the output: every center, radius and batch
+/// statistic bitwise equal to the monolithic run.
+fn assert_bitwise_equal(a: &PackResult, b: &PackResult, what: &str) {
+    assert_eq!(a.particles.len(), b.particles.len(), "{what}: count");
+    for (pa, pb) in a.particles.iter().zip(&b.particles) {
+        let same = pa.center.x.to_bits() == pb.center.x.to_bits()
+            && pa.center.y.to_bits() == pb.center.y.to_bits()
+            && pa.center.z.to_bits() == pb.center.z.to_bits()
+            && pa.radius.to_bits() == pb.radius.to_bits();
+        assert!(same, "{what}: particle drifted — tiling parity bug");
+    }
+}
+
+fn mib(bytes: u64) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
 
 fn main() {
     let full = cli::flag("--full");
-    let repeats = cli::usize_arg("--repeats", if full { 10 } else { 3 });
-    let radius = cli::f64_arg("--radius", if full { 0.03 } else { 0.05 });
+    let repeats = cli::usize_arg("--repeats", if full { 5 } else { 3 });
+    let knobs = Knobs {
+        batch: cli::usize_arg("--batch", 500),
+        max_steps: cli::usize_arg("--max-steps", if full { 2000 } else { 500 }),
+        radius: cli::f64_arg("--radius", if full { 0.03 } else { 0.05 }),
+        tiles: cli::usize_arg("--tiles", 8),
+    };
     let mut counts: Vec<usize> = if full {
         vec![12_500, 25_000, 50_000, 100_000, 200_000]
     } else {
@@ -22,84 +121,312 @@ fn main() {
     // Optional ceiling for partial paper-scale runs (e.g. `--full --cap 50000`).
     let cap = cli::usize_arg("--cap", usize::MAX);
     counts.retain(|&n| n <= cap);
-    // Or a single explicit count (e.g. `--full --only 200000`).
+    // Or a single explicit count (e.g. `--full --only 1000000`).
     let only = cli::usize_arg("--only", 0);
     if only > 0 {
         counts = vec![only];
     }
     assert!(!counts.is_empty(), "--cap removed every particle count");
+
     // Tall enough that the bed never hits the lid.
-    let sphere_vol = 4.0 / 3.0 * std::f64::consts::PI * radius * radius * radius;
+    let sphere_vol = 4.0 / 3.0 * std::f64::consts::PI * knobs.radius.powi(3);
     let max_n = *counts.last().unwrap() as f64;
     let height = (max_n * sphere_vol / (0.5 * 4.0)).max(2.0) * 1.5;
     let mesh = shapes::tall_box(2.0, height);
     let container = Container::from_mesh(&mesh).expect("tall box hull");
-    let psd = Psd::constant(radius);
+    let psd = Psd::constant(knobs.radius);
 
-    println!("# Fig. 8 — execution time vs number of particles");
-    println!("# tall box 2x2 base, height {height:.1}, radius = {radius}, batch = 500, repeats = {repeats}");
+    // The hot-set gauge only records while metrics are enabled.
+    adampack_telemetry::set_enabled(true);
+
+    println!("# Fig. 8 / BENCH_scale — time, throughput and hot-set memory vs N");
     println!(
-        "{:>10} {:>12} {:>12} {:>12} {:>14}",
-        "particles", "mean_s", "min_s", "max_s", "s_per_1k"
+        "# tall box 2x2 base, height {height:.1}, radius = {}, batch = {}, max_steps = {}, tiles = {}, repeats = {repeats}",
+        knobs.radius, knobs.batch, knobs.max_steps, knobs.tiles
+    );
+    println!(
+        "{:>10} {:>10} {:>12} {:>14} {:>12} {:>12} {:>8}",
+        "particles", "mean_s", "s_per_1k", "psteps_per_s", "hot_MiB", "tiled_MiB", "shrink"
     );
 
     let (path, mut csv) = csv_writer("fig8_particle_scaling").expect("csv");
-    write_row(&mut csv, &["particles,mean_s,min_s,max_s".into()]).unwrap();
+    write_row(
+        &mut csv,
+        &["particles,mean_s,min_s,max_s,psteps_per_s,hot_peak_bytes,tiled_hot_peak_bytes".into()],
+    )
+    .unwrap();
+
+    let mut report = JsonReport::new("scale");
+    report
+        .meta("radius", knobs.radius)
+        .meta("batch", knobs.batch)
+        .meta("max_steps", knobs.max_steps)
+        .meta("tiles", knobs.tiles)
+        .meta("repeats", repeats)
+        .meta("threads", rayon::current_num_threads())
+        .meta("kernel", json_str(Kernel::default().name()));
 
     let mut series = Vec::new();
     for &n in &counts {
         let mut times = Vec::new();
+        let mut psteps_per_s = 0.0f64;
+        let mut hot_peak = 0u64;
+        let mut last = None;
         for rep in 0..repeats {
-            let params = PackingParams {
-                batch_size: 500,
-                target_count: n,
-                seed: rep as u64,
-                ..PackingParams::default()
-            };
-            let container = container.clone();
-            let psd = psd.clone();
-            let (result, elapsed) = timed(|| CollectivePacker::new(container, params).pack(&psd));
-            assert!(
-                result.particles.len() >= n * 9 / 10,
-                "packing fell short: {} of {n}",
-                result.particles.len()
-            );
-            times.push(secs(elapsed));
+            let run = run_once(&container, &psd, n, rep as u64, 1, &knobs);
+            psteps_per_s = psteps_per_s.max(run.psteps / run.secs);
+            hot_peak = hot_peak.max(run.hot_peak);
+            times.push(run.secs);
+            last = Some(run);
         }
+        // One tiled replica of the last seed: same packing, smaller hot set.
+        let last = last.unwrap();
+        let tiled = run_once(&container, &psd, n, repeats as u64 - 1, knobs.tiles, &knobs);
+        assert_bitwise_equal(&last.result, &tiled.result, "tiled vs untiled");
         let a = aggregate(&times);
+        let shrink = hot_peak as f64 / tiled.hot_peak.max(1) as f64;
         println!(
-            "{n:>10} {:>12.3} {:>12.3} {:>12.3} {:>14.4}",
+            "{n:>10} {:>10.3} {:>12.4} {:>14.0} {:>12.2} {:>12.2} {shrink:>8.2}",
             a.mean,
-            a.min,
-            a.max,
-            a.mean / (n as f64 / 1000.0)
+            a.mean / (n as f64 / 1000.0),
+            psteps_per_s,
+            mib(hot_peak),
+            mib(tiled.hot_peak),
         );
-        write_row(&mut csv, &[format!("{n},{},{},{}", a.mean, a.min, a.max)]).unwrap();
+        write_row(
+            &mut csv,
+            &[format!(
+                "{n},{},{},{},{psteps_per_s},{hot_peak},{}",
+                a.mean, a.min, a.max, tiled.hot_peak
+            )],
+        )
+        .unwrap();
+        report.row(format!(
+            "{{\"section\": \"n_sweep\", \"particles\": {n}, \"mean_s\": {:.6}, \
+             \"min_s\": {:.6}, \"max_s\": {:.6}, \"psteps_per_s\": {psteps_per_s:.0}, \
+             \"hot_peak_bytes\": {hot_peak}, \"tiled_hot_peak_bytes\": {}, \
+             \"tiled_bitwise_equal\": true}}",
+            a.mean, a.min, a.max, tiled.hot_peak
+        ));
         series.push((n as f64, a.mean));
     }
 
-    // Linearity check: least-squares slope and the R² of the linear fit.
-    if series.len() < 2 {
-        println!("# (single point: no linear fit)");
-        println!("# series written to {}", path.display());
-        return;
+    let n_big = *counts.last().unwrap();
+    if !cli::flag("--skip-order") {
+        // Morton (default) vs strided (oracle) sweep order, measured three
+        // ways on the pair-sweep kernel plus once end-to-end.
+        //
+        // Kernel: take a real packed bed of n_big spheres, hold out every
+        // 8th sphere as the query batch, bin the rest as the fixed bed and
+        // time `value_and_grad` with the per-evaluation grid pipeline. The
+        // sweep order only permutes which query runs next, so the orders
+        // are asserted bitwise identical; the timing delta is pure
+        // locality. Two batch layouts bound the effect from both sides:
+        //
+        // * `packed` — hold-outs kept in packing order, which the packer
+        //   already emits z-sorted layer by layer; strided is cache-warm
+        //   here, so this is Morton's *worst* case (expected ~1.0x).
+        // * `shuffled` — the same spheres in a seeded random order, the
+        //   case cache blocking exists for: strided now walks the bed grid
+        //   incoherently while Morton re-sorts the sweep, so this bounds
+        //   the gain from above.
+        //
+        // End-to-end packs under each order are reported honestly: the
+        // production Verlet pipeline amortizes pair search across steps, so
+        // the whole-run delta is expected to be ~1.0x — the kernel
+        // robustness is the reason Morton is a safe default, not a packing
+        // speedup claim.
+        let mut params = PackingParams {
+            batch_size: knobs.batch,
+            target_count: n_big,
+            max_steps: knobs.max_steps,
+            seed: 0,
+            ..PackingParams::default()
+        };
+        params.neighbor.order = SweepOrder::Morton;
+        let (bed, _) =
+            timed(|| CollectivePacker::new(container.clone(), params.clone()).pack(&psd));
+
+        let mut q_coords = Vec::new();
+        let mut q_radii = Vec::new();
+        let mut bed_centers = Vec::new();
+        let mut bed_radii = Vec::new();
+        for (i, p) in bed.particles.iter().enumerate() {
+            if i % 8 == 0 {
+                q_coords.extend_from_slice(&[p.center.x, p.center.y, p.center.z]);
+                q_radii.push(p.radius);
+            } else {
+                bed_centers.push(p.center);
+                bed_radii.push(p.radius);
+            }
+        }
+        let batch_n = q_radii.len();
+        let fixed = CsrGrid::build(&bed_centers, &bed_radii);
+        let hs = container.halfspaces();
+        let evals = 10usize;
+
+        // Seeded Fisher–Yates over the hold-outs for the shuffled layout.
+        let mut perm: Vec<usize> = (0..batch_n).collect();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for i in (1..batch_n).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            perm.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        let mut s_coords = Vec::with_capacity(q_coords.len());
+        let mut s_radii = Vec::with_capacity(batch_n);
+        for &i in &perm {
+            s_coords.extend_from_slice(&q_coords[3 * i..3 * i + 3]);
+            s_radii.push(q_radii[i]);
+        }
+
+        let measure = |coords: &[f64], radii: &[f64]| {
+            let mut per_order = Vec::new();
+            for order in [SweepOrder::Morton, SweepOrder::Strided] {
+                let obj = Objective::new(ObjectiveWeights::default(), Axis::Z, hs, radii, &fixed)
+                    .with_neighbor(NeighborStrategy::Grid, 0.04)
+                    .with_order(order);
+                let mut grad = vec![0.0; coords.len()];
+                let warm = obj.value_and_grad(coords, &mut grad);
+                let (v, t) = timed(|| {
+                    let mut v = 0.0;
+                    for _ in 0..evals {
+                        v = obj.value_and_grad(coords, &mut grad);
+                    }
+                    v
+                });
+                assert_eq!(warm.to_bits(), v.to_bits(), "{order}: eval not replayable");
+                per_order.push((v, grad, secs(t) * 1e3 / evals as f64));
+            }
+            assert_eq!(
+                per_order[0].0.to_bits(),
+                per_order[1].0.to_bits(),
+                "sweep orders disagree on the objective value"
+            );
+            assert!(
+                per_order[0]
+                    .1
+                    .iter()
+                    .zip(&per_order[1].1)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "sweep orders disagree on the gradient"
+            );
+            (per_order[0].2, per_order[1].2)
+        };
+        let (pk_m_ms, pk_s_ms) = measure(&q_coords, &q_radii);
+        let (sh_m_ms, sh_s_ms) = measure(&s_coords, &s_radii);
+        let packed_speedup = pk_s_ms / pk_m_ms;
+        let shuffled_speedup = sh_s_ms / sh_m_ms;
+
+        let mut by_order = Vec::new();
+        for order in [SweepOrder::Morton, SweepOrder::Strided] {
+            metrics::reset_all();
+            let mut params = PackingParams {
+                batch_size: knobs.batch,
+                target_count: n_big,
+                max_steps: knobs.max_steps,
+                seed: 0,
+                ..PackingParams::default()
+            };
+            params.neighbor.order = order;
+            let container = container.clone();
+            let psd = psd.clone();
+            let (result, elapsed) = timed(|| CollectivePacker::new(container, params).pack(&psd));
+            let psteps: f64 = result
+                .batches
+                .iter()
+                .map(|b| (b.steps * b.requested) as f64)
+                .sum();
+            by_order.push(psteps / secs(elapsed));
+        }
+        let e2e_ratio = by_order[0] / by_order[1];
+        println!(
+            "# sweep kernel at N = {n_big} ({batch_n} queries, grid pipeline, bitwise equal):"
+        );
+        println!(
+            "#   packed-order queries:   morton {pk_m_ms:.2} ms/eval, strided {pk_s_ms:.2} \
+             ms/eval ({packed_speedup:.2}x)"
+        );
+        println!(
+            "#   shuffled-order queries: morton {sh_m_ms:.2} ms/eval, strided {sh_s_ms:.2} \
+             ms/eval ({shuffled_speedup:.2}x)"
+        );
+        println!(
+            "# sweep order end-to-end at N = {n_big}: morton {:.0} psteps/s, \
+             strided {:.0} psteps/s ({e2e_ratio:.2}x)",
+            by_order[0], by_order[1]
+        );
+        report.row(format!(
+            "{{\"section\": \"sweep_order\", \"particles\": {n_big}, \"batch_n\": {batch_n}, \
+             \"packed_morton_ms\": {pk_m_ms:.4}, \"packed_strided_ms\": {pk_s_ms:.4}, \
+             \"packed_speedup\": {packed_speedup:.4}, \
+             \"shuffled_morton_ms\": {sh_m_ms:.4}, \"shuffled_strided_ms\": {sh_s_ms:.4}, \
+             \"shuffled_speedup\": {shuffled_speedup:.4}, \"bitwise_equal\": true, \
+             \"e2e_morton_psteps_per_s\": {:.0}, \"e2e_strided_psteps_per_s\": {:.0}, \
+             \"e2e_ratio\": {e2e_ratio:.4}}}",
+            by_order[0], by_order[1]
+        ));
     }
-    let n = series.len() as f64;
-    let sx: f64 = series.iter().map(|(x, _)| x).sum();
-    let sy: f64 = series.iter().map(|(_, y)| y).sum();
-    let sxx: f64 = series.iter().map(|(x, _)| x * x).sum();
-    let sxy: f64 = series.iter().map(|(x, y)| x * y).sum();
-    let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
-    let intercept = (sy - slope * sx) / n;
-    let ss_tot: f64 = series.iter().map(|(_, y)| (y - sy / n).powi(2)).sum();
-    let ss_res: f64 = series
-        .iter()
-        .map(|(x, y)| (y - slope * x - intercept).powi(2))
-        .sum();
-    let r2 = 1.0 - ss_res / ss_tot.max(1e-300);
-    println!(
-        "# linear fit: {:.4} s per 1000 particles, R^2 = {r2:.4} (paper: linear)",
-        slope * 1000.0
-    );
+
+    if !cli::flag("--skip-amdahl") {
+        // Amdahl serial fraction at 1/2/4/8 threads, largest N.
+        println!("# thread scaling at N = {n_big}:");
+        let mut t1 = None;
+        for threads in [1usize, 2, 4, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("thread pool");
+            let run = pool.install(|| run_once(&container, &psd, n_big, 0, 1, &knobs));
+            let base = *t1.get_or_insert(run.secs);
+            let speedup = base / run.secs;
+            // Amdahl: S = 1 / (s + (1−s)/p)  ⇒  s = (p/S − 1)/(p − 1).
+            let serial = if threads > 1 {
+                Some((threads as f64 / speedup - 1.0) / (threads as f64 - 1.0))
+            } else {
+                None
+            };
+            println!(
+                "#   {threads} threads: {:.3} s, speedup {speedup:.2}x, serial fraction {}",
+                run.secs,
+                serial.map_or("-".into(), |s| format!("{s:.3}"))
+            );
+            report.row(format!(
+                "{{\"section\": \"amdahl\", \"particles\": {n_big}, \"threads\": {threads}, \
+                 \"mean_s\": {:.6}, \"speedup\": {speedup:.4}, \"serial_fraction\": {}}}",
+                run.secs,
+                serial.map_or("null".into(), |s| format!("{s:.4}"))
+            ));
+        }
+    }
+
+    // Linearity check: least-squares slope and the R² of the linear fit.
+    if series.len() >= 2 {
+        let n = series.len() as f64;
+        let sx: f64 = series.iter().map(|(x, _)| x).sum();
+        let sy: f64 = series.iter().map(|(_, y)| y).sum();
+        let sxx: f64 = series.iter().map(|(x, _)| x * x).sum();
+        let sxy: f64 = series.iter().map(|(x, y)| x * y).sum();
+        let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+        let intercept = (sy - slope * sx) / n;
+        let ss_tot: f64 = series.iter().map(|(_, y)| (y - sy / n).powi(2)).sum();
+        let ss_res: f64 = series
+            .iter()
+            .map(|(x, y)| (y - slope * x - intercept).powi(2))
+            .sum();
+        let r2 = 1.0 - ss_res / ss_tot.max(1e-300);
+        println!(
+            "# linear fit: {:.4} s per 1000 particles, R^2 = {r2:.4} (paper: linear)",
+            slope * 1000.0
+        );
+        report
+            .meta("fit_s_per_1k", format!("{:.6}", slope * 1000.0))
+            .meta("fit_r2", format!("{r2:.6}"));
+    } else {
+        println!("# (single point: no linear fit)");
+    }
+    let json_path = report.write().expect("write BENCH_scale.json");
     println!("# series written to {}", path.display());
+    println!("# json written to {}", json_path.display());
 }

@@ -55,6 +55,7 @@ impl CliError {
             CliError::Io(_) => 5,
             CliError::Pack(PackError::Diverged { .. }) => 6,
             CliError::Pack(PackError::Resume(_)) | CliError::Checkpoint(_) => 7,
+            CliError::Pack(PackError::HorizonBreach { .. }) => 8,
         }
     }
 }
@@ -153,10 +154,16 @@ pub struct PackOptions {
     /// thread). Purely a performance knob: results are bitwise identical
     /// for any value.
     pub threads: usize,
-    /// Arithmetic kernel override (`--kernel scalar|simd`); `None` defers
-    /// to the configuration's `params.kernel` (default `simd`). Purely a
-    /// performance knob: both kernels produce bitwise identical packings.
+    /// Arithmetic kernel override (`--kernel scalar|simd|simd_mixed`);
+    /// `None` defers to the configuration's `params.kernel` (default
+    /// `simd`). `scalar` and `simd` produce bitwise identical packings;
+    /// `simd_mixed` trades exactness for f32 rejection bandwidth within a
+    /// documented relative budget.
     pub kernel: Option<Kernel>,
+    /// Gravity-axis tiling override (`--tiles`); `None` defers to the
+    /// configuration's `params.tiles` (default 1 = monolithic). Purely a
+    /// memory knob: tiled packings are bitwise identical to untiled ones.
+    pub tiles: Option<usize>,
     /// Checkpoint file (`--checkpoint`); overrides `checkpoint.path`.
     pub checkpoint: Option<PathBuf>,
     /// Checkpoint cadence in optimizer steps (`--checkpoint-every`);
@@ -451,6 +458,17 @@ fn run_pack_configured(
     if let Some(kernel) = opts.kernel {
         params.kernel = kernel;
     }
+    if let Some(tiles) = opts.tiles {
+        params.tiles = tiles;
+    }
+    if params.tiles > 1 && params.neighbor.strategy == NeighborStrategy::Naive {
+        return Err(CliError::Usage(
+            "tiles > 1 requires a grid-backed neighbor strategy \
+             ('auto', 'grid' or 'verlet'): the naive cross scan reads every \
+             bed sphere and defeats slab retirement"
+                .into(),
+        ));
+    }
 
     let collective = cfg.algorithm.eq_ignore_ascii_case("COLLECTIVE_ARRANGEMENT");
 
@@ -500,7 +518,7 @@ fn run_pack_configured(
         cfg.params.threads
     };
     let salt = context_salt(threads, params.kernel, None);
-    let (run_seed, run_kernel) = (params.seed, params.kernel);
+    let (run_seed, run_kernel, run_tiles) = (params.seed, params.kernel, params.tiles);
 
     let result = if cfg.zones.is_empty() {
         // Single implicit everywhere-zone. The collective path honours the
@@ -659,6 +677,8 @@ fn run_pack_configured(
             backend: wide::backend_name().to_string(),
             isa: wide::detected_isa().to_string(),
             batch_grid: String::new(),
+            tiles: run_tiles as u64,
+            hot_set_peak_bytes: report.hot_set_peak_bytes,
             packed: result.particles.len() as u64,
             target: result.target as u64,
             wall_seconds: result.duration.as_secs_f64(),
@@ -725,6 +745,7 @@ fn run_pack_batched(
             .ok_or_else(|| CliError::Usage("configuration has no particle sets".into()))?;
         let mut p = cfg.to_packing_params_for(sys);
         p.kernel = params.kernel;
+        p.tiles = params.tiles;
         p.target_count = container.capacity_estimate(psd.mean(), 0.6);
         specs.push(SystemSpec {
             label: sys.label.clone(),
@@ -866,6 +887,8 @@ fn run_pack_batched(
                         backend: wide::backend_name().to_string(),
                         isa: wide::detected_isa().to_string(),
                         batch_grid: batch.descriptor(),
+                        tiles: params.tiles as u64,
+                        hot_set_peak_bytes: sys_report.hot_set_peak_bytes,
                         packed: result.particles.len() as u64,
                         target: target as u64,
                         wall_seconds: result.duration.as_secs_f64(),
@@ -1151,6 +1174,11 @@ mod tests {
             })
             .exit_code(),
             CliError::Checkpoint("c".into()).exit_code(),
+            CliError::Pack(PackError::HorizonBreach {
+                batch: 3,
+                misses: 4,
+            })
+            .exit_code(),
         ];
         let mut unique = codes.to_vec();
         unique.sort_unstable();

@@ -15,7 +15,8 @@ USAGE:
     adampack pack <config.yaml> [--out <file.{csv,vtk,xyz}>]
                   [--trace-out <run.jsonl>] [--metrics-out <metrics.prom>]
                   [--log-level <error|warn|info|debug|trace|off>]
-                  [--threads <n>] [--kernel <scalar|simd>]
+                  [--threads <n>] [--kernel <scalar|simd|simd_mixed>]
+                  [--tiles <n>]
                   [--checkpoint <run.ckpt>] [--checkpoint-every <steps>]
                   [--checkpoint-keep <n>] [--resume]
                   [--batch-seeds <s1,s2,…>] [--batch-lrs <lr1,lr2,…>]
@@ -40,8 +41,21 @@ for the parallel phases (0 = one per hardware thread). Results are
 bitwise identical for any value.
 
 --kernel overrides the configuration's `params.kernel` arithmetic
-kernel for the hot loops (default simd). Both kernels produce bitwise
-identical packings; scalar survives as the correctness oracle.
+kernel for the hot loops (default simd). scalar and simd produce
+bitwise identical packings; scalar survives as the correctness oracle.
+simd_mixed rejects pair candidates in f32 (accumulating in f64) for
+extra bandwidth; it is bitwise self-reproducible and matches the exact
+kernels within a documented relative budget (1e-5 on the objective).
+
+--tiles overrides the configuration's `params.tiles` gravity-axis
+tiling (default 1 = monolithic). With N > 1 tiles the container's
+altitude range is split into N slabs and settled slabs more than one
+slab below the bed surface are retired from the resident hot set, so
+memory tracks the active surface instead of the particle total. Purely
+a memory knob: tiled packings are bitwise identical to untiled ones,
+and a guard makes any sub-horizon query a hard error (exit 8) instead
+of silent drift. Requires a grid-backed neighbor strategy (auto, grid
+or verlet).
 
 --checkpoint writes a crash-resume checkpoint (atomic temp+rename,
 rotated history) every --checkpoint-every optimizer steps (default 500),
@@ -82,6 +96,7 @@ diagnostics on or off.
 EXIT CODES:
     0 success   2 usage   3 configuration   4 geometry   5 i/o
     6 divergence budget exhausted   7 checkpoint/resume failure
+    8 tiled retirement horizon breached
 ";
 
 fn parse_num_list<T: std::str::FromStr>(flag: &str, v: &str) -> Result<Vec<T>, CliError> {
@@ -215,9 +230,22 @@ fn dispatch(args: Vec<String>) -> Result<(), CliError> {
                             .ok_or_else(|| CliError::Usage("--kernel requires a name".into()))?;
                         opts.kernel = Some(Kernel::parse(v).ok_or_else(|| {
                             CliError::Usage(format!(
-                                "--kernel expects 'scalar' or 'simd', got '{v}'"
+                                "--kernel expects 'scalar', 'simd' or 'simd_mixed', got '{v}'"
                             ))
                         })?);
+                    }
+                    "--tiles" => {
+                        let v = it.next().ok_or_else(|| {
+                            CliError::Usage(
+                                "--tiles requires a tile count (a positive integer)".into(),
+                            )
+                        })?;
+                        let tiles: usize = v.parse().ok().filter(|&t| t >= 1).ok_or_else(|| {
+                            CliError::Usage(format!(
+                                "--tiles expects a positive integer (1 = untiled), got '{v}'"
+                            ))
+                        })?;
+                        opts.tiles = Some(tiles);
                     }
                     "--log-level" => {
                         let v = it.next().ok_or_else(|| {
@@ -300,6 +328,25 @@ mod tests {
         let err = dispatch(args(&["pack", "cfg.yaml", "--kernel", "avx512"])).unwrap_err();
         assert_eq!(err.exit_code(), 2);
         let msg = err.to_string();
-        assert!(msg.contains("'scalar' or 'simd'"), "{msg}");
+        assert!(msg.contains("'scalar', 'simd' or 'simd_mixed'"), "{msg}");
+        assert!(msg.contains("avx512"), "{msg}");
+    }
+
+    #[test]
+    fn bad_tiles_is_usage_error_naming_accepted_values() {
+        for bad in ["0", "-3", "two", "1.5"] {
+            let err = dispatch(args(&["pack", "cfg.yaml", "--tiles", bad])).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "--tiles {bad}");
+            let msg = err.to_string();
+            assert!(msg.contains("positive integer"), "{msg}");
+            assert!(msg.contains(bad), "{msg}");
+        }
+    }
+
+    #[test]
+    fn missing_tiles_value_is_usage_error() {
+        let err = dispatch(args(&["pack", "cfg.yaml", "--tiles"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("--tiles"));
     }
 }

@@ -3,7 +3,8 @@
 use std::path::{Path, PathBuf};
 
 use adampack_core::{
-    Kernel, LrPolicy, NeighborParams, NeighborStrategy, PackingParams, Psd, ZoneRegion, ZoneSpec,
+    Kernel, LrPolicy, NeighborParams, NeighborStrategy, PackingParams, Psd, SweepOrder, ZoneRegion,
+    ZoneSpec,
 };
 use adampack_geometry::{Axis, ConvexHull};
 use adampack_telemetry::{DiagMode, Level};
@@ -68,10 +69,18 @@ pub struct AlgoParams {
     /// one per hardware thread. Results are bitwise identical for any
     /// value; this is purely a performance knob.
     pub threads: usize,
-    /// Arithmetic kernel for the hot loops (`kernel`): `simd` (default) or
-    /// `scalar`. The two produce bitwise identical packings; this is
-    /// purely a performance knob.
+    /// Arithmetic kernel for the hot loops (`kernel`): `simd` (default),
+    /// `scalar` or `simd_mixed`. `simd` and `scalar` produce bitwise
+    /// identical packings; `simd_mixed` rejects pairs in f32 and is only
+    /// reproducible against itself (within the documented budget of the
+    /// exact kernels).
     pub kernel: Kernel,
+    /// Gravity-axis tiling (`tiles`), default 1 = monolithic. With `tiles:
+    /// T > 1` the container's altitude range is split into T slabs and
+    /// settled slabs more than one slab below the bed surface are retired
+    /// from the resident hot set. Purely a memory knob: the packing is
+    /// bitwise identical to the untiled run.
+    pub tiles: usize,
 }
 
 impl Default for AlgoParams {
@@ -85,6 +94,7 @@ impl Default for AlgoParams {
             seed: 0,
             threads: 0,
             kernel: Kernel::default(),
+            tiles: 1,
         }
     }
 }
@@ -97,6 +107,9 @@ pub struct NeighborConfig {
     /// `skin_factor:` — Verlet skin as a fraction of the largest batch
     /// radius, default 0.4.
     pub skin_factor: f64,
+    /// `order:` — pair-sweep traversal order, `morton` (default) or
+    /// `strided`. Bitwise identical results; purely a cache-locality knob.
+    pub order: SweepOrder,
 }
 
 impl Default for NeighborConfig {
@@ -105,6 +118,7 @@ impl Default for NeighborConfig {
         NeighborConfig {
             strategy: p.strategy,
             skin_factor: p.skin_factor,
+            order: p.order,
         }
     }
 }
@@ -115,6 +129,7 @@ impl NeighborConfig {
         NeighborParams {
             strategy: self.strategy,
             skin_factor: self.skin_factor,
+            order: self.order,
         }
     }
 }
@@ -504,9 +519,16 @@ impl PackingConfig {
             if let Some(v) = p.get("kernel").and_then(Value::as_str) {
                 params.kernel = Kernel::parse(v).ok_or_else(|| {
                     field(format!(
-                        "params.kernel: unknown kernel '{v}' (expected 'scalar' or 'simd')"
+                        "params.kernel: unknown kernel '{v}' \
+                         (expected 'scalar', 'simd' or 'simd_mixed')"
                     ))
                 })?;
+            }
+            if let Some(v) = p.get("tiles").and_then(Value::as_i64) {
+                if v < 1 {
+                    return Err(field(format!("params.tiles must be >= 1, got {v}")));
+                }
+                params.tiles = v as usize;
             }
         }
 
@@ -556,6 +578,14 @@ impl PackingConfig {
                     )));
                 }
                 neighbor.skin_factor = v;
+            }
+            if let Some(v) = nb.get("order").and_then(Value::as_str) {
+                neighbor.order = SweepOrder::parse(v).ok_or_else(|| {
+                    field(format!(
+                        "neighbor.order: unknown order '{v}' \
+                         (expected 'morton' or 'strided')"
+                    ))
+                })?;
             }
         }
 
@@ -714,6 +744,7 @@ impl PackingConfig {
             },
             neighbor: self.neighbor.to_params(),
             kernel: self.params.kernel,
+            tiles: self.params.tiles,
             ..PackingParams::default()
         }
     }
@@ -1325,6 +1356,55 @@ zones:
         let src = "container:\n  path: a.stl\nparticle_sets:\n  - radius_distribution: constant\n    radius_value: 0.1\nparams:\n  kernel: avx512\n";
         let e = PackingConfig::from_str(src).unwrap_err();
         assert!(e.to_string().contains("avx512"), "{e}");
+        // Usage errors must name every accepted value.
+        for accepted in ["'scalar'", "'simd'", "'simd_mixed'"] {
+            assert!(e.to_string().contains(accepted), "{e} missing {accepted}");
+        }
+    }
+
+    #[test]
+    fn mixed_kernel_knob_parses() {
+        let base = "container:\n  path: a.stl\nparticle_sets:\n  - radius_distribution: constant\n    radius_value: 0.1\n";
+        let src = format!("{base}params:\n  kernel: \"simd_mixed\"\n");
+        let cfg = PackingConfig::from_str(&src).unwrap();
+        assert_eq!(cfg.params.kernel, Kernel::SimdMixed);
+        assert_eq!(cfg.to_packing_params().kernel, Kernel::SimdMixed);
+    }
+
+    #[test]
+    fn tiles_knob_parses_and_rejects_nonpositive() {
+        let base = "container:\n  path: a.stl\nparticle_sets:\n  - radius_distribution: constant\n    radius_value: 0.1\n";
+        let cfg = PackingConfig::from_str(base).unwrap();
+        assert_eq!(cfg.params.tiles, 1, "default must be monolithic");
+        assert_eq!(cfg.to_packing_params().tiles, 1);
+
+        let tiled = format!("{base}params:\n  tiles: 8\n");
+        let cfg = PackingConfig::from_str(&tiled).unwrap();
+        assert_eq!(cfg.params.tiles, 8);
+        assert_eq!(cfg.to_packing_params().tiles, 8);
+
+        let bad = format!("{base}params:\n  tiles: 0\n");
+        let e = PackingConfig::from_str(&bad).unwrap_err();
+        assert!(e.to_string().contains("tiles"), "{e}");
+    }
+
+    #[test]
+    fn sweep_order_knob_parses_and_rejects_unknown() {
+        let base = "container:\n  path: a.stl\nparticle_sets:\n  - radius_distribution: constant\n    radius_value: 0.1\n";
+        let cfg = PackingConfig::from_str(base).unwrap();
+        assert_eq!(cfg.neighbor.order, SweepOrder::Morton, "default is morton");
+        assert_eq!(cfg.to_packing_params().neighbor.order, SweepOrder::Morton);
+
+        let strided = format!("{base}neighbor:\n  order: \"strided\"\n");
+        let cfg = PackingConfig::from_str(&strided).unwrap();
+        assert_eq!(cfg.neighbor.order, SweepOrder::Strided);
+        assert_eq!(cfg.to_packing_params().neighbor.order, SweepOrder::Strided);
+
+        let bad = format!("{base}neighbor:\n  order: hilbert\n");
+        let e = PackingConfig::from_str(&bad).unwrap_err();
+        assert!(e.to_string().contains("hilbert"), "{e}");
+        assert!(e.to_string().contains("'morton'"), "{e}");
+        assert!(e.to_string().contains("'strided'"), "{e}");
     }
 
     #[test]

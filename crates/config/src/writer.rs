@@ -31,6 +31,7 @@ pub fn to_yaml(cfg: &PackingConfig) -> String {
         seed,
         threads,
         kernel,
+        tiles,
     } = cfg.params;
     writeln!(s, "params:").unwrap();
     writeln!(s, "    lr: {lr}").unwrap();
@@ -41,6 +42,7 @@ pub fn to_yaml(cfg: &PackingConfig) -> String {
     writeln!(s, "    seed: {seed}").unwrap();
     writeln!(s, "    threads: {threads}").unwrap();
     writeln!(s, "    kernel: \"{}\"", kernel.name()).unwrap();
+    writeln!(s, "    tiles: {tiles}").unwrap();
     let axis = match cfg.gravity_axis {
         adampack_geometry::Axis::X => "x",
         adampack_geometry::Axis::Y => "y",
@@ -57,6 +59,7 @@ pub fn to_yaml(cfg: &PackingConfig) -> String {
         writeln!(s, "neighbor:").unwrap();
         writeln!(s, "    strategy: \"{strategy}\"").unwrap();
         writeln!(s, "    skin_factor: {}", cfg.neighbor.skin_factor).unwrap();
+        writeln!(s, "    order: \"{}\"", cfg.neighbor.order.name()).unwrap();
     }
     if cfg.telemetry != TelemetryConfig::default() {
         writeln!(s, "telemetry:").unwrap();
@@ -174,11 +177,13 @@ mod tests {
                 seed: 7,
                 threads: 4,
                 kernel: adampack_core::Kernel::Scalar,
+                tiles: 6,
             },
             gravity_axis: Axis::Z,
             neighbor: NeighborConfig {
                 strategy: adampack_core::NeighborStrategy::Verlet,
                 skin_factor: 0.25,
+                order: adampack_core::SweepOrder::Strided,
             },
             telemetry: TelemetryConfig {
                 level: ConsoleLevel::Fixed(adampack_telemetry::Level::Debug),

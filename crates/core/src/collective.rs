@@ -17,8 +17,8 @@ use adampack_geometry::Vec3;
 use adampack_opt::{LrScheduler, Optimizer, OptimizerState, SchedulerState};
 use adampack_telemetry::metrics::{
     BATCHES_ACCEPTED_TOTAL, BATCHES_TOTAL, CHECKPOINT_FAILURES_TOTAL, CHECKPOINT_WRITES_TOTAL,
-    PARTICLES_PACKED_TOTAL, PHASE_ACCEPTANCE, PHASE_GRADIENT, PHASE_OPTIMIZER, PHASE_SPAWN,
-    SENTINEL_RECOVERIES_TOTAL, STEPS_TOTAL,
+    HOT_SET_BYTES, PARTICLES_PACKED_TOTAL, PHASE_ACCEPTANCE, PHASE_GRADIENT, PHASE_OPTIMIZER,
+    PHASE_SPAWN, SENTINEL_RECOVERIES_TOTAL, STEPS_TOTAL,
 };
 use adampack_telemetry::{timeline, DiagRecord, StepRecord, TraceRing, TraceSink};
 use rand::rngs::StdRng;
@@ -29,7 +29,7 @@ use crate::checkpoint::{self, BatchInProgress, CheckpointError, RunState};
 use crate::container::Container;
 use crate::diagnostics::{DiagEngine, DiagMode};
 use crate::metrics::{boundary_stats, contact_stats_vs_fixed};
-use crate::neighbor::{CsrGrid, FixedBed, Workspace};
+use crate::neighbor::{tile_horizon, CsrGrid, FixedBed, Workspace};
 use crate::objective::Objective;
 use crate::params::{LrPolicy, PackingParams};
 use crate::particle::Particle;
@@ -173,6 +173,16 @@ pub enum PackError {
     },
     /// A resume was attempted from an unusable checkpoint.
     Resume(CheckpointError),
+    /// A tiled run's retirement guard tripped: a neighbor query reached
+    /// below the gravity-axis horizon, so retired spheres could have been
+    /// observed and the bitwise-parity contract with the untiled run can
+    /// no longer be certified.
+    HorizonBreach {
+        /// Batch whose queries reached below the horizon.
+        batch: usize,
+        /// Number of sub-horizon queries observed in that batch.
+        misses: u64,
+    },
 }
 
 impl std::fmt::Display for PackError {
@@ -188,6 +198,12 @@ impl std::fmt::Display for PackError {
                  after {recoveries} sentinel recoveries"
             ),
             PackError::Resume(e) => write!(f, "cannot resume: {e}"),
+            PackError::HorizonBreach { batch, misses } => write!(
+                f,
+                "tiled retirement horizon breached in batch {batch} \
+                 ({misses} sub-horizon queries); rerun with fewer tiles \
+                 (`tiles` keeps one full slab of settled spheres resident)"
+            ),
         }
     }
 }
@@ -355,9 +371,6 @@ pub struct RunProgress {
     elapsed_base: Duration,
     start: Instant,
     resume_batch: Option<BatchInProgress>,
-    /// Canonicalize the bed grid at batch starts (the checkpointing
-    /// contract: grid layout must be a pure function of the particle list).
-    canonical: bool,
     fingerprint: u64,
     /// Optimizer steps attempted across this run — drives the batched
     /// engine's pass-level checkpoint cadence.
@@ -506,10 +519,10 @@ impl CollectivePacker {
     /// to `sink`. `every_steps = 0` installs the sink without a step
     /// cadence (no checkpoints are taken).
     ///
-    /// Checkpointing canonicalizes the neighbor-grid layout at batch and
-    /// cadence boundaries so a run resumed from any checkpoint is bitwise
-    /// identical to the uninterrupted checkpointed run. A failed save is
-    /// counted and logged but never aborts the packing.
+    /// The neighbor-grid layout is canonicalized at every batch start
+    /// (checkpointing or not), so a run resumed from any checkpoint is
+    /// bitwise identical to the uninterrupted checkpointed run. A failed
+    /// save is counted and logged but never aborts the packing.
     pub fn set_checkpoint_sink(&mut self, sink: Box<dyn CheckpointSink>, every_steps: usize) {
         self.checkpoint = Some(CheckpointCadence::new(sink, every_steps));
     }
@@ -680,10 +693,12 @@ impl CollectivePacker {
     /// Starts a stepping run: resets per-run counters and returns the
     /// [`RunProgress`] that [`CollectivePacker::advance_batch`] drives.
     ///
-    /// `checkpointing` opts into the checkpointing contract (bed grid
-    /// canonicalized at batch starts, parameter fingerprint computed) — pass
-    /// true whenever the run's state may be captured, including by the
-    /// batched engine's pass-boundary checkpoints.
+    /// `checkpointing` opts into the checkpointing contract (parameter
+    /// fingerprint computed so resumes can verify it) — pass true whenever
+    /// the run's state may be captured, including by the batched engine's
+    /// pass-boundary checkpoints. The bed grid is canonicalized at every
+    /// batch start regardless, so its layout is a pure function of the
+    /// particle list for any run.
     pub fn begin_run(&mut self, existing: Vec<Particle>, checkpointing: bool) -> RunProgress {
         self.recoveries = 0;
         if let Some(c) = self.checkpoint.as_mut() {
@@ -706,7 +721,6 @@ impl CollectivePacker {
             elapsed_base: Duration::ZERO,
             start: Instant::now(),
             resume_batch: None,
-            canonical: checkpointing,
             fingerprint,
             steps_taken: 0,
         }
@@ -757,7 +771,6 @@ impl CollectivePacker {
             elapsed_base: Duration::from_nanos(state.elapsed_ns),
             start: Instant::now(),
             resume_batch: state.batch,
-            canonical: checkpointing,
             fingerprint: if checkpointing { fp } else { 0 },
             steps_taken: state.global_step,
         })
@@ -829,12 +842,24 @@ impl CollectivePacker {
             return Ok(());
         }
         let _tl_batch = timeline::span("batch");
-        // With checkpointing on, the grid layout must be a pure function
-        // of the particle list so the resumed run's rebuilt bed matches
-        // the straight run's incrementally grown one bit for bit.
-        if prog.canonical {
+        // The grid layout must be a pure function of the particle list so
+        // a resumed run's rebuilt bed matches the straight run's
+        // incrementally grown one bit for bit — and so a tiled run's hot
+        // window (same canonical layout, settled slabs retired) produces
+        // the identical candidate sequences as the untiled grid.
+        if self.params.tiles > 1 {
+            let (bottom, top) = self.container.altitude_range(self.params.gravity);
+            let bed_top = if prog.bed.is_empty() {
+                f64::NEG_INFINITY
+            } else {
+                prog.bed.top()
+            };
+            let horizon = tile_horizon(self.params.tiles, bottom, top, bed_top);
+            prog.bed.canonicalize_hot(&prog.particles, horizon);
+        } else {
             prog.bed.canonicalize();
         }
+        HOT_SET_BYTES.set((prog.bed.resident_bytes() + self.workspace.resident_bytes()) as u64);
         let resumed = prog.resume_batch.take();
         let t0 = Instant::now();
         if let Some(tr) = self.tracer.as_mut() {
@@ -997,6 +1022,19 @@ impl CollectivePacker {
         } else {
             prog.batch_size /= 2;
         }
+        // Retirement guard: the hot window keeps one full slab below the
+        // bed surface, so no query should ever reach a retired sphere. A
+        // single sub-horizon candidate probe voids the bitwise-parity
+        // certificate and is a hard error rather than a silent drift.
+        if self.params.tiles > 1 {
+            let misses = prog.bed.grid().horizon_misses();
+            if misses > 0 {
+                return Err(PackError::HorizonBreach {
+                    batch: prog.batch_index - 1,
+                    misses,
+                });
+            }
+        }
         Ok(())
     }
 
@@ -1102,6 +1140,7 @@ impl CollectivePacker {
             self.params.neighbor.strategy,
             self.params.neighbor.skin_for(radii),
         )
+        .with_order(self.params.neighbor.order)
         .with_kernel(self.params.kernel);
         // Fresh batch: invalidate the previous batch's Verlet lists while
         // keeping every buffer's capacity.
@@ -1588,6 +1627,97 @@ mod tests {
             assert_eq!(pa.center, pb.center, "positions must be bitwise equal");
             assert_eq!(pa.radius, pb.radius);
         }
+    }
+
+    /// A tall, narrow box: the bed grows high enough along the gravity
+    /// axis for tiled runs to actually retire settled slabs.
+    fn tall_box_container() -> Container {
+        Container::from_mesh(&shapes::box_mesh(Vec3::ZERO, Vec3::new(0.8, 0.8, 2.0))).unwrap()
+    }
+
+    fn tall_params(tiles: usize, kernel: adampack_opt::Kernel) -> PackingParams {
+        PackingParams {
+            batch_size: 24,
+            target_count: 120,
+            max_steps: 300,
+            patience: 40,
+            seed: 11,
+            tiles,
+            kernel,
+            ..PackingParams::default()
+        }
+    }
+
+    #[test]
+    fn tiled_packing_is_bitwise_equal_to_untiled() {
+        // The tentpole contract: gravity-axis tiling is a pure memory
+        // optimization. Retiring settled slabs must leave every center,
+        // radius, step count and fitness bitwise identical to the
+        // monolithic run, for both the scalar oracle and the SIMD kernel.
+        let psd = Psd::uniform(0.07, 0.1);
+        for kernel in [adampack_opt::Kernel::Scalar, adampack_opt::Kernel::Simd] {
+            let run = |tiles| {
+                let mut packer =
+                    CollectivePacker::new(tall_box_container(), tall_params(tiles, kernel));
+                packer.try_pack(&psd).unwrap()
+            };
+            let untiled = run(1);
+            assert!(
+                untiled.particles.len() >= 48,
+                "fixture too small to grow a multi-slab bed: {} particles",
+                untiled.particles.len()
+            );
+            for tiles in [3, 5] {
+                let tiled = run(tiles);
+                assert_eq!(
+                    untiled.particles.len(),
+                    tiled.particles.len(),
+                    "{kernel} kernel, {tiles} tiles: particle count"
+                );
+                for (a, b) in untiled.particles.iter().zip(&tiled.particles) {
+                    assert_eq!(a.center.x.to_bits(), b.center.x.to_bits());
+                    assert_eq!(a.center.y.to_bits(), b.center.y.to_bits());
+                    assert_eq!(a.center.z.to_bits(), b.center.z.to_bits());
+                    assert_eq!(a.radius.to_bits(), b.radius.to_bits());
+                }
+                assert_eq!(untiled.batches.len(), tiled.batches.len());
+                for (a, b) in untiled.batches.iter().zip(&tiled.batches) {
+                    assert_eq!(a.steps, b.steps, "{kernel}, {tiles} tiles: steps");
+                    assert_eq!(a.accepted, b.accepted);
+                    assert_eq!(a.best_fitness.to_bits(), b.best_fitness.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_run_retires_settled_slabs_without_breaching() {
+        // Drive the stepping API so the bed is inspectable mid-run: the
+        // hot set must actually shrink below the full population once the
+        // bed spans enough slabs, the retirement guard must never trip
+        // (advance_batch would return HorizonBreach), and the hot-set
+        // gauge must have recorded a resident-memory reading.
+        let psd = Psd::uniform(0.07, 0.1);
+        let mut packer = CollectivePacker::new(
+            tall_box_container(),
+            tall_params(5, adampack_opt::Kernel::Simd),
+        );
+        let mut prog = packer.begin_run(Vec::new(), false);
+        let mut cadence = None;
+        let mut retired_max = 0usize;
+        while !prog.finished() {
+            packer.advance_batch(&psd, &mut prog, &mut cadence).unwrap();
+            retired_max = retired_max.max(prog.particles.len() - prog.bed.grid().len());
+        }
+        assert!(
+            retired_max > 0,
+            "a {}-particle bed under 5 tiles never retired a settled slab",
+            prog.particles.len()
+        );
+        assert!(
+            HOT_SET_BYTES.peak() > 0,
+            "hot-set gauge never recorded a reading"
+        );
     }
 
     #[test]

@@ -107,7 +107,9 @@ pub mod prelude {
     pub use crate::diagnostics::{DiagEngine, DiagMode, DiagSummary};
     pub use crate::manifest::{ArtifactEntry, RunManifest};
     pub use crate::metrics::{contact_stats, psd_adherence, ContactStats};
-    pub use crate::neighbor::{CsrGrid, FixedBed, NeighborStrategy, VerletLists, Workspace};
+    pub use crate::neighbor::{
+        CsrGrid, FixedBed, NeighborStrategy, SweepOrder, VerletLists, Workspace,
+    };
     pub use crate::objective::{Objective, ObjectiveBreakdown, ObjectiveWeights};
     pub use crate::params::{
         LrPolicy, NeighborParams, OptimizerKind, PackingParams, SentinelParams,

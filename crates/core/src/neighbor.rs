@@ -31,10 +31,12 @@
 //! one-writer-per-slot gradient layout and sequential value reduction, a
 //! fixed seed gives bitwise-identical packings on any thread count.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use adampack_geometry::{Aabb, Axis, Vec3};
 use rayon::par;
 
-use crate::kernels::{PlaneSoa, SoaCoords};
+use crate::kernels::{FixedMirror, PlaneSoa, SoaCoords};
 use crate::objective::ObjectiveBreakdown;
 use crate::particle::{coords, Particle};
 
@@ -56,6 +58,50 @@ pub enum NeighborStrategy {
 
 /// Batch size at which [`NeighborStrategy::Auto`] switches to Verlet lists.
 pub const VERLET_THRESHOLD: usize = 32;
+
+/// In which sequence the objective's parallel sweep visits query particles.
+///
+/// Both orders produce **bitwise identical** results: each particle's value
+/// and gradient land in its own slot and the final reduction always runs
+/// sequentially over slot index, so the visit sequence only affects cache
+/// behavior, never arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepOrder {
+    /// Z-order (Morton) traversal: query particles sorted by the
+    /// interleaved bits of their quantized cell coordinates, so consecutive
+    /// queries share candidate cells and the pair sweep walks the CSR
+    /// `entries`/SoA memory in cache-sized blocks (default).
+    #[default]
+    Morton,
+    /// Spawn/index order — the pre-PR-8 strided z→y→x behavior, kept as the
+    /// oracle ordering.
+    Strided,
+}
+
+impl SweepOrder {
+    /// Parses the user-facing knob value (`"morton"` / `"strided"`).
+    pub fn parse(s: &str) -> Option<SweepOrder> {
+        match s.to_ascii_lowercase().as_str() {
+            "morton" => Some(SweepOrder::Morton),
+            "strided" => Some(SweepOrder::Strided),
+            _ => None,
+        }
+    }
+
+    /// Canonical knob spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            SweepOrder::Morton => "morton",
+            SweepOrder::Strided => "strided",
+        }
+    }
+}
+
+impl std::fmt::Display for SweepOrder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// Cap on the number of grid cells; beyond it the cell edge is scaled up.
 /// Bounds memory for sparse clouds spread over a huge AABB.
@@ -82,7 +128,19 @@ const SCAN_BLOCK: usize = 4096;
 /// holds the indices of the spheres whose center falls in cell `c`, and
 /// cells are linearized x-fastest so a query's x-row of cells is one
 /// contiguous `entries` range.
-#[derive(Debug, Clone)]
+///
+/// # Hot-window mode
+///
+/// [`CsrGrid::rebuild_hot`] puts the grid in *hot-window* mode for tiled
+/// runs: only spheres whose surface reaches the retirement horizon are
+/// stored, but the binning geometry (origin, cell edge, dims, `max_radius`,
+/// bounds) is pinned to the values the **full** sphere set would produce, so
+/// every retained sphere lands in exactly the cell the untiled grid would
+/// put it in, in the same counting-sort relative order. Any query whose
+/// window could reach below the horizon increments a relaxed miss counter
+/// instead of silently returning a truncated candidate set; the packing
+/// loop checks the counter every batch and fails hard.
+#[derive(Debug)]
 pub struct CsrGrid {
     cell: f64,
     inv_cell: f64,
@@ -103,6 +161,51 @@ pub struct CsrGrid {
     keys: Vec<u32>,
     /// Per-chunk histogram scratch for the parallel counting sort.
     sort_scratch: Vec<u32>,
+    /// Bumped whenever the sphere arrays change (rebuilds and pushes);
+    /// lets downstream caches (the mixed kernel's f32 mirror) re-narrow
+    /// only when the content actually moved.
+    generation: u64,
+    /// Hot-window state; `None` outside tiled runs.
+    hot: Option<HotWindow>,
+    /// Queries whose window could have reached below the hot floor.
+    horizon_misses: AtomicU64,
+}
+
+/// Pinned geometry and floor of a hot-window ([`CsrGrid::rebuild_hot`]).
+#[derive(Debug, Clone, Copy)]
+struct HotWindow {
+    /// Gravity-axis unit vector altitudes are measured along.
+    up: Vec3,
+    /// Retirement horizon: spheres with `up·c + r < floor` are not stored.
+    floor: f64,
+    /// Center AABB of the **full** sphere set, maintained across pushes so
+    /// mid-batch rebins reproduce the untiled grid's binning geometry.
+    center_lo: Vec3,
+    /// See `center_lo`.
+    center_hi: Vec3,
+}
+
+impl Clone for CsrGrid {
+    fn clone(&self) -> CsrGrid {
+        CsrGrid {
+            cell: self.cell,
+            inv_cell: self.inv_cell,
+            origin: self.origin,
+            dims: self.dims,
+            cell_start: self.cell_start.clone(),
+            entries: self.entries.clone(),
+            centers: self.centers.clone(),
+            radii: self.radii.clone(),
+            max_radius: self.max_radius,
+            bounds: self.bounds,
+            pending: self.pending.clone(),
+            keys: self.keys.clone(),
+            sort_scratch: self.sort_scratch.clone(),
+            generation: self.generation,
+            hot: self.hot,
+            horizon_misses: AtomicU64::new(self.horizon_misses.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl Default for CsrGrid {
@@ -139,20 +242,74 @@ impl CsrGrid {
             pending: Vec::new(),
             keys: Vec::new(),
             sort_scratch: Vec::new(),
+            generation: 0,
+            hot: None,
+            horizon_misses: AtomicU64::new(0),
         }
     }
 
     /// Re-populates the grid in place, reusing every buffer's capacity.
+    /// Leaves (or returns the grid to) the ordinary full-population mode.
     pub fn rebuild(&mut self, centers: &[Vec3], radii: &[f64]) {
         assert_eq!(centers.len(), radii.len(), "centers/radii length mismatch");
+        self.hot = None;
+        self.generation = self.generation.wrapping_add(1);
         self.centers.clear();
         self.centers.extend_from_slice(centers);
         self.radii.clear();
         self.radii.extend_from_slice(radii);
-        // min/max reductions are exact under any grouping, so the parallel
-        // fold matches the serial one bit for bit.
-        let (lo, hi, max_r) = par::map_reduce(
-            centers.len(),
+        let (lo, hi, max_r) = surface_scan(centers, radii);
+        self.max_radius = max_r;
+        self.bounds = Aabb::empty();
+        if !centers.is_empty() {
+            self.bounds.expand_point(lo);
+            self.bounds.expand_point(hi);
+        }
+        self.rebin();
+    }
+
+    /// Re-populates the grid in *hot-window* mode: geometry and bounds are
+    /// computed from the **full** `centers`/`radii` arrays (bitwise the
+    /// values [`CsrGrid::rebuild`] would produce), but only spheres whose
+    /// surface altitude along `up` reaches `horizon` are stored and binned.
+    ///
+    /// Because the geometry is pinned to the full set and the counting sort
+    /// is stable, the retained spheres occupy the same cells in the same
+    /// relative order as in the untiled grid, so any query that stays above
+    /// the horizon (see [`CsrGrid::horizon_misses`]) sees a candidate
+    /// sequence whose accepted pairs are identical to the untiled run's.
+    pub fn rebuild_hot(&mut self, centers: &[Vec3], radii: &[f64], up: Vec3, horizon: f64) {
+        assert_eq!(centers.len(), radii.len(), "centers/radii length mismatch");
+        self.rebuild_hot_impl(centers.len(), |i| (centers[i], radii[i]), up, horizon);
+    }
+
+    /// [`CsrGrid::rebuild_hot`] reading straight from a particle list — no
+    /// O(total) staging copy, so a tiled run's resident memory really is
+    /// the retained window plus transient scan state.
+    pub fn rebuild_hot_particles(&mut self, particles: &[Particle], up: Vec3, horizon: f64) {
+        self.rebuild_hot_impl(
+            particles.len(),
+            |i| (particles[i].center, particles[i].radius),
+            up,
+            horizon,
+        );
+    }
+
+    /// Shared body of the hot rebuilds. The scans replicate
+    /// [`surface_scan`] / [`center_aabb`] exactly — same fixed block
+    /// decomposition, same per-block loop order, same combine — so the
+    /// binning geometry is bitwise the one the untiled grid computes.
+    fn rebuild_hot_impl(
+        &mut self,
+        n: usize,
+        sphere: impl Fn(usize) -> (Vec3, f64) + Sync,
+        up: Vec3,
+        horizon: f64,
+    ) {
+        self.generation = self.generation.wrapping_add(1);
+        self.horizon_misses.store(0, Ordering::Relaxed);
+        let (lo_s, hi_s, max_r) = par::map_reduce(
+            n,
             SCAN_BLOCK,
             (
                 Vec3::splat(f64::INFINITY),
@@ -163,7 +320,8 @@ impl CsrGrid {
                 let mut lo = Vec3::splat(f64::INFINITY);
                 let mut hi = Vec3::splat(f64::NEG_INFINITY);
                 let mut max_r = 0.0f64;
-                for (&c, &r) in centers[s..e].iter().zip(&radii[s..e]) {
+                for i in s..e {
+                    let (c, r) = sphere(i);
                     lo = lo.min(c - Vec3::splat(r));
                     hi = hi.max(c + Vec3::splat(r));
                     max_r = max_r.max(r);
@@ -174,9 +332,44 @@ impl CsrGrid {
         );
         self.max_radius = max_r;
         self.bounds = Aabb::empty();
-        if !centers.is_empty() {
-            self.bounds.expand_point(lo);
-            self.bounds.expand_point(hi);
+        if n > 0 {
+            self.bounds.expand_point(lo_s);
+            self.bounds.expand_point(hi_s);
+        }
+        let (center_lo, center_hi) = if n == 0 {
+            (Vec3::splat(f64::INFINITY), Vec3::splat(f64::NEG_INFINITY))
+        } else {
+            par::map_reduce(
+                n,
+                SCAN_BLOCK,
+                (Vec3::splat(f64::INFINITY), Vec3::splat(f64::NEG_INFINITY)),
+                |s, e| {
+                    let mut lo = sphere(s).0;
+                    let mut hi = lo;
+                    for i in s + 1..e {
+                        let c = sphere(i).0;
+                        lo = lo.min(c);
+                        hi = hi.max(c);
+                    }
+                    (lo, hi)
+                },
+                |a, b| (a.0.min(b.0), a.1.max(b.1)),
+            )
+        };
+        self.hot = Some(HotWindow {
+            up,
+            floor: horizon,
+            center_lo,
+            center_hi,
+        });
+        self.centers.clear();
+        self.radii.clear();
+        for i in 0..n {
+            let (c, r) = sphere(i);
+            if up.dot(c) + r >= horizon {
+                self.centers.push(c);
+                self.radii.push(r);
+            }
         }
         self.rebin();
     }
@@ -186,11 +379,18 @@ impl CsrGrid {
     /// CSR structure once it exceeds a fraction of the binned population.
     pub fn push(&mut self, center: Vec3, radius: f64) {
         let i = self.centers.len() as u32;
+        self.generation = self.generation.wrapping_add(1);
         self.centers.push(center);
         self.radii.push(radius);
         self.max_radius = self.max_radius.max(radius);
         self.bounds.expand_point(center + Vec3::splat(radius));
         self.bounds.expand_point(center - Vec3::splat(radius));
+        if let Some(h) = &mut self.hot {
+            // Track the full-set center AABB so a mid-batch rebin keeps
+            // reproducing the untiled binning geometry.
+            h.center_lo = h.center_lo.min(center);
+            h.center_hi = h.center_hi.max(center);
+        }
         self.pending.push(i);
         let binned = self.entries.len();
         if self.pending.len() > PENDING_MIN.max(binned / PENDING_FRACTION) {
@@ -228,42 +428,15 @@ impl CsrGrid {
         }
         let _span = adampack_telemetry::span(adampack_telemetry::Phase::GridBuild);
         // Bin over the AABB of the centers (surfaces don't matter for
-        // binning; `max_radius` widens the query window instead).
+        // binning; `max_radius` widens the query window instead). In
+        // hot-window mode the AABB of the *full* set (maintained across
+        // pushes) is used so the geometry matches the untiled grid's.
         let centers = &self.centers;
-        let (lo, hi) = par::map_reduce(
-            n,
-            SCAN_BLOCK,
-            (Vec3::splat(f64::INFINITY), Vec3::splat(f64::NEG_INFINITY)),
-            |s, e| {
-                let mut lo = centers[s];
-                let mut hi = centers[s];
-                for &c in &centers[s + 1..e] {
-                    lo = lo.min(c);
-                    hi = hi.max(c);
-                }
-                (lo, hi)
-            },
-            |a, b| (a.0.min(b.0), a.1.max(b.1)),
-        );
-        let mut cell = (2.0 * self.max_radius).max(1e-9);
-        let extent = hi - lo;
-        let dims_for = |cell: f64| -> [i64; 3] {
-            [
-                (extent.x / cell) as i64 + 1,
-                (extent.y / cell) as i64 + 1,
-                (extent.z / cell) as i64 + 1,
-            ]
+        let (lo, hi) = match &self.hot {
+            Some(h) => (h.center_lo, h.center_hi),
+            None => center_aabb(centers),
         };
-        let mut dims = dims_for(cell);
-        // The raw product can exceed i64 for tiny spheres over a huge span,
-        // so the cap check runs in f64; the 1.001 margin absorbs the `+ 1`
-        // rounding in `dims_for` so the loop terminates in 1–2 iterations.
-        let mut total = dims[0] as f64 * dims[1] as f64 * dims[2] as f64;
-        while total > MAX_CELLS as f64 {
-            cell *= (total / MAX_CELLS as f64).cbrt() * 1.001;
-            dims = dims_for(cell);
-            total = dims[0] as f64 * dims[1] as f64 * dims[2] as f64;
-        }
+        let (cell, dims) = binning_geometry(hi - lo, self.max_radius);
         self.cell = cell;
         self.inv_cell = 1.0 / cell;
         self.origin = lo;
@@ -347,6 +520,15 @@ impl CsrGrid {
     /// callback overhead.
     #[inline]
     pub fn for_neighbor_rows<F: FnMut(&[u32])>(&self, p: Vec3, reach: f64, mut f: F) {
+        if let Some(h) = &self.hot {
+            // The query window dips below the retained horizon: some
+            // candidate the untiled grid would offer may be missing. Count
+            // it (relaxed — the count is checked, never ordered against)
+            // and let the packing loop fail the batch hard.
+            if h.up.dot(p) - (reach + self.max_radius) < h.floor {
+                self.horizon_misses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         if !self.entries.is_empty() {
             let range = reach + self.max_radius;
             let lo_x = ((p.x - range - self.origin.x) * self.inv_cell).floor() as i64;
@@ -394,6 +576,119 @@ impl CsrGrid {
     pub fn bounds(&self) -> Aabb {
         self.bounds
     }
+
+    /// Content generation: bumped on every rebuild and push. Downstream
+    /// caches (the mixed kernel's f32 mirror) key on this.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// True when the grid is in hot-window mode ([`CsrGrid::rebuild_hot`]).
+    pub fn is_hot(&self) -> bool {
+        self.hot.is_some()
+    }
+
+    /// The hot-window retirement horizon, if in hot-window mode.
+    pub fn hot_floor(&self) -> Option<f64> {
+        self.hot.map(|h| h.floor)
+    }
+
+    /// Number of queries since the last (hot) rebuild whose search window
+    /// could have reached below the retirement horizon. Always zero
+    /// outside hot-window mode and for a correctly sized window; non-zero
+    /// means candidates may have been silently retired and the run must
+    /// not trust this batch.
+    pub fn horizon_misses(&self) -> u64 {
+        self.horizon_misses.load(Ordering::Relaxed)
+    }
+
+    /// Heap bytes resident in the grid's buffers (capacities, not lengths
+    /// — this is what the allocator actually holds).
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        (self.cell_start.capacity()
+            + self.entries.capacity()
+            + self.pending.capacity()
+            + self.keys.capacity()
+            + self.sort_scratch.capacity())
+            * size_of::<u32>()
+            + self.centers.capacity() * size_of::<Vec3>()
+            + self.radii.capacity() * size_of::<f64>()
+    }
+}
+
+/// Surface-inclusive AABB corners and max radius of a sphere set.
+/// min/max reductions are exact under any grouping, so the parallel fold
+/// matches the serial one bit for bit.
+fn surface_scan(centers: &[Vec3], radii: &[f64]) -> (Vec3, Vec3, f64) {
+    par::map_reduce(
+        centers.len(),
+        SCAN_BLOCK,
+        (
+            Vec3::splat(f64::INFINITY),
+            Vec3::splat(f64::NEG_INFINITY),
+            0.0,
+        ),
+        |s, e| {
+            let mut lo = Vec3::splat(f64::INFINITY);
+            let mut hi = Vec3::splat(f64::NEG_INFINITY);
+            let mut max_r = 0.0f64;
+            for (&c, &r) in centers[s..e].iter().zip(&radii[s..e]) {
+                lo = lo.min(c - Vec3::splat(r));
+                hi = hi.max(c + Vec3::splat(r));
+                max_r = max_r.max(r);
+            }
+            (lo, hi, max_r)
+        },
+        |a, b| (a.0.min(b.0), a.1.max(b.1), a.2.max(b.2)),
+    )
+}
+
+/// Center AABB of a sphere set (exact min/max parallel fold).
+fn center_aabb(centers: &[Vec3]) -> (Vec3, Vec3) {
+    if centers.is_empty() {
+        return (Vec3::splat(f64::INFINITY), Vec3::splat(f64::NEG_INFINITY));
+    }
+    par::map_reduce(
+        centers.len(),
+        SCAN_BLOCK,
+        (Vec3::splat(f64::INFINITY), Vec3::splat(f64::NEG_INFINITY)),
+        |s, e| {
+            let mut lo = centers[s];
+            let mut hi = centers[s];
+            for &c in &centers[s + 1..e] {
+                lo = lo.min(c);
+                hi = hi.max(c);
+            }
+            (lo, hi)
+        },
+        |a, b| (a.0.min(b.0), a.1.max(b.1)),
+    )
+}
+
+/// Binning geometry for a center-AABB extent: the cell edge defaults to the
+/// largest sphere diameter (clamped away from zero), then grows until the
+/// total cell count fits under [`MAX_CELLS`].
+fn binning_geometry(extent: Vec3, max_radius: f64) -> (f64, [i64; 3]) {
+    let mut cell = (2.0 * max_radius).max(1e-9);
+    let dims_for = |cell: f64| -> [i64; 3] {
+        [
+            (extent.x / cell) as i64 + 1,
+            (extent.y / cell) as i64 + 1,
+            (extent.z / cell) as i64 + 1,
+        ]
+    };
+    let mut dims = dims_for(cell);
+    // The raw product can exceed i64 for tiny spheres over a huge span,
+    // so the cap check runs in f64; the 1.001 margin absorbs the `+ 1`
+    // rounding in `dims_for` so the loop terminates in 1–2 iterations.
+    let mut total = dims[0] as f64 * dims[1] as f64 * dims[2] as f64;
+    while total > MAX_CELLS as f64 {
+        cell *= (total / MAX_CELLS as f64).cbrt() * 1.001;
+        dims = dims_for(cell);
+        total = dims[0] as f64 * dims[1] as f64 * dims[2] as f64;
+    }
+    (cell, dims)
 }
 
 /// Linear cell index with the grid parameters passed explicitly, so the
@@ -462,6 +757,22 @@ impl FixedBed {
         self.grid.flush_pending();
     }
 
+    /// Tiled-run variant of [`FixedBed::canonicalize`]: rebuilds the grid
+    /// in hot-window mode from the master particle list, retiring every
+    /// sphere whose surface sits below `horizon` while pinning the binning
+    /// geometry to the full set (see [`CsrGrid::rebuild_hot`]). The bed top
+    /// is refreshed from the full list, so spawn altitudes are unaffected
+    /// by retirement.
+    pub fn canonicalize_hot(&mut self, particles: &[Particle], horizon: f64) {
+        let up = self.axis.up();
+        let mut top = f64::NEG_INFINITY;
+        for p in particles {
+            top = top.max(up.dot(p.center) + p.radius);
+        }
+        self.top = top;
+        self.grid.rebuild_hot_particles(particles, up, horizon);
+    }
+
     /// The neighbor-query structure over the bed.
     pub fn grid(&self) -> &CsrGrid {
         &self.grid
@@ -486,6 +797,41 @@ impl FixedBed {
     pub fn is_empty(&self) -> bool {
         self.grid.is_empty()
     }
+
+    /// Heap bytes resident in the bed (the grid's buffers).
+    pub fn resident_bytes(&self) -> usize {
+        self.grid.resident_bytes()
+    }
+}
+
+/// Slab-quantized retirement horizon for a gravity-axis tiled run.
+///
+/// The container span `[bottom, top]` is divided into `tiles` equal slabs.
+/// The horizon is the bottom of the slab **below** the one containing the
+/// bed top, so the hot window always keeps at least one full slab of
+/// settled material under the active surface — enough to dominate any
+/// realistic interaction reach. Quantizing to slab boundaries (instead of
+/// tracking `bed_top − margin` continuously) means the horizon moves a few
+/// times per run, keeping hot rebuild churn negligible.
+///
+/// Returns `-∞` (retain everything) while the bed is empty, for one tile,
+/// for a degenerate container span, or while the bed top is still inside
+/// the bottom two slabs: a horizon at the container floor retires nothing,
+/// but as a finite hot-window floor it would turn every floor-adjacent
+/// query window into a spurious breach.
+pub fn tile_horizon(tiles: usize, bottom: f64, top: f64, bed_top: f64) -> f64 {
+    if tiles <= 1 || !bed_top.is_finite() {
+        return f64::NEG_INFINITY;
+    }
+    let slab = (top - bottom) / tiles as f64;
+    if slab.is_nan() || slab <= 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    let k = ((bed_top - bottom) / slab).floor() - 1.0;
+    if k <= 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    bottom + slab * k
 }
 
 // ---------------------------------------------------------------------------
@@ -695,6 +1041,40 @@ impl VerletLists {
     pub fn cross(&self, i: usize) -> &[u32] {
         &self.cross_entries[self.cross_start[i] as usize..self.cross_start[i + 1] as usize]
     }
+
+    /// Heap bytes resident in the lists' buffers (capacities).
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.ref_coords.capacity() * size_of::<f64>()
+            + (self.intra_start.capacity()
+                + self.intra_entries.capacity()
+                + self.cross_start.capacity()
+                + self.cross_entries.capacity())
+                * size_of::<u32>()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Morton (Z-order) sweep keys
+// ---------------------------------------------------------------------------
+
+/// Spreads the low 10 bits of `v` three positions apart (bit `i` of the
+/// input lands at bit `3i` of the output).
+#[inline]
+fn spread_bits_3(v: u64) -> u64 {
+    let mut x = v & 0x3ff;
+    x = (x | (x << 16)) & 0xff00_00ff;
+    x = (x | (x << 8)) & 0x0300_f00f;
+    x = (x | (x << 4)) & 0x030c_30c3;
+    x = (x | (x << 2)) & 0x0924_9249;
+    x
+}
+
+/// 30-bit Morton key of a quantized lattice coordinate (each component in
+/// `0..1024`): bits of x, y, z interleaved x-lowest.
+#[inline]
+fn morton_key(qx: u64, qy: u64, qz: u64) -> u64 {
+    spread_bits_3(qx) | (spread_bits_3(qy) << 1) | (spread_bits_3(qz) << 2)
 }
 
 // ---------------------------------------------------------------------------
@@ -728,6 +1108,15 @@ pub struct Workspace {
     /// SoA snapshot of the container planes for the vectorized half-space
     /// loop.
     pub(crate) plane_soa: PlaneSoa,
+    /// Single-precision mirror of the fixed bed for the mixed-precision
+    /// kernel's rejection lanes (re-narrowed per bed generation).
+    pub(crate) fixed_f32: FixedMirror,
+    /// Morton sort scratch: `(key << 32) | index` per particle.
+    sweep_keys: Vec<u64>,
+    /// The Morton visit permutation (sweep position → particle index).
+    pub(crate) sweep_order: Vec<u32>,
+    /// Verlet rebuild count the permutation was computed at.
+    sweep_stamp: Option<usize>,
     /// Evaluations served since creation (diagnostics).
     pub(crate) evals: usize,
 }
@@ -748,10 +1137,68 @@ impl Workspace {
         self.evals
     }
 
-    /// Resets per-batch state (list reference positions), keeping every
-    /// buffer's capacity. Call between batches.
+    /// Resets per-batch state (list reference positions and the sweep
+    /// permutation), keeping every buffer's capacity. Call between batches.
     pub fn reset_batch(&mut self) {
         self.verlet.ref_coords.clear();
+        self.sweep_stamp = None;
+    }
+
+    /// The Morton visit permutation over the batch's `n` particles (from
+    /// the flat interleaved coordinate buffer `c`), recomputed lazily when
+    /// the batch or the Verlet lists changed.
+    ///
+    /// The permutation sorts particles by the Z-order key of their position
+    /// quantized to a 1024³ lattice over the batch AABB, ties broken by
+    /// index (the key embeds the index in its low bits), so the order is
+    /// total, deterministic, and thread-independent. It re-sequences the
+    /// *parallel sweep* only: every output still lands in slot `i` and the
+    /// value reduction stays sequential over slot index, so results are
+    /// bitwise identical to the strided order.
+    pub(crate) fn refresh_sweep_order(&mut self, c: &[f64], n: usize) -> &[u32] {
+        debug_assert_eq!(c.len(), 3 * n);
+        let stamp = self.verlet.rebuilds();
+        if self.sweep_order.len() != n || self.sweep_stamp != Some(stamp) {
+            self.sweep_stamp = Some(stamp);
+            let mut lo = Vec3::splat(f64::INFINITY);
+            let mut hi = Vec3::splat(f64::NEG_INFINITY);
+            for i in 0..n {
+                let p = coords::get(c, i);
+                lo = lo.min(p);
+                hi = hi.max(p);
+            }
+            let extent = hi - lo;
+            let scale = |e: f64| if e > 0.0 { 1023.0 / e } else { 0.0 };
+            let (sx, sy, sz) = (scale(extent.x), scale(extent.y), scale(extent.z));
+            self.sweep_keys.clear();
+            self.sweep_keys.resize(n, 0);
+            par::fill_with(&mut self.sweep_keys, |i| {
+                let p = coords::get(c, i);
+                let q = |v: f64, lo: f64, s: f64| (((v - lo) * s) as i64).clamp(0, 1023) as u64;
+                let key = morton_key(q(p.x, lo.x, sx), q(p.y, lo.y, sy), q(p.z, lo.z, sz));
+                (key << 32) | i as u64
+            });
+            self.sweep_keys.sort_unstable();
+            self.sweep_order.clear();
+            self.sweep_order
+                .extend(self.sweep_keys.iter().map(|&k| k as u32));
+        }
+        &self.sweep_order
+    }
+
+    /// Heap bytes resident across every workspace buffer (capacities).
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.values.capacity() * size_of::<f64>()
+            + self.breakdowns.capacity() * size_of::<ObjectiveBreakdown>()
+            + self.batch_grid.resident_bytes()
+            + self.positions.capacity() * size_of::<Vec3>()
+            + self.verlet.resident_bytes()
+            + self.soa.resident_bytes()
+            + self.plane_soa.resident_bytes()
+            + self.fixed_f32.resident_bytes()
+            + self.sweep_keys.capacity() * size_of::<u64>()
+            + self.sweep_order.capacity() * size_of::<u32>()
     }
 
     /// Restores the cumulative diagnostics counters from a checkpoint so a
@@ -996,5 +1443,211 @@ mod tests {
         let ws = Workspace::new();
         assert_eq!(ws.verlet_rebuilds(), 0);
         assert_eq!(ws.evals(), 0);
+    }
+
+    #[test]
+    fn tile_horizon_keeps_a_full_slab_below_the_surface() {
+        // tiles <= 1 or an empty bed disable tiling entirely.
+        assert_eq!(tile_horizon(1, 0.0, 10.0, 5.0), f64::NEG_INFINITY);
+        assert_eq!(
+            tile_horizon(4, 0.0, 10.0, f64::NEG_INFINITY),
+            f64::NEG_INFINITY
+        );
+        // Degenerate container span.
+        assert_eq!(tile_horizon(4, 2.0, 2.0, 1.0), f64::NEG_INFINITY);
+        // 5 tiles over [0, 10]: slab = 2. Bed top 5 sits in slab 2, so the
+        // horizon retreats one full slab to 2.
+        assert_eq!(tile_horizon(5, 0.0, 10.0, 5.0), 2.0);
+        // A bed still inside the bottom two slabs retires nothing, and the
+        // horizon must stay -inf (a finite floor at the container bottom
+        // would count floor-adjacent query windows as spurious breaches).
+        assert_eq!(tile_horizon(5, 0.0, 10.0, 1.9), f64::NEG_INFINITY);
+        assert_eq!(tile_horizon(5, 0.0, 10.0, 3.9), f64::NEG_INFINITY);
+        assert_eq!(tile_horizon(5, 0.0, 10.0, 4.1), 2.0);
+        // The horizon is monotone in bed_top.
+        let mut last = f64::NEG_INFINITY;
+        for t in 0..50 {
+            let h = tile_horizon(8, -1.0, 7.0, -1.0 + 0.16 * t as f64);
+            assert!(h >= last, "horizon must be monotone");
+            last = h;
+        }
+    }
+
+    #[test]
+    fn hot_rebuild_pins_full_set_geometry() {
+        let (centers, radii) = random_cloud(11, 400, 2.0);
+        let full = CsrGrid::build(&centers, &radii);
+        let mut hot = CsrGrid::empty();
+        hot.rebuild_hot(&centers, &radii, Vec3::Z, 0.5);
+        assert!(hot.is_hot());
+        assert_eq!(hot.hot_floor(), Some(0.5));
+        assert!(hot.len() < full.len(), "horizon must retire something");
+        // The binning geometry is pinned to the FULL set: identical cell
+        // size, origin, dims and query window regardless of retirement.
+        assert_eq!(hot.cell.to_bits(), full.cell.to_bits());
+        assert_eq!(hot.origin.x.to_bits(), full.origin.x.to_bits());
+        assert_eq!(hot.origin.y.to_bits(), full.origin.y.to_bits());
+        assert_eq!(hot.origin.z.to_bits(), full.origin.z.to_bits());
+        assert_eq!(hot.dims, full.dims);
+        assert_eq!(hot.max_radius.to_bits(), full.max_radius.to_bits());
+        assert_eq!(hot.bounds.min, full.bounds.min);
+        assert_eq!(hot.bounds.max, full.bounds.max);
+    }
+
+    #[test]
+    fn hot_grid_queries_above_horizon_match_full_grid_in_order() {
+        let (centers, radii) = random_cloud(12, 500, 2.0);
+        let horizon = 0.3;
+        let full = CsrGrid::build(&centers, &radii);
+        let mut hot = CsrGrid::empty();
+        hot.rebuild_hot(&centers, &radii, Vec3::Z, horizon);
+        let retained = |c: Vec3, r: f64| c.z + r >= horizon;
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..100 {
+            let p = Vec3::new(
+                rng.gen_range(-2.0..2.0),
+                rng.gen_range(-2.0..2.0),
+                rng.gen_range(-2.0..2.0),
+            );
+            let reach = rng.gen_range(0.05..0.5);
+            // Only query where the guard inequality holds. `for_neighbors`
+            // visits cell-window *candidates*, so sub-horizon non-hits may
+            // legitimately vanish from the hot walk (they contribute
+            // nothing); the parity contract is (a) the hot candidate
+            // sequence is exactly the retained-filtered full sequence, in
+            // order, and (b) every candidate that actually overlaps — the
+            // only ones that touch the accumulators — is retained.
+            if p.z - reach - full.max_radius() < horizon {
+                continue;
+            }
+            let mut full_seq = Vec::new();
+            full.for_neighbors(p, reach, |_, c, r| {
+                if p.distance(c) < reach + r {
+                    assert!(
+                        retained(c, r),
+                        "guard violated: overlapping candidate retired"
+                    );
+                }
+                if retained(c, r) {
+                    full_seq.push((c.x.to_bits(), c.y.to_bits(), c.z.to_bits(), r.to_bits()));
+                }
+            });
+            let mut hot_seq = Vec::new();
+            hot.for_neighbors(p, reach, |_, c, r| {
+                hot_seq.push((c.x.to_bits(), c.y.to_bits(), c.z.to_bits(), r.to_bits()));
+            });
+            assert_eq!(full_seq, hot_seq, "candidate sequence must match bitwise");
+        }
+        assert_eq!(hot.horizon_misses(), 0);
+        // A query reaching below the floor trips the sentinel.
+        hot.for_neighbors(Vec3::new(0.0, 0.0, horizon - 1.0), 0.1, |_, _, _| {});
+        assert!(hot.horizon_misses() > 0);
+    }
+
+    #[test]
+    fn hot_grid_push_and_rebin_keep_full_set_aabb() {
+        let (centers, radii) = random_cloud(14, 300, 1.5);
+        let mut full = CsrGrid::build(&centers, &radii);
+        let mut hot = CsrGrid::empty();
+        hot.rebuild_hot(&centers, &radii, Vec3::Z, 0.2);
+        // Push enough new spheres to trigger a pending fold on both grids;
+        // the hot rebin must reproduce the untiled geometry bitwise because
+        // its AABB tracks the full set, not the retained subset.
+        let mut rng = StdRng::seed_from_u64(15);
+        for _ in 0..200 {
+            let c = Vec3::new(
+                rng.gen_range(-1.5..1.5),
+                rng.gen_range(-1.5..1.5),
+                rng.gen_range(0.5..2.5),
+            );
+            let r = rng.gen_range(0.05..0.3);
+            full.push(c, r);
+            hot.push(c, r);
+        }
+        full.flush_pending();
+        hot.flush_pending();
+        assert_eq!(hot.cell.to_bits(), full.cell.to_bits());
+        assert_eq!(hot.origin.x.to_bits(), full.origin.x.to_bits());
+        assert_eq!(hot.origin.y.to_bits(), full.origin.y.to_bits());
+        assert_eq!(hot.origin.z.to_bits(), full.origin.z.to_bits());
+        assert_eq!(hot.dims, full.dims);
+    }
+
+    #[test]
+    fn canonicalize_hot_retires_but_keeps_top() {
+        let particles: Vec<Particle> = (0..60)
+            .map(|i| {
+                Particle::new(
+                    Vec3::new(
+                        0.3 * (i % 4) as f64,
+                        0.3 * ((i / 4) % 4) as f64,
+                        0.1 * i as f64,
+                    ),
+                    0.1,
+                )
+            })
+            .collect();
+        let mut full = FixedBed::from_particles(Axis::Z, &particles);
+        full.canonicalize();
+        let mut tiled = FixedBed::new(Axis::Z);
+        tiled.canonicalize_hot(&particles, 3.0);
+        assert_eq!(tiled.top(), full.top(), "top must come from the full set");
+        assert_eq!(full.len(), particles.len());
+        assert!(tiled.grid().is_hot());
+        assert!(tiled.grid().len() < particles.len());
+        assert!(tiled.grid().resident_bytes() < full.grid().resident_bytes());
+    }
+
+    #[test]
+    fn morton_keys_interleave_axes() {
+        assert_eq!(morton_key(1, 0, 0), 0b001);
+        assert_eq!(morton_key(0, 1, 0), 0b010);
+        assert_eq!(morton_key(0, 0, 1), 0b100);
+        assert_eq!(morton_key(3, 0, 0), 0b001001);
+        assert_eq!(morton_key(0, 0, 3), 0b100100);
+        assert_eq!(morton_key(1023, 1023, 1023), (1u64 << 30) - 1);
+    }
+
+    #[test]
+    fn sweep_order_is_a_cached_permutation() {
+        let (centers, _) = random_cloud(21, 137, 1.0);
+        let c = coords::from_positions(&centers);
+        let n = centers.len();
+        let mut ws = Workspace::new();
+        let order: Vec<u32> = ws.refresh_sweep_order(&c, n).to_vec();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        let identity: Vec<u32> = (0..n as u32).collect();
+        assert_eq!(sorted, identity, "must be a permutation of 0..n");
+        assert_ne!(order, identity, "Morton order should differ from strided");
+        // Same stamp → cached even when coordinates move.
+        let moved: Vec<f64> = c.iter().map(|v| -v).collect();
+        assert_eq!(ws.refresh_sweep_order(&moved, n), &order[..]);
+        // A batch reset invalidates the cache.
+        ws.reset_batch();
+        let recomputed: Vec<u32> = ws.refresh_sweep_order(&moved, n).to_vec();
+        assert_ne!(recomputed, order, "reset must recompute from new coords");
+    }
+
+    #[test]
+    fn sweep_order_parse_and_display_roundtrip() {
+        for order in [SweepOrder::Morton, SweepOrder::Strided] {
+            assert_eq!(SweepOrder::parse(order.name()), Some(order));
+            assert_eq!(format!("{order}"), order.name());
+        }
+        assert_eq!(SweepOrder::parse("hilbert"), None);
+        assert_eq!(SweepOrder::default(), SweepOrder::Morton);
+    }
+
+    #[test]
+    fn resident_bytes_are_positive_and_track_population() {
+        let (centers, radii) = random_cloud(31, 200, 1.0);
+        let g = CsrGrid::build(&centers, &radii);
+        assert!(g.resident_bytes() > 200 * std::mem::size_of::<Vec3>());
+        let ws = Workspace::new();
+        let empty_ws = ws.resident_bytes();
+        let mut ws2 = Workspace::new();
+        ws2.refresh_sweep_order(&coords::from_positions(&centers), centers.len());
+        assert!(ws2.resident_bytes() > empty_ws);
     }
 }

@@ -41,8 +41,10 @@ use adampack_telemetry::metrics::EVALS_TOTAL;
 use adampack_telemetry::Phase;
 use rayon::par;
 
-use crate::kernels::{self, FixedView, PlaneSoa, SoaCoords};
-use crate::neighbor::{CsrGrid, NeighborStrategy, VerletLists, Workspace, VERLET_THRESHOLD};
+use crate::kernels::{self, FixedMirror, FixedView, PlaneSoa, SoaCoords};
+use crate::neighbor::{
+    CsrGrid, NeighborStrategy, SweepOrder, VerletLists, Workspace, VERLET_THRESHOLD,
+};
 use crate::particle::coords;
 
 /// The objective's linear-combination weights (paper eq. 4/5).
@@ -132,6 +134,25 @@ pub const INTRA_GRID_THRESHOLD: usize = 768;
 /// Default Verlet skin as a fraction of the largest batch radius.
 pub const DEFAULT_SKIN_FACTOR: f64 = 0.4;
 
+/// Relative accuracy budget of the mixed-precision kernel
+/// ([`Kernel::SimdMixed`]) versus the exact `f64` oracle, applied as
+/// `|mixed − exact| ≤ MIXED_REL_BUDGET · max(|exact|, 1)` to the value and
+/// with a 10× factor to each gradient component.
+///
+/// Rationale: the only inexact step is narrowing candidate coordinates to
+/// `f32` — surviving pairs are re-tested and accumulated in `f64` on the
+/// widened (quantized) coordinates. Per pair the value perturbation is
+/// O(2⁻²⁴) ≈ 6·10⁻⁸ relative; a boundary-grazing pair may be dropped
+/// entirely, losing at most the quantization noise times α. With O(10²)
+/// contributing pairs per particle and α = 10², that stacks to ~10⁻⁵
+/// relative — hence 1e-5. Gradient components carry the 10× factor because
+/// each contributing pair adds `±2α·dir` where only the unit direction is
+/// perturbed (by O(2⁻²⁴·‖c‖/d)): the absolute error per pair is ~α·10⁻⁷
+/// regardless of how completely opposing pairs cancel, so near-cancelled
+/// components see it undamped. The parity suite enforces this budget in
+/// place of the bitwise-zero contract the full-precision SIMD kernel keeps.
+pub const MIXED_REL_BUDGET: f64 = 1e-5;
+
 /// Resolved per-evaluation intra-batch pair source.
 enum IntraPlan<'w> {
     Naive,
@@ -159,6 +180,7 @@ pub struct Objective<'a> {
     strategy: NeighborStrategy,
     skin: f64,
     kernel: Kernel,
+    order: SweepOrder,
 }
 
 impl<'a> Objective<'a> {
@@ -186,6 +208,7 @@ impl<'a> Objective<'a> {
             strategy: NeighborStrategy::Auto,
             skin: (DEFAULT_SKIN_FACTOR * r_max).max(1e-9),
             kernel: Kernel::default(),
+            order: SweepOrder::default(),
         }
     }
 
@@ -202,6 +225,25 @@ impl<'a> Objective<'a> {
     /// The kernel currently selected.
     pub fn kernel(&self) -> Kernel {
         self.kernel
+    }
+
+    /// Selects the parallel sweep order over batch particles.
+    ///
+    /// [`SweepOrder::Morton`] (default) visits particles along a Z-order
+    /// curve over the batch AABB so spatially close particles — whose
+    /// candidate rows share cache lines — are processed by the same worker
+    /// back-to-back. [`SweepOrder::Strided`] is the plain index order kept
+    /// as the locality-ablation oracle. Both orders produce **bitwise
+    /// identical** results: each particle's slot is written by exactly one
+    /// task and the value reduction stays sequential over slot index.
+    pub fn with_order(mut self, order: SweepOrder) -> Objective<'a> {
+        self.order = order;
+        self
+    }
+
+    /// The sweep order currently selected.
+    pub fn order(&self) -> SweepOrder {
+        self.order
     }
 
     /// Selects the cross-term evaluation strategy (ablation hook). Also
@@ -285,6 +327,10 @@ impl<'a> Objective<'a> {
     pub fn value_ws(&self, c: &[f64], ws: &mut Workspace) -> f64 {
         let n = self.radii.len();
         assert_eq!(c.len(), 3 * n, "coordinate buffer size mismatch");
+        let morton = self.order == SweepOrder::Morton;
+        if morton {
+            ws.refresh_sweep_order(c, n);
+        }
         let Workspace {
             values,
             batch_grid,
@@ -293,20 +339,27 @@ impl<'a> Objective<'a> {
             evals,
             soa,
             plane_soa,
+            fixed_f32,
+            sweep_order,
             ..
         } = ws;
         *evals += 1;
         EVALS_TOTAL.inc();
         values.clear();
         values.resize(n, 0.0);
-        self.refresh_snapshots(c, soa, plane_soa);
+        self.refresh_snapshots(c, soa, plane_soa, fixed_f32);
         let (intra, cross) = self.plans(c, batch_grid, positions, verlet);
-        let (soa, plane_soa) = (&*soa, &*plane_soa);
+        let (soa, plane_soa, fixed_f32) = (&*soa, &*plane_soa, &*fixed_f32);
         let _span = adampack_telemetry::span(self.kernel_phase());
-        par::for_each_slot(values, |i, vslot| {
-            let (v, _) = self.particle_term(i, c, &intra, &cross, soa, plane_soa);
+        let body = |i: usize, vslot: &mut f64| {
+            let (v, _) = self.particle_term(i, c, &intra, &cross, soa, plane_soa, fixed_f32);
             *vslot = v;
-        });
+        };
+        if morton {
+            par::for_each_slot_perm(values, sweep_order, body);
+        } else {
+            par::for_each_slot(values, body);
+        }
         // Sequential reduction keeps the result bitwise-deterministic.
         values.iter().sum()
     }
@@ -321,6 +374,10 @@ impl<'a> Objective<'a> {
         let n = self.radii.len();
         assert_eq!(c.len(), 3 * n, "coordinate buffer size mismatch");
         assert_eq!(grad.len(), 3 * n, "gradient buffer size mismatch");
+        let morton = self.order == SweepOrder::Morton;
+        if morton {
+            ws.refresh_sweep_order(c, n);
+        }
         let Workspace {
             values,
             batch_grid,
@@ -329,23 +386,30 @@ impl<'a> Objective<'a> {
             evals,
             soa,
             plane_soa,
+            fixed_f32,
+            sweep_order,
             ..
         } = ws;
         *evals += 1;
         EVALS_TOTAL.inc();
         values.clear();
         values.resize(n, 0.0);
-        self.refresh_snapshots(c, soa, plane_soa);
+        self.refresh_snapshots(c, soa, plane_soa, fixed_f32);
         let (intra, cross) = self.plans(c, batch_grid, positions, verlet);
-        let (soa, plane_soa) = (&*soa, &*plane_soa);
+        let (soa, plane_soa, fixed_f32) = (&*soa, &*plane_soa, &*fixed_f32);
         let _span = adampack_telemetry::span(self.kernel_phase());
-        par::for_each_chunk_zip(grad, 3, values, |i, gslot, vslot| {
-            let (v, g) = self.particle_term(i, c, &intra, &cross, soa, plane_soa);
+        let body = |i: usize, gslot: &mut [f64], vslot: &mut f64| {
+            let (v, g) = self.particle_term(i, c, &intra, &cross, soa, plane_soa, fixed_f32);
             gslot[0] = g.x;
             gslot[1] = g.y;
             gslot[2] = g.z;
             *vslot = v;
-        });
+        };
+        if morton {
+            par::for_each_chunk_zip_perm(grad, 3, values, sweep_order, body);
+        } else {
+            par::for_each_chunk_zip(grad, 3, values, body);
+        }
         if failpoints::should_fail("core.objective.eval") {
             return f64::NAN;
         }
@@ -371,6 +435,10 @@ impl<'a> Objective<'a> {
         let n = self.radii.len();
         assert_eq!(c.len(), 3 * n, "coordinate buffer size mismatch");
         assert_eq!(grad.len(), 3 * n, "gradient buffer size mismatch");
+        let morton = self.order == SweepOrder::Morton;
+        if morton {
+            ws.refresh_sweep_order(c, n);
+        }
         let Workspace {
             breakdowns,
             batch_grid,
@@ -379,25 +447,32 @@ impl<'a> Objective<'a> {
             evals,
             soa,
             plane_soa,
+            fixed_f32,
+            sweep_order,
             ..
         } = ws;
         *evals += 1;
         EVALS_TOTAL.inc();
         breakdowns.clear();
         breakdowns.resize(n, ObjectiveBreakdown::default());
-        self.refresh_snapshots(c, soa, plane_soa);
+        self.refresh_snapshots(c, soa, plane_soa, fixed_f32);
         let (intra, cross) = self.plans(c, batch_grid, positions, verlet);
-        let (soa, plane_soa) = (&*soa, &*plane_soa);
+        let (soa, plane_soa, fixed_f32) = (&*soa, &*plane_soa, &*fixed_f32);
         let _span = adampack_telemetry::span(self.kernel_phase());
-        par::for_each_chunk_zip(grad, 3, breakdowns, |i, gslot, bslot| {
+        let body = |i: usize, gslot: &mut [f64], bslot: &mut ObjectiveBreakdown| {
             let (v, g, mut b) =
-                self.particle_term_impl::<true>(i, c, &intra, &cross, soa, plane_soa);
+                self.particle_term_impl::<true>(i, c, &intra, &cross, soa, plane_soa, fixed_f32);
             gslot[0] = g.x;
             gslot[1] = g.y;
             gslot[2] = g.z;
             b.total = v;
             *bslot = b;
-        });
+        };
+        if morton {
+            par::for_each_chunk_zip_perm(grad, 3, breakdowns, sweep_order, body);
+        } else {
+            par::for_each_chunk_zip(grad, 3, breakdowns, body);
+        }
         // Sequential reduction keeps every field bitwise-deterministic;
         // `total` sums the exact per-particle values the untraced path
         // reduces, in the same order.
@@ -452,13 +527,34 @@ impl<'a> Objective<'a> {
         }
     }
 
-    /// Refreshes the workspace's SoA snapshots when the SIMD kernel will
+    /// Refreshes the workspace's SoA snapshots when a vector kernel will
     /// consume them (the scalar kernels read the interleaved buffer
-    /// directly, so the copies would be dead work).
-    fn refresh_snapshots(&self, c: &[f64], soa: &mut SoaCoords, plane_soa: &mut PlaneSoa) {
-        if self.kernel == Kernel::Simd {
-            soa.refresh(c, self.radii);
-            plane_soa.refresh(self.halfspaces);
+    /// directly, so the copies would be dead work). The mixed kernel also
+    /// narrows the batch columns to `f32` and syncs the fixed-bed mirror
+    /// (a no-op while the bed's generation counter is unchanged).
+    fn refresh_snapshots(
+        &self,
+        c: &[f64],
+        soa: &mut SoaCoords,
+        plane_soa: &mut PlaneSoa,
+        fixed_f32: &mut FixedMirror,
+    ) {
+        match self.kernel {
+            Kernel::Simd => {
+                soa.refresh(c, self.radii);
+                plane_soa.refresh(self.halfspaces);
+            }
+            Kernel::SimdMixed => {
+                soa.refresh(c, self.radii);
+                soa.refresh_f32();
+                plane_soa.refresh(self.halfspaces);
+                fixed_f32.sync(
+                    self.fixed.centers(),
+                    self.fixed.radii(),
+                    self.fixed.generation(),
+                );
+            }
+            Kernel::Scalar | Kernel::LegacyScalar => {}
         }
     }
 
@@ -466,12 +562,14 @@ impl<'a> Objective<'a> {
     fn kernel_phase(&self) -> Phase {
         match self.kernel {
             Kernel::Simd => Phase::KernelSimd,
+            Kernel::SimdMixed => Phase::KernelSimdMixed,
             Kernel::Scalar | Kernel::LegacyScalar => Phase::KernelScalar,
         }
     }
 
     /// Particle `i`'s contribution `(vᵢ, ∂Z/∂cᵢ)` to the objective.
     #[inline]
+    #[allow(clippy::too_many_arguments)]
     fn particle_term(
         &self,
         i: usize,
@@ -480,8 +578,10 @@ impl<'a> Objective<'a> {
         cross: &CrossPlan,
         soa: &SoaCoords,
         plane_soa: &PlaneSoa,
+        fixed_f32: &FixedMirror,
     ) -> (f64, Vec3) {
-        let (v, g, _) = self.particle_term_impl::<false>(i, c, intra, cross, soa, plane_soa);
+        let (v, g, _) =
+            self.particle_term_impl::<false>(i, c, intra, cross, soa, plane_soa, fixed_f32);
         (v, g)
     }
 
@@ -492,6 +592,7 @@ impl<'a> Objective<'a> {
     /// instantiation (the traced loss stays bitwise equal to the untraced
     /// one). `breakdown.total` is left 0; callers stamp it.
     #[inline]
+    #[allow(clippy::too_many_arguments)]
     fn particle_term_impl<const RECORD: bool>(
         &self,
         i: usize,
@@ -500,9 +601,13 @@ impl<'a> Objective<'a> {
         cross: &CrossPlan,
         soa: &SoaCoords,
         plane_soa: &PlaneSoa,
+        fixed_f32: &FixedMirror,
     ) -> (f64, Vec3, ObjectiveBreakdown) {
         match self.kernel {
             Kernel::Simd => self.particle_term_simd::<RECORD>(i, intra, cross, soa, plane_soa),
+            Kernel::SimdMixed => {
+                self.particle_term_mixed::<RECORD>(i, intra, cross, soa, plane_soa, fixed_f32)
+            }
             Kernel::Scalar => self.particle_term_scalar::<RECORD, false>(i, c, intra, cross),
             Kernel::LegacyScalar => self.particle_term_scalar::<RECORD, true>(i, c, intra, cross),
         }
@@ -734,6 +839,118 @@ impl<'a> Objective<'a> {
                 alpha,
                 lists.cross(i),
                 &fixed_view,
+                &mut v,
+                &mut g,
+                &mut b.penetration_cross,
+            ),
+        }
+
+        kernels::planes_term::<RECORD>(ci, ri, gamma, plane_soa, &mut v, &mut g, &mut b.exterior);
+
+        let altitude = self.axis.altitude(ci);
+        v += beta * altitude;
+        if RECORD {
+            b.altitude += altitude;
+        }
+        g += self.axis.up() * beta;
+
+        (v, g, b)
+    }
+
+    /// Mixed-precision per-particle kernel: identical candidate walk to
+    /// [`Self::particle_term_simd`], but the four-wide rejection test reads
+    /// single-precision columns (halving the traffic of the dominant
+    /// memory-bound operation) and only surviving lanes fall through to the
+    /// exact widened-`f64` hot-pair body. Accuracy contract:
+    /// [`MIXED_REL_BUDGET`]; plane and altitude terms stay full `f64`.
+    #[inline]
+    fn particle_term_mixed<const RECORD: bool>(
+        &self,
+        i: usize,
+        intra: &IntraPlan,
+        cross: &CrossPlan,
+        soa: &SoaCoords,
+        plane_soa: &PlaneSoa,
+        fixed_f32: &FixedMirror,
+    ) -> (f64, Vec3, ObjectiveBreakdown) {
+        let ObjectiveWeights { alpha, beta, gamma } = self.weights;
+        let ci = soa.point(i);
+        let ri = self.radii[i];
+        let mut v = 0.0;
+        let mut g = Vec3::ZERO;
+        let mut b = ObjectiveBreakdown::default();
+
+        let batch_f32 = soa.f32_view();
+        match intra {
+            IntraPlan::Naive => kernels::pairs_dense_mixed::<RECORD>(
+                ci,
+                ri,
+                i,
+                alpha,
+                soa,
+                &mut v,
+                &mut g,
+                &mut b.penetration_intra,
+            ),
+            IntraPlan::Grid(grid) => grid.for_neighbor_rows(ci, ri, |row| {
+                kernels::pairs_sparse_mixed::<RECORD, true>(
+                    ci,
+                    ri,
+                    i,
+                    alpha,
+                    row,
+                    &batch_f32,
+                    &mut v,
+                    &mut g,
+                    &mut b.penetration_intra,
+                )
+            }),
+            IntraPlan::Verlet(lists) => kernels::pairs_sparse_mixed::<RECORD, true>(
+                ci,
+                ri,
+                i,
+                alpha,
+                lists.intra(i),
+                &batch_f32,
+                &mut v,
+                &mut g,
+                &mut b.penetration_intra,
+            ),
+        }
+
+        let bed_f32 = fixed_f32.view();
+        match cross {
+            CrossPlan::Naive => kernels::pairs_range_mixed::<RECORD, false>(
+                ci,
+                ri,
+                i,
+                alpha,
+                self.fixed.len(),
+                &bed_f32,
+                &mut v,
+                &mut g,
+                &mut b.penetration_cross,
+            ),
+            CrossPlan::Grid => self.fixed.for_neighbor_rows(ci, ri, |row| {
+                kernels::pairs_sparse_mixed::<RECORD, false>(
+                    ci,
+                    ri,
+                    i,
+                    alpha,
+                    row,
+                    &bed_f32,
+                    &mut v,
+                    &mut g,
+                    &mut b.penetration_cross,
+                )
+            }),
+            CrossPlan::Verlet(lists) => kernels::pairs_sparse_mixed::<RECORD, false>(
+                ci,
+                ri,
+                i,
+                alpha,
+                lists.cross(i),
+                &bed_f32,
                 &mut v,
                 &mut g,
                 &mut b.penetration_cross,
@@ -1151,6 +1368,139 @@ mod tests {
         assert_eq!(vs.to_bits(), vv.to_bits());
         for (a, b) in gs.iter().zip(&gv) {
             assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// The mixed-precision kernel stays inside [`MIXED_REL_BUDGET`] of the
+    /// scalar oracle on every neighbor pipeline, and is bitwise
+    /// deterministic against itself (same candidate order, element-wise
+    /// identical f32 ops on every backend).
+    #[test]
+    fn mixed_kernel_within_budget_across_strategies() {
+        let hs = box_halfspaces();
+        let mut bed_centers = Vec::new();
+        let mut bed_radii = Vec::new();
+        for i in 0..6 {
+            for j in 0..6 {
+                bed_centers.push(Vec3::new(
+                    -0.75 + 0.3 * i as f64,
+                    -0.75 + 0.3 * j as f64,
+                    -0.8,
+                ));
+                bed_radii.push(0.16);
+            }
+        }
+        let fixed = CsrGrid::build(&bed_centers, &bed_radii);
+        let n = 90;
+        let radii: Vec<f64> = (0..n).map(|i| 0.08 + 0.002 * (i % 7) as f64).collect();
+        let mut c = Vec::with_capacity(3 * n);
+        for i in 0..n {
+            let t = i as f64 * 0.61803398875;
+            c.extend_from_slice(&[
+                (t % 1.4) - 0.7,
+                ((t * 1.7) % 1.4) - 0.7,
+                ((t * 2.3) % 1.2) - 0.75,
+            ]);
+        }
+        let w = ObjectiveWeights::default();
+        for strategy in [
+            NeighborStrategy::Naive,
+            NeighborStrategy::Grid,
+            NeighborStrategy::Verlet,
+        ] {
+            let scalar = Objective::new(w, Axis::Z, &hs, &radii, &fixed)
+                .with_neighbor(strategy, 0.05)
+                .with_kernel(Kernel::Scalar);
+            let mixed = Objective::new(w, Axis::Z, &hs, &radii, &fixed)
+                .with_neighbor(strategy, 0.05)
+                .with_kernel(Kernel::SimdMixed);
+            let mut ws_s = Workspace::new();
+            let mut ws_m = Workspace::new();
+            let mut gs = vec![0.0; 3 * n];
+            let mut gm = vec![0.0; 3 * n];
+            let vs = scalar.value_and_grad_ws(&c, &mut gs, &mut ws_s);
+            let vm = mixed.value_and_grad_ws(&c, &mut gm, &mut ws_m);
+            let tol = |x: f64| MIXED_REL_BUDGET * x.abs().max(1.0);
+            assert!((vs - vm).abs() <= tol(vs), "{strategy:?}: {vs} vs {vm}");
+            for (k, (a, b)) in gs.iter().zip(&gm).enumerate() {
+                // Documented 10× factor for gradient components (α-scaled
+                // direction sums; see MIXED_REL_BUDGET).
+                assert!(
+                    (a - b).abs() <= 10.0 * tol(*a),
+                    "{strategy:?} grad[{k}]: {a} vs {b}"
+                );
+            }
+            // Self-determinism: a second evaluation is bitwise identical.
+            let mut gm2 = vec![0.0; 3 * n];
+            let vm2 = mixed.value_and_grad_ws(&c, &mut gm2, &mut ws_m);
+            assert_eq!(vm.to_bits(), vm2.to_bits(), "{strategy:?} replay value");
+            for (a, b) in gm.iter().zip(&gm2) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{strategy:?} replay grad");
+            }
+        }
+    }
+
+    /// The Morton sweep permutation re-sequences the parallel loop only:
+    /// results are bitwise identical to the strided oracle order for every
+    /// kernel and pipeline (slots are disjoint and the reduction stays
+    /// sequential over slot index).
+    #[test]
+    fn morton_order_matches_strided_bitwise() {
+        let hs = box_halfspaces();
+        let fixed = CsrGrid::build(&[Vec3::new(0.0, 0.0, -0.7)], &[0.25]);
+        let n = 70;
+        let radii: Vec<f64> = (0..n).map(|i| 0.08 + 0.003 * (i % 5) as f64).collect();
+        let mut c = Vec::with_capacity(3 * n);
+        for i in 0..n {
+            let t = i as f64 * 0.7548776662;
+            c.extend_from_slice(&[
+                (t % 1.4) - 0.7,
+                ((t * 1.3) % 1.4) - 0.7,
+                ((t * 2.1) % 1.2) - 0.75,
+            ]);
+        }
+        let w = ObjectiveWeights::default();
+        for kernel in [Kernel::Scalar, Kernel::Simd, Kernel::SimdMixed] {
+            for strategy in [NeighborStrategy::Grid, NeighborStrategy::Verlet] {
+                let strided = Objective::new(w, Axis::Z, &hs, &radii, &fixed)
+                    .with_neighbor(strategy, 0.05)
+                    .with_kernel(kernel)
+                    .with_order(SweepOrder::Strided);
+                let morton = Objective::new(w, Axis::Z, &hs, &radii, &fixed)
+                    .with_neighbor(strategy, 0.05)
+                    .with_kernel(kernel)
+                    .with_order(SweepOrder::Morton);
+                assert_eq!(morton.order(), SweepOrder::Morton);
+                let mut ws_s = Workspace::new();
+                let mut ws_m = Workspace::new();
+                let mut gs = vec![0.0; 3 * n];
+                let mut gm = vec![0.0; 3 * n];
+                let (vs, bs) = strided.value_grad_breakdown_ws(&c, &mut gs, &mut ws_s);
+                let (vm, bm) = morton.value_grad_breakdown_ws(&c, &mut gm, &mut ws_m);
+                assert_eq!(vs.to_bits(), vm.to_bits(), "{kernel:?}/{strategy:?} value");
+                for (k, (a, b)) in gs.iter().zip(&gm).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "{kernel:?}/{strategy:?} grad[{k}]"
+                    );
+                }
+                assert_eq!(
+                    bs.penetration_intra.to_bits(),
+                    bm.penetration_intra.to_bits()
+                );
+                assert_eq!(
+                    bs.penetration_cross.to_bits(),
+                    bm.penetration_cross.to_bits()
+                );
+                // value_ws agrees with the fused path under Morton too.
+                let vw = morton.value_ws(&c, &mut ws_m);
+                assert_eq!(
+                    vw.to_bits(),
+                    vm.to_bits(),
+                    "{kernel:?}/{strategy:?} value_ws"
+                );
+            }
         }
     }
 

@@ -11,7 +11,7 @@ use adampack_opt::{
     Optimizer, ReduceLrOnPlateau, ReduceLrOnPlateauConfig, RmsProp, RmsPropConfig, Sgd, SgdConfig,
 };
 
-use crate::neighbor::NeighborStrategy;
+use crate::neighbor::{NeighborStrategy, SweepOrder};
 use crate::objective::ObjectiveWeights;
 
 /// Neighbor-search configuration for the objective's pair scans.
@@ -23,6 +23,10 @@ pub struct NeighborParams {
     /// rebuild less often but scan more candidates per step; ~0.3–0.5 is a
     /// good range for the paper's polydispersities.
     pub skin_factor: f64,
+    /// Parallel sweep order over batch particles. Morton (default) walks a
+    /// Z-order curve for cache locality; strided is the ablation oracle.
+    /// Both produce bitwise identical packings.
+    pub order: SweepOrder,
 }
 
 impl Default for NeighborParams {
@@ -30,6 +34,7 @@ impl Default for NeighborParams {
         NeighborParams {
             strategy: NeighborStrategy::Auto,
             skin_factor: 0.4,
+            order: SweepOrder::Morton,
         }
     }
 }
@@ -295,8 +300,19 @@ pub struct PackingParams {
     pub sentinel: SentinelParams,
     /// Arithmetic kernel for the hot loops (objective pair/plane scans and
     /// the Adam update). `Simd` and `Scalar` are bitwise interchangeable;
-    /// the scalar path survives as the correctness oracle.
+    /// the scalar path survives as the correctness oracle. `SimdMixed`
+    /// trades the bitwise contract for an f32-coordinate rejection test
+    /// within [`crate::objective::MIXED_REL_BUDGET`].
     pub kernel: Kernel,
+    /// Gravity-axis domain tiles. `1` (default) keeps the whole bed hot;
+    /// `t > 1` splits the container span into `t` slabs and retires settled
+    /// spheres more than one full slab below the bed surface from the hot
+    /// grid after each batch, bounding resident memory by the active
+    /// surface instead of the total count. Packings are bitwise identical
+    /// to the untiled run (the retirement horizon is chosen so no query
+    /// window can reach a retired sphere; a breach is a hard
+    /// [`crate::collective::PackError::HorizonBreach`]).
+    pub tiles: usize,
 }
 
 impl Default for PackingParams {
@@ -318,6 +334,7 @@ impl Default for PackingParams {
             neighbor: NeighborParams::default(),
             sentinel: SentinelParams::default(),
             kernel: Kernel::default(),
+            tiles: 1,
         }
     }
 }
@@ -340,6 +357,12 @@ impl PackingParams {
         assert!(
             self.spawn_density > 0.0 && self.spawn_density < 1.0,
             "spawn_density must be in (0, 1)"
+        );
+        assert!(self.tiles >= 1, "tiles must be >= 1");
+        assert!(
+            self.tiles == 1 || self.neighbor.strategy != NeighborStrategy::Naive,
+            "tiles > 1 requires a grid-backed neighbor strategy \
+             (the naive cross scan reads every bed sphere, defeating retirement)"
         );
         self.weights.validate();
         self.neighbor.validate();
@@ -366,7 +389,9 @@ mod tests {
         assert!(p.accept_max_overlap >= p.accept_mean_overlap);
         assert_eq!(p.neighbor.strategy, NeighborStrategy::Auto);
         assert!((p.neighbor.skin_factor - 0.4).abs() < 1e-12);
+        assert_eq!(p.neighbor.order, SweepOrder::Morton);
         assert_eq!(p.kernel, Kernel::Simd);
+        assert_eq!(p.tiles, 1);
         assert!(p.sentinel.enabled);
         assert_eq!(p.sentinel.max_recoveries, 8);
         assert_eq!(p.sentinel.snapshot_every, 25);
@@ -439,6 +464,30 @@ mod tests {
             let lr = s.step(1.0);
             assert!(lr > 0.0);
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "tiles")]
+    fn zero_tiles_rejected() {
+        let p = PackingParams {
+            tiles: 0,
+            ..PackingParams::default()
+        };
+        p.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "grid-backed neighbor strategy")]
+    fn tiling_with_naive_strategy_rejected() {
+        let p = PackingParams {
+            tiles: 4,
+            neighbor: NeighborParams {
+                strategy: NeighborStrategy::Naive,
+                ..NeighborParams::default()
+            },
+            ..PackingParams::default()
+        };
+        p.validate();
     }
 
     #[test]

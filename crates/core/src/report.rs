@@ -47,6 +47,10 @@ pub struct QualityReport {
     pub phase: BatchPhaseBreakdown,
     /// Worker threads the parallel phases ran on.
     pub threads: usize,
+    /// High-water mark of resident hot-set bytes (bed grid + workspace)
+    /// over the run, from the `adampack_hot_set_bytes` gauge. Zero when
+    /// metrics were disabled.
+    pub hot_set_peak_bytes: u64,
     /// Convergence-diagnostic summary (present when diagnostics ran).
     pub diagnostics: Option<DiagSummary>,
 }
@@ -93,6 +97,7 @@ impl QualityReport {
                     }
                 }),
             threads: rayon::current_num_threads(),
+            hot_set_peak_bytes: adampack_telemetry::metrics::HOT_SET_BYTES.peak(),
             diagnostics: None,
         }
     }
@@ -150,6 +155,13 @@ impl fmt::Display for QualityReport {
             )?;
         }
         writeln!(f, "threads:            {}", self.threads)?;
+        if self.hot_set_peak_bytes > 0 {
+            writeln!(
+                f,
+                "hot set peak:       {:.2} MiB resident",
+                self.hot_set_peak_bytes as f64 / (1024.0 * 1024.0)
+            )?;
+        }
         writeln!(
             f,
             "phase time:         spawn {:.2?}, optimize {:.2?} (gradient {:.2?}, optimizer {:.2?}), acceptance {:.2?}",
@@ -228,11 +240,16 @@ mod tests {
             "verlet rebuilds:",
             "sentinel recoveries:",
             "threads:",
+            "hot set peak:",
             "phase time:",
             "time:",
         ] {
             assert!(text.contains(needle), "missing '{needle}' in:\n{text}");
         }
+        assert!(
+            report.hot_set_peak_bytes > 0,
+            "gauge never set during a run"
+        );
     }
 
     #[test]

@@ -154,7 +154,10 @@ impl Optimizer for Adam {
             bc1,
             bc2,
         };
-        let simd = self.cfg.kernel == Kernel::Simd;
+        // The optimizer state stays full f64 under every kernel; SimdMixed
+        // lowers only the objective's pair coordinates, so its slot updates
+        // take the (bitwise-equivalent) fused f64 path.
+        let simd = matches!(self.cfg.kernel, Kernel::Simd | Kernel::SimdMixed);
         if amsgrad {
             par::for_each_window_zip4(
                 params,

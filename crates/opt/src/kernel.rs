@@ -25,6 +25,13 @@ pub enum Kernel {
     /// AVX2 backend — all bitwise identical).
     #[default]
     Simd,
+    /// Opt-in mixed-precision path: pair coordinates and rejection tests in
+    /// `f32` lanes (`wide::f32x4`), per-pair contributions accumulated in
+    /// `f64`. Deterministic (bitwise-reproducible against itself on any
+    /// thread count and backend) but **not** 0-ULP against the `f64` oracle —
+    /// parity is guaranteed only within the documented relative budget (see
+    /// `adampack-core::objective::MIXED_REL_BUDGET`).
+    SimdMixed,
     /// Pre-PR-4 scalar arithmetic (a `sqrt` on *every* candidate pair, no
     /// squared-distance early-out). Benchmark baseline only: not accepted by
     /// the YAML/CLI parsers and excluded from the oracle contract.
@@ -33,12 +40,14 @@ pub enum Kernel {
 }
 
 impl Kernel {
-    /// Parses the user-facing knob value. Only the two supported production
-    /// kernels are accepted (`"scalar"`, `"simd"`); anything else is `None`.
+    /// Parses the user-facing knob value. Only the supported production
+    /// kernels are accepted (`"scalar"`, `"simd"`, `"simd_mixed"`); anything
+    /// else is `None`.
     pub fn parse(s: &str) -> Option<Kernel> {
         match s.to_ascii_lowercase().as_str() {
             "scalar" => Some(Kernel::Scalar),
             "simd" => Some(Kernel::Simd),
+            "simd_mixed" => Some(Kernel::SimdMixed),
             _ => None,
         }
     }
@@ -48,8 +57,15 @@ impl Kernel {
         match self {
             Kernel::Scalar => "scalar",
             Kernel::Simd => "simd",
+            Kernel::SimdMixed => "simd_mixed",
             Kernel::LegacyScalar => "scalar_legacy",
         }
+    }
+
+    /// True for kernels whose hot-loop arithmetic is bitwise-identical to
+    /// the scalar `f64` oracle (everything except the mixed-precision path).
+    pub fn is_exact(self) -> bool {
+        self != Kernel::SimdMixed
     }
 }
 
@@ -67,7 +83,10 @@ mod tests {
     fn parse_accepts_only_production_kernels() {
         assert_eq!(Kernel::parse("scalar"), Some(Kernel::Scalar));
         assert_eq!(Kernel::parse("SIMD"), Some(Kernel::Simd));
+        assert_eq!(Kernel::parse("simd_mixed"), Some(Kernel::SimdMixed));
+        assert_eq!(Kernel::parse("Simd_Mixed"), Some(Kernel::SimdMixed));
         assert_eq!(Kernel::parse("scalar_legacy"), None, "bench-only");
+        assert_eq!(Kernel::parse("mixed"), None);
         assert_eq!(Kernel::parse("avx2"), None);
         assert_eq!(Kernel::parse(""), None);
     }
@@ -75,9 +94,17 @@ mod tests {
     #[test]
     fn default_is_simd_and_names_round_trip() {
         assert_eq!(Kernel::default(), Kernel::Simd);
-        for k in [Kernel::Scalar, Kernel::Simd] {
+        for k in [Kernel::Scalar, Kernel::Simd, Kernel::SimdMixed] {
             assert_eq!(Kernel::parse(k.name()), Some(k));
             assert_eq!(format!("{k}"), k.name());
         }
+    }
+
+    #[test]
+    fn only_the_mixed_kernel_is_inexact() {
+        assert!(Kernel::Scalar.is_exact());
+        assert!(Kernel::Simd.is_exact());
+        assert!(Kernel::LegacyScalar.is_exact());
+        assert!(!Kernel::SimdMixed.is_exact());
     }
 }

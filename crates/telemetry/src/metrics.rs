@@ -81,6 +81,65 @@ impl Counter {
 }
 
 // ---------------------------------------------------------------------------
+// Gauge
+// ---------------------------------------------------------------------------
+
+/// A settable measurement with a monotonic peak (high-water mark).
+///
+/// Unlike [`Counter`], `set` overwrites; the peak is maintained with a
+/// `fetch_max` so concurrent setters can never lose a high-water mark.
+/// Used for resident-memory style readings (the tiled engine's hot-set
+/// bytes), where the current value and the peak are both interesting.
+#[derive(Debug)]
+pub struct Gauge {
+    name: &'static str,
+    help: &'static str,
+    value: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl Gauge {
+    /// Declares a gauge (only this module declares them).
+    pub const fn new(name: &'static str, help: &'static str) -> Gauge {
+        Gauge {
+            name,
+            help,
+            value: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+        }
+    }
+
+    /// Overwrites the current value and folds it into the peak.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if is_enabled() {
+            self.value.store(v, Ordering::Relaxed);
+            self.peak.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Highest value ever set (since the last reset).
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Metric name (Prometheus style, `adampack_*`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+        self.peak.store(0, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Histogram
 // ---------------------------------------------------------------------------
 
@@ -290,6 +349,21 @@ pub static PHASE_KERNEL_SIMD: Histogram = Histogram::new(
     "adampack_phase_kernel_simd_nanoseconds",
     "SIMD-kernel fused objective evaluation time",
 );
+/// Mixed-precision-kernel fused objective evaluation time.
+pub static PHASE_KERNEL_SIMD_MIXED: Histogram = Histogram::new(
+    "adampack_phase_kernel_simd_mixed_nanoseconds",
+    "Mixed-precision-kernel fused objective evaluation time",
+);
+
+/// Resident bytes of the packing loop's hot set (bed grid + workspace
+/// buffers). In a tiled run this tracks the active surface, not total N;
+/// the peak is the number the scale benchmark and QualityReport surface.
+pub static HOT_SET_BYTES: Gauge = Gauge::new(
+    "adampack_hot_set_bytes",
+    "Resident bytes of the neighbor structures and workspace (hot set)",
+);
+
+static GAUGES: [&Gauge; 1] = [&HOT_SET_BYTES];
 
 static COUNTERS: [&Counter; 13] = [
     &STEPS_TOTAL,
@@ -307,7 +381,7 @@ static COUNTERS: [&Counter; 13] = [
     &CHECKPOINT_FAILURES_TOTAL,
 ];
 
-static HISTOGRAMS: [&Histogram; 9] = [
+static HISTOGRAMS: [&Histogram; 10] = [
     &PHASE_SPAWN,
     &PHASE_GRADIENT,
     &PHASE_OPTIMIZER,
@@ -317,6 +391,7 @@ static HISTOGRAMS: [&Histogram; 9] = [
     &PHASE_GRID_BUILD,
     &PHASE_KERNEL_SCALAR,
     &PHASE_KERNEL_SIMD,
+    &PHASE_KERNEL_SIMD_MIXED,
 ];
 
 /// A packing-loop phase with a dedicated duration histogram.
@@ -340,6 +415,9 @@ pub enum Phase {
     KernelScalar,
     /// Fused objective evaluation through the vectorized kernel.
     KernelSimd,
+    /// Fused objective evaluation through the mixed-precision kernel
+    /// (f32 rejection lanes, f64 accumulation).
+    KernelSimdMixed,
 }
 
 impl Phase {
@@ -355,6 +433,7 @@ impl Phase {
             Phase::GridBuild => &PHASE_GRID_BUILD,
             Phase::KernelScalar => &PHASE_KERNEL_SCALAR,
             Phase::KernelSimd => &PHASE_KERNEL_SIMD,
+            Phase::KernelSimdMixed => &PHASE_KERNEL_SIMD_MIXED,
         }
     }
 
@@ -370,6 +449,7 @@ impl Phase {
             Phase::GridBuild => "grid_build",
             Phase::KernelScalar => "kernel_scalar",
             Phase::KernelSimd => "kernel_simd",
+            Phase::KernelSimdMixed => "kernel_simd_mixed",
         }
     }
 }
@@ -509,6 +589,12 @@ pub fn prometheus_snapshot() -> String {
         writeln!(out, "# TYPE {} counter", c.name).unwrap();
         writeln!(out, "{} {}", c.name, c.get()).unwrap();
     }
+    for g in GAUGES {
+        writeln!(out, "# HELP {} {}", g.name, g.help).unwrap();
+        writeln!(out, "# TYPE {} gauge", g.name).unwrap();
+        writeln!(out, "{} {}", g.name, g.get()).unwrap();
+        writeln!(out, "{}_peak {}", g.name, g.peak()).unwrap();
+    }
     for h in HISTOGRAMS {
         writeln!(out, "# HELP {} {}", h.name, h.help).unwrap();
         writeln!(out, "# TYPE {} histogram", h.name).unwrap();
@@ -592,6 +678,9 @@ pub fn reset_all() {
     for c in COUNTERS {
         c.reset();
     }
+    for g in GAUGES {
+        g.reset();
+    }
     for h in HISTOGRAMS {
         h.reset();
     }
@@ -641,6 +730,28 @@ mod tests {
         assert!(snap.contains("adampack_phase_gradient_nanoseconds_bucket{le=\"+Inf\"} 4"));
         assert!(snap.contains("adampack_phase_gradient_nanoseconds_count 4"));
         reset_all();
+    }
+
+    #[test]
+    fn gauge_tracks_value_and_peak() {
+        let _g = LOCK.lock().unwrap();
+        reset_all();
+        set_enabled(true);
+        HOT_SET_BYTES.set(1_000);
+        HOT_SET_BYTES.set(5_000);
+        HOT_SET_BYTES.set(2_000);
+        assert_eq!(HOT_SET_BYTES.get(), 2_000, "set overwrites");
+        assert_eq!(HOT_SET_BYTES.peak(), 5_000, "peak is a high-water mark");
+        let snap = prometheus_snapshot();
+        assert!(snap.contains("# TYPE adampack_hot_set_bytes gauge"));
+        assert!(snap.contains("adampack_hot_set_bytes 2000"));
+        assert!(snap.contains("adampack_hot_set_bytes_peak 5000"));
+        set_enabled(false);
+        HOT_SET_BYTES.set(9_000);
+        assert_eq!(HOT_SET_BYTES.peak(), 5_000, "disabled gauge must not move");
+        set_enabled(true);
+        reset_all();
+        assert_eq!(HOT_SET_BYTES.peak(), 0);
     }
 
     #[test]
