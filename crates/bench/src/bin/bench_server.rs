@@ -1,0 +1,360 @@
+//! Latency/throughput benchmark for the packing job server
+//! (`crates/server`, DESIGN.md "Packing as a service").
+//!
+//! Starts an in-process server on a loopback port and drives it with two
+//! load generators over two submission mixes:
+//!
+//! * **closed loop** — N client threads, each submitting a job and
+//!   polling it to completion before submitting the next: measures
+//!   submit-to-done latency under bounded concurrency;
+//! * **open loop** — submissions arrive on a fixed timer regardless of
+//!   completions: measures behaviour under arrival pressure, where
+//!   queueing (and fair-share preemption) actually happens.
+//!
+//! The **duplicate-heavy** mix cycles a small pool of distinct configs
+//! (after a warm-up pass every submission is answered from the
+//! content-addressed cache: the hit rate must exceed 90%, and cached
+//! responses are asserted byte-identical to the first run). The
+//! **unique-heavy** mix gives every submission its own seed, so every
+//! job packs.
+//!
+//! Results go to stdout and `target/experiments/BENCH_server.json`:
+//! p50/p99 submit-to-done latency, jobs/s, cache hit rate and preemption
+//! counts per (mix × loop) cell. `--quick` shrinks the workload for CI.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use adampack_bench::{cli, json_str, JsonReport};
+use adampack_geometry::{shapes, Vec3};
+use adampack_io::write_stl_ascii;
+use adampack_server::{client, ServeOptions, Server, ServerHandle};
+
+fn config(radius: f64, seed: u64) -> String {
+    format!(
+        r#"
+container:
+    path: "box.stl"
+algorithm: "COLLECTIVE_ARRANGEMENT"
+params:
+    lr: 0.01
+    n_epoch: 300
+    patience: 30
+    batch_size: 40
+    seed: {seed}
+particle_sets:
+    - radius_distribution: "constant"
+      radius_value: {radius}
+"#
+    )
+}
+
+fn serve(dir: &Path, tag: &str, workers: usize, slice_ms: u64) -> ServerHandle {
+    Server::start(ServeOptions {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        http_threads: 2,
+        queue_shards: 8,
+        data_dir: dir.join(format!("data_{tag}")),
+        config_base: dir.to_path_buf(),
+        slice_ms,
+        checkpoint_every: 200,
+        keep_last: 2,
+    })
+    .expect("server start")
+}
+
+fn metric(addr: SocketAddr, name: &str) -> u64 {
+    let (code, body) = client::get(addr, "/metrics").expect("metrics");
+    assert_eq!(code, 200);
+    String::from_utf8(body)
+        .unwrap()
+        .lines()
+        .find(|l| l.starts_with(name))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Counter deltas bracketing one load phase.
+struct Counters {
+    submitted: u64,
+    hits: u64,
+    preemptions: u64,
+}
+
+fn counters(addr: SocketAddr) -> Counters {
+    Counters {
+        submitted: metric(addr, "adampack_server_jobs_submitted_total"),
+        hits: metric(addr, "adampack_server_cache_hits_total"),
+        preemptions: metric(addr, "adampack_server_preemptions_total"),
+    }
+}
+
+/// Submits one job and polls it to `done`; returns the submit-to-done
+/// latency and the artifact bytes.
+fn submit_and_wait(addr: SocketAddr, yaml: &str) -> (Duration, Vec<u8>) {
+    let t0 = Instant::now();
+    let (code, body) = client::submit(addr, yaml).expect("submit");
+    assert_eq!(code, 200, "{}", String::from_utf8_lossy(&body));
+    let hex = client::json_str_field(&body, "address").expect("address");
+    let status = client::wait_terminal(addr, &hex, Duration::from_secs(600)).expect("terminal");
+    assert_eq!(status, "done", "job {hex} ended {status}");
+    let bytes = client::artifact(addr, &hex).expect("artifact");
+    (t0.elapsed(), bytes)
+}
+
+/// Closed loop: `clients` threads drain a shared work list, each job
+/// polled to completion before the thread takes the next.
+fn closed_loop(addr: SocketAddr, jobs: &[String], clients: usize) -> (Vec<f64>, f64) {
+    let next = AtomicUsize::new(0);
+    let latencies = Mutex::new(Vec::new());
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(yaml) = jobs.get(i) else { break };
+                let (latency, _) = submit_and_wait(addr, yaml);
+                latencies.lock().unwrap().push(latency.as_secs_f64());
+            });
+        }
+    });
+    (latencies.into_inner().unwrap(), t0.elapsed().as_secs_f64())
+}
+
+/// Open loop: submissions fire every `interval` regardless of progress;
+/// completion times are observed by a polling watcher.
+fn open_loop(addr: SocketAddr, jobs: &[String], interval: Duration) -> (Vec<f64>, f64) {
+    let t0 = Instant::now();
+    // address -> submit instants (duplicate submissions of one address
+    // each get their own latency sample, answered by the same artifact).
+    let mut pending: HashMap<String, Vec<Instant>> = HashMap::new();
+    let mut latencies = Vec::new();
+    for (i, yaml) in jobs.iter().enumerate() {
+        let target = t0 + interval * i as u32;
+        while Instant::now() < target {
+            drain_done(addr, &mut pending, &mut latencies);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let submit_at = Instant::now();
+        let (code, body) = client::submit(addr, yaml).expect("submit");
+        assert_eq!(code, 200, "{}", String::from_utf8_lossy(&body));
+        let hex = client::json_str_field(&body, "address").expect("address");
+        pending.entry(hex).or_default().push(submit_at);
+    }
+    let deadline = Instant::now() + Duration::from_secs(600);
+    while !pending.is_empty() {
+        assert!(
+            Instant::now() < deadline,
+            "open-loop jobs stuck: {pending:?}"
+        );
+        drain_done(addr, &mut pending, &mut latencies);
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    (latencies, t0.elapsed().as_secs_f64())
+}
+
+fn drain_done(
+    addr: SocketAddr,
+    pending: &mut HashMap<String, Vec<Instant>>,
+    latencies: &mut Vec<f64>,
+) {
+    let now = Instant::now();
+    pending.retain(|hex, submits| {
+        let (code, body) = client::get(addr, &format!("/jobs/{hex}")).expect("status");
+        if code != 200 {
+            return true;
+        }
+        match client::json_str_field(&body, "status").as_deref() {
+            Some("done") => {
+                for s in submits.iter() {
+                    latencies.push((now - *s).as_secs_f64());
+                }
+                false
+            }
+            Some("failed") | Some("cancelled") => panic!("job {hex} died: {body:?}"),
+            _ => true,
+        }
+    });
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+struct Cell {
+    mix: &'static str,
+    mode: &'static str,
+    jobs: usize,
+    p50: f64,
+    p99: f64,
+    jobs_per_s: f64,
+    hit_rate: f64,
+    preemptions: u64,
+}
+
+fn run_cell(
+    addr: SocketAddr,
+    mix: &'static str,
+    mode: &'static str,
+    jobs: &[String],
+    clients: usize,
+    interval: Duration,
+) -> Cell {
+    let before = counters(addr);
+    let (mut lat, wall) = match mode {
+        "closed" => closed_loop(addr, jobs, clients),
+        _ => open_loop(addr, jobs, interval),
+    };
+    let after = counters(addr);
+    lat.sort_by(f64::total_cmp);
+    let submitted = after.submitted - before.submitted;
+    Cell {
+        mix,
+        mode,
+        jobs: jobs.len(),
+        p50: percentile(&lat, 0.50),
+        p99: percentile(&lat, 0.99),
+        jobs_per_s: lat.len() as f64 / wall,
+        hit_rate: (after.hits - before.hits) as f64 / submitted.max(1) as f64,
+        preemptions: after.preemptions - before.preemptions,
+    }
+}
+
+fn main() {
+    let quick = cli::flag("--quick");
+    let (uniques, dup_total, uniq_total) = if quick { (3, 18, 8) } else { (6, 60, 24) };
+    let clients = 4;
+
+    let dir = std::env::temp_dir().join("adampack_bench_server");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let mesh = shapes::box_mesh(Vec3::ZERO, Vec3::splat(1.0));
+    let f = std::fs::File::create(dir.join("box.stl")).unwrap();
+    write_stl_ascii(std::io::BufWriter::new(f), &mesh, "box").unwrap();
+
+    let pool: Vec<String> = (0..uniques).map(|s| config(0.16, 100 + s)).collect();
+    let duplicate_heavy: Vec<String> = (0..dup_total)
+        .map(|i| pool[i % pool.len()].clone())
+        .collect();
+    let unique_heavy: Vec<String> = (0..uniq_total as u64)
+        .map(|s| config(0.16, 500 + s))
+        .collect();
+
+    let server = serve(&dir, "main", 2, 50);
+    let addr = server.addr();
+
+    // Warm the cache for the duplicate-heavy mix, asserting cached
+    // responses stay byte-identical to the first computation.
+    let mut first: Vec<Vec<u8>> = Vec::new();
+    for yaml in &pool {
+        let (_, bytes) = submit_and_wait(addr, yaml);
+        first.push(bytes);
+    }
+    for (yaml, expect) in pool.iter().zip(&first) {
+        let (_, bytes) = submit_and_wait(addr, yaml);
+        assert_eq!(&bytes, expect, "cached artifact must be byte-identical");
+    }
+
+    let mut cells = Vec::new();
+    cells.push(run_cell(
+        addr,
+        "duplicate_heavy",
+        "closed",
+        &duplicate_heavy,
+        clients,
+        Duration::ZERO,
+    ));
+    cells.push(run_cell(
+        addr,
+        "duplicate_heavy",
+        "open",
+        &duplicate_heavy,
+        clients,
+        Duration::from_millis(5),
+    ));
+    cells.push(run_cell(
+        addr,
+        "unique_heavy",
+        "closed",
+        &unique_heavy,
+        clients,
+        Duration::ZERO,
+    ));
+
+    // The open unique-heavy phase runs against a fresh data dir with one
+    // worker, a short fair-share slice and jobs several slices long —
+    // arrival pressure on cold jobs, the cell where preemption shows.
+    server.shutdown();
+    let server = serve(&dir, "open", 1, 5);
+    let addr = server.addr();
+    let unique_open: Vec<String> = (0..uniq_total as u64)
+        .map(|s| config(0.11, 900 + s))
+        .collect();
+    cells.push(run_cell(
+        addr,
+        "unique_heavy",
+        "open",
+        &unique_open,
+        clients,
+        Duration::from_millis(10),
+    ));
+    server.shutdown();
+
+    let mut report = JsonReport::new("server");
+    report.meta("quick", quick);
+    report.meta("clients", clients);
+    report.meta("unique_configs", uniques);
+    println!(
+        "{:<16} {:<7} {:>5} {:>9} {:>9} {:>8} {:>9} {:>11}",
+        "mix", "mode", "jobs", "p50_ms", "p99_ms", "jobs/s", "hit_rate", "preemptions"
+    );
+    for c in &cells {
+        println!(
+            "{:<16} {:<7} {:>5} {:>9.2} {:>9.2} {:>8.2} {:>9.3} {:>11}",
+            c.mix,
+            c.mode,
+            c.jobs,
+            c.p50 * 1e3,
+            c.p99 * 1e3,
+            c.jobs_per_s,
+            c.hit_rate,
+            c.preemptions
+        );
+        report.row(format!(
+            "{{\"mix\":{},\"mode\":{},\"jobs\":{},\"p50_s\":{:.6},\"p99_s\":{:.6},\
+             \"jobs_per_s\":{:.3},\"cache_hit_rate\":{:.4},\"preemptions\":{}}}",
+            json_str(c.mix),
+            json_str(c.mode),
+            c.jobs,
+            c.p50,
+            c.p99,
+            c.jobs_per_s,
+            c.hit_rate,
+            c.preemptions
+        ));
+    }
+
+    // The whole point of the cache: a duplicate-heavy workload must be
+    // answered almost entirely without packing.
+    for c in &cells {
+        if c.mix == "duplicate_heavy" {
+            assert!(
+                c.hit_rate >= 0.9,
+                "duplicate-heavy {} hit rate {:.3} < 0.9",
+                c.mode,
+                c.hit_rate
+            );
+        }
+    }
+
+    let path = report.write().expect("write BENCH_server.json");
+    println!("report: {}", path.display());
+}

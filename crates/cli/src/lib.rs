@@ -42,6 +42,8 @@ pub enum CliError {
     Pack(PackError),
     /// Checkpoint files exist but none could be loaded.
     Checkpoint(String),
+    /// The job server failed to start or run (`adampack serve`).
+    Server(String),
 }
 
 impl CliError {
@@ -56,6 +58,7 @@ impl CliError {
             CliError::Pack(PackError::Diverged { .. }) => 6,
             CliError::Pack(PackError::Resume(_)) | CliError::Checkpoint(_) => 7,
             CliError::Pack(PackError::HorizonBreach { .. }) => 8,
+            CliError::Server(_) => 9,
         }
     }
 }
@@ -69,6 +72,7 @@ impl std::fmt::Display for CliError {
             CliError::Usage(m) => write!(f, "usage error: {m}"),
             CliError::Pack(e) => write!(f, "{e}"),
             CliError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
+            CliError::Server(m) => write!(f, "server error: {m}"),
         }
     }
 }
@@ -1179,6 +1183,7 @@ mod tests {
                 misses: 4,
             })
             .exit_code(),
+            CliError::Server("s".into()).exit_code(),
         ];
         let mut unique = codes.to_vec();
         unique.sort_unstable();

@@ -24,12 +24,24 @@ USAGE:
                   [--trace-timeline <trace.json>]
                   [--diagnostics <off|summary|events>]
     adampack info <config.yaml>
+    adampack serve [--addr <host:port>] [--workers <n>] [--http-threads <n>]
+                   [--data-dir <dir>] [--config-base <dir>]
+                   [--slice-ms <ms>] [--checkpoint-every <steps>]
+                   [--checkpoint-keep <n>] [--queue-shards <n>]
     adampack help
 
 COMMANDS:
     pack    run the packing described by the configuration and report
             particle count, core density, overlap stats and timing
     info    print the parsed configuration without running it
+    serve   run the packing job server: POST a YAML config to /jobs,
+            poll GET /jobs/{id}, fetch GET /jobs/{id}/artifact, cancel
+            with POST /jobs/{id}/cancel, scrape GET /metrics. Jobs are
+            content-addressed (semantically equal configs coalesce and
+            completed results are served byte-identical from the cache
+            in <data-dir>/artifacts), scheduled fair-share with
+            checkpoint-shaped preemption, and crash-recoverable from
+            the rotating checkpoints in <data-dir>/jobs
 
 Flags override the configuration's `telemetry:` block: --trace-out
 streams a per-step JSONL record (loss terms, gradient norm, lr, max
@@ -96,7 +108,7 @@ diagnostics on or off.
 EXIT CODES:
     0 success   2 usage   3 configuration   4 geometry   5 i/o
     6 divergence budget exhausted   7 checkpoint/resume failure
-    8 tiled retirement horizon breached
+    8 tiled retirement horizon breached   9 job server failure
 ";
 
 fn parse_num_list<T: std::str::FromStr>(flag: &str, v: &str) -> Result<Vec<T>, CliError> {
@@ -273,6 +285,52 @@ fn dispatch(args: Vec<String>) -> Result<(), CliError> {
             if let Some(p) = summary.output {
                 println!("output:        {}", p.display());
             }
+            Ok(())
+        }
+        Some("serve") => {
+            let mut opts = adampack_server::ServeOptions::default();
+            while let Some(flag) = it.next() {
+                let mut value = |name: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| CliError::Usage(format!("{name} requires a value")))
+                };
+                fn positive(name: &str, v: &str) -> Result<usize, CliError> {
+                    v.parse().ok().filter(|&n| n > 0).ok_or_else(|| {
+                        CliError::Usage(format!("{name} expects a positive integer, got '{v}'"))
+                    })
+                }
+                match flag.as_str() {
+                    "--addr" => opts.addr = value("--addr")?,
+                    "--workers" => opts.workers = positive("--workers", &value("--workers")?)?,
+                    "--http-threads" => {
+                        opts.http_threads = positive("--http-threads", &value("--http-threads")?)?
+                    }
+                    "--queue-shards" => {
+                        opts.queue_shards = positive("--queue-shards", &value("--queue-shards")?)?
+                    }
+                    "--data-dir" => opts.data_dir = PathBuf::from(value("--data-dir")?),
+                    "--config-base" => opts.config_base = PathBuf::from(value("--config-base")?),
+                    "--slice-ms" => {
+                        opts.slice_ms = positive("--slice-ms", &value("--slice-ms")?)? as u64
+                    }
+                    "--checkpoint-every" => {
+                        opts.checkpoint_every =
+                            positive("--checkpoint-every", &value("--checkpoint-every")?)?
+                    }
+                    "--checkpoint-keep" => {
+                        opts.keep_last =
+                            positive("--checkpoint-keep", &value("--checkpoint-keep")?)?
+                    }
+                    other => {
+                        return Err(CliError::Usage(format!("unknown flag '{other}'")));
+                    }
+                }
+            }
+            let handle = adampack_server::Server::start(opts)
+                .map_err(|e| CliError::Server(e.to_string()))?;
+            println!("listening on http://{}", handle.addr());
+            handle.join();
             Ok(())
         }
         Some("info") => {

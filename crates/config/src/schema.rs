@@ -107,8 +107,9 @@ pub struct NeighborConfig {
     /// `skin_factor:` — Verlet skin as a fraction of the largest batch
     /// radius, default 0.4.
     pub skin_factor: f64,
-    /// `order:` — pair-sweep traversal order, `morton` (default) or
-    /// `strided`. Bitwise identical results; purely a cache-locality knob.
+    /// `order:` — pair-sweep traversal order, `auto` (default, measures
+    /// each batch), `morton` or `strided`. Bitwise identical results;
+    /// purely a cache-locality knob.
     pub order: SweepOrder,
 }
 
@@ -583,7 +584,7 @@ impl PackingConfig {
                 neighbor.order = SweepOrder::parse(v).ok_or_else(|| {
                     field(format!(
                         "neighbor.order: unknown order '{v}' \
-                         (expected 'morton' or 'strided')"
+                         (expected 'auto', 'morton' or 'strided')"
                     ))
                 })?;
             }
@@ -1392,8 +1393,12 @@ zones:
     fn sweep_order_knob_parses_and_rejects_unknown() {
         let base = "container:\n  path: a.stl\nparticle_sets:\n  - radius_distribution: constant\n    radius_value: 0.1\n";
         let cfg = PackingConfig::from_str(base).unwrap();
-        assert_eq!(cfg.neighbor.order, SweepOrder::Morton, "default is morton");
-        assert_eq!(cfg.to_packing_params().neighbor.order, SweepOrder::Morton);
+        assert_eq!(cfg.neighbor.order, SweepOrder::Auto, "default is auto");
+        assert_eq!(cfg.to_packing_params().neighbor.order, SweepOrder::Auto);
+
+        let morton = format!("{base}neighbor:\n  order: \"morton\"\n");
+        let cfg = PackingConfig::from_str(&morton).unwrap();
+        assert_eq!(cfg.neighbor.order, SweepOrder::Morton);
 
         let strided = format!("{base}neighbor:\n  order: \"strided\"\n");
         let cfg = PackingConfig::from_str(&strided).unwrap();
@@ -1403,6 +1408,7 @@ zones:
         let bad = format!("{base}neighbor:\n  order: hilbert\n");
         let e = PackingConfig::from_str(&bad).unwrap_err();
         assert!(e.to_string().contains("hilbert"), "{e}");
+        assert!(e.to_string().contains("'auto'"), "{e}");
         assert!(e.to_string().contains("'morton'"), "{e}");
         assert!(e.to_string().contains("'strided'"), "{e}");
     }

@@ -59,6 +59,15 @@ pub enum NeighborStrategy {
 /// Batch size at which [`NeighborStrategy::Auto`] switches to Verlet lists.
 pub const VERLET_THRESHOLD: usize = 32;
 
+/// Smallest batch for which [`SweepOrder::Auto`] will consider the Morton
+/// permutation; below it the per-rebuild key sort can't amortize.
+pub const AUTO_MORTON_MIN: usize = 64;
+
+/// [`SweepOrder::Auto`] sortedness cutoff: when at least this fraction of
+/// adjacent identity-order pairs already have non-decreasing Morton keys,
+/// the batch is treated as spatially coherent and swept strided.
+pub const AUTO_SORTED_FRACTION: f64 = 0.75;
+
 /// In which sequence the objective's parallel sweep visits query particles.
 ///
 /// Both orders produce **bitwise identical** results: each particle's value
@@ -67,11 +76,16 @@ pub const VERLET_THRESHOLD: usize = 32;
 /// behavior, never arithmetic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SweepOrder {
+    /// Measure, then pick (default): batches whose identity order is
+    /// already spatially coherent (or too small to amortize a sort) run
+    /// strided; everything else gets the Morton permutation. See
+    /// [`Workspace::use_morton`] for the exact heuristic.
+    #[default]
+    Auto,
     /// Z-order (Morton) traversal: query particles sorted by the
     /// interleaved bits of their quantized cell coordinates, so consecutive
     /// queries share candidate cells and the pair sweep walks the CSR
-    /// `entries`/SoA memory in cache-sized blocks (default).
-    #[default]
+    /// `entries`/SoA memory in cache-sized blocks.
     Morton,
     /// Spawn/index order — the pre-PR-8 strided z→y→x behavior, kept as the
     /// oracle ordering.
@@ -79,9 +93,11 @@ pub enum SweepOrder {
 }
 
 impl SweepOrder {
-    /// Parses the user-facing knob value (`"morton"` / `"strided"`).
+    /// Parses the user-facing knob value (`"auto"` / `"morton"` /
+    /// `"strided"`).
     pub fn parse(s: &str) -> Option<SweepOrder> {
         match s.to_ascii_lowercase().as_str() {
+            "auto" => Some(SweepOrder::Auto),
             "morton" => Some(SweepOrder::Morton),
             "strided" => Some(SweepOrder::Strided),
             _ => None,
@@ -91,6 +107,7 @@ impl SweepOrder {
     /// Canonical knob spelling.
     pub fn name(self) -> &'static str {
         match self {
+            SweepOrder::Auto => "auto",
             SweepOrder::Morton => "morton",
             SweepOrder::Strided => "strided",
         }
@@ -1117,6 +1134,8 @@ pub struct Workspace {
     pub(crate) sweep_order: Vec<u32>,
     /// Verlet rebuild count the permutation was computed at.
     sweep_stamp: Option<usize>,
+    /// Cached [`SweepOrder::Auto`] decision: `(n, rebuild stamp, morton?)`.
+    auto_choice: Option<(usize, usize, bool)>,
     /// Evaluations served since creation (diagnostics).
     pub(crate) evals: usize,
 }
@@ -1142,6 +1161,73 @@ impl Workspace {
     pub fn reset_batch(&mut self) {
         self.verlet.ref_coords.clear();
         self.sweep_stamp = None;
+        self.auto_choice = None;
+    }
+
+    /// Resolves a [`SweepOrder`] knob to "permute this sweep?" for the
+    /// batch of `n` particles at coordinates `c`.
+    ///
+    /// Explicit `Morton`/`Strided` pass straight through. `Auto` measures
+    /// the batch once per Verlet rebuild and picks Morton only when the
+    /// permutation can plausibly pay for its keying + sort:
+    ///
+    /// 1. batches below [`AUTO_MORTON_MIN`] particles run strided — the
+    ///    sort overhead dominates any locality win;
+    /// 2. otherwise the Morton keys are computed and the fraction of
+    ///    adjacent identity-order pairs already in non-decreasing key
+    ///    order is measured; at or above [`AUTO_SORTED_FRACTION`] the
+    ///    batch is considered spatially coherent as-is (e.g. re-packed or
+    ///    checkpoint-restored beds arriving in packed order) and runs
+    ///    strided, below it Morton.
+    ///
+    /// The decision is a pure function of the coordinates, so it is
+    /// deterministic and thread-count independent — and since both orders
+    /// are bitwise identical anyway, it can never change results.
+    pub(crate) fn use_morton(&mut self, order: SweepOrder, c: &[f64], n: usize) -> bool {
+        match order {
+            SweepOrder::Morton => true,
+            SweepOrder::Strided => false,
+            SweepOrder::Auto => {
+                if n < AUTO_MORTON_MIN {
+                    return false;
+                }
+                let stamp = self.verlet.rebuilds();
+                if let Some((cn, cs, choice)) = self.auto_choice {
+                    if cn == n && cs == stamp {
+                        return choice;
+                    }
+                }
+                self.fill_sweep_keys(c, n);
+                let sorted_pairs = self.sweep_keys.windows(2).filter(|w| w[0] <= w[1]).count();
+                let frac = sorted_pairs as f64 / (n - 1) as f64;
+                let choice = frac < AUTO_SORTED_FRACTION;
+                self.auto_choice = Some((n, stamp, choice));
+                choice
+            }
+        }
+    }
+
+    /// Fills `sweep_keys` with `(morton_key << 32) | index` for the batch,
+    /// unsorted (shared by the permutation build and the Auto probe).
+    fn fill_sweep_keys(&mut self, c: &[f64], n: usize) {
+        let mut lo = Vec3::splat(f64::INFINITY);
+        let mut hi = Vec3::splat(f64::NEG_INFINITY);
+        for i in 0..n {
+            let p = coords::get(c, i);
+            lo = lo.min(p);
+            hi = hi.max(p);
+        }
+        let extent = hi - lo;
+        let scale = |e: f64| if e > 0.0 { 1023.0 / e } else { 0.0 };
+        let (sx, sy, sz) = (scale(extent.x), scale(extent.y), scale(extent.z));
+        self.sweep_keys.clear();
+        self.sweep_keys.resize(n, 0);
+        par::fill_with(&mut self.sweep_keys, |i| {
+            let p = coords::get(c, i);
+            let q = |v: f64, lo: f64, s: f64| (((v - lo) * s) as i64).clamp(0, 1023) as u64;
+            let key = morton_key(q(p.x, lo.x, sx), q(p.y, lo.y, sy), q(p.z, lo.z, sz));
+            (key << 32) | i as u64
+        });
     }
 
     /// The Morton visit permutation over the batch's `n` particles (from
@@ -1160,24 +1246,7 @@ impl Workspace {
         let stamp = self.verlet.rebuilds();
         if self.sweep_order.len() != n || self.sweep_stamp != Some(stamp) {
             self.sweep_stamp = Some(stamp);
-            let mut lo = Vec3::splat(f64::INFINITY);
-            let mut hi = Vec3::splat(f64::NEG_INFINITY);
-            for i in 0..n {
-                let p = coords::get(c, i);
-                lo = lo.min(p);
-                hi = hi.max(p);
-            }
-            let extent = hi - lo;
-            let scale = |e: f64| if e > 0.0 { 1023.0 / e } else { 0.0 };
-            let (sx, sy, sz) = (scale(extent.x), scale(extent.y), scale(extent.z));
-            self.sweep_keys.clear();
-            self.sweep_keys.resize(n, 0);
-            par::fill_with(&mut self.sweep_keys, |i| {
-                let p = coords::get(c, i);
-                let q = |v: f64, lo: f64, s: f64| (((v - lo) * s) as i64).clamp(0, 1023) as u64;
-                let key = morton_key(q(p.x, lo.x, sx), q(p.y, lo.y, sy), q(p.z, lo.z, sz));
-                (key << 32) | i as u64
-            });
+            self.fill_sweep_keys(c, n);
             self.sweep_keys.sort_unstable();
             self.sweep_order.clear();
             self.sweep_order
@@ -1631,12 +1700,44 @@ mod tests {
 
     #[test]
     fn sweep_order_parse_and_display_roundtrip() {
-        for order in [SweepOrder::Morton, SweepOrder::Strided] {
+        for order in [SweepOrder::Auto, SweepOrder::Morton, SweepOrder::Strided] {
             assert_eq!(SweepOrder::parse(order.name()), Some(order));
             assert_eq!(format!("{order}"), order.name());
         }
         assert_eq!(SweepOrder::parse("hilbert"), None);
-        assert_eq!(SweepOrder::default(), SweepOrder::Morton);
+        assert_eq!(SweepOrder::default(), SweepOrder::Auto);
+    }
+
+    #[test]
+    fn auto_sweep_order_skips_coherent_and_small_batches() {
+        let mut ws = Workspace::new();
+        // Random cloud, big enough: incoherent identity order → Morton.
+        let (centers, _) = random_cloud(77, 512, 1.0);
+        let c = coords::from_positions(&centers);
+        assert!(ws.use_morton(SweepOrder::Auto, &c, centers.len()));
+        // The decision is cached per (n, stamp): moving coordinates
+        // without a rebuild returns the cached choice.
+        let moved: Vec<f64> = c.iter().map(|v| -v).collect();
+        assert!(ws.use_morton(SweepOrder::Auto, &moved, centers.len()));
+
+        // The same cloud presented in Morton order is spatially coherent
+        // already — Auto must decline the (now useless) permutation.
+        ws.reset_batch();
+        let perm: Vec<u32> = ws.refresh_sweep_order(&c, centers.len()).to_vec();
+        let sorted_centers: Vec<Vec3> = perm.iter().map(|&i| centers[i as usize]).collect();
+        let sorted_c = coords::from_positions(&sorted_centers);
+        ws.reset_batch();
+        assert!(!ws.use_morton(SweepOrder::Auto, &sorted_c, sorted_centers.len()));
+
+        // Below AUTO_MORTON_MIN the sort can't amortize → strided.
+        ws.reset_batch();
+        let (small, _) = random_cloud(9, AUTO_MORTON_MIN - 1, 1.0);
+        let small_c = coords::from_positions(&small);
+        assert!(!ws.use_morton(SweepOrder::Auto, &small_c, small.len()));
+
+        // Explicit overrides pass straight through regardless of layout.
+        assert!(ws.use_morton(SweepOrder::Morton, &small_c, small.len()));
+        assert!(!ws.use_morton(SweepOrder::Strided, &sorted_c, sorted_centers.len()));
     }
 
     #[test]

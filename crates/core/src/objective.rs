@@ -229,13 +229,16 @@ impl<'a> Objective<'a> {
 
     /// Selects the parallel sweep order over batch particles.
     ///
-    /// [`SweepOrder::Morton`] (default) visits particles along a Z-order
-    /// curve over the batch AABB so spatially close particles — whose
-    /// candidate rows share cache lines — are processed by the same worker
-    /// back-to-back. [`SweepOrder::Strided`] is the plain index order kept
-    /// as the locality-ablation oracle. Both orders produce **bitwise
-    /// identical** results: each particle's slot is written by exactly one
-    /// task and the value reduction stays sequential over slot index.
+    /// [`SweepOrder::Morton`] visits particles along a Z-order curve over
+    /// the batch AABB so spatially close particles — whose candidate rows
+    /// share cache lines — are processed by the same worker back-to-back.
+    /// [`SweepOrder::Strided`] is the plain index order kept as the
+    /// locality-ablation oracle. [`SweepOrder::Auto`] (default) measures
+    /// each batch and permutes only when the identity order is not already
+    /// spatially coherent (see `Workspace::use_morton`). All orders
+    /// produce **bitwise identical** results: each particle's slot is
+    /// written by exactly one task and the value reduction stays
+    /// sequential over slot index.
     pub fn with_order(mut self, order: SweepOrder) -> Objective<'a> {
         self.order = order;
         self
@@ -327,7 +330,7 @@ impl<'a> Objective<'a> {
     pub fn value_ws(&self, c: &[f64], ws: &mut Workspace) -> f64 {
         let n = self.radii.len();
         assert_eq!(c.len(), 3 * n, "coordinate buffer size mismatch");
-        let morton = self.order == SweepOrder::Morton;
+        let morton = ws.use_morton(self.order, c, n);
         if morton {
             ws.refresh_sweep_order(c, n);
         }
@@ -374,7 +377,7 @@ impl<'a> Objective<'a> {
         let n = self.radii.len();
         assert_eq!(c.len(), 3 * n, "coordinate buffer size mismatch");
         assert_eq!(grad.len(), 3 * n, "gradient buffer size mismatch");
-        let morton = self.order == SweepOrder::Morton;
+        let morton = ws.use_morton(self.order, c, n);
         if morton {
             ws.refresh_sweep_order(c, n);
         }
@@ -435,7 +438,7 @@ impl<'a> Objective<'a> {
         let n = self.radii.len();
         assert_eq!(c.len(), 3 * n, "coordinate buffer size mismatch");
         assert_eq!(grad.len(), 3 * n, "gradient buffer size mismatch");
-        let morton = self.order == SweepOrder::Morton;
+        let morton = ws.use_morton(self.order, c, n);
         if morton {
             ws.refresh_sweep_order(c, n);
         }

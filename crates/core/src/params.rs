@@ -23,9 +23,10 @@ pub struct NeighborParams {
     /// rebuild less often but scan more candidates per step; ~0.3–0.5 is a
     /// good range for the paper's polydispersities.
     pub skin_factor: f64,
-    /// Parallel sweep order over batch particles. Morton (default) walks a
-    /// Z-order curve for cache locality; strided is the ablation oracle.
-    /// Both produce bitwise identical packings.
+    /// Parallel sweep order over batch particles. Auto (default) measures
+    /// each batch and walks a Z-order curve only when the identity order
+    /// is not already spatially coherent; morton/strided force one choice.
+    /// All produce bitwise identical packings.
     pub order: SweepOrder,
 }
 
@@ -34,7 +35,7 @@ impl Default for NeighborParams {
         NeighborParams {
             strategy: NeighborStrategy::Auto,
             skin_factor: 0.4,
-            order: SweepOrder::Morton,
+            order: SweepOrder::Auto,
         }
     }
 }
@@ -389,7 +390,7 @@ mod tests {
         assert!(p.accept_max_overlap >= p.accept_mean_overlap);
         assert_eq!(p.neighbor.strategy, NeighborStrategy::Auto);
         assert!((p.neighbor.skin_factor - 0.4).abs() < 1e-12);
-        assert_eq!(p.neighbor.order, SweepOrder::Morton);
+        assert_eq!(p.neighbor.order, SweepOrder::Auto);
         assert_eq!(p.kernel, Kernel::Simd);
         assert_eq!(p.tiles, 1);
         assert!(p.sentinel.enabled);

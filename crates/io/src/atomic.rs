@@ -24,11 +24,19 @@ use crate::error::Error;
 /// renamed into place (the destination is left untouched).
 pub const FAILPOINT_CHECKPOINT_WRITE: &str = "io.checkpoint.write";
 
-fn injected(path: &Path, op: &'static str) -> Error {
+/// Failpoint site: fires an injected I/O error at the parent-directory
+/// fsync *after* the rename. This models the power-loss window the
+/// directory fsync exists to close: the new file is visible in the
+/// running process (the rename happened) but its directory entry was
+/// never persisted, so the caller must treat the write as not durably
+/// committed.
+pub const FAILPOINT_CHECKPOINT_DIR_SYNC: &str = "io.checkpoint.dir_sync";
+
+fn injected(path: &Path, op: &'static str, site: &'static str) -> Error {
     Error::io(
         path,
         op,
-        std::io::Error::other("injected failpoint io.checkpoint.write"),
+        std::io::Error::other(format!("injected failpoint {site}")),
     )
 }
 
@@ -48,11 +56,17 @@ pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> Result<(), Error> {
         f.sync_all().map_err(|e| Error::io(&tmp, "fsync", e))?;
         drop(f);
         if failpoints::should_fail(FAILPOINT_CHECKPOINT_WRITE) {
-            return Err(injected(path, "rename"));
+            return Err(injected(path, "rename", FAILPOINT_CHECKPOINT_WRITE));
         }
         fs::rename(&tmp, path).map_err(|e| Error::io(path, "rename", e))?;
-        // Persist the rename itself: fsync the directory entry.
+        // Persist the rename itself: fsync the directory entry. This also
+        // covers any rotation renames [`RotatingCheckpointWriter::save`]
+        // performed just before in the same directory — one barrier
+        // flushes them all.
         if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            if failpoints::should_fail(FAILPOINT_CHECKPOINT_DIR_SYNC) {
+                return Err(injected(parent, "fsync dir", FAILPOINT_CHECKPOINT_DIR_SYNC));
+            }
             let dir = fs::File::open(parent).map_err(|e| Error::io(parent, "open dir", e))?;
             dir.sync_all()
                 .map_err(|e| Error::io(parent, "fsync dir", e))?;
@@ -117,7 +131,11 @@ impl RotatingCheckpointWriter {
 
     /// Rotates history and atomically writes `bytes` as the newest
     /// checkpoint. A failure mid-rotation or mid-write leaves every
-    /// already-completed checkpoint file intact.
+    /// already-completed checkpoint file intact. The rotation renames all
+    /// happen in the destination's directory, so the parent-directory
+    /// fsync at the end of [`write_atomic`] makes the whole shift durable
+    /// in one barrier; a crash before it falls back through whichever
+    /// mix of old/new names survived via [`checkpoint_candidates`].
     pub fn save(&mut self, bytes: &[u8]) -> Result<(), Error> {
         if self.keep_last > 1 && self.path.is_file() {
             // Shift run.ckpt.{i} → run.ckpt.{i+1}, oldest first, dropping

@@ -1,0 +1,124 @@
+//! Canonical content addresses for packing jobs.
+//!
+//! A job's address is the checkpoint-fingerprint of its *resolved, then
+//! canonicalized* parameters: the submitted YAML is parsed into
+//! [`PackingParams`] (so key order, comments, quoting style and spelled-out
+//! defaults all collapse into one struct value), the target count is
+//! resolved from the container the same way the runner resolves it, and
+//! perf-only knobs that are proven not to change the packed bytes are
+//! normalized away:
+//!
+//! * `neighbor.order` — all sweep orders produce bitwise identical
+//!   packings (DESIGN.md §13), so `auto`/`morton`/`strided` spellings of
+//!   one job coalesce;
+//! * `params.threads` never reaches [`PackingParams`] at all, so thread
+//!   counts coalesce for free.
+//!
+//! Everything that *can* change the artifact — seed, PSD, learning-rate
+//! schedule, kernel (`simd_mixed` is intentionally not bitwise-equal to
+//! `simd`), acceptance thresholds, container geometry — stays in the hash.
+//! The container's AABB and volume are folded in by the fingerprint
+//! itself, so two configs pointing at different STL files collide only if
+//! the hulls are geometrically indistinguishable to the packer.
+
+use adampack_core::prelude::*;
+
+/// Domain-separation salt for content addresses (never reused for run
+/// checkpoints, so an address can't be mistaken for a resume fingerprint).
+const ADDR_SALT_DOMAIN: &str = "adampack-server/addr/v1";
+
+/// Domain-separation salt mixed into the checkpoint fingerprints of runs
+/// executed by the server: a server checkpoint resumes only under the
+/// server context (and vice versa), mirroring the CLI's context salt.
+const RUN_SALT_DOMAIN: &str = "adampack-server/run/v1";
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The fingerprint salt for server-executed runs.
+pub fn run_salt() -> u64 {
+    fnv1a(RUN_SALT_DOMAIN)
+}
+
+/// The canonical content address of a job: parameters with perf-only
+/// knobs normalized, hashed together with the container geometry under
+/// the address domain salt.
+pub fn content_address(container: &Container, params: &PackingParams) -> u64 {
+    let mut norm = params.clone();
+    norm.neighbor.order = SweepOrder::default();
+    let mut probe = CollectivePacker::new(container.clone(), norm);
+    probe.set_fingerprint_context(fnv1a(ADDR_SALT_DOMAIN));
+    probe.fingerprint()
+}
+
+/// Renders an address as its canonical 16-digit lowercase hex form (the
+/// job id used in URLs and artifact file names).
+pub fn format_address(addr: u64) -> String {
+    format!("{addr:016x}")
+}
+
+/// Parses the canonical hex form back into an address.
+pub fn parse_address(s: &str) -> Option<u64> {
+    if s.len() != 16 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn box_container() -> Container {
+        let mesh = adampack_geometry::shapes::box_mesh(
+            adampack_geometry::Vec3::ZERO,
+            adampack_geometry::Vec3::splat(1.0),
+        );
+        Container::from_mesh(&mesh).unwrap()
+    }
+
+    #[test]
+    fn address_roundtrips_through_hex() {
+        let c = box_container();
+        let p = PackingParams::default();
+        let a = content_address(&c, &p);
+        assert_eq!(parse_address(&format_address(a)), Some(a));
+        assert_eq!(parse_address("nope"), None);
+        assert_eq!(parse_address("00112233445566"), None, "too short");
+    }
+
+    #[test]
+    fn sweep_order_is_normalized_but_seed_and_kernel_are_not() {
+        let c = box_container();
+        let base = PackingParams::default();
+        let mut morton = base.clone();
+        morton.neighbor.order = SweepOrder::Morton;
+        let mut strided = base.clone();
+        strided.neighbor.order = SweepOrder::Strided;
+        let a = content_address(&c, &base);
+        assert_eq!(a, content_address(&c, &morton), "order must coalesce");
+        assert_eq!(a, content_address(&c, &strided), "order must coalesce");
+
+        let mut seeded = base.clone();
+        seeded.seed = base.seed.wrapping_add(1);
+        assert_ne!(a, content_address(&c, &seeded), "seed changes the bytes");
+        let mut mixed = base.clone();
+        mixed.kernel = Kernel::SimdMixed;
+        assert_ne!(a, content_address(&c, &mixed), "kernel changes the bytes");
+    }
+
+    #[test]
+    fn address_domain_is_separated_from_run_fingerprints() {
+        let c = box_container();
+        let p = PackingParams::default();
+        let mut probe = CollectivePacker::new(c.clone(), p.clone());
+        probe.set_fingerprint_context(run_salt());
+        assert_ne!(content_address(&c, &p), probe.fingerprint());
+    }
+}

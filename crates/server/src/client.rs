@@ -1,0 +1,102 @@
+//! A tiny blocking HTTP client for the job API — just enough for the
+//! test suite, the CI smoke job and `bench_server` to talk to a running
+//! server without external dependencies.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Sends one request and returns `(status, body)`.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> std::io::Result<(u16, Vec<u8>)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response"))
+}
+
+fn parse_response(raw: &[u8]) -> Option<(u16, Vec<u8>)> {
+    let split = raw.windows(4).position(|w| w == b"\r\n\r\n")?;
+    let head = std::str::from_utf8(&raw[..split]).ok()?;
+    let status: u16 = head.split_whitespace().nth(1)?.parse().ok()?;
+    Some((status, raw[split + 4..].to_vec()))
+}
+
+/// `GET path` convenience.
+pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, Vec<u8>)> {
+    request(addr, "GET", path, b"")
+}
+
+/// `POST path` convenience.
+pub fn post(addr: SocketAddr, path: &str, body: &[u8]) -> std::io::Result<(u16, Vec<u8>)> {
+    request(addr, "POST", path, body)
+}
+
+/// Submits a YAML config; returns `(status, response body)`.
+pub fn submit(addr: SocketAddr, yaml: &str) -> std::io::Result<(u16, Vec<u8>)> {
+    post(addr, "/jobs", yaml.as_bytes())
+}
+
+/// Extracts a string field from a flat JSON object body (the server's
+/// responses are flat enough that a full parser is not needed).
+pub fn json_str_field(body: &[u8], field: &str) -> Option<String> {
+    let s = std::str::from_utf8(body).ok()?;
+    let needle = format!("\"{field}\":\"");
+    let start = s.find(&needle)? + needle.len();
+    let end = s[start..].find('"')? + start;
+    Some(s[start..end].to_string())
+}
+
+/// Polls `GET /jobs/{address}` until its status reaches a terminal phase
+/// (`done`, `failed`, `cancelled`) or the deadline passes. Returns the
+/// final status string.
+pub fn wait_terminal(
+    addr: SocketAddr,
+    address_hex: &str,
+    deadline: Duration,
+) -> std::io::Result<String> {
+    let start = Instant::now();
+    loop {
+        let (code, body) = get(addr, &format!("/jobs/{address_hex}"))?;
+        if code == 200 {
+            if let Some(status) = json_str_field(&body, "status") {
+                if matches!(status.as_str(), "done" | "failed" | "cancelled") {
+                    return Ok(status);
+                }
+            }
+        }
+        if start.elapsed() > deadline {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                format!("job {address_hex} not terminal after {deadline:?}"),
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Fetches a completed job's artifact bytes.
+pub fn artifact(addr: SocketAddr, address_hex: &str) -> std::io::Result<Vec<u8>> {
+    let (code, body) = get(addr, &format!("/jobs/{address_hex}/artifact"))?;
+    if code != 200 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            format!("artifact fetch for {address_hex} returned {code}"),
+        ));
+    }
+    Ok(body)
+}

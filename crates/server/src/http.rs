@@ -1,0 +1,214 @@
+//! A minimal std-only HTTP/1.1 layer: just enough request parsing and
+//! response framing for the job API. Every connection is one request
+//! (`Connection: close`), which keeps the handler loop allocation-light
+//! and timeout-safe without an async runtime.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use adampack_telemetry::warn;
+
+use crate::address::{format_address, parse_address};
+use crate::state::{json_escape, Inner};
+
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD: usize = 64 * 1024;
+/// Upper bound on a request body (YAML configs are small).
+const MAX_BODY: usize = 8 * 1024 * 1024;
+
+/// A parsed request: method, path and body.
+struct Request {
+    method: String,
+    path: String,
+    body: Vec<u8>,
+}
+
+/// Reads one HTTP request from the stream. `None` on malformed input.
+fn read_request(stream: &mut TcpStream) -> Option<Request> {
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    let split = loop {
+        if let Some(pos) = find_head_end(&head) {
+            break pos;
+        }
+        if head.len() > MAX_HEAD {
+            return None;
+        }
+        let n = stream.read(&mut buf).ok()?;
+        if n == 0 {
+            return None;
+        }
+        head.extend_from_slice(&buf[..n]);
+    };
+    let (head_bytes, mut rest) = {
+        let (h, r) = head.split_at(split + 4);
+        (h.to_vec(), r.to_vec())
+    };
+    let head_str = String::from_utf8_lossy(&head_bytes);
+    let mut lines = head_str.split("\r\n");
+    let request_line = lines.next()?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next()?.to_string();
+    let path = parts.next()?.to_string();
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok()?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return None;
+    }
+    while rest.len() < content_length {
+        let n = stream.read(&mut buf).ok()?;
+        if n == 0 {
+            return None;
+        }
+        rest.extend_from_slice(&buf[..n]);
+    }
+    rest.truncate(content_length);
+    Some(Request {
+        method,
+        path,
+        body: rest,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn reason(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Error",
+    }
+}
+
+/// Writes a complete response and closes the connection.
+fn respond(stream: &mut TcpStream, code: u16, content_type: &str, body: &[u8]) {
+    let head = format!(
+        "HTTP/1.1 {code} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(code),
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body);
+    let _ = stream.flush();
+}
+
+fn respond_json(stream: &mut TcpStream, code: u16, body: String) {
+    respond(stream, code, "application/json", body.as_bytes());
+}
+
+fn error_json(msg: &str) -> String {
+    format!("{{\"error\":\"{}\"}}", json_escape(msg))
+}
+
+/// Handles one connection end to end.
+pub(crate) fn handle(inner: &Arc<Inner>, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let Some(req) = read_request(&mut stream) else {
+        respond_json(&mut stream, 400, error_json("malformed request"));
+        return;
+    };
+    let path = req.path.trim_end_matches('/');
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => respond(&mut stream, 200, "text/plain", b"ok\n"),
+        ("GET", ["metrics"]) => respond(
+            &mut stream,
+            200,
+            "text/plain; version=0.0.4",
+            adampack_telemetry::prometheus_snapshot().as_bytes(),
+        ),
+        ("POST", ["jobs"]) => {
+            let yaml = match String::from_utf8(req.body) {
+                Ok(s) => s,
+                Err(_) => {
+                    respond_json(&mut stream, 400, error_json("body is not UTF-8"));
+                    return;
+                }
+            };
+            match inner.submit(&yaml) {
+                Ok((addr, outcome)) => {
+                    let status = inner.status_json(addr).unwrap_or_else(|| "{}".to_string());
+                    respond_json(
+                        &mut stream,
+                        200,
+                        format!(
+                            "{{\"address\":\"{}\",\"outcome\":\"{}\",\"job\":{status}}}",
+                            format_address(addr),
+                            outcome.name()
+                        ),
+                    );
+                }
+                Err(e) => respond_json(&mut stream, e.code, error_json(&e.msg)),
+            }
+        }
+        ("GET", ["jobs", hex]) => match parse_address(hex) {
+            Some(addr) => match inner.status_json(addr) {
+                Some(json) => respond_json(&mut stream, 200, json),
+                None => respond_json(&mut stream, 404, error_json("unknown job")),
+            },
+            None => respond_json(&mut stream, 400, error_json("malformed address")),
+        },
+        ("GET", ["jobs", hex, "artifact"]) => match parse_address(hex) {
+            Some(addr) => match std::fs::read(inner.artifact_path(addr)) {
+                Ok(bytes) => respond(&mut stream, 200, "text/csv", &bytes),
+                Err(_) => respond_json(&mut stream, 404, error_json("artifact not available")),
+            },
+            None => respond_json(&mut stream, 400, error_json("malformed address")),
+        },
+        ("POST", ["jobs", hex, "cancel"]) => match parse_address(hex) {
+            Some(addr) => match inner.cancel(addr) {
+                Some(phase) => respond_json(
+                    &mut stream,
+                    200,
+                    format!(
+                        "{{\"address\":\"{}\",\"status\":\"{phase}\"}}",
+                        format_address(addr)
+                    ),
+                ),
+                None => respond_json(&mut stream, 404, error_json("unknown job")),
+            },
+            None => respond_json(&mut stream, 400, error_json("malformed address")),
+        },
+        (_, ["jobs", ..]) | (_, ["metrics"]) | (_, ["healthz"]) => {
+            respond_json(&mut stream, 405, error_json("method not allowed"))
+        }
+        _ => respond_json(&mut stream, 404, error_json("no such route")),
+    }
+}
+
+/// The accept loop run by each HTTP thread. Exits when the shutdown flag
+/// is set (unblocked by the self-connects `ServerHandle::shutdown`
+/// performs).
+pub(crate) fn accept_loop(inner: Arc<Inner>, listener: std::net::TcpListener) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if inner.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                handle(&inner, stream);
+            }
+            Err(e) => {
+                if inner.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                warn!("accept failed: {e}");
+            }
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Packing-as-a-service: an async job server over the stepping API.
+//!
+//! The server exposes a small std-only HTTP/JSON API — submit a YAML
+//! packing config, poll status, fetch the artifact, cancel — backed by a
+//! sharded work queue and a pool of in-process packer workers driven
+//! through [`CollectivePacker::begin_run`] / `advance_batch` / `capture` /
+//! `restore`:
+//!
+//! * **Content-addressed caching.** Every job is keyed by the canonical
+//!   content address of its resolved parameters (see [`address`]), so
+//!   semantically-equal configs — different YAML key order, spelled-out
+//!   defaults, different thread counts or sweep orders — hash to the same
+//!   job. Duplicate submissions coalesce onto the one running job, and
+//!   completed results are served from the on-disk artifact cache with
+//!   bitwise-identical bytes.
+//! * **Fair-share preemption.** Workers account consumed wall time per
+//!   job; when a running job exceeds its slice and a job with less
+//!   consumed time is waiting, the worker captures an exact state at the
+//!   batch boundary and requeues. Restored runs continue bitwise
+//!   identically (the checkpoint/resume guarantee), so preemption is
+//!   invisible in the artifact.
+//! * **Crash durability.** Running jobs persist exact batch-boundary
+//!   captures to disk (every `checkpoint_every` optimizer steps, quantized
+//!   to the next boundary) through the rotating atomic writer; a restarted
+//!   server resumes a resubmitted job from the newest valid checkpoint.
+//!   Boundary captures are pure reads, so a served artifact is
+//!   byte-identical to a plain `adampack pack` of the same config without
+//!   checkpoint flags (a config's own `checkpoint:` block is ignored here
+//!   and does not enter the content address).
+//!
+//! Start a server with [`Server::start`]; the returned [`ServerHandle`]
+//! owns the threads and supports a clean [`ServerHandle::shutdown`] that
+//! parks in-flight work back onto the queue (checkpointed to disk).
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use adampack_telemetry::info;
+
+pub mod address;
+pub mod client;
+mod http;
+mod state;
+mod worker;
+
+pub use state::{JobPhase, SubmitError, SubmitOutcome};
+pub use worker::FAILPOINT_WORKER_CRASH;
+
+use state::Inner;
+
+/// Configuration for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind address (use port 0 to let the OS choose, e.g. in tests).
+    pub addr: String,
+    /// Packer worker threads (each runs one job at a time).
+    pub workers: usize,
+    /// HTTP accept threads.
+    pub http_threads: usize,
+    /// Work-queue shards (submissions land in `address % shards`).
+    pub queue_shards: usize,
+    /// Root of the server's on-disk state: `artifacts/` (the content
+    /// -addressed result cache) and `jobs/` (per-job checkpoints).
+    pub data_dir: PathBuf,
+    /// Base directory for resolving relative paths in submitted configs
+    /// (container STL references).
+    pub config_base: PathBuf,
+    /// Fair-share slice: a running job becomes preemptible after this
+    /// many milliseconds if a poorer job is waiting.
+    pub slice_ms: u64,
+    /// Disk-checkpoint cadence in optimizer steps, quantized to batch
+    /// boundaries (0 disables durability checkpoints).
+    pub checkpoint_every: usize,
+    /// Checkpoint generations kept per job.
+    pub keep_last: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            addr: "127.0.0.1:7311".into(),
+            workers: 2,
+            http_threads: 2,
+            queue_shards: 8,
+            data_dir: PathBuf::from("adampack-server-data"),
+            config_base: PathBuf::from("."),
+            slice_ms: 250,
+            checkpoint_every: 400,
+            keep_last: 3,
+        }
+    }
+}
+
+/// The running server. Construct with [`Server::start`].
+pub struct Server;
+
+/// Handle to a started server: the bound address plus the owned threads.
+pub struct ServerHandle {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener, creates the data directories and spawns the
+    /// HTTP and worker threads.
+    pub fn start(opts: ServeOptions) -> io::Result<ServerHandle> {
+        let inner = Arc::new(Inner::new(opts));
+        std::fs::create_dir_all(inner.artifacts_dir())?;
+        std::fs::create_dir_all(inner.jobs_dir())?;
+        inner.report_orphans();
+
+        let listener = TcpListener::bind(&inner.opts.addr)?;
+        let addr = listener.local_addr()?;
+        let mut threads = Vec::new();
+        for i in 0..inner.opts.http_threads.max(1) {
+            let l = listener.try_clone()?;
+            let inn = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("adampack-http-{i}"))
+                    .spawn(move || http::accept_loop(inn, l))?,
+            );
+        }
+        drop(listener);
+        for i in 0..inner.opts.workers.max(1) {
+            let inn = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("adampack-worker-{i}"))
+                    .spawn(move || worker::run(inn))?,
+            );
+        }
+        info!(
+            "serving on {addr} ({} workers, {} http threads, data in {})",
+            inner.opts.workers.max(1),
+            inner.opts.http_threads.max(1),
+            inner.opts.data_dir.display()
+        );
+        Ok(ServerHandle {
+            inner,
+            addr,
+            threads,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The actual bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a clean shutdown and joins all threads. Running jobs are
+    /// checkpointed at their next batch boundary and requeued (persisted
+    /// to disk, so a future server resumes them when resubmitted).
+    pub fn shutdown(self) {
+        self.inner.shutdown.store(true, Ordering::Relaxed);
+        self.inner.notify();
+        // Unblock accept loops: each self-connect wakes one thread, which
+        // observes the flag and exits.
+        for _ in 0..self.inner.opts.http_threads.max(1) {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+
+    /// Blocks until the server is stopped externally (used by the CLI:
+    /// the foreground `serve` command has no other work to do).
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}

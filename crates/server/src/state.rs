@@ -1,0 +1,448 @@
+//! Shared server state: the job registry, the sharded work queue and the
+//! submit/status/cancel operations the HTTP layer exposes.
+
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use adampack_config::PackingConfig;
+use adampack_core::checkpoint::RunState;
+use adampack_core::prelude::*;
+use adampack_telemetry::metrics::{
+    SERVER_CACHE_HITS_TOTAL, SERVER_CACHE_MISSES_TOTAL, SERVER_JOBS_CANCELLED_TOTAL,
+    SERVER_JOBS_COALESCED_TOTAL, SERVER_JOBS_SUBMITTED_TOTAL,
+};
+use adampack_telemetry::warn;
+
+use crate::address::{content_address, format_address};
+use crate::ServeOptions;
+
+/// Lifecycle of a job in the registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobPhase {
+    /// Waiting in a queue shard for a worker slot.
+    Queued,
+    /// Owned by a worker and advancing.
+    Running,
+    /// Finished; artifact persisted to the cache.
+    Done,
+    /// Ended in a packing error (see the job's `error`).
+    Failed,
+    /// Cancelled by a client before completion.
+    Cancelled,
+}
+
+impl JobPhase {
+    /// Status string used in JSON responses.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobPhase::Queued => "queued",
+            JobPhase::Running => "running",
+            JobPhase::Done => "done",
+            JobPhase::Failed => "failed",
+            JobPhase::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// One submitted packing job. The resolved inputs are kept so worker
+/// episodes never re-parse YAML or reload the container mesh.
+pub(crate) struct Job {
+    pub container: Container,
+    pub params: PackingParams,
+    pub psd: Psd,
+    pub phase: JobPhase,
+    pub error: Option<String>,
+    /// Set by `cancel`; honored by workers at the next batch boundary.
+    pub cancel: bool,
+    /// Total worker time consumed, the fair-share currency.
+    pub consumed_ns: u64,
+    pub preemptions: u64,
+    pub packed: usize,
+    pub steps: u64,
+    /// Run state captured at the last preemption (resumed in memory
+    /// without a disk round-trip).
+    pub held: Option<RunState>,
+    /// True when this job's artifact was produced before this server
+    /// process (served from the on-disk cache).
+    pub from_cache: bool,
+}
+
+/// A submit rejection: HTTP status plus a message for the JSON body.
+pub struct SubmitError {
+    /// HTTP status code (400 bad config, 503 shutting down).
+    pub code: u16,
+    /// Human-readable reason.
+    pub msg: String,
+}
+
+impl SubmitError {
+    fn bad(msg: impl Into<String>) -> SubmitError {
+        SubmitError {
+            code: 400,
+            msg: msg.into(),
+        }
+    }
+}
+
+/// How a submission was satisfied (reported back to the client and
+/// counted in `/metrics`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// Artifact already in the cache: served without any work.
+    CacheHit,
+    /// Same address already queued/running: coalesced onto it.
+    Coalesced,
+    /// A fresh run was scheduled.
+    Scheduled,
+}
+
+impl SubmitOutcome {
+    /// Wire name of the outcome.
+    pub fn name(self) -> &'static str {
+        match self {
+            SubmitOutcome::CacheHit => "hit",
+            SubmitOutcome::Coalesced => "coalesced",
+            SubmitOutcome::Scheduled => "scheduled",
+        }
+    }
+}
+
+/// Shared state behind the HTTP handlers and the worker pool.
+pub(crate) struct Inner {
+    pub opts: ServeOptions,
+    pub jobs: Mutex<HashMap<u64, Job>>,
+    /// The sharded work queue: submissions land in the shard addressed by
+    /// the job's content hash, workers scan all shards for the fair-share
+    /// pick. Shard count fixed at startup.
+    pub shards: Vec<Mutex<VecDeque<u64>>>,
+    pub wake: Condvar,
+    pub wake_seq: Mutex<u64>,
+    pub shutdown: AtomicBool,
+}
+
+impl Inner {
+    pub fn new(opts: ServeOptions) -> Inner {
+        let nshards = opts.queue_shards.max(1);
+        Inner {
+            opts,
+            jobs: Mutex::new(HashMap::new()),
+            shards: (0..nshards).map(|_| Mutex::new(VecDeque::new())).collect(),
+            wake: Condvar::new(),
+            wake_seq: Mutex::new(0),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    fn shard_of(&self, addr: u64) -> usize {
+        (addr % self.shards.len() as u64) as usize
+    }
+
+    /// Directory holding completed artifacts.
+    pub fn artifacts_dir(&self) -> PathBuf {
+        self.opts.data_dir.join("artifacts")
+    }
+
+    /// Directory holding per-job checkpoint rotations.
+    pub fn jobs_dir(&self) -> PathBuf {
+        self.opts.data_dir.join("jobs")
+    }
+
+    /// The cached artifact path for `addr` (CSV bytes).
+    pub fn artifact_path(&self, addr: u64) -> PathBuf {
+        self.artifacts_dir()
+            .join(format!("{}.csv", format_address(addr)))
+    }
+
+    /// The rotating checkpoint path for `addr`.
+    pub fn checkpoint_path(&self, addr: u64) -> PathBuf {
+        self.jobs_dir()
+            .join(format!("{}.ckpt", format_address(addr)))
+    }
+
+    /// Pushes `addr` onto its queue shard and wakes a worker.
+    pub fn enqueue(&self, addr: u64) {
+        self.shards[self.shard_of(addr)]
+            .lock()
+            .unwrap()
+            .push_back(addr);
+        self.notify();
+    }
+
+    /// Wakes every parked worker (new work or shutdown).
+    pub fn notify(&self) {
+        let mut seq = self.wake_seq.lock().unwrap();
+        *seq += 1;
+        drop(seq);
+        self.wake.notify_all();
+    }
+
+    /// Parks a worker until new work may be available (bounded wait: the
+    /// loop re-scans on timeout so a lost wakeup can only add latency).
+    pub fn park(&self, timeout: Duration) {
+        let seq = self.wake_seq.lock().unwrap();
+        let _ = self.wake.wait_timeout(seq, timeout).unwrap();
+    }
+
+    /// Resolves and validates a submitted YAML config into the inputs of
+    /// a packing run.
+    fn resolve(&self, yaml: &str) -> Result<(Container, PackingParams, Psd), SubmitError> {
+        let mut cfg =
+            PackingConfig::from_str(yaml).map_err(|e| SubmitError::bad(format!("config: {e}")))?;
+        cfg.resolve_paths(&self.opts.config_base);
+        if !cfg.algorithm.eq_ignore_ascii_case("COLLECTIVE_ARRANGEMENT") {
+            return Err(SubmitError::bad(format!(
+                "algorithm '{}' is not servable (jobs require COLLECTIVE_ARRANGEMENT)",
+                cfg.algorithm
+            )));
+        }
+        if !cfg.zones.is_empty() {
+            return Err(SubmitError::bad(
+                "zoned configurations are not servable (single-zone jobs only)",
+            ));
+        }
+        if cfg.batch.is_some() {
+            return Err(SubmitError::bad(
+                "batched sweeps are not servable (submit each system as its own job)",
+            ));
+        }
+        let mesh = adampack_io::read_stl_path(&cfg.container_path)
+            .map_err(|e| SubmitError::bad(format!("container: {e}")))?;
+        match adampack_geometry::container_sanity(&mesh, 1e-6) {
+            Ok(()) | Err(adampack_geometry::SanityError::NotConvex { .. }) => {}
+            Err(e) => {
+                return Err(SubmitError::bad(format!(
+                    "container {}: {e}",
+                    cfg.container_path.display()
+                )))
+            }
+        }
+        let container =
+            Container::from_mesh(&mesh).map_err(|e| SubmitError::bad(format!("container: {e}")))?;
+        let psd = cfg
+            .psds()
+            .into_iter()
+            .next()
+            .ok_or_else(|| SubmitError::bad("configuration has no particle sets"))?;
+        let mut params = cfg.to_packing_params();
+        params.target_count = container.capacity_estimate(psd.mean(), 0.6);
+        Ok((container, params, psd))
+    }
+
+    /// Handles a job submission end to end: resolve, address, consult the
+    /// artifact cache, coalesce or schedule. Returns the address and how
+    /// it was satisfied.
+    pub fn submit(&self, yaml: &str) -> Result<(u64, SubmitOutcome), SubmitError> {
+        if self.shutdown.load(Ordering::Relaxed) {
+            return Err(SubmitError {
+                code: 503,
+                msg: "server is shutting down".into(),
+            });
+        }
+        let (container, params, psd) = self.resolve(yaml)?;
+        let addr = content_address(&container, &params);
+        SERVER_JOBS_SUBMITTED_TOTAL.inc();
+
+        let mut jobs = self.jobs.lock().unwrap();
+        // Consult the cache first: a persisted artifact answers the
+        // submission outright, even right after a restart when the
+        // registry has no entry yet.
+        if self.artifact_path(addr).is_file() {
+            SERVER_CACHE_HITS_TOTAL.inc();
+            jobs.entry(addr).or_insert_with(|| Job {
+                container,
+                params,
+                psd,
+                phase: JobPhase::Done,
+                error: None,
+                cancel: false,
+                consumed_ns: 0,
+                preemptions: 0,
+                packed: 0,
+                steps: 0,
+                held: None,
+                from_cache: true,
+            });
+            let job = jobs.get_mut(&addr).unwrap();
+            job.phase = JobPhase::Done;
+            job.error = None;
+            return Ok((addr, SubmitOutcome::CacheHit));
+        }
+        match jobs.get_mut(&addr) {
+            Some(job) if matches!(job.phase, JobPhase::Queued | JobPhase::Running) => {
+                SERVER_JOBS_COALESCED_TOTAL.inc();
+                Ok((addr, SubmitOutcome::Coalesced))
+            }
+            Some(job) => {
+                // Done-but-evicted, failed or cancelled: schedule again.
+                SERVER_CACHE_MISSES_TOTAL.inc();
+                job.phase = JobPhase::Queued;
+                job.error = None;
+                job.cancel = false;
+                drop(jobs);
+                self.enqueue(addr);
+                Ok((addr, SubmitOutcome::Scheduled))
+            }
+            None => {
+                SERVER_CACHE_MISSES_TOTAL.inc();
+                jobs.insert(
+                    addr,
+                    Job {
+                        container,
+                        params,
+                        psd,
+                        phase: JobPhase::Queued,
+                        error: None,
+                        cancel: false,
+                        consumed_ns: 0,
+                        preemptions: 0,
+                        packed: 0,
+                        steps: 0,
+                        held: None,
+                        from_cache: false,
+                    },
+                );
+                drop(jobs);
+                self.enqueue(addr);
+                Ok((addr, SubmitOutcome::Scheduled))
+            }
+        }
+    }
+
+    /// The job's status as a JSON object, or `None` for an unknown
+    /// address with no cached artifact.
+    pub fn status_json(&self, addr: u64) -> Option<String> {
+        let jobs = self.jobs.lock().unwrap();
+        if let Some(job) = jobs.get(&addr) {
+            let mut s = format!(
+                "{{\"address\":\"{}\",\"status\":\"{}\",\"packed\":{},\"steps\":{},\
+                 \"preemptions\":{},\"consumed_ms\":{},\"cached\":{}",
+                format_address(addr),
+                job.phase.name(),
+                job.packed,
+                job.steps,
+                job.preemptions,
+                job.consumed_ns / 1_000_000,
+                job.from_cache,
+            );
+            if let Some(err) = &job.error {
+                s.push_str(&format!(",\"error\":\"{}\"", json_escape(err)));
+            }
+            s.push('}');
+            return Some(s);
+        }
+        drop(jobs);
+        // Not in the registry but the cache may still know it (restart).
+        if self.artifact_path(addr).is_file() {
+            return Some(format!(
+                "{{\"address\":\"{}\",\"status\":\"done\",\"cached\":true}}",
+                format_address(addr)
+            ));
+        }
+        None
+    }
+
+    /// Cancels a queued or running job. Returns the resulting phase name,
+    /// or `None` for an unknown address.
+    pub fn cancel(&self, addr: u64) -> Option<&'static str> {
+        let mut jobs = self.jobs.lock().unwrap();
+        let job = jobs.get_mut(&addr)?;
+        match job.phase {
+            JobPhase::Queued => {
+                job.phase = JobPhase::Cancelled;
+                job.cancel = true;
+                job.held = None;
+                SERVER_JOBS_CANCELLED_TOTAL.inc();
+                let shard = self.shard_of(addr);
+                drop(jobs);
+                self.shards[shard].lock().unwrap().retain(|&a| a != addr);
+                Some(JobPhase::Cancelled.name())
+            }
+            JobPhase::Running => {
+                // The worker observes the flag at the next batch boundary.
+                job.cancel = true;
+                Some(JobPhase::Running.name())
+            }
+            phase => Some(phase.name()),
+        }
+    }
+
+    /// The fair-share pick: removes and returns the queued job with the
+    /// least consumed worker time across all shards (ties broken by shard
+    /// scan order), marking it running. `None` when every shard is empty.
+    pub fn pick(&self) -> Option<u64> {
+        let mut jobs = self.jobs.lock().unwrap();
+        let mut best: Option<(u64, u64, usize)> = None;
+        for (si, shard) in self.shards.iter().enumerate() {
+            let q = shard.lock().unwrap();
+            for &a in q.iter() {
+                let Some(job) = jobs.get(&a) else { continue };
+                if job.phase != JobPhase::Queued {
+                    continue;
+                }
+                if best.is_none_or(|(_, c, _)| job.consumed_ns < c) {
+                    best = Some((a, job.consumed_ns, si));
+                }
+            }
+        }
+        let (addr, _, si) = best?;
+        self.shards[si].lock().unwrap().retain(|&a| a != addr);
+        if let Some(job) = jobs.get_mut(&addr) {
+            job.phase = JobPhase::Running;
+        }
+        Some(addr)
+    }
+
+    /// True when some queued job has consumed strictly less worker time
+    /// than `my_consumed_ns` — the preemption trigger: the running job
+    /// yields its slot only to a job that is behind it in fair-share
+    /// terms, so a lone long job never pays preemption overhead.
+    pub fn poorer_waiting(&self, my_consumed_ns: u64) -> bool {
+        let jobs = self.jobs.lock().unwrap();
+        self.shards.iter().any(|shard| {
+            shard.lock().unwrap().iter().any(|a| {
+                jobs.get(a)
+                    .is_some_and(|j| j.phase == JobPhase::Queued && j.consumed_ns < my_consumed_ns)
+            })
+        })
+    }
+
+    /// Scans the jobs directory for checkpoints left by a previous
+    /// process (crash recovery). Only logs — actual resume happens when
+    /// the job is resubmitted, because a checkpoint alone does not carry
+    /// the config needed to finish the run.
+    pub fn report_orphans(&self) {
+        let Ok(entries) = std::fs::read_dir(self.jobs_dir()) else {
+            return;
+        };
+        for e in entries.flatten() {
+            let name = e.file_name();
+            let name = name.to_string_lossy();
+            if name.ends_with(".ckpt") {
+                warn!(
+                    "orphaned checkpoint {name}: resubmit the matching config to resume \
+                     from it"
+                );
+            }
+        }
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

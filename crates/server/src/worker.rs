@@ -1,0 +1,313 @@
+//! The packer worker pool: each worker repeatedly takes the fair-share
+//! pick from the queue and advances it through the stepping API until the
+//! job finishes, is cancelled, or yields its slot to a poorer job.
+//!
+//! Preemption is cooperative and checkpoint-shaped: a worker only ever
+//! stops at a batch boundary, where [`CollectivePacker::capture_state`]
+//! is exact, so an evicted job restored later continues bitwise
+//! identically to a run that was never preempted (the PR-5/6 resume
+//! guarantee). Durability comes from the same mechanism: every
+//! `checkpoint_every` optimizer steps (quantized to the next batch
+//! boundary) the captured state is written to the rotating disk
+//! checkpoint, which a restarted server resumes from after a crash.
+//! Boundary captures are pure reads — unlike the packer's own mid-batch
+//! step cadence (which resets the Verlet reference and can follow a
+//! different, equally valid trajectory), they leave the run untouched, so
+//! a served artifact is byte-identical to `adampack pack` without any
+//! checkpoint flags.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use adampack_core::checkpoint::{self, RunState};
+use adampack_core::prelude::*;
+use adampack_io::RotatingCheckpointWriter;
+use adampack_telemetry::metrics::{
+    SERVER_JOBS_CANCELLED_TOTAL, SERVER_JOBS_COMPLETED_TOTAL, SERVER_JOBS_FAILED_TOTAL,
+    SERVER_JOBS_RESUMED_TOTAL, SERVER_PREEMPTIONS_TOTAL,
+};
+use adampack_telemetry::{info, warn};
+
+use crate::address::{format_address, run_salt};
+use crate::state::{Inner, JobPhase};
+
+/// Failpoint site: when armed, the worker abandons its current job right
+/// after a batch boundary without completing, cancelling or requeueing it
+/// — the in-process stand-in for a SIGKILLed worker in the chaos tests
+/// (the job's disk checkpoints survive; a fresh server resumes them).
+pub const FAILPOINT_WORKER_CRASH: &str = "server.worker.crash";
+
+/// How a worker episode ended (worker-internal).
+enum EpisodeEnd {
+    Finished(PackResult),
+    Preempted(RunState),
+    Cancelled,
+    Crashed,
+    Failed(PackError),
+    Shutdown(Option<RunState>),
+}
+
+/// The worker loop: runs until shutdown.
+pub(crate) fn run(inner: Arc<Inner>) {
+    loop {
+        if inner.shutdown.load(std::sync::atomic::Ordering::Relaxed) {
+            return;
+        }
+        match inner.pick() {
+            Some(addr) => episode(&inner, addr),
+            None => inner.park(Duration::from_millis(100)),
+        }
+    }
+}
+
+/// Loads the newest decodable checkpoint for `addr`, if any.
+fn load_disk_state(inner: &Inner, addr: u64) -> Option<RunState> {
+    let path = inner.checkpoint_path(addr);
+    for cand in adampack_io::checkpoint_candidates(&path, inner.opts.keep_last) {
+        match std::fs::read(&cand) {
+            Err(e) => warn!(
+                "job {}: checkpoint {} unreadable: {e}",
+                format_address(addr),
+                cand.display()
+            ),
+            Ok(bytes) => match checkpoint::decode(&bytes) {
+                Ok(state) => return Some(state),
+                Err(e) => warn!(
+                    "job {}: checkpoint {} rejected: {e}",
+                    format_address(addr),
+                    cand.display()
+                ),
+            },
+        }
+    }
+    None
+}
+
+/// Removes the job's checkpoint rotation (after completion/failure).
+fn clear_checkpoints(inner: &Inner, addr: u64) {
+    let path = inner.checkpoint_path(addr);
+    for cand in adampack_io::checkpoint_candidates(&path, inner.opts.keep_last) {
+        let _ = std::fs::remove_file(cand);
+    }
+}
+
+/// One scheduling episode: own the job from pick to finish/preempt.
+fn episode(inner: &Inner, addr: u64) {
+    // Snapshot the inputs; the registry lock is never held while packing.
+    let (container, params, psd, held) = {
+        let mut jobs = inner.jobs.lock().unwrap();
+        let Some(job) = jobs.get_mut(&addr) else {
+            return;
+        };
+        if job.cancel {
+            job.phase = JobPhase::Cancelled;
+            SERVER_JOBS_CANCELLED_TOTAL.inc();
+            return;
+        }
+        (
+            job.container.clone(),
+            job.params.clone(),
+            job.psd.clone(),
+            job.held.take(),
+        )
+    };
+
+    let mut packer = CollectivePacker::new(container, params);
+    packer.set_fingerprint_context(run_salt());
+
+    // Restore order: in-memory preemption state, then disk checkpoints
+    // (crash recovery), then a fresh run. A stale or mismatched disk
+    // checkpoint degrades to a fresh start instead of wedging the job.
+    let mut prog = match held {
+        Some(state) => match packer.begin_resumed(state, true) {
+            Ok(p) => p,
+            Err(e) => {
+                warn!(
+                    "job {}: held state rejected ({e}); restarting",
+                    format_address(addr)
+                );
+                packer.begin_run(Vec::new(), true)
+            }
+        },
+        None => match load_disk_state(inner, addr) {
+            Some(state) => match packer.begin_resumed(state, true) {
+                Ok(p) => {
+                    SERVER_JOBS_RESUMED_TOTAL.inc();
+                    info!("job {}: resumed from disk checkpoint", format_address(addr));
+                    p
+                }
+                Err(e) => {
+                    warn!(
+                        "job {}: disk checkpoint rejected ({e}); restarting",
+                        format_address(addr)
+                    );
+                    packer.begin_run(Vec::new(), true)
+                }
+            },
+            None => packer.begin_run(Vec::new(), true),
+        },
+    };
+
+    // Durability checkpoints are taken from exact batch-boundary captures,
+    // never from the packer's mid-batch step cadence: boundary captures
+    // are pure reads, so the trajectory (and the final artifact bytes)
+    // matches a plain, cadence-free `adampack pack` of the same config.
+    let mut cadence: Option<CheckpointCadence> = None;
+    let mut writer =
+        RotatingCheckpointWriter::new(inner.checkpoint_path(addr), inner.opts.keep_last);
+    let mut last_saved_steps = prog.steps_taken();
+
+    let slice = Duration::from_millis(inner.opts.slice_ms.max(1));
+    let start = Instant::now();
+    let mut consumed_base = 0u64;
+    {
+        let jobs = inner.jobs.lock().unwrap();
+        if let Some(job) = jobs.get(&addr) {
+            consumed_base = job.consumed_ns;
+        }
+    }
+
+    let end = loop {
+        if prog.finished() {
+            break EpisodeEnd::Finished(packer.finish_run(prog));
+        }
+        if let Err(e) = packer.advance_batch(&psd, &mut prog, &mut cadence) {
+            break EpisodeEnd::Failed(e);
+        }
+        let every = inner.opts.checkpoint_every as u64;
+        if !prog.finished() && every > 0 && prog.steps_taken() - last_saved_steps >= every {
+            match writer.save(&checkpoint::encode(&packer.capture_state(&prog))) {
+                Ok(()) => last_saved_steps = prog.steps_taken(),
+                Err(e) => warn!(
+                    "job {}: checkpoint write failed (run continues): {e}",
+                    format_address(addr)
+                ),
+            }
+        }
+        // Publish progress and poll the cancel flag at the boundary.
+        let cancelled = {
+            let mut jobs = inner.jobs.lock().unwrap();
+            match jobs.get_mut(&addr) {
+                Some(job) => {
+                    job.packed = prog.packed();
+                    job.steps = prog.steps_taken();
+                    job.consumed_ns = consumed_base + start.elapsed().as_nanos() as u64;
+                    job.cancel
+                }
+                None => true,
+            }
+        };
+        if cancelled {
+            break EpisodeEnd::Cancelled;
+        }
+        if failpoints::should_fail(FAILPOINT_WORKER_CRASH) {
+            break EpisodeEnd::Crashed;
+        }
+        if prog.finished() {
+            continue;
+        }
+        if inner.shutdown.load(std::sync::atomic::Ordering::Relaxed) {
+            break EpisodeEnd::Shutdown(Some(packer.capture_state(&prog)));
+        }
+        let my_consumed = consumed_base + start.elapsed().as_nanos() as u64;
+        if start.elapsed() >= slice && inner.poorer_waiting(my_consumed) {
+            break EpisodeEnd::Preempted(packer.capture_state(&prog));
+        }
+    };
+
+    let spent = start.elapsed().as_nanos() as u64;
+    let mut jobs = inner.jobs.lock().unwrap();
+    let Some(job) = jobs.get_mut(&addr) else {
+        return;
+    };
+    job.consumed_ns = consumed_base + spent;
+    match end {
+        EpisodeEnd::Finished(result) => {
+            job.packed = result.particles.len();
+            match persist_artifact(inner, addr, &result) {
+                Ok(()) => {
+                    job.phase = JobPhase::Done;
+                    SERVER_JOBS_COMPLETED_TOTAL.inc();
+                    info!(
+                        "job {}: done ({} particles)",
+                        format_address(addr),
+                        result.particles.len()
+                    );
+                    drop(jobs);
+                    clear_checkpoints(inner, addr);
+                }
+                Err(e) => {
+                    job.phase = JobPhase::Failed;
+                    job.error = Some(e);
+                    SERVER_JOBS_FAILED_TOTAL.inc();
+                }
+            }
+        }
+        EpisodeEnd::Preempted(state) => {
+            job.held = Some(state);
+            job.phase = JobPhase::Queued;
+            job.preemptions += 1;
+            SERVER_PREEMPTIONS_TOTAL.inc();
+            drop(jobs);
+            inner.enqueue(addr);
+        }
+        EpisodeEnd::Cancelled => {
+            job.phase = JobPhase::Cancelled;
+            job.held = None;
+            SERVER_JOBS_CANCELLED_TOTAL.inc();
+            drop(jobs);
+            clear_checkpoints(inner, addr);
+        }
+        EpisodeEnd::Crashed => {
+            // Simulated worker death: leave the job marked running with
+            // its disk checkpoints in place, exactly like a SIGKILL.
+            warn!("job {}: worker crash injected", format_address(addr));
+        }
+        EpisodeEnd::Failed(e) => {
+            job.phase = JobPhase::Failed;
+            job.error = Some(e.to_string());
+            SERVER_JOBS_FAILED_TOTAL.inc();
+            drop(jobs);
+            clear_checkpoints(inner, addr);
+        }
+        EpisodeEnd::Shutdown(state) => {
+            // Persist the boundary state so a restarted server resumes
+            // bitwise from here, then put the job back in line.
+            if let Some(state) = state {
+                if let Err(e) = writer.save(&checkpoint::encode(&state)) {
+                    warn!(
+                        "job {}: shutdown checkpoint failed: {e}",
+                        format_address(addr)
+                    );
+                }
+                job.held = Some(state);
+            }
+            job.phase = JobPhase::Queued;
+            drop(jobs);
+            self_enqueue_no_notify(inner, addr);
+        }
+    }
+}
+
+/// Re-queues without the wakeup (used on shutdown, when workers are
+/// exiting anyway and the queue only matters to a future process).
+fn self_enqueue_no_notify(inner: &Inner, addr: u64) {
+    let si = (addr % inner.shards.len() as u64) as usize;
+    inner.shards[si].lock().unwrap().push_back(addr);
+}
+
+/// Writes the result's CSV bytes atomically into the artifact cache.
+/// The byte stream is identical to `adampack pack --out <file>.csv` for
+/// the same config: same writer, same particle order.
+fn persist_artifact(inner: &Inner, addr: u64, result: &PackResult) -> Result<(), String> {
+    let mut bytes = Vec::new();
+    adampack_io::write_particles_csv(
+        &mut bytes,
+        result
+            .particles
+            .iter()
+            .map(|p| (p.center, p.radius, p.batch, p.set)),
+    )
+    .map_err(|e| e.to_string())?;
+    adampack_io::write_atomic(inner.artifact_path(addr), &bytes).map_err(|e| e.to_string())
+}

@@ -303,6 +303,51 @@ pub static CHECKPOINT_FAILURES_TOTAL: Counter = Counter::new(
     "adampack_checkpoint_failures_total",
     "Run-state checkpoint writes that failed (run continues)",
 );
+/// Job submissions accepted by the packing server.
+pub static SERVER_JOBS_SUBMITTED_TOTAL: Counter = Counter::new(
+    "adampack_server_jobs_submitted_total",
+    "Job submissions accepted by the packing server",
+);
+/// Submissions answered from the on-disk artifact cache.
+pub static SERVER_CACHE_HITS_TOTAL: Counter = Counter::new(
+    "adampack_server_cache_hits_total",
+    "Submissions answered directly from the content-addressed artifact cache",
+);
+/// Submissions that had to schedule a fresh packing run.
+pub static SERVER_CACHE_MISSES_TOTAL: Counter = Counter::new(
+    "adampack_server_cache_misses_total",
+    "Submissions that scheduled a fresh packing run",
+);
+/// Submissions coalesced onto an already queued/running job.
+pub static SERVER_JOBS_COALESCED_TOTAL: Counter = Counter::new(
+    "adampack_server_jobs_coalesced_total",
+    "Duplicate submissions coalesced onto an in-flight job",
+);
+/// Jobs preempted at a batch boundary by the fair-share scheduler.
+pub static SERVER_PREEMPTIONS_TOTAL: Counter = Counter::new(
+    "adampack_server_preemptions_total",
+    "Jobs preempted at a batch boundary by the fair-share scheduler",
+);
+/// Jobs completed and persisted to the artifact cache.
+pub static SERVER_JOBS_COMPLETED_TOTAL: Counter = Counter::new(
+    "adampack_server_jobs_completed_total",
+    "Jobs completed and persisted to the artifact cache",
+);
+/// Jobs that failed with a packing/config error.
+pub static SERVER_JOBS_FAILED_TOTAL: Counter = Counter::new(
+    "adampack_server_jobs_failed_total",
+    "Jobs that ended in a packing error",
+);
+/// Jobs cancelled by the client.
+pub static SERVER_JOBS_CANCELLED_TOTAL: Counter = Counter::new(
+    "adampack_server_jobs_cancelled_total",
+    "Jobs cancelled before completion",
+);
+/// Jobs whose state was restored from an on-disk checkpoint.
+pub static SERVER_JOBS_RESUMED_TOTAL: Counter = Counter::new(
+    "adampack_server_jobs_resumed_total",
+    "Jobs resumed from a persisted checkpoint (crash recovery)",
+);
 
 /// Batch spawn time (initial-position generation).
 pub static PHASE_SPAWN: Histogram = Histogram::new(
@@ -365,7 +410,7 @@ pub static HOT_SET_BYTES: Gauge = Gauge::new(
 
 static GAUGES: [&Gauge; 1] = [&HOT_SET_BYTES];
 
-static COUNTERS: [&Counter; 13] = [
+static COUNTERS: [&Counter; 22] = [
     &STEPS_TOTAL,
     &EVALS_TOTAL,
     &BATCHES_TOTAL,
@@ -379,6 +424,15 @@ static COUNTERS: [&Counter; 13] = [
     &SENTINEL_RECOVERIES_TOTAL,
     &CHECKPOINT_WRITES_TOTAL,
     &CHECKPOINT_FAILURES_TOTAL,
+    &SERVER_JOBS_SUBMITTED_TOTAL,
+    &SERVER_CACHE_HITS_TOTAL,
+    &SERVER_CACHE_MISSES_TOTAL,
+    &SERVER_JOBS_COALESCED_TOTAL,
+    &SERVER_PREEMPTIONS_TOTAL,
+    &SERVER_JOBS_COMPLETED_TOTAL,
+    &SERVER_JOBS_FAILED_TOTAL,
+    &SERVER_JOBS_CANCELLED_TOTAL,
+    &SERVER_JOBS_RESUMED_TOTAL,
 ];
 
 static HISTOGRAMS: [&Histogram; 10] = [

@@ -461,6 +461,48 @@ fn checkpoint_write_failure_is_counted_and_does_not_abort_the_run() {
 }
 
 #[test]
+fn dir_fsync_failure_is_typed_and_leaves_a_valid_fallback_chain() {
+    let _guard = failpoint_guard();
+    let path = temp_path("durable.ckpt");
+    for p in checkpoint_candidates(&path, 8) {
+        let _ = fs::remove_file(p);
+    }
+    let mut w = RotatingCheckpointWriter::new(&path, 3);
+    w.save(b"gen0").unwrap();
+    w.save(b"gen1").unwrap();
+    // Arm the durability barrier: the next save's rename lands, but the
+    // parent-directory fsync that would persist it fails — the power-loss
+    // window write_atomic exists to close.
+    failpoints::arm("io.checkpoint.dir_sync", 0, 1);
+    let err = w.save(b"gen2").expect_err("fsync dir failure must surface");
+    assert_eq!(failpoints::hits("io.checkpoint.dir_sync"), 1);
+    failpoints::reset();
+    assert!(
+        matches!(
+            err,
+            adampack_io::Error::Io {
+                op: "fsync dir",
+                ..
+            }
+        ),
+        "{err:?}"
+    );
+    assert!(err.to_string().contains("io.checkpoint.dir_sync"), "{err}");
+    // The rename itself happened — the running process sees the new bytes
+    // (only their durability is unproven) — and the rotated history is a
+    // valid fallback chain, so a resume can still find gen1/gen0.
+    assert_eq!(fs::read(&path).unwrap(), b"gen2");
+    let candidates = checkpoint_candidates(&path, 3);
+    assert_eq!(candidates.len(), 3, "{candidates:?}");
+    assert_eq!(fs::read(&candidates[1]).unwrap(), b"gen1");
+    assert_eq!(fs::read(&candidates[2]).unwrap(), b"gen0");
+    // No stray temp file, and the next save is clean end-to-end.
+    assert!(!path.with_extension("ckpt.tmp").exists());
+    w.save(b"gen3").unwrap();
+    assert_eq!(fs::read(&path).unwrap(), b"gen3");
+}
+
+#[test]
 fn output_write_failpoints_surface_errors_instead_of_partial_files() {
     let _guard = failpoint_guard();
     let mesh = shapes::box_mesh(Vec3::ZERO, Vec3::splat(1.0));
