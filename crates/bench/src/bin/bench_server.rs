@@ -64,6 +64,7 @@ fn serve(dir: &Path, tag: &str, workers: usize, slice_ms: u64) -> ServerHandle {
         slice_ms,
         checkpoint_every: 200,
         keep_last: 2,
+        limits: Default::default(),
     })
     .expect("server start")
 }

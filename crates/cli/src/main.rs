@@ -28,6 +28,10 @@ USAGE:
                    [--data-dir <dir>] [--config-base <dir>]
                    [--slice-ms <ms>] [--checkpoint-every <steps>]
                    [--checkpoint-keep <n>] [--queue-shards <n>]
+                   [--config <limits.yaml>] [--max-body-bytes <n>]
+                   [--read-timeout-ms <ms>] [--queue-depth <n>]
+                   [--memory-budget-bytes <n>] [--cache-cap-bytes <n>]
+                   [--job-deadline-s <s>] [--job-step-ceiling <n>]
     adampack help
 
 COMMANDS:
@@ -41,7 +45,19 @@ COMMANDS:
             completed results are served byte-identical from the cache
             in <data-dir>/artifacts), scheduled fair-share with
             checkpoint-shaped preemption, and crash-recoverable from
-            the rotating checkpoints in <data-dir>/jobs
+            the rotating checkpoints in <data-dir>/jobs.
+            Production hardening: oversized jobs are refused at
+            admission (413, from a pre-admission cost estimate), full
+            queues or an exhausted memory budget shed load (429 with
+            Retry-After), GET /readyz reports load-aware readiness
+            separately from GET /healthz liveness, the artifact and
+            checkpoint store is LRU-capped at --cache-cap-bytes, jobs
+            exceeding --job-deadline-s or --job-step-ceiling end in
+            status 'expired' with their newest checkpoint kept (resubmit
+            to resume), and SIGTERM drains gracefully: admission stops,
+            running jobs finish or checkpoint, the process exits 0.
+            --config reads the same limits from a `server:` YAML block;
+            explicit flags override it
 
 Flags override the configuration's `telemetry:` block: --trace-out
 streams a per-step JSONL record (loss terms, gradient norm, lr, max
@@ -300,6 +316,13 @@ fn dispatch(args: Vec<String>) -> Result<(), CliError> {
                         CliError::Usage(format!("{name} expects a positive integer, got '{v}'"))
                     })
                 }
+                fn nonneg(name: &str, v: &str) -> Result<u64, CliError> {
+                    v.parse().map_err(|_| {
+                        CliError::Usage(format!(
+                            "{name} expects a non-negative integer (0 = unlimited), got '{v}'"
+                        ))
+                    })
+                }
                 match flag.as_str() {
                     "--addr" => opts.addr = value("--addr")?,
                     "--workers" => opts.workers = positive("--workers", &value("--workers")?)?,
@@ -322,16 +345,60 @@ fn dispatch(args: Vec<String>) -> Result<(), CliError> {
                         opts.keep_last =
                             positive("--checkpoint-keep", &value("--checkpoint-keep")?)?
                     }
+                    "--config" => {
+                        let path = PathBuf::from(value("--config")?);
+                        opts.limits =
+                            adampack_config::ServerConfig::from_file(&path).map_err(|e| {
+                                CliError::Usage(format!("--config {}: {e}", path.display()))
+                            })?;
+                    }
+                    "--max-body-bytes" => {
+                        opts.limits.max_body_bytes =
+                            positive("--max-body-bytes", &value("--max-body-bytes")?)?
+                    }
+                    "--read-timeout-ms" => {
+                        opts.limits.read_timeout_ms =
+                            positive("--read-timeout-ms", &value("--read-timeout-ms")?)? as u64
+                    }
+                    "--queue-depth" => {
+                        opts.limits.queue_depth =
+                            positive("--queue-depth", &value("--queue-depth")?)?
+                    }
+                    "--memory-budget-bytes" => {
+                        opts.limits.memory_budget_bytes =
+                            nonneg("--memory-budget-bytes", &value("--memory-budget-bytes")?)?
+                    }
+                    "--cache-cap-bytes" => {
+                        opts.limits.cache_cap_bytes =
+                            nonneg("--cache-cap-bytes", &value("--cache-cap-bytes")?)?
+                    }
+                    "--job-deadline-s" => {
+                        opts.limits.job_deadline_s =
+                            nonneg("--job-deadline-s", &value("--job-deadline-s")?)?
+                    }
+                    "--job-step-ceiling" => {
+                        opts.limits.job_step_ceiling =
+                            nonneg("--job-step-ceiling", &value("--job-step-ceiling")?)?
+                    }
                     other => {
                         return Err(CliError::Usage(format!("unknown flag '{other}'")));
                     }
                 }
             }
+            // SIGTERM/SIGINT trigger a graceful drain: stop admitting,
+            // finish or checkpoint running jobs at the next boundary,
+            // flush telemetry, exit 0.
+            adampack_server::signal::install();
             let handle = adampack_server::Server::start(opts)
                 .map_err(|e| CliError::Server(e.to_string()))?;
             println!("listening on http://{}", handle.addr());
-            handle.join();
-            Ok(())
+            loop {
+                if adampack_server::signal::termination_requested() {
+                    handle.drain();
+                    return Ok(());
+                }
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
         }
         Some("info") => {
             let config = it
@@ -406,5 +473,50 @@ mod tests {
         let err = dispatch(args(&["pack", "cfg.yaml", "--tiles"])).unwrap_err();
         assert_eq!(err.exit_code(), 2);
         assert!(err.to_string().contains("--tiles"));
+    }
+
+    #[test]
+    fn serve_limit_flags_reject_bad_values_with_exit_2() {
+        for (flag, bad) in [
+            ("--max-body-bytes", "0"),
+            ("--max-body-bytes", "lots"),
+            ("--read-timeout-ms", "0"),
+            ("--queue-depth", "-1"),
+            ("--memory-budget-bytes", "2GiB"),
+            ("--cache-cap-bytes", "-5"),
+            ("--job-deadline-s", "soon"),
+            ("--job-step-ceiling", "1.5"),
+        ] {
+            let err = dispatch(args(&["serve", flag, bad])).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{flag} {bad}");
+            let msg = err.to_string();
+            assert!(msg.contains(flag), "{msg}");
+            assert!(msg.contains(bad), "{msg}");
+        }
+    }
+
+    #[test]
+    fn serve_limit_flags_require_values() {
+        for flag in [
+            "--max-body-bytes",
+            "--read-timeout-ms",
+            "--queue-depth",
+            "--memory-budget-bytes",
+            "--cache-cap-bytes",
+            "--job-deadline-s",
+            "--job-step-ceiling",
+            "--config",
+        ] {
+            let err = dispatch(args(&["serve", flag])).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{flag}");
+            assert!(err.to_string().contains(flag), "{flag}");
+        }
+    }
+
+    #[test]
+    fn serve_config_with_missing_file_is_usage_error() {
+        let err = dispatch(args(&["serve", "--config", "/nonexistent/limits.yaml"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("limits.yaml"));
     }
 }

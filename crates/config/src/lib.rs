@@ -23,7 +23,8 @@ pub mod yaml;
 
 pub use schema::{
     AlgoParams, BatchConfig, BatchSystem, CheckpointConfig, ConfigError, ConsoleLevel,
-    LocationConfig, NeighborConfig, PackingConfig, ParticleSetConfig, TelemetryConfig, ZoneConfig,
+    LocationConfig, NeighborConfig, PackingConfig, ParticleSetConfig, ServerConfig,
+    TelemetryConfig, ZoneConfig,
 };
-pub use writer::to_yaml;
+pub use writer::{server_to_yaml, to_yaml};
 pub use yaml::{parse_yaml, Value, YamlError};

@@ -351,6 +351,133 @@ impl BatchConfig {
     }
 }
 
+/// The `server:` block: resource limits for `adampack serve`.
+///
+/// Every limit that used to be a hard-coded constant in the HTTP layer is
+/// a knob here, so operators can size the service to the box it runs on.
+/// The block lives in its own YAML file (or alongside a packing config —
+/// other top-level keys are ignored) and is loaded with `adampack serve
+/// --config <file>`; individual CLI flags override field by field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerConfig {
+    /// `max_body_bytes:` — largest accepted request body (YAML configs);
+    /// larger uploads are rejected with 413. Default 8 MiB.
+    pub max_body_bytes: usize,
+    /// `read_timeout_ms:` — socket read/write timeout per connection, the
+    /// slow-loris bound. Default 10 000 ms.
+    pub read_timeout_ms: u64,
+    /// `queue_depth:` — bounded depth of each work-queue shard; a
+    /// submission landing in a full shard is shed with 429. Default 64.
+    pub queue_depth: usize,
+    /// `memory_budget_bytes:` — global admission budget over the predicted
+    /// peak bytes of queued + running jobs. A job predicted to exceed the
+    /// whole budget alone is rejected with 413; one that merely does not
+    /// fit *right now* is shed with 429 + Retry-After. 0 = unlimited.
+    /// Default 2 GiB.
+    pub memory_budget_bytes: u64,
+    /// `cache_cap_bytes:` — size cap on the on-disk artifact/checkpoint
+    /// store; least-recently-used evictable files are removed to stay
+    /// under it. 0 = unlimited. Default 1 GiB.
+    pub cache_cap_bytes: u64,
+    /// `job_deadline_s:` — wall-clock budget per job, measured from the
+    /// moment it is (re)scheduled and enforced at batch boundaries; an
+    /// over-deadline job ends `expired` with its newest checkpoint kept.
+    /// 0 = no deadline (the default).
+    pub job_deadline_s: u64,
+    /// `job_step_ceiling:` — optimizer-step budget per job, enforced at
+    /// the same boundaries as the deadline. 0 = no ceiling (the default).
+    pub job_step_ceiling: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            max_body_bytes: 8 * 1024 * 1024,
+            read_timeout_ms: 10_000,
+            queue_depth: 64,
+            memory_budget_bytes: 2 * 1024 * 1024 * 1024,
+            cache_cap_bytes: 1024 * 1024 * 1024,
+            job_deadline_s: 0,
+            job_step_ceiling: 0,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Parses the `server:` block out of a YAML document. A document
+    /// without the block yields the defaults (so `--config` accepts a
+    /// plain packing config too); a malformed block is a config error.
+    pub fn from_yaml(source: &str) -> Result<ServerConfig, ConfigError> {
+        let root = parse_yaml(source)?;
+        match root.get("server") {
+            None => Ok(ServerConfig::default()),
+            Some(block) => ServerConfig::from_value(block),
+        }
+    }
+
+    /// Loads [`ServerConfig::from_yaml`] from a file.
+    pub fn from_file(path: impl AsRef<Path>) -> Result<ServerConfig, ConfigError> {
+        let text = std::fs::read_to_string(path.as_ref())?;
+        ServerConfig::from_yaml(&text)
+    }
+
+    /// Parses one `server:` mapping.
+    pub fn from_value(block: &Value) -> Result<ServerConfig, ConfigError> {
+        // A scalar here is a malformed block (e.g. flow-style `{…}`, which
+        // this parser does not speak); silently falling back to defaults
+        // would mask the operator's intended limits.
+        if !matches!(block, Value::Map(_)) {
+            return Err(field(format!(
+                "server: must be a mapping of limit keys, got {block:?}"
+            )));
+        }
+        let mut cfg = ServerConfig::default();
+        // Limits that must be positive: a zero body cap or queue depth
+        // would refuse every request, a zero timeout every read.
+        for (key, slot) in [
+            ("max_body_bytes", &mut cfg.max_body_bytes),
+            ("queue_depth", &mut cfg.queue_depth),
+        ] {
+            if let Some(v) = block.get(key) {
+                let n = v.as_i64().filter(|&n| n > 0).ok_or_else(|| {
+                    field(format!(
+                        "server.{key} must be a positive integer, got {v:?}"
+                    ))
+                })?;
+                *slot = n as usize;
+            }
+        }
+        if let Some(v) = block.get("read_timeout_ms") {
+            cfg.read_timeout_ms =
+                v.as_i64()
+                    .filter(|&n| n > 0)
+                    .map(|n| n as u64)
+                    .ok_or_else(|| {
+                        field(format!(
+                            "server.read_timeout_ms must be a positive integer, got {v:?}"
+                        ))
+                    })?;
+        }
+        // Budgets where 0 means "unlimited" / "disabled".
+        for (key, slot) in [
+            ("memory_budget_bytes", &mut cfg.memory_budget_bytes),
+            ("cache_cap_bytes", &mut cfg.cache_cap_bytes),
+            ("job_deadline_s", &mut cfg.job_deadline_s),
+            ("job_step_ceiling", &mut cfg.job_step_ceiling),
+        ] {
+            if let Some(v) = block.get(key) {
+                let n = v.as_i64().filter(|&n| n >= 0).ok_or_else(|| {
+                    field(format!(
+                        "server.{key} must be a non-negative integer, got {v:?}"
+                    ))
+                })?;
+                *slot = n as u64;
+            }
+        }
+        Ok(cfg)
+    }
+}
+
 /// A `particle_sets:` entry.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ParticleSetConfig {

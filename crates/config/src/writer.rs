@@ -8,7 +8,7 @@ use std::fmt::Write;
 
 use crate::schema::{
     AlgoParams, ConsoleLevel, LocationConfig, NeighborConfig, PackingConfig, ParticleSetConfig,
-    TelemetryConfig,
+    ServerConfig, TelemetryConfig,
 };
 
 fn yaml_list<T: std::fmt::Display>(xs: &[T]) -> String {
@@ -157,6 +157,31 @@ pub fn to_yaml(cfg: &PackingConfig) -> String {
     s
 }
 
+/// Renders a `server:` limits block as YAML accepted by
+/// [`ServerConfig::from_yaml`] (every field spelled out, so a written file
+/// documents the effective limits).
+pub fn server_to_yaml(cfg: &ServerConfig) -> String {
+    let ServerConfig {
+        max_body_bytes,
+        read_timeout_ms,
+        queue_depth,
+        memory_budget_bytes,
+        cache_cap_bytes,
+        job_deadline_s,
+        job_step_ceiling,
+    } = *cfg;
+    let mut s = String::new();
+    writeln!(s, "server:").unwrap();
+    writeln!(s, "    max_body_bytes: {max_body_bytes}").unwrap();
+    writeln!(s, "    read_timeout_ms: {read_timeout_ms}").unwrap();
+    writeln!(s, "    queue_depth: {queue_depth}").unwrap();
+    writeln!(s, "    memory_budget_bytes: {memory_budget_bytes}").unwrap();
+    writeln!(s, "    cache_cap_bytes: {cache_cap_bytes}").unwrap();
+    writeln!(s, "    job_deadline_s: {job_deadline_s}").unwrap();
+    writeln!(s, "    job_step_ceiling: {job_step_ceiling}").unwrap();
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,6 +316,59 @@ mod tests {
         let yaml = to_yaml(&cfg);
         let back = PackingConfig::from_str(&yaml).unwrap();
         assert_eq!(back.telemetry.level, ConsoleLevel::Off);
+    }
+
+    #[test]
+    fn server_block_round_trips() {
+        let cfg = ServerConfig {
+            max_body_bytes: 123_456,
+            read_timeout_ms: 2_500,
+            queue_depth: 7,
+            memory_budget_bytes: 9_000_000,
+            cache_cap_bytes: 4_096,
+            job_deadline_s: 300,
+            job_step_ceiling: 50_000,
+        };
+        let yaml = server_to_yaml(&cfg);
+        assert_eq!(ServerConfig::from_yaml(&yaml).unwrap(), cfg);
+    }
+
+    #[test]
+    fn server_defaults_round_trip_and_absent_block_is_default() {
+        let cfg = ServerConfig::default();
+        assert_eq!(
+            ServerConfig::from_yaml(&server_to_yaml(&cfg)).unwrap(),
+            cfg,
+            "spelled-out defaults must parse back to the defaults"
+        );
+        assert_eq!(
+            ServerConfig::from_yaml("container:\n    path: \"box.stl\"\n").unwrap(),
+            cfg,
+            "a document without a server: block means defaults"
+        );
+    }
+
+    #[test]
+    fn server_bad_values_are_config_errors() {
+        for (key, bad) in [
+            ("max_body_bytes", "0"),
+            ("max_body_bytes", "-1"),
+            ("read_timeout_ms", "0"),
+            ("queue_depth", "0"),
+            ("memory_budget_bytes", "-5"),
+            ("cache_cap_bytes", "-1"),
+            ("job_deadline_s", "-2"),
+            ("job_step_ceiling", "-9"),
+            ("queue_depth", "\"many\""),
+        ] {
+            let yaml = format!("server:\n    {key}: {bad}\n");
+            let err = ServerConfig::from_yaml(&yaml).expect_err(&yaml);
+            assert!(err.to_string().contains(key), "{key}: {err}");
+        }
+        // A scalar block (e.g. unsupported flow-style `{…}`) must error,
+        // not silently fall back to defaults.
+        let err = ServerConfig::from_yaml("server: {queue_depth: 1}\n").expect_err("scalar block");
+        assert!(err.to_string().contains("mapping"), "{err}");
     }
 
     #[test]

@@ -68,6 +68,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod admission;
 pub mod analysis;
 pub mod baseline;
 pub mod batch;
@@ -91,6 +92,7 @@ pub mod zone;
 
 /// Convenient glob-import surface.
 pub mod prelude {
+    pub use crate::admission::{estimate_cost, CostEstimate};
     pub use crate::baseline::{DropAndRollPacker, RsaPacker};
     pub use crate::batch::{
         ArenaAggregate, BatchedCheckpointSink, BatchedPacker, PassStats, SystemArena, SystemReport,

@@ -32,6 +32,17 @@ pub const FAILPOINT_CHECKPOINT_WRITE: &str = "io.checkpoint.write";
 /// committed.
 pub const FAILPOINT_CHECKPOINT_DIR_SYNC: &str = "io.checkpoint.dir_sync";
 
+/// Failpoint site: fires `ENOSPC` from the payload write inside
+/// [`write_atomic`], before anything is renamed. Models a full disk:
+/// the destination keeps its previous content and the temp file is
+/// cleaned up, so callers can degrade (shed load, evict cache) instead
+/// of crashing. Detect it via [`Error::is_disk_full`].
+pub const FAILPOINT_WRITE_ENOSPC: &str = "io.write.enospc";
+
+/// `ENOSPC` — `io::ErrorKind::StorageFull` is still unstable, so the
+/// raw errno is matched instead.
+const ENOSPC: i32 = 28;
+
 fn injected(path: &Path, op: &'static str, site: &'static str) -> Error {
     Error::io(
         path,
@@ -51,6 +62,13 @@ pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> Result<(), Error> {
 
     let result = (|| {
         let mut f = fs::File::create(&tmp).map_err(|e| Error::io(&tmp, "create", e))?;
+        if failpoints::should_fail(FAILPOINT_WRITE_ENOSPC) {
+            return Err(Error::io(
+                &tmp,
+                "write",
+                std::io::Error::from_raw_os_error(ENOSPC),
+            ));
+        }
         f.write_all(bytes)
             .map_err(|e| Error::io(&tmp, "write", e))?;
         f.sync_all().map_err(|e| Error::io(&tmp, "fsync", e))?;
@@ -218,6 +236,38 @@ mod tests {
     fn candidates_empty_without_files() {
         let dir = temp_dir("empty");
         assert!(checkpoint_candidates(dir.join("never.ckpt"), 4).is_empty());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn enospc_failpoint_degrades_without_clobbering() {
+        let dir = temp_dir("enospc");
+        let path = dir.join("run.ckpt");
+        write_atomic(&path, b"good").unwrap();
+        failpoints::arm(FAILPOINT_WRITE_ENOSPC, 0, 1);
+        let err = write_atomic(&path, b"new").expect_err("disk was full");
+        failpoints::reset();
+        assert!(err.is_disk_full(), "{err:?}");
+        assert_eq!(
+            fs::read(&path).unwrap(),
+            b"good",
+            "previous content must survive a full disk"
+        );
+        assert!(!dir.join("run.ckpt.tmp").exists(), "temp cleaned up");
+        // Once space frees up the same write succeeds.
+        write_atomic(&path, b"new").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"new");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_failpoint_errors_are_not_disk_full() {
+        let dir = temp_dir("notfull");
+        let path = dir.join("run.ckpt");
+        failpoints::arm(FAILPOINT_CHECKPOINT_WRITE, 0, 1);
+        let err = write_atomic(&path, b"x").expect_err("failpoint armed");
+        failpoints::reset();
+        assert!(!err.is_disk_full(), "{err:?}");
         fs::remove_dir_all(&dir).ok();
     }
 

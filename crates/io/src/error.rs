@@ -54,6 +54,16 @@ impl Error {
         }
     }
 
+    /// Whether this failure is the filesystem reporting no space left
+    /// (`ENOSPC`). A server treats disk-full as a degradable condition —
+    /// shed load, evict cache, retry — where other I/O errors are fatal.
+    pub fn is_disk_full(&self) -> bool {
+        match self {
+            Error::Io { source, .. } => source.raw_os_error() == Some(28),
+            _ => false,
+        }
+    }
+
     /// The path the failure occurred on.
     pub fn path(&self) -> &Path {
         match self {

@@ -26,7 +26,9 @@ pub mod stl;
 pub mod vtk;
 pub mod xyz;
 
-pub use atomic::{checkpoint_candidates, write_atomic, RotatingCheckpointWriter};
+pub use atomic::{
+    checkpoint_candidates, write_atomic, RotatingCheckpointWriter, FAILPOINT_WRITE_ENOSPC,
+};
 pub use csv::{read_particles_csv, write_particles_csv};
 pub use error::{read_stl_path, Error};
 pub use stl::{read_stl, read_stl_file, write_stl_ascii, write_stl_binary, StlError};

@@ -6,6 +6,17 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
+/// Default socket timeout for client requests.
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Hard cap on a response body: a confused or hostile server must not
+/// be able to balloon the client's memory. Far above any legitimate
+/// artifact the test fleet produces.
+const MAX_RESPONSE_BODY: usize = 256 * 1024 * 1024;
+
+/// Cap on the response head (status line + headers).
+const MAX_RESPONSE_HEAD: usize = 64 * 1024;
+
 /// Sends one request and returns `(status, body)`.
 pub fn request(
     addr: SocketAddr,
@@ -14,8 +25,8 @@ pub fn request(
     body: &[u8],
 ) -> std::io::Result<(u16, Vec<u8>)> {
     let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_read_timeout(Some(TIMEOUT))?;
+    stream.set_write_timeout(Some(TIMEOUT))?;
     let head = format!(
         "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
@@ -23,17 +34,79 @@ pub fn request(
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     stream.flush()?;
-    let mut raw = Vec::new();
-    stream.read_to_end(&mut raw)?;
-    parse_response(&raw)
-        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response"))
+    read_response(&mut stream)
 }
 
-fn parse_response(raw: &[u8]) -> Option<(u16, Vec<u8>)> {
-    let split = raw.windows(4).position(|w| w == b"\r\n\r\n")?;
-    let head = std::str::from_utf8(&raw[..split]).ok()?;
-    let status: u16 = head.split_whitespace().nth(1)?.parse().ok()?;
-    Some((status, raw[split + 4..].to_vec()))
+fn malformed(what: &str) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("malformed response: {what}"),
+    )
+}
+
+/// Reads a response with bounded memory: the head is capped, and the
+/// body is read to exactly `Content-Length` when the server declares
+/// one (all responses from this server do), else to EOF under a cap.
+fn read_response(stream: &mut TcpStream) -> std::io::Result<(u16, Vec<u8>)> {
+    let mut raw = Vec::new();
+    let mut buf = [0u8; 4096];
+    let split = loop {
+        if let Some(pos) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        if raw.len() > MAX_RESPONSE_HEAD {
+            return Err(malformed("head too large"));
+        }
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Err(malformed("closed before head"));
+        }
+        raw.extend_from_slice(&buf[..n]);
+    };
+    let head = std::str::from_utf8(&raw[..split]).map_err(|_| malformed("head not UTF-8"))?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| malformed("no status code"))?;
+    let mut content_length: Option<usize> = None;
+    for line in head.split("\r\n").skip(1) {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            }
+        }
+    }
+    let mut body = raw[split + 4..].to_vec();
+    match content_length {
+        Some(len) => {
+            if len > MAX_RESPONSE_BODY {
+                return Err(malformed("declared body too large"));
+            }
+            while body.len() < len {
+                let n = stream.read(&mut buf)?;
+                if n == 0 {
+                    return Err(malformed("closed mid-body"));
+                }
+                body.extend_from_slice(&buf[..n]);
+                if body.len() > len {
+                    break;
+                }
+            }
+            body.truncate(len);
+        }
+        None => loop {
+            if body.len() > MAX_RESPONSE_BODY {
+                return Err(malformed("unbounded body"));
+            }
+            let n = stream.read(&mut buf)?;
+            if n == 0 {
+                break;
+            }
+            body.extend_from_slice(&buf[..n]);
+        },
+    }
+    Ok((status, body))
 }
 
 /// `GET path` convenience.
@@ -62,8 +135,8 @@ pub fn json_str_field(body: &[u8], field: &str) -> Option<String> {
 }
 
 /// Polls `GET /jobs/{address}` until its status reaches a terminal phase
-/// (`done`, `failed`, `cancelled`) or the deadline passes. Returns the
-/// final status string.
+/// (`done`, `failed`, `cancelled`, `expired`) or the deadline passes.
+/// Returns the final status string.
 pub fn wait_terminal(
     addr: SocketAddr,
     address_hex: &str,
@@ -74,7 +147,7 @@ pub fn wait_terminal(
         let (code, body) = get(addr, &format!("/jobs/{address_hex}"))?;
         if code == 200 {
             if let Some(status) = json_str_field(&body, "status") {
-                if matches!(status.as_str(), "done" | "failed" | "cancelled") {
+                if matches!(status.as_str(), "done" | "failed" | "cancelled" | "expired") {
                     return Ok(status);
                 }
             }

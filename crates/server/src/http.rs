@@ -2,6 +2,14 @@
 //! response framing for the job API. Every connection is one request
 //! (`Connection: close`), which keeps the handler loop allocation-light
 //! and timeout-safe without an async runtime.
+//!
+//! The parser is deliberately paranoid — it faces the open network in
+//! the chaos/fuzz suites: head and body sizes are capped (configurable
+//! via the `server:` limits block), `Content-Length` must be a single
+//! consistent numeric value, and a peer that stalls (slowloris) hits
+//! the socket read timeout and gets the connection closed. Malformed
+//! input is always answered with a 4xx or a silent close, never a
+//! panic.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -16,8 +24,6 @@ use crate::state::{json_escape, Inner};
 
 /// Upper bound on the request head (request line + headers).
 const MAX_HEAD: usize = 64 * 1024;
-/// Upper bound on a request body (YAML configs are small).
-const MAX_BODY: usize = 8 * 1024 * 1024;
 
 /// A parsed request: method, path and body.
 struct Request {
@@ -26,8 +32,17 @@ struct Request {
     body: Vec<u8>,
 }
 
-/// Reads one HTTP request from the stream. `None` on malformed input.
-fn read_request(stream: &mut TcpStream) -> Option<Request> {
+/// Why a request could not be served from the wire.
+enum ReadError {
+    /// Answer with this status and message.
+    Reject(u16, &'static str),
+    /// Don't answer at all (peer vanished or stalled past the timeout);
+    /// writing would just block again.
+    Closed,
+}
+
+/// Reads one HTTP request from the stream.
+fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, ReadError> {
     let mut head = Vec::new();
     let mut buf = [0u8; 1024];
     let split = loop {
@@ -35,11 +50,11 @@ fn read_request(stream: &mut TcpStream) -> Option<Request> {
             break pos;
         }
         if head.len() > MAX_HEAD {
-            return None;
+            return Err(ReadError::Reject(431, "request head too large"));
         }
-        let n = stream.read(&mut buf).ok()?;
+        let n = stream.read(&mut buf).map_err(|_| ReadError::Closed)?;
         if n == 0 {
-            return None;
+            return Err(ReadError::Closed);
         }
         head.extend_from_slice(&buf[..n]);
     };
@@ -49,30 +64,58 @@ fn read_request(stream: &mut TcpStream) -> Option<Request> {
     };
     let head_str = String::from_utf8_lossy(&head_bytes);
     let mut lines = head_str.split("\r\n");
-    let request_line = lines.next()?;
+    let request_line = lines
+        .next()
+        .ok_or(ReadError::Reject(400, "empty request"))?;
     let mut parts = request_line.split_whitespace();
-    let method = parts.next()?.to_string();
-    let path = parts.next()?.to_string();
-    let mut content_length = 0usize;
+    let method = parts
+        .next()
+        .ok_or(ReadError::Reject(400, "malformed request line"))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or(ReadError::Reject(400, "malformed request line"))?
+        .to_string();
+    let mut content_length: Option<usize> = None;
     for line in lines {
+        if line.is_empty() {
+            continue;
+        }
         if let Some((name, value)) = line.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().ok()?;
+                let parsed: usize = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ReadError::Reject(400, "malformed Content-Length"))?;
+                // Duplicate Content-Length headers are a smuggling
+                // vector: accept only if they agree.
+                if content_length.is_some_and(|prev| prev != parsed) {
+                    return Err(ReadError::Reject(400, "conflicting Content-Length"));
+                }
+                content_length = Some(parsed);
             }
         }
     }
-    if content_length > MAX_BODY {
-        return None;
+    let content_length = content_length.unwrap_or(0);
+    if content_length > max_body {
+        return Err(ReadError::Reject(413, "request body too large"));
+    }
+    if rest.len() > content_length {
+        // More bytes than the declared body: pipelining/smuggling —
+        // this server is strictly one request per connection.
+        return Err(ReadError::Reject(400, "bytes beyond declared body"));
     }
     while rest.len() < content_length {
-        let n = stream.read(&mut buf).ok()?;
+        let n = stream.read(&mut buf).map_err(|_| ReadError::Closed)?;
         if n == 0 {
-            return None;
+            return Err(ReadError::Reject(400, "body shorter than Content-Length"));
         }
         rest.extend_from_slice(&buf[..n]);
+        if rest.len() > content_length {
+            return Err(ReadError::Reject(400, "bytes beyond declared body"));
+        }
     }
-    rest.truncate(content_length);
-    Some(Request {
+    Ok(Request {
         method,
         path,
         body: rest,
@@ -89,21 +132,39 @@ fn reason(code: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
         503 => "Service Unavailable",
         _ => "Error",
     }
 }
 
-/// Writes a complete response and closes the connection.
-fn respond(stream: &mut TcpStream, code: u16, content_type: &str, body: &[u8]) {
-    let head = format!(
-        "HTTP/1.1 {code} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+/// Writes a complete response and closes the connection. `retry_after`
+/// adds a `Retry-After` header (seconds) for 429/503 shedding answers.
+fn respond_full(
+    stream: &mut TcpStream,
+    code: u16,
+    content_type: &str,
+    retry_after: Option<u64>,
+    body: &[u8],
+) {
+    let mut head = format!(
+        "HTTP/1.1 {code} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
         reason(code),
         body.len()
     );
+    if let Some(secs) = retry_after {
+        head.push_str(&format!("Retry-After: {secs}\r\n"));
+    }
+    head.push_str("Connection: close\r\n\r\n");
     let _ = stream.write_all(head.as_bytes());
     let _ = stream.write_all(body);
     let _ = stream.flush();
+}
+
+fn respond(stream: &mut TcpStream, code: u16, content_type: &str, body: &[u8]) {
+    respond_full(stream, code, content_type, None, body);
 }
 
 fn respond_json(stream: &mut TcpStream, code: u16, body: String) {
@@ -116,16 +177,34 @@ fn error_json(msg: &str) -> String {
 
 /// Handles one connection end to end.
 pub(crate) fn handle(inner: &Arc<Inner>, mut stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-    let Some(req) = read_request(&mut stream) else {
-        respond_json(&mut stream, 400, error_json("malformed request"));
-        return;
+    let timeout = Duration::from_millis(inner.opts.limits.read_timeout_ms.max(1));
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    let req = match read_request(&mut stream, inner.opts.limits.max_body_bytes) {
+        Ok(req) => req,
+        Err(ReadError::Reject(code, msg)) => {
+            respond_json(&mut stream, code, error_json(msg));
+            return;
+        }
+        Err(ReadError::Closed) => return,
     };
     let path = req.path.trim_end_matches('/');
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
+        // Liveness: green as long as the process serves requests, even
+        // when loaded or draining — don't restart a draining server.
         ("GET", ["healthz"]) => respond(&mut stream, 200, "text/plain", b"ok\n"),
+        // Readiness: green only when a new job would be admitted now.
+        ("GET", ["readyz"]) => match inner.readiness() {
+            Ok(()) => respond(&mut stream, 200, "text/plain", b"ready\n"),
+            Err(why) => respond_full(
+                &mut stream,
+                503,
+                "text/plain",
+                Some(1),
+                format!("not ready: {why}\n").as_bytes(),
+            ),
+        },
         ("GET", ["metrics"]) => respond(
             &mut stream,
             200,
@@ -153,7 +232,13 @@ pub(crate) fn handle(inner: &Arc<Inner>, mut stream: TcpStream) {
                         ),
                     );
                 }
-                Err(e) => respond_json(&mut stream, e.code, error_json(&e.msg)),
+                Err(e) => respond_full(
+                    &mut stream,
+                    e.code,
+                    "application/json",
+                    e.retry_after,
+                    error_json(&e.msg).as_bytes(),
+                ),
             }
         }
         ("GET", ["jobs", hex]) => match parse_address(hex) {
@@ -165,7 +250,14 @@ pub(crate) fn handle(inner: &Arc<Inner>, mut stream: TcpStream) {
         },
         ("GET", ["jobs", hex, "artifact"]) => match parse_address(hex) {
             Some(addr) => match std::fs::read(inner.artifact_path(addr)) {
-                Ok(bytes) => respond(&mut stream, 200, "text/csv", &bytes),
+                Ok(bytes) => {
+                    inner
+                        .cache
+                        .lock()
+                        .unwrap()
+                        .touch(&inner.artifact_path(addr));
+                    respond(&mut stream, 200, "text/csv", &bytes)
+                }
                 Err(_) => respond_json(&mut stream, 404, error_json("artifact not available")),
             },
             None => respond_json(&mut stream, 400, error_json("malformed address")),
@@ -184,24 +276,29 @@ pub(crate) fn handle(inner: &Arc<Inner>, mut stream: TcpStream) {
             },
             None => respond_json(&mut stream, 400, error_json("malformed address")),
         },
-        (_, ["jobs", ..]) | (_, ["metrics"]) | (_, ["healthz"]) => {
+        (_, ["jobs", ..]) | (_, ["metrics"]) | (_, ["healthz"]) | (_, ["readyz"]) => {
             respond_json(&mut stream, 405, error_json("method not allowed"))
         }
         _ => respond_json(&mut stream, 404, error_json("no such route")),
     }
 }
 
-/// The accept loop run by each HTTP thread. Exits when the shutdown flag
-/// is set (unblocked by the self-connects `ServerHandle::shutdown`
-/// performs).
+/// The accept loop run by each HTTP thread. The listener is nonblocking;
+/// the loop polls the shutdown flag between accepts so a drain (SIGTERM)
+/// stops it without any wakeup connection.
 pub(crate) fn accept_loop(inner: Arc<Inner>, listener: std::net::TcpListener) {
     loop {
+        if inner.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
         match listener.accept() {
             Ok((stream, _)) => {
-                if inner.shutdown.load(Ordering::Relaxed) {
-                    return;
-                }
+                // Handlers see a blocking socket with timeouts.
+                let _ = stream.set_nonblocking(false);
                 handle(&inner, stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
             }
             Err(e) => {
                 if inner.shutdown.load(Ordering::Relaxed) {

@@ -42,14 +42,17 @@ use std::thread::JoinHandle;
 use adampack_telemetry::info;
 
 pub mod address;
+mod cache;
 pub mod client;
 mod http;
+pub mod signal;
 mod state;
 mod worker;
 
 pub use state::{JobPhase, SubmitError, SubmitOutcome};
 pub use worker::FAILPOINT_WORKER_CRASH;
 
+use adampack_config::ServerConfig;
 use state::Inner;
 
 /// Configuration for [`Server::start`].
@@ -77,6 +80,10 @@ pub struct ServeOptions {
     pub checkpoint_every: usize,
     /// Checkpoint generations kept per job.
     pub keep_last: usize,
+    /// Resource limits: request size, socket timeouts, queue depth,
+    /// memory budget, disk cap and per-job budgets (the `server:` block
+    /// of a config file).
+    pub limits: ServerConfig,
 }
 
 impl Default for ServeOptions {
@@ -91,6 +98,7 @@ impl Default for ServeOptions {
             slice_ms: 250,
             checkpoint_every: 400,
             keep_last: 3,
+            limits: ServerConfig::default(),
         }
     }
 }
@@ -113,9 +121,20 @@ impl Server {
         std::fs::create_dir_all(inner.artifacts_dir())?;
         std::fs::create_dir_all(inner.jobs_dir())?;
         inner.report_orphans();
+        // Seed the LRU ledger from what a previous process left behind
+        // and enforce the cap immediately (nothing is in flight yet).
+        {
+            let mut cache = inner.cache.lock().unwrap();
+            cache.scan(&inner.artifacts_dir(), &inner.jobs_dir());
+        }
+        inner.make_room(0);
 
         let listener = TcpListener::bind(&inner.opts.addr)?;
         let addr = listener.local_addr()?;
+        // Nonblocking accept with a short poll keeps drain/shutdown
+        // signal-tolerant: no self-connect is needed to unwedge a thread
+        // parked in accept(2).
+        listener.set_nonblocking(true)?;
         let mut threads = Vec::new();
         for i in 0..inner.opts.http_threads.max(1) {
             let l = listener.try_clone()?;
@@ -159,23 +178,62 @@ impl ServerHandle {
     /// checkpointed at their next batch boundary and requeued (persisted
     /// to disk, so a future server resumes them when resubmitted).
     pub fn shutdown(self) {
+        self.inner.draining.store(true, Ordering::Relaxed);
         self.inner.shutdown.store(true, Ordering::Relaxed);
         self.inner.notify();
-        // Unblock accept loops: each self-connect wakes one thread, which
-        // observes the flag and exits.
-        for _ in 0..self.inner.opts.http_threads.max(1) {
-            let _ = TcpStream::connect(self.addr);
-        }
+        // Nudge any thread mid-accept (harmless with the nonblocking
+        // loop, but keeps shutdown prompt under load).
+        let _ = TcpStream::connect(self.addr);
         for t in self.threads {
             let _ = t.join();
         }
     }
 
-    /// Blocks until the server is stopped externally (used by the CLI:
-    /// the foreground `serve` command has no other work to do).
+    /// Graceful drain (the SIGTERM path): stop admitting — POST /jobs
+    /// answers 503 and `/readyz` fails while status, artifact and metric
+    /// GETs keep working — let every running job finish or checkpoint at
+    /// its next batch boundary, then stop the HTTP threads and return
+    /// once everything has exited.
+    pub fn drain(self) {
+        self.begin_drain();
+        // Wait for the workers to park in-flight work. Workers exit
+        // instead of picking again once draining is set, so this
+        // converges as soon as each running job reaches a boundary.
+        loop {
+            let running = {
+                let jobs = self.inner.jobs.lock().unwrap();
+                jobs.values().any(|j| j.phase == JobPhase::Running)
+            };
+            if !running {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        self.inner.shutdown.store(true, Ordering::Relaxed);
+        self.inner.notify();
+        for t in self.threads {
+            let _ = t.join();
+        }
+        info!("drain: complete");
+    }
+
+    /// Blocks until the server is stopped externally, then runs the same
+    /// drain epilogue (used by the CLI: the foreground `serve` command
+    /// has no other work to do). Returns when a signal or another thread
+    /// set the shutdown flag and all threads exited.
     pub fn join(self) {
         for t in self.threads {
             let _ = t.join();
         }
+    }
+
+    /// Flips the server into drain mode without consuming the handle:
+    /// admission stops (POST /jobs → 503, `/readyz` fails) and workers
+    /// park their jobs at the next boundary, but the HTTP threads keep
+    /// serving reads. Finish with [`ServerHandle::drain`].
+    pub fn begin_drain(&self) {
+        info!("drain: admission stopped, parking in-flight jobs");
+        self.inner.draining.store(true, Ordering::Relaxed);
+        self.inner.notify();
     }
 }

@@ -1,0 +1,70 @@
+//! Minimal std-only SIGTERM/SIGINT latch for the graceful-drain path.
+//!
+//! The workspace vendors no libc crate, but the `signal(2)` symbol is
+//! already linked through std; declaring it `extern "C"` is enough to
+//! install an async-signal-safe handler that does exactly one thing:
+//! store into a static `AtomicBool`. The serve loop polls the latch and
+//! turns it into a drain (stop admitting, checkpoint in-flight work,
+//! exit 0) — the contract an orchestrator expects from SIGTERM.
+//!
+//! On non-Unix targets [`install`] is a no-op and the latch never trips.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERMINATED: AtomicBool = AtomicBool::new(false);
+
+/// True once SIGTERM or SIGINT has been received (sticky).
+pub fn termination_requested() -> bool {
+    TERMINATED.load(Ordering::Relaxed)
+}
+
+/// Trips the latch as if a signal had arrived (tests, and the handler).
+pub fn request_termination() {
+    TERMINATED.store(true, Ordering::Relaxed);
+}
+
+#[cfg(unix)]
+mod imp {
+    extern "C" {
+        /// `signal(2)`. `usize` stands in for the handler pointer; the
+        /// kernel only needs the address.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Async-signal-safe: a single relaxed atomic store.
+        super::request_termination();
+    }
+
+    /// Installs the latch for SIGTERM and SIGINT.
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_signal as *const () as usize);
+            signal(SIGINT, on_signal as *const () as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No signals to install on this target.
+    pub fn install() {}
+}
+
+pub use imp::install;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latch_is_sticky() {
+        install();
+        request_termination();
+        assert!(termination_requested());
+        assert!(termination_requested(), "sticky");
+    }
+}

@@ -5,14 +5,15 @@ use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use adampack_config::PackingConfig;
 use adampack_core::checkpoint::RunState;
 use adampack_core::prelude::*;
 use adampack_telemetry::metrics::{
     SERVER_CACHE_HITS_TOTAL, SERVER_CACHE_MISSES_TOTAL, SERVER_JOBS_CANCELLED_TOTAL,
-    SERVER_JOBS_COALESCED_TOTAL, SERVER_JOBS_SUBMITTED_TOTAL,
+    SERVER_JOBS_COALESCED_TOTAL, SERVER_JOBS_SUBMITTED_TOTAL, SERVER_REJECTED_OVERSIZE_TOTAL,
+    SERVER_SHED_TOTAL,
 };
 use adampack_telemetry::warn;
 
@@ -32,6 +33,10 @@ pub enum JobPhase {
     Failed,
     /// Cancelled by a client before completion.
     Cancelled,
+    /// Ran out of its wall-clock deadline or step ceiling. Terminal, but
+    /// the newest checkpoint is persisted: resubmitting the same config
+    /// resumes from where the budget ran out.
+    Expired,
 }
 
 impl JobPhase {
@@ -43,6 +48,7 @@ impl JobPhase {
             JobPhase::Done => "done",
             JobPhase::Failed => "failed",
             JobPhase::Cancelled => "cancelled",
+            JobPhase::Expired => "expired",
         }
     }
 }
@@ -68,14 +74,33 @@ pub(crate) struct Job {
     /// True when this job's artifact was produced before this server
     /// process (served from the on-disk cache).
     pub from_cache: bool,
+    /// Admission-time prediction of peak resident bytes; the currency of
+    /// the global memory budget.
+    pub predicted_bytes: u64,
+    /// When the job was (re)admitted to the queue — the start of its
+    /// wall-clock deadline. Reset on resubmission so an expired job gets
+    /// a fresh budget.
+    pub admitted_at: Instant,
+    /// `steps` at the moment of (re)admission: the zero point of the step
+    /// ceiling. A resumed run keeps its cumulative step counter, so the
+    /// budget must measure steps *since admission*, not since birth.
+    pub budget_steps_base: u64,
+    /// A finished result whose artifact write hit a full disk: the CSV
+    /// bytes are parked here and the job requeued, so a later episode
+    /// can retry the (cheap) persist without re-packing.
+    pub pending_artifact: Option<Vec<u8>>,
 }
 
 /// A submit rejection: HTTP status plus a message for the JSON body.
 pub struct SubmitError {
-    /// HTTP status code (400 bad config, 503 shutting down).
+    /// HTTP status code (400 bad config, 413 oversized, 429 shed,
+    /// 503 draining/shutting down).
     pub code: u16,
     /// Human-readable reason.
     pub msg: String,
+    /// Seconds the client should wait before retrying (becomes a
+    /// `Retry-After` header on 429/503 responses).
+    pub retry_after: Option<u64>,
 }
 
 impl SubmitError {
@@ -83,6 +108,26 @@ impl SubmitError {
         SubmitError {
             code: 400,
             msg: msg.into(),
+            retry_after: None,
+        }
+    }
+
+    /// 413: the job is too large to ever admit under the configured
+    /// budget — retrying is pointless.
+    fn oversize(msg: impl Into<String>) -> SubmitError {
+        SubmitError {
+            code: 413,
+            msg: msg.into(),
+            retry_after: None,
+        }
+    }
+
+    /// 429: transiently overloaded — retry after a bounded delay.
+    fn shed(msg: impl Into<String>, retry_after: u64) -> SubmitError {
+        SubmitError {
+            code: 429,
+            msg: msg.into(),
+            retry_after: Some(retry_after),
         }
     }
 }
@@ -121,11 +166,21 @@ pub(crate) struct Inner {
     pub wake: Condvar,
     pub wake_seq: Mutex<u64>,
     pub shutdown: AtomicBool,
+    /// Drain mode: stop admitting (503 on POST /jobs, `/readyz` fails)
+    /// while in-flight work finishes or checkpoints. Set by SIGTERM or
+    /// [`crate::ServerHandle::drain`]; never cleared.
+    pub draining: AtomicBool,
+    /// The last artifact persist hit `ENOSPC`: shed new work (429) and
+    /// fail `/readyz` until a write succeeds again.
+    pub disk_full: AtomicBool,
+    /// LRU ledger of on-disk artifacts and checkpoints.
+    pub cache: Mutex<crate::cache::DiskCache>,
 }
 
 impl Inner {
     pub fn new(opts: ServeOptions) -> Inner {
         let nshards = opts.queue_shards.max(1);
+        let cache = crate::cache::DiskCache::new(opts.limits.cache_cap_bytes);
         Inner {
             opts,
             jobs: Mutex::new(HashMap::new()),
@@ -133,7 +188,72 @@ impl Inner {
             wake: Condvar::new(),
             wake_seq: Mutex::new(0),
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            disk_full: AtomicBool::new(false),
+            cache: Mutex::new(cache),
         }
+    }
+
+    /// True when the server should not admit new jobs (drain or full
+    /// stop).
+    pub fn refusing(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed) || self.draining.load(Ordering::Relaxed)
+    }
+
+    /// Whether a job's on-disk files are in flight (never evictable):
+    /// queued, running or holding a result that still needs persisting.
+    pub fn job_in_flight(jobs: &HashMap<u64, Job>, addr: u64) -> bool {
+        jobs.get(&addr).is_some_and(|j| {
+            matches!(j.phase, JobPhase::Queued | JobPhase::Running) || j.pending_artifact.is_some()
+        })
+    }
+
+    /// Evicts LRU cache entries so `incoming` more bytes fit under the
+    /// cap, holding the registry lock only to snapshot in-flight jobs.
+    pub fn make_room(&self, incoming: u64) -> usize {
+        let in_flight: std::collections::HashSet<u64> = {
+            let jobs = self.jobs.lock().unwrap();
+            jobs.iter()
+                .filter(|(a, _)| Self::job_in_flight(&jobs, **a))
+                .map(|(a, _)| *a)
+                .collect()
+        };
+        self.cache
+            .lock()
+            .unwrap()
+            .evict_to_fit(incoming, &|addr| in_flight.contains(&addr))
+    }
+
+    /// Load-aware readiness: `Ok` when the server can usefully accept a
+    /// POST right now, `Err(reason)` for the 503 body otherwise.
+    /// Liveness (`/healthz`) stays green through all of these — a loaded
+    /// server is healthy, just not ready.
+    pub fn readiness(&self) -> Result<(), &'static str> {
+        if self.refusing() {
+            return Err("draining");
+        }
+        if self.disk_full.load(Ordering::Relaxed) {
+            return Err("disk full");
+        }
+        let depth = self.opts.limits.queue_depth.max(1);
+        if self.shards.iter().all(|s| s.lock().unwrap().len() >= depth) {
+            return Err("queues full");
+        }
+        let budget = self.opts.limits.memory_budget_bytes;
+        if budget > 0 && self.predicted_in_flight_bytes() >= budget {
+            return Err("memory budget exhausted");
+        }
+        Ok(())
+    }
+
+    /// Sum of admission-time byte predictions over queued + running
+    /// jobs: the committed share of the global memory budget.
+    fn predicted_in_flight_bytes(&self) -> u64 {
+        let jobs = self.jobs.lock().unwrap();
+        jobs.values()
+            .filter(|j| matches!(j.phase, JobPhase::Queued | JobPhase::Running))
+            .map(|j| j.predicted_bytes)
+            .sum()
     }
 
     fn shard_of(&self, addr: u64) -> usize {
@@ -231,14 +351,63 @@ impl Inner {
         Ok((container, params, psd))
     }
 
+    /// Admission gate for a resolved job that is about to be scheduled.
+    /// Order matters: oversize (413, permanent) is checked before the
+    /// transient shed conditions (429) so a hopeless job is never told
+    /// to retry.
+    fn admit(&self, addr: u64, est: &CostEstimate) -> Result<(), SubmitError> {
+        let limits = &self.opts.limits;
+        let budget = limits.memory_budget_bytes;
+        if budget > 0 && est.peak_bytes > budget {
+            SERVER_REJECTED_OVERSIZE_TOTAL.inc();
+            return Err(SubmitError::oversize(format!(
+                "job predicted to need {} bytes resident, over the server budget of {budget} \
+                 (shrink the container, raise the radii, or use tiles)",
+                est.peak_bytes
+            )));
+        }
+        let retry_after = (self.opts.slice_ms / 1000).max(1);
+        if self.disk_full.load(Ordering::Relaxed) {
+            SERVER_SHED_TOTAL.inc();
+            return Err(SubmitError::shed(
+                "server disk is full; artifacts cannot be persisted",
+                retry_after,
+            ));
+        }
+        let depth = limits.queue_depth.max(1);
+        if self.shards[self.shard_of(addr)].lock().unwrap().len() >= depth {
+            SERVER_SHED_TOTAL.inc();
+            return Err(SubmitError::shed(
+                format!("queue full ({depth} jobs waiting on this shard)"),
+                retry_after,
+            ));
+        }
+        if budget > 0
+            && self
+                .predicted_in_flight_bytes()
+                .saturating_add(est.peak_bytes)
+                > budget
+        {
+            SERVER_SHED_TOTAL.inc();
+            return Err(SubmitError::shed(
+                format!(
+                    "admitting this job would exceed the server memory budget of {budget} bytes"
+                ),
+                retry_after,
+            ));
+        }
+        Ok(())
+    }
+
     /// Handles a job submission end to end: resolve, address, consult the
-    /// artifact cache, coalesce or schedule. Returns the address and how
-    /// it was satisfied.
+    /// artifact cache, run admission control, coalesce or schedule.
+    /// Returns the address and how it was satisfied.
     pub fn submit(&self, yaml: &str) -> Result<(u64, SubmitOutcome), SubmitError> {
-        if self.shutdown.load(Ordering::Relaxed) {
+        if self.refusing() {
             return Err(SubmitError {
                 code: 503,
-                msg: "server is shutting down".into(),
+                msg: "server is draining".into(),
+                retry_after: Some(1),
             });
         }
         let (container, params, psd) = self.resolve(yaml)?;
@@ -248,9 +417,12 @@ impl Inner {
         let mut jobs = self.jobs.lock().unwrap();
         // Consult the cache first: a persisted artifact answers the
         // submission outright, even right after a restart when the
-        // registry has no entry yet.
+        // registry has no entry yet. Cache hits bypass admission — no
+        // new work is created.
         if self.artifact_path(addr).is_file() {
             SERVER_CACHE_HITS_TOTAL.inc();
+            self.cache.lock().unwrap().touch(&self.artifact_path(addr));
+            let est = estimate_cost(&container, &params, &psd);
             jobs.entry(addr).or_insert_with(|| Job {
                 container,
                 params,
@@ -264,6 +436,10 @@ impl Inner {
                 steps: 0,
                 held: None,
                 from_cache: true,
+                predicted_bytes: est.peak_bytes,
+                admitted_at: Instant::now(),
+                budget_steps_base: 0,
+                pending_artifact: None,
             });
             let job = jobs.get_mut(&addr).unwrap();
             job.phase = JobPhase::Done;
@@ -276,16 +452,46 @@ impl Inner {
                 Ok((addr, SubmitOutcome::Coalesced))
             }
             Some(job) => {
-                // Done-but-evicted, failed or cancelled: schedule again.
-                SERVER_CACHE_MISSES_TOTAL.inc();
-                job.phase = JobPhase::Queued;
-                job.error = None;
-                job.cancel = false;
+                // Done-but-evicted, failed, cancelled or expired:
+                // schedule again (an expired job resumes from its held
+                // state or disk checkpoint, with a fresh deadline).
+                let est = estimate_cost(&job.container, &job.params, &job.psd);
                 drop(jobs);
-                self.enqueue(addr);
-                Ok((addr, SubmitOutcome::Scheduled))
+                self.admit(addr, &est)?;
+                // Re-check under the lock: a concurrent submit may have
+                // requeued the job while admission ran without it.
+                let mut jobs = self.jobs.lock().unwrap();
+                match jobs.get_mut(&addr) {
+                    Some(job) if matches!(job.phase, JobPhase::Queued | JobPhase::Running) => {
+                        SERVER_JOBS_COALESCED_TOTAL.inc();
+                        Ok((addr, SubmitOutcome::Coalesced))
+                    }
+                    Some(job) => {
+                        SERVER_CACHE_MISSES_TOTAL.inc();
+                        job.phase = JobPhase::Queued;
+                        job.error = None;
+                        job.cancel = false;
+                        job.predicted_bytes = est.peak_bytes;
+                        job.admitted_at = Instant::now();
+                        job.budget_steps_base = job.steps;
+                        drop(jobs);
+                        self.enqueue(addr);
+                        Ok((addr, SubmitOutcome::Scheduled))
+                    }
+                    None => Err(SubmitError::bad("job vanished during admission")),
+                }
             }
             None => {
+                let est = estimate_cost(&container, &params, &psd);
+                drop(jobs);
+                self.admit(addr, &est)?;
+                let mut jobs = self.jobs.lock().unwrap();
+                // A concurrent identical submit may have won the race
+                // while admission ran unlocked; coalesce onto it.
+                if jobs.contains_key(&addr) {
+                    SERVER_JOBS_COALESCED_TOTAL.inc();
+                    return Ok((addr, SubmitOutcome::Coalesced));
+                }
                 SERVER_CACHE_MISSES_TOTAL.inc();
                 jobs.insert(
                     addr,
@@ -302,6 +508,10 @@ impl Inner {
                         steps: 0,
                         held: None,
                         from_cache: false,
+                        predicted_bytes: est.peak_bytes,
+                        admitted_at: Instant::now(),
+                        budget_steps_base: 0,
+                        pending_artifact: None,
                     },
                 );
                 drop(jobs);
@@ -344,6 +554,18 @@ impl Inner {
         None
     }
 
+    /// Removes the job's checkpoint rotation from disk and the LRU
+    /// ledger. Callers must not hold the `jobs` lock (lock order:
+    /// jobs → cache, never the reverse).
+    pub fn clear_checkpoints(&self, addr: u64) {
+        let path = self.checkpoint_path(addr);
+        let mut cache = self.cache.lock().unwrap();
+        for cand in adampack_io::checkpoint_candidates(&path, self.opts.keep_last) {
+            let _ = std::fs::remove_file(&cand);
+            cache.forget(&cand);
+        }
+    }
+
     /// Cancels a queued or running job. Returns the resulting phase name,
     /// or `None` for an unknown address.
     pub fn cancel(&self, addr: u64) -> Option<&'static str> {
@@ -354,10 +576,14 @@ impl Inner {
                 job.phase = JobPhase::Cancelled;
                 job.cancel = true;
                 job.held = None;
+                job.pending_artifact = None;
                 SERVER_JOBS_CANCELLED_TOTAL.inc();
                 let shard = self.shard_of(addr);
                 drop(jobs);
                 self.shards[shard].lock().unwrap().retain(|&a| a != addr);
+                // A queued job is never picked again once removed from
+                // its shard, so its checkpoint debris is swept here.
+                self.clear_checkpoints(addr);
                 Some(JobPhase::Cancelled.name())
             }
             JobPhase::Running => {

@@ -23,12 +23,14 @@ use adampack_core::checkpoint::{self, RunState};
 use adampack_core::prelude::*;
 use adampack_io::RotatingCheckpointWriter;
 use adampack_telemetry::metrics::{
-    SERVER_JOBS_CANCELLED_TOTAL, SERVER_JOBS_COMPLETED_TOTAL, SERVER_JOBS_FAILED_TOTAL,
-    SERVER_JOBS_RESUMED_TOTAL, SERVER_PREEMPTIONS_TOTAL,
+    SERVER_DISK_FULL_TOTAL, SERVER_JOBS_CANCELLED_TOTAL, SERVER_JOBS_COMPLETED_TOTAL,
+    SERVER_JOBS_EXPIRED_TOTAL, SERVER_JOBS_FAILED_TOTAL, SERVER_JOBS_RESUMED_TOTAL,
+    SERVER_PREEMPTIONS_TOTAL,
 };
 use adampack_telemetry::{info, warn};
 
 use crate::address::{format_address, run_salt};
+use crate::cache::FileKind;
 use crate::state::{Inner, JobPhase};
 
 /// Failpoint site: when armed, the worker abandons its current job right
@@ -45,12 +47,29 @@ enum EpisodeEnd {
     Crashed,
     Failed(PackError),
     Shutdown(Option<RunState>),
+    /// Ran past its wall-clock deadline or step ceiling (per-job budget).
+    Expired(RunState),
+    /// Post-persist rewrites of `Finished` (the disk work happens before
+    /// the registry lock is taken; these carry its outcome inside).
+    Persisted {
+        packed: usize,
+    },
+    Parked {
+        packed: usize,
+        bytes: Vec<u8>,
+    },
+    Failed2 {
+        packed: usize,
+        error: String,
+    },
 }
 
-/// The worker loop: runs until shutdown.
+/// The worker loop: runs until shutdown or drain. A draining worker
+/// finishes (or parks) its current episode and exits instead of picking
+/// new work, so a drain converges even with a deep queue.
 pub(crate) fn run(inner: Arc<Inner>) {
     loop {
-        if inner.shutdown.load(std::sync::atomic::Ordering::Relaxed) {
+        if inner.refusing() {
             return;
         }
         match inner.pick() {
@@ -83,25 +102,90 @@ fn load_disk_state(inner: &Inner, addr: u64) -> Option<RunState> {
     None
 }
 
-/// Removes the job's checkpoint rotation (after completion/failure).
+/// Removes the job's checkpoint rotation (after completion/failure),
+/// keeping the LRU ledger in sync.
 fn clear_checkpoints(inner: &Inner, addr: u64) {
+    inner.clear_checkpoints(addr);
+}
+
+/// Registers the job's current checkpoint generations with the LRU
+/// ledger (after a successful save: the rotation may have shifted every
+/// file).
+fn record_checkpoints(inner: &Inner, addr: u64) {
     let path = inner.checkpoint_path(addr);
-    for cand in adampack_io::checkpoint_candidates(&path, inner.opts.keep_last) {
-        let _ = std::fs::remove_file(cand);
+    let mut cache = inner.cache.lock().unwrap();
+    for (i, cand) in adampack_io::checkpoint_candidates(&path, inner.opts.keep_last)
+        .into_iter()
+        .enumerate()
+    {
+        let kind = if i == 0 {
+            FileKind::NewestCheckpoint
+        } else {
+            FileKind::RotatedCheckpoint
+        };
+        let bytes = std::fs::metadata(&cand).map(|m| m.len()).unwrap_or(0);
+        cache.insert(cand, addr, kind, bytes);
+    }
+}
+
+/// Saves a durability checkpoint, degrading on a full disk: evict LRU
+/// cache entries and retry once; a persistent failure is logged (the
+/// run continues — checkpoints are an optimization, not correctness).
+fn save_checkpoint(
+    inner: &Inner,
+    addr: u64,
+    writer: &mut RotatingCheckpointWriter,
+    state: &RunState,
+) -> bool {
+    let bytes = checkpoint::encode(state);
+    inner.make_room(bytes.len() as u64);
+    let mut result = writer.save(&bytes);
+    if result.as_ref().is_err_and(|e| e.is_disk_full()) {
+        SERVER_DISK_FULL_TOTAL.inc();
+        inner.make_room(bytes.len() as u64);
+        result = writer.save(&bytes);
+    }
+    match result {
+        Ok(()) => {
+            record_checkpoints(inner, addr);
+            inner
+                .disk_full
+                .store(false, std::sync::atomic::Ordering::Relaxed);
+            true
+        }
+        Err(e) => {
+            if e.is_disk_full() {
+                SERVER_DISK_FULL_TOTAL.inc();
+                inner
+                    .disk_full
+                    .store(true, std::sync::atomic::Ordering::Relaxed);
+            }
+            warn!(
+                "job {}: checkpoint write failed (run continues): {e}",
+                format_address(addr)
+            );
+            false
+        }
     }
 }
 
 /// One scheduling episode: own the job from pick to finish/preempt.
 fn episode(inner: &Inner, addr: u64) {
     // Snapshot the inputs; the registry lock is never held while packing.
-    let (container, params, psd, held) = {
+    let (container, params, psd, held, admitted_at, steps_base, pending) = {
         let mut jobs = inner.jobs.lock().unwrap();
         let Some(job) = jobs.get_mut(&addr) else {
             return;
         };
         if job.cancel {
             job.phase = JobPhase::Cancelled;
+            job.held = None;
+            job.pending_artifact = None;
             SERVER_JOBS_CANCELLED_TOTAL.inc();
+            drop(jobs);
+            // A cancel that lands between eviction and re-pick must not
+            // leave checkpoint debris behind.
+            clear_checkpoints(inner, addr);
             return;
         }
         (
@@ -109,8 +193,18 @@ fn episode(inner: &Inner, addr: u64) {
             job.params.clone(),
             job.psd.clone(),
             job.held.take(),
+            job.admitted_at,
+            job.budget_steps_base,
+            job.pending_artifact.take(),
         )
     };
+
+    // A finished result parked by a disk-full episode: persisting the
+    // bytes is all that remains — no packing, no checkpoint dance.
+    if let Some(bytes) = pending {
+        retry_pending_artifact(inner, addr, bytes);
+        return;
+    }
 
     let mut packer = CollectivePacker::new(container, params);
     packer.set_fingerprint_context(run_salt());
@@ -175,14 +269,12 @@ fn episode(inner: &Inner, addr: u64) {
             break EpisodeEnd::Failed(e);
         }
         let every = inner.opts.checkpoint_every as u64;
-        if !prog.finished() && every > 0 && prog.steps_taken() - last_saved_steps >= every {
-            match writer.save(&checkpoint::encode(&packer.capture_state(&prog))) {
-                Ok(()) => last_saved_steps = prog.steps_taken(),
-                Err(e) => warn!(
-                    "job {}: checkpoint write failed (run continues): {e}",
-                    format_address(addr)
-                ),
-            }
+        if !prog.finished()
+            && every > 0
+            && prog.steps_taken() - last_saved_steps >= every
+            && save_checkpoint(inner, addr, &mut writer, &packer.capture_state(&prog))
+        {
+            last_saved_steps = prog.steps_taken();
         }
         // Publish progress and poll the cancel flag at the boundary.
         let cancelled = {
@@ -206,8 +298,20 @@ fn episode(inner: &Inner, addr: u64) {
         if prog.finished() {
             continue;
         }
-        if inner.shutdown.load(std::sync::atomic::Ordering::Relaxed) {
+        if inner.refusing() {
             break EpisodeEnd::Shutdown(Some(packer.capture_state(&prog)));
+        }
+        // Per-job budgets, enforced at the same exact boundary as
+        // preemption so the persisted state resumes bitwise. The step
+        // ceiling measures steps *since admission* (the cumulative
+        // counter survives resume), so resubmitting an expired job buys
+        // a fresh budget that actually advances the run.
+        let deadline = inner.opts.limits.job_deadline_s;
+        let ceiling = inner.opts.limits.job_step_ceiling;
+        if (deadline > 0 && admitted_at.elapsed() >= Duration::from_secs(deadline))
+            || (ceiling > 0 && prog.steps_taken().saturating_sub(steps_base) >= ceiling)
+        {
+            break EpisodeEnd::Expired(packer.capture_state(&prog));
         }
         let my_consumed = consumed_base + start.elapsed().as_nanos() as u64;
         if start.elapsed() >= slice && inner.poorer_waiting(my_consumed) {
@@ -216,40 +320,92 @@ fn episode(inner: &Inner, addr: u64) {
     };
 
     let spent = start.elapsed().as_nanos() as u64;
+
+    // Disk-touching epilogues (persist, budget checkpoint) run BEFORE
+    // taking the registry lock: eviction needs the lock to snapshot
+    // in-flight jobs, so holding it here would self-deadlock.
+    let end = match end {
+        EpisodeEnd::Finished(result) => {
+            let packed = result.particles.len();
+            match encode_artifact(&result) {
+                Err(e) => EpisodeEnd::Failed2 { packed, error: e },
+                Ok(bytes) => match persist_bytes(inner, addr, &bytes) {
+                    Ok(()) => EpisodeEnd::Persisted { packed },
+                    Err(e) if e.is_disk_full() => {
+                        // Disk full degrades to load shedding, not a
+                        // failed job: park the bytes, requeue, and stop
+                        // admitting until a write succeeds again.
+                        warn!(
+                            "job {}: artifact persist hit full disk; parking result",
+                            format_address(addr)
+                        );
+                        EpisodeEnd::Parked { packed, bytes }
+                    }
+                    Err(e) => EpisodeEnd::Failed2 {
+                        packed,
+                        error: e.to_string(),
+                    },
+                },
+            }
+        }
+        EpisodeEnd::Expired(state) => {
+            // Terminal, but resumable: persist the newest boundary state
+            // so resubmitting the same config picks up from here with a
+            // fresh budget.
+            save_checkpoint(inner, addr, &mut writer, &state);
+            EpisodeEnd::Expired(state)
+        }
+        other => other,
+    };
+
     let mut jobs = inner.jobs.lock().unwrap();
     let Some(job) = jobs.get_mut(&addr) else {
         return;
     };
     job.consumed_ns = consumed_base + spent;
     match end {
-        EpisodeEnd::Finished(result) => {
-            job.packed = result.particles.len();
-            match persist_artifact(inner, addr, &result) {
-                Ok(()) => {
-                    job.phase = JobPhase::Done;
-                    SERVER_JOBS_COMPLETED_TOTAL.inc();
-                    info!(
-                        "job {}: done ({} particles)",
-                        format_address(addr),
-                        result.particles.len()
-                    );
-                    drop(jobs);
-                    clear_checkpoints(inner, addr);
-                }
-                Err(e) => {
-                    job.phase = JobPhase::Failed;
-                    job.error = Some(e);
-                    SERVER_JOBS_FAILED_TOTAL.inc();
-                }
-            }
+        EpisodeEnd::Finished(_) => unreachable!("rewritten above"),
+        EpisodeEnd::Persisted { packed } => {
+            job.packed = packed;
+            job.phase = JobPhase::Done;
+            SERVER_JOBS_COMPLETED_TOTAL.inc();
+            info!("job {}: done ({packed} particles)", format_address(addr));
+            drop(jobs);
+            clear_checkpoints(inner, addr);
         }
-        EpisodeEnd::Preempted(state) => {
-            job.held = Some(state);
+        EpisodeEnd::Parked { packed, bytes } => {
+            job.packed = packed;
+            job.pending_artifact = Some(bytes);
             job.phase = JobPhase::Queued;
-            job.preemptions += 1;
-            SERVER_PREEMPTIONS_TOTAL.inc();
             drop(jobs);
             inner.enqueue(addr);
+        }
+        EpisodeEnd::Failed2 { packed, error } => {
+            job.packed = packed;
+            job.phase = JobPhase::Failed;
+            job.error = Some(error);
+            SERVER_JOBS_FAILED_TOTAL.inc();
+            drop(jobs);
+            clear_checkpoints(inner, addr);
+        }
+        EpisodeEnd::Preempted(state) => {
+            if job.cancel {
+                // Cancel raced the eviction: the client's cancel wins.
+                // The job must land Cancelled (not sneak back into the
+                // queue) with no checkpoint debris left behind.
+                job.phase = JobPhase::Cancelled;
+                job.held = None;
+                SERVER_JOBS_CANCELLED_TOTAL.inc();
+                drop(jobs);
+                clear_checkpoints(inner, addr);
+            } else {
+                job.held = Some(state);
+                job.phase = JobPhase::Queued;
+                job.preemptions += 1;
+                SERVER_PREEMPTIONS_TOTAL.inc();
+                drop(jobs);
+                inner.enqueue(addr);
+            }
         }
         EpisodeEnd::Cancelled => {
             job.phase = JobPhase::Cancelled;
@@ -286,6 +442,62 @@ fn episode(inner: &Inner, addr: u64) {
             drop(jobs);
             self_enqueue_no_notify(inner, addr);
         }
+        EpisodeEnd::Expired(state) => {
+            job.held = Some(state);
+            job.phase = JobPhase::Expired;
+            job.error = Some(format!(
+                "budget exhausted after {} steps (deadline {}s, step ceiling {}); \
+                 resubmit to resume",
+                job.steps, inner.opts.limits.job_deadline_s, inner.opts.limits.job_step_ceiling
+            ));
+            SERVER_JOBS_EXPIRED_TOTAL.inc();
+            info!(
+                "job {}: expired at {} steps; checkpoint persisted for resume",
+                format_address(addr),
+                job.steps
+            );
+        }
+    }
+}
+
+/// Second chance for a result whose artifact write hit `ENOSPC`: evict
+/// and retry the persist. Still full → park the bytes again and requeue
+/// (after a short pause so a wedged disk doesn't spin the worker).
+fn retry_pending_artifact(inner: &Inner, addr: u64, bytes: Vec<u8>) {
+    match persist_bytes(inner, addr, &bytes) {
+        Ok(()) => {
+            let mut jobs = inner.jobs.lock().unwrap();
+            if let Some(job) = jobs.get_mut(&addr) {
+                job.phase = JobPhase::Done;
+            }
+            SERVER_JOBS_COMPLETED_TOTAL.inc();
+            info!("job {}: parked artifact persisted", format_address(addr));
+            drop(jobs);
+            clear_checkpoints(inner, addr);
+        }
+        Err(e) => {
+            if !e.is_disk_full() {
+                warn!(
+                    "job {}: parked artifact persist failed: {e}",
+                    format_address(addr)
+                );
+            }
+            std::thread::sleep(Duration::from_millis(50));
+            let mut jobs = inner.jobs.lock().unwrap();
+            if let Some(job) = jobs.get_mut(&addr) {
+                if job.cancel {
+                    job.phase = JobPhase::Cancelled;
+                    SERVER_JOBS_CANCELLED_TOTAL.inc();
+                    drop(jobs);
+                    clear_checkpoints(inner, addr);
+                    return;
+                }
+                job.pending_artifact = Some(bytes);
+                job.phase = JobPhase::Queued;
+                drop(jobs);
+                inner.enqueue(addr);
+            }
+        }
     }
 }
 
@@ -296,10 +508,10 @@ fn self_enqueue_no_notify(inner: &Inner, addr: u64) {
     inner.shards[si].lock().unwrap().push_back(addr);
 }
 
-/// Writes the result's CSV bytes atomically into the artifact cache.
-/// The byte stream is identical to `adampack pack --out <file>.csv` for
-/// the same config: same writer, same particle order.
-fn persist_artifact(inner: &Inner, addr: u64, result: &PackResult) -> Result<(), String> {
+/// Encodes the result's CSV bytes. The byte stream is identical to
+/// `adampack pack --out <file>.csv` for the same config: same writer,
+/// same particle order.
+fn encode_artifact(result: &PackResult) -> Result<Vec<u8>, String> {
     let mut bytes = Vec::new();
     adampack_io::write_particles_csv(
         &mut bytes,
@@ -309,5 +521,39 @@ fn persist_artifact(inner: &Inner, addr: u64, result: &PackResult) -> Result<(),
             .map(|p| (p.center, p.radius, p.batch, p.set)),
     )
     .map_err(|e| e.to_string())?;
-    adampack_io::write_atomic(inner.artifact_path(addr), &bytes).map_err(|e| e.to_string())
+    Ok(bytes)
+}
+
+/// Writes artifact bytes atomically into the content-addressed cache,
+/// evicting LRU entries to make room (and once more on `ENOSPC` before
+/// giving up). Success clears the disk-full latch; a full-disk failure
+/// sets it, flipping `/readyz` red and shedding new submissions.
+fn persist_bytes(inner: &Inner, addr: u64, bytes: &[u8]) -> Result<(), adampack_io::Error> {
+    use std::sync::atomic::Ordering;
+    let path = inner.artifact_path(addr);
+    inner.make_room(bytes.len() as u64);
+    let mut result = adampack_io::write_atomic(&path, bytes);
+    if result.as_ref().is_err_and(|e| e.is_disk_full()) {
+        SERVER_DISK_FULL_TOTAL.inc();
+        inner.make_room(bytes.len() as u64);
+        result = adampack_io::write_atomic(&path, bytes);
+    }
+    match result {
+        Ok(()) => {
+            inner
+                .cache
+                .lock()
+                .unwrap()
+                .insert(path, addr, FileKind::Artifact, bytes.len() as u64);
+            inner.disk_full.store(false, Ordering::Relaxed);
+            Ok(())
+        }
+        Err(e) => {
+            if e.is_disk_full() {
+                SERVER_DISK_FULL_TOTAL.inc();
+                inner.disk_full.store(true, Ordering::Relaxed);
+            }
+            Err(e)
+        }
+    }
 }

@@ -348,6 +348,31 @@ pub static SERVER_JOBS_RESUMED_TOTAL: Counter = Counter::new(
     "adampack_server_jobs_resumed_total",
     "Jobs resumed from a persisted checkpoint (crash recovery)",
 );
+/// Jobs that hit their wall-clock deadline or step ceiling.
+pub static SERVER_JOBS_EXPIRED_TOTAL: Counter = Counter::new(
+    "adampack_server_jobs_expired_total",
+    "Jobs ended at a budget boundary (deadline or step ceiling), checkpoint kept",
+);
+/// Submissions rejected outright as oversized (413).
+pub static SERVER_REJECTED_OVERSIZE_TOTAL: Counter = Counter::new(
+    "adampack_server_rejected_oversize_total",
+    "Submissions rejected because their predicted peak memory exceeds the budget",
+);
+/// Submissions shed under load (429).
+pub static SERVER_SHED_TOTAL: Counter = Counter::new(
+    "adampack_server_shed_total",
+    "Submissions shed with 429 because queues or the memory budget were saturated",
+);
+/// Cache files evicted to stay under the disk cap.
+pub static SERVER_CACHE_EVICTIONS_TOTAL: Counter = Counter::new(
+    "adampack_server_cache_evictions_total",
+    "Artifact/checkpoint files evicted from the bounded disk store",
+);
+/// Disk-full episodes the worker degraded through instead of crashing.
+pub static SERVER_DISK_FULL_TOTAL: Counter = Counter::new(
+    "adampack_server_disk_full_total",
+    "Disk-full (ENOSPC) write failures degraded to load shedding",
+);
 
 /// Batch spawn time (initial-position generation).
 pub static PHASE_SPAWN: Histogram = Histogram::new(
@@ -408,9 +433,16 @@ pub static HOT_SET_BYTES: Gauge = Gauge::new(
     "Resident bytes of the neighbor structures and workspace (hot set)",
 );
 
-static GAUGES: [&Gauge; 1] = [&HOT_SET_BYTES];
+/// Bytes currently resident in the server's bounded disk store
+/// (artifact cache + checkpoint rotations under the cap).
+pub static SERVER_CACHE_BYTES: Gauge = Gauge::new(
+    "adampack_server_cache_bytes",
+    "Bytes resident in the server's size-capped artifact/checkpoint store",
+);
 
-static COUNTERS: [&Counter; 22] = [
+static GAUGES: [&Gauge; 2] = [&HOT_SET_BYTES, &SERVER_CACHE_BYTES];
+
+static COUNTERS: [&Counter; 27] = [
     &STEPS_TOTAL,
     &EVALS_TOTAL,
     &BATCHES_TOTAL,
@@ -433,6 +465,11 @@ static COUNTERS: [&Counter; 22] = [
     &SERVER_JOBS_FAILED_TOTAL,
     &SERVER_JOBS_CANCELLED_TOTAL,
     &SERVER_JOBS_RESUMED_TOTAL,
+    &SERVER_JOBS_EXPIRED_TOTAL,
+    &SERVER_REJECTED_OVERSIZE_TOTAL,
+    &SERVER_SHED_TOTAL,
+    &SERVER_CACHE_EVICTIONS_TOTAL,
+    &SERVER_DISK_FULL_TOTAL,
 ];
 
 static HISTOGRAMS: [&Histogram; 10] = [

@@ -1,0 +1,276 @@
+//! Fuzz/property tests for the server's hand-rolled HTTP parser. The
+//! parser faces the open network, so its contract is strict: whatever a
+//! peer sends — random bytes, truncated requests, oversized or duplicate
+//! headers, lying `Content-Length`, a stalled (slowloris) connection —
+//! the server must never panic, never hang past its read timeout, and
+//! answer with a 4xx (or silently close) before moving on to the next
+//! connection.
+//!
+//! One server instance (no workers doing real packing are needed —
+//! nothing here submits a valid job) serves every case; after each
+//! hostile exchange the suite proves the server is still alive with a
+//! `/healthz` round-trip.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use adampack_geometry::{shapes, Vec3};
+use adampack_io::write_stl_ascii;
+use adampack_server::{client, ServeOptions, Server, ServerHandle};
+use proptest::prelude::*;
+
+/// The shared fuzz target. Leaked for the life of the test process.
+fn target() -> SocketAddr {
+    static SERVER: OnceLock<(ServerHandle, SocketAddr)> = OnceLock::new();
+    SERVER
+        .get_or_init(|| {
+            let dir = std::env::temp_dir().join("adampack_http_fuzz");
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            let mesh = shapes::box_mesh(Vec3::ZERO, Vec3::splat(1.0));
+            let f = std::fs::File::create(dir.join("box.stl")).unwrap();
+            write_stl_ascii(std::io::BufWriter::new(f), &mesh, "box").unwrap();
+            let mut opts = ServeOptions {
+                addr: "127.0.0.1:0".into(),
+                workers: 1,
+                http_threads: 2,
+                queue_shards: 2,
+                data_dir: dir.join("data"),
+                config_base: dir.clone(),
+                slice_ms: 1_000,
+                checkpoint_every: 0,
+                keep_last: 2,
+                limits: Default::default(),
+            };
+            // Short read timeout: a stalled peer is cut off quickly, and
+            // the slowloris test stays fast.
+            opts.limits.read_timeout_ms = 500;
+            let handle = Server::start(opts).unwrap();
+            let addr = handle.addr();
+            (handle, addr)
+        })
+        .1
+}
+
+/// Sends raw bytes, optionally half-closing the write side, and returns
+/// the parsed status code — `None` when the server closed without a
+/// response (its documented reaction to EOF-before-head and stalls).
+fn exchange(addr: SocketAddr, payload: &[u8], close_write: bool) -> Option<u16> {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .set_write_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // The peer may answer-and-close mid-write on a huge hostile payload;
+    // treat write errors as the connection ending early, not a failure.
+    let _ = stream.write_all(payload);
+    let _ = stream.flush();
+    if close_write {
+        let _ = stream.shutdown(Shutdown::Write);
+    }
+    // Read until the response head is complete. The server may RST right
+    // after answering (it closes with our excess bytes unread), so a read
+    // error after a complete head still counts as an answered request.
+    let mut raw = Vec::new();
+    let mut buf = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => return None, // closed/reset before any head
+            Ok(n) => raw.extend_from_slice(&buf[..n]),
+        }
+    };
+    let head = String::from_utf8_lossy(&raw[..head_end]);
+    head.split_whitespace().nth(1).and_then(|s| s.parse().ok())
+}
+
+/// The server must still answer cleanly after any hostile exchange.
+fn assert_alive(addr: SocketAddr) {
+    let (code, body) = client::get(addr, "/healthz").unwrap();
+    assert_eq!(code, 200, "{}", String::from_utf8_lossy(&body));
+}
+
+/// Status codes acceptable for hostile input: any client error, or the
+/// overload statuses the admission layer may legitimately emit.
+fn is_rejection(code: u16) -> bool {
+    (400..500).contains(&code) || code == 503
+}
+
+/// Strategy for a string drawn from a fixed alphabet (the vendored
+/// proptest has no regex strategies).
+fn chars_of(alphabet: &'static [u8], len: std::ops::Range<usize>) -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        (0u32..alphabet.len() as u32).prop_map(move |i| alphabet[i as usize] as char),
+        len,
+    )
+    .prop_map(|v| v.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary bytes on the wire: never a panic, never a 2xx (random
+    /// noise cannot spell a valid request for a real route), always a
+    /// rejection or a close.
+    #[test]
+    fn garbage_bytes_never_panic_and_never_succeed(
+        bytes in proptest::collection::vec((0u32..256).prop_map(|b| b as u8), 0..2048),
+    ) {
+        let addr = target();
+        if let Some(code) = exchange(addr, &bytes, true) {
+            prop_assert!(
+                is_rejection(code),
+                "garbage got a non-rejection status {code}"
+            );
+        }
+        assert_alive(addr);
+    }
+
+    /// A valid request truncated at any byte, with the write side then
+    /// closed: the server answers 4xx or closes, and survives.
+    #[test]
+    fn truncated_requests_are_rejected_or_closed(
+        cut in 0usize..120,
+        path in chars_of(b"abcdefghij/", 0..12),
+    ) {
+        let addr = target();
+        let full = format!(
+            "POST /jobs{path} HTTP/1.1\r\nHost: x\r\nContent-Length: 30\r\n\r\nnot yaml at all, just filler.."
+        );
+        let payload = &full.as_bytes()[..cut.min(full.len())];
+        if let Some(code) = exchange(addr, payload, true) {
+            prop_assert!(
+                is_rejection(code),
+                "truncated request got status {code}"
+            );
+        }
+        assert_alive(addr);
+    }
+
+    /// Oversized heads (one giant header line) must be answered with 431
+    /// before the server buffers without bound.
+    #[test]
+    fn oversized_header_is_431(extra in 0usize..4096) {
+        let addr = target();
+        let huge = "x".repeat(70 * 1024 + extra);
+        let req = format!("GET /healthz HTTP/1.1\r\nX-Junk: {huge}\r\n\r\n");
+        let code = exchange(addr, req.as_bytes(), true);
+        prop_assert_eq!(code, Some(431));
+        assert_alive(addr);
+    }
+
+    /// Duplicate `Content-Length` headers: consistent duplicates parse
+    /// (the body is then judged on its own merits), conflicting ones are
+    /// a smuggling vector and must be 400.
+    #[test]
+    fn conflicting_content_length_is_400(a in 0usize..64, b in 0usize..64) {
+        let addr = target();
+        let body = "y".repeat(a);
+        let req = format!(
+            "POST /jobs HTTP/1.1\r\nContent-Length: {a}\r\nContent-Length: {b}\r\n\r\n{body}"
+        );
+        let code = exchange(addr, req.as_bytes(), true);
+        if a == b {
+            // Consistent: the request parses; `/jobs` then rejects the
+            // filler body as invalid YAML config (400).
+            prop_assert_eq!(code, Some(400));
+        } else {
+            prop_assert_eq!(code, Some(400), "conflicting Content-Length must be 400");
+        }
+        assert_alive(addr);
+    }
+
+    /// A body longer than its declared `Content-Length` is pipelining /
+    /// smuggling; this server is strictly one-request-per-connection.
+    #[test]
+    fn bytes_beyond_declared_body_are_400(extra in 1usize..128) {
+        let addr = target();
+        let junk = "z".repeat(extra);
+        let req = format!("POST /jobs HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd{junk}");
+        let code = exchange(addr, req.as_bytes(), true);
+        prop_assert_eq!(code, Some(400));
+        assert_alive(addr);
+    }
+
+    /// A declared body that never arrives (peer half-closes early) is a
+    /// 400, not a hang.
+    #[test]
+    fn short_body_is_400(declared in 5usize..512, sent in 0usize..4) {
+        let addr = target();
+        let partial = "q".repeat(sent);
+        let req = format!(
+            "POST /jobs HTTP/1.1\r\nContent-Length: {declared}\r\n\r\n{partial}"
+        );
+        let code = exchange(addr, req.as_bytes(), true);
+        prop_assert_eq!(code, Some(400));
+        assert_alive(addr);
+    }
+
+    /// Non-numeric `Content-Length` is 400.
+    #[test]
+    fn malformed_content_length_is_400(junk in chars_of(b"abcXYZ!@#%~_", 1..12)) {
+        let addr = target();
+        let req = format!("POST /jobs HTTP/1.1\r\nContent-Length: {junk}\r\n\r\n");
+        let code = exchange(addr, req.as_bytes(), true);
+        prop_assert_eq!(code, Some(400));
+        assert_alive(addr);
+    }
+}
+
+/// A declared `Content-Length` over the configured body cap is answered
+/// 413 immediately, before any body bytes are read.
+#[test]
+fn oversized_declared_body_is_413() {
+    let addr = target();
+    let req = "POST /jobs HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n";
+    assert_eq!(exchange(addr, req.as_bytes(), false), Some(413));
+    assert_alive(addr);
+}
+
+/// Slowloris: a peer that sends a partial head and then stalls forever
+/// is cut off by the read timeout — the connection closes (no response
+/// owed to a peer that never finished asking) and the server moves on.
+#[test]
+fn slowloris_is_cut_off_by_the_read_timeout() {
+    let addr = target();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+        .write_all(b"POST /jobs HTTP/1.1\r\nHost: stall")
+        .unwrap();
+    stream.flush().unwrap();
+    // Never send the rest. The server's 500ms read timeout must close
+    // the connection from its side.
+    let start = std::time::Instant::now();
+    let mut buf = Vec::new();
+    let n = stream.read_to_end(&mut buf).unwrap_or(0);
+    assert_eq!(n, 0, "a stalled request must get no response bytes");
+    assert!(
+        start.elapsed() < Duration::from_secs(20),
+        "slowloris connection was not cut off"
+    );
+    assert_alive(addr);
+}
+
+/// Wrong methods on real routes are 405, unknown routes 404 — and the
+/// happy path still works after all the hostile traffic above.
+#[test]
+fn routing_still_sane_under_fuzz() {
+    let addr = target();
+    let (code, _) = client::request(addr, "DELETE", "/metrics", b"").unwrap();
+    assert_eq!(code, 405);
+    let (code, _) = client::request(addr, "GET", "/no/such/route", b"").unwrap();
+    assert_eq!(code, 404);
+    let (code, _) = client::get(addr, "/readyz").unwrap();
+    assert_eq!(code, 200);
+    let (code, _) = client::get(addr, "/metrics").unwrap();
+    assert_eq!(code, 200);
+}

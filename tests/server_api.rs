@@ -83,6 +83,7 @@ fn serve(dir: &Path, opts_fn: impl FnOnce(&mut ServeOptions)) -> ServerHandle {
         slice_ms: 3_000,
         checkpoint_every: 100,
         keep_last: 3,
+        limits: Default::default(),
     };
     opts_fn(&mut opts);
     Server::start(opts).unwrap()
